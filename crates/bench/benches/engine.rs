@@ -1,0 +1,61 @@
+//! Benchmark of the bargaining engine itself: full negotiations over a
+//! table-driven gain provider (no ML in the loop), isolating protocol and
+//! strategy cost per round.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vfl_market::{
+    run_bargaining, Listing, MarketConfig, ReservedPrice, StrategicData, StrategicTask,
+    TableGainProvider,
+};
+use vfl_sim::BundleMask;
+
+fn ladder(n: usize) -> (TableGainProvider, Vec<Listing>, Vec<f64>) {
+    let gains: Vec<f64> = (1..=n).map(|k| 0.25 * k as f64 / n as f64).collect();
+    let listings: Vec<Listing> = (0..n)
+        .map(|k| Listing {
+            bundle: BundleMask::singleton(k % 63),
+            // Floors start below the opening quote (4.0, 0.6) so the
+            // negotiation actually escalates instead of failing in round 1.
+            reserved: ReservedPrice::new(
+                3.5 + 6.0 * k as f64 / n as f64,
+                0.5 + 0.8 * k as f64 / n as f64,
+            )
+            .unwrap(),
+        })
+        .collect();
+    let provider = TableGainProvider::new(listings.iter().zip(&gains).map(|(l, &g)| (l.bundle, g)));
+    (provider, listings, gains)
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let cfg = MarketConfig {
+        utility_rate: 800.0,
+        budget: 14.0,
+        rate_cap: 18.0,
+        seed: 3,
+        ..MarketConfig::default()
+    };
+    let mut group = c.benchmark_group("bargaining");
+    for n in [8usize, 32, 56] {
+        let (provider, listings, gains) = ladder(n);
+        let target = gains.iter().copied().fold(f64::MIN, f64::max);
+        group.bench_function(format!("strategic_{n}_listings"), |b| {
+            b.iter(|| {
+                let mut task = StrategicTask::new(target, 4.0, 0.6).unwrap();
+                let mut data = StrategicData::with_gains(gains.clone());
+                black_box(
+                    run_bargaining(&provider, &listings, &mut task, &mut data, &cfg).unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_engine
+);
+criterion_main!(benches);

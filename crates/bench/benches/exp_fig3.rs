@@ -1,0 +1,41 @@
+//! End-to-end benchmark of the fig3 experiment path on a scaled-down
+//! profile: one full regeneration pass per iteration (the per-experiment
+//! harness timing the paper's §4 pipeline).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vfl_bench::RunProfile;
+
+fn tiny_profile() -> RunProfile {
+    let mut p = RunProfile::fast();
+    p.rows = Some(160);
+    p.max_train_rows = 100;
+    p.max_test_rows = 56;
+    p.rf_trees = 4;
+    p.rf_depth = 4;
+    p.mlp_epochs = 3;
+    p.catalog_target = 8;
+    p.n_runs = 1;
+    p.max_rounds = 60;
+    p.explore_rounds = 6;
+    p
+}
+
+fn bench(c: &mut Criterion) {
+    let profile = tiny_profile();
+    c.bench_function("exp_fig3_tiny", |b| {
+        b.iter(|| {
+            black_box(vfl_bench::experiments::fig23::run(vfl_bench::BaseModelKind::Mlp, &profile, 1).map(|_| ())).expect("experiment runs");
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(6))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Benchmark of the MLP substrate (the Figure 3 base model and the §4.4
+//! estimator backbone): training and inference cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vfl_ml::{Classifier, MlpClassifier, MlpRegressor, TrainConfig};
+use vfl_sim::{BundleMask, ScenarioConfig, VflScenario};
+use vfl_tabular::synth::{self, SynthConfig};
+use vfl_tabular::{DatasetId, Matrix};
+
+fn bench_mlp(c: &mut Criterion) {
+    let ds = synth::generate(DatasetId::Titanic, SynthConfig::sized(600, 1)).unwrap();
+    let assignment = synth::party_assignment(DatasetId::Titanic, &ds).unwrap();
+    let scenario = VflScenario::build(
+        &ds,
+        &assignment,
+        &ScenarioConfig { max_train_rows: 400, max_test_rows: 180, seed: 2, train_frac: 0.7 },
+    )
+    .unwrap();
+    let (train, test) = scenario.joint_matrices(BundleMask::all(5)).unwrap();
+    let y = scenario.y_train().to_vec();
+
+    let mut group = c.benchmark_group("mlp");
+    group.bench_function("classifier_fit_5_epochs", |b| {
+        b.iter(|| {
+            let mut clf = MlpClassifier::new(
+                vec![64, 32],
+                TrainConfig { epochs: 5, batch_size: 128, lr: 1e-2, seed: 3 },
+            );
+            clf.fit(black_box(&train), black_box(&y)).unwrap();
+            black_box(clf)
+        })
+    });
+    let mut fitted = MlpClassifier::new(
+        vec![64, 32],
+        TrainConfig { epochs: 5, batch_size: 128, lr: 1e-2, seed: 3 },
+    );
+    fitted.fit(&train, &y).unwrap();
+    group.bench_function("classifier_predict_180", |b| {
+        b.iter(|| black_box(fitted.predict_proba(black_box(&test)).unwrap()))
+    });
+
+    // Estimator-shaped regressor: 3 -> 64/32/16 -> 1 on a 128-sample buffer.
+    let x = Matrix::from_rows(
+        &(0..128).map(|i| vec![i as f64 / 128.0, 0.5, 1.0]).collect::<Vec<_>>(),
+    )
+    .unwrap();
+    let targets: Vec<f64> = (0..128).map(|i| (i as f64 / 128.0).sin()).collect();
+    group.bench_function("regressor_train_batch_128", |b| {
+        let mut reg = MlpRegressor::new(3, &[64, 32, 16], 3e-3, 7);
+        b.iter(|| black_box(reg.train_batch(black_box(&x), black_box(&targets))))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_mlp
+);
+criterion_main!(benches);

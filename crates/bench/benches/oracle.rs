@@ -1,0 +1,74 @@
+//! Benchmark of the gain oracle: single course evaluation, cached lookups,
+//! and parallel catalog precomputation (the trading platform's
+//! pre-bargaining training pass, §3.4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vfl_sim::{
+    BaseModelConfig, BundleCatalog, BundleMask, CatalogStrategy, GainOracle, ScenarioConfig,
+    VflScenario,
+};
+use vfl_tabular::synth::{self, SynthConfig};
+use vfl_tabular::DatasetId;
+
+fn scenario() -> VflScenario {
+    let ds = synth::generate(DatasetId::Titanic, SynthConfig::sized(500, 1)).unwrap();
+    let assignment = synth::party_assignment(DatasetId::Titanic, &ds).unwrap();
+    VflScenario::build(
+        &ds,
+        &assignment,
+        &ScenarioConfig { max_train_rows: 300, max_test_rows: 150, seed: 2, train_frac: 0.7 },
+    )
+    .unwrap()
+}
+
+fn small_forest(seed: u64) -> BaseModelConfig {
+    BaseModelConfig::RandomForest(vfl_ml::ForestConfig {
+        n_trees: 10,
+        max_depth: 6,
+        n_threads: 1,
+        seed,
+        ..Default::default()
+    })
+}
+
+fn bench_oracle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle");
+    group.bench_function("single_course_gain", |b| {
+        b.iter(|| {
+            let oracle = GainOracle::new(scenario(), small_forest(5), 9).unwrap();
+            black_box(oracle.gain(BundleMask::singleton(2)).unwrap())
+        })
+    });
+
+    let cached = GainOracle::new(scenario(), small_forest(5), 9).unwrap();
+    let catalog = BundleCatalog::generate(5, CatalogStrategy::AllSubsets).unwrap();
+    cached.precompute(&catalog, 0).unwrap();
+    group.bench_function("cached_gain_lookup_31_bundles", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &bundle in catalog.bundles() {
+                acc += cached.gain(black_box(bundle)).unwrap();
+            }
+            black_box(acc)
+        })
+    });
+
+    for threads in [1usize, 4] {
+        group.bench_function(format!("precompute_31_bundles_{threads}threads"), |b| {
+            b.iter(|| {
+                let oracle = GainOracle::new(scenario(), small_forest(5), 9).unwrap();
+                oracle.precompute(&catalog, threads).unwrap();
+                black_box(oracle.query_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_oracle
+);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Microbenchmarks of the market's hot arithmetic: the payment function
+//! (Definition 2.3), revenues (Eq. 3/4), and the termination predicates.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use vfl_market::payment::{data_objective_distance, task_net_profit};
+use vfl_market::termination::{eq6_data_accepts, eq7_task_accepts, task_case};
+use vfl_market::{QuotedPrice, ReservedPrice};
+
+fn bench_payment(c: &mut Criterion) {
+    let q = QuotedPrice::new(9.5, 1.2, 3.4).unwrap();
+    let reserve = ReservedPrice::new(8.0, 1.0).unwrap();
+    let gains: Vec<f64> = (0..1024).map(|i| (i as f64) / 4096.0).collect();
+
+    c.bench_function("payment_1k_gains", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &g in &gains {
+                acc += q.payment(black_box(g));
+            }
+            black_box(acc)
+        })
+    });
+
+    c.bench_function("objectives_1k_gains", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &g in &gains {
+                acc += task_net_profit(1000.0, &q, black_box(g))
+                    + data_objective_distance(&q, black_box(g));
+            }
+            black_box(acc)
+        })
+    });
+
+    c.bench_function("termination_cases_1k", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &g in &gains {
+                hits += matches!(
+                    task_case(1000.0, &q, black_box(g), 1e-3),
+                    vfl_market::termination::TaskCase::Success
+                ) as usize;
+                hits += eq7_task_accepts(1000.0, &q, g, 1.0, 1.1, 1e-2) as usize;
+                hits += eq6_data_accepts(&q, g, &reserve, 1.0, 1.1, 1e-2) as usize;
+            }
+            black_box(hits)
+        })
+    });
+
+    c.bench_function("quote_construction", |b| {
+        b.iter_batched(
+            || (9.5, 1.2, 3.4),
+            |(r, p0, ph)| QuotedPrice::new(black_box(r), black_box(p0), black_box(ph)).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_payment
+);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation
+//! section (plus the DESIGN.md ablations) and writes CSVs under `results/`.
+//!
+//! ```text
+//! repro [EXPERIMENTS...] [--fast] [--runs N] [--seed S]
+//!
+//! EXPERIMENTS: table2 fig2 fig3 table3 table4 fig4 ablation all   (default: all)
+//! --fast       small profile (reduced rows/models/runs) for smoke runs
+//! --runs N     override the number of repetitions per cell
+//! --seed S     base seed (default 42)
+//! ```
+
+use vfl_bench::experiments::{ablation, fig23, fig4, table2, table3, table4};
+use vfl_bench::{BaseModelKind, RunProfile};
+
+#[derive(Debug, Clone)]
+struct Args {
+    experiments: Vec<String>,
+    fast: bool,
+    runs: Option<usize>,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { experiments: Vec::new(), fast: false, runs: None, seed: 42 };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fast" => args.fast = true,
+            "--runs" => {
+                let v = it.next().ok_or("--runs needs a value")?;
+                args.runs = Some(v.parse().map_err(|_| format!("bad --runs value: {v}"))?);
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = v.parse().map_err(|_| format!("bad --seed value: {v}"))?;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [table2 fig2 fig3 table3 table4 fig4 ablation all] \
+                     [--fast] [--runs N] [--seed S]"
+                );
+                std::process::exit(0);
+            }
+            name if !name.starts_with('-') => args.experiments.push(name.to_string()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.experiments.is_empty() {
+        args.experiments.push("all".to_string());
+    }
+    let known = ["table2", "fig2", "fig3", "table3", "table4", "fig4", "ablation", "all"];
+    for e in &args.experiments {
+        if !known.contains(&e.as_str()) {
+            return Err(format!("unknown experiment `{e}` (known: {})", known.join(" ")));
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut profile = if args.fast { RunProfile::fast() } else { RunProfile::full() };
+    if let Some(runs) = args.runs {
+        profile.n_runs = runs;
+    }
+    let seed = args.seed;
+    let all = args.experiments.iter().any(|e| e == "all");
+    let wants = |name: &str| all || args.experiments.iter().any(|e| e == name);
+    let started = std::time::Instant::now();
+
+    let mut failures = 0usize;
+    let mut section = |name: &str, run: &mut dyn FnMut() -> Result<(), String>| {
+        if !wants(name) {
+            return;
+        }
+        eprintln!("\n### {name} (profile: {}) ###", if args.fast { "fast" } else { "full" });
+        let t0 = std::time::Instant::now();
+        match run() {
+            Ok(()) => eprintln!("### {name} done in {:.1}s ###", t0.elapsed().as_secs_f64()),
+            Err(e) => {
+                eprintln!("### {name} FAILED: {e} ###");
+                failures += 1;
+            }
+        }
+    };
+
+    section("table2", &mut || table2::run(&profile, seed).map(|_| ()).map_err(|e| e.to_string()));
+    section("fig2", &mut || {
+        fig23::run(BaseModelKind::Forest, &profile, seed).map(|_| ()).map_err(|e| e.to_string())
+    });
+    section("fig3", &mut || {
+        fig23::run(BaseModelKind::Mlp, &profile, seed).map(|_| ()).map_err(|e| e.to_string())
+    });
+    section("table3", &mut || table3::run(&profile, seed).map(|_| ()).map_err(|e| e.to_string()));
+    section("table4", &mut || {
+        table4::run(&[BaseModelKind::Forest, BaseModelKind::Mlp], &profile, seed)
+            .map(|_| ())
+            .map_err(|e| e.to_string())
+    });
+    section("fig4", &mut || {
+        fig4::run(&[BaseModelKind::Forest, BaseModelKind::Mlp], &profile, seed)
+            .map(|_| ())
+            .map_err(|e| e.to_string())
+    });
+    section("ablation", &mut || {
+        ablation::run(&profile, seed).map(|_| ()).map_err(|e| e.to_string())
+    });
+
+    eprintln!(
+        "\nall requested experiments finished in {:.1}s ({} failures); CSVs in results/",
+        started.elapsed().as_secs_f64(),
+        failures
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

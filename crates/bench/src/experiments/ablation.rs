@@ -1,0 +1,301 @@
+//! Ablations on the design choices DESIGN.md calls out (not in the paper):
+//!
+//! * **A1 — Eq. 5 constraint**: strategic (equilibrium-constrained) quote
+//!   generation vs the unconstrained Increase Price escalation, measured by
+//!   over-payment relative to the target bundle's reserve and rounds to
+//!   close.
+//! * **A2 — bundle-catalog size**: how the gain-landscape density affects
+//!   the equilibrium found (Titanic, all-subset vs sampled catalogs).
+//! * **A3 — quote sampling**: `quote_samples` × `escalation_step` sweep
+//!   (negotiation granularity vs speed).
+//! * **A4 — adaptive escalation** (paper §6 extension): the fixed-step
+//!   strategic player vs [`vfl_market::AdaptiveStepTask`], measured by
+//!   rounds-to-agreement at equal payoffs.
+//! * **A5 — base-model agnosticism** (paper §3.6: "the proposed VFL market
+//!   is FL protocol-agnostic"): the same market run over Random Forest,
+//!   GBDT, and logistic-regression gain landscapes.
+
+use crate::experiments::final_stats;
+use crate::params::{BaseModelKind, RunProfile};
+use crate::report::{pm, print_table, results_dir, write_csv};
+use crate::runner::{run_arm_many, Arm};
+use crate::setup::PreparedMarket;
+use vfl_market::Result;
+use vfl_tabular::DatasetId;
+
+/// Runs all ablations; returns the rows of the printed tables.
+pub fn run(profile: &RunProfile, seed: u64) -> Result<Vec<Vec<String>>> {
+    let market = PreparedMarket::build(DatasetId::Titanic, BaseModelKind::Forest, profile, seed)?;
+    let cfg = market.market_config(profile);
+    let reserve = market.target_reserve();
+    let mut all_rows = Vec::new();
+
+    // A1: Eq. 5 vs arbitrary escalation.
+    let mut a1_rows = Vec::new();
+    for arm in [Arm::Strategic, Arm::IncreasePrice] {
+        let outcomes = run_arm_many(&market, arm, &cfg, profile.n_runs)?;
+        let stats = final_stats(&outcomes, reserve);
+        a1_rows.push(vec![
+            arm.name().to_string(),
+            format!("{}/{}", stats.n_success, stats.n_runs),
+            pm(stats.d_rate.0, stats.d_rate.1, 3),
+            pm(stats.d_base.0, stats.d_base.1, 3),
+            pm(stats.net_profit.0, stats.net_profit.1, 2),
+            pm(stats.payment.0, stats.payment.1, 3),
+            pm(stats.rounds.0, stats.rounds.1, 1),
+        ]);
+    }
+    print_table(
+        "Ablation A1: Eq. 5-constrained vs arbitrary escalation (Titanic, RF)",
+        &["arm", "success", "overpay_rate(dp)", "overpay_base(dP0)", "net_profit", "payment", "rounds"],
+        &a1_rows,
+    );
+    all_rows.extend(a1_rows.clone());
+
+    // A2: catalog size sweep.
+    let mut a2_rows = Vec::new();
+    for target in [8usize, 16, 31] {
+        let catalog = vfl_sim::BundleCatalog::generate(
+            market.catalog.n_features(),
+            if target >= 31 {
+                vfl_sim::CatalogStrategy::AllSubsets
+            } else {
+                vfl_sim::CatalogStrategy::Sampled { target, seed: seed ^ 0xa2 }
+            },
+        )
+        .map_err(vfl_market::MarketError::from)?;
+        market.oracle.precompute(&catalog, 0).map_err(vfl_market::MarketError::from)?;
+        let gains = market.oracle.gains_for(&catalog).map_err(vfl_market::MarketError::from)?;
+        let listings =
+            vfl_market::build_listings(&catalog, &market.params.pricing(seed ^ 0x9d1ce))?;
+        let target_gain = gains.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut outcomes = Vec::new();
+        for i in 0..profile.n_runs {
+            let mut task = vfl_market::StrategicTask::new(
+                target_gain,
+                market.params.init_rate,
+                market.params.init_base,
+            )?;
+            let mut data = vfl_market::StrategicData::with_gains(gains.clone());
+            outcomes.push(vfl_market::run_bargaining(
+                &market.oracle,
+                &listings,
+                &mut task,
+                &mut data,
+                &cfg.with_run_seed(i as u64),
+            )?);
+        }
+        let stats = final_stats(&outcomes, reserve);
+        a2_rows.push(vec![
+            format!("{}", catalog.len()),
+            format!("{target_gain:.4}"),
+            format!("{}/{}", stats.n_success, stats.n_runs),
+            pm(stats.gain.0, stats.gain.1, 4),
+            pm(stats.net_profit.0, stats.net_profit.1, 2),
+            pm(stats.rounds.0, stats.rounds.1, 1),
+        ]);
+    }
+    print_table(
+        "Ablation A2: bundle-catalog size (Titanic, RF)",
+        &["catalog_size", "max_gain", "success", "final_gain", "net_profit", "rounds"],
+        &a2_rows,
+    );
+    all_rows.extend(a2_rows.clone());
+
+    // A3: quote sampling granularity.
+    let mut a3_rows = Vec::new();
+    for (samples, step) in [(4usize, 0.1f64), (16, 0.25), (64, 0.5)] {
+        let swept = vfl_market::MarketConfig {
+            quote_samples: samples,
+            escalation_step: step,
+            ..cfg
+        };
+        let outcomes = run_arm_many(&market, Arm::Strategic, &swept, profile.n_runs)?;
+        let stats = final_stats(&outcomes, reserve);
+        a3_rows.push(vec![
+            format!("{samples}"),
+            format!("{step}"),
+            format!("{}/{}", stats.n_success, stats.n_runs),
+            pm(stats.net_profit.0, stats.net_profit.1, 2),
+            pm(stats.payment.0, stats.payment.1, 3),
+            pm(stats.rounds.0, stats.rounds.1, 1),
+        ]);
+    }
+    print_table(
+        "Ablation A3: quote sampling (K x escalation step, Titanic, RF)",
+        &["quote_samples", "step", "success", "net_profit", "payment", "rounds"],
+        &a3_rows,
+    );
+    all_rows.extend(a3_rows.clone());
+
+    // A4: fixed vs adaptive escalation step.
+    let mut a4_rows = Vec::new();
+    {
+        let small_step = vfl_market::MarketConfig { escalation_step: 0.05, ..cfg };
+        for adaptive in [false, true] {
+            let mut outcomes = Vec::new();
+            for i in 0..profile.n_runs {
+                let run_cfg = small_step.with_run_seed(i as u64);
+                let mut data = vfl_market::StrategicData::with_gains(market.gains.clone());
+                let outcome = if adaptive {
+                    let mut task = vfl_market::AdaptiveStepTask::new(
+                        market.target_gain,
+                        market.params.init_rate,
+                        market.params.init_base,
+                        vfl_market::AdaptiveConfig { init_step: 0.05, ..Default::default() },
+                    )?;
+                    vfl_market::run_bargaining(
+                        &market.oracle,
+                        &market.listings,
+                        &mut task,
+                        &mut data,
+                        &run_cfg,
+                    )?
+                } else {
+                    let mut task = vfl_market::StrategicTask::new(
+                        market.target_gain,
+                        market.params.init_rate,
+                        market.params.init_base,
+                    )?;
+                    vfl_market::run_bargaining(
+                        &market.oracle,
+                        &market.listings,
+                        &mut task,
+                        &mut data,
+                        &run_cfg,
+                    )?
+                };
+                outcomes.push(outcome);
+            }
+            let stats = final_stats(&outcomes, reserve);
+            a4_rows.push(vec![
+                if adaptive { "adaptive_step" } else { "fixed_step" }.to_string(),
+                format!("{}/{}", stats.n_success, stats.n_runs),
+                pm(stats.net_profit.0, stats.net_profit.1, 2),
+                pm(stats.payment.0, stats.payment.1, 3),
+                pm(stats.rounds.0, stats.rounds.1, 1),
+            ]);
+        }
+        print_table(
+            "Ablation A4: fixed vs adaptive escalation (Titanic, RF, step 0.05)",
+            &["task_strategy", "success", "net_profit", "payment", "rounds"],
+            &a4_rows,
+        );
+        all_rows.extend(a4_rows.clone());
+    }
+
+    // A5: base-model agnosticism — rebuild the Titanic market over other
+    // base models and check the strategic game still closes.
+    let mut a5_rows = Vec::new();
+    {
+        use vfl_sim::{BaseModelConfig, GainOracle, ScenarioConfig, VflScenario};
+        use vfl_tabular::synth::{self, SynthConfig};
+        let synth_cfg = match profile.rows {
+            Some(n) => SynthConfig::sized(n, seed),
+            None => SynthConfig::paper(seed),
+        };
+        let ds = synth::generate(DatasetId::Titanic, synth_cfg)
+            .map_err(|e| vfl_market::MarketError::InvalidConfig(e.to_string()))?;
+        let assignment = synth::party_assignment(DatasetId::Titanic, &ds)
+            .map_err(|e| vfl_market::MarketError::InvalidConfig(e.to_string()))?;
+        let models = [
+            BaseModelConfig::Gbdt(vfl_ml::GbdtConfig { seed, ..Default::default() }),
+            BaseModelConfig::LogReg(vfl_ml::LogRegConfig::default()),
+        ];
+        for model in models {
+            let scenario = VflScenario::build(
+                &ds,
+                &assignment,
+                &ScenarioConfig {
+                    train_frac: 0.7,
+                    max_train_rows: profile.max_train_rows,
+                    max_test_rows: profile.max_test_rows,
+                    seed: seed ^ 0x59117,
+                },
+            )
+            .map_err(vfl_market::MarketError::from)?;
+            let oracle =
+                GainOracle::with_repeats(scenario, model, seed ^ 0x02ac1e, profile.gain_repeats)
+                    .map_err(vfl_market::MarketError::from)?;
+            oracle.precompute(&market.catalog, 0).map_err(vfl_market::MarketError::from)?;
+            let gains =
+                oracle.gains_for(&market.catalog).map_err(vfl_market::MarketError::from)?;
+            let target_gain = gains.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            if target_gain <= 0.0 {
+                a5_rows.push(vec![
+                    model.name().to_string(),
+                    "landscape degenerate (no positive gain)".to_string(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                ]);
+                continue;
+            }
+            let mut outcomes = Vec::new();
+            for i in 0..profile.n_runs {
+                let mut task = vfl_market::StrategicTask::new(
+                    target_gain,
+                    market.params.init_rate,
+                    market.params.init_base,
+                )?;
+                let mut data = vfl_market::StrategicData::with_gains(gains.clone());
+                outcomes.push(vfl_market::run_bargaining(
+                    &oracle,
+                    &market.listings,
+                    &mut task,
+                    &mut data,
+                    &cfg.with_run_seed(i as u64),
+                )?);
+            }
+            let stats = final_stats(&outcomes, reserve);
+            a5_rows.push(vec![
+                model.name().to_string(),
+                format!("{}/{}", stats.n_success, stats.n_runs),
+                format!("{target_gain:.4}"),
+                pm(stats.net_profit.0, stats.net_profit.1, 2),
+                pm(stats.rounds.0, stats.rounds.1, 1),
+            ]);
+        }
+        print_table(
+            "Ablation A5: base-model agnosticism (Titanic market, strategic arm)",
+            &["base_model", "success", "max_gain", "net_profit", "rounds"],
+            &a5_rows,
+        );
+        all_rows.extend(a5_rows.clone());
+    }
+
+    let mut csv_rows = Vec::new();
+    for (section, rows) in
+        [("a1", &a1_rows), ("a2", &a2_rows), ("a3", &a3_rows), ("a4", &a4_rows), ("a5", &a5_rows)]
+    {
+        for r in rows {
+            let mut row = vec![section.to_string()];
+            row.extend(r.iter().cloned());
+            // Pad to a uniform width for the combined CSV.
+            while row.len() < 8 {
+                row.push(String::new());
+            }
+            csv_rows.push(row);
+        }
+    }
+    write_csv(
+        &results_dir().join("ablations.csv"),
+        &["section", "c1", "c2", "c3", "c4", "c5", "c6", "c7"],
+        &csv_rows,
+    )
+    .map_err(|e| vfl_market::MarketError::InvalidConfig(e.to_string()))?;
+    Ok(all_rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablations_run_on_fast_profile() {
+        let mut profile = RunProfile::fast();
+        profile.n_runs = 3;
+        let rows = run(&profile, 13).unwrap();
+        assert!(rows.len() >= 10, "A1(2) + A2(3) + A3(3) + A4(2) rows");
+    }
+}

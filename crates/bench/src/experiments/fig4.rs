@@ -1,0 +1,121 @@
+//! Figure 4 — convergence of the ΔG estimation networks: per-round MSE of
+//! the task party's `f` and the data party's `g`, averaged over runs, for
+//! both base models on all datasets.
+
+use crate::params::{BaseModelKind, RunProfile};
+use crate::report::{print_table, results_dir, write_csv_f64};
+use crate::runner::run_imperfect;
+use crate::setup::PreparedMarket;
+use vfl_market::Result;
+use vfl_tabular::stats::aggregate_series;
+use vfl_tabular::DatasetId;
+
+/// Convergence summary for one (model, dataset) panel.
+#[derive(Debug, Clone)]
+pub struct MsePanel {
+    pub model: BaseModelKind,
+    pub dataset: DatasetId,
+    pub first_task_mse: f64,
+    pub final_task_mse: f64,
+    pub first_data_mse: f64,
+    pub final_data_mse: f64,
+    pub rounds: usize,
+}
+
+/// Runs the Figure 4 regeneration.
+pub fn run(models: &[BaseModelKind], profile: &RunProfile, seed: u64) -> Result<Vec<MsePanel>> {
+    // MSE traces are about the estimators, not the payoff variance — a
+    // smaller run count than the payoff tables suffices.
+    let n_runs = profile.n_runs.clamp(1, 20);
+    let mut panels = Vec::new();
+    let mut rows = Vec::new();
+    for &model in models {
+        for id in DatasetId::ALL {
+            eprintln!("[fig4] preparing {id} / {} ...", model.name());
+            let market = PreparedMarket::build(id, model, profile, seed)?;
+            let mut cfg = market.market_config(profile);
+            cfg.eps_task = market.params.table4_eps;
+            cfg.eps_data = market.params.table4_eps;
+            cfg.explore_rounds = profile.explore_rounds;
+            cfg.max_rounds = profile.max_rounds + profile.explore_rounds;
+
+            let mut task_runs = Vec::new();
+            let mut data_runs = Vec::new();
+            for i in 0..n_runs {
+                let run = run_imperfect(&market, &cfg.with_run_seed(i as u64))?;
+                if !run.task_mse.is_empty() {
+                    task_runs.push(run.task_mse);
+                }
+                if !run.data_mse.is_empty() {
+                    data_runs.push(run.data_mse);
+                }
+            }
+            let task = aggregate_series(&task_runs);
+            let data = aggregate_series(&data_runs);
+            let rounds = task.len().max(data.len());
+            let mut csv_rows = Vec::with_capacity(rounds);
+            for t in 0..rounds {
+                let tm = task.get(t).map_or(f64::NAN, |p| p.mean);
+                let dm = data.get(t).map_or(f64::NAN, |p| p.mean);
+                csv_rows.push(vec![(t + 1) as f64, tm, dm]);
+            }
+            let fig_name = format!("fig4_{}_{}_mse.csv", id.name(), model.name());
+            write_csv_f64(
+                &results_dir().join(fig_name),
+                &["round", "task_party_mse", "data_party_mse"],
+                &csv_rows,
+            )
+            .map_err(|e| vfl_market::MarketError::InvalidConfig(e.to_string()))?;
+
+            let panel = MsePanel {
+                model,
+                dataset: id,
+                first_task_mse: task.first().map_or(f64::NAN, |p| p.mean),
+                final_task_mse: task.last().map_or(f64::NAN, |p| p.mean),
+                first_data_mse: data.first().map_or(f64::NAN, |p| p.mean),
+                final_data_mse: data.last().map_or(f64::NAN, |p| p.mean),
+                rounds,
+            };
+            rows.push(vec![
+                model.name().to_string(),
+                id.name().to_string(),
+                format!("{:.4}", panel.first_task_mse),
+                format!("{:.4}", panel.final_task_mse),
+                format!("{:.4}", panel.first_data_mse),
+                format!("{:.4}", panel.final_data_mse),
+                format!("{}", panel.rounds),
+            ]);
+            panels.push(panel);
+        }
+    }
+    print_table(
+        "Figure 4: estimator MSE convergence (first vs final round, mean over runs)",
+        &["model", "dataset", "task_mse_first", "task_mse_final", "data_mse_first", "data_mse_final", "rounds"],
+        &rows,
+    );
+    Ok(panels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_fast_forest_converges() {
+        let mut profile = RunProfile::fast();
+        profile.n_runs = 2;
+        profile.explore_rounds = 25;
+        let panels = run(&[BaseModelKind::Forest], &profile, 9).unwrap();
+        assert_eq!(panels.len(), 3);
+        for p in &panels {
+            assert!(p.rounds >= 20, "{}: too few rounds observed", p.dataset);
+            assert!(
+                p.final_data_mse <= p.first_data_mse * 1.5 || p.final_data_mse < 0.1,
+                "{}: data-party estimator diverged ({} -> {})",
+                p.dataset,
+                p.first_data_mse,
+                p.final_data_mse
+            );
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Experiment regenerators: one module per table/figure of the paper's §4,
+//! plus the design-choice ablations called out in DESIGN.md.
+
+pub mod ablation;
+pub mod fig23;
+pub mod fig4;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+
+use vfl_market::{Outcome, ReservedPrice};
+use vfl_tabular::stats::{mean, std_dev};
+
+/// `(mean, std)` of a sample.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    (mean(xs), std_dev(xs))
+}
+
+/// Aggregated terminal-state statistics over repeated runs (Tables 3–4).
+/// Failed runs are excluded from the payoff statistics (the paper records
+/// them as "negative infinitely small"); `n_success` reports how many runs
+/// closed.
+#[derive(Debug, Clone)]
+pub struct FinalStats {
+    pub n_runs: usize,
+    pub n_success: usize,
+    /// Final payment rate `p`.
+    pub rate: (f64, f64),
+    /// Final base payment `P0`.
+    pub base: (f64, f64),
+    /// Final `Ph - P0` (the cap slack `C` of Definition 2.2).
+    pub cap_slack: (f64, f64),
+    /// `Δp = p - p_l` against the target bundle's reserve.
+    pub d_rate: (f64, f64),
+    /// `ΔP0 = P0 - P_l` against the target bundle's reserve.
+    pub d_base: (f64, f64),
+    /// Realized ΔG.
+    pub gain: (f64, f64),
+    /// Net profit *after* subtracting the task-party bargaining cost.
+    pub net_profit: (f64, f64),
+    /// Payment *after* subtracting the data-party bargaining cost.
+    pub payment: (f64, f64),
+    /// Rounds to termination.
+    pub rounds: (f64, f64),
+}
+
+/// Computes [`FinalStats`] from outcomes, measuring Δp/ΔP0 against the
+/// reserve of the target feature bundle.
+pub fn final_stats(outcomes: &[Outcome], target_reserve: ReservedPrice) -> FinalStats {
+    let successes: Vec<&Outcome> = outcomes.iter().filter(|o| o.is_success()).collect();
+    let field = |f: &dyn Fn(&Outcome) -> f64| -> (f64, f64) {
+        let xs: Vec<f64> = successes.iter().map(|o| f(o)).collect();
+        mean_std(&xs)
+    };
+    FinalStats {
+        n_runs: outcomes.len(),
+        n_success: successes.len(),
+        rate: field(&|o| o.final_record().map_or(0.0, |r| r.quote.rate)),
+        base: field(&|o| o.final_record().map_or(0.0, |r| r.quote.base)),
+        cap_slack: field(&|o| o.final_record().map_or(0.0, |r| r.quote.cap - r.quote.base)),
+        d_rate: field(&|o| o.final_record().map_or(0.0, |r| r.quote.rate - target_reserve.rate)),
+        d_base: field(&|o| o.final_record().map_or(0.0, |r| r.quote.base - target_reserve.base)),
+        gain: field(&|o| o.final_record().map_or(0.0, |r| r.gain)),
+        net_profit: field(&|o| o.task_revenue().unwrap_or(0.0)),
+        payment: field(&|o| o.data_revenue().unwrap_or(0.0)),
+        rounds: field(&|o| o.n_rounds() as f64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfl_market::{QuotedPrice, RoundRecord};
+    use vfl_market::{ClosedBy, OutcomeStatus};
+    use vfl_sim::protocol::Transcript;
+    use vfl_sim::BundleMask;
+
+    fn outcome(success: bool, gain: f64, payment_rate: f64) -> Outcome {
+        let quote = QuotedPrice::new(payment_rate, 1.0, 1.0 + payment_rate * gain).unwrap();
+        Outcome {
+            status: if success {
+                OutcomeStatus::Success { by: ClosedBy::TaskParty }
+            } else {
+                OutcomeStatus::Failed { reason: vfl_market::FailureReason::RoundLimit }
+            },
+            rounds: vec![RoundRecord {
+                round: 1,
+                quote,
+                listing: 0,
+                bundle: BundleMask::singleton(0),
+                gain,
+                payment: quote.payment(gain),
+                net_profit: 100.0 * gain - quote.payment(gain),
+                cost_task: 0.0,
+                cost_data: 0.0,
+                final_offer: false,
+            }],
+            transcript: Transcript::default(),
+        }
+    }
+
+    #[test]
+    fn final_stats_excludes_failures() {
+        let reserve = ReservedPrice::new(5.0, 0.5).unwrap();
+        let outcomes = vec![outcome(true, 0.2, 8.0), outcome(false, 0.1, 9.0)];
+        let s = final_stats(&outcomes, reserve);
+        assert_eq!(s.n_runs, 2);
+        assert_eq!(s.n_success, 1);
+        assert!((s.rate.0 - 8.0).abs() < 1e-12);
+        assert!((s.d_rate.0 - 3.0).abs() < 1e-12);
+        assert!((s.gain.0 - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[1.0, 3.0]);
+        assert_eq!(m, 2.0);
+        assert_eq!(s, 1.0);
+    }
+}

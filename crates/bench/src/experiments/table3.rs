@@ -1,0 +1,158 @@
+//! Table 3 — effect of bargaining cost: the strategic players under
+//! no-cost, linear `C(T) = aT` (a ∈ {0.1, 1}), and exponential `C(T) = a^T`
+//! (a ∈ {1.01, 1.1}) costs, at two termination thresholds ε per dataset
+//! (Random Forest base model). Reports net profit, payment, realized ΔG,
+//! and C(T), all as mean±std over runs — payoffs net of each party's cost,
+//! as in the paper ("revenue before minus cost").
+//!
+//! Cost split follows §4.3: `10·Ct(T) = 10·Cd(T) = C(T)` on Credit and
+//! Adult; on Titanic (payoff scale ~170) the parties bear `C(T)` directly.
+
+use crate::experiments::final_stats;
+use crate::params::{BaseModelKind, RunProfile};
+use crate::report::{pm, print_table, results_dir, write_csv};
+use crate::runner::{run_arm_many, Arm};
+use crate::setup::PreparedMarket;
+use vfl_market::{CostModel, Result};
+use vfl_tabular::DatasetId;
+
+/// The cost regimes of Table 3, as (label, reported C(T) model).
+fn regimes() -> Vec<(&'static str, CostModel)> {
+    vec![
+        ("no_cost", CostModel::None),
+        ("linear_a0.1", CostModel::Linear { a: 0.1 }),
+        ("linear_a1", CostModel::Linear { a: 1.0 }),
+        ("exp_a1.01", CostModel::Exponential { a: 1.01 }),
+        ("exp_a1.1", CostModel::Exponential { a: 1.1 }),
+    ]
+}
+
+/// Scales the *reported* cost model down to the per-party share.
+fn party_cost(reported: CostModel, id: DatasetId) -> CostModel {
+    let k = match id {
+        DatasetId::Titanic => 1.0,
+        _ => 0.1,
+    };
+    match reported {
+        CostModel::None => CostModel::None,
+        CostModel::Linear { a } => CostModel::Linear { a: a * k },
+        CostModel::Exponential { a } => {
+            if k == 1.0 {
+                CostModel::Exponential { a }
+            } else {
+                CostModel::ScaledExponential { a, k }
+            }
+        }
+        other => other,
+    }
+}
+
+/// One Table 3 cell.
+#[derive(Debug, Clone)]
+pub struct CostCell {
+    pub dataset: DatasetId,
+    pub eps: f64,
+    pub regime: &'static str,
+    pub net_profit: (f64, f64),
+    pub payment: (f64, f64),
+    pub gain: (f64, f64),
+    /// Reported C(T) at the terminal round.
+    pub cost: (f64, f64),
+    pub n_success: usize,
+    pub n_runs: usize,
+}
+
+/// Runs the Table 3 regeneration.
+pub fn run(profile: &RunProfile, seed: u64) -> Result<Vec<CostCell>> {
+    let mut cells = Vec::new();
+    let mut rows = Vec::new();
+    for id in DatasetId::ALL {
+        eprintln!("[table3] preparing {id} ...");
+        let market = PreparedMarket::build(id, BaseModelKind::Forest, profile, seed)?;
+        let base_cfg = market.market_config(profile);
+        for eps in market.params.table3_eps {
+            for (label, reported) in regimes() {
+                // The swept ε drives both the flat-cost rules (ε_t = ε_d =
+                // ε) and, through Propositions 3.1/3.2's equivalences, the
+                // Eq. 6/7 tolerances: ε_tc = ε (u − p0), ε_dc = ε p0.
+                let params = market.params;
+                let cfg = vfl_market::MarketConfig {
+                    eps_task: eps,
+                    eps_data: eps,
+                    eps_task_cost: eps * (params.utility - params.init_rate),
+                    eps_data_cost: eps * params.init_rate,
+                    task_cost: party_cost(reported, id),
+                    data_cost: party_cost(reported, id),
+                    ..base_cfg
+                };
+                let outcomes = run_arm_many(&market, Arm::Strategic, &cfg, profile.n_runs)?;
+                let stats = final_stats(&outcomes, market.target_reserve());
+                // Reported C(T) at each successful run's final round.
+                let costs: Vec<f64> = outcomes
+                    .iter()
+                    .filter(|o| o.is_success())
+                    .filter_map(|o| o.final_record())
+                    .map(|r| reported.cost(r.round))
+                    .collect();
+                let cost = super::mean_std(&costs);
+                let cell = CostCell {
+                    dataset: id,
+                    eps,
+                    regime: label,
+                    net_profit: stats.net_profit,
+                    payment: stats.payment,
+                    gain: stats.gain,
+                    cost,
+                    n_success: stats.n_success,
+                    n_runs: stats.n_runs,
+                };
+                rows.push(vec![
+                    id.name().to_string(),
+                    format!("{eps:.0e}"),
+                    label.to_string(),
+                    pm(cell.net_profit.0, cell.net_profit.1, 3),
+                    pm(cell.payment.0, cell.payment.1, 3),
+                    pm(cell.gain.0 * 100.0, cell.gain.1 * 100.0, 3),
+                    pm(cell.cost.0, cell.cost.1, 3),
+                    format!("{}/{}", cell.n_success, cell.n_runs),
+                ]);
+                cells.push(cell);
+            }
+        }
+    }
+    let header =
+        ["dataset", "eps", "cost_model", "net_profit", "payment", "gain(1e-2)", "C(T)", "success"];
+    print_table("Table 3: effect of bargaining cost (Random Forest base)", &header, &rows);
+    write_csv(&results_dir().join("table3_cost.csv"), &header, &rows)
+        .map_err(|e| vfl_market::MarketError::InvalidConfig(e.to_string()))?;
+    Ok(cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn party_cost_scaling() {
+        match party_cost(CostModel::Linear { a: 1.0 }, DatasetId::Credit) {
+            CostModel::Linear { a } => assert!((a - 0.1).abs() < 1e-12),
+            other => panic!("unexpected {other:?}"),
+        }
+        match party_cost(CostModel::Exponential { a: 1.1 }, DatasetId::Adult) {
+            CostModel::ScaledExponential { a, k } => {
+                assert_eq!(a, 1.1);
+                assert!((k - 0.1).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            party_cost(CostModel::Exponential { a: 1.1 }, DatasetId::Titanic),
+            CostModel::Exponential { a: 1.1 }
+        );
+    }
+
+    #[test]
+    fn regimes_cover_paper_cells() {
+        assert_eq!(regimes().len(), 5);
+    }
+}

@@ -1,0 +1,113 @@
+//! Table 4 — bargaining under imperfect performance information, compared
+//! with the perfect setting, for both base models on all datasets: final
+//! `p`, `P0`, `Ph − P0`, `Δp = p − p_l`, `ΔP0 = P0 − P_l`, realized ΔG, net
+//! profit, and payment (mean±std over runs; failed runs excluded from the
+//! payoff means and reported via the success column, where the paper
+//! records "negative infinitely small").
+
+use crate::experiments::{final_stats, FinalStats};
+use crate::params::{BaseModelKind, RunProfile};
+use crate::report::{pm, print_table, results_dir, write_csv};
+use crate::runner::{run_arm_many, run_imperfect, Arm};
+use crate::setup::PreparedMarket;
+use vfl_market::{MarketConfig, Result};
+use vfl_tabular::DatasetId;
+
+/// One Table 4 column (a dataset × setting cell).
+#[derive(Debug, Clone)]
+pub struct InfoCell {
+    pub model: BaseModelKind,
+    pub dataset: DatasetId,
+    pub setting: &'static str,
+    pub stats: FinalStats,
+}
+
+fn imperfect_config(pm: &PreparedMarket, profile: &RunProfile) -> MarketConfig {
+    let mut cfg = pm.market_config(profile);
+    cfg.eps_task = pm.params.table4_eps;
+    cfg.eps_data = pm.params.table4_eps;
+    cfg.explore_rounds = profile.explore_rounds;
+    // Exploration consumes rounds before real bargaining starts.
+    cfg.max_rounds = profile.max_rounds + profile.explore_rounds;
+    cfg
+}
+
+fn perfect_config(pm: &PreparedMarket, profile: &RunProfile) -> MarketConfig {
+    let mut cfg = pm.market_config(profile);
+    cfg.eps_task = pm.params.table4_eps;
+    cfg.eps_data = pm.params.table4_eps;
+    cfg
+}
+
+/// Runs the Table 4 regeneration for the given base models.
+pub fn run(models: &[BaseModelKind], profile: &RunProfile, seed: u64) -> Result<Vec<InfoCell>> {
+    let mut cells = Vec::new();
+    let mut rows = Vec::new();
+    for &model in models {
+        for id in DatasetId::ALL {
+            eprintln!("[table4] preparing {id} / {} ...", model.name());
+            let market = PreparedMarket::build(id, model, profile, seed)?;
+            let reserve = market.target_reserve();
+
+            // Perfect-information reference.
+            let perfect_cfg = perfect_config(&market, profile);
+            let perfect_outcomes =
+                run_arm_many(&market, Arm::Strategic, &perfect_cfg, profile.n_runs)?;
+            let perfect = final_stats(&perfect_outcomes, reserve);
+
+            // Imperfect: estimator-backed players with exploration.
+            let imperfect_cfg = imperfect_config(&market, profile);
+            let imperfect_outcomes: Vec<_> = (0..profile.n_runs)
+                .map(|i| {
+                    run_imperfect(&market, &imperfect_cfg.with_run_seed(i as u64))
+                        .map(|r| r.outcome)
+                })
+                .collect::<Result<_>>()?;
+            let imperfect = final_stats(&imperfect_outcomes, reserve);
+
+            for (setting, stats) in [("imperfect", imperfect), ("perfect", perfect)] {
+                rows.push(vec![
+                    model.name().to_string(),
+                    id.name().to_string(),
+                    setting.to_string(),
+                    pm(stats.rate.0, stats.rate.1, 2),
+                    pm(stats.base.0, stats.base.1, 2),
+                    pm(stats.cap_slack.0, stats.cap_slack.1, 2),
+                    pm(stats.d_rate.0, stats.d_rate.1, 2),
+                    pm(stats.d_base.0, stats.d_base.1, 2),
+                    pm(stats.gain.0, stats.gain.1, 3),
+                    pm(stats.net_profit.0, stats.net_profit.1, 2),
+                    pm(stats.payment.0, stats.payment.1, 2),
+                    format!("{}/{}", stats.n_success, stats.n_runs),
+                ]);
+                cells.push(InfoCell { model, dataset: id, setting, stats });
+            }
+        }
+    }
+    let header = [
+        "model", "dataset", "setting", "p", "P0", "Ph-P0", "dp", "dP0", "gain", "net_profit",
+        "payment", "success",
+    ];
+    print_table("Table 4: imperfect vs perfect performance information", &header, &rows);
+    write_csv(&results_dir().join("table4_information.csv"), &header, &rows)
+        .map_err(|e| vfl_market::MarketError::InvalidConfig(e.to_string()))?;
+    Ok(cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_fast_forest_only() {
+        let mut profile = RunProfile::fast();
+        profile.n_runs = 3;
+        profile.explore_rounds = 12;
+        let cells = run(&[BaseModelKind::Forest], &profile, 5).unwrap();
+        assert_eq!(cells.len(), 6, "3 datasets x 2 settings");
+        // Perfect setting should close reliably on the strategic arm.
+        for c in cells.iter().filter(|c| c.setting == "perfect") {
+            assert!(c.stats.n_success > 0, "{}: perfect never closed", c.dataset);
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! # vfl-bench
+//!
+//! Experiment harness for the `vfl-bargain` reproduction: builds prepared
+//! markets over the three evaluation datasets, runs the compared bargaining
+//! models, and regenerates every table and figure of the paper's §4 (see
+//! `src/bin/repro.rs` and DESIGN.md's experiment index E0–E5 / A1–A3).
+
+pub mod experiments;
+pub mod params;
+pub mod plot;
+pub mod report;
+pub mod runner;
+pub mod setup;
+
+pub use params::{BaseModelKind, DatasetParams, RunProfile};
+pub use runner::{run_arm, run_arm_many, run_imperfect, Arm, ImperfectRun};
+pub use setup::PreparedMarket;

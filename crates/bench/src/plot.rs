@@ -1,0 +1,114 @@
+//! Terminal plotting: compact Unicode sparklines so the figure harness can
+//! show the *shape* of each series (the paper's round-axis curves) directly
+//! in the repro log, next to the CSVs meant for real plotting.
+
+/// Eight-level block characters, lowest to highest.
+const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders a sparkline of `values`, resampled to at most `width` cells.
+/// Empty input renders as an empty string; NaNs render as spaces.
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    if values.is_empty() || width == 0 {
+        return String::new();
+    }
+    let resampled = resample(values, width.min(values.len()).max(1));
+    let finite: Vec<f64> = resampled.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return " ".repeat(resampled.len());
+    }
+    let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = if (hi - lo).abs() < 1e-300 { 1.0 } else { hi - lo };
+    resampled
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                ' '
+            } else {
+                let t = ((v - lo) / span).clamp(0.0, 1.0);
+                BLOCKS[((t * 7.0).round()) as usize]
+            }
+        })
+        .collect()
+}
+
+/// Mean-pools `values` down to exactly `cells` samples.
+fn resample(values: &[f64], cells: usize) -> Vec<f64> {
+    if values.len() <= cells {
+        return values.to_vec();
+    }
+    let mut out = Vec::with_capacity(cells);
+    let per = values.len() as f64 / cells as f64;
+    for i in 0..cells {
+        let start = (i as f64 * per) as usize;
+        let end = (((i + 1) as f64 * per) as usize).min(values.len()).max(start + 1);
+        let chunk = &values[start..end];
+        out.push(chunk.iter().sum::<f64>() / chunk.len() as f64);
+    }
+    out
+}
+
+/// One labelled series line: `label  [min .. max]  ▁▃▅█`.
+pub fn series_line(label: &str, values: &[f64], width: usize) -> String {
+    if values.is_empty() {
+        return format!("{label:<16} (no data)");
+    }
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    format!("{label:<16} [{lo:>9.3} .. {hi:>9.3}]  {}", sparkline(values, width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_shape() {
+        let s = sparkline(&[0.0, 1.0], 2);
+        assert_eq!(s.chars().count(), 2);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[1], '█');
+    }
+
+    #[test]
+    fn sparkline_monotone_series_is_monotone() {
+        let values: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let s = sparkline(&values, 16);
+        let levels: Vec<usize> =
+            s.chars().map(|c| BLOCKS.iter().position(|&b| b == c).unwrap()).collect();
+        for w in levels.windows(2) {
+            assert!(w[1] >= w[0], "monotone input must stay monotone: {s}");
+        }
+    }
+
+    #[test]
+    fn sparkline_handles_edge_cases() {
+        assert_eq!(sparkline(&[], 10), "");
+        assert_eq!(sparkline(&[5.0], 10).chars().count(), 1);
+        // Constant series: all same block, no NaN blowups.
+        let s = sparkline(&[2.0; 8], 8);
+        assert_eq!(s.chars().count(), 8);
+        let first = s.chars().next().unwrap();
+        assert!(s.chars().all(|c| c == first));
+        // NaN cells become spaces.
+        let s = sparkline(&[1.0, f64::NAN, 2.0], 3);
+        assert!(s.contains(' '));
+    }
+
+    #[test]
+    fn resample_averages() {
+        let r = resample(&[1.0, 1.0, 3.0, 3.0], 2);
+        assert_eq!(r, vec![1.0, 3.0]);
+        assert_eq!(resample(&[1.0, 2.0], 4), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn series_line_contains_range() {
+        let line = series_line("profit", &[1.0, 5.0, 3.0], 12);
+        assert!(line.contains("profit"));
+        assert!(line.contains("1.000"));
+        assert!(line.contains("5.000"));
+        assert!(series_line("empty", &[], 12).contains("no data"));
+    }
+}

@@ -1,0 +1,161 @@
+//! Arm construction and repeated-run execution: the three compared models
+//! of §4.2 (Strategic / Increase Price / Random Bundle) plus the
+//! imperfect-information players, each run `n` times with derived seeds.
+
+use crate::setup::PreparedMarket;
+use vfl_estimator::{BundleModelConfig, ImperfectData, ImperfectTask, PriceModelConfig};
+use vfl_market::{
+    run_bargaining, IncreasePriceTask, MarketConfig, Outcome, RandomBundleData, Result,
+    StrategicData, StrategicTask,
+};
+
+/// The three compared models of the main experiment (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arm {
+    /// Both parties strategic (the paper's proposal).
+    Strategic,
+    /// Task party escalates arbitrarily; data party strategic.
+    IncreasePrice,
+    /// Task party strategic; data party offers random affordable bundles.
+    RandomBundle,
+}
+
+impl Arm {
+    /// All three arms in the paper's legend order.
+    pub const ALL: [Arm; 3] = [Arm::RandomBundle, Arm::IncreasePrice, Arm::Strategic];
+
+    /// Legend label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Arm::Strategic => "strategic",
+            Arm::IncreasePrice => "increase_price",
+            Arm::RandomBundle => "random_bundle",
+        }
+    }
+}
+
+/// Runs one negotiation for an arm under perfect performance information.
+pub fn run_arm(pm: &PreparedMarket, arm: Arm, cfg: &MarketConfig) -> Result<Outcome> {
+    let p = &pm.params;
+    match arm {
+        Arm::Strategic => {
+            let mut task = StrategicTask::new(pm.target_gain, p.init_rate, p.init_base)?;
+            let mut data = StrategicData::with_gains(pm.gains.clone());
+            run_bargaining(&pm.oracle, &pm.listings, &mut task, &mut data, cfg)
+        }
+        Arm::IncreasePrice => {
+            let mut task = IncreasePriceTask::new(pm.target_gain, p.init_rate, p.init_base)?;
+            let mut data = StrategicData::with_gains(pm.gains.clone());
+            run_bargaining(&pm.oracle, &pm.listings, &mut task, &mut data, cfg)
+        }
+        Arm::RandomBundle => {
+            let mut task = StrategicTask::new(pm.target_gain, p.init_rate, p.init_base)?;
+            let mut data = RandomBundleData::with_gains(pm.gains.clone());
+            run_bargaining(&pm.oracle, &pm.listings, &mut task, &mut data, cfg)
+        }
+    }
+}
+
+/// Runs an arm `n_runs` times with derived seeds.
+pub fn run_arm_many(
+    pm: &PreparedMarket,
+    arm: Arm,
+    cfg: &MarketConfig,
+    n_runs: usize,
+) -> Result<Vec<Outcome>> {
+    (0..n_runs).map(|i| run_arm(pm, arm, &cfg.with_run_seed(i as u64))).collect()
+}
+
+/// One imperfect-information negotiation plus both estimator MSE traces.
+pub struct ImperfectRun {
+    pub outcome: Outcome,
+    pub task_mse: Vec<f64>,
+    pub data_mse: Vec<f64>,
+}
+
+/// Runs the estimator-backed players (§3.5). `cfg.explore_rounds` should be
+/// the paper's N = 100 (or the profile's reduced value).
+pub fn run_imperfect(pm: &PreparedMarket, cfg: &MarketConfig) -> Result<ImperfectRun> {
+    let p = &pm.params;
+    let price_model = PriceModelConfig {
+        rate_scale: p.rate_cap,
+        payment_scale: p.budget / 2.0,
+        gain_scale: pm.target_gain.max(1e-6),
+        seed: cfg.seed ^ 0xf00d,
+        ..PriceModelConfig::default()
+    };
+    let bundle_model = BundleModelConfig::for_features(
+        pm.catalog.n_features(),
+        pm.target_gain.max(1e-6),
+        cfg.seed ^ 0xbeef,
+    );
+    let mut task = ImperfectTask::new(pm.target_gain, p.init_rate, p.init_base, price_model)?;
+    let mut data = ImperfectData::new(bundle_model);
+    let outcome = run_bargaining(&pm.oracle, &pm.listings, &mut task, &mut data, cfg)?;
+    Ok(ImperfectRun {
+        outcome,
+        task_mse: task.mse_history().to_vec(),
+        data_mse: data.mse_history().to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{BaseModelKind, RunProfile};
+    use vfl_tabular::DatasetId;
+
+    fn market() -> PreparedMarket {
+        PreparedMarket::build(DatasetId::Titanic, BaseModelKind::Forest, &RunProfile::fast(), 3)
+            .unwrap()
+    }
+
+    #[test]
+    fn all_arms_complete() {
+        let pm = market();
+        let cfg = pm.market_config(&RunProfile::fast());
+        for arm in Arm::ALL {
+            let outcome = run_arm(&pm, arm, &cfg).unwrap();
+            assert!(outcome.n_rounds() <= cfg.max_rounds as usize, "{arm:?}");
+        }
+    }
+
+    #[test]
+    fn strategic_succeeds_and_hits_target() {
+        let pm = market();
+        let cfg = pm.market_config(&RunProfile::fast());
+        let outcome = run_arm(&pm, Arm::Strategic, &cfg).unwrap();
+        assert!(outcome.is_success(), "{:?}", outcome.status);
+        let last = outcome.final_record().unwrap();
+        assert!(
+            (last.gain - pm.target_gain).abs() < 0.05 + pm.target_gain * 0.5,
+            "terminal gain {} should approach target {}",
+            last.gain,
+            pm.target_gain
+        );
+    }
+
+    #[test]
+    fn repeated_runs_have_distinct_seeds() {
+        let pm = market();
+        let cfg = pm.market_config(&RunProfile::fast());
+        let outcomes = run_arm_many(&pm, Arm::RandomBundle, &cfg, 5).unwrap();
+        assert_eq!(outcomes.len(), 5);
+        let round_counts: std::collections::BTreeSet<usize> =
+            outcomes.iter().map(|o| o.n_rounds()).collect();
+        assert!(round_counts.len() > 1, "random arm must vary across seeds");
+    }
+
+    #[test]
+    fn imperfect_run_produces_mse_traces() {
+        let pm = market();
+        let mut cfg = pm.market_config(&RunProfile::fast());
+        cfg.explore_rounds = 10;
+        cfg.eps_task = pm.params.table4_eps;
+        cfg.eps_data = pm.params.table4_eps;
+        let run = run_imperfect(&pm, &cfg).unwrap();
+        assert!(!run.task_mse.is_empty());
+        assert!(!run.data_mse.is_empty());
+        assert!(run.outcome.n_rounds() >= 10, "exploration must run its course");
+    }
+}

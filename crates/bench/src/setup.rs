@@ -1,0 +1,185 @@
+//! `PreparedMarket`: one fully built experiment cell — dataset, VFL
+//! scenario, gain oracle with precomputed landscape, bundle catalog,
+//! listings with reserved prices, and the market configuration.
+
+use crate::params::{BaseModelKind, DatasetParams, RunProfile};
+use vfl_market::{build_listings, Listing, MarketConfig, MarketError, Result};
+use vfl_ml::{ForestConfig, MaxFeatures, TrainConfig};
+use vfl_sim::{BaseModelConfig, BundleCatalog, GainOracle, ScenarioConfig, VflScenario};
+use vfl_tabular::synth::{self, SynthConfig};
+use vfl_tabular::DatasetId;
+
+/// A ready-to-bargain market over one (dataset, base model) pair.
+pub struct PreparedMarket {
+    pub id: DatasetId,
+    pub model_kind: BaseModelKind,
+    pub params: DatasetParams,
+    pub oracle: GainOracle,
+    pub catalog: BundleCatalog,
+    pub listings: Vec<Listing>,
+    /// True ΔG per listing (the perfect-information table).
+    pub gains: Vec<f64>,
+    /// The task party's target ΔG* (= the catalog's maximum gain).
+    pub target_gain: f64,
+}
+
+impl PreparedMarket {
+    /// Builds the market: generate the dataset, split parties per Table 2,
+    /// build the scenario and oracle, precompute the gain landscape, and
+    /// price the listings.
+    pub fn build(
+        id: DatasetId,
+        model_kind: BaseModelKind,
+        profile: &RunProfile,
+        seed: u64,
+    ) -> Result<Self> {
+        let params = DatasetParams::for_dataset(id);
+        let synth_cfg = match profile.rows {
+            Some(n) => SynthConfig::sized(n, seed),
+            None => SynthConfig::paper(seed),
+        };
+        let dataset = synth::generate(id, synth_cfg).map_err(to_market_err)?;
+        let assignment = synth::party_assignment(id, &dataset).map_err(to_market_err)?;
+        let scenario = VflScenario::build(
+            &dataset,
+            &assignment,
+            &ScenarioConfig {
+                train_frac: 0.7,
+                max_train_rows: profile.max_train_rows,
+                max_test_rows: profile.max_test_rows,
+                seed: seed ^ 0x59117,
+            },
+        )
+        .map_err(MarketError::from)?;
+
+        let model = match model_kind {
+            BaseModelKind::Forest => BaseModelConfig::RandomForest(ForestConfig {
+                n_trees: profile.rf_trees,
+                max_depth: profile.rf_depth,
+                min_samples_leaf: 4,
+                // Wide feature sampling: the one-hot blocks mean Sqrt would
+                // starve the informative columns (see DESIGN.md).
+                max_features: MaxFeatures::Frac(0.7),
+                bootstrap: true,
+                n_threads: 1, // courses parallelize across bundles instead
+                seed,
+            }),
+            BaseModelKind::Mlp => BaseModelConfig::Mlp {
+                hidden: [64, 32],
+                train: TrainConfig {
+                    epochs: profile.mlp_epochs,
+                    batch_size: match id {
+                        DatasetId::Titanic => 128,
+                        _ => 512,
+                    },
+                    lr: 1e-2,
+                    seed,
+                },
+            },
+        };
+
+        let n_features = scenario.n_data_features();
+        let catalog = BundleCatalog::generate(
+            n_features,
+            params.catalog_strategy(n_features, profile, seed ^ 0xca7),
+        )
+        .map_err(MarketError::from)?;
+
+        let oracle = GainOracle::with_repeats(scenario, model, seed ^ 0x02ac1e, profile.gain_repeats)
+            .map_err(MarketError::from)?;
+        oracle.precompute(&catalog, 0).map_err(MarketError::from)?;
+        let gains = oracle.gains_for(&catalog).map_err(MarketError::from)?;
+        let target_gain = gains.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if target_gain <= 0.0 || target_gain.is_nan() {
+            return Err(MarketError::InvalidConfig(format!(
+                "{id}/{}: no bundle yields positive gain (max {target_gain})",
+                model_kind.name()
+            )));
+        }
+        let listings = build_listings(&catalog, &params.pricing(seed ^ 0x9d1ce))?;
+        Ok(PreparedMarket {
+            id,
+            model_kind,
+            params,
+            oracle,
+            catalog,
+            listings,
+            gains,
+            target_gain,
+        })
+    }
+
+    /// The default market configuration for the figures (no cost, paper ε).
+    pub fn market_config(&self, profile: &RunProfile) -> MarketConfig {
+        MarketConfig {
+            utility_rate: self.params.utility,
+            budget: self.params.budget,
+            rate_cap: self.params.rate_cap,
+            eps_task: self.params.eps,
+            eps_data: self.params.eps,
+            max_rounds: profile.max_rounds,
+            explore_rounds: 0,
+            ..MarketConfig::default()
+        }
+    }
+
+    /// Reserved price of the "target feature bundle": the listing whose gain
+    /// is the catalog maximum (the Δp / ΔP0 reference of Table 4 and the
+    /// dashed reserve lines of Figures 2/3 d–e).
+    pub fn target_reserve(&self) -> vfl_market::ReservedPrice {
+        let idx = self
+            .gains
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite gains"))
+            .map(|(i, _)| i)
+            .expect("non-empty gains");
+        self.listings[idx].reserved
+    }
+}
+
+fn to_market_err(e: vfl_tabular::TabularError) -> MarketError {
+    MarketError::InvalidConfig(e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_titanic_forest_market() {
+        let pm = PreparedMarket::build(
+            DatasetId::Titanic,
+            BaseModelKind::Forest,
+            &RunProfile::fast(),
+            1,
+        )
+        .unwrap();
+        assert_eq!(pm.catalog.len(), 31, "Titanic enumerates all 2^5-1 bundles");
+        assert_eq!(pm.gains.len(), pm.listings.len());
+        assert!(pm.target_gain > 0.0);
+        let cfg = pm.market_config(&RunProfile::fast());
+        cfg.validate().unwrap();
+        // The target bundle's reserve must be within escalation reach.
+        let reserve = pm.target_reserve();
+        assert!(reserve.rate < cfg.effective_rate_cap());
+        assert!(reserve.base < cfg.budget);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let build = || {
+            PreparedMarket::build(
+                DatasetId::Titanic,
+                BaseModelKind::Forest,
+                &RunProfile::fast(),
+                7,
+            )
+            .unwrap()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.gains, b.gains);
+        assert_eq!(a.target_gain, b.target_gain);
+    }
+}

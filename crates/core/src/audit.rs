@@ -1,0 +1,220 @@
+//! Third-party audit of reported performance gains — the paper's first
+//! stated limitation (§6): "the task party may accept a feature bundle with
+//! high performance gain but only report a lower value to reduce its
+//! payment. A possible solution for this is to involve a trustworthy third
+//! party for evaluation." This module is that solution: the trading
+//! platform replays every round's VFL course through its *own* gain
+//! provider and flags discrepancies beyond a tolerance.
+
+use crate::engine::Outcome;
+use crate::error::Result;
+use crate::gain::GainProvider;
+use serde::{Deserialize, Serialize};
+use vfl_sim::BundleMask;
+
+/// One detected discrepancy between the reported and recomputed gain.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AuditViolation {
+    pub round: u32,
+    pub bundle: BundleMask,
+    /// ΔG the task party reported (what payments were computed from).
+    pub reported: f64,
+    /// ΔG the auditor's independent evaluation produced.
+    pub recomputed: f64,
+}
+
+impl AuditViolation {
+    /// Payment damage at the terminal quote: what the data party lost (or,
+    /// if negative, was overpaid) because of the misreport.
+    pub fn payment_delta(&self, quote: &crate::price::QuotedPrice) -> f64 {
+        quote.payment(self.recomputed) - quote.payment(self.reported)
+    }
+}
+
+/// Result of auditing one negotiation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditReport {
+    pub rounds_checked: usize,
+    pub violations: Vec<AuditViolation>,
+    /// Total payment the data party was shorted across violating rounds,
+    /// evaluated at each round's own quote.
+    pub total_underpayment: f64,
+}
+
+impl AuditReport {
+    /// True when every reported gain matched the recomputation.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// The trading platform's auditor: owns an independent gain provider
+/// (typically the same oracle that served pre-bargaining training) and a
+/// reproducibility tolerance.
+pub struct Auditor<'a, G: GainProvider + ?Sized> {
+    provider: &'a G,
+    tolerance: f64,
+}
+
+impl<'a, G: GainProvider + ?Sized> Auditor<'a, G> {
+    /// Creates an auditor. `tolerance` absorbs benign evaluation noise
+    /// (training nondeterminism across replicas); discrepancies beyond it
+    /// are flagged.
+    pub fn new(provider: &'a G, tolerance: f64) -> Self {
+        assert!(tolerance >= 0.0, "tolerance must be non-negative");
+        Auditor { provider, tolerance }
+    }
+
+    /// Replays every recorded round and compares reported vs recomputed ΔG.
+    pub fn audit(&self, outcome: &Outcome) -> Result<AuditReport> {
+        let mut violations = Vec::new();
+        let mut total_underpayment = 0.0;
+        for r in &outcome.rounds {
+            let recomputed = self.provider.gain(r.bundle)?;
+            if (recomputed - r.gain).abs() > self.tolerance {
+                let v = AuditViolation {
+                    round: r.round,
+                    bundle: r.bundle,
+                    reported: r.gain,
+                    recomputed,
+                };
+                total_underpayment += v.payment_delta(&r.quote);
+                violations.push(v);
+            }
+        }
+        Ok(AuditReport { rounds_checked: outcome.rounds.len(), violations, total_underpayment })
+    }
+}
+
+/// Adversarial gain provider modelling the §6 attack: wraps the true
+/// provider and under-reports every positive gain by a fixed factor (the
+/// task party pockets the difference between real utility and paid-for
+/// gain).
+#[derive(Debug)]
+pub struct UnderreportingProvider<G> {
+    inner: G,
+    /// Fraction of the true gain actually reported (in `[0, 1]`).
+    report_fraction: f64,
+}
+
+impl<G: GainProvider> UnderreportingProvider<G> {
+    /// Wraps `inner`, reporting `report_fraction` of every positive gain.
+    pub fn new(inner: G, report_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&report_fraction),
+            "report_fraction must be in [0, 1]"
+        );
+        UnderreportingProvider { inner, report_fraction }
+    }
+
+    /// The wrapped honest provider.
+    pub fn inner(&self) -> &G {
+        &self.inner
+    }
+}
+
+impl<G: GainProvider> GainProvider for UnderreportingProvider<G> {
+    fn gain(&self, bundle: BundleMask) -> Result<f64> {
+        let true_gain = self.inner.gain(bundle)?;
+        Ok(if true_gain > 0.0 { true_gain * self.report_fraction } else { true_gain })
+    }
+
+    fn known_gain(&self, bundle: BundleMask) -> Option<f64> {
+        self.inner
+            .known_gain(bundle)
+            .map(|g| if g > 0.0 { g * self.report_fraction } else { g })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MarketConfig;
+    use crate::engine::run_bargaining;
+    use crate::gain::TableGainProvider;
+    use crate::listing::Listing;
+    use crate::price::ReservedPrice;
+    use crate::strategy::{StrategicData, StrategicTask};
+
+    fn market() -> (TableGainProvider, Vec<Listing>, Vec<f64>) {
+        let gains = vec![0.05, 0.12, 0.20, 0.30];
+        let listings: Vec<Listing> = [(5.0, 0.8), (7.0, 1.0), (9.0, 1.2), (11.0, 1.5)]
+            .iter()
+            .enumerate()
+            .map(|(i, &(rate, base))| Listing {
+                bundle: BundleMask::singleton(i),
+                reserved: ReservedPrice::new(rate, base).unwrap(),
+            })
+            .collect();
+        let provider =
+            TableGainProvider::new(listings.iter().zip(&gains).map(|(l, &g)| (l.bundle, g)));
+        (provider, listings, gains)
+    }
+
+    fn cfg() -> MarketConfig {
+        MarketConfig {
+            utility_rate: 1000.0,
+            budget: 12.0,
+            rate_cap: 20.0,
+            seed: 4,
+            ..MarketConfig::default()
+        }
+    }
+
+    #[test]
+    fn honest_negotiation_audits_clean() {
+        let (provider, listings, gains) = market();
+        let mut task = StrategicTask::new(0.30, 6.0, 0.9).unwrap();
+        let mut data = StrategicData::with_gains(gains);
+        let outcome = run_bargaining(&provider, &listings, &mut task, &mut data, &cfg()).unwrap();
+        let report = Auditor::new(&provider, 1e-9).audit(&outcome).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.rounds_checked, outcome.n_rounds());
+        assert_eq!(report.total_underpayment, 0.0);
+    }
+
+    #[test]
+    fn underreporting_is_detected_and_quantified() {
+        let (provider, listings, gains) = market();
+        // The buyer runs the game over a lying provider that halves gains.
+        let liar = UnderreportingProvider::new(provider, 0.5);
+        let mut task = StrategicTask::new(0.30, 6.0, 0.9).unwrap();
+        let mut data = StrategicData::with_gains(gains);
+        let outcome = run_bargaining(&liar, &listings, &mut task, &mut data, &cfg()).unwrap();
+        assert!(!outcome.rounds.is_empty());
+        // The platform audits against the honest provider.
+        let report = Auditor::new(liar.inner(), 1e-9).audit(&outcome).unwrap();
+        assert!(!report.is_clean());
+        assert_eq!(report.violations.len(), outcome.n_rounds());
+        for v in &report.violations {
+            assert!((v.recomputed - 2.0 * v.reported).abs() < 1e-12);
+        }
+        assert!(
+            report.total_underpayment > 0.0,
+            "halved gains must shortchange the seller: {}",
+            report.total_underpayment
+        );
+    }
+
+    #[test]
+    fn tolerance_absorbs_benign_noise() {
+        let (provider, listings, gains) = market();
+        let near = UnderreportingProvider::new(provider, 0.999);
+        let mut task = StrategicTask::new(0.30, 6.0, 0.9).unwrap();
+        let mut data = StrategicData::with_gains(gains);
+        let outcome = run_bargaining(&near, &listings, &mut task, &mut data, &cfg()).unwrap();
+        let strict = Auditor::new(near.inner(), 1e-9).audit(&outcome).unwrap();
+        let lenient = Auditor::new(near.inner(), 1e-2).audit(&outcome).unwrap();
+        assert!(!strict.is_clean());
+        assert!(lenient.is_clean());
+    }
+
+    #[test]
+    fn negative_gains_pass_through_unmodified() {
+        let mut table = TableGainProvider::default();
+        table.insert(BundleMask::singleton(0), -0.05);
+        let liar = UnderreportingProvider::new(table, 0.5);
+        assert_eq!(liar.gain(BundleMask::singleton(0)).unwrap(), -0.05);
+        assert_eq!(liar.known_gain(BundleMask::singleton(0)), Some(-0.05));
+    }
+}

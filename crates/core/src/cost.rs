@@ -1,0 +1,134 @@
+//! Bargaining cost models (§3.4.4, Table 3): per-round query fees and
+//! VFL communication/training costs, linear `a·T` or exponential `a^T` in
+//! the round number.
+
+use crate::error::{MarketError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Cost as a function of the bargaining round `T` (1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CostModel {
+    /// No bargaining cost (the paper's baseline setting).
+    None,
+    /// `C(T) = a · T`.
+    Linear { a: f64 },
+    /// `C(T) = a^T` (paper uses a slightly above 1, e.g. 1.01 / 1.1).
+    Exponential { a: f64 },
+    /// `C(T) = k · a^T` — used when a party bears a fraction of the
+    /// reported cost (Table 3 sets `10·Ct = 10·Cd = C(T)` on Credit/Adult).
+    ScaledExponential { a: f64, k: f64 },
+    /// `C(T) = c` for every round (Propositions 3.1/3.2 show this collapses
+    /// to the ε-rules of §3.4.3).
+    Constant { c: f64 },
+}
+
+impl CostModel {
+    /// Validates the parameters: costs must be non-negative and
+    /// non-decreasing in `T`.
+    pub fn validate(&self) -> Result<()> {
+        match self {
+            CostModel::None => Ok(()),
+            CostModel::Linear { a } => {
+                if *a >= 0.0 && a.is_finite() {
+                    Ok(())
+                } else {
+                    Err(MarketError::InvalidConfig(format!("linear cost factor must be >= 0, got {a}")))
+                }
+            }
+            CostModel::Exponential { a } => {
+                if *a >= 1.0 && a.is_finite() {
+                    Ok(())
+                } else {
+                    Err(MarketError::InvalidConfig(format!(
+                        "exponential cost base must be >= 1 (non-decreasing), got {a}"
+                    )))
+                }
+            }
+            CostModel::ScaledExponential { a, k } => {
+                if *a >= 1.0 && a.is_finite() && *k >= 0.0 && k.is_finite() {
+                    Ok(())
+                } else {
+                    Err(MarketError::InvalidConfig(format!(
+                        "scaled exponential cost needs a >= 1 and k >= 0, got a={a} k={k}"
+                    )))
+                }
+            }
+            CostModel::Constant { c } => {
+                if *c >= 0.0 && c.is_finite() {
+                    Ok(())
+                } else {
+                    Err(MarketError::InvalidConfig(format!("constant cost must be >= 0, got {c}")))
+                }
+            }
+        }
+    }
+
+    /// Cost accrued by round `T` (1-based; round 0 costs nothing).
+    pub fn cost(&self, round: u32) -> f64 {
+        if round == 0 {
+            return 0.0;
+        }
+        match self {
+            CostModel::None => 0.0,
+            CostModel::Linear { a } => a * round as f64,
+            CostModel::Exponential { a } => a.powi(round as i32),
+            CostModel::ScaledExponential { a, k } => k * a.powi(round as i32),
+            CostModel::Constant { c } => *c,
+        }
+    }
+
+    /// True when bargaining longer never costs more (None / Constant): the
+    /// engine then uses the base ε termination rules instead of Eq. 6/7.
+    pub fn is_flat(&self) -> bool {
+        matches!(self, CostModel::None | CostModel::Constant { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_values() {
+        assert_eq!(CostModel::None.cost(10), 0.0);
+        assert_eq!(CostModel::Linear { a: 0.5 }.cost(4), 2.0);
+        assert!((CostModel::Exponential { a: 1.1 }.cost(2) - 1.21).abs() < 1e-12);
+        assert!((CostModel::ScaledExponential { a: 1.1, k: 0.1 }.cost(2) - 0.121).abs() < 1e-12);
+        assert_eq!(CostModel::Constant { c: 3.0 }.cost(7), 3.0);
+        assert_eq!(CostModel::Linear { a: 0.5 }.cost(0), 0.0);
+    }
+
+    #[test]
+    fn costs_non_decreasing_in_rounds() {
+        for model in [
+            CostModel::None,
+            CostModel::Linear { a: 0.1 },
+            CostModel::Exponential { a: 1.01 },
+            CostModel::Constant { c: 1.0 },
+        ] {
+            let mut last = 0.0;
+            for t in 1..100 {
+                let c = model.cost(t);
+                assert!(c >= last, "{model:?} decreased at T={t}");
+                last = c;
+            }
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(CostModel::Linear { a: -0.1 }.validate().is_err());
+        assert!(CostModel::Exponential { a: 0.9 }.validate().is_err());
+        assert!(CostModel::Constant { c: -1.0 }.validate().is_err());
+        assert!(CostModel::Linear { a: 0.0 }.validate().is_ok());
+        assert!(CostModel::Exponential { a: 1.0 }.validate().is_ok());
+    }
+
+    #[test]
+    fn flatness() {
+        assert!(CostModel::None.is_flat());
+        assert!(CostModel::Constant { c: 2.0 }.is_flat());
+        assert!(!CostModel::Linear { a: 0.1 }.is_flat());
+        assert!(!CostModel::Exponential { a: 1.01 }.is_flat());
+    }
+}

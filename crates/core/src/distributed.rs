@@ -1,0 +1,352 @@
+//! Distributed engine: the same three-step protocol as [`crate::engine`],
+//! but with the two parties running in *separate threads* and exchanging
+//! only the serde wire messages of [`vfl_sim::protocol`] over channels —
+//! the deployment shape of production 1v1 VFL, where the parties talk
+//! directly without a server (§3.6).
+//!
+//! Nothing but `Quote`, `Offer`, `GainReport`, and `Settle` messages crosses
+//! the boundary: the data party never sees the buyer's utility surplus, the
+//! task party never sees reserved prices, exactly as in the in-process
+//! engine — but here the isolation is structural, enforced by the channel.
+
+use crate::config::MarketConfig;
+use crate::error::{MarketError, Result};
+use crate::gain::GainProvider;
+use crate::listing::Listing;
+use crate::payment::task_net_profit;
+use crate::strategy::{DataContext, DataResponse, DataStrategy, TaskContext, TaskDecision, TaskStrategy};
+use crate::engine::{ClosedBy, FailureReason, Outcome, OutcomeStatus, RoundRecord};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vfl_sim::protocol::{GainReportMsg, Message, OfferMsg, QuoteMsg, SettleMsg, Transcript};
+
+/// Runs a negotiation with the data party in its own thread. Produces the
+/// same outcome type as the in-process engine; the per-party RNG streams
+/// are derived independently (`seed ^ TASK` / `seed ^ DATA`), so traces are
+/// reproducible but not bit-identical to [`crate::engine::run_bargaining`].
+pub fn run_bargaining_distributed<G: GainProvider + Sync + ?Sized>(
+    provider: &G,
+    listings: &[Listing],
+    task: &mut (dyn TaskStrategy + Send),
+    data: &mut (dyn DataStrategy + Send),
+    cfg: &MarketConfig,
+) -> Result<Outcome> {
+    cfg.validate()?;
+    if listings.is_empty() {
+        return Err(MarketError::InvalidConfig("empty listing table".into()));
+    }
+    let (to_data, data_inbox): (Sender<Message>, Receiver<Message>) = bounded(1);
+    let (to_task, task_inbox): (Sender<Message>, Receiver<Message>) = bounded(1);
+
+    let result: Result<Outcome> = crossbeam::thread::scope(|scope| {
+        // ---------------- data-party thread ----------------
+        let data_handle = scope.spawn(|_| -> Result<()> {
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xda7a_0001);
+            loop {
+                let msg = data_inbox
+                    .recv()
+                    .map_err(|_| MarketError::StrategyError("task channel closed".into()))?;
+                match msg {
+                    Message::Quote(q) => {
+                        let quote = crate::price::QuotedPrice::new(q.rate, q.base, q.cap)?;
+                        let ctx = DataContext {
+                            round: q.round,
+                            exploring: q.round <= cfg.explore_rounds,
+                            quote: &quote,
+                            cost_now: cfg.data_cost.cost(q.round),
+                            cost_next: cfg.data_cost.cost(q.round + 1),
+                        };
+                        let response = data.respond(&ctx, listings, cfg, &mut rng)?;
+                        let offer = match response {
+                            DataResponse::Withdraw => OfferMsg::Withdraw { round: q.round },
+                            DataResponse::Offer { listing, is_final } => {
+                                if listing >= listings.len() {
+                                    return Err(MarketError::StrategyError(format!(
+                                        "offered listing {listing} out of range"
+                                    )));
+                                }
+                                OfferMsg::Bundle {
+                                    bundle: listings[listing].bundle,
+                                    is_final,
+                                    round: q.round,
+                                }
+                            }
+                        };
+                        to_task.send(Message::Offer(offer)).map_err(|_| {
+                            MarketError::StrategyError("task went away mid-round".into())
+                        })?;
+                    }
+                    Message::GainReport(report) => {
+                        // The bundle echo follows immediately; learn from the
+                        // course (the imperfect-information g trains here).
+                        if let Ok(Message::Offer(OfferMsg::Bundle { bundle, .. })) =
+                            data_inbox.recv()
+                        {
+                            data.observe_course(bundle, report.gain);
+                        }
+                    }
+                    Message::Settle(_) => return Ok(()),
+                    other => {
+                        return Err(MarketError::StrategyError(format!(
+                            "unexpected message on data side: {other:?}"
+                        )))
+                    }
+                }
+            }
+        });
+
+        // ---------------- task-party side (this thread) ----------------
+        let mut run_task = || -> Result<Outcome> {
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7a5c_0002);
+            let mut transcript = Transcript::default();
+            let mut rounds: Vec<RoundRecord> = Vec::new();
+            let mut quote = task.initial_quote(cfg, &mut rng)?;
+            let mut round: u32 = 1;
+
+            let finish = |status: OutcomeStatus,
+                          rounds: Vec<RoundRecord>,
+                          mut transcript: Transcript,
+                          round: u32|
+             -> Result<Outcome> {
+                let msg = match status {
+                    OutcomeStatus::Success { .. } => {
+                        let amount = rounds.last().map(|r| r.payment).unwrap_or(0.0);
+                        Message::Settle(SettleMsg::Pay { amount, round })
+                    }
+                    OutcomeStatus::Failed { .. } => Message::Settle(SettleMsg::Abort { round }),
+                };
+                transcript.push(msg);
+                let _ = to_data.send(msg);
+                Ok(Outcome { status, rounds, transcript })
+            };
+
+            loop {
+                let exploring = round <= cfg.explore_rounds;
+                let quote_msg =
+                    QuoteMsg { rate: quote.rate, base: quote.base, cap: quote.cap, round };
+                transcript.push(Message::Quote(quote_msg));
+                to_data
+                    .send(Message::Quote(quote_msg))
+                    .map_err(|_| MarketError::StrategyError("data went away".into()))?;
+
+                let offer = match task_inbox.recv() {
+                    Ok(Message::Offer(o)) => o,
+                    Ok(other) => {
+                        return Err(MarketError::StrategyError(format!(
+                            "unexpected message on task side: {other:?}"
+                        )))
+                    }
+                    Err(_) => {
+                        return Err(MarketError::StrategyError("data channel closed".into()))
+                    }
+                };
+                transcript.push(Message::Offer(offer));
+                let (bundle, is_final) = match offer {
+                    OfferMsg::Withdraw { .. } => {
+                        return finish(
+                            OutcomeStatus::Failed { reason: FailureReason::NoAffordableBundle },
+                            rounds,
+                            transcript,
+                            round,
+                        );
+                    }
+                    OfferMsg::Bundle { bundle, is_final, .. } => (bundle, is_final),
+                };
+
+                let gain = provider.gain(bundle)?;
+                transcript.push(Message::GainReport(GainReportMsg { gain, round }));
+                to_data
+                    .send(Message::GainReport(GainReportMsg { gain, round }))
+                    .map_err(|_| MarketError::StrategyError("data went away".into()))?;
+                // Echo the bundle back so the seller can label its sample.
+                to_data
+                    .send(Message::Offer(OfferMsg::Bundle { bundle, is_final, round }))
+                    .map_err(|_| MarketError::StrategyError("data went away".into()))?;
+
+                let record = RoundRecord {
+                    round,
+                    quote,
+                    listing: listings
+                        .iter()
+                        .position(|l| l.bundle == bundle)
+                        .expect("bundle came from the listing table"),
+                    bundle,
+                    gain,
+                    payment: quote.payment(gain),
+                    net_profit: task_net_profit(cfg.utility_rate, &quote, gain),
+                    cost_task: cfg.task_cost.cost(round),
+                    cost_data: cfg.data_cost.cost(round),
+                    final_offer: is_final,
+                };
+                rounds.push(record);
+                task.observe_course(&quote, bundle, gain);
+
+                if is_final && !exploring {
+                    return finish(
+                        OutcomeStatus::Success { by: ClosedBy::DataParty },
+                        rounds,
+                        transcript,
+                        round,
+                    );
+                }
+                let ctx = TaskContext {
+                    round,
+                    exploring,
+                    quote: &quote,
+                    realized_gain: gain,
+                    cost_now: cfg.task_cost.cost(round),
+                    cost_next: cfg.task_cost.cost(round + 1),
+                };
+                match task.decide(&ctx, cfg, &mut rng)? {
+                    TaskDecision::Accept => {
+                        return finish(
+                            OutcomeStatus::Success { by: ClosedBy::TaskParty },
+                            rounds,
+                            transcript,
+                            round,
+                        );
+                    }
+                    TaskDecision::Fail => {
+                        let reason = if gain < quote.break_even_gain(cfg.utility_rate) {
+                            FailureReason::GainBelowBreakEven
+                        } else {
+                            FailureReason::BudgetExhausted
+                        };
+                        return finish(
+                            OutcomeStatus::Failed { reason },
+                            rounds,
+                            transcript,
+                            round,
+                        );
+                    }
+                    TaskDecision::Requote(next) => quote = next,
+                }
+                round += 1;
+                if round > cfg.max_rounds {
+                    return finish(
+                        OutcomeStatus::Failed { reason: FailureReason::RoundLimit },
+                        rounds,
+                        transcript,
+                        cfg.max_rounds,
+                    );
+                }
+            }
+        };
+        let outcome = run_task();
+        // The Settle send above (or an error) ends the data thread; dropping
+        // the channel also unblocks it.
+        drop(to_data);
+        let data_result = data_handle.join().expect("data-party thread panicked");
+        match (&outcome, data_result) {
+            (Ok(_), Err(e)) => Err(e),
+            _ => outcome,
+        }
+    })
+    .expect("crossbeam scope failed");
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_bargaining;
+    use crate::gain::TableGainProvider;
+    use crate::price::ReservedPrice;
+    use crate::strategy::{StrategicData, StrategicTask};
+    use vfl_sim::BundleMask;
+
+    fn market() -> (TableGainProvider, Vec<Listing>, Vec<f64>) {
+        let gains = vec![0.05, 0.12, 0.20, 0.30];
+        let listings: Vec<Listing> = [(3.5, 0.5), (7.0, 1.0), (9.0, 1.2), (11.0, 1.5)]
+            .iter()
+            .enumerate()
+            .map(|(i, &(rate, base))| Listing {
+                bundle: BundleMask::singleton(i),
+                reserved: ReservedPrice::new(rate, base).unwrap(),
+            })
+            .collect();
+        let provider =
+            TableGainProvider::new(listings.iter().zip(&gains).map(|(l, &g)| (l.bundle, g)));
+        (provider, listings, gains)
+    }
+
+    fn cfg(seed: u64) -> MarketConfig {
+        MarketConfig {
+            utility_rate: 1000.0,
+            budget: 12.0,
+            rate_cap: 20.0,
+            seed,
+            ..MarketConfig::default()
+        }
+    }
+
+    #[test]
+    fn distributed_reaches_the_same_terminal_bundle() {
+        let (provider, listings, gains) = market();
+        for seed in 0..6 {
+            let mut t1 = StrategicTask::new(0.30, 6.0, 0.9).unwrap();
+            let mut d1 = StrategicData::with_gains(gains.clone());
+            let local =
+                run_bargaining(&provider, &listings, &mut t1, &mut d1, &cfg(seed)).unwrap();
+
+            let mut t2 = StrategicTask::new(0.30, 6.0, 0.9).unwrap();
+            let mut d2 = StrategicData::with_gains(gains.clone());
+            let dist = run_bargaining_distributed(
+                &provider, &listings, &mut t2, &mut d2, &cfg(seed),
+            )
+            .unwrap();
+
+            assert!(local.is_success() && dist.is_success(), "seed {seed}");
+            assert_eq!(
+                local.final_record().unwrap().gain,
+                dist.final_record().unwrap().gain,
+                "seed {seed}: both engines must converge to the same bundle"
+            );
+        }
+    }
+
+    #[test]
+    fn distributed_is_deterministic() {
+        let (provider, listings, gains) = market();
+        let run = || {
+            let mut t = StrategicTask::new(0.30, 6.0, 0.9).unwrap();
+            let mut d = StrategicData::with_gains(gains.clone());
+            run_bargaining_distributed(&provider, &listings, &mut t, &mut d, &cfg(5)).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn distributed_transcript_settles() {
+        let (provider, listings, gains) = market();
+        let mut t = StrategicTask::new(0.30, 6.0, 0.9).unwrap();
+        let mut d = StrategicData::with_gains(gains);
+        let outcome =
+            run_bargaining_distributed(&provider, &listings, &mut t, &mut d, &cfg(7)).unwrap();
+        assert!(outcome.transcript.settlement().is_some());
+        assert_eq!(outcome.transcript.quotes().len(), outcome.n_rounds());
+    }
+
+    #[test]
+    fn distributed_withdraw_fails_cleanly() {
+        let (provider, listings, gains) = market();
+        let mut t = StrategicTask::new(0.30, 1.0, 0.1).unwrap();
+        let mut d = StrategicData::with_gains(gains);
+        let tiny = MarketConfig { budget: 0.45, rate_cap: 1.2, ..cfg(9) };
+        let outcome =
+            run_bargaining_distributed(&provider, &listings, &mut t, &mut d, &tiny).unwrap();
+        assert_eq!(
+            outcome.status,
+            OutcomeStatus::Failed { reason: FailureReason::NoAffordableBundle }
+        );
+    }
+
+    #[test]
+    fn empty_listings_rejected() {
+        let (provider, _, gains) = market();
+        let mut t = StrategicTask::new(0.30, 6.0, 0.9).unwrap();
+        let mut d = StrategicData::with_gains(gains);
+        assert!(run_bargaining_distributed(&provider, &[], &mut t, &mut d, &cfg(1)).is_err());
+    }
+}

@@ -1,0 +1,138 @@
+//! Equilibrium theory helpers: executable forms of Theorem 3.1, Lemma 3.1,
+//! and Propositions 3.1/3.2, used by the property-test suite and the
+//! ablation benches to verify the implementation against the paper's
+//! analysis.
+
+use crate::error::Result;
+use crate::payment::{data_payment, task_net_profit};
+use crate::price::QuotedPrice;
+
+/// Outcome-relevant quantities of a closed deal at a fixed gain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DealValue {
+    pub payment: f64,
+    pub net_profit: f64,
+}
+
+/// Evaluates a quote at a realized gain.
+pub fn deal_value(utility_rate: f64, quote: &QuotedPrice, gain: f64) -> DealValue {
+    DealValue {
+        payment: data_payment(quote, gain),
+        net_profit: task_net_profit(utility_rate, quote, gain),
+    }
+}
+
+/// Theorem 3.1 construction: the equivalent quote
+/// `(p*, P0*, Ph*) = (p, P0, P0 + p ΔG)` whose cap saturates at `gain`.
+pub fn theorem31_equivalent(quote: &QuotedPrice, gain: f64) -> Result<QuotedPrice> {
+    quote.equilibrium_for(gain)
+}
+
+/// Checks Theorem 3.1 numerically: the transformed quote yields the same
+/// payment and net profit at `gain`, has a cap no greater than the
+/// original, and satisfies Eq. 5.
+pub fn verify_theorem31(utility_rate: f64, quote: &QuotedPrice, gain: f64, tol: f64) -> bool {
+    // The theorem's premise: the deal closed at `gain`, meaning the payment
+    // is in the linear (uncapped) region — (Ph - P0)/p >= ΔG.
+    if quote.target_gain() < gain {
+        return true; // premise violated: nothing to check
+    }
+    let Ok(eq) = theorem31_equivalent(quote, gain) else {
+        return false;
+    };
+    let a = deal_value(utility_rate, quote, gain);
+    let b = deal_value(utility_rate, &eq, gain);
+    (a.payment - b.payment).abs() <= tol
+        && (a.net_profit - b.net_profit).abs() <= tol
+        && eq.cap <= quote.cap + tol
+        && eq.satisfies_equilibrium(gain, tol)
+}
+
+/// Lemma 3.1 check: among any finite set of quotes achieving the same gain,
+/// the Eq. 5-conforming transform of the best one weakly dominates —
+/// returns the transform and `true` when its net profit matches the set's
+/// maximum.
+pub fn verify_lemma31(
+    utility_rate: f64,
+    quotes: &[QuotedPrice],
+    gain: f64,
+    tol: f64,
+) -> Option<(QuotedPrice, bool)> {
+    // Lemma premise: only quotes that actually achieve `gain` in the linear
+    // payment region qualify ((Ph - P0)/p >= dG); a capped quote pays less
+    // than the equilibrium transform by construction.
+    let best = quotes
+        .iter()
+        .filter(|q| q.target_gain() >= gain - tol)
+        .max_by(|a, b| {
+            task_net_profit(utility_rate, a, gain)
+                .partial_cmp(&task_net_profit(utility_rate, b, gain))
+                .expect("finite profits")
+        })?;
+    let eq = theorem31_equivalent(best, gain).ok()?;
+    let dominated = task_net_profit(utility_rate, &eq, gain)
+        >= task_net_profit(utility_rate, best, gain) - tol;
+    Some((eq, dominated))
+}
+
+/// Proposition 3.2's ε-equivalence: under constant cost `c`, Eq. 7 equals
+/// Case 5 with `ε_t = ε_tc / (u - p)`. Returns the induced `ε_t`.
+pub fn prop32_equivalent_eps(utility_rate: f64, quote: &QuotedPrice, eps_task_cost: f64) -> f64 {
+    eps_task_cost / (utility_rate - quote.rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::termination::eq7_task_accepts;
+
+    #[test]
+    fn theorem31_holds_on_a_grid() {
+        let u = 500.0;
+        for rate in [2.0, 6.0, 11.0] {
+            for base in [0.0, 0.9, 2.0] {
+                for cap_extra in [0.0, 0.5, 3.0] {
+                    for gain in [0.01, 0.1, 0.25] {
+                        let cap = base + rate * gain + cap_extra;
+                        let q = QuotedPrice::new(rate, base, cap).unwrap();
+                        assert!(
+                            verify_theorem31(u, &q, gain, 1e-9),
+                            "failed at rate={rate} base={base} cap={cap} gain={gain}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma31_weak_dominance() {
+        let u = 500.0;
+        let gain = 0.2;
+        let quotes = vec![
+            QuotedPrice::new(5.0, 1.0, 4.0).unwrap(),
+            QuotedPrice::new(8.0, 0.5, 3.0).unwrap(),
+            QuotedPrice::new(6.0, 1.5, 5.0).unwrap(),
+        ];
+        let (eq, dominated) = verify_lemma31(u, &quotes, gain, 1e-9).unwrap();
+        assert!(dominated);
+        assert!(eq.satisfies_equilibrium(gain, 1e-9));
+        assert!(verify_lemma31(u, &[], gain, 1e-9).is_none());
+        // Every quote capped below the gain: premise unsatisfied -> None.
+        let capped = vec![QuotedPrice::new(10.0, 0.0, 0.5).unwrap()];
+        assert!(verify_lemma31(u, &capped, 0.9, 1e-9).is_none());
+    }
+
+    #[test]
+    fn prop32_epsilon_equivalence() {
+        let u = 100.0;
+        let q = QuotedPrice::new(10.0, 1.0, 3.0).unwrap();
+        let eps_tc = 0.45;
+        let eps_t = prop32_equivalent_eps(u, &q, eps_tc);
+        for gain in [0.1, 0.15, 0.19, 0.195, 0.1999, 0.2] {
+            let via_eq7 = eq7_task_accepts(u, &q, gain, 3.0, 3.0, eps_tc);
+            let via_case5 = gain >= q.target_gain() - eps_t;
+            assert_eq!(via_eq7, via_case5, "gain {gain}");
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Error type for the bargaining market.
+
+use std::fmt;
+use vfl_sim::VflError;
+
+/// Errors raised by market construction or bargaining execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MarketError {
+    /// A quoted price violated its invariants (rate > 0, cap >= base >= 0).
+    InvalidPrice(String),
+    /// A market configuration parameter was invalid.
+    InvalidConfig(String),
+    /// A strategy produced an inconsistent action (e.g. offered an unknown
+    /// listing index).
+    StrategyError(String),
+    /// The gain provider failed (underlying VFL course error).
+    Gain(String),
+}
+
+impl fmt::Display for MarketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarketError::InvalidPrice(msg) => write!(f, "invalid quoted price: {msg}"),
+            MarketError::InvalidConfig(msg) => write!(f, "invalid market config: {msg}"),
+            MarketError::StrategyError(msg) => write!(f, "strategy error: {msg}"),
+            MarketError::Gain(msg) => write!(f, "gain provider error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MarketError {}
+
+impl From<VflError> for MarketError {
+    fn from(e: VflError) -> Self {
+        MarketError::Gain(e.to_string())
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, MarketError>;

@@ -1,0 +1,98 @@
+//! The `GainProvider` abstraction: where realized performance gains come
+//! from. The engine runs Step 3 of each round (the VFL course) through this
+//! trait, so the market logic is VFL-protocol-agnostic exactly as §3.6
+//! argues. Implementations: the real [`vfl_sim::GainOracle`] and a plain
+//! lookup table for tests, theory checks, and fast benches.
+
+use crate::error::{MarketError, Result};
+use std::collections::HashMap;
+use vfl_sim::{BundleMask, GainOracle};
+
+/// Source of realized ΔG values.
+pub trait GainProvider {
+    /// Realized gain for a bundle (may train a model on first call).
+    fn gain(&self, bundle: BundleMask) -> Result<f64>;
+
+    /// Gain if already known without running a course (perfect-information
+    /// reads). Defaults to `None`.
+    fn known_gain(&self, _bundle: BundleMask) -> Option<f64> {
+        None
+    }
+}
+
+impl GainProvider for GainOracle {
+    fn gain(&self, bundle: BundleMask) -> Result<f64> {
+        GainOracle::gain(self, bundle).map_err(MarketError::from)
+    }
+
+    fn known_gain(&self, bundle: BundleMask) -> Option<f64> {
+        self.cached_gain(bundle)
+    }
+}
+
+/// Lookup-table provider: fixed gains per bundle.
+#[derive(Debug, Clone, Default)]
+pub struct TableGainProvider {
+    gains: HashMap<u64, f64>,
+}
+
+impl TableGainProvider {
+    /// Builds from `(bundle, gain)` pairs.
+    pub fn new(entries: impl IntoIterator<Item = (BundleMask, f64)>) -> Self {
+        TableGainProvider { gains: entries.into_iter().map(|(b, g)| (b.0, g)).collect() }
+    }
+
+    /// Inserts or replaces an entry.
+    pub fn insert(&mut self, bundle: BundleMask, gain: f64) {
+        self.gains.insert(bundle.0, gain);
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.gains.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.gains.is_empty()
+    }
+}
+
+impl GainProvider for TableGainProvider {
+    fn gain(&self, bundle: BundleMask) -> Result<f64> {
+        self.gains
+            .get(&bundle.0)
+            .copied()
+            .ok_or_else(|| MarketError::Gain(format!("no gain recorded for bundle {bundle}")))
+    }
+
+    fn known_gain(&self, bundle: BundleMask) -> Option<f64> {
+        self.gains.get(&bundle.0).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_provider_lookup() {
+        let p = TableGainProvider::new([
+            (BundleMask::singleton(0), 0.05),
+            (BundleMask::singleton(1), 0.10),
+        ]);
+        assert_eq!(p.gain(BundleMask::singleton(1)).unwrap(), 0.10);
+        assert_eq!(p.known_gain(BundleMask::singleton(0)), Some(0.05));
+        assert!(p.gain(BundleMask::singleton(2)).is_err());
+        assert_eq!(p.known_gain(BundleMask::singleton(2)), None);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn table_provider_insert() {
+        let mut p = TableGainProvider::default();
+        assert!(p.is_empty());
+        p.insert(BundleMask::all(3), 0.2);
+        assert_eq!(p.gain(BundleMask::all(3)).unwrap(), 0.2);
+    }
+}

@@ -1,0 +1,190 @@
+//! Market listings: the bundles on sale together with their privately held
+//! reserved prices. Reserved prices are "cost-related" (§2): a bundle with
+//! more features costs more to collect, so both its minimum rate and minimum
+//! base payment grow with bundle size.
+
+use crate::error::{MarketError, Result};
+use crate::price::ReservedPrice;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use vfl_sim::{BundleCatalog, BundleMask};
+
+/// One bundle on sale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Listing {
+    pub bundle: BundleMask,
+    pub reserved: ReservedPrice,
+}
+
+/// How reserved prices are assigned to a catalog.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReservedPricing {
+    /// `rate = base_rate + rate_per_feature · |F| · (1 ± noise)` and
+    /// likewise for the base payment — the paper's collecting-cost model.
+    PerFeature {
+        base_rate: f64,
+        rate_per_feature: f64,
+        base_payment: f64,
+        payment_per_feature: f64,
+        /// Relative noise amplitude in `[0, 1)` applied per listing.
+        noise: f64,
+        seed: u64,
+    },
+    /// Identical reserve for every bundle (ablation / tests).
+    Uniform { rate: f64, base: f64 },
+}
+
+impl ReservedPricing {
+    /// Validates the parameters.
+    pub fn validate(&self) -> Result<()> {
+        match *self {
+            ReservedPricing::PerFeature {
+                base_rate,
+                rate_per_feature,
+                base_payment,
+                payment_per_feature,
+                noise,
+                ..
+            } => {
+                for (name, v) in [
+                    ("base_rate", base_rate),
+                    ("rate_per_feature", rate_per_feature),
+                    ("base_payment", base_payment),
+                    ("payment_per_feature", payment_per_feature),
+                ] {
+                    if !(v >= 0.0 && v.is_finite()) {
+                        return Err(MarketError::InvalidConfig(format!("{name} must be >= 0")));
+                    }
+                }
+                if !(0.0..1.0).contains(&noise) {
+                    return Err(MarketError::InvalidConfig("noise must be in [0, 1)".into()));
+                }
+                Ok(())
+            }
+            ReservedPricing::Uniform { rate, base } => {
+                if rate >= 0.0 && base >= 0.0 && rate.is_finite() && base.is_finite() {
+                    Ok(())
+                } else {
+                    Err(MarketError::InvalidConfig("uniform reserve must be >= 0".into()))
+                }
+            }
+        }
+    }
+
+    /// Reserved price for one bundle.
+    fn price_for(&self, bundle: BundleMask, rng: &mut StdRng) -> Result<ReservedPrice> {
+        match *self {
+            ReservedPricing::PerFeature {
+                base_rate,
+                rate_per_feature,
+                base_payment,
+                payment_per_feature,
+                noise,
+                ..
+            } => {
+                let k = bundle.len() as f64;
+                let jitter_rate = 1.0 + noise * (2.0 * rng.random::<f64>() - 1.0);
+                let jitter_base = 1.0 + noise * (2.0 * rng.random::<f64>() - 1.0);
+                ReservedPrice::new(
+                    base_rate + rate_per_feature * k * jitter_rate,
+                    base_payment + payment_per_feature * k * jitter_base,
+                )
+            }
+            ReservedPricing::Uniform { rate, base } => ReservedPrice::new(rate, base),
+        }
+    }
+}
+
+/// Builds the listing table for a catalog (deterministic given the pricing
+/// seed; listings are in catalog order).
+pub fn build_listings(catalog: &BundleCatalog, pricing: &ReservedPricing) -> Result<Vec<Listing>> {
+    pricing.validate()?;
+    let seed = match pricing {
+        ReservedPricing::PerFeature { seed, .. } => *seed,
+        ReservedPricing::Uniform { .. } => 0,
+    };
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5e11_e711_57e5);
+    catalog
+        .bundles()
+        .iter()
+        .map(|&bundle| Ok(Listing { bundle, reserved: pricing.price_for(bundle, &mut rng)? }))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfl_sim::CatalogStrategy;
+
+    fn catalog() -> BundleCatalog {
+        BundleCatalog::generate(5, CatalogStrategy::AllSubsets).unwrap()
+    }
+
+    fn pricing(seed: u64) -> ReservedPricing {
+        ReservedPricing::PerFeature {
+            base_rate: 6.0,
+            rate_per_feature: 1.2,
+            base_payment: 0.9,
+            payment_per_feature: 0.12,
+            noise: 0.1,
+            seed,
+        }
+    }
+
+    #[test]
+    fn listings_cover_catalog_in_order() {
+        let c = catalog();
+        let listings = build_listings(&c, &pricing(1)).unwrap();
+        assert_eq!(listings.len(), c.len());
+        for (l, &b) in listings.iter().zip(c.bundles()) {
+            assert_eq!(l.bundle, b);
+        }
+    }
+
+    #[test]
+    fn bigger_bundles_cost_more_on_average() {
+        let c = catalog();
+        let listings = build_listings(&c, &pricing(2)).unwrap();
+        let avg_rate = |k: usize| {
+            let v: Vec<f64> = listings
+                .iter()
+                .filter(|l| l.bundle.len() == k)
+                .map(|l| l.reserved.rate)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(avg_rate(5) > avg_rate(1) + 3.0, "cost must grow with bundle size");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let c = catalog();
+        let a = build_listings(&c, &pricing(7)).unwrap();
+        let b = build_listings(&c, &pricing(7)).unwrap();
+        assert_eq!(a, b);
+        let diff = build_listings(&c, &pricing(8)).unwrap();
+        assert_ne!(a, diff);
+    }
+
+    #[test]
+    fn uniform_pricing_is_flat() {
+        let c = catalog();
+        let listings =
+            build_listings(&c, &ReservedPricing::Uniform { rate: 2.0, base: 0.5 }).unwrap();
+        assert!(listings.iter().all(|l| l.reserved.rate == 2.0 && l.reserved.base == 0.5));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ReservedPricing::Uniform { rate: -1.0, base: 0.0 }.validate().is_err());
+        let bad = ReservedPricing::PerFeature {
+            base_rate: 1.0,
+            rate_per_feature: 1.0,
+            base_payment: 1.0,
+            payment_per_feature: 1.0,
+            noise: 1.5,
+            seed: 0,
+        };
+        assert!(bad.validate().is_err());
+    }
+}

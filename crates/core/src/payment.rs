@@ -1,0 +1,91 @@
+//! Revenue objectives of the two parties (Eq. 3 and Eq. 4), with and
+//! without bargaining costs (§3.4.4).
+
+use crate::price::QuotedPrice;
+
+/// Task party's net profit (the inside of Eq. 3):
+/// `u ΔG - min{max{P0, P0 + p ΔG}, Ph}`.
+pub fn task_net_profit(utility_rate: f64, quote: &QuotedPrice, gain: f64) -> f64 {
+    utility_rate * gain - quote.payment(gain)
+}
+
+/// Task party's final revenue with bargaining cost (§3.4.4):
+/// `Rt(T) = u ΔG - payment - Ct(T)`.
+pub fn task_revenue_with_cost(
+    utility_rate: f64,
+    quote: &QuotedPrice,
+    gain: f64,
+    cost: f64,
+) -> f64 {
+    task_net_profit(utility_rate, quote, gain) - cost
+}
+
+/// Data party's payment received (Definition 2.3).
+pub fn data_payment(quote: &QuotedPrice, gain: f64) -> f64 {
+    quote.payment(gain)
+}
+
+/// Data party's final revenue with bargaining cost (§3.4.4):
+/// `Rd(T) = payment - Cd(T)`.
+pub fn data_revenue_with_cost(quote: &QuotedPrice, gain: f64, cost: f64) -> f64 {
+    quote.payment(gain) - cost
+}
+
+/// Data party's objective distance (Eq. 4):
+/// `|Ph - max{P0, P0 + p ΔG}|` — zero exactly when the gain saturates the
+/// cap, i.e. the bundle is paid in full.
+pub fn data_objective_distance(quote: &QuotedPrice, gain: f64) -> f64 {
+    (quote.cap - quote.uncapped_payment(gain)).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quote() -> QuotedPrice {
+        QuotedPrice::new(10.0, 1.0, 3.0).unwrap()
+    }
+
+    #[test]
+    fn net_profit_monotone_in_gain() {
+        let q = quote();
+        let u = 100.0;
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..50 {
+            let g = i as f64 * 0.01;
+            let p = task_net_profit(u, &q, g);
+            assert!(p >= last, "profit must be non-decreasing in gain");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn net_profit_negative_below_break_even() {
+        let q = quote();
+        let u = 100.0;
+        let be = q.break_even_gain(u);
+        assert!(task_net_profit(u, &q, be * 0.5) < 0.0);
+        assert!(task_net_profit(u, &q, be * 1.5) > 0.0);
+    }
+
+    #[test]
+    fn objective_distance_zero_at_target() {
+        let q = quote();
+        let target = q.target_gain();
+        assert!(data_objective_distance(&q, target) < 1e-12);
+        assert!(data_objective_distance(&q, target * 0.5) > 0.0);
+        // Overqualified bundles are *not* fairly paid: distance grows again
+        // (this is why the data party aims at the target, §3.2).
+        assert!(data_objective_distance(&q, target * 2.0) > 0.0);
+    }
+
+    #[test]
+    fn costs_are_additive() {
+        let q = quote();
+        assert_eq!(
+            task_revenue_with_cost(100.0, &q, 0.1, 0.5),
+            task_net_profit(100.0, &q, 0.1) - 0.5
+        );
+        assert_eq!(data_revenue_with_cost(&q, 0.1, 0.3), data_payment(&q, 0.1) - 0.3);
+    }
+}

@@ -1,0 +1,175 @@
+//! Quoted and reserved prices (Definitions 2.2–2.4) and the payment
+//! function (Definition 2.3).
+
+use crate::error::{MarketError, Result};
+use serde::{Deserialize, Serialize};
+
+/// The task party's quoted price `p = (p, P0, Ph)`: payment rate, base
+/// payment, and highest payment with `Ph = P0 + C`, `C >= 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuotedPrice {
+    /// Payment rate `p`.
+    pub rate: f64,
+    /// Base payment `P0`.
+    pub base: f64,
+    /// Highest payment `Ph`.
+    pub cap: f64,
+}
+
+impl QuotedPrice {
+    /// Builds a quoted price, validating `rate > 0`, `base >= 0`,
+    /// `cap >= base`, and finiteness.
+    pub fn new(rate: f64, base: f64, cap: f64) -> Result<Self> {
+        if !(rate.is_finite() && base.is_finite() && cap.is_finite()) {
+            return Err(MarketError::InvalidPrice("non-finite component".into()));
+        }
+        if rate <= 0.0 {
+            return Err(MarketError::InvalidPrice(format!("rate must be > 0, got {rate}")));
+        }
+        if base < 0.0 {
+            return Err(MarketError::InvalidPrice(format!("base must be >= 0, got {base}")));
+        }
+        if cap < base {
+            return Err(MarketError::InvalidPrice(format!(
+                "cap {cap} must be >= base {base} (Ph = P0 + C, C >= 0)"
+            )));
+        }
+        Ok(QuotedPrice { rate, base, cap })
+    }
+
+    /// The gain that saturates the payment: `(Ph - P0) / p`. Under
+    /// Theorem 3.1's equilibrium this equals the realized ΔG (Eq. 5).
+    pub fn target_gain(&self) -> f64 {
+        (self.cap - self.base) / self.rate
+    }
+
+    /// Payment for a realized gain (Definition 2.3):
+    /// `min{max{P0, P0 + p ΔG}, Ph}`.
+    pub fn payment(&self, gain: f64) -> f64 {
+        (self.base + self.rate * gain).max(self.base).min(self.cap)
+    }
+
+    /// The payment before cap clamping: `max{P0, P0 + p ΔG}` (the quantity
+    /// inside the data party's objective, Eq. 4).
+    pub fn uncapped_payment(&self, gain: f64) -> f64 {
+        (self.base + self.rate * gain).max(self.base)
+    }
+
+    /// The break-even gain of the task party: `P0 / (u - p)`. Net profit is
+    /// negative below it (Case 4 terminates there). Requires `u > p`.
+    pub fn break_even_gain(&self, utility_rate: f64) -> f64 {
+        debug_assert!(utility_rate > self.rate, "individual rationality requires u > p");
+        self.base / (utility_rate - self.rate)
+    }
+
+    /// Theorem 3.1 transform: the equivalent quote whose cap saturates
+    /// exactly at `gain` — `(p, P0, P0 + p ΔG)`.
+    pub fn equilibrium_for(&self, gain: f64) -> Result<QuotedPrice> {
+        QuotedPrice::new(self.rate, self.base, self.base + self.rate * gain.max(0.0))
+    }
+
+    /// True when the quote satisfies Eq. 5 for `gain` within tolerance.
+    pub fn satisfies_equilibrium(&self, gain: f64, tol: f64) -> bool {
+        (self.target_gain() - gain).abs() <= tol
+    }
+}
+
+/// The data party's reserved price `(p_l, P_l)` for a bundle (Definition
+/// 2.4): the minimum payment rate and base payment it will sell at.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReservedPrice {
+    /// Minimum payment rate `p_l`.
+    pub rate: f64,
+    /// Minimum base payment `P_l`.
+    pub base: f64,
+}
+
+impl ReservedPrice {
+    /// Builds a reserved price, validating non-negativity and finiteness.
+    pub fn new(rate: f64, base: f64) -> Result<Self> {
+        if !(rate.is_finite() && base.is_finite()) {
+            return Err(MarketError::InvalidPrice("non-finite reserved price".into()));
+        }
+        if rate < 0.0 || base < 0.0 {
+            return Err(MarketError::InvalidPrice("reserved price must be >= 0".into()));
+        }
+        Ok(ReservedPrice { rate, base })
+    }
+
+    /// Affordability filter of §3.4.1: the quote clears this reserve iff
+    /// `p >= p_l` and `P0 >= P_l`.
+    pub fn admits(&self, quote: &QuotedPrice) -> bool {
+        quote.rate >= self.rate && quote.base >= self.base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quote_validation() {
+        assert!(QuotedPrice::new(1.0, 0.5, 2.0).is_ok());
+        assert!(QuotedPrice::new(0.0, 0.5, 2.0).is_err());
+        assert!(QuotedPrice::new(-1.0, 0.5, 2.0).is_err());
+        assert!(QuotedPrice::new(1.0, -0.1, 2.0).is_err());
+        assert!(QuotedPrice::new(1.0, 2.0, 1.0).is_err(), "cap below base");
+        assert!(QuotedPrice::new(f64::NAN, 0.0, 1.0).is_err());
+        // cap == base is legal (C = 0).
+        assert!(QuotedPrice::new(1.0, 2.0, 2.0).is_ok());
+    }
+
+    #[test]
+    fn payment_is_clamped_between_base_and_cap() {
+        let q = QuotedPrice::new(10.0, 1.0, 3.0).unwrap();
+        assert_eq!(q.payment(-0.5), 1.0); // negative gain floors at P0
+        assert_eq!(q.payment(0.0), 1.0);
+        assert_eq!(q.payment(0.1), 2.0); // linear region
+        assert_eq!(q.payment(0.2), 3.0); // exactly at cap
+        assert_eq!(q.payment(5.0), 3.0); // overqualified bundles capped
+    }
+
+    #[test]
+    fn target_gain_is_the_turning_point() {
+        let q = QuotedPrice::new(10.0, 1.0, 3.0).unwrap();
+        assert!((q.target_gain() - 0.2).abs() < 1e-12);
+        // Just below the target, payment grows; above, it saturates.
+        assert!(q.payment(q.target_gain() - 1e-6) < q.payment(q.target_gain()));
+        assert_eq!(q.payment(q.target_gain() + 1.0), q.cap);
+    }
+
+    #[test]
+    fn break_even_matches_case4_threshold() {
+        let q = QuotedPrice::new(10.0, 1.0, 3.0).unwrap();
+        let u = 51.0;
+        let g_star = q.break_even_gain(u);
+        // Net profit crosses zero there (in the linear payment region).
+        let profit = |g: f64| u * g - q.payment(g);
+        assert!(profit(g_star - 1e-6) < 0.0);
+        assert!(profit(g_star + 1e-6) > 0.0);
+    }
+
+    #[test]
+    fn equilibrium_transform_keeps_payment_and_profit() {
+        // Theorem 3.1: (p, P0, P0 + p ΔG) produces the same payment and
+        // profit at ΔG, and satisfies Eq. 5.
+        let q = QuotedPrice::new(8.0, 1.2, 9.0).unwrap();
+        let gain = 0.35;
+        let eq = q.equilibrium_for(gain).unwrap();
+        assert!(eq.satisfies_equilibrium(gain, 1e-12));
+        assert!((eq.payment(gain) - q.payment(gain)).abs() < 1e-12);
+        assert!(eq.cap <= q.cap);
+    }
+
+    #[test]
+    fn reserved_price_admission() {
+        let r = ReservedPrice::new(5.0, 1.0).unwrap();
+        let ok = QuotedPrice::new(6.0, 1.5, 3.0).unwrap();
+        let low_rate = QuotedPrice::new(4.0, 1.5, 3.0).unwrap();
+        let low_base = QuotedPrice::new(6.0, 0.5, 3.0).unwrap();
+        assert!(r.admits(&ok));
+        assert!(!r.admits(&low_rate));
+        assert!(!r.admits(&low_base));
+        assert!(ReservedPrice::new(-1.0, 0.0).is_err());
+    }
+}

@@ -1,0 +1,300 @@
+//! Extension (paper §6, limitation 2): the paper notes its
+//! sampling-and-evaluate quote generation is "straightforward but not
+//! efficient" and suggests an automatic offer strategy. `AdaptiveStepTask`
+//! is that extension: it keeps the Eq. 5 structure of [`crate::strategy::StrategicTask`] but
+//! controls the escalation step online — expanding it while consecutive
+//! rounds are stuck on the same offered gain (the reserve of the next
+//! better bundle has not been reached) and contracting it once offers start
+//! improving (fine-tuning toward the equilibrium price).
+
+use crate::config::MarketConfig;
+use crate::error::{MarketError, Result};
+use crate::payment::task_net_profit;
+use crate::price::QuotedPrice;
+use crate::strategy::{TaskContext, TaskDecision, TaskStrategy};
+use crate::termination::{eq7_task_accepts, task_case, TaskCase};
+use rand::rngs::StdRng;
+use vfl_sim::BundleMask;
+
+/// Controller parameters for the adaptive step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Step multiplier while stuck (no gain improvement between rounds).
+    pub expand: f64,
+    /// Step multiplier after an improvement (decelerate near the target).
+    pub contract: f64,
+    /// Step bounds.
+    pub min_step: f64,
+    pub max_step: f64,
+    /// Initial step.
+    pub init_step: f64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig { expand: 1.6, contract: 0.5, min_step: 0.02, max_step: 1.0, init_step: 0.1 }
+    }
+}
+
+impl AdaptiveConfig {
+    /// Validates the controller parameters.
+    pub fn validate(&self) -> Result<()> {
+        if self.expand <= 1.0 || self.expand.is_nan() {
+            return Err(MarketError::InvalidConfig("expand must be > 1".into()));
+        }
+        if !(0.0 < self.contract && self.contract < 1.0) {
+            return Err(MarketError::InvalidConfig("contract must be in (0,1)".into()));
+        }
+        if !(0.0 < self.min_step && self.min_step <= self.init_step && self.init_step <= self.max_step)
+        {
+            return Err(MarketError::InvalidConfig(
+                "need 0 < min_step <= init_step <= max_step".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Eq. 5-constrained task strategy with an adaptive escalation step.
+#[derive(Debug, Clone)]
+pub struct AdaptiveStepTask {
+    target_gain: f64,
+    init: QuotedPrice,
+    adaptive: AdaptiveConfig,
+    step: f64,
+    last_gain: Option<f64>,
+}
+
+impl AdaptiveStepTask {
+    /// Builds the player (same opening semantics as [`crate::strategy::StrategicTask`]).
+    pub fn new(
+        target_gain: f64,
+        init_rate: f64,
+        init_base: f64,
+        adaptive: AdaptiveConfig,
+    ) -> Result<Self> {
+        adaptive.validate()?;
+        if !(target_gain > 0.0 && target_gain.is_finite()) {
+            return Err(MarketError::InvalidConfig(format!(
+                "target gain must be > 0, got {target_gain}"
+            )));
+        }
+        let init = QuotedPrice::new(init_rate, init_base, init_base + init_rate * target_gain)?;
+        Ok(AdaptiveStepTask { target_gain, init, step: adaptive.init_step, adaptive, last_gain: None })
+    }
+
+    /// Current escalation step (for tests/inspection).
+    pub fn current_step(&self) -> f64 {
+        self.step
+    }
+
+    /// Eq. 5-conforming min-cap escalation with the adaptive step (shared
+    /// coupled-ray sampling with [`crate::strategy::StrategicTask`]).
+    fn escalate(
+        &self,
+        current: &QuotedPrice,
+        cfg: &MarketConfig,
+        rng: &mut StdRng,
+    ) -> Option<QuotedPrice> {
+        crate::strategy::task::escalate_coupled(
+            current,
+            self.target_gain,
+            self.init.base,
+            self.step,
+            cfg,
+            rng,
+        )
+    }
+}
+
+impl TaskStrategy for AdaptiveStepTask {
+    fn initial_quote(&mut self, cfg: &MarketConfig, _rng: &mut StdRng) -> Result<QuotedPrice> {
+        if self.init.cap > cfg.budget {
+            return Err(MarketError::InvalidConfig(format!(
+                "opening cap {} exceeds budget {}",
+                self.init.cap, cfg.budget
+            )));
+        }
+        if self.init.rate >= cfg.utility_rate {
+            return Err(MarketError::InvalidConfig("opening rate must satisfy p < u".into()));
+        }
+        Ok(self.init)
+    }
+
+    fn decide(
+        &mut self,
+        ctx: &TaskContext<'_>,
+        cfg: &MarketConfig,
+        rng: &mut StdRng,
+    ) -> Result<TaskDecision> {
+        if !ctx.exploring {
+            if cfg.task_cost.is_flat() {
+                match task_case(cfg.utility_rate, ctx.quote, ctx.realized_gain, cfg.eps_task) {
+                    TaskCase::Fail => return Ok(TaskDecision::Fail),
+                    TaskCase::Success => return Ok(TaskDecision::Accept),
+                    TaskCase::Proceed => {}
+                }
+            } else {
+                if ctx.realized_gain < ctx.quote.break_even_gain(cfg.utility_rate) {
+                    return Ok(TaskDecision::Fail);
+                }
+                if eq7_task_accepts(
+                    cfg.utility_rate,
+                    ctx.quote,
+                    ctx.realized_gain,
+                    ctx.cost_now,
+                    ctx.cost_next,
+                    cfg.eps_task_cost,
+                ) {
+                    return Ok(TaskDecision::Accept);
+                }
+            }
+        }
+        // Controller update: stuck -> accelerate; improved -> decelerate.
+        if let Some(last) = self.last_gain {
+            if ctx.realized_gain > last + 1e-12 {
+                self.step = (self.step * self.adaptive.contract).max(self.adaptive.min_step);
+            } else {
+                self.step = (self.step * self.adaptive.expand).min(self.adaptive.max_step);
+            }
+        }
+        self.last_gain = Some(ctx.realized_gain);
+
+        match self.escalate(ctx.quote, cfg, rng) {
+            Some(quote) => Ok(TaskDecision::Requote(quote)),
+            None => {
+                if task_net_profit(cfg.utility_rate, ctx.quote, ctx.realized_gain) > 0.0 {
+                    Ok(TaskDecision::Accept)
+                } else {
+                    Ok(TaskDecision::Fail)
+                }
+            }
+        }
+    }
+
+    fn observe_course(&mut self, _quote: &QuotedPrice, _bundle: BundleMask, _gain: f64) {}
+
+    fn name(&self) -> &'static str {
+        "adaptive_step"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_bargaining;
+    use crate::gain::TableGainProvider;
+    use crate::listing::Listing;
+    use crate::price::ReservedPrice;
+    use crate::strategy::{StrategicData, StrategicTask};
+
+    fn ladder(n: usize) -> (TableGainProvider, Vec<Listing>, Vec<f64>) {
+        let gains: Vec<f64> = (1..=n).map(|k| 0.02 * k as f64).collect();
+        let listings: Vec<Listing> = (0..n)
+            .map(|k| Listing {
+                bundle: BundleMask::singleton(k),
+                reserved: ReservedPrice::new(3.5 + 0.8 * k as f64, 0.5 + 0.09 * k as f64)
+                    .unwrap(),
+            })
+            .collect();
+        let provider =
+            TableGainProvider::new(listings.iter().zip(&gains).map(|(l, &g)| (l.bundle, g)));
+        (provider, listings, gains)
+    }
+
+    fn cfg(seed: u64) -> MarketConfig {
+        MarketConfig {
+            utility_rate: 600.0,
+            budget: 14.0,
+            rate_cap: 18.0,
+            seed,
+            ..MarketConfig::default()
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(AdaptiveConfig { expand: 0.9, ..Default::default() }.validate().is_err());
+        assert!(AdaptiveConfig { contract: 1.5, ..Default::default() }.validate().is_err());
+        assert!(AdaptiveConfig { min_step: 0.5, init_step: 0.1, ..Default::default() }
+            .validate()
+            .is_err());
+        assert!(AdaptiveConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn reaches_the_same_equilibrium_bundle() {
+        let (provider, listings, gains) = ladder(10);
+        let target = 0.2;
+        for seed in 0..8 {
+            let mut task =
+                AdaptiveStepTask::new(target, 4.0, 0.6, AdaptiveConfig::default()).unwrap();
+            let mut data = StrategicData::with_gains(gains.clone());
+            let outcome =
+                run_bargaining(&provider, &listings, &mut task, &mut data, &cfg(seed)).unwrap();
+            assert!(outcome.is_success(), "seed {seed}: {:?}", outcome.status);
+            let last = outcome.final_record().unwrap();
+            assert!((last.gain - target).abs() < 1e-9, "seed {seed}");
+            assert!(last.quote.satisfies_equilibrium(last.gain, 0.05));
+        }
+    }
+
+    #[test]
+    fn adaptive_closes_faster_on_average_than_small_fixed_step() {
+        let (provider, listings, gains) = ladder(10);
+        let target = 0.2;
+        // Fixed small step = many rounds; adaptive accelerates while stuck.
+        let fixed_cfg = |seed| MarketConfig { escalation_step: 0.05, ..cfg(seed) };
+        let mean_rounds = |adaptive: bool| -> f64 {
+            let mut total = 0usize;
+            for seed in 0..10 {
+                let mut data = StrategicData::with_gains(gains.clone());
+                let outcome = if adaptive {
+                    let mut task = AdaptiveStepTask::new(
+                        target,
+                        4.0,
+                        0.6,
+                        AdaptiveConfig { init_step: 0.05, ..Default::default() },
+                    )
+                    .unwrap();
+                    run_bargaining(&provider, &listings, &mut task, &mut data, &fixed_cfg(seed))
+                        .unwrap()
+                } else {
+                    let mut task = StrategicTask::new(target, 4.0, 0.6).unwrap();
+                    run_bargaining(&provider, &listings, &mut task, &mut data, &fixed_cfg(seed))
+                        .unwrap()
+                };
+                assert!(outcome.is_success());
+                total += outcome.n_rounds();
+            }
+            total as f64 / 10.0
+        };
+        let fixed = mean_rounds(false);
+        let adaptive = mean_rounds(true);
+        assert!(
+            adaptive < fixed,
+            "adaptive must close faster: {adaptive:.1} vs fixed {fixed:.1} rounds"
+        );
+    }
+
+    #[test]
+    fn step_expands_while_stuck() {
+        let mut task = AdaptiveStepTask::new(0.2, 4.0, 0.6, AdaptiveConfig::default()).unwrap();
+        let c = cfg(1);
+        let mut rng = crate::strategy::tests_rng();
+        let q = task.initial_quote(&c, &mut rng).unwrap();
+        let before = task.current_step();
+        for round in 2..5 {
+            let ctx = TaskContext {
+                round,
+                exploring: false,
+                quote: &q,
+                realized_gain: 0.02, // same gain every round: stuck
+                cost_now: 0.0,
+                cost_next: 0.0,
+            };
+            let _ = task.decide(&ctx, &c, &mut rng).unwrap();
+        }
+        assert!(task.current_step() > before, "step must expand while stuck");
+    }
+}

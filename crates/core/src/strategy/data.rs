@@ -1,0 +1,345 @@
+//! Data-party strategies under perfect performance information (§3.4.1),
+//! plus the non-strategic *Random Bundle* baseline (§4.2).
+
+use crate::config::MarketConfig;
+use crate::error::{MarketError, Result};
+use crate::listing::Listing;
+use crate::strategy::{DataContext, DataResponse, DataStrategy};
+use crate::termination::{data_success, eq6_data_accepts};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Selects the affordable listings (reserved price cleared by the quote).
+fn affordable_indices(ctx: &DataContext<'_>, listings: &[Listing]) -> Vec<usize> {
+    listings
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.reserved.admits(ctx.quote))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Cheapest listing by (base, rate) — the exploration fallback offer when
+/// nothing is affordable but Case VII forbids failing.
+fn cheapest_listing(listings: &[Listing]) -> usize {
+    listings
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            (a.reserved.base, a.reserved.rate)
+                .partial_cmp(&(b.reserved.base, b.reserved.rate))
+                .expect("finite reserves")
+        })
+        .map(|(i, _)| i)
+        .expect("non-empty listings")
+}
+
+/// §3.4.1 bundle selection given per-listing gains: the affordable bundle
+/// whose gain lies nearest to but not above the target `(Ph - P0)/p`; if
+/// every affordable gain exceeds the target, the smallest-excess one
+/// (payment is capped at `Ph` either way — Case II branch 3 mirrored into
+/// the perfect setting).
+fn select_bundle(affordable: &[usize], gains: &[f64], target: f64) -> usize {
+    // Tiny slack so a bundle sitting exactly at the reconstructed target
+    // (cap - base)/rate is still treated as "not above" it.
+    let below = affordable
+        .iter()
+        .copied()
+        .filter(|&i| gains[i] <= target + 1e-9)
+        .max_by(|&a, &b| gains[a].partial_cmp(&gains[b]).expect("finite gains"));
+    below.unwrap_or_else(|| {
+        affordable
+            .iter()
+            .copied()
+            .min_by(|&a, &b| gains[a].partial_cmp(&gains[b]).expect("finite gains"))
+            .expect("non-empty affordable set")
+    })
+}
+
+/// The strategic data party with perfect performance information: it knows
+/// the true ΔG of every listing (pre-bargaining training by the trading
+/// platform, §3.4).
+#[derive(Debug, Clone)]
+pub struct StrategicData {
+    gains: Vec<f64>,
+}
+
+impl StrategicData {
+    /// Builds from per-listing true gains (aligned with the listing table).
+    pub fn with_gains(gains: Vec<f64>) -> Self {
+        StrategicData { gains }
+    }
+
+    /// The gains table (for inspection).
+    pub fn gains(&self) -> &[f64] {
+        &self.gains
+    }
+}
+
+impl DataStrategy for StrategicData {
+    fn respond(
+        &mut self,
+        ctx: &DataContext<'_>,
+        listings: &[Listing],
+        cfg: &MarketConfig,
+        _rng: &mut StdRng,
+    ) -> Result<DataResponse> {
+        if self.gains.len() != listings.len() {
+            return Err(MarketError::StrategyError(format!(
+                "gain table has {} entries for {} listings",
+                self.gains.len(),
+                listings.len()
+            )));
+        }
+        let affordable = affordable_indices(ctx, listings);
+        if affordable.is_empty() {
+            // Case 1, relaxed to a cheapest-bundle offer during exploration
+            // (Case VII keeps the game alive to generate training samples).
+            return Ok(if ctx.exploring {
+                DataResponse::Offer { listing: cheapest_listing(listings), is_final: false }
+            } else {
+                DataResponse::Withdraw
+            });
+        }
+        let target = ctx.quote.target_gain();
+        // §3.3 makes the objective functions mutually known, so the seller
+        // knows the buyer's break-even gain P0/(u - p): offering below it
+        // triggers a certain Case 4 failure, which a rational seller avoids
+        // whenever a viable bundle exists.
+        let break_even = ctx.quote.break_even_gain(cfg.utility_rate);
+        let viable: Vec<usize> = affordable
+            .iter()
+            .copied()
+            .filter(|&i| self.gains[i] >= break_even)
+            .collect();
+        let candidates = if viable.is_empty() { &affordable } else { &viable };
+        let pick = select_bundle(candidates, &self.gains, target);
+        if ctx.exploring {
+            return Ok(DataResponse::Offer { listing: pick, is_final: false });
+        }
+
+        let is_final = if cfg.data_cost.is_flat() {
+            // Case 2 (ε_d rule), plus the supply-exhausted shortcut: when the
+            // globally best bundle is already affordable and offered, no
+            // escalation can improve the offer — close the deal (the perfect
+            // -information mirror of Case II branch 2).
+            let best_overall = self
+                .gains
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max);
+            data_success(ctx.quote, self.gains[pick], cfg.eps_data)
+                || self.gains[pick] >= best_overall
+        } else {
+            // Eq. 6: compare with a conservative estimate of next round. The
+            // "target bundle" is the cheapest listing whose gain reaches the
+            // target; absent one, the selected bundle itself.
+            let target_reserve = listings
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| self.gains[*i] >= target)
+                .min_by(|(_, a), (_, b)| {
+                    (a.reserved.base + a.reserved.rate)
+                        .partial_cmp(&(b.reserved.base + b.reserved.rate))
+                        .expect("finite reserves")
+                })
+                .map(|(_, l)| l.reserved)
+                .unwrap_or(listings[pick].reserved);
+            eq6_data_accepts(
+                ctx.quote,
+                self.gains[pick],
+                &target_reserve,
+                ctx.cost_now,
+                ctx.cost_next,
+                cfg.eps_data_cost,
+            )
+        };
+        Ok(DataResponse::Offer { listing: pick, is_final })
+    }
+
+    fn name(&self) -> &'static str {
+        "strategic_data"
+    }
+}
+
+/// The *Random Bundle* baseline (§4.2): filters by reserved price, then
+/// offers a uniformly random affordable bundle. Termination conditions are
+/// unchanged, so low-gain offers frequently trip the task party's Case 4.
+#[derive(Debug, Clone)]
+pub struct RandomBundleData {
+    gains: Vec<f64>,
+}
+
+impl RandomBundleData {
+    /// Builds from per-listing true gains (used only for the Case 2 check).
+    pub fn with_gains(gains: Vec<f64>) -> Self {
+        RandomBundleData { gains }
+    }
+}
+
+impl DataStrategy for RandomBundleData {
+    fn respond(
+        &mut self,
+        ctx: &DataContext<'_>,
+        listings: &[Listing],
+        cfg: &MarketConfig,
+        rng: &mut StdRng,
+    ) -> Result<DataResponse> {
+        if self.gains.len() != listings.len() {
+            return Err(MarketError::StrategyError(format!(
+                "gain table has {} entries for {} listings",
+                self.gains.len(),
+                listings.len()
+            )));
+        }
+        let affordable = affordable_indices(ctx, listings);
+        if affordable.is_empty() {
+            return Ok(if ctx.exploring {
+                DataResponse::Offer { listing: cheapest_listing(listings), is_final: false }
+            } else {
+                DataResponse::Withdraw
+            });
+        }
+        let pick = affordable[rng.random_range(0..affordable.len())];
+        let is_final =
+            !ctx.exploring && data_success(ctx.quote, self.gains[pick], cfg.eps_data);
+        Ok(DataResponse::Offer { listing: pick, is_final })
+    }
+
+    fn name(&self) -> &'static str {
+        "random_bundle"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::price::{QuotedPrice, ReservedPrice};
+    use rand::SeedableRng;
+    use vfl_sim::BundleMask;
+
+    fn listings() -> Vec<Listing> {
+        // Reserves grow with gain; gains: 0.05, 0.12, 0.20, 0.30.
+        [(0.05, 5.0, 0.8), (0.12, 7.0, 1.0), (0.20, 9.0, 1.2), (0.30, 11.0, 1.5)]
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, rate, base))| Listing {
+                bundle: BundleMask::singleton(i),
+                reserved: ReservedPrice::new(rate, base).unwrap(),
+            })
+            .collect()
+    }
+
+    fn gains() -> Vec<f64> {
+        vec![0.05, 0.12, 0.20, 0.30]
+    }
+
+    fn ctx<'a>(quote: &'a QuotedPrice, exploring: bool) -> DataContext<'a> {
+        DataContext { round: 1, exploring, quote, cost_now: 0.0, cost_next: 0.0 }
+    }
+
+    #[test]
+    fn withdraws_when_nothing_affordable() {
+        let mut s = StrategicData::with_gains(gains());
+        let quote = QuotedPrice::new(4.0, 0.5, 1.0).unwrap(); // below every reserve
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = s.respond(&ctx(&quote, false), &listings(), &MarketConfig::default(), &mut rng);
+        assert_eq!(r.unwrap(), DataResponse::Withdraw);
+    }
+
+    #[test]
+    fn explores_cheapest_when_nothing_affordable() {
+        let mut s = StrategicData::with_gains(gains());
+        let quote = QuotedPrice::new(4.0, 0.5, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = s
+            .respond(&ctx(&quote, true), &listings(), &MarketConfig::default(), &mut rng)
+            .unwrap();
+        assert_eq!(r, DataResponse::Offer { listing: 0, is_final: false });
+    }
+
+    #[test]
+    fn offers_nearest_below_target() {
+        let mut s = StrategicData::with_gains(gains());
+        // Affordable: listings 0 and 1 (rate 7.5 >= 7, base 1.05 >= 1.0).
+        // Target gain: (2.25 - 1.05)/7.5 = 0.16 -> nearest below = 0.12.
+        let quote = QuotedPrice::new(7.5, 1.05, 2.25).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = s
+            .respond(&ctx(&quote, false), &listings(), &MarketConfig::default(), &mut rng)
+            .unwrap();
+        match r {
+            DataResponse::Offer { listing, is_final } => {
+                assert_eq!(listing, 1);
+                assert!(!is_final, "0.16 - 0.12 > eps_d");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn closes_when_target_hit() {
+        let mut s = StrategicData::with_gains(gains());
+        // Target gain exactly 0.12 with listing 1 affordable.
+        let quote = QuotedPrice::new(7.5, 1.05, 1.05 + 7.5 * 0.12).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = s
+            .respond(&ctx(&quote, false), &listings(), &MarketConfig::default(), &mut rng)
+            .unwrap();
+        assert_eq!(r, DataResponse::Offer { listing: 1, is_final: true });
+    }
+
+    #[test]
+    fn closes_when_supply_exhausted() {
+        // Everything affordable, target far above the best gain: the seller
+        // offers its best bundle and closes (no escalation can help).
+        let mut s = StrategicData::with_gains(gains());
+        let quote = QuotedPrice::new(20.0, 2.0, 2.0 + 20.0 * 0.9).unwrap(); // target 0.9
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = s
+            .respond(&ctx(&quote, false), &listings(), &MarketConfig::default(), &mut rng)
+            .unwrap();
+        assert_eq!(r, DataResponse::Offer { listing: 3, is_final: true });
+    }
+
+    #[test]
+    fn random_bundle_offers_affordable() {
+        let mut s = RandomBundleData::with_gains(gains());
+        let quote = QuotedPrice::new(9.5, 1.3, 3.0).unwrap(); // listings 0..=2 affordable
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..50 {
+            match s
+                .respond(&ctx(&quote, false), &listings(), &MarketConfig::default(), &mut rng)
+                .unwrap()
+            {
+                DataResponse::Offer { listing, .. } => {
+                    assert!(listing <= 2, "must be affordable");
+                    seen.insert(listing);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(seen.len() > 1, "random choice must vary");
+    }
+
+    #[test]
+    fn gain_table_size_mismatch_is_error() {
+        let mut s = StrategicData::with_gains(vec![0.1]);
+        let quote = QuotedPrice::new(9.5, 1.3, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(s
+            .respond(&ctx(&quote, false), &listings(), &MarketConfig::default(), &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn select_bundle_prefers_below_target() {
+        let gains = vec![0.05, 0.12, 0.2, 0.3];
+        let all: Vec<usize> = (0..4).collect();
+        assert_eq!(select_bundle(&all, &gains, 0.16), 1);
+        assert_eq!(select_bundle(&all, &gains, 0.2), 2);
+        // All above target: smallest excess.
+        assert_eq!(select_bundle(&all, &gains, 0.01), 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Bargaining strategies: the trait contracts both parties implement, plus
+//! the perfect-information strategic players and the two non-strategic
+//! baselines the paper compares against (§4.2). Imperfect-information
+//! (estimator-backed) strategies implement these same traits from the
+//! `vfl-estimator` crate.
+
+pub mod adaptive;
+pub mod data;
+pub mod task;
+
+pub use adaptive::{AdaptiveConfig, AdaptiveStepTask};
+pub use data::{RandomBundleData, StrategicData};
+pub use task::{IncreasePriceTask, StrategicTask};
+
+use crate::config::MarketConfig;
+use crate::error::Result;
+use crate::listing::Listing;
+use crate::price::QuotedPrice;
+use rand::rngs::StdRng;
+use vfl_sim::BundleMask;
+
+/// What the task party sees when deciding after a VFL course (Step 1 of the
+/// next round).
+#[derive(Debug, Clone, Copy)]
+pub struct TaskContext<'a> {
+    /// Current bargaining round `T` (1-based).
+    pub round: u32,
+    /// True during the imperfect-information exploration phase (Case VII):
+    /// termination is suppressed, the strategy must keep exploring.
+    pub exploring: bool,
+    /// The quote that produced this round's course.
+    pub quote: &'a QuotedPrice,
+    /// Realized ΔG of this round's VFL course.
+    pub realized_gain: f64,
+    /// `C_t(T)` — this round's accumulated task-party cost.
+    pub cost_now: f64,
+    /// `C_t(T+1)` — next round's cost (for Eq. 7).
+    pub cost_next: f64,
+}
+
+/// Task-party decision after observing a course.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TaskDecision {
+    /// Accept: transaction succeeds, task party pays (Case 5 / Eq. 7).
+    Accept,
+    /// Abort: transaction fails (Case 4).
+    Fail,
+    /// Keep bargaining with a new quote (Case 6).
+    Requote(QuotedPrice),
+}
+
+/// The buyer side of the game. Implementations must be deterministic given
+/// the engine-provided RNG.
+pub trait TaskStrategy {
+    /// The opening quote (Step 1 of round 1).
+    fn initial_quote(&mut self, cfg: &MarketConfig, rng: &mut StdRng) -> Result<QuotedPrice>;
+
+    /// Decision after a VFL course (Cases 4–6).
+    fn decide(
+        &mut self,
+        ctx: &TaskContext<'_>,
+        cfg: &MarketConfig,
+        rng: &mut StdRng,
+    ) -> Result<TaskDecision>;
+
+    /// Hook called after every VFL course with the realized gain (the
+    /// imperfect-information strategies train their estimator here).
+    fn observe_course(&mut self, _quote: &QuotedPrice, _bundle: BundleMask, _gain: f64) {}
+
+    /// Display name for experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+/// What the data party sees when responding to a quote (Step 2).
+#[derive(Debug, Clone, Copy)]
+pub struct DataContext<'a> {
+    /// Current bargaining round `T` (1-based).
+    pub round: u32,
+    /// True during the exploration phase (Case VII).
+    pub exploring: bool,
+    /// The quote on the table.
+    pub quote: &'a QuotedPrice,
+    /// `C_d(T)`.
+    pub cost_now: f64,
+    /// `C_d(T+1)` (for Eq. 6).
+    pub cost_next: f64,
+}
+
+/// Data-party response to a quote.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DataResponse {
+    /// Case 1: nothing affordable — transaction fails.
+    Withdraw,
+    /// Offer listing `listing` for this round's course; `is_final` marks a
+    /// Case 2 acceptance (the transaction closes after the course).
+    Offer { listing: usize, is_final: bool },
+}
+
+/// The seller side of the game.
+pub trait DataStrategy {
+    /// Response to a quote (Cases 1–3).
+    fn respond(
+        &mut self,
+        ctx: &DataContext<'_>,
+        listings: &[Listing],
+        cfg: &MarketConfig,
+        rng: &mut StdRng,
+    ) -> Result<DataResponse>;
+
+    /// Hook called after every VFL course with the realized gain.
+    fn observe_course(&mut self, _bundle: BundleMask, _gain: f64) {}
+
+    /// Display name for experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Seeded RNG for strategy unit tests (kept here so strategy test modules
+/// share one constructor).
+#[cfg(test)]
+pub(crate) fn tests_rng() -> StdRng {
+    use rand::SeedableRng;
+    StdRng::seed_from_u64(0x7e57)
+}

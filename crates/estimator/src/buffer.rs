@@ -1,0 +1,78 @@
+//! Bounded replay buffer of bargaining experiences used to train the ΔG
+//! estimators while bargaining (§3.5.1's "training while bargaining").
+
+use std::collections::VecDeque;
+
+/// Fixed-capacity FIFO experience buffer.
+#[derive(Debug, Clone)]
+pub struct ReplayBuffer<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> ReplayBuffer<T> {
+    /// New buffer holding at most `capacity` experiences.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "replay buffer capacity must be >= 1");
+        ReplayBuffer { items: VecDeque::with_capacity(capacity.min(1024)), capacity }
+    }
+
+    /// Appends an experience, evicting the oldest when full.
+    pub fn push(&mut self, item: T) {
+        if self.items.len() == self.capacity {
+            self.items.pop_front();
+        }
+        self.items.push_back(item);
+    }
+
+    /// Number of stored experiences.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Maximum capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterates stored experiences oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_evict() {
+        let mut b = ReplayBuffer::new(3);
+        for i in 0..5 {
+            b.push(i);
+        }
+        assert_eq!(b.len(), 3);
+        let items: Vec<i32> = b.iter().copied().collect();
+        assert_eq!(items, vec![2, 3, 4], "oldest evicted first");
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut b: ReplayBuffer<u8> = ReplayBuffer::new(2);
+        assert!(b.is_empty());
+        b.push(1);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.capacity(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be >= 1")]
+    fn zero_capacity_panics() {
+        let _ = ReplayBuffer::<u8>::new(0);
+    }
+}

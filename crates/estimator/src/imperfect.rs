@@ -1,0 +1,453 @@
+//! Imperfect-performance-information strategies (§3.5): estimator-backed
+//! implementations of the market's `TaskStrategy` / `DataStrategy` traits.
+//! During the first `N` exploration rounds (Case VII) both parties act to
+//! diversify their training data; afterwards they bargain on predictions
+//! and terminate on *realized* gains (Cases I–VI).
+
+use crate::bundle_model::{BundleGainModel, BundleModelConfig};
+use crate::price_model::{PriceGainModel, PriceModelConfig};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use vfl_market::strategy::{
+    DataContext, DataResponse, DataStrategy, TaskContext, TaskDecision, TaskStrategy,
+};
+use vfl_market::termination::{task_case, TaskCase};
+use vfl_market::{Listing, MarketConfig, MarketError, QuotedPrice};
+use vfl_sim::BundleMask;
+
+/// The imperfect-information task party (§3.5.3): samples Eq. 5-conforming
+/// quotes, predicts their gains with `f`, keeps those predicted to reach
+/// their own target, and offers the one with the highest estimated net
+/// profit. Termination checks use realized gains exactly as in the perfect
+/// setting.
+#[derive(Debug, Clone)]
+pub struct ImperfectTask {
+    target_gain: f64,
+    init: QuotedPrice,
+    model: PriceGainModel,
+}
+
+impl ImperfectTask {
+    /// Builds the player: ΔG*, the opening `(p0, P0^0)` (cap from Eq. 5),
+    /// and the estimator configuration.
+    pub fn new(
+        target_gain: f64,
+        init_rate: f64,
+        init_base: f64,
+        model_cfg: PriceModelConfig,
+    ) -> Result<Self, MarketError> {
+        if !(target_gain > 0.0 && target_gain.is_finite()) {
+            return Err(MarketError::InvalidConfig(format!(
+                "target gain must be > 0, got {target_gain}"
+            )));
+        }
+        let init = QuotedPrice::new(init_rate, init_base, init_base + init_rate * target_gain)?;
+        Ok(ImperfectTask { target_gain, init, model: PriceGainModel::new(model_cfg) })
+    }
+
+    /// Per-round MSE trace of the estimator `f` (Figure 4, task party).
+    pub fn mse_history(&self) -> &[f64] {
+        self.model.mse_history()
+    }
+
+    /// Read access to the estimator.
+    pub fn model(&self) -> &PriceGainModel {
+        &self.model
+    }
+
+    /// Draws one Eq. 5-conforming candidate in `(floor_cap, budget]`.
+    fn sample_candidate(
+        &self,
+        floor: &QuotedPrice,
+        cfg: &MarketConfig,
+        wide: bool,
+        rng: &mut StdRng,
+    ) -> Option<QuotedPrice> {
+        let rate_cap = cfg.effective_rate_cap();
+        let (rate_hi, cap_hi) = if wide {
+            (rate_cap, cfg.budget)
+        } else {
+            (
+                (floor.rate * (1.0 + cfg.escalation_step)).min(rate_cap),
+                (floor.cap * (1.0 + cfg.escalation_step)).min(cfg.budget),
+            )
+        };
+        if cap_hi <= floor.cap && rate_hi <= floor.rate {
+            return None;
+        }
+        let rate = if rate_hi > floor.rate {
+            floor.rate + rng.random::<f64>() * (rate_hi - floor.rate)
+        } else {
+            floor.rate
+        };
+        let cap = if cap_hi > floor.cap {
+            floor.cap + rng.random::<f64>() * (cap_hi - floor.cap)
+        } else {
+            floor.cap
+        };
+        let base = cap - rate * self.target_gain;
+        if base < 0.0 || base < self.init.base {
+            return None;
+        }
+        QuotedPrice::new(rate, base, cap).ok()
+    }
+
+    /// §3.5.3 offer generation: sample, predict, filter, maximize estimated
+    /// profit (fall back to the unfiltered maximizer when the filter is
+    /// empty).
+    fn estimate_quote(
+        &self,
+        current: &QuotedPrice,
+        cfg: &MarketConfig,
+        exploring: bool,
+        rng: &mut StdRng,
+    ) -> Option<QuotedPrice> {
+        let mut candidates = Vec::with_capacity(cfg.quote_samples);
+        for _ in 0..cfg.quote_samples {
+            // Exploration samples the full price space from the opening
+            // state to feed `f` diverse data; exploitation escalates from
+            // the current quote.
+            let floor = if exploring { &self.init } else { current };
+            if let Some(c) = self.sample_candidate(floor, cfg, exploring, rng) {
+                candidates.push(c);
+            }
+        }
+        if candidates.is_empty() {
+            return None;
+        }
+        if exploring {
+            // Random exploration: any valid sample will do.
+            return Some(candidates[rng.random_range(0..candidates.len())]);
+        }
+        let est_profit = |q: &QuotedPrice, pred: f64| cfg.utility_rate * pred - q.payment(pred);
+        let preds: Vec<f64> = candidates.iter().map(|q| self.model.predict(q)).collect();
+        let qualifying: Vec<usize> = (0..candidates.len())
+            .filter(|&i| preds[i] >= candidates[i].target_gain() - cfg.eps_task)
+            .collect();
+        let pool: Vec<usize> =
+            if qualifying.is_empty() { (0..candidates.len()).collect() } else { qualifying };
+        let best = pool
+            .iter()
+            .copied()
+            .max_by(|&a, &b| {
+                est_profit(&candidates[a], preds[a])
+                    .partial_cmp(&est_profit(&candidates[b], preds[b]))
+                    .expect("finite profits")
+            })
+            .expect("non-empty candidate pool");
+        Some(candidates[best])
+    }
+}
+
+impl TaskStrategy for ImperfectTask {
+    fn initial_quote(
+        &mut self,
+        cfg: &MarketConfig,
+        _rng: &mut StdRng,
+    ) -> Result<QuotedPrice, MarketError> {
+        if self.init.cap > cfg.budget {
+            return Err(MarketError::InvalidConfig(format!(
+                "opening cap {} exceeds budget {}",
+                self.init.cap, cfg.budget
+            )));
+        }
+        if self.init.rate >= cfg.utility_rate {
+            return Err(MarketError::InvalidConfig("opening rate must satisfy p < u".into()));
+        }
+        Ok(self.init)
+    }
+
+    fn decide(
+        &mut self,
+        ctx: &TaskContext<'_>,
+        cfg: &MarketConfig,
+        rng: &mut StdRng,
+    ) -> Result<TaskDecision, MarketError> {
+        if !ctx.exploring {
+            // Cases IV/V on the *realized* gain (§3.5.4: "termination
+            // conditions are based on the calculated real performance gain").
+            match task_case(cfg.utility_rate, ctx.quote, ctx.realized_gain, cfg.eps_task) {
+                TaskCase::Fail => return Ok(TaskDecision::Fail),
+                TaskCase::Success => return Ok(TaskDecision::Accept),
+                TaskCase::Proceed => {}
+            }
+        }
+        match self.estimate_quote(ctx.quote, cfg, ctx.exploring, rng) {
+            Some(q) => Ok(TaskDecision::Requote(q)),
+            None => {
+                if cfg.utility_rate * ctx.realized_gain - ctx.quote.payment(ctx.realized_gain)
+                    > 0.0
+                {
+                    Ok(TaskDecision::Accept)
+                } else {
+                    Ok(TaskDecision::Fail)
+                }
+            }
+        }
+    }
+
+    fn observe_course(&mut self, quote: &QuotedPrice, _bundle: BundleMask, gain: f64) {
+        self.model.observe(quote, gain);
+    }
+
+    fn name(&self) -> &'static str {
+        "imperfect_task"
+    }
+}
+
+/// The imperfect-information data party (§3.5.2): filters by reserved
+/// price, predicts each affordable bundle's gain with `g`, and offers the
+/// one predicted nearest the target; Case II's three closing branches apply
+/// on the predictions.
+#[derive(Debug, Clone)]
+pub struct ImperfectData {
+    model: BundleGainModel,
+}
+
+impl ImperfectData {
+    /// Builds the player from the estimator configuration.
+    pub fn new(model_cfg: BundleModelConfig) -> Self {
+        ImperfectData { model: BundleGainModel::new(model_cfg) }
+    }
+
+    /// Per-round MSE trace of the estimator `g` (Figure 4, data party).
+    pub fn mse_history(&self) -> &[f64] {
+        self.model.mse_history()
+    }
+
+    /// Read access to the estimator.
+    pub fn model(&self) -> &BundleGainModel {
+        &self.model
+    }
+}
+
+impl DataStrategy for ImperfectData {
+    fn respond(
+        &mut self,
+        ctx: &DataContext<'_>,
+        listings: &[Listing],
+        cfg: &MarketConfig,
+        rng: &mut StdRng,
+    ) -> Result<DataResponse, MarketError> {
+        let affordable: Vec<usize> = listings
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.reserved.admits(ctx.quote))
+            .map(|(i, _)| i)
+            .collect();
+        if affordable.is_empty() {
+            return Ok(if ctx.exploring {
+                // Case VII: keep the game alive with the cheapest bundle.
+                let cheapest = listings
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| {
+                        (a.reserved.base, a.reserved.rate)
+                            .partial_cmp(&(b.reserved.base, b.reserved.rate))
+                            .expect("finite reserves")
+                    })
+                    .map(|(i, _)| i)
+                    .expect("non-empty listings");
+                DataResponse::Offer { listing: cheapest, is_final: false }
+            } else {
+                DataResponse::Withdraw
+            });
+        }
+        if ctx.exploring {
+            // Case VII prescribes Case III behaviour during exploration:
+            // prediction-based selection, never final. Early on g is
+            // untrained, so picks are effectively random (diversifying its
+            // data); as g sharpens, exploration already concentrates near
+            // the equilibrium path — this keeps the price -> gain mapping
+            // the task party's f learns close to stationary.
+            let bundles: Vec<BundleMask> =
+                affordable.iter().map(|&i| listings[i].bundle).collect();
+            let preds = self.model.predict_many(&bundles);
+            let target = ctx.quote.target_gain();
+            let below = (0..affordable.len())
+                .filter(|&k| preds[k] <= target + 1e-9)
+                .max_by(|&a, &b| preds[a].partial_cmp(&preds[b]).expect("finite predictions"));
+            // Occasional random picks retain coverage of g's input space.
+            let pick = if rng.random::<f64>() < 0.25 {
+                rng.random_range(0..affordable.len())
+            } else {
+                below.unwrap_or(0)
+            };
+            return Ok(DataResponse::Offer { listing: affordable[pick], is_final: false });
+        }
+
+        let bundles: Vec<BundleMask> = affordable.iter().map(|&i| listings[i].bundle).collect();
+        let preds = self.model.predict_many(&bundles);
+        let target = ctx.quote.target_gain();
+
+        let below = (0..affordable.len())
+            .filter(|&k| preds[k] <= target + 1e-9)
+            .max_by(|&a, &b| preds[a].partial_cmp(&preds[b]).expect("finite predictions"));
+        let (max_k, max_pred) = (0..affordable.len())
+            .map(|k| (k, preds[k]))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite predictions"))
+            .expect("non-empty affordable set");
+        let (min_k, min_pred) = (0..affordable.len())
+            .map(|k| (k, preds[k]))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite predictions"))
+            .expect("non-empty affordable set");
+
+        // Case II's three success branches (on predictions):
+        //  1) the selected bundle predicts within ε_d of the target;
+        //  2) the target exceeds every prediction -> close with F_max;
+        //  3) the target undercuts every prediction -> close with F_min.
+        let (pick, is_final) = if target > max_pred {
+            (max_k, true)
+        } else if target < min_pred {
+            (min_k, true)
+        } else {
+            let k = below.unwrap_or(min_k);
+            (k, target - preds[k] <= cfg.eps_data)
+        };
+        Ok(DataResponse::Offer { listing: affordable[pick], is_final })
+    }
+
+    fn observe_course(&mut self, bundle: BundleMask, gain: f64) {
+        self.model.observe(bundle, gain);
+    }
+
+    fn name(&self) -> &'static str {
+        "imperfect_data"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use vfl_market::ReservedPrice;
+
+    fn cfg() -> MarketConfig {
+        MarketConfig {
+            utility_rate: 1000.0,
+            budget: 12.0,
+            rate_cap: 20.0,
+            explore_rounds: 5,
+            ..Default::default()
+        }
+    }
+
+    fn listings() -> Vec<Listing> {
+        [(5.0, 0.8), (7.0, 1.0), (9.0, 1.2), (11.0, 1.5)]
+            .iter()
+            .enumerate()
+            .map(|(i, &(rate, base))| Listing {
+                bundle: BundleMask::singleton(i),
+                reserved: ReservedPrice::new(rate, base).unwrap(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn task_explores_with_diverse_quotes() {
+        let mut t =
+            ImperfectTask::new(0.2, 6.0, 0.9, PriceModelConfig::default()).unwrap();
+        let c = cfg();
+        let mut rng = StdRng::seed_from_u64(1);
+        let q0 = t.initial_quote(&c, &mut rng).unwrap();
+        let mut caps = std::collections::BTreeSet::new();
+        for round in 1..=5 {
+            let ctx = TaskContext {
+                round,
+                exploring: true,
+                quote: &q0,
+                realized_gain: 0.05,
+                cost_now: 0.0,
+                cost_next: 0.0,
+            };
+            match t.decide(&ctx, &c, &mut rng).unwrap() {
+                TaskDecision::Requote(q) => {
+                    assert!(q.satisfies_equilibrium(0.2, 1e-9), "Eq. 5 must hold");
+                    caps.insert((q.cap * 1e6) as i64);
+                }
+                other => panic!("exploration must requote, got {other:?}"),
+            }
+        }
+        assert!(caps.len() >= 3, "exploration quotes must vary");
+    }
+
+    #[test]
+    fn task_terminates_on_realized_gain() {
+        let mut t =
+            ImperfectTask::new(0.2, 6.0, 0.9, PriceModelConfig::default()).unwrap();
+        let c = cfg();
+        let mut rng = StdRng::seed_from_u64(2);
+        let q = t.initial_quote(&c, &mut rng).unwrap();
+        let at_target = TaskContext {
+            round: 10,
+            exploring: false,
+            quote: &q,
+            realized_gain: 0.1999,
+            cost_now: 0.0,
+            cost_next: 0.0,
+        };
+        assert_eq!(t.decide(&at_target, &c, &mut rng).unwrap(), TaskDecision::Accept);
+        let below = TaskContext { realized_gain: 1e-7, ..at_target };
+        assert_eq!(t.decide(&below, &c, &mut rng).unwrap(), TaskDecision::Fail);
+    }
+
+    #[test]
+    fn data_withdraws_only_after_exploration() {
+        let mut d = ImperfectData::new(BundleModelConfig::for_features(4, 0.2, 3));
+        let c = cfg();
+        let mut rng = StdRng::seed_from_u64(3);
+        let poor = QuotedPrice::new(3.0, 0.3, 1.0).unwrap();
+        let exploring = DataContext {
+            round: 1,
+            exploring: true,
+            quote: &poor,
+            cost_now: 0.0,
+            cost_next: 0.0,
+        };
+        assert!(matches!(
+            d.respond(&exploring, &listings(), &c, &mut rng).unwrap(),
+            DataResponse::Offer { is_final: false, .. }
+        ));
+        let done = DataContext { exploring: false, ..exploring };
+        assert_eq!(
+            d.respond(&done, &listings(), &c, &mut rng).unwrap(),
+            DataResponse::Withdraw
+        );
+    }
+
+    #[test]
+    fn data_offers_affordable_predictions() {
+        let mut d = ImperfectData::new(BundleModelConfig::for_features(4, 0.2, 4));
+        // Teach the model something so predictions are non-degenerate.
+        for (i, g) in [0.05, 0.1, 0.15, 0.2].iter().enumerate() {
+            for _ in 0..10 {
+                d.observe_course(BundleMask::singleton(i), *g);
+            }
+        }
+        let c = cfg();
+        let mut rng = StdRng::seed_from_u64(5);
+        let quote = QuotedPrice::new(9.5, 1.3, 2.8).unwrap(); // listings 0..=2 affordable
+        let ctx = DataContext {
+            round: 120,
+            exploring: false,
+            quote: &quote,
+            cost_now: 0.0,
+            cost_next: 0.0,
+        };
+        match d.respond(&ctx, &listings(), &c, &mut rng).unwrap() {
+            DataResponse::Offer { listing, .. } => assert!(listing <= 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn estimators_track_mse() {
+        let mut t = ImperfectTask::new(0.2, 6.0, 0.9, PriceModelConfig::default()).unwrap();
+        let mut d = ImperfectData::new(BundleModelConfig::for_features(4, 0.2, 6));
+        let q = QuotedPrice::new(6.0, 0.9, 2.1).unwrap();
+        t.observe_course(&q, BundleMask::singleton(0), 0.1);
+        d.observe_course(BundleMask::singleton(0), 0.1);
+        assert_eq!(t.mse_history().len(), 1);
+        assert_eq!(d.mse_history().len(), 1);
+    }
+}

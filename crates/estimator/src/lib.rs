@@ -1,0 +1,22 @@
+//! # vfl-estimator
+//!
+//! Imperfect-performance-information machinery for the `vfl-bargain`
+//! reproduction (§3.5 of the paper): both parties learn to predict the
+//! performance gain ΔG *while bargaining* and act on their estimates.
+//!
+//! * [`buffer`] — bounded replay buffers of bargaining experience;
+//! * [`price_model`] — the task party's `f(p, P0, Ph) -> ΔG` MLP (Eq. 9);
+//! * [`bundle_model`] — the data party's `g(F) -> ΔG` embedding + MLP
+//!   network (Eq. 8, the nn.Embedding + mean-pooling setup of §4.4);
+//! * [`imperfect`] — estimator-backed `TaskStrategy` / `DataStrategy`
+//!   implementations with the Case I–VII termination behaviour.
+
+pub mod buffer;
+pub mod bundle_model;
+pub mod imperfect;
+pub mod price_model;
+
+pub use buffer::ReplayBuffer;
+pub use bundle_model::{BundleGainModel, BundleModelConfig};
+pub use imperfect::{ImperfectData, ImperfectTask};
+pub use price_model::{PriceGainModel, PriceModelConfig};

@@ -1,0 +1,56 @@
+//! Error type for model training and inference.
+
+use std::fmt;
+use vfl_tabular::TabularError;
+
+/// Errors raised by the ML substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MlError {
+    /// Feature matrix and label vector disagree on sample count.
+    SampleMismatch { x_rows: usize, y_len: usize },
+    /// The model was asked to predict before being fitted.
+    NotFitted,
+    /// Prediction input width differs from the training width.
+    FeatureMismatch { expected: usize, got: usize },
+    /// A hyper-parameter was invalid.
+    InvalidConfig(String),
+    /// Training data was empty or single-class where that is unsupported.
+    DegenerateData(String),
+    /// An underlying tabular/matrix operation failed.
+    Tabular(TabularError),
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::SampleMismatch { x_rows, y_len } => {
+                write!(f, "feature matrix has {x_rows} rows but {y_len} labels given")
+            }
+            MlError::NotFitted => write!(f, "model has not been fitted"),
+            MlError::FeatureMismatch { expected, got } => {
+                write!(f, "model trained on {expected} features, got {got}")
+            }
+            MlError::InvalidConfig(msg) => write!(f, "invalid model config: {msg}"),
+            MlError::DegenerateData(msg) => write!(f, "degenerate training data: {msg}"),
+            MlError::Tabular(e) => write!(f, "tabular error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MlError::Tabular(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TabularError> for MlError {
+    fn from(e: TabularError) -> Self {
+        MlError::Tabular(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, MlError>;

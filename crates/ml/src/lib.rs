@@ -1,0 +1,32 @@
+//! # vfl-ml
+//!
+//! From-scratch ML substrate for the `vfl-bargain` reproduction: the paper
+//! trains Random Forest and 3-layer MLP base models inside VFL courses and
+//! MLP/embedding ΔG estimators during bargaining — all of which are built
+//! here with no external ML framework.
+//!
+//! * [`tree`] / [`forest`] — CART gini trees and parallel random forests;
+//! * [`nn`] — linear layers, activations, BCE/MSE losses, Adam, MLPs, and an
+//!   embedding table, all with manual backprop;
+//! * [`logreg`] — logistic-regression extra baseline;
+//! * [`metrics`] — accuracy (the paper's metric), AUC, log-loss, MSE;
+//! * [`model`] — the [`model::Classifier`] trait the VFL course runner
+//!   trains against.
+
+pub mod error;
+pub mod forest;
+pub mod gbdt;
+pub mod logreg;
+pub mod metrics;
+pub mod model;
+pub mod nn;
+pub mod rng;
+pub mod tree;
+
+pub use error::{MlError, Result};
+pub use forest::{ForestConfig, RandomForest};
+pub use gbdt::{GbdtConfig, GradientBoosting};
+pub use logreg::{LogRegConfig, LogisticRegression};
+pub use model::{Classifier, MajorityClassifier};
+pub use nn::{Activation, AdamConfig, Embedding, Mlp, MlpClassifier, MlpRegressor, TrainConfig};
+pub use tree::{DecisionTree, MaxFeatures, TreeConfig};

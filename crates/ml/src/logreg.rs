@@ -1,0 +1,161 @@
+//! Logistic regression trained by full-batch gradient descent. Not used by
+//! the paper's headline experiments; serves as a cheap extra baseline for
+//! the ablation benches and as a cross-check on the NN substrate.
+
+use crate::error::{MlError, Result};
+use crate::model::{check_fit_inputs, Classifier};
+use vfl_tabular::{Matrix, Standardizer};
+
+/// Logistic-regression hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogRegConfig {
+    pub iterations: usize,
+    pub lr: f64,
+    pub l2: f64,
+}
+
+impl Default for LogRegConfig {
+    fn default() -> Self {
+        LogRegConfig { iterations: 300, lr: 0.5, l2: 1e-4 }
+    }
+}
+
+/// A fitted (or fittable) logistic-regression classifier.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    cfg: LogRegConfig,
+    state: Option<Fitted>,
+}
+
+#[derive(Debug, Clone)]
+struct Fitted {
+    weights: Vec<f64>,
+    bias: f64,
+    standardizer: Standardizer,
+}
+
+#[inline]
+fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl LogisticRegression {
+    /// Creates an unfitted model.
+    pub fn new(cfg: LogRegConfig) -> Self {
+        LogisticRegression { cfg, state: None }
+    }
+
+    /// Fitted coefficient vector (for inspection).
+    pub fn coefficients(&self) -> Option<&[f64]> {
+        self.state.as_ref().map(|s| s.weights.as_slice())
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn fit(&mut self, x: &Matrix, y: &[u8]) -> Result<()> {
+        if self.cfg.iterations == 0 || self.cfg.lr <= 0.0 || self.cfg.lr.is_nan() {
+            return Err(MlError::InvalidConfig("iterations >= 1 and lr > 0 required".into()));
+        }
+        check_fit_inputs(x, y)?;
+        let standardizer = Standardizer::fit(x);
+        let mut xs = x.clone();
+        standardizer.transform_inplace(&mut xs);
+
+        let (n, d) = xs.shape();
+        let mut w = vec![0.0f64; d];
+        let mut b = 0.0f64;
+        let inv_n = 1.0 / n as f64;
+        let mut grad = vec![0.0f64; d];
+        for _ in 0..self.cfg.iterations {
+            grad.iter_mut().for_each(|g| *g = 0.0);
+            let mut gb = 0.0;
+            for (row, &target) in xs.iter_rows().zip(y) {
+                let z: f64 = row.iter().zip(&w).map(|(a, b)| a * b).sum::<f64>() + b;
+                let err = (sigmoid(z) - target as f64) * inv_n;
+                for (g, &v) in grad.iter_mut().zip(row) {
+                    *g += err * v;
+                }
+                gb += err;
+            }
+            for (wi, g) in w.iter_mut().zip(&grad) {
+                *wi -= self.cfg.lr * (g + self.cfg.l2 * *wi);
+            }
+            b -= self.cfg.lr * gb;
+        }
+        self.state = Some(Fitted { weights: w, bias: b, standardizer });
+        Ok(())
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>> {
+        let fitted = self.state.as_ref().ok_or(MlError::NotFitted)?;
+        if x.cols() != fitted.weights.len() {
+            return Err(MlError::FeatureMismatch { expected: fitted.weights.len(), got: x.cols() });
+        }
+        let mut xs = x.clone();
+        fitted.standardizer.transform_inplace(&mut xs);
+        Ok(xs
+            .iter_rows()
+            .map(|row| {
+                let z: f64 =
+                    row.iter().zip(&fitted.weights).map(|(a, b)| a * b).sum::<f64>() + fitted.bias;
+                sigmoid(z)
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy_from_probs;
+    use crate::rng::{normal, rng_from_seed};
+
+    fn blobs(n: usize, seed: u64) -> (Matrix, Vec<u8>) {
+        let mut rng = rng_from_seed(seed);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let label = (i % 2) as u8;
+            let c = if label == 1 { 1.5 } else { -1.5 };
+            rows.push(vec![c + normal(&mut rng), c + normal(&mut rng)]);
+            y.push(label);
+        }
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn separable_data_learns() {
+        let (x, y) = blobs(300, 1);
+        let mut lr = LogisticRegression::new(LogRegConfig::default());
+        lr.fit(&x, &y).unwrap();
+        let acc = accuracy_from_probs(&lr.predict_proba(&x).unwrap(), &y);
+        assert!(acc > 0.9, "acc {acc}");
+    }
+
+    #[test]
+    fn recovers_coefficient_sign() {
+        let (x, y) = blobs(300, 2);
+        let mut lr = LogisticRegression::new(LogRegConfig::default());
+        lr.fit(&x, &y).unwrap();
+        for &c in lr.coefficients().unwrap() {
+            assert!(c > 0.0);
+        }
+    }
+
+    #[test]
+    fn error_paths() {
+        let lr = LogisticRegression::new(LogRegConfig::default());
+        assert!(matches!(lr.predict_proba(&Matrix::zeros(1, 2)).unwrap_err(), MlError::NotFitted));
+        let mut bad = LogisticRegression::new(LogRegConfig { iterations: 0, ..Default::default() });
+        assert!(bad.fit(&Matrix::zeros(1, 1), &[1]).is_err());
+        let (x, y) = blobs(50, 3);
+        let mut lr = LogisticRegression::new(LogRegConfig::default());
+        lr.fit(&x, &y).unwrap();
+        assert!(lr.predict_proba(&Matrix::zeros(1, 3)).is_err());
+    }
+}

@@ -1,0 +1,150 @@
+//! Classification and regression metrics.
+//!
+//! The paper reports Accuracy as the base-model performance metric (§4.1.1);
+//! AUC and log-loss are provided for the extended analyses.
+
+/// Fraction of correct hard predictions.
+pub fn accuracy(pred: &[u8], truth: &[u8]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "accuracy: length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let correct = pred.iter().zip(truth).filter(|(p, t)| p == t).count();
+    correct as f64 / pred.len() as f64
+}
+
+/// Thresholds probabilities at 0.5 into hard labels.
+pub fn threshold(probs: &[f64]) -> Vec<u8> {
+    probs.iter().map(|&p| u8::from(p >= 0.5)).collect()
+}
+
+/// Accuracy of probabilistic predictions at the 0.5 threshold.
+pub fn accuracy_from_probs(probs: &[f64], truth: &[u8]) -> f64 {
+    accuracy(&threshold(probs), truth)
+}
+
+/// Area under the ROC curve via the rank statistic (ties get mid-ranks).
+pub fn auc(probs: &[f64], truth: &[u8]) -> f64 {
+    assert_eq!(probs.len(), truth.len(), "auc: length mismatch");
+    let n_pos = truth.iter().filter(|&&t| t == 1).count();
+    let n_neg = truth.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    let mut order: Vec<usize> = (0..probs.len()).collect();
+    order.sort_by(|&a, &b| probs[a].partial_cmp(&probs[b]).expect("finite probabilities"));
+    // Assign mid-ranks to tied groups.
+    let mut ranks = vec![0.0f64; probs.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && probs[order[j + 1]] == probs[order[i]] {
+            j += 1;
+        }
+        let mid_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            ranks[k] = mid_rank;
+        }
+        i = j + 1;
+    }
+    let rank_sum_pos: f64 =
+        truth.iter().zip(&ranks).filter(|(&t, _)| t == 1).map(|(_, &r)| r).sum();
+    (rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0) / (n_pos * n_neg) as f64
+}
+
+/// Binary cross-entropy of probabilistic predictions (clipped for safety).
+pub fn log_loss(probs: &[f64], truth: &[u8]) -> f64 {
+    assert_eq!(probs.len(), truth.len(), "log_loss: length mismatch");
+    if probs.is_empty() {
+        return 0.0;
+    }
+    let eps = 1e-12;
+    let total: f64 = probs
+        .iter()
+        .zip(truth)
+        .map(|(&p, &t)| {
+            let p = p.clamp(eps, 1.0 - eps);
+            if t == 1 {
+                -p.ln()
+            } else {
+                -(1.0 - p).ln()
+            }
+        })
+        .sum();
+    total / probs.len() as f64
+}
+
+/// Mean squared error between two real-valued slices.
+pub fn mse(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "mse: length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / pred.len() as f64
+}
+
+/// 2x2 confusion counts `(tp, fp, fn, tn)`.
+pub fn confusion(pred: &[u8], truth: &[u8]) -> (usize, usize, usize, usize) {
+    assert_eq!(pred.len(), truth.len(), "confusion: length mismatch");
+    let (mut tp, mut fp, mut fneg, mut tn) = (0, 0, 0, 0);
+    for (&p, &t) in pred.iter().zip(truth) {
+        match (p, t) {
+            (1, 1) => tp += 1,
+            (1, 0) => fp += 1,
+            (0, 1) => fneg += 1,
+            _ => tn += 1,
+        }
+    }
+    (tp, fp, fneg, tn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[1, 0, 1], &[1, 0, 0]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn threshold_at_half() {
+        assert_eq!(threshold(&[0.49, 0.5, 0.9]), vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let truth = [0, 0, 1, 1];
+        assert_eq!(auc(&[0.1, 0.2, 0.8, 0.9], &truth), 1.0);
+        assert_eq!(auc(&[0.9, 0.8, 0.2, 0.1], &truth), 0.0);
+    }
+
+    #[test]
+    fn auc_handles_ties_and_degenerate() {
+        let truth = [0, 1, 0, 1];
+        assert!((auc(&[0.5, 0.5, 0.5, 0.5], &truth) - 0.5).abs() < 1e-12);
+        assert_eq!(auc(&[0.3, 0.4], &[1, 1]), 0.5);
+    }
+
+    #[test]
+    fn log_loss_bounds() {
+        let good = log_loss(&[0.99, 0.01], &[1, 0]);
+        let bad = log_loss(&[0.01, 0.99], &[1, 0]);
+        assert!(good < 0.05);
+        assert!(bad > 3.0);
+        // Clipping keeps pathological inputs finite.
+        assert!(log_loss(&[0.0, 1.0], &[1, 0]).is_finite());
+    }
+
+    #[test]
+    fn mse_basics() {
+        assert_eq!(mse(&[1.0, 2.0], &[1.0, 4.0]), 2.0);
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let (tp, fp, fneg, tn) = confusion(&[1, 1, 0, 0], &[1, 0, 1, 0]);
+        assert_eq!((tp, fp, fneg, tn), (1, 1, 1, 1));
+    }
+}

@@ -1,0 +1,87 @@
+//! The `Classifier` trait: the contract the VFL course runner trains
+//! against, implemented by the random forest, the MLP, and the logistic
+//! regression baseline.
+
+use crate::error::Result;
+use crate::metrics;
+use vfl_tabular::Matrix;
+
+/// A binary probabilistic classifier.
+pub trait Classifier {
+    /// Fits the model on features `x` and binary labels `y`.
+    fn fit(&mut self, x: &Matrix, y: &[u8]) -> Result<()>;
+
+    /// Predicted probability of the positive class for every row of `x`.
+    fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>>;
+
+    /// Hard predictions at the 0.5 threshold.
+    fn predict(&self, x: &Matrix) -> Result<Vec<u8>> {
+        Ok(metrics::threshold(&self.predict_proba(x)?))
+    }
+
+    /// Accuracy on a labelled set.
+    fn score(&self, x: &Matrix, y: &[u8]) -> Result<f64> {
+        Ok(metrics::accuracy(&self.predict(x)?, y))
+    }
+}
+
+/// Validates the basic shape invariants shared by every `fit`.
+pub fn check_fit_inputs(x: &Matrix, y: &[u8]) -> Result<()> {
+    if x.rows() != y.len() {
+        return Err(crate::error::MlError::SampleMismatch { x_rows: x.rows(), y_len: y.len() });
+    }
+    if x.rows() == 0 {
+        return Err(crate::error::MlError::DegenerateData("empty training set".into()));
+    }
+    Ok(())
+}
+
+/// Majority-class baseline: the `M0`-floor sanity model.
+#[derive(Debug, Clone, Default)]
+pub struct MajorityClassifier {
+    prob: Option<f64>,
+}
+
+impl Classifier for MajorityClassifier {
+    fn fit(&mut self, x: &Matrix, y: &[u8]) -> Result<()> {
+        check_fit_inputs(x, y)?;
+        let pos = y.iter().map(|&v| v as usize).sum::<usize>() as f64 / y.len() as f64;
+        self.prob = Some(pos);
+        Ok(())
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>> {
+        let p = self.prob.ok_or(crate::error::MlError::NotFitted)?;
+        Ok(vec![p; x.rows()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_predicts_base_rate() {
+        let x = Matrix::zeros(4, 2);
+        let y = [1, 1, 1, 0];
+        let mut m = MajorityClassifier::default();
+        m.fit(&x, &y).unwrap();
+        assert_eq!(m.predict_proba(&x).unwrap(), vec![0.75; 4]);
+        assert_eq!(m.predict(&x).unwrap(), vec![1, 1, 1, 1]);
+        assert_eq!(m.score(&x, &y).unwrap(), 0.75);
+    }
+
+    #[test]
+    fn unfitted_model_errors() {
+        let m = MajorityClassifier::default();
+        assert!(m.predict_proba(&Matrix::zeros(1, 1)).is_err());
+    }
+
+    #[test]
+    fn fit_input_validation() {
+        let x = Matrix::zeros(2, 1);
+        assert!(check_fit_inputs(&x, &[1]).is_err());
+        assert!(check_fit_inputs(&Matrix::zeros(0, 1), &[]).is_err());
+        assert!(check_fit_inputs(&x, &[0, 1]).is_ok());
+    }
+}

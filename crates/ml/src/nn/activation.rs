@@ -1,0 +1,138 @@
+//! Element-wise activation layers.
+
+use vfl_tabular::Matrix;
+
+/// Supported non-linearities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    Relu,
+    Sigmoid,
+    Tanh,
+}
+
+impl Activation {
+    #[inline]
+    fn apply(&self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Sigmoid => {
+                if x >= 0.0 {
+                    1.0 / (1.0 + (-x).exp())
+                } else {
+                    let e = x.exp();
+                    e / (1.0 + e)
+                }
+            }
+            Activation::Tanh => x.tanh(),
+        }
+    }
+
+    /// Derivative expressed through the *output* value (all three supported
+    /// activations allow this, avoiding an input cache).
+    #[inline]
+    fn grad_from_output(&self, y: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Tanh => 1.0 - y * y,
+        }
+    }
+}
+
+/// Activation layer caching its output for the backward pass.
+#[derive(Debug, Clone)]
+pub struct ActLayer {
+    act: Activation,
+    output: Option<Matrix>,
+}
+
+impl ActLayer {
+    /// New activation layer.
+    pub fn new(act: Activation) -> Self {
+        ActLayer { act, output: None }
+    }
+
+    /// The wrapped activation kind.
+    pub fn kind(&self) -> Activation {
+        self.act
+    }
+
+    /// Forward pass with output caching.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let mut out = x.clone();
+        out.map_inplace(|v| self.act.apply(v));
+        self.output = Some(out.clone());
+        out
+    }
+
+    /// Forward pass without caching (inference).
+    pub fn forward_inference(&self, x: &Matrix) -> Matrix {
+        let mut out = x.clone();
+        out.map_inplace(|v| self.act.apply(v));
+        out
+    }
+
+    /// Backward pass: `dL/dx = dL/dy * act'(x)`.
+    pub fn backward(&mut self, d_out: &Matrix) -> Matrix {
+        let y = self.output.as_ref().expect("activation backward before forward");
+        assert_eq!(y.shape(), d_out.shape(), "activation grad shape");
+        let mut dx = d_out.clone();
+        for (d, &o) in dx.as_mut_slice().iter_mut().zip(y.as_slice()) {
+            *d *= self.act.grad_from_output(o);
+        }
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clips_negatives() {
+        let mut layer = ActLayer::new(Activation::Relu);
+        let x = Matrix::from_vec(1, 3, vec![-1.0, 0.0, 2.0]).unwrap();
+        let y = layer.forward(&x);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
+        let dx = layer.backward(&Matrix::filled(1, 3, 1.0));
+        assert_eq!(dx.as_slice(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn sigmoid_range_and_grad() {
+        let mut layer = ActLayer::new(Activation::Sigmoid);
+        let x = Matrix::from_vec(1, 3, vec![-50.0, 0.0, 50.0]).unwrap();
+        let y = layer.forward(&x);
+        assert!(y.get(0, 0) < 1e-12);
+        assert!((y.get(0, 1) - 0.5).abs() < 1e-12);
+        assert!(y.get(0, 2) > 1.0 - 1e-12);
+        let dx = layer.backward(&Matrix::filled(1, 3, 1.0));
+        // Max slope 0.25 at x = 0.
+        assert!((dx.get(0, 1) - 0.25).abs() < 1e-12);
+        assert!(dx.get(0, 0) < 1e-12);
+    }
+
+    #[test]
+    fn tanh_numerical_gradient() {
+        let mut layer = ActLayer::new(Activation::Tanh);
+        let x = Matrix::from_vec(1, 1, vec![0.7]).unwrap();
+        let _ = layer.forward(&x);
+        let dx = layer.backward(&Matrix::filled(1, 1, 1.0));
+        let eps = 1e-6;
+        let num = ((0.7f64 + eps).tanh() - (0.7f64 - eps).tanh()) / (2.0 * eps);
+        assert!((dx.get(0, 0) - num).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inference_matches_forward() {
+        let mut layer = ActLayer::new(Activation::Tanh);
+        let x = Matrix::from_vec(2, 2, vec![-1.0, 0.5, 2.0, -0.2]).unwrap();
+        assert_eq!(layer.forward(&x), layer.forward_inference(&x));
+    }
+}

@@ -1,0 +1,77 @@
+//! Seeded sampling helpers shared by the tree/forest/NN trainers.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// Deterministic RNG from a seed (the only RNG constructor used in this
+/// workspace, so every experiment is reproducible from one base seed).
+pub fn rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Draws `n` bootstrap indices (with replacement) from `0..n`.
+pub fn bootstrap_indices(n: usize, rng: &mut StdRng) -> Vec<usize> {
+    (0..n).map(|_| rng.random_range(0..n)).collect()
+}
+
+/// Chooses `k` distinct indices from `0..n` (partial Fisher–Yates).
+pub fn sample_without_replacement(n: usize, k: usize, rng: &mut StdRng) -> Vec<usize> {
+    let k = k.min(n);
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.random_range(i..n);
+        idx.swap(i, j);
+    }
+    idx.truncate(k);
+    idx
+}
+
+/// Shuffles a slice in place.
+pub fn shuffle<T>(items: &mut [T], rng: &mut StdRng) {
+    items.shuffle(rng);
+}
+
+/// Standard normal via Box–Muller.
+pub fn normal(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.random::<f64>();
+        let u2: f64 = rng.random::<f64>();
+        if u1 > 1e-300 {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bootstrap_has_right_length_and_range() {
+        let mut rng = rng_from_seed(1);
+        let idx = bootstrap_indices(100, &mut rng);
+        assert_eq!(idx.len(), 100);
+        assert!(idx.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn sample_without_replacement_is_distinct() {
+        let mut rng = rng_from_seed(2);
+        let s = sample_without_replacement(50, 20, &mut rng);
+        assert_eq!(s.len(), 20);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20);
+        // k > n clamps.
+        assert_eq!(sample_without_replacement(3, 10, &mut rng).len(), 3);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = rng_from_seed(7);
+        let mut b = rng_from_seed(7);
+        assert_eq!(bootstrap_indices(20, &mut a), bootstrap_indices(20, &mut b));
+    }
+}

@@ -1,0 +1,129 @@
+//! Column storage: numeric columns are `Vec<f64>`, categorical columns are
+//! `Vec<u32>` category codes.
+
+use crate::error::{Result, TabularError};
+use crate::schema::ColumnKind;
+
+/// A single column of data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    Numeric(Vec<f64>),
+    Categorical(Vec<u32>),
+}
+
+impl Column {
+    /// Number of values stored.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Numeric(v) => v.len(),
+            Column::Categorical(v) => v.len(),
+        }
+    }
+
+    /// True when the column holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Numeric view, if this is a numeric column.
+    pub fn as_numeric(&self) -> Option<&[f64]> {
+        match self {
+            Column::Numeric(v) => Some(v),
+            Column::Categorical(_) => None,
+        }
+    }
+
+    /// Categorical view, if this is a categorical column.
+    pub fn as_categorical(&self) -> Option<&[u32]> {
+        match self {
+            Column::Categorical(v) => Some(v),
+            Column::Numeric(_) => None,
+        }
+    }
+
+    /// Checks the column matches its declared kind and (for categoricals)
+    /// that every code is within the declared cardinality.
+    pub fn validate(&self, name: &str, kind: &ColumnKind) -> Result<()> {
+        match (self, kind) {
+            (Column::Numeric(_), ColumnKind::Numeric) => Ok(()),
+            (Column::Categorical(values), ColumnKind::Categorical { cardinality }) => {
+                for &v in values {
+                    if v >= *cardinality {
+                        return Err(TabularError::CategoryOutOfRange {
+                            column: name.to_string(),
+                            value: v,
+                            cardinality: *cardinality,
+                        });
+                    }
+                }
+                Ok(())
+            }
+            _ => Err(TabularError::InvalidParameter(format!(
+                "column `{name}` data does not match its schema kind"
+            ))),
+        }
+    }
+
+    /// Selects the given row indices into a new column.
+    pub fn select(&self, indices: &[usize]) -> Result<Column> {
+        let check = |i: usize, len: usize| {
+            if i >= len {
+                Err(TabularError::IndexOutOfBounds { context: "Column::select", index: i, len })
+            } else {
+                Ok(())
+            }
+        };
+        match self {
+            Column::Numeric(v) => {
+                let mut out = Vec::with_capacity(indices.len());
+                for &i in indices {
+                    check(i, v.len())?;
+                    out.push(v[i]);
+                }
+                Ok(Column::Numeric(out))
+            }
+            Column::Categorical(v) => {
+                let mut out = Vec::with_capacity(indices.len());
+                for &i in indices {
+                    check(i, v.len())?;
+                    out.push(v[i]);
+                }
+                Ok(Column::Categorical(out))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_accepts_matching_kind() {
+        let c = Column::Numeric(vec![1.0, 2.0]);
+        assert!(c.validate("x", &ColumnKind::Numeric).is_ok());
+        let c = Column::Categorical(vec![0, 1, 2]);
+        assert!(c.validate("x", &ColumnKind::Categorical { cardinality: 3 }).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_category() {
+        let c = Column::Categorical(vec![0, 5]);
+        let err = c.validate("x", &ColumnKind::Categorical { cardinality: 3 }).unwrap_err();
+        assert!(matches!(err, TabularError::CategoryOutOfRange { .. }));
+    }
+
+    #[test]
+    fn validate_rejects_kind_mismatch() {
+        let c = Column::Numeric(vec![1.0]);
+        assert!(c.validate("x", &ColumnKind::Categorical { cardinality: 2 }).is_err());
+    }
+
+    #[test]
+    fn select_reorders_and_bounds_checks() {
+        let c = Column::Categorical(vec![7, 8, 9]);
+        let s = c.select(&[2, 0]).unwrap();
+        assert_eq!(s.as_categorical().unwrap(), &[9, 7]);
+        assert!(c.select(&[3]).is_err());
+    }
+}

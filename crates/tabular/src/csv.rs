@@ -1,0 +1,216 @@
+//! Minimal CSV reader/writer.
+//!
+//! Two jobs: (1) let users substitute the *real* Titanic/Credit/Adult files
+//! for the synthetic generators (same preprocessing path afterwards), and
+//! (2) persist experiment output series for the figure/table harness.
+//! Supports quoted fields with embedded commas and doubled-quote escapes;
+//! no embedded newlines (none of the target files need them).
+
+use crate::column::Column;
+use crate::error::{Result, TabularError};
+use crate::frame::Frame;
+use crate::schema::{ColumnKind, ColumnSpec, Schema};
+use std::collections::BTreeMap;
+use std::io::{BufRead, Write};
+
+/// Parses a single CSV line into fields.
+pub fn parse_line(line: &str, line_no: usize) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cur.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => cur.push(c),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if cur.is_empty() {
+                        in_quotes = true;
+                    } else {
+                        return Err(TabularError::Csv {
+                            line: line_no,
+                            message: "quote inside unquoted field".into(),
+                        });
+                    }
+                }
+                ',' => {
+                    fields.push(std::mem::take(&mut cur));
+                }
+                _ => cur.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(TabularError::Csv { line: line_no, message: "unterminated quote".into() });
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+/// Escapes a field for CSV output.
+pub fn escape_field(field: &str) -> String {
+    if field.contains(',') || field.contains('"') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Writes a header plus rows of `f64` values.
+pub fn write_table<W: Write>(
+    out: &mut W,
+    header: &[&str],
+    rows: impl Iterator<Item = Vec<f64>>,
+) -> std::io::Result<()> {
+    writeln!(out, "{}", header.join(","))?;
+    for row in rows {
+        let line: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        writeln!(out, "{}", line.join(","))?;
+    }
+    Ok(())
+}
+
+/// Raw CSV table: header + string cells.
+#[derive(Debug, Clone)]
+pub struct RawTable {
+    pub header: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+/// Reads a whole CSV stream into memory.
+pub fn read_raw<R: BufRead>(reader: R) -> Result<RawTable> {
+    let mut lines = reader.lines().enumerate();
+    let header = match lines.next() {
+        Some((_, Ok(line))) => parse_line(&line, 1)?,
+        Some((i, Err(e))) => {
+            return Err(TabularError::Csv { line: i + 1, message: e.to_string() })
+        }
+        None => return Err(TabularError::Csv { line: 0, message: "empty input".into() }),
+    };
+    let mut rows = Vec::new();
+    for (i, line) in lines {
+        let line = line.map_err(|e| TabularError::Csv { line: i + 1, message: e.to_string() })?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = parse_line(&line, i + 1)?;
+        if fields.len() != header.len() {
+            return Err(TabularError::Csv {
+                line: i + 1,
+                message: format!("expected {} fields, got {}", header.len(), fields.len()),
+            });
+        }
+        rows.push(fields);
+    }
+    Ok(RawTable { header, rows })
+}
+
+/// Infers a frame from a raw table: columns where every cell parses as `f64`
+/// become numeric; everything else becomes categorical with codes assigned
+/// by first appearance (sorted lexicographically for determinism).
+pub fn infer_frame(raw: &RawTable) -> Result<Frame> {
+    let n_cols = raw.header.len();
+    let mut specs = Vec::with_capacity(n_cols);
+    let mut columns = Vec::with_capacity(n_cols);
+    for c in 0..n_cols {
+        let cells: Vec<&str> = raw.rows.iter().map(|r| r[c].as_str()).collect();
+        let parsed: Option<Vec<f64>> =
+            cells.iter().map(|s| s.trim().parse::<f64>().ok()).collect();
+        match parsed {
+            Some(values) => {
+                specs.push(ColumnSpec::numeric(raw.header[c].clone()));
+                columns.push(Column::Numeric(values));
+            }
+            None => {
+                let mut levels: BTreeMap<&str, u32> = BTreeMap::new();
+                for &cell in &cells {
+                    let next = levels.len() as u32;
+                    levels.entry(cell).or_insert(next);
+                }
+                // Re-code sorted for determinism.
+                let sorted: Vec<&str> = levels.keys().copied().collect();
+                let code_of: BTreeMap<&str, u32> =
+                    sorted.iter().enumerate().map(|(i, &s)| (s, i as u32)).collect();
+                let codes: Vec<u32> = cells.iter().map(|&s| code_of[s]).collect();
+                specs.push(ColumnSpec {
+                    name: raw.header[c].clone(),
+                    kind: ColumnKind::Categorical { cardinality: sorted.len().max(1) as u32 },
+                });
+                columns.push(Column::Categorical(codes));
+            }
+        }
+    }
+    Frame::new(Schema::new(specs)?, columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parse_plain_line() {
+        assert_eq!(parse_line("a,b,c", 1).unwrap(), vec!["a", "b", "c"]);
+        assert_eq!(parse_line("a,,c", 1).unwrap(), vec!["a", "", "c"]);
+    }
+
+    #[test]
+    fn parse_quoted_fields() {
+        assert_eq!(
+            parse_line("\"a,b\",c,\"he said \"\"hi\"\"\"", 1).unwrap(),
+            vec!["a,b", "c", "he said \"hi\""]
+        );
+    }
+
+    #[test]
+    fn parse_rejects_bad_quotes() {
+        assert!(parse_line("ab\"c,d", 1).is_err());
+        assert!(parse_line("\"unterminated", 1).is_err());
+    }
+
+    #[test]
+    fn escape_roundtrip() {
+        let original = "x,\"y\"";
+        let escaped = escape_field(original);
+        let parsed = parse_line(&escaped, 1).unwrap();
+        assert_eq!(parsed, vec![original]);
+    }
+
+    #[test]
+    fn read_raw_validates_widths() {
+        let input = "a,b\n1,2\n3\n";
+        assert!(read_raw(Cursor::new(input)).is_err());
+        let input = "a,b\n1,2\n\n3,4\n";
+        let t = read_raw(Cursor::new(input)).unwrap();
+        assert_eq!(t.rows.len(), 2);
+    }
+
+    #[test]
+    fn infer_mixed_frame() {
+        let input = "age,city\n30,london\n40,paris\n50,london\n";
+        let t = read_raw(Cursor::new(input)).unwrap();
+        let frame = infer_frame(&t).unwrap();
+        assert_eq!(frame.n_rows(), 3);
+        assert_eq!(frame.column(0).as_numeric().unwrap(), &[30.0, 40.0, 50.0]);
+        // london < paris lexicographically -> codes 0, 1, 0
+        assert_eq!(frame.column(1).as_categorical().unwrap(), &[0, 1, 0]);
+    }
+
+    #[test]
+    fn write_table_formats_rows() {
+        let mut buf = Vec::new();
+        write_table(&mut buf, &["x", "y"], vec![vec![1.0, 2.5]].into_iter()).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "x,y\n1,2.5\n");
+    }
+}

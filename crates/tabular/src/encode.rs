@@ -1,0 +1,237 @@
+//! One-hot encoding of frames into dense matrices, with an origin map that
+//! records which encoded columns came from which original feature. The map is
+//! what lets the VFL layer keep "indicator features of the same original
+//! feature on the same party" (paper §4.1.1) and lets feature bundles select
+//! original features.
+
+use crate::error::Result;
+use crate::frame::Frame;
+use crate::matrix::Matrix;
+use crate::schema::ColumnKind;
+
+/// Per-original-feature encoding record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedFeature {
+    /// Index of the original feature in the frame's schema.
+    pub origin: usize,
+    /// Original feature name.
+    pub name: String,
+    /// Half-open range of encoded column indices produced by this feature.
+    pub cols: std::ops::Range<usize>,
+}
+
+/// Maps encoded columns back to original features.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FeatureMap {
+    features: Vec<EncodedFeature>,
+    encoded_width: usize,
+}
+
+impl FeatureMap {
+    /// Records for every original feature, in schema order.
+    pub fn features(&self) -> &[EncodedFeature] {
+        &self.features
+    }
+
+    /// Total number of encoded columns.
+    pub fn encoded_width(&self) -> usize {
+        self.encoded_width
+    }
+
+    /// Number of original features.
+    pub fn n_original(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Encoded column range for original feature `origin`.
+    pub fn cols_of(&self, origin: usize) -> std::ops::Range<usize> {
+        self.features[origin].cols.clone()
+    }
+
+    /// Flattens a set of original feature indices into the sorted list of
+    /// encoded column indices they cover.
+    pub fn encoded_cols_for(&self, origins: &[usize]) -> Vec<usize> {
+        let mut cols: Vec<usize> = origins
+            .iter()
+            .flat_map(|&o| self.features[o].cols.clone())
+            .collect();
+        cols.sort_unstable();
+        cols
+    }
+}
+
+/// One-hot encodes a frame into a dense matrix.
+///
+/// Numeric columns pass through unchanged (standardize separately with
+/// [`Standardizer`] if desired). Binary categoricals become a single 0/1
+/// column; wider categoricals become full one-hot indicator blocks.
+pub fn encode_frame(frame: &Frame) -> Result<(Matrix, FeatureMap)> {
+    let n = frame.n_rows();
+    let width = frame.schema().encoded_width();
+    let mut out = Matrix::zeros(n, width);
+    let mut features = Vec::with_capacity(frame.n_cols());
+    let mut cursor = 0usize;
+    for (i, spec) in frame.schema().specs().iter().enumerate() {
+        let w = spec.kind.encoded_width();
+        let range = cursor..cursor + w;
+        match (&spec.kind, frame.column(i)) {
+            (ColumnKind::Numeric, col) => {
+                let values = col.as_numeric().expect("frame validated numeric column");
+                for (r, &v) in values.iter().enumerate() {
+                    out.set(r, cursor, v);
+                }
+            }
+            (ColumnKind::Categorical { cardinality }, col) => {
+                let codes = col.as_categorical().expect("frame validated categorical column");
+                if *cardinality <= 2 {
+                    for (r, &c) in codes.iter().enumerate() {
+                        out.set(r, cursor, c as f64);
+                    }
+                } else {
+                    for (r, &c) in codes.iter().enumerate() {
+                        out.set(r, cursor + c as usize, 1.0);
+                    }
+                }
+            }
+        }
+        features.push(EncodedFeature { origin: i, name: spec.name.clone(), cols: range });
+        cursor += w;
+    }
+    Ok((out, FeatureMap { features, encoded_width: width }))
+}
+
+/// Per-column standardization (z-score) fitted on one matrix and applied to
+/// others; constant columns are left untouched.
+#[derive(Debug, Clone)]
+pub struct Standardizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fits means and standard deviations on `x`.
+    pub fn fit(x: &Matrix) -> Self {
+        let n = x.rows().max(1) as f64;
+        let means = x.col_means();
+        let mut vars = vec![0.0; x.cols()];
+        for r in 0..x.rows() {
+            for (c, &v) in x.row(r).iter().enumerate() {
+                let d = v - means[c];
+                vars[c] += d * d;
+            }
+        }
+        let stds = vars
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s > 1e-12 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Standardizer { means, stds }
+    }
+
+    /// Applies the fitted transform in place.
+    pub fn transform_inplace(&self, x: &mut Matrix) {
+        assert_eq!(x.cols(), self.means.len(), "standardizer fitted on different width");
+        for r in 0..x.rows() {
+            let row = x.row_mut(r);
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = (*v - self.means[c]) / self.stds[c];
+            }
+        }
+    }
+
+    /// Fitted per-column means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Fitted per-column standard deviations (constant columns report 1.0).
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::frame::Frame;
+    use crate::schema::{ColumnSpec, Schema};
+
+    fn mixed_frame() -> Frame {
+        let schema = Schema::new(vec![
+            ColumnSpec::numeric("age"),
+            ColumnSpec::categorical("sex", 2),
+            ColumnSpec::categorical("class", 3),
+        ])
+        .unwrap();
+        Frame::new(
+            schema,
+            vec![
+                Column::Numeric(vec![10.0, 20.0]),
+                Column::Categorical(vec![1, 0]),
+                Column::Categorical(vec![2, 0]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn encode_widths_and_values() {
+        let f = mixed_frame();
+        let (m, map) = encode_frame(&f).unwrap();
+        assert_eq!(m.shape(), (2, 5));
+        // row 0: age=10, sex=1, class one-hot = [0,0,1]
+        assert_eq!(m.row(0), &[10.0, 1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(m.row(1), &[20.0, 0.0, 1.0, 0.0, 0.0]);
+        assert_eq!(map.encoded_width(), 5);
+        assert_eq!(map.cols_of(0), 0..1);
+        assert_eq!(map.cols_of(1), 1..2);
+        assert_eq!(map.cols_of(2), 2..5);
+    }
+
+    #[test]
+    fn encoded_cols_for_selects_blocks() {
+        let f = mixed_frame();
+        let (_, map) = encode_frame(&f).unwrap();
+        assert_eq!(map.encoded_cols_for(&[0, 2]), vec![0, 2, 3, 4]);
+        assert_eq!(map.encoded_cols_for(&[2, 0]), vec![0, 2, 3, 4]);
+    }
+
+    #[test]
+    fn one_hot_rows_sum_to_one() {
+        let f = mixed_frame();
+        let (m, map) = encode_frame(&f).unwrap();
+        let class_cols = map.cols_of(2);
+        for r in 0..m.rows() {
+            let sum: f64 = class_cols.clone().map(|c| m.get(r, c)).sum();
+            assert_eq!(sum, 1.0);
+        }
+    }
+
+    #[test]
+    fn standardizer_centers_and_scales() {
+        let x = Matrix::from_vec(4, 1, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let s = Standardizer::fit(&x);
+        let mut y = x.clone();
+        s.transform_inplace(&mut y);
+        let mean: f64 = y.col_means()[0];
+        assert!(mean.abs() < 1e-12);
+        let var: f64 = y.as_slice().iter().map(|v| v * v).sum::<f64>() / 4.0;
+        assert!((var - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn standardizer_leaves_constant_columns() {
+        let x = Matrix::from_vec(3, 1, vec![5.0, 5.0, 5.0]).unwrap();
+        let s = Standardizer::fit(&x);
+        let mut y = x.clone();
+        s.transform_inplace(&mut y);
+        assert!(y.as_slice().iter().all(|v| v.abs() < 1e-12));
+    }
+}

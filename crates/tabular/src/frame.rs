@@ -1,0 +1,211 @@
+//! `Frame`: a schema-validated collection of columns, plus `Dataset`
+//! (frame + binary labels), the unit the synthetic generators produce and
+//! the VFL scenario consumes.
+
+use crate::column::Column;
+use crate::error::{Result, TabularError};
+use crate::schema::Schema;
+
+/// A column-major table whose columns match a [`Schema`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    schema: Schema,
+    columns: Vec<Column>,
+    n_rows: usize,
+}
+
+impl Frame {
+    /// Builds a frame, validating column count, lengths, kinds, and
+    /// categorical ranges.
+    pub fn new(schema: Schema, columns: Vec<Column>) -> Result<Self> {
+        if schema.len() != columns.len() {
+            return Err(TabularError::InvalidParameter(format!(
+                "schema has {} columns but {} were provided",
+                schema.len(),
+                columns.len()
+            )));
+        }
+        let n_rows = columns.first().map_or(0, Column::len);
+        for (spec, col) in schema.specs().iter().zip(&columns) {
+            if col.len() != n_rows {
+                return Err(TabularError::LengthMismatch {
+                    expected: n_rows,
+                    got: col.len(),
+                    column: spec.name.clone(),
+                });
+            }
+            col.validate(&spec.name, &spec.kind)?;
+        }
+        Ok(Frame { schema, columns, n_rows })
+    }
+
+    /// The frame's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of original feature columns.
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column by index.
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// Column by name.
+    pub fn column_by_name(&self, name: &str) -> Result<&Column> {
+        let i = self.schema.index_of(name)?;
+        Ok(&self.columns[i])
+    }
+
+    /// New frame with only the given columns (in order).
+    pub fn select_columns(&self, indices: &[usize]) -> Result<Frame> {
+        let schema = self.schema.project(indices)?;
+        let columns = indices.iter().map(|&i| self.columns[i].clone()).collect();
+        Frame::new(schema, columns)
+    }
+
+    /// New frame with only the given rows (in order).
+    pub fn select_rows(&self, indices: &[usize]) -> Result<Frame> {
+        let mut columns = Vec::with_capacity(self.columns.len());
+        for col in &self.columns {
+            columns.push(col.select(indices)?);
+        }
+        Frame::new(self.schema.clone(), columns)
+    }
+}
+
+/// A frame plus binary classification labels: the full supervised dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    pub name: String,
+    pub frame: Frame,
+    pub labels: Vec<u8>,
+}
+
+impl Dataset {
+    /// Builds a dataset, validating label length and binary range.
+    pub fn new(name: impl Into<String>, frame: Frame, labels: Vec<u8>) -> Result<Self> {
+        if labels.len() != frame.n_rows() {
+            return Err(TabularError::LengthMismatch {
+                expected: frame.n_rows(),
+                got: labels.len(),
+                column: "labels".into(),
+            });
+        }
+        if let Some(&bad) = labels.iter().find(|&&y| y > 1) {
+            return Err(TabularError::InvalidParameter(format!(
+                "labels must be 0/1, found {bad}"
+            )));
+        }
+        Ok(Dataset { name: name.into(), frame, labels })
+    }
+
+    /// Number of samples.
+    pub fn n_rows(&self) -> usize {
+        self.frame.n_rows()
+    }
+
+    /// Fraction of positive labels.
+    pub fn positive_rate(&self) -> f64 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        self.labels.iter().map(|&y| y as usize).sum::<usize>() as f64 / self.labels.len() as f64
+    }
+
+    /// New dataset restricted to the given rows (in order).
+    pub fn select_rows(&self, indices: &[usize]) -> Result<Dataset> {
+        let frame = self.frame.select_rows(indices)?;
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            if i >= self.labels.len() {
+                return Err(TabularError::IndexOutOfBounds {
+                    context: "Dataset::select_rows",
+                    index: i,
+                    len: self.labels.len(),
+                });
+            }
+            labels.push(self.labels[i]);
+        }
+        Dataset::new(self.name.clone(), frame, labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnSpec;
+
+    fn tiny_frame() -> Frame {
+        let schema = Schema::new(vec![
+            ColumnSpec::numeric("x"),
+            ColumnSpec::categorical("c", 3),
+        ])
+        .unwrap();
+        Frame::new(
+            schema,
+            vec![Column::Numeric(vec![1.0, 2.0, 3.0]), Column::Categorical(vec![0, 1, 2])],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn frame_validates_lengths() {
+        let schema = Schema::new(vec![ColumnSpec::numeric("x"), ColumnSpec::numeric("y")]).unwrap();
+        let err = Frame::new(
+            schema,
+            vec![Column::Numeric(vec![1.0, 2.0]), Column::Numeric(vec![1.0])],
+        )
+        .unwrap_err();
+        assert!(matches!(err, TabularError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn frame_validates_column_count() {
+        let schema = Schema::new(vec![ColumnSpec::numeric("x")]).unwrap();
+        assert!(Frame::new(schema, vec![]).is_err());
+    }
+
+    #[test]
+    fn select_columns_projects_schema() {
+        let f = tiny_frame();
+        let g = f.select_columns(&[1]).unwrap();
+        assert_eq!(g.n_cols(), 1);
+        assert_eq!(g.schema().spec(0).name, "c");
+    }
+
+    #[test]
+    fn select_rows_keeps_all_columns() {
+        let f = tiny_frame();
+        let g = f.select_rows(&[2, 0]).unwrap();
+        assert_eq!(g.n_rows(), 2);
+        assert_eq!(g.column(0).as_numeric().unwrap(), &[3.0, 1.0]);
+        assert_eq!(g.column(1).as_categorical().unwrap(), &[2, 0]);
+    }
+
+    #[test]
+    fn dataset_validates_labels() {
+        let f = tiny_frame();
+        assert!(Dataset::new("t", f.clone(), vec![0, 1]).is_err());
+        assert!(Dataset::new("t", f.clone(), vec![0, 1, 2]).is_err());
+        let d = Dataset::new("t", f, vec![0, 1, 1]).unwrap();
+        assert!((d.positive_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dataset_select_rows() {
+        let f = tiny_frame();
+        let d = Dataset::new("t", f, vec![0, 1, 1]).unwrap();
+        let s = d.select_rows(&[1, 2]).unwrap();
+        assert_eq!(s.labels, vec![1, 1]);
+        assert!(d.select_rows(&[9]).is_err());
+    }
+}

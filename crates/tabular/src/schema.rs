@@ -1,0 +1,182 @@
+//! Column schemas: every original feature is either numeric or categorical
+//! with a fixed cardinality. The paper's preprocessing ("convert multi-class
+//! categorical features into indicator features") is driven by this schema.
+
+use crate::error::{Result, TabularError};
+use serde::{Deserialize, Serialize};
+
+/// The type of an original (pre-encoding) feature column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ColumnKind {
+    /// Real-valued column; encodes to a single (optionally standardized) column.
+    Numeric,
+    /// Categorical column with values in `0..cardinality`.
+    ///
+    /// Cardinality 2 encodes to a single 0/1 indicator; cardinality `k > 2`
+    /// encodes to `k` indicator columns (full one-hot, matching the paper's
+    /// "indicator features").
+    Categorical { cardinality: u32 },
+}
+
+impl ColumnKind {
+    /// Number of encoded columns this kind expands to.
+    pub fn encoded_width(&self) -> usize {
+        match self {
+            ColumnKind::Numeric => 1,
+            ColumnKind::Categorical { cardinality } => {
+                if *cardinality <= 2 {
+                    1
+                } else {
+                    *cardinality as usize
+                }
+            }
+        }
+    }
+}
+
+/// Name + kind of a single original feature.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnSpec {
+    pub name: String,
+    pub kind: ColumnKind,
+}
+
+impl ColumnSpec {
+    /// Numeric column spec.
+    pub fn numeric(name: impl Into<String>) -> Self {
+        ColumnSpec { name: name.into(), kind: ColumnKind::Numeric }
+    }
+
+    /// Categorical column spec with the given cardinality.
+    pub fn categorical(name: impl Into<String>, cardinality: u32) -> Self {
+        ColumnSpec { name: name.into(), kind: ColumnKind::Categorical { cardinality } }
+    }
+}
+
+/// Ordered collection of column specs with unique names.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    specs: Vec<ColumnSpec>,
+}
+
+impl Schema {
+    /// Builds a schema, rejecting duplicate names and zero-cardinality
+    /// categoricals.
+    pub fn new(specs: Vec<ColumnSpec>) -> Result<Self> {
+        for (i, s) in specs.iter().enumerate() {
+            if let ColumnKind::Categorical { cardinality } = s.kind {
+                if cardinality == 0 {
+                    return Err(TabularError::InvalidParameter(format!(
+                        "column `{}` has zero cardinality",
+                        s.name
+                    )));
+                }
+            }
+            if specs[..i].iter().any(|other| other.name == s.name) {
+                return Err(TabularError::DuplicateColumn(s.name.clone()));
+            }
+        }
+        Ok(Schema { specs })
+    }
+
+    /// Number of original features.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Spec of column `i`.
+    pub fn spec(&self, i: usize) -> &ColumnSpec {
+        &self.specs[i]
+    }
+
+    /// All specs, in order.
+    pub fn specs(&self) -> &[ColumnSpec] {
+        &self.specs
+    }
+
+    /// Index of a column by name.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.specs
+            .iter()
+            .position(|s| s.name == name)
+            .ok_or_else(|| TabularError::UnknownColumn(name.to_string()))
+    }
+
+    /// Total number of encoded columns the schema expands to.
+    pub fn encoded_width(&self) -> usize {
+        self.specs.iter().map(|s| s.kind.encoded_width()).sum()
+    }
+
+    /// Sub-schema restricted to the given column indices (in order).
+    pub fn project(&self, indices: &[usize]) -> Result<Schema> {
+        let mut specs = Vec::with_capacity(indices.len());
+        for &i in indices {
+            if i >= self.specs.len() {
+                return Err(TabularError::IndexOutOfBounds {
+                    context: "Schema::project",
+                    index: i,
+                    len: self.specs.len(),
+                });
+            }
+            specs.push(self.specs[i].clone());
+        }
+        Schema::new(specs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoded_width_rules() {
+        assert_eq!(ColumnKind::Numeric.encoded_width(), 1);
+        assert_eq!(ColumnKind::Categorical { cardinality: 2 }.encoded_width(), 1);
+        assert_eq!(ColumnKind::Categorical { cardinality: 3 }.encoded_width(), 3);
+        assert_eq!(ColumnKind::Categorical { cardinality: 8 }.encoded_width(), 8);
+    }
+
+    #[test]
+    fn schema_rejects_duplicates() {
+        let err = Schema::new(vec![ColumnSpec::numeric("a"), ColumnSpec::numeric("a")]);
+        assert_eq!(err.unwrap_err(), TabularError::DuplicateColumn("a".into()));
+    }
+
+    #[test]
+    fn schema_rejects_zero_cardinality() {
+        assert!(Schema::new(vec![ColumnSpec::categorical("c", 0)]).is_err());
+    }
+
+    #[test]
+    fn schema_width_and_lookup() {
+        let s = Schema::new(vec![
+            ColumnSpec::numeric("age"),
+            ColumnSpec::categorical("sex", 2),
+            ColumnSpec::categorical("class", 3),
+        ])
+        .unwrap();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.encoded_width(), 1 + 1 + 3);
+        assert_eq!(s.index_of("class").unwrap(), 2);
+        assert!(s.index_of("missing").is_err());
+    }
+
+    #[test]
+    fn schema_projection() {
+        let s = Schema::new(vec![
+            ColumnSpec::numeric("a"),
+            ColumnSpec::numeric("b"),
+            ColumnSpec::categorical("c", 4),
+        ])
+        .unwrap();
+        let p = s.project(&[2, 0]).unwrap();
+        assert_eq!(p.spec(0).name, "c");
+        assert_eq!(p.spec(1).name, "a");
+        assert!(s.project(&[9]).is_err());
+    }
+}

@@ -1,0 +1,182 @@
+//! Row-wise train/test splitting and the vertical (party-wise) feature
+//! split: the task party keeps the labels plus its feature columns, the data
+//! party holds the remaining features — the paper's 1v1 VFL layout.
+
+use crate::error::{Result, TabularError};
+use crate::frame::Dataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Seeded permutation of `0..n`.
+pub fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    idx
+}
+
+/// Row indices for a train/test split after a seeded shuffle.
+#[derive(Debug, Clone)]
+pub struct TrainTestIndices {
+    pub train: Vec<usize>,
+    pub test: Vec<usize>,
+}
+
+/// Splits `n` rows into train/test by `train_frac` after shuffling.
+pub fn train_test_indices(n: usize, train_frac: f64, seed: u64) -> Result<TrainTestIndices> {
+    if !(0.0..=1.0).contains(&train_frac) {
+        return Err(TabularError::InvalidParameter(format!(
+            "train_frac must be in [0,1], got {train_frac}"
+        )));
+    }
+    let idx = permutation(n, seed);
+    let n_train = ((n as f64) * train_frac).round() as usize;
+    let n_train = n_train.min(n);
+    Ok(TrainTestIndices { train: idx[..n_train].to_vec(), test: idx[n_train..].to_vec() })
+}
+
+/// Assignment of original feature columns to the two parties.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartyAssignment {
+    /// Original feature indices held by the task party.
+    pub task: Vec<usize>,
+    /// Original feature indices held by the data party.
+    pub data: Vec<usize>,
+}
+
+impl PartyAssignment {
+    /// Validates that the assignment is a partition of `0..n_features`.
+    pub fn validate(&self, n_features: usize) -> Result<()> {
+        let mut seen = vec![false; n_features];
+        for &i in self.task.iter().chain(&self.data) {
+            if i >= n_features {
+                return Err(TabularError::IndexOutOfBounds {
+                    context: "PartyAssignment",
+                    index: i,
+                    len: n_features,
+                });
+            }
+            if seen[i] {
+                return Err(TabularError::InvalidParameter(format!(
+                    "feature {i} assigned to both parties"
+                )));
+            }
+            seen[i] = true;
+        }
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            return Err(TabularError::InvalidParameter(format!(
+                "feature {missing} assigned to neither party"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Builds an assignment from explicit column names.
+    pub fn from_names(dataset: &Dataset, task: &[&str], data: &[&str]) -> Result<Self> {
+        let schema = dataset.frame.schema();
+        let task = task.iter().map(|n| schema.index_of(n)).collect::<Result<Vec<_>>>()?;
+        let data = data.iter().map(|n| schema.index_of(n)).collect::<Result<Vec<_>>>()?;
+        let out = PartyAssignment { task, data };
+        out.validate(schema.len())?;
+        Ok(out)
+    }
+
+    /// Random assignment placing `n_task` original features with the task
+    /// party and the rest with the data party.
+    pub fn random(n_features: usize, n_task: usize, seed: u64) -> Result<Self> {
+        if n_task > n_features {
+            return Err(TabularError::InvalidParameter(format!(
+                "n_task {n_task} > n_features {n_features}"
+            )));
+        }
+        let idx = permutation(n_features, seed);
+        let mut task = idx[..n_task].to_vec();
+        let mut data = idx[n_task..].to_vec();
+        task.sort_unstable();
+        data.sort_unstable();
+        Ok(PartyAssignment { task, data })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::frame::Frame;
+    use crate::schema::{ColumnSpec, Schema};
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let p = permutation(100, 7);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn permutation_is_deterministic() {
+        assert_eq!(permutation(50, 3), permutation(50, 3));
+        assert_ne!(permutation(50, 3), permutation(50, 4));
+    }
+
+    #[test]
+    fn train_test_sizes() {
+        let s = train_test_indices(10, 0.8, 1).unwrap();
+        assert_eq!(s.train.len(), 8);
+        assert_eq!(s.test.len(), 2);
+        let mut all: Vec<usize> = s.train.iter().chain(&s.test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn train_test_rejects_bad_fraction() {
+        assert!(train_test_indices(10, 1.5, 1).is_err());
+    }
+
+    #[test]
+    fn assignment_validation() {
+        let good = PartyAssignment { task: vec![0, 2], data: vec![1] };
+        assert!(good.validate(3).is_ok());
+        let overlap = PartyAssignment { task: vec![0, 1], data: vec![1, 2] };
+        assert!(overlap.validate(3).is_err());
+        let missing = PartyAssignment { task: vec![0], data: vec![1] };
+        assert!(missing.validate(3).is_err());
+        let oob = PartyAssignment { task: vec![5], data: vec![0, 1, 2] };
+        assert!(oob.validate(3).is_err());
+    }
+
+    #[test]
+    fn assignment_from_names() {
+        let schema = Schema::new(vec![
+            ColumnSpec::numeric("a"),
+            ColumnSpec::numeric("b"),
+            ColumnSpec::numeric("c"),
+        ])
+        .unwrap();
+        let frame = Frame::new(
+            schema,
+            vec![
+                Column::Numeric(vec![1.0]),
+                Column::Numeric(vec![2.0]),
+                Column::Numeric(vec![3.0]),
+            ],
+        )
+        .unwrap();
+        let ds = Dataset::new("t", frame, vec![1]).unwrap();
+        let a = PartyAssignment::from_names(&ds, &["a", "c"], &["b"]).unwrap();
+        assert_eq!(a.task, vec![0, 2]);
+        assert_eq!(a.data, vec![1]);
+        assert!(PartyAssignment::from_names(&ds, &["a"], &["b"]).is_err());
+    }
+
+    #[test]
+    fn random_assignment_partitions() {
+        let a = PartyAssignment::random(10, 4, 42).unwrap();
+        assert_eq!(a.task.len(), 4);
+        assert_eq!(a.data.len(), 6);
+        a.validate(10).unwrap();
+        assert!(PartyAssignment::random(3, 5, 0).is_err());
+    }
+}

@@ -1,0 +1,205 @@
+//! Small statistics toolkit used by the experiment harness: mean/std/CI
+//! aggregation across runs, ragged-series alignment (bargaining runs end at
+//! different rounds), and a Gaussian KDE for the paper's density plots
+//! (Figures 2/3, right two columns).
+
+/// Mean of a slice (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Half-width of the 95% normal confidence interval of the mean.
+pub fn ci95_half_width(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    1.96 * std_dev(xs) / (xs.len() as f64).sqrt()
+}
+
+/// Summary of one aligned position across runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointStats {
+    pub mean: f64,
+    pub std: f64,
+    pub ci95: f64,
+    pub n: usize,
+}
+
+/// Aligns ragged per-run series by carrying each run's final value forward
+/// (a finished negotiation keeps its terminal payoff — this is how the
+/// paper's round-axis plots flatten out), then aggregates per round.
+pub fn aggregate_series(runs: &[Vec<f64>]) -> Vec<PointStats> {
+    let max_len = runs.iter().map(Vec::len).max().unwrap_or(0);
+    let mut out = Vec::with_capacity(max_len);
+    let mut buf = Vec::with_capacity(runs.len());
+    for t in 0..max_len {
+        buf.clear();
+        for run in runs {
+            if run.is_empty() {
+                continue;
+            }
+            let v = if t < run.len() { run[t] } else { *run.last().expect("non-empty") };
+            buf.push(v);
+        }
+        out.push(PointStats {
+            mean: mean(&buf),
+            std: std_dev(&buf),
+            ci95: ci95_half_width(&buf),
+            n: buf.len(),
+        });
+    }
+    out
+}
+
+/// Gaussian kernel density estimate evaluated on a uniform grid.
+#[derive(Debug, Clone)]
+pub struct Kde {
+    pub grid: Vec<f64>,
+    pub density: Vec<f64>,
+    pub bandwidth: f64,
+}
+
+/// Silverman's rule-of-thumb bandwidth.
+pub fn silverman_bandwidth(xs: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let sd = std_dev(xs);
+    let bw = 1.06 * sd * n.powf(-0.2);
+    if bw > 1e-9 {
+        bw
+    } else {
+        // Degenerate samples: fall back to a small positive bandwidth so the
+        // density is still plottable as a spike.
+        1e-3
+    }
+}
+
+/// Evaluates a Gaussian KDE of `xs` on `points` grid cells over
+/// `[min - pad, max + pad]`.
+pub fn kde(xs: &[f64], points: usize) -> Kde {
+    if xs.is_empty() || points == 0 {
+        return Kde { grid: vec![], density: vec![], bandwidth: 0.0 };
+    }
+    let bw = silverman_bandwidth(xs);
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &x in xs {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    let pad = 3.0 * bw;
+    let (lo, hi) = (lo - pad, hi + pad);
+    let step = if points > 1 { (hi - lo) / (points - 1) as f64 } else { 0.0 };
+    let norm = 1.0 / (xs.len() as f64 * bw * (2.0 * std::f64::consts::PI).sqrt());
+    let mut grid = Vec::with_capacity(points);
+    let mut density = Vec::with_capacity(points);
+    for i in 0..points {
+        let g = lo + step * i as f64;
+        let mut d = 0.0;
+        for &x in xs {
+            let z = (g - x) / bw;
+            d += (-0.5 * z * z).exp();
+        }
+        grid.push(g);
+        density.push(d * norm);
+    }
+    Kde { grid, density, bandwidth: bw }
+}
+
+/// Pearson correlation between two equal-length slices.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let (mx, my) = (mean(xs), mean(ys));
+    let mut num = 0.0;
+    let mut dx = 0.0;
+    let mut dy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        num += (x - mx) * (y - my);
+        dx += (x - mx) * (x - mx);
+        dy += (y - my) * (y - my);
+    }
+    if dx <= 0.0 || dy <= 0.0 {
+        return 0.0;
+    }
+    num / (dx * dy).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert!((std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci_shrinks_with_n() {
+        let small = ci95_half_width(&[1.0, 2.0, 3.0, 4.0]);
+        let big_data: Vec<f64> = (0..400).map(|i| (i % 4) as f64 + 1.0).collect();
+        let big = ci95_half_width(&big_data);
+        assert!(big < small);
+    }
+
+    #[test]
+    fn aggregate_carries_final_value_forward() {
+        let runs = vec![vec![1.0, 2.0], vec![3.0]];
+        let agg = aggregate_series(&runs);
+        assert_eq!(agg.len(), 2);
+        assert_eq!(agg[0].mean, 2.0); // (1 + 3) / 2
+        assert_eq!(agg[1].mean, 2.5); // (2 + 3) / 2, run 2 carried forward
+        assert_eq!(agg[1].n, 2);
+    }
+
+    #[test]
+    fn aggregate_skips_empty_runs() {
+        let runs = vec![vec![], vec![5.0]];
+        let agg = aggregate_series(&runs);
+        assert_eq!(agg.len(), 1);
+        assert_eq!(agg[0].mean, 5.0);
+        assert_eq!(agg[0].n, 1);
+    }
+
+    #[test]
+    fn kde_integrates_to_one() {
+        let xs: Vec<f64> = (0..200).map(|i| (i as f64) / 20.0).collect();
+        let k = kde(&xs, 512);
+        let step = k.grid[1] - k.grid[0];
+        let integral: f64 = k.density.iter().sum::<f64>() * step;
+        assert!((integral - 1.0).abs() < 0.02, "integral {integral}");
+    }
+
+    #[test]
+    fn kde_handles_degenerate_input() {
+        let k = kde(&[2.0, 2.0, 2.0], 64);
+        assert_eq!(k.grid.len(), 64);
+        assert!(k.density.iter().all(|d| d.is_finite()));
+        let empty = kde(&[], 64);
+        assert!(empty.grid.is_empty());
+    }
+
+    #[test]
+    fn pearson_detects_sign() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let up = [2.0, 4.0, 6.0, 8.0];
+        let down = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &up) - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &down) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+    }
+}

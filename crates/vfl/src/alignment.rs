@@ -1,0 +1,93 @@
+//! Sample alignment: before a VFL course the two parties intersect their
+//! user-id sets (in production via PSI — private set intersection). We
+//! simulate the outcome of PSI: the intersection and the per-party row maps,
+//! without leaking non-members (callers only see matched pairs).
+
+use std::collections::HashMap;
+
+/// Result of aligning two parties' sample-id lists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alignment {
+    /// `(row in party A, row in party B)` for every shared id, ordered by
+    /// party A's row order (deterministic).
+    pub pairs: Vec<(usize, usize)>,
+}
+
+impl Alignment {
+    /// Number of aligned samples.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when no ids are shared.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Row indices into party A's storage.
+    pub fn rows_a(&self) -> Vec<usize> {
+        self.pairs.iter().map(|&(a, _)| a).collect()
+    }
+
+    /// Row indices into party B's storage.
+    pub fn rows_b(&self) -> Vec<usize> {
+        self.pairs.iter().map(|&(_, b)| b).collect()
+    }
+}
+
+/// Simulated PSI: intersects two id lists. Duplicate ids within one party
+/// keep their first occurrence (matching typical PSI post-processing).
+pub fn align(ids_a: &[u64], ids_b: &[u64]) -> Alignment {
+    let mut b_index: HashMap<u64, usize> = HashMap::with_capacity(ids_b.len());
+    for (i, &id) in ids_b.iter().enumerate() {
+        b_index.entry(id).or_insert(i);
+    }
+    let mut seen_a: HashMap<u64, ()> = HashMap::new();
+    let mut pairs = Vec::new();
+    for (i, &id) in ids_a.iter().enumerate() {
+        if seen_a.contains_key(&id) {
+            continue;
+        }
+        seen_a.insert(id, ());
+        if let Some(&j) = b_index.get(&id) {
+            pairs.push((i, j));
+        }
+    }
+    Alignment { pairs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intersects_in_a_order() {
+        let a = [10, 20, 30, 40];
+        let b = [40, 5, 20];
+        let al = align(&a, &b);
+        assert_eq!(al.pairs, vec![(1, 2), (3, 0)]);
+        assert_eq!(al.rows_a(), vec![1, 3]);
+        assert_eq!(al.rows_b(), vec![2, 0]);
+    }
+
+    #[test]
+    fn disjoint_sets_are_empty() {
+        let al = align(&[1, 2], &[3, 4]);
+        assert!(al.is_empty());
+        assert_eq!(al.len(), 0);
+    }
+
+    #[test]
+    fn duplicates_keep_first_occurrence() {
+        let al = align(&[7, 7, 8], &[8, 7, 7]);
+        assert_eq!(al.pairs, vec![(0, 1), (2, 0)]);
+    }
+
+    #[test]
+    fn full_overlap() {
+        let ids: Vec<u64> = (0..100).collect();
+        let al = align(&ids, &ids);
+        assert_eq!(al.len(), 100);
+        assert!(al.pairs.iter().all(|&(a, b)| a == b));
+    }
+}

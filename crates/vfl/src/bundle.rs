@@ -1,0 +1,263 @@
+//! Feature bundles (Definition 2.1): subsets of the data party's *original*
+//! features, stored as a `u64` bitmask, plus catalog generation strategies.
+//!
+//! The paper never fixes |F| (the full power set is exponential); the
+//! catalog generators below produce landscapes with cheap/weak and
+//! expensive/strong bundles: all singletons, nested prefix chains (strong
+//! monotone growth), and seeded random subsets.
+
+use crate::error::{Result, VflError};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A subset of the data party's original features, as a bitmask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BundleMask(pub u64);
+
+impl BundleMask {
+    /// The empty bundle.
+    pub const EMPTY: BundleMask = BundleMask(0);
+
+    /// Bundle containing a single feature.
+    pub fn singleton(feature: usize) -> Self {
+        assert!(feature < 64, "bundle features limited to 64");
+        BundleMask(1u64 << feature)
+    }
+
+    /// Bundle from a list of feature indices.
+    pub fn from_features(features: &[usize]) -> Self {
+        let mut mask = 0u64;
+        for &f in features {
+            assert!(f < 64, "bundle features limited to 64");
+            mask |= 1u64 << f;
+        }
+        BundleMask(mask)
+    }
+
+    /// Bundle with all of the first `n` features.
+    pub fn all(n: usize) -> Self {
+        assert!(n <= 64, "bundle features limited to 64");
+        if n == 64 {
+            BundleMask(u64::MAX)
+        } else {
+            BundleMask((1u64 << n) - 1)
+        }
+    }
+
+    /// Number of features in the bundle.
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True for the empty bundle.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Membership test.
+    pub fn contains(&self, feature: usize) -> bool {
+        feature < 64 && (self.0 >> feature) & 1 == 1
+    }
+
+    /// Set union.
+    pub fn union(&self, other: BundleMask) -> BundleMask {
+        BundleMask(self.0 | other.0)
+    }
+
+    /// True when `self` is a subset of `other`.
+    pub fn is_subset_of(&self, other: BundleMask) -> bool {
+        self.0 & other.0 == self.0
+    }
+
+    /// Iterates member feature indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..64).filter(move |&i| self.contains(i))
+    }
+
+    /// Member feature indices as a vector.
+    pub fn to_features(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+
+    /// Validates that every member is `< n_features`.
+    pub fn validate(&self, n_features: usize) -> Result<()> {
+        match self.iter().find(|&f| f >= n_features) {
+            Some(feature) => Err(VflError::BundleOutOfRange { feature, n_features }),
+            None => Ok(()),
+        }
+    }
+}
+
+impl std::fmt::Display for BundleMask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (k, feat) in self.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{feat}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// How the bundle universe F is generated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CatalogStrategy {
+    /// Every non-empty subset (only valid for small feature counts).
+    AllSubsets,
+    /// Singletons + the nested prefix chain + seeded random subsets, up to
+    /// `target` bundles in total.
+    Sampled { target: usize, seed: u64 },
+}
+
+/// The set of bundles on sale (deduplicated, sorted for determinism).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BundleCatalog {
+    bundles: Vec<BundleMask>,
+    n_features: usize,
+}
+
+impl BundleCatalog {
+    /// Generates a catalog over `n_features` data-party features.
+    pub fn generate(n_features: usize, strategy: CatalogStrategy) -> Result<Self> {
+        if n_features == 0 || n_features > 63 {
+            return Err(VflError::InvalidScenario(format!(
+                "catalog needs 1..=63 data-party features, got {n_features}"
+            )));
+        }
+        let mut bundles: Vec<BundleMask> = match strategy {
+            CatalogStrategy::AllSubsets => {
+                if n_features > 16 {
+                    return Err(VflError::InvalidScenario(format!(
+                        "AllSubsets infeasible for {n_features} features"
+                    )));
+                }
+                (1..(1u64 << n_features)).map(BundleMask).collect()
+            }
+            CatalogStrategy::Sampled { target, seed } => {
+                if target == 0 {
+                    return Err(VflError::InvalidScenario("sampled target must be >= 1".into()));
+                }
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xb0_0d1e_5eed);
+                let mut set = std::collections::BTreeSet::new();
+                // Singletons: the cheapest goods.
+                for f in 0..n_features {
+                    set.insert(BundleMask::singleton(f));
+                }
+                // The nested prefix chain up to the full bundle: guarantees a
+                // monotone path of increasingly strong (and costly) bundles.
+                for k in 2..=n_features {
+                    set.insert(BundleMask::all(k));
+                }
+                // Random subsets fill out the landscape.
+                let mut guard = 0;
+                while set.len() < target && guard < target * 64 {
+                    guard += 1;
+                    let k = rng.random_range(1..=n_features);
+                    let feats = vfl_ml::rng::sample_without_replacement(n_features, k, &mut rng);
+                    set.insert(BundleMask::from_features(&feats));
+                }
+                set.into_iter().collect()
+            }
+        };
+        bundles.sort();
+        bundles.dedup();
+        Ok(BundleCatalog { bundles, n_features })
+    }
+
+    /// Bundles in the catalog, sorted ascending by mask.
+    pub fn bundles(&self) -> &[BundleMask] {
+        &self.bundles
+    }
+
+    /// Number of bundles.
+    pub fn len(&self) -> usize {
+        self.bundles.len()
+    }
+
+    /// True if the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bundles.is_empty()
+    }
+
+    /// Number of data-party features the catalog spans.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_basics() {
+        let b = BundleMask::from_features(&[0, 3, 5]);
+        assert_eq!(b.len(), 3);
+        assert!(b.contains(3));
+        assert!(!b.contains(1));
+        assert_eq!(b.to_features(), vec![0, 3, 5]);
+        assert_eq!(format!("{b}"), "{0,3,5}");
+        assert!(BundleMask::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn mask_set_operations() {
+        let a = BundleMask::from_features(&[0, 1]);
+        let b = BundleMask::from_features(&[1, 2]);
+        assert_eq!(a.union(b), BundleMask::from_features(&[0, 1, 2]));
+        assert!(a.is_subset_of(a.union(b)));
+        assert!(!a.is_subset_of(b));
+    }
+
+    #[test]
+    fn mask_all_and_validate() {
+        assert_eq!(BundleMask::all(3), BundleMask::from_features(&[0, 1, 2]));
+        assert_eq!(BundleMask::all(64).len(), 64);
+        assert!(BundleMask::singleton(5).validate(6).is_ok());
+        assert!(matches!(
+            BundleMask::singleton(5).validate(5).unwrap_err(),
+            VflError::BundleOutOfRange { feature: 5, n_features: 5 }
+        ));
+    }
+
+    #[test]
+    fn all_subsets_catalog() {
+        let c = BundleCatalog::generate(3, CatalogStrategy::AllSubsets).unwrap();
+        assert_eq!(c.len(), 7);
+        assert!(BundleCatalog::generate(20, CatalogStrategy::AllSubsets).is_err());
+    }
+
+    #[test]
+    fn sampled_catalog_contains_singletons_and_full() {
+        let c =
+            BundleCatalog::generate(10, CatalogStrategy::Sampled { target: 40, seed: 1 }).unwrap();
+        for f in 0..10 {
+            assert!(c.bundles().contains(&BundleMask::singleton(f)), "missing singleton {f}");
+        }
+        assert!(c.bundles().contains(&BundleMask::all(10)), "missing full bundle");
+        assert!(c.len() >= 40);
+        // Deterministic given seed.
+        let c2 =
+            BundleCatalog::generate(10, CatalogStrategy::Sampled { target: 40, seed: 1 }).unwrap();
+        assert_eq!(c, c2);
+    }
+
+    #[test]
+    fn sampled_target_smaller_than_singletons_still_has_them() {
+        let c =
+            BundleCatalog::generate(8, CatalogStrategy::Sampled { target: 2, seed: 3 }).unwrap();
+        assert!(c.len() >= 8, "singletons always included");
+    }
+
+    #[test]
+    fn catalog_rejects_bad_inputs() {
+        assert!(BundleCatalog::generate(0, CatalogStrategy::AllSubsets).is_err());
+        assert!(BundleCatalog::generate(64, CatalogStrategy::AllSubsets).is_err());
+        assert!(
+            BundleCatalog::generate(5, CatalogStrategy::Sampled { target: 0, seed: 0 }).is_err()
+        );
+    }
+}

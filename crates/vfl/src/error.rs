@@ -1,0 +1,59 @@
+//! Error type for the VFL simulation layer.
+
+use std::fmt;
+use vfl_ml::MlError;
+use vfl_tabular::TabularError;
+
+/// Errors raised while simulating VFL courses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VflError {
+    /// A bundle referenced a data-party feature that does not exist.
+    BundleOutOfRange { feature: usize, n_features: usize },
+    /// Scenario construction parameters were invalid.
+    InvalidScenario(String),
+    /// The two parties share no aligned samples.
+    EmptyAlignment,
+    /// An underlying tabular operation failed.
+    Tabular(TabularError),
+    /// An underlying model operation failed.
+    Ml(MlError),
+}
+
+impl fmt::Display for VflError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VflError::BundleOutOfRange { feature, n_features } => {
+                write!(f, "bundle feature {feature} out of range (data party has {n_features})")
+            }
+            VflError::InvalidScenario(msg) => write!(f, "invalid scenario: {msg}"),
+            VflError::EmptyAlignment => write!(f, "parties share no aligned samples"),
+            VflError::Tabular(e) => write!(f, "tabular error: {e}"),
+            VflError::Ml(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VflError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VflError::Tabular(e) => Some(e),
+            VflError::Ml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TabularError> for VflError {
+    fn from(e: TabularError) -> Self {
+        VflError::Tabular(e)
+    }
+}
+
+impl From<MlError> for VflError {
+    fn from(e: MlError) -> Self {
+        VflError::Ml(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, VflError>;

@@ -1,0 +1,34 @@
+//! # vfl-sim
+//!
+//! Vertical-federated-learning simulation substrate for the `vfl-bargain`
+//! reproduction: the machinery that turns a labelled dataset into a
+//! two-party VFL problem and answers "what performance gain does this
+//! feature bundle buy?".
+//!
+//! * [`bundle`] — feature bundles (Definition 2.1) and catalog generation;
+//! * [`alignment`] — simulated PSI sample alignment;
+//! * [`scenario`] — per-party encoded matrices + train/test split;
+//! * [`course`] — one VFL course: joint training + ΔG (Eq. 1);
+//! * [`oracle`] — the memoizing gain oracle (the paper's third-party
+//!   trading platform, §3.4), with parallel precomputation;
+//! * [`model_cfg`] — base-model selection (Random Forest / MLP / extras);
+//! * [`protocol`] — serde wire messages + negotiation transcripts.
+
+pub mod alignment;
+pub mod bundle;
+pub mod course;
+pub mod error;
+pub mod model_cfg;
+pub mod oracle;
+pub mod protocol;
+pub mod scenario;
+pub mod secure;
+
+pub use alignment::{align, Alignment};
+pub use bundle::{BundleCatalog, BundleMask, CatalogStrategy};
+pub use course::{course_seed, performance_gain, run_course};
+pub use error::{Result, VflError};
+pub use model_cfg::BaseModelConfig;
+pub use oracle::GainOracle;
+pub use secure::{blind_settlement, keygen, Ciphertext, PublicKey, SecretKey};
+pub use scenario::{DataFeature, ScenarioConfig, VflScenario};

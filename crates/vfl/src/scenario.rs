@@ -1,0 +1,268 @@
+//! `VflScenario`: the prepared two-party learning problem — aligned rows,
+//! per-party encoded matrices, train/test split, and the mapping from
+//! data-party original features to their encoded column blocks (which is
+//! what a [`BundleMask`] selects).
+
+use crate::alignment::align;
+use crate::bundle::BundleMask;
+use crate::error::{Result, VflError};
+use vfl_tabular::{encode_frame, train_test_indices, Dataset, Matrix, PartyAssignment};
+
+/// Scenario construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioConfig {
+    /// Fraction of aligned rows used for training.
+    pub train_frac: f64,
+    /// Cap on training rows after the split (0 = uncapped). The paper's
+    /// testbed is 8x A100; this knob keeps gain evaluation laptop-scale.
+    pub max_train_rows: usize,
+    /// Cap on test rows after the split (0 = uncapped).
+    pub max_test_rows: usize,
+    /// Seed for the split/subsampling.
+    pub seed: u64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig { train_frac: 0.7, max_train_rows: 2048, max_test_rows: 1024, seed: 0 }
+    }
+}
+
+/// One data-party feature on sale: its name and encoded column block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataFeature {
+    pub name: String,
+    /// Columns in the *data-party encoded matrix* this feature covers.
+    pub cols: std::ops::Range<usize>,
+}
+
+/// The prepared two-party VFL problem.
+#[derive(Debug, Clone)]
+pub struct VflScenario {
+    name: String,
+    task_train: Matrix,
+    task_test: Matrix,
+    data_train: Matrix,
+    data_test: Matrix,
+    y_train: Vec<u8>,
+    y_test: Vec<u8>,
+    data_features: Vec<DataFeature>,
+}
+
+impl VflScenario {
+    /// Builds a scenario from a labelled dataset and a party assignment.
+    ///
+    /// Pipeline: simulate sample alignment (both parties index the same user
+    /// universe here; production would run PSI), one-hot encode each party's
+    /// columns separately, split train/test, and apply row caps.
+    pub fn build(
+        dataset: &Dataset,
+        assignment: &PartyAssignment,
+        cfg: &ScenarioConfig,
+    ) -> Result<Self> {
+        assignment.validate(dataset.frame.n_cols())?;
+        if assignment.data.is_empty() {
+            return Err(VflError::InvalidScenario("data party owns no features".into()));
+        }
+        if assignment.data.len() > 63 {
+            return Err(VflError::InvalidScenario(
+                "data party features exceed the 63-feature bundle mask limit".into(),
+            ));
+        }
+        if !(0.0 < cfg.train_frac && cfg.train_frac < 1.0) {
+            return Err(VflError::InvalidScenario(format!(
+                "train_frac must be in (0,1), got {}",
+                cfg.train_frac
+            )));
+        }
+
+        // Alignment step: both parties carry the same user ids here (the
+        // synthetic generators produce pre-joined rows); run it anyway so the
+        // pipeline exercises the same path real id spaces would.
+        let ids: Vec<u64> = (0..dataset.n_rows() as u64).collect();
+        let alignment = align(&ids, &ids);
+        if alignment.is_empty() {
+            return Err(VflError::EmptyAlignment);
+        }
+
+        let task_frame = dataset.frame.select_columns(&assignment.task)?;
+        let data_frame = dataset.frame.select_columns(&assignment.data)?;
+        let (task_all, _) = encode_frame(&task_frame)?;
+        let (data_all, data_map) = encode_frame(&data_frame)?;
+
+        let split = train_test_indices(alignment.len(), cfg.train_frac, cfg.seed)?;
+        let mut train_rows: Vec<usize> =
+            split.train.iter().map(|&i| alignment.pairs[i].0).collect();
+        let mut test_rows: Vec<usize> = split.test.iter().map(|&i| alignment.pairs[i].0).collect();
+        if cfg.max_train_rows > 0 && train_rows.len() > cfg.max_train_rows {
+            train_rows.truncate(cfg.max_train_rows);
+        }
+        if cfg.max_test_rows > 0 && test_rows.len() > cfg.max_test_rows {
+            test_rows.truncate(cfg.max_test_rows);
+        }
+        if train_rows.is_empty() || test_rows.is_empty() {
+            return Err(VflError::InvalidScenario("empty train or test split".into()));
+        }
+
+        let y_train = train_rows.iter().map(|&i| dataset.labels[i]).collect();
+        let y_test = test_rows.iter().map(|&i| dataset.labels[i]).collect();
+        let data_features = data_map
+            .features()
+            .iter()
+            .map(|f| DataFeature { name: f.name.clone(), cols: f.cols.clone() })
+            .collect();
+
+        Ok(VflScenario {
+            name: dataset.name.clone(),
+            task_train: task_all.select_rows(&train_rows)?,
+            task_test: task_all.select_rows(&test_rows)?,
+            data_train: data_all.select_rows(&train_rows)?,
+            data_test: data_all.select_rows(&test_rows)?,
+            y_train,
+            y_test,
+            data_features,
+        })
+    }
+
+    /// Dataset name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of data-party original features (the bundle universe size).
+    pub fn n_data_features(&self) -> usize {
+        self.data_features.len()
+    }
+
+    /// Data-party feature descriptors.
+    pub fn data_features(&self) -> &[DataFeature] {
+        &self.data_features
+    }
+
+    /// Task-party encoded width.
+    pub fn task_width(&self) -> usize {
+        self.task_train.cols()
+    }
+
+    /// Data-party encoded width.
+    pub fn data_width(&self) -> usize {
+        self.data_train.cols()
+    }
+
+    /// Training labels.
+    pub fn y_train(&self) -> &[u8] {
+        &self.y_train
+    }
+
+    /// Test labels.
+    pub fn y_test(&self) -> &[u8] {
+        &self.y_test
+    }
+
+    /// Task-party matrices (train, test) — the isolated `M0` inputs.
+    pub fn task_matrices(&self) -> (&Matrix, &Matrix) {
+        (&self.task_train, &self.task_test)
+    }
+
+    /// Encoded column indices (into the data-party matrices) a bundle covers.
+    pub fn bundle_columns(&self, bundle: BundleMask) -> Result<Vec<usize>> {
+        bundle.validate(self.data_features.len())?;
+        let mut cols = Vec::new();
+        for f in bundle.iter() {
+            cols.extend(self.data_features[f].cols.clone());
+        }
+        Ok(cols)
+    }
+
+    /// Joint (train, test) matrices for a VFL course on `bundle`: task-party
+    /// columns + the bundle's encoded columns.
+    pub fn joint_matrices(&self, bundle: BundleMask) -> Result<(Matrix, Matrix)> {
+        if bundle.is_empty() {
+            return Ok((self.task_train.clone(), self.task_test.clone()));
+        }
+        let cols = self.bundle_columns(bundle)?;
+        let d_train = self.data_train.select_cols(&cols)?;
+        let d_test = self.data_test.select_cols(&cols)?;
+        Ok((
+            Matrix::hstack(&[&self.task_train, &d_train])?,
+            Matrix::hstack(&[&self.task_test, &d_test])?,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfl_tabular::synth::{self, DatasetId, SynthConfig};
+
+    fn titanic_scenario() -> VflScenario {
+        let ds = synth::generate(DatasetId::Titanic, SynthConfig::sized(300, 1)).unwrap();
+        let assignment = synth::party_assignment(DatasetId::Titanic, &ds).unwrap();
+        VflScenario::build(&ds, &assignment, &ScenarioConfig { seed: 2, ..Default::default() })
+            .unwrap()
+    }
+
+    #[test]
+    fn widths_match_table2() {
+        let s = titanic_scenario();
+        assert_eq!(s.task_width(), 10);
+        assert_eq!(s.data_width(), 19);
+        assert_eq!(s.n_data_features(), 5);
+    }
+
+    #[test]
+    fn split_sizes() {
+        let s = titanic_scenario();
+        assert_eq!(s.task_matrices().0.rows(), 210);
+        assert_eq!(s.task_matrices().1.rows(), 90);
+        assert_eq!(s.y_train().len(), 210);
+        assert_eq!(s.y_test().len(), 90);
+    }
+
+    #[test]
+    fn row_caps_apply() {
+        let ds = synth::generate(DatasetId::Titanic, SynthConfig::sized(300, 1)).unwrap();
+        let assignment = synth::party_assignment(DatasetId::Titanic, &ds).unwrap();
+        let s = VflScenario::build(
+            &ds,
+            &assignment,
+            &ScenarioConfig { max_train_rows: 50, max_test_rows: 20, seed: 2, train_frac: 0.7 },
+        )
+        .unwrap();
+        assert_eq!(s.task_matrices().0.rows(), 50);
+        assert_eq!(s.task_matrices().1.rows(), 20);
+    }
+
+    #[test]
+    fn joint_matrix_widths_grow_with_bundle() {
+        let s = titanic_scenario();
+        let empty = s.joint_matrices(BundleMask::EMPTY).unwrap();
+        assert_eq!(empty.0.cols(), 10);
+        let full = s.joint_matrices(BundleMask::all(5)).unwrap();
+        assert_eq!(full.0.cols(), 10 + 19);
+        let single = s.joint_matrices(BundleMask::singleton(0)).unwrap();
+        assert!(single.0.cols() > 10 && single.0.cols() < 29);
+    }
+
+    #[test]
+    fn bundle_out_of_range_rejected() {
+        let s = titanic_scenario();
+        assert!(s.joint_matrices(BundleMask::singleton(5)).is_err());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let ds = synth::generate(DatasetId::Titanic, SynthConfig::sized(100, 1)).unwrap();
+        let assignment = synth::party_assignment(DatasetId::Titanic, &ds).unwrap();
+        let bad = ScenarioConfig { train_frac: 1.5, ..Default::default() };
+        assert!(VflScenario::build(&ds, &assignment, &bad).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = titanic_scenario();
+        let b = titanic_scenario();
+        assert_eq!(a.y_train(), b.y_train());
+        assert_eq!(a.task_matrices().0, b.task_matrices().0);
+    }
+}

@@ -1,0 +1,356 @@
+//! Security extension (paper §3.6): "as performance gain is exchanged
+//! between the two parties, a party can access this information and conduct
+//! possible inference attacks ... encryption methods such as Homomorphic
+//! Encryption (HE) can be adopted for multiplication or comparing related
+//! operations."
+//!
+//! This module implements that suggestion end-to-end at demonstration
+//! scale: a small Paillier cryptosystem (additively homomorphic) over
+//! 62-bit moduli, plus a **blind settlement** protocol where the data
+//! party computes the *linear part* of the payment
+//! `P0 + p·ΔG` homomorphically — without ever seeing ΔG — and the task
+//! party (key owner) decrypts only the final payment.
+//!
+//! ⚠️ Toy parameters: 31-bit primes are fine for exercising the algebra and
+//! the protocol shape in tests, and hopeless against a real adversary. A
+//! production deployment would swap in a vetted HE library; the protocol
+//! structure is unchanged.
+
+use crate::error::{Result, VflError};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// `(a * b) mod m` without overflow via shift-and-add (`m < 2^124`).
+fn mulmod(mut a: u128, mut b: u128, m: u128) -> u128 {
+    debug_assert!(m < 1u128 << 124, "modulus too large for shift-and-add");
+    a %= m;
+    let mut r = 0u128;
+    while b > 0 {
+        if b & 1 == 1 {
+            r = (r + a) % m;
+        }
+        a = (a << 1) % m;
+        b >>= 1;
+    }
+    r
+}
+
+/// `base^exp mod m` by square-and-multiply.
+fn powmod(mut base: u128, mut exp: u128, m: u128) -> u128 {
+    let mut r = 1u128 % m;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            r = mulmod(r, base, m);
+        }
+        base = mulmod(base, base, m);
+        exp >>= 1;
+    }
+    r
+}
+
+/// Deterministic Miller–Rabin, valid for all `n < 3.3e24` with these bases.
+fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n.is_multiple_of(p) {
+            return n == p;
+        }
+    }
+    let mut d = n - 1;
+    let mut s = 0u32;
+    while d.is_multiple_of(2) {
+        d /= 2;
+        s += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = powmod(a as u128, d as u128, n as u128) as u64;
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = mulmod(x as u128, x as u128, n as u128) as u64;
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// Modular inverse by extended Euclid (`m` need not be prime).
+fn invmod(a: u128, m: u128) -> Option<u128> {
+    let (mut old_r, mut r) = (a as i128, m as i128);
+    let (mut old_s, mut s) = (1i128, 0i128);
+    while r != 0 {
+        let q = old_r / r;
+        (old_r, r) = (r, old_r - q * r);
+        (old_s, s) = (s, old_s - q * s);
+    }
+    if old_r != 1 {
+        return None;
+    }
+    let mut inv = old_s % m as i128;
+    if inv < 0 {
+        inv += m as i128;
+    }
+    Some(inv as u128)
+}
+
+/// Samples a random 31-bit prime.
+fn random_prime(rng: &mut StdRng) -> u64 {
+    loop {
+        let candidate = (rng.random_range(1u64 << 30..1u64 << 31)) | 1;
+        if is_prime(candidate) {
+            return candidate;
+        }
+    }
+}
+
+/// Paillier public key (`n = p q`, generator `g = n + 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PublicKey {
+    pub n: u64,
+    n2: u128,
+}
+
+/// Paillier secret key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SecretKey {
+    pk: PublicKey,
+    lambda: u64,
+    mu: u128,
+}
+
+/// A Paillier ciphertext (an element of `Z*_{n^2}`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ciphertext(pub u128);
+
+/// Generates a toy Paillier key pair.
+pub fn keygen(seed: u64) -> (PublicKey, SecretKey) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9a11_13e5);
+    loop {
+        let p = random_prime(&mut rng);
+        let q = random_prime(&mut rng);
+        if p == q {
+            continue;
+        }
+        let n = p * q; // <= 62 bits
+        let n2 = (n as u128) * (n as u128);
+        let lambda = (p - 1) * (q - 1) / gcd((p - 1) as u128, (q - 1) as u128) as u64;
+        // g = n + 1 makes L(g^lambda mod n^2) = lambda mod n; mu = lambda^-1.
+        let Some(mu) = invmod(lambda as u128 % n as u128, n as u128) else { continue };
+        let pk = PublicKey { n, n2 };
+        return (pk, SecretKey { pk, lambda, mu });
+    }
+}
+
+impl PublicKey {
+    /// Encrypts `m < n` with fresh randomness from `rng`.
+    pub fn encrypt(&self, m: u64, rng: &mut StdRng) -> Result<Ciphertext> {
+        if m as u128 >= self.n as u128 {
+            return Err(VflError::InvalidScenario(format!(
+                "plaintext {m} exceeds modulus {}",
+                self.n
+            )));
+        }
+        let r = loop {
+            let r = rng.random_range(2u64..self.n);
+            if gcd(r as u128, self.n as u128) == 1 {
+                break r;
+            }
+        };
+        // c = (1 + m n) * r^n mod n^2  (using g = n + 1).
+        let gm = (1u128 + mulmod(m as u128, self.n as u128, self.n2)) % self.n2;
+        let rn = powmod(r as u128, self.n as u128, self.n2);
+        Ok(Ciphertext(mulmod(gm, rn, self.n2)))
+    }
+
+    /// Homomorphic addition: `Enc(a) ⊕ Enc(b) = Enc(a + b mod n)`.
+    pub fn add(&self, a: Ciphertext, b: Ciphertext) -> Ciphertext {
+        Ciphertext(mulmod(a.0, b.0, self.n2))
+    }
+
+    /// Homomorphic plaintext addition: `Enc(a) ⊕ k = Enc(a + k mod n)`.
+    pub fn add_plain(&self, a: Ciphertext, k: u64) -> Ciphertext {
+        let gk = (1u128 + mulmod(k as u128 % self.n as u128, self.n as u128, self.n2)) % self.n2;
+        Ciphertext(mulmod(a.0, gk, self.n2))
+    }
+
+    /// Homomorphic plaintext multiplication: `Enc(a)^k = Enc(a k mod n)`.
+    pub fn mul_plain(&self, a: Ciphertext, k: u64) -> Ciphertext {
+        Ciphertext(powmod(a.0, k as u128, self.n2))
+    }
+}
+
+impl SecretKey {
+    /// Decrypts a ciphertext.
+    pub fn decrypt(&self, c: Ciphertext) -> u64 {
+        let n = self.pk.n as u128;
+        let x = powmod(c.0, self.lambda as u128, self.pk.n2);
+        let l = (x - 1) / n; // L(x) = (x - 1) / n
+        mulmod(l % n, self.mu, n) as u64
+    }
+
+    /// The matching public key.
+    pub fn public(&self) -> PublicKey {
+        self.pk
+    }
+}
+
+/// Fixed-point scale for gains/prices inside the blind settlement.
+pub const FIXED_POINT: f64 = 10_000.0;
+/// Offset making encoded gains non-negative (gains can be negative).
+pub const GAIN_OFFSET: f64 = 8.0;
+
+/// Encodes a gain as a non-negative fixed-point integer.
+pub fn encode_gain(gain: f64) -> Result<u64> {
+    if !gain.is_finite() || gain.abs() >= GAIN_OFFSET {
+        return Err(VflError::InvalidScenario(format!("gain {gain} out of encodable range")));
+    }
+    Ok(((gain + GAIN_OFFSET) * FIXED_POINT).round() as u64)
+}
+
+/// Blind settlement (the §3.6 mitigation): the task party encrypts ΔG under
+/// its own key; the data party computes `Enc(p·ΔG + P0)` homomorphically —
+/// learning nothing about ΔG — and returns it; the task party decrypts the
+/// *linear payment* and applies the public clamp `[P0, Ph]`.
+///
+/// Inputs are the quote components; returns the settled payment. The
+/// numeric result matches the plaintext payment function to fixed-point
+/// precision (see tests).
+pub fn blind_settlement(
+    sk: &SecretKey,
+    rate: f64,
+    base: f64,
+    cap: f64,
+    gain: f64,
+    rng: &mut StdRng,
+) -> Result<f64> {
+    let pk = sk.public();
+    // --- task party: encrypt the (offset) gain.
+    let enc_gain = pk.encrypt(encode_gain(gain)?, rng)?;
+
+    // --- data party: compute Enc(p_fp * (gain + OFFSET) + P0_fp) blindly.
+    let rate_fp = (rate * FIXED_POINT).round() as u64;
+    let base_fp = (base * FIXED_POINT * FIXED_POINT) as u64;
+    let scaled = pk.mul_plain(enc_gain, rate_fp);
+    let with_base = pk.add_plain(scaled, base_fp);
+
+    // --- task party: decrypt, remove the offset, clamp publicly.
+    // decrypted = SCALE^2 * (rate_fp/SCALE * (gain + OFFSET) + base), so the
+    // offset is removed with the *rounded* rate the ciphertext actually used.
+    let decrypted = sk.decrypt(with_base) as f64;
+    let linear =
+        decrypted / (FIXED_POINT * FIXED_POINT) - (rate_fp as f64 / FIXED_POINT) * GAIN_OFFSET;
+    Ok(linear.max(base).min(cap))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x5ece7)
+    }
+
+    #[test]
+    fn modular_arithmetic_basics() {
+        assert_eq!(mulmod(7, 9, 10), 3);
+        assert_eq!(powmod(3, 4, 50), 31);
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(invmod(3, 11), Some(4));
+        assert_eq!(invmod(2, 4), None, "non-coprime has no inverse");
+    }
+
+    #[test]
+    fn primality_spot_checks() {
+        for p in [2u64, 3, 5, 31, 104729, 2147483647] {
+            assert!(is_prime(p), "{p} is prime");
+        }
+        for c in [0u64, 1, 4, 100, 104730, 2147483647 * 2] {
+            assert!(!is_prime(c), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let (pk, sk) = keygen(1);
+        let mut r = rng();
+        for m in [0u64, 1, 42, 123_456, pk.n - 1] {
+            let c = pk.encrypt(m, &mut r).unwrap();
+            assert_eq!(sk.decrypt(c), m, "m = {m}");
+        }
+        assert!(pk.encrypt(pk.n, &mut r).is_err(), "plaintext must be < n");
+    }
+
+    #[test]
+    fn encryption_is_randomized() {
+        let (pk, sk) = keygen(2);
+        let mut r = rng();
+        let a = pk.encrypt(99, &mut r).unwrap();
+        let b = pk.encrypt(99, &mut r).unwrap();
+        assert_ne!(a, b, "semantic security needs fresh randomness");
+        assert_eq!(sk.decrypt(a), sk.decrypt(b));
+    }
+
+    #[test]
+    fn homomorphic_properties() {
+        let (pk, sk) = keygen(3);
+        let mut r = rng();
+        let e5 = pk.encrypt(5, &mut r).unwrap();
+        let e7 = pk.encrypt(7, &mut r).unwrap();
+        assert_eq!(sk.decrypt(pk.add(e5, e7)), 12);
+        assert_eq!(sk.decrypt(pk.add_plain(e5, 100)), 105);
+        assert_eq!(sk.decrypt(pk.mul_plain(e7, 6)), 42);
+    }
+
+    #[test]
+    fn gain_encoding_roundtrip() {
+        for gain in [-0.5, 0.0, 0.017, 0.3, 2.5] {
+            let enc = encode_gain(gain).unwrap();
+            let dec = enc as f64 / FIXED_POINT - GAIN_OFFSET;
+            assert!((dec - gain).abs() < 1.0 / FIXED_POINT, "gain {gain}");
+        }
+        assert!(encode_gain(f64::NAN).is_err());
+        assert!(encode_gain(100.0).is_err());
+    }
+
+    #[test]
+    fn blind_settlement_matches_plaintext_payment() {
+        let (_, sk) = keygen(4);
+        let mut r = rng();
+        for &(rate, base, cap, gain) in &[
+            (9.5f64, 1.2f64, 3.4f64, 0.17f64),
+            (6.0, 0.9, 2.1, 0.02),
+            (12.0, 1.5, 2.0, 0.9),  // capped
+            (8.0, 1.0, 4.0, -0.3),  // floored at base
+        ] {
+            let secure = blind_settlement(&sk, rate, base, cap, gain, &mut r).unwrap();
+            let plain = (base + rate * gain).max(base).min(cap);
+            assert!(
+                (secure - plain).abs() < 2e-3,
+                "rate={rate} gain={gain}: secure {secure} vs plain {plain}"
+            );
+        }
+    }
+
+    #[test]
+    fn keygen_is_deterministic_per_seed() {
+        let (pk1, _) = keygen(9);
+        let (pk2, _) = keygen(9);
+        let (pk3, _) = keygen(10);
+        assert_eq!(pk1, pk2);
+        assert_ne!(pk1, pk3);
+    }
+}

@@ -1,0 +1,95 @@
+//! Security extensions (paper §3.6 + §6): settle a negotiation *blindly*
+//! with additively homomorphic encryption — the data party computes the
+//! payment without ever seeing ΔG — and audit a manipulated negotiation
+//! where the task party under-reports gains to cut its payments.
+//!
+//! ```sh
+//! cargo run --release --example secure_settlement
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vfl_market::{
+    run_bargaining, Auditor, Listing, MarketConfig, ReservedPrice, StrategicData, StrategicTask,
+    TableGainProvider, UnderreportingProvider,
+};
+use vfl_sim::secure::{blind_settlement, keygen};
+use vfl_sim::BundleMask;
+
+fn market() -> (TableGainProvider, Vec<Listing>, Vec<f64>) {
+    let gains = vec![0.05, 0.12, 0.20, 0.30];
+    let listings: Vec<Listing> = [(3.5, 0.5), (7.0, 1.0), (9.0, 1.2), (11.0, 1.5)]
+        .iter()
+        .enumerate()
+        .map(|(i, &(rate, base))| Listing {
+            bundle: BundleMask::singleton(i),
+            reserved: ReservedPrice::new(rate, base).unwrap(),
+        })
+        .collect();
+    let provider = TableGainProvider::new(listings.iter().zip(&gains).map(|(l, &g)| (l.bundle, g)));
+    (provider, listings, gains)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = MarketConfig {
+        utility_rate: 1000.0,
+        budget: 12.0,
+        rate_cap: 20.0,
+        seed: 11,
+        ..MarketConfig::default()
+    };
+
+    // --- Part 1: honest negotiation + blind settlement -------------------
+    let (provider, listings, gains) = market();
+    let mut task = StrategicTask::new(0.30, 6.0, 0.9)?;
+    let mut data = StrategicData::with_gains(gains.clone());
+    let outcome = run_bargaining(&provider, &listings, &mut task, &mut data, &cfg)?;
+    let last = outcome.final_record().expect("negotiation closed");
+    println!("negotiation closed: dG = {:.4}, plaintext payment = {:.4}", last.gain, last.payment);
+
+    // Settle under encryption: the seller computes Enc(P0 + p*dG) without
+    // learning dG; the buyer decrypts only the final number.
+    let (_, sk) = keygen(2024);
+    let mut rng = StdRng::seed_from_u64(99);
+    let secure_payment = blind_settlement(
+        &sk,
+        last.quote.rate,
+        last.quote.base,
+        last.quote.cap,
+        last.gain,
+        &mut rng,
+    )?;
+    println!(
+        "blind settlement payment  = {:.4}  (difference {:.6}; the seller never saw dG)",
+        secure_payment,
+        (secure_payment - last.payment).abs()
+    );
+
+    // --- Part 2: a lying buyer gets caught by the platform audit ---------
+    let (honest, listings, gains) = market();
+    let liar = UnderreportingProvider::new(honest, 0.6); // reports 60% of true gains
+    let mut task = StrategicTask::new(0.30, 6.0, 0.9)?;
+    let mut data = StrategicData::with_gains(gains);
+    let manipulated = run_bargaining(&liar, &listings, &mut task, &mut data, &cfg)?;
+    println!(
+        "\nmanipulated negotiation: {:?}, {} course rounds",
+        manipulated.status,
+        manipulated.n_rounds()
+    );
+
+    let report = Auditor::new(liar.inner(), 1e-9).audit(&manipulated)?;
+    println!(
+        "audit: {} of {} rounds flagged; data party shorted by {:.4} in total",
+        report.violations.len(),
+        report.rounds_checked,
+        report.total_underpayment
+    );
+    for v in report.violations.iter().take(3) {
+        println!(
+            "  round {:>3}: reported dG {:.4} but recomputed {:.4} on bundle {}",
+            v.round, v.reported, v.recomputed, v.bundle
+        );
+    }
+    println!("(paper §6: 'a possible solution ... is to involve a trustworthy third party')");
+    Ok(())
+}

@@ -1,0 +1,171 @@
+//! Cross-crate integration: the paper's §4.2 comparison claims, checked on
+//! a deterministic table-driven market (no ML noise) with many seeds —
+//! Strategic must dominate Increase Price on buyer profit and dominate
+//! Random Bundle on reliability.
+
+use vfl_market::{
+    run_bargaining, DataStrategy, IncreasePriceTask, Listing, MarketConfig, Outcome,
+    RandomBundleData, ReservedPrice, StrategicData, StrategicTask, TableGainProvider,
+    TaskStrategy,
+};
+use vfl_sim::BundleMask;
+
+/// A 12-rung ladder market: gains and reserves both grow with bundle size.
+fn ladder() -> (TableGainProvider, Vec<Listing>, Vec<f64>) {
+    let n = 12usize;
+    let gains: Vec<f64> = (1..=n).map(|k| 0.02 * k as f64).collect();
+    let listings: Vec<Listing> = (0..n)
+        .map(|k| Listing {
+            bundle: BundleMask::singleton(k),
+            reserved: ReservedPrice::new(3.5 + 0.65 * k as f64, 0.5 + 0.075 * k as f64).unwrap(),
+        })
+        .collect();
+    let provider = TableGainProvider::new(listings.iter().zip(&gains).map(|(l, &g)| (l.bundle, g)));
+    (provider, listings, gains)
+}
+
+fn cfg(seed: u64) -> MarketConfig {
+    MarketConfig {
+        utility_rate: 600.0,
+        budget: 12.0,
+        rate_cap: 16.0,
+        eps_task: 1e-3,
+        eps_data: 1e-3,
+        seed,
+        ..MarketConfig::default()
+    }
+}
+
+fn run_strategic(seed: u64) -> Outcome {
+    let (provider, listings, gains) = ladder();
+    let mut task = StrategicTask::new(0.24, 4.0, 0.6).unwrap();
+    let mut data = StrategicData::with_gains(gains);
+    run_bargaining(&provider, &listings, &mut task, &mut data, &cfg(seed)).unwrap()
+}
+
+fn run_increase_price(seed: u64) -> Outcome {
+    let (provider, listings, gains) = ladder();
+    let mut task = IncreasePriceTask::new(0.24, 4.0, 0.6).unwrap();
+    let mut data = StrategicData::with_gains(gains);
+    run_bargaining(&provider, &listings, &mut task, &mut data, &cfg(seed)).unwrap()
+}
+
+fn run_random_bundle(seed: u64) -> Outcome {
+    let (provider, listings, gains) = ladder();
+    let mut task = StrategicTask::new(0.24, 4.0, 0.6).unwrap();
+    let mut data = RandomBundleData::with_gains(gains);
+    // A lower utility rate makes the break-even threshold bite, as on Adult.
+    let c = MarketConfig { utility_rate: 60.0, ..cfg(seed) };
+    run_bargaining(&provider, &listings, &mut task, &mut data, &c).unwrap()
+}
+
+const SEEDS: u64 = 40;
+
+#[test]
+fn strategic_always_succeeds_on_the_ladder() {
+    for seed in 0..SEEDS {
+        let o = run_strategic(seed);
+        assert!(o.is_success(), "seed {seed}: {:?}", o.status);
+        let last = o.final_record().unwrap();
+        assert!((last.gain - 0.24).abs() < 1e-9, "seed {seed}: wrong terminal bundle");
+    }
+}
+
+#[test]
+fn strategic_beats_increase_price_on_mean_profit() {
+    let strat: f64 = (0..SEEDS)
+        .filter_map(|s| run_strategic(s).task_revenue())
+        .sum::<f64>()
+        / SEEDS as f64;
+    let incr_outcomes: Vec<Outcome> = (0..SEEDS).map(run_increase_price).collect();
+    let incr_successes: Vec<f64> =
+        incr_outcomes.iter().filter_map(|o| o.task_revenue()).collect();
+    // Count failures as zero profit for the mean (conservative toward the
+    // baseline, which never loses money by failing).
+    let incr = incr_successes.iter().sum::<f64>() / SEEDS as f64;
+    assert!(
+        strat > incr,
+        "strategic mean profit {strat:.2} must beat increase-price {incr:.2}"
+    );
+}
+
+#[test]
+fn increase_price_overpays_relative_to_strategic() {
+    // Over-payment indicator (Figures 2/3 d-e): mean terminal base payment
+    // above the target bundle's reserve.
+    let target_reserve_base = 0.5 + 0.075 * 11.0;
+    let mean_over = |outcomes: &[Outcome]| {
+        let v: Vec<f64> = outcomes
+            .iter()
+            .filter(|o| o.is_success())
+            .filter_map(|o| o.final_record())
+            .map(|r| r.quote.base - target_reserve_base)
+            .collect();
+        v.iter().sum::<f64>() / v.len().max(1) as f64
+    };
+    let strat: Vec<Outcome> = (0..SEEDS).map(run_strategic).collect();
+    let incr: Vec<Outcome> = (0..SEEDS).map(run_increase_price).collect();
+    assert!(
+        mean_over(&strat) <= mean_over(&incr) + 1e-9,
+        "strategic {:.3} vs increase-price {:.3}",
+        mean_over(&strat),
+        mean_over(&incr)
+    );
+}
+
+#[test]
+fn random_bundle_fails_more_often_than_strategic() {
+    let random_failures = (0..SEEDS).filter(|&s| !run_random_bundle(s).is_success()).count();
+    // Strategic under the same low-utility config:
+    let strategic_failures = (0..SEEDS)
+        .filter(|&s| {
+            let (provider, listings, gains) = ladder();
+            let mut task = StrategicTask::new(0.24, 4.0, 0.6).unwrap();
+            let mut data = StrategicData::with_gains(gains);
+            let c = MarketConfig { utility_rate: 60.0, ..cfg(s) };
+            !run_bargaining(&provider, &listings, &mut task, &mut data, &c)
+                .unwrap()
+                .is_success()
+        })
+        .count();
+    assert!(
+        random_failures > strategic_failures,
+        "random bundle must fail more: {random_failures} vs {strategic_failures}"
+    );
+}
+
+#[test]
+fn all_arms_respect_budget_and_reserve_admission() {
+    for seed in 0..SEEDS {
+        for outcome in [run_strategic(seed), run_increase_price(seed), run_random_bundle(seed)] {
+            let (_, listings, _) = ladder();
+            for r in &outcome.rounds {
+                assert!(r.quote.cap <= 12.0 + 1e-9, "budget violated at round {}", r.round);
+                let reserve = listings[r.listing].reserved;
+                // Exploration is off here, so every offered bundle must have
+                // been affordable.
+                assert!(
+                    reserve.admits(&r.quote),
+                    "seed {seed} round {}: offered bundle below reserve",
+                    r.round
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn strategy_names_are_distinct() {
+    let t1 = StrategicTask::new(0.2, 4.0, 0.6).unwrap();
+    let t2 = IncreasePriceTask::new(0.2, 4.0, 0.6).unwrap();
+    let d1 = StrategicData::with_gains(vec![0.1]);
+    let d2 = RandomBundleData::with_gains(vec![0.1]);
+    let names = [
+        TaskStrategy::name(&t1),
+        TaskStrategy::name(&t2),
+        DataStrategy::name(&d1),
+        DataStrategy::name(&d2),
+    ];
+    let unique: std::collections::BTreeSet<&str> = names.into_iter().collect();
+    assert_eq!(unique.len(), 4);
+}

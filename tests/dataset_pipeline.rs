@@ -1,0 +1,141 @@
+//! Cross-crate integration of the data path: synthetic generation →
+//! preprocessing → vertical split → VFL scenario → gain oracle, including
+//! property tests on the encoding and CSV round-trips.
+
+use proptest::prelude::*;
+use vfl_sim::{BundleMask, ScenarioConfig, VflScenario};
+use vfl_tabular::synth::{self, SynthConfig};
+use vfl_tabular::{encode_frame, csv, DatasetId, Matrix};
+
+#[test]
+fn every_dataset_flows_to_a_scenario() {
+    for id in DatasetId::ALL {
+        let ds = synth::generate(id, SynthConfig::sized(300, 7)).unwrap();
+        let assignment = synth::party_assignment(id, &ds).unwrap();
+        let scenario = VflScenario::build(
+            &ds,
+            &assignment,
+            &ScenarioConfig { seed: 1, ..Default::default() },
+        )
+        .unwrap();
+        let meta = synth::meta(id);
+        assert_eq!(scenario.task_width(), meta.paper_task_width, "{id}");
+        assert_eq!(scenario.data_width(), meta.paper_data_width, "{id}");
+        // The joint matrix over the full bundle covers both parties.
+        let (train, test) = scenario
+            .joint_matrices(BundleMask::all(scenario.n_data_features()))
+            .unwrap();
+        assert_eq!(train.cols(), meta.paper_task_width + meta.paper_data_width);
+        assert_eq!(test.cols(), train.cols());
+        assert_eq!(train.rows() + test.rows(), 300);
+    }
+}
+
+#[test]
+fn bundle_columns_partition_the_data_matrix() {
+    let ds = synth::generate(DatasetId::Titanic, SynthConfig::sized(120, 3)).unwrap();
+    let assignment = synth::party_assignment(DatasetId::Titanic, &ds).unwrap();
+    let scenario =
+        VflScenario::build(&ds, &assignment, &ScenarioConfig { seed: 2, ..Default::default() })
+            .unwrap();
+    let d = scenario.n_data_features();
+    // Singleton column sets must be disjoint and cover the full width.
+    let mut seen = std::collections::BTreeSet::new();
+    for f in 0..d {
+        for c in scenario.bundle_columns(BundleMask::singleton(f)).unwrap() {
+            assert!(seen.insert(c), "column {c} in two features");
+        }
+    }
+    assert_eq!(seen.len(), scenario.data_width());
+}
+
+#[test]
+fn labels_are_binary_and_rates_reasonable() {
+    for id in DatasetId::ALL {
+        let ds = synth::generate(id, SynthConfig::sized(2000, 11)).unwrap();
+        assert!(ds.labels.iter().all(|&y| y <= 1), "{id}");
+        let rate = ds.positive_rate();
+        assert!((0.1..0.6).contains(&rate), "{id}: positive rate {rate}");
+    }
+}
+
+#[test]
+fn csv_export_import_roundtrip_via_inference() {
+    // Export a numeric view of a small frame and re-infer it.
+    let ds = synth::generate(DatasetId::Titanic, SynthConfig::sized(40, 5)).unwrap();
+    let (m, _) = encode_frame(&ds.frame).unwrap();
+    let mut buf = Vec::new();
+    let header: Vec<String> = (0..m.cols()).map(|c| format!("f{c}")).collect();
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    csv::write_table(&mut buf, &header_refs, (0..m.rows()).map(|r| m.row(r).to_vec())).unwrap();
+    let raw = csv::read_raw(std::io::Cursor::new(buf)).unwrap();
+    let frame = csv::infer_frame(&raw).unwrap();
+    assert_eq!(frame.n_rows(), 40);
+    assert_eq!(frame.n_cols(), m.cols());
+    // Numeric columns must round-trip exactly where they are truly numeric.
+    let age = frame.column(0).as_numeric().expect("age is numeric");
+    for (a, b) in age.iter().zip(m.col(0)) {
+        assert!((a - b).abs() < 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// One-hot encoding: every categorical block has exactly one active
+    /// indicator per row (or a single 0/1 column for binary categories).
+    #[test]
+    fn one_hot_blocks_are_valid(seed in 0u64..500, rows in 10usize..60) {
+        let ds = synth::generate(DatasetId::Titanic, SynthConfig::sized(rows, seed)).unwrap();
+        let (m, map) = encode_frame(&ds.frame).unwrap();
+        for feature in map.features() {
+            let width = feature.cols.len();
+            if width == 1 {
+                continue;
+            }
+            for r in 0..m.rows() {
+                let sum: f64 = feature.cols.clone().map(|c| m.get(r, c)).sum();
+                prop_assert!((sum - 1.0).abs() < 1e-12, "row {r} feature {}", feature.name);
+            }
+        }
+    }
+
+    /// Generators are pure functions of (rows, seed).
+    #[test]
+    fn generation_is_referentially_transparent(seed in 0u64..200) {
+        let a = synth::generate(DatasetId::Credit, SynthConfig::sized(50, seed)).unwrap();
+        let b = synth::generate(DatasetId::Credit, SynthConfig::sized(50, seed)).unwrap();
+        prop_assert_eq!(a.labels, b.labels);
+    }
+
+    /// Matrix hstack/select roundtrip: joint matrices equal manual stacking.
+    #[test]
+    fn joint_matrix_consistency(mask_bits in 1u64..32) {
+        let ds = synth::generate(DatasetId::Titanic, SynthConfig::sized(60, 9)).unwrap();
+        let assignment = synth::party_assignment(DatasetId::Titanic, &ds).unwrap();
+        let scenario = VflScenario::build(
+            &ds,
+            &assignment,
+            &ScenarioConfig { seed: 3, ..Default::default() },
+        ).unwrap();
+        let bundle = BundleMask(mask_bits);
+        let (train, _) = scenario.joint_matrices(bundle).unwrap();
+        prop_assert_eq!(train.cols(), scenario.task_width() + scenario.bundle_columns(bundle).unwrap().len());
+        // Task block is bitwise identical to the task matrix.
+        let (task_train, _) = scenario.task_matrices();
+        for r in 0..train.rows().min(10) {
+            for c in 0..scenario.task_width() {
+                prop_assert_eq!(train.get(r, c), task_train.get(r, c));
+            }
+        }
+    }
+}
+
+#[test]
+fn matrix_basic_algebra_sanity() {
+    // A final spot check on the numeric substrate shared by everything.
+    let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+    let i = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+    assert_eq!(a.matmul(&i).unwrap(), a);
+    assert_eq!(a.t_matmul(&i).unwrap(), a.transpose());
+}

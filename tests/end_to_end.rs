@@ -1,0 +1,126 @@
+//! Full-stack integration: synthetic dataset → VFL scenario → gain oracle →
+//! bargaining engine, on the fast profile. These are the "does the whole
+//! paper pipeline hold together" tests.
+
+use vfl_bench::{run_arm, run_arm_many, Arm, BaseModelKind, PreparedMarket, RunProfile};
+use vfl_market::{CostModel, OutcomeStatus};
+use vfl_tabular::DatasetId;
+
+fn market(id: DatasetId, kind: BaseModelKind, seed: u64) -> PreparedMarket {
+    PreparedMarket::build(id, kind, &RunProfile::fast(), seed).expect("market builds")
+}
+
+#[test]
+fn titanic_forest_strategic_end_to_end() {
+    let pm = market(DatasetId::Titanic, BaseModelKind::Forest, 42);
+    let cfg = pm.market_config(&RunProfile::fast());
+    let outcome = run_arm(&pm, Arm::Strategic, &cfg).unwrap();
+    assert!(outcome.is_success(), "{:?}", outcome.status);
+    let last = outcome.final_record().unwrap();
+    // The buyer never pays more than the cap or the budget.
+    assert!(last.payment <= last.quote.cap + 1e-9);
+    assert!(last.quote.cap <= cfg.budget + 1e-9);
+    // A successful strategic trade is profitable at u = 1000.
+    assert!(last.net_profit > 0.0, "profit {}", last.net_profit);
+    // Protocol transcript settled with the same payment.
+    match outcome.transcript.settlement() {
+        Some(vfl_sim::protocol::SettleMsg::Pay { amount, .. }) => {
+            assert!((amount - last.payment).abs() < 1e-12);
+        }
+        other => panic!("expected settlement, got {other:?}"),
+    }
+}
+
+#[test]
+fn titanic_mlp_strategic_end_to_end() {
+    let pm = market(DatasetId::Titanic, BaseModelKind::Mlp, 42);
+    let cfg = pm.market_config(&RunProfile::fast());
+    let outcome = run_arm(&pm, Arm::Strategic, &cfg).unwrap();
+    // The MLP landscape is noisier at fast scale; at minimum the engine
+    // must terminate cleanly and respect invariants on every round.
+    for r in &outcome.rounds {
+        assert!(r.quote.cap >= r.quote.base);
+        assert!(r.payment >= r.quote.base - 1e-12 && r.payment <= r.quote.cap + 1e-12);
+    }
+}
+
+#[test]
+fn bargaining_costs_shorten_negotiations() {
+    let pm = market(DatasetId::Titanic, BaseModelKind::Forest, 7);
+    let base_cfg = pm.market_config(&RunProfile::fast());
+    let free = run_arm_many(&pm, Arm::Strategic, &base_cfg, 8).unwrap();
+    let costly_cfg = vfl_market::MarketConfig {
+        task_cost: CostModel::Exponential { a: 1.3 },
+        data_cost: CostModel::Exponential { a: 1.3 },
+        eps_task_cost: 1e-2,
+        eps_data_cost: 1e-2,
+        ..base_cfg
+    };
+    let costly = run_arm_many(&pm, Arm::Strategic, &costly_cfg, 8).unwrap();
+    let mean_rounds = |outcomes: &[vfl_market::Outcome]| {
+        outcomes.iter().map(|o| o.n_rounds() as f64).sum::<f64>() / outcomes.len() as f64
+    };
+    assert!(
+        mean_rounds(&costly) <= mean_rounds(&free) + 1e-9,
+        "steep costs must not lengthen bargaining: {} vs {}",
+        mean_rounds(&costly),
+        mean_rounds(&free)
+    );
+}
+
+#[test]
+fn oracle_caches_across_runs() {
+    let pm = market(DatasetId::Titanic, BaseModelKind::Forest, 9);
+    let cfg = pm.market_config(&RunProfile::fast());
+    let queries_before = pm.oracle.query_count();
+    // Everything was precomputed at build time; repeated bargaining must not
+    // trigger new training.
+    let _ = run_arm_many(&pm, Arm::Strategic, &cfg, 5).unwrap();
+    assert_eq!(pm.oracle.query_count(), queries_before, "cache misses during bargaining");
+}
+
+#[test]
+fn outcomes_are_reproducible() {
+    let pm = market(DatasetId::Titanic, BaseModelKind::Forest, 21);
+    let cfg = pm.market_config(&RunProfile::fast());
+    let a = run_arm(&pm, Arm::Strategic, &cfg).unwrap();
+    let b = run_arm(&pm, Arm::Strategic, &cfg).unwrap();
+    assert_eq!(a, b, "same seed must reproduce the full outcome");
+}
+
+#[test]
+fn failure_reasons_are_classified() {
+    // A market where the buyer's utility is so low that any trade is
+    // unprofitable: Case 4 must fire with GainBelowBreakEven.
+    let pm = market(DatasetId::Titanic, BaseModelKind::Forest, 3);
+    let cfg = vfl_market::MarketConfig {
+        utility_rate: 7.0, // barely above the opening rate
+        ..pm.market_config(&RunProfile::fast())
+    };
+    let outcome = run_arm(&pm, Arm::Strategic, &cfg).unwrap();
+    if let OutcomeStatus::Failed { reason } = outcome.status {
+        use vfl_market::FailureReason::*;
+        assert!(
+            matches!(reason, GainBelowBreakEven | BudgetExhausted | NoAffordableBundle | RoundLimit),
+            "{reason:?}"
+        );
+    }
+    // (Success is possible if the landscape's best gain still clears the
+    // tiny utility; the point is that failures carry a typed reason.)
+}
+
+#[test]
+fn all_datasets_build_forest_markets() {
+    for id in DatasetId::ALL {
+        let pm = market(id, BaseModelKind::Forest, 42);
+        assert!(pm.target_gain > 0.0, "{id}: no positive gain");
+        assert!(!pm.listings.is_empty());
+        assert_eq!(pm.gains.len(), pm.listings.len());
+        // Reserved prices are within the escalation envelope, so the
+        // strategic game is always winnable in principle.
+        let cfg = pm.market_config(&RunProfile::fast());
+        let reserve = pm.target_reserve();
+        assert!(reserve.rate <= cfg.effective_rate_cap());
+        assert!(reserve.base <= cfg.budget);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based verification of the paper's theory: Theorem 3.1,
+//! Lemma 3.1, Propositions 3.1/3.2, and the structural invariants of the
+//! payment function (Definition 2.3).
+
+use proptest::prelude::*;
+use vfl_market::equilibrium::{theorem31_equivalent, verify_lemma31, verify_theorem31};
+use vfl_market::payment::{data_objective_distance, task_net_profit};
+use vfl_market::termination::{eq6_data_accepts, eq7_task_accepts};
+use vfl_market::{QuotedPrice, ReservedPrice};
+
+/// Strategy for a valid quoted price.
+fn quote_strategy() -> impl Strategy<Value = QuotedPrice> {
+    (0.1f64..50.0, 0.0f64..10.0, 0.0f64..20.0)
+        .prop_map(|(rate, base, slack)| QuotedPrice::new(rate, base, base + slack).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Definition 2.3: payment is clamped to [P0, Ph] for any gain.
+    #[test]
+    fn payment_is_always_clamped(q in quote_strategy(), gain in -5.0f64..5.0) {
+        let pay = q.payment(gain);
+        prop_assert!(pay >= q.base - 1e-12);
+        prop_assert!(pay <= q.cap + 1e-12);
+    }
+
+    /// Payment is non-decreasing in the gain (Figure 1a).
+    #[test]
+    fn payment_is_monotone_in_gain(q in quote_strategy(), g1 in -2.0f64..2.0, g2 in -2.0f64..2.0) {
+        let (lo, hi) = if g1 <= g2 { (g1, g2) } else { (g2, g1) };
+        prop_assert!(q.payment(lo) <= q.payment(hi) + 1e-12);
+    }
+
+    /// Net profit is non-decreasing in the gain for u > p (Figure 1b).
+    #[test]
+    fn net_profit_is_monotone_in_gain(q in quote_strategy(), g1 in -2.0f64..2.0, g2 in -2.0f64..2.0) {
+        let u = q.rate + 10.0;
+        let (lo, hi) = if g1 <= g2 { (g1, g2) } else { (g2, g1) };
+        prop_assert!(task_net_profit(u, &q, lo) <= task_net_profit(u, &q, hi) + 1e-12);
+    }
+
+    /// The data party's objective (Eq. 4) is minimized at the target gain.
+    #[test]
+    fn objective_minimized_at_target(q in quote_strategy(), gain in 0.0f64..3.0) {
+        let at_target = data_objective_distance(&q, q.target_gain());
+        prop_assert!(at_target <= data_objective_distance(&q, gain) + 1e-9);
+    }
+
+    /// Theorem 3.1: the Eq. 5 transform preserves payment and profit and
+    /// never raises the cap.
+    #[test]
+    fn theorem31(q in quote_strategy(), gain in 0.001f64..2.0, u_extra in 1.0f64..100.0) {
+        let u = q.rate + u_extra;
+        prop_assert!(verify_theorem31(u, &q, gain, 1e-9));
+    }
+
+    /// The transform satisfies Eq. 5 exactly.
+    #[test]
+    fn transform_satisfies_eq5(q in quote_strategy(), gain in 0.001f64..2.0) {
+        let eq = theorem31_equivalent(&q, gain).unwrap();
+        prop_assert!(eq.satisfies_equilibrium(gain, 1e-9));
+    }
+
+    /// Lemma 3.1: the transform of the profit-maximal quote weakly dominates
+    /// any finite quote set at the same gain.
+    #[test]
+    fn lemma31(quotes in prop::collection::vec(quote_strategy(), 1..8), gain in 0.001f64..1.0) {
+        let u = quotes.iter().map(|q| q.rate).fold(0.0, f64::max) + 5.0;
+        // The lemma's premise requires at least one quote whose payment is
+        // still in the linear region at `gain`; otherwise there is nothing
+        // to dominate and the helper returns None.
+        match verify_lemma31(u, &quotes, gain, 1e-9) {
+            Some((eq, dominated)) => {
+                prop_assert!(dominated);
+                prop_assert!(eq.satisfies_equilibrium(gain, 1e-9));
+            }
+            None => {
+                prop_assert!(quotes.iter().all(|q| q.target_gain() < gain));
+            }
+        }
+    }
+
+    /// Proposition 3.2: with constant costs, Eq. 7 is Case 5 with
+    /// ε_t = ε_tc / (u − p).
+    #[test]
+    fn prop32(q in quote_strategy(), gain in 0.0f64..2.0, eps_tc in 0.0f64..1.0, c in 0.0f64..5.0) {
+        let u = q.rate + 7.0;
+        let via_eq7 = eq7_task_accepts(u, &q, gain, c, c, eps_tc);
+        let eps_t = eps_tc / (u - q.rate);
+        let via_case5 = gain >= q.target_gain() - eps_t;
+        prop_assert_eq!(via_eq7, via_case5);
+    }
+
+    /// Proposition 3.1's direction: with constant costs and the target
+    /// bundle priced exactly at the quote, Eq. 6 reduces to the ε_d rule.
+    #[test]
+    fn prop31(q in quote_strategy(), gain in 0.0f64..2.0, eps_dc in 0.0f64..1.0, c in 0.0f64..5.0) {
+        let reserve = ReservedPrice::new(q.rate, q.base).unwrap();
+        let via_eq6 = eq6_data_accepts(&q, gain, &reserve, c, c, eps_dc);
+        // RHS with max{}=identity: P0 + p*target - eps -> accept iff
+        // p*(target - gain) <= eps_dc, i.e. target - gain <= eps_dc / p.
+        let via_eps = q.target_gain() - gain <= eps_dc / q.rate + 1e-12;
+        prop_assert_eq!(via_eq6, via_eps);
+    }
+
+    /// Rising costs only ever make both sides accept *earlier* (never later).
+    #[test]
+    fn rising_costs_accelerate_acceptance(
+        q in quote_strategy(),
+        gain in 0.0f64..2.0,
+        c_now in 0.0f64..5.0,
+        extra in 0.0f64..5.0,
+    ) {
+        let u = q.rate + 7.0;
+        let reserve = ReservedPrice::new(q.rate * 0.8, q.base * 0.8).unwrap();
+        let flat_7 = eq7_task_accepts(u, &q, gain, c_now, c_now, 0.1);
+        let rising_7 = eq7_task_accepts(u, &q, gain, c_now, c_now + extra, 0.1);
+        prop_assert!(!flat_7 || rising_7, "task: flat-accept must imply rising-accept");
+        let flat_6 = eq6_data_accepts(&q, gain, &reserve, c_now, c_now, 0.1);
+        let rising_6 = eq6_data_accepts(&q, gain, &reserve, c_now, c_now + extra, 0.1);
+        prop_assert!(!flat_6 || rising_6, "data: flat-accept must imply rising-accept");
+    }
+}
+
+#[test]
+fn equilibrium_price_is_reached_by_the_engine() {
+    // A deterministic end-to-end check that the engine's terminal quote
+    // satisfies Eq. 5 at the realized gain (the equilibrium of §3.4.2).
+    use vfl_market::{
+        run_bargaining, Listing, MarketConfig, StrategicData, StrategicTask, TableGainProvider,
+    };
+    use vfl_sim::BundleMask;
+
+    let gains = vec![0.04, 0.1, 0.18, 0.26];
+    let listings: Vec<Listing> = [(3.5, 0.5), (6.5, 0.95), (8.5, 1.2), (10.5, 1.45)]
+        .iter()
+        .enumerate()
+        .map(|(i, &(rate, base))| Listing {
+            bundle: BundleMask::singleton(i),
+            reserved: ReservedPrice::new(rate, base).unwrap(),
+        })
+        .collect();
+    let provider = TableGainProvider::new(listings.iter().zip(&gains).map(|(l, &g)| (l.bundle, g)));
+    for seed in 0..10 {
+        let cfg = MarketConfig {
+            utility_rate: 800.0,
+            budget: 10.0,
+            rate_cap: 18.0,
+            seed,
+            ..MarketConfig::default()
+        };
+        let mut task = StrategicTask::new(0.26, 4.0, 0.6).unwrap();
+        let mut data = StrategicData::with_gains(gains.clone());
+        let outcome = run_bargaining(&provider, &listings, &mut task, &mut data, &cfg).unwrap();
+        assert!(outcome.is_success(), "seed {seed}: {:?}", outcome.status);
+        let last = outcome.final_record().unwrap();
+        assert_eq!(last.gain, 0.26, "seed {seed}: must close on the target bundle");
+        assert!(
+            last.quote.satisfies_equilibrium(last.gain, 0.05),
+            "seed {seed}: terminal quote {:?} violates Eq. 5 at gain {}",
+            last.quote,
+            last.gain
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! Integration tests for the imperfect-performance-information setting
+//! (§3.5): exploration behaviour (Case VII), estimator learning while
+//! bargaining, and comparability with the perfect setting.
+
+use vfl_bench::{run_imperfect, BaseModelKind, PreparedMarket, RunProfile};
+use vfl_estimator::{BundleModelConfig, ImperfectData, ImperfectTask, PriceModelConfig};
+use vfl_market::{
+    run_bargaining, Listing, MarketConfig, ReservedPrice, TableGainProvider,
+};
+use vfl_sim::BundleMask;
+use vfl_tabular::DatasetId;
+
+/// Deterministic ladder market (no ML noise) for protocol-level tests.
+fn ladder() -> (TableGainProvider, Vec<Listing>, Vec<f64>) {
+    let n = 8usize;
+    let gains: Vec<f64> = (1..=n).map(|k| 0.03 * k as f64).collect();
+    let listings: Vec<Listing> = (0..n)
+        .map(|k| Listing {
+            bundle: BundleMask::singleton(k),
+            reserved: ReservedPrice::new(3.5 + 0.75 * k as f64, 0.5 + 0.085 * k as f64).unwrap(),
+        })
+        .collect();
+    let provider = TableGainProvider::new(listings.iter().zip(&gains).map(|(l, &g)| (l.bundle, g)));
+    (provider, listings, gains)
+}
+
+fn imperfect_players(target: f64, seed: u64, n_features: usize) -> (ImperfectTask, ImperfectData) {
+    let task = ImperfectTask::new(
+        target,
+        4.0,
+        0.6,
+        PriceModelConfig { gain_scale: target, seed, ..PriceModelConfig::default() },
+    )
+    .unwrap();
+    let data = ImperfectData::new(BundleModelConfig::for_features(n_features, target, seed ^ 1));
+    (task, data)
+}
+
+fn cfg(seed: u64, explore: u32) -> MarketConfig {
+    MarketConfig {
+        utility_rate: 600.0,
+        budget: 12.0,
+        rate_cap: 16.0,
+        eps_task: 5e-3,
+        eps_data: 5e-3,
+        explore_rounds: explore,
+        max_rounds: 400,
+        seed,
+        ..MarketConfig::default()
+    }
+}
+
+#[test]
+fn exploration_never_terminates_early() {
+    let (provider, listings, _) = ladder();
+    let explore = 30u32;
+    let (mut task, mut data) = imperfect_players(0.24, 5, 8);
+    let outcome =
+        run_bargaining(&provider, &listings, &mut task, &mut data, &cfg(5, explore)).unwrap();
+    assert!(
+        outcome.n_rounds() as u32 > explore,
+        "bargaining must outlive the exploration window: {} rounds",
+        outcome.n_rounds()
+    );
+    // No final offers inside the window.
+    for r in outcome.rounds.iter().take(explore as usize) {
+        assert!(!r.final_offer, "final offer during exploration at round {}", r.round);
+    }
+}
+
+#[test]
+fn estimators_learn_during_bargaining() {
+    let (provider, listings, _) = ladder();
+    let (mut task, mut data) = imperfect_players(0.24, 6, 8);
+    let _ =
+        run_bargaining(&provider, &listings, &mut task, &mut data, &cfg(6, 40)).unwrap();
+    let t = task.mse_history();
+    let d = data.mse_history();
+    assert!(t.len() >= 40 && d.len() >= 40, "one MSE point per course");
+    // Late MSE (mean of last 10) must improve on early MSE (first 5) for
+    // the data party, whose input space is small and revisited.
+    let early: f64 = d[..5].iter().sum::<f64>() / 5.0;
+    let late: f64 = d[d.len() - 10..].iter().sum::<f64>() / 10.0;
+    assert!(
+        late < early,
+        "data-party estimator must improve: early {early:.4} late {late:.4}"
+    );
+}
+
+#[test]
+fn imperfect_reaches_a_deal_on_the_ladder() {
+    let mut successes = 0;
+    for seed in 0..6 {
+        let (provider, listings, _) = ladder();
+        let (mut task, mut data) = imperfect_players(0.24, seed, 8);
+        let outcome =
+            run_bargaining(&provider, &listings, &mut task, &mut data, &cfg(seed, 40)).unwrap();
+        if outcome.is_success() {
+            successes += 1;
+            let last = outcome.final_record().unwrap();
+            assert!(last.gain > 0.0);
+            assert!(last.payment >= listings[last.listing].reserved.base);
+        }
+    }
+    assert!(successes >= 4, "imperfect bargaining too unreliable: {successes}/6");
+}
+
+#[test]
+fn imperfect_payoffs_are_comparable_to_perfect() {
+    // The paper's Table 4 claim: imperfect payoffs are of reasonable
+    // magnitude relative to perfect (not orders of magnitude off).
+    let (provider, listings, gains) = ladder();
+    let mut perfect_profit = Vec::new();
+    let mut imperfect_profit = Vec::new();
+    for seed in 0..6 {
+        let mut t = vfl_market::StrategicTask::new(0.24, 4.0, 0.6).unwrap();
+        let mut d = vfl_market::StrategicData::with_gains(gains.clone());
+        let perfect =
+            run_bargaining(&provider, &listings, &mut t, &mut d, &cfg(seed, 0)).unwrap();
+        if let Some(p) = perfect.task_revenue() {
+            perfect_profit.push(p);
+        }
+        let (mut ti, mut di) = imperfect_players(0.24, seed, 8);
+        let imp = run_bargaining(&provider, &listings, &mut ti, &mut di, &cfg(seed, 40)).unwrap();
+        if let Some(p) = imp.task_revenue() {
+            imperfect_profit.push(p);
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let (mp, mi) = (mean(&perfect_profit), mean(&imperfect_profit));
+    assert!(mp > 0.0, "perfect must profit");
+    assert!(mi > 0.2 * mp, "imperfect {mi:.1} too far below perfect {mp:.1}");
+    assert!(mi <= mp * 1.1 + 1e-9, "imperfect {mi:.1} cannot beat perfect {mp:.1} by much");
+}
+
+#[test]
+fn imperfect_market_runs_on_real_vfl_substrate() {
+    // End-to-end with the actual gain oracle (fast profile, one dataset).
+    let profile = RunProfile::fast();
+    let pm = PreparedMarket::build(DatasetId::Titanic, BaseModelKind::Forest, &profile, 42)
+        .unwrap();
+    let mut cfg = pm.market_config(&profile);
+    cfg.eps_task = pm.params.table4_eps;
+    cfg.eps_data = pm.params.table4_eps;
+    cfg.explore_rounds = 15;
+    cfg.max_rounds = 200;
+    let run = run_imperfect(&pm, &cfg).unwrap();
+    assert!(run.outcome.n_rounds() >= 15);
+    assert_eq!(run.task_mse.len(), run.outcome.n_rounds());
+    assert_eq!(run.data_mse.len(), run.outcome.n_rounds());
+}

@@ -1,0 +1,175 @@
+//! Property-based tests of the whole bargaining engine on randomly
+//! generated ladder markets: whatever the market shape, the protocol's
+//! safety invariants must hold.
+
+use proptest::prelude::*;
+use vfl_market::{
+    run_bargaining, Listing, MarketConfig, Outcome, RandomBundleData, ReservedPrice,
+    StrategicData, StrategicTask, TableGainProvider,
+};
+use vfl_sim::BundleMask;
+
+/// A randomly shaped but structurally valid market.
+#[derive(Debug, Clone)]
+struct MarketSpec {
+    gains: Vec<f64>,
+    reserve_rates: Vec<f64>,
+    reserve_bases: Vec<f64>,
+    utility: f64,
+    budget: f64,
+    seed: u64,
+}
+
+fn market_spec() -> impl Strategy<Value = MarketSpec> {
+    (2usize..12, 0u64..1000)
+        .prop_flat_map(|(n, seed)| {
+            (
+                prop::collection::vec(0.005f64..0.4, n),
+                prop::collection::vec(0.0f64..6.0, n),
+                prop::collection::vec(0.0f64..0.8, n),
+                200.0f64..2000.0,
+                8.0f64..20.0,
+                Just(seed),
+            )
+        })
+        .prop_map(|(gains, rate_bumps, base_bumps, utility, budget, seed)| {
+            // Reserves are anchored *below* the opening quote (4.0, 0.6) for
+            // at least the first listing, then grow by the random bumps.
+            let mut reserve_rates = Vec::with_capacity(gains.len());
+            let mut reserve_bases = Vec::with_capacity(gains.len());
+            let (mut r, mut b) = (3.0f64, 0.4f64);
+            for (rb, bb) in rate_bumps.iter().zip(&base_bumps) {
+                reserve_rates.push(r);
+                reserve_bases.push(b);
+                r += rb;
+                b += bb * 0.2;
+            }
+            MarketSpec { gains, reserve_rates, reserve_bases, utility, budget, seed }
+        })
+}
+
+fn build(spec: &MarketSpec) -> (TableGainProvider, Vec<Listing>) {
+    let listings: Vec<Listing> = spec
+        .gains
+        .iter()
+        .enumerate()
+        .map(|(i, _)| Listing {
+            bundle: BundleMask::singleton(i),
+            reserved: ReservedPrice::new(spec.reserve_rates[i], spec.reserve_bases[i]).unwrap(),
+        })
+        .collect();
+    let provider =
+        TableGainProvider::new(listings.iter().zip(&spec.gains).map(|(l, &g)| (l.bundle, g)));
+    (provider, listings)
+}
+
+fn config(spec: &MarketSpec) -> MarketConfig {
+    MarketConfig {
+        utility_rate: spec.utility,
+        budget: spec.budget,
+        rate_cap: 24.0,
+        max_rounds: 200,
+        seed: spec.seed,
+        ..MarketConfig::default()
+    }
+}
+
+fn run(spec: &MarketSpec, random_data: bool) -> Outcome {
+    let (provider, listings) = build(spec);
+    let target = spec.gains.iter().copied().fold(f64::MIN, f64::max);
+    let cfg = config(spec);
+    let mut task = StrategicTask::new(target, 4.0, 0.6).unwrap();
+    if random_data {
+        let mut data = RandomBundleData::with_gains(spec.gains.clone());
+        run_bargaining(&provider, &listings, &mut task, &mut data, &cfg).unwrap()
+    } else {
+        let mut data = StrategicData::with_gains(spec.gains.clone());
+        run_bargaining(&provider, &listings, &mut task, &mut data, &cfg).unwrap()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Safety: quotes never exceed the budget; payments stay within
+    /// [P0, Ph]; offered bundles always clear their reserve (no exploration
+    /// here); round numbers increase by one.
+    #[test]
+    fn engine_safety_invariants(spec in market_spec(), random_data in any::<bool>()) {
+        let (_, listings) = build(&spec);
+        let outcome = run(&spec, random_data);
+        for (i, r) in outcome.rounds.iter().enumerate() {
+            prop_assert_eq!(r.round as usize, i + 1);
+            prop_assert!(r.quote.cap <= spec.budget + 1e-9, "budget violated");
+            prop_assert!(r.payment >= r.quote.base - 1e-9);
+            prop_assert!(r.payment <= r.quote.cap + 1e-9);
+            prop_assert!(listings[r.listing].reserved.admits(&r.quote), "reserve violated");
+        }
+    }
+
+    /// Liveness-ish: the engine always terminates within max_rounds and the
+    /// transcript settles.
+    #[test]
+    fn engine_always_settles(spec in market_spec()) {
+        let outcome = run(&spec, false);
+        prop_assert!(outcome.n_rounds() <= 200);
+        prop_assert!(outcome.transcript.settlement().is_some());
+    }
+
+    /// Determinism: identical spec => identical outcome; different engine
+    /// seeds may differ but must still satisfy safety.
+    #[test]
+    fn engine_is_deterministic(spec in market_spec()) {
+        let a = run(&spec, false);
+        let b = run(&spec, false);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Economic sanity: when the strategic game closes, the buyer never
+    /// pays more than its utility from the gain plus epsilon *unless* the
+    /// gain undershot the target badly (Case 4 would normally fire first,
+    /// so terminal profit below -u*eps indicates a broken invariant).
+    #[test]
+    fn closed_deals_are_never_ruinous(spec in market_spec()) {
+        let outcome = run(&spec, false);
+        if outcome.is_success() {
+            let last = outcome.final_record().unwrap();
+            let break_even = last.quote.break_even_gain(spec.utility);
+            prop_assert!(
+                last.gain >= break_even - 1e-9,
+                "accepted below break-even: gain {} < {}",
+                last.gain,
+                break_even
+            );
+        }
+    }
+
+    /// The strategic seller's offer is never *above* the quote target when
+    /// cheaper below-target bundles exist (payment monotonicity makes the
+    /// below-side optimal, §3.4.1).
+    #[test]
+    fn seller_respects_target_side(spec in market_spec()) {
+        let outcome = run(&spec, false);
+        let target_gain = spec.gains.iter().copied().fold(f64::MIN, f64::max);
+        for r in &outcome.rounds {
+            let quote_target = r.quote.target_gain();
+            if r.gain > quote_target + 1e-9 {
+                // Offering above target is only rational when nothing
+                // affordable sits below it; verify that.
+                let any_below = spec
+                    .gains
+                    .iter()
+                    .enumerate()
+                    .any(|(i, &g)| {
+                        g <= quote_target + 1e-9
+                            && g >= r.quote.break_even_gain(spec.utility) - 1e-9
+                            && ReservedPrice::new(spec.reserve_rates[i], spec.reserve_bases[i])
+                                .unwrap()
+                                .admits(&r.quote)
+                    });
+                prop_assert!(!any_below, "offered above target despite below-target supply");
+            }
+        }
+        let _ = target_gain;
+    }
+}
