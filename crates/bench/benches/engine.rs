@@ -44,9 +44,7 @@ fn bench_engine(c: &mut Criterion) {
             b.iter(|| {
                 let mut task = StrategicTask::new(target, 4.0, 0.6).unwrap();
                 let mut data = StrategicData::with_gains(gains.clone());
-                black_box(
-                    run_bargaining(&provider, &listings, &mut task, &mut data, &cfg).unwrap(),
-                )
+                black_box(run_bargaining(&provider, &listings, &mut task, &mut data, &cfg).unwrap())
             })
         });
     }

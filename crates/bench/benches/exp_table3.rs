@@ -25,7 +25,8 @@ fn bench(c: &mut Criterion) {
     let profile = tiny_profile();
     c.bench_function("exp_table3_tiny", |b| {
         b.iter(|| {
-            black_box(vfl_bench::experiments::table3::run(&profile, 1).map(|_| ())).expect("experiment runs");
+            black_box(vfl_bench::experiments::table3::run(&profile, 1).map(|_| ()))
+                .expect("experiment runs");
         })
     });
 }

@@ -25,7 +25,15 @@ fn bench(c: &mut Criterion) {
     let profile = tiny_profile();
     c.bench_function("exp_table4_tiny", |b| {
         b.iter(|| {
-            black_box(vfl_bench::experiments::table4::run(&[vfl_bench::BaseModelKind::Forest], &profile, 1).map(|_| ())).expect("experiment runs");
+            black_box(
+                vfl_bench::experiments::table4::run(
+                    &[vfl_bench::BaseModelKind::Forest],
+                    &profile,
+                    1,
+                )
+                .map(|_| ()),
+            )
+            .expect("experiment runs");
         })
     });
 }

@@ -14,7 +14,12 @@ fn bench_forest(c: &mut Criterion) {
     let scenario = VflScenario::build(
         &ds,
         &assignment,
-        &ScenarioConfig { max_train_rows: 400, max_test_rows: 180, seed: 2, train_frac: 0.7 },
+        &ScenarioConfig {
+            max_train_rows: 400,
+            max_test_rows: 180,
+            seed: 2,
+            train_frac: 0.7,
+        },
     )
     .unwrap();
     let (train, test) = scenario.joint_matrices(BundleMask::all(5)).unwrap();
@@ -38,7 +43,10 @@ fn bench_forest(c: &mut Criterion) {
             })
         });
     }
-    let mut fitted = RandomForest::new(ForestConfig { n_trees: 20, ..Default::default() });
+    let mut fitted = RandomForest::new(ForestConfig {
+        n_trees: 20,
+        ..Default::default()
+    });
     fitted.fit(&train, &y).unwrap();
     group.bench_function("predict_180_rows", |b| {
         b.iter(|| black_box(fitted.predict_proba(black_box(&test)).unwrap()))

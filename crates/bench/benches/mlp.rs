@@ -14,7 +14,12 @@ fn bench_mlp(c: &mut Criterion) {
     let scenario = VflScenario::build(
         &ds,
         &assignment,
-        &ScenarioConfig { max_train_rows: 400, max_test_rows: 180, seed: 2, train_frac: 0.7 },
+        &ScenarioConfig {
+            max_train_rows: 400,
+            max_test_rows: 180,
+            seed: 2,
+            train_frac: 0.7,
+        },
     )
     .unwrap();
     let (train, test) = scenario.joint_matrices(BundleMask::all(5)).unwrap();
@@ -25,7 +30,12 @@ fn bench_mlp(c: &mut Criterion) {
         b.iter(|| {
             let mut clf = MlpClassifier::new(
                 vec![64, 32],
-                TrainConfig { epochs: 5, batch_size: 128, lr: 1e-2, seed: 3 },
+                TrainConfig {
+                    epochs: 5,
+                    batch_size: 128,
+                    lr: 1e-2,
+                    seed: 3,
+                },
             );
             clf.fit(black_box(&train), black_box(&y)).unwrap();
             black_box(clf)
@@ -33,7 +43,12 @@ fn bench_mlp(c: &mut Criterion) {
     });
     let mut fitted = MlpClassifier::new(
         vec![64, 32],
-        TrainConfig { epochs: 5, batch_size: 128, lr: 1e-2, seed: 3 },
+        TrainConfig {
+            epochs: 5,
+            batch_size: 128,
+            lr: 1e-2,
+            seed: 3,
+        },
     );
     fitted.fit(&train, &y).unwrap();
     group.bench_function("classifier_predict_180", |b| {
@@ -42,7 +57,9 @@ fn bench_mlp(c: &mut Criterion) {
 
     // Estimator-shaped regressor: 3 -> 64/32/16 -> 1 on a 128-sample buffer.
     let x = Matrix::from_rows(
-        &(0..128).map(|i| vec![i as f64 / 128.0, 0.5, 1.0]).collect::<Vec<_>>(),
+        &(0..128)
+            .map(|i| vec![i as f64 / 128.0, 0.5, 1.0])
+            .collect::<Vec<_>>(),
     )
     .unwrap();
     let targets: Vec<f64> = (0..128).map(|i| (i as f64 / 128.0).sin()).collect();

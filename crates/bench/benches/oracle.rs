@@ -17,7 +17,12 @@ fn scenario() -> VflScenario {
     VflScenario::build(
         &ds,
         &assignment,
-        &ScenarioConfig { max_train_rows: 300, max_test_rows: 150, seed: 2, train_frac: 0.7 },
+        &ScenarioConfig {
+            max_train_rows: 300,
+            max_test_rows: 150,
+            seed: 2,
+            train_frac: 0.7,
+        },
     )
     .unwrap()
 }

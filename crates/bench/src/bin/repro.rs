@@ -22,7 +22,12 @@ struct Args {
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { experiments: Vec::new(), fast: false, runs: None, seed: 42 };
+    let mut args = Args {
+        experiments: Vec::new(),
+        fast: false,
+        runs: None,
+        seed: 42,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -49,10 +54,15 @@ fn parse_args() -> Result<Args, String> {
     if args.experiments.is_empty() {
         args.experiments.push("all".to_string());
     }
-    let known = ["table2", "fig2", "fig3", "table3", "table4", "fig4", "ablation", "all"];
+    let known = [
+        "table2", "fig2", "fig3", "table3", "table4", "fig4", "ablation", "all",
+    ];
     for e in &args.experiments {
         if !known.contains(&e.as_str()) {
-            return Err(format!("unknown experiment `{e}` (known: {})", known.join(" ")));
+            return Err(format!(
+                "unknown experiment `{e}` (known: {})",
+                known.join(" ")
+            ));
         }
     }
     Ok(args)
@@ -66,7 +76,11 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let mut profile = if args.fast { RunProfile::fast() } else { RunProfile::full() };
+    let mut profile = if args.fast {
+        RunProfile::fast()
+    } else {
+        RunProfile::full()
+    };
     if let Some(runs) = args.runs {
         profile.n_runs = runs;
     }
@@ -80,7 +94,10 @@ fn main() {
         if !wants(name) {
             return;
         }
-        eprintln!("\n### {name} (profile: {}) ###", if args.fast { "fast" } else { "full" });
+        eprintln!(
+            "\n### {name} (profile: {}) ###",
+            if args.fast { "fast" } else { "full" }
+        );
         let t0 = std::time::Instant::now();
         match run() {
             Ok(()) => eprintln!("### {name} done in {:.1}s ###", t0.elapsed().as_secs_f64()),
@@ -91,14 +108,26 @@ fn main() {
         }
     };
 
-    section("table2", &mut || table2::run(&profile, seed).map(|_| ()).map_err(|e| e.to_string()));
+    section("table2", &mut || {
+        table2::run(&profile, seed)
+            .map(|_| ())
+            .map_err(|e| e.to_string())
+    });
     section("fig2", &mut || {
-        fig23::run(BaseModelKind::Forest, &profile, seed).map(|_| ()).map_err(|e| e.to_string())
+        fig23::run(BaseModelKind::Forest, &profile, seed)
+            .map(|_| ())
+            .map_err(|e| e.to_string())
     });
     section("fig3", &mut || {
-        fig23::run(BaseModelKind::Mlp, &profile, seed).map(|_| ()).map_err(|e| e.to_string())
+        fig23::run(BaseModelKind::Mlp, &profile, seed)
+            .map(|_| ())
+            .map_err(|e| e.to_string())
     });
-    section("table3", &mut || table3::run(&profile, seed).map(|_| ()).map_err(|e| e.to_string()));
+    section("table3", &mut || {
+        table3::run(&profile, seed)
+            .map(|_| ())
+            .map_err(|e| e.to_string())
+    });
     section("table4", &mut || {
         table4::run(&[BaseModelKind::Forest, BaseModelKind::Mlp], &profile, seed)
             .map(|_| ())
@@ -110,7 +139,9 @@ fn main() {
             .map_err(|e| e.to_string())
     });
     section("ablation", &mut || {
-        ablation::run(&profile, seed).map(|_| ()).map_err(|e| e.to_string())
+        ablation::run(&profile, seed)
+            .map(|_| ())
+            .map_err(|e| e.to_string())
     });
 
     eprintln!(

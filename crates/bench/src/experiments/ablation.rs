@@ -47,7 +47,15 @@ pub fn run(profile: &RunProfile, seed: u64) -> Result<Vec<Vec<String>>> {
     }
     print_table(
         "Ablation A1: Eq. 5-constrained vs arbitrary escalation (Titanic, RF)",
-        &["arm", "success", "overpay_rate(dp)", "overpay_base(dP0)", "net_profit", "payment", "rounds"],
+        &[
+            "arm",
+            "success",
+            "overpay_rate(dp)",
+            "overpay_base(dP0)",
+            "net_profit",
+            "payment",
+            "rounds",
+        ],
         &a1_rows,
     );
     all_rows.extend(a1_rows.clone());
@@ -60,12 +68,21 @@ pub fn run(profile: &RunProfile, seed: u64) -> Result<Vec<Vec<String>>> {
             if target >= 31 {
                 vfl_sim::CatalogStrategy::AllSubsets
             } else {
-                vfl_sim::CatalogStrategy::Sampled { target, seed: seed ^ 0xa2 }
+                vfl_sim::CatalogStrategy::Sampled {
+                    target,
+                    seed: seed ^ 0xa2,
+                }
             },
         )
         .map_err(vfl_market::MarketError::from)?;
-        market.oracle.precompute(&catalog, 0).map_err(vfl_market::MarketError::from)?;
-        let gains = market.oracle.gains_for(&catalog).map_err(vfl_market::MarketError::from)?;
+        market
+            .oracle
+            .precompute(&catalog, 0)
+            .map_err(vfl_market::MarketError::from)?;
+        let gains = market
+            .oracle
+            .gains_for(&catalog)
+            .map_err(vfl_market::MarketError::from)?;
         let listings =
             vfl_market::build_listings(&catalog, &market.params.pricing(seed ^ 0x9d1ce))?;
         let target_gain = gains.iter().copied().fold(f64::NEG_INFINITY, f64::max);
@@ -97,7 +114,14 @@ pub fn run(profile: &RunProfile, seed: u64) -> Result<Vec<Vec<String>>> {
     }
     print_table(
         "Ablation A2: bundle-catalog size (Titanic, RF)",
-        &["catalog_size", "max_gain", "success", "final_gain", "net_profit", "rounds"],
+        &[
+            "catalog_size",
+            "max_gain",
+            "success",
+            "final_gain",
+            "net_profit",
+            "rounds",
+        ],
         &a2_rows,
     );
     all_rows.extend(a2_rows.clone());
@@ -123,7 +147,14 @@ pub fn run(profile: &RunProfile, seed: u64) -> Result<Vec<Vec<String>>> {
     }
     print_table(
         "Ablation A3: quote sampling (K x escalation step, Titanic, RF)",
-        &["quote_samples", "step", "success", "net_profit", "payment", "rounds"],
+        &[
+            "quote_samples",
+            "step",
+            "success",
+            "net_profit",
+            "payment",
+            "rounds",
+        ],
         &a3_rows,
     );
     all_rows.extend(a3_rows.clone());
@@ -131,7 +162,10 @@ pub fn run(profile: &RunProfile, seed: u64) -> Result<Vec<Vec<String>>> {
     // A4: fixed vs adaptive escalation step.
     let mut a4_rows = Vec::new();
     {
-        let small_step = vfl_market::MarketConfig { escalation_step: 0.05, ..cfg };
+        let small_step = vfl_market::MarketConfig {
+            escalation_step: 0.05,
+            ..cfg
+        };
         for adaptive in [false, true] {
             let mut outcomes = Vec::new();
             for i in 0..profile.n_runs {
@@ -142,7 +176,10 @@ pub fn run(profile: &RunProfile, seed: u64) -> Result<Vec<Vec<String>>> {
                         market.target_gain,
                         market.params.init_rate,
                         market.params.init_base,
-                        vfl_market::AdaptiveConfig { init_step: 0.05, ..Default::default() },
+                        vfl_market::AdaptiveConfig {
+                            init_step: 0.05,
+                            ..Default::default()
+                        },
                     )?;
                     vfl_market::run_bargaining(
                         &market.oracle,
@@ -169,7 +206,12 @@ pub fn run(profile: &RunProfile, seed: u64) -> Result<Vec<Vec<String>>> {
             }
             let stats = final_stats(&outcomes, reserve);
             a4_rows.push(vec![
-                if adaptive { "adaptive_step" } else { "fixed_step" }.to_string(),
+                if adaptive {
+                    "adaptive_step"
+                } else {
+                    "fixed_step"
+                }
+                .to_string(),
                 format!("{}/{}", stats.n_success, stats.n_runs),
                 pm(stats.net_profit.0, stats.net_profit.1, 2),
                 pm(stats.payment.0, stats.payment.1, 3),
@@ -178,7 +220,13 @@ pub fn run(profile: &RunProfile, seed: u64) -> Result<Vec<Vec<String>>> {
         }
         print_table(
             "Ablation A4: fixed vs adaptive escalation (Titanic, RF, step 0.05)",
-            &["task_strategy", "success", "net_profit", "payment", "rounds"],
+            &[
+                "task_strategy",
+                "success",
+                "net_profit",
+                "payment",
+                "rounds",
+            ],
             &a4_rows,
         );
         all_rows.extend(a4_rows.clone());
@@ -199,7 +247,10 @@ pub fn run(profile: &RunProfile, seed: u64) -> Result<Vec<Vec<String>>> {
         let assignment = synth::party_assignment(DatasetId::Titanic, &ds)
             .map_err(|e| vfl_market::MarketError::InvalidConfig(e.to_string()))?;
         let models = [
-            BaseModelConfig::Gbdt(vfl_ml::GbdtConfig { seed, ..Default::default() }),
+            BaseModelConfig::Gbdt(vfl_ml::GbdtConfig {
+                seed,
+                ..Default::default()
+            }),
             BaseModelConfig::LogReg(vfl_ml::LogRegConfig::default()),
         ];
         for model in models {
@@ -217,9 +268,12 @@ pub fn run(profile: &RunProfile, seed: u64) -> Result<Vec<Vec<String>>> {
             let oracle =
                 GainOracle::with_repeats(scenario, model, seed ^ 0x02ac1e, profile.gain_repeats)
                     .map_err(vfl_market::MarketError::from)?;
-            oracle.precompute(&market.catalog, 0).map_err(vfl_market::MarketError::from)?;
-            let gains =
-                oracle.gains_for(&market.catalog).map_err(vfl_market::MarketError::from)?;
+            oracle
+                .precompute(&market.catalog, 0)
+                .map_err(vfl_market::MarketError::from)?;
+            let gains = oracle
+                .gains_for(&market.catalog)
+                .map_err(vfl_market::MarketError::from)?;
             let target_gain = gains.iter().copied().fold(f64::NEG_INFINITY, f64::max);
             if target_gain <= 0.0 {
                 a5_rows.push(vec![
@@ -265,9 +319,13 @@ pub fn run(profile: &RunProfile, seed: u64) -> Result<Vec<Vec<String>>> {
     }
 
     let mut csv_rows = Vec::new();
-    for (section, rows) in
-        [("a1", &a1_rows), ("a2", &a2_rows), ("a3", &a3_rows), ("a4", &a4_rows), ("a5", &a5_rows)]
-    {
+    for (section, rows) in [
+        ("a1", &a1_rows),
+        ("a2", &a2_rows),
+        ("a3", &a3_rows),
+        ("a4", &a4_rows),
+        ("a5", &a5_rows),
+    ] {
         for r in rows {
             let mut row = vec![section.to_string()];
             row.extend(r.iter().cloned());

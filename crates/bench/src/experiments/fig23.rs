@@ -81,10 +81,16 @@ pub fn run(model: BaseModelKind, profile: &RunProfile, seed: u64) -> Result<Vec<
 
             // (d-e): final-quote densities over successful runs.
             let finals: Vec<&Outcome> = outcomes.iter().filter(|o| o.is_success()).collect();
-            let rates: Vec<f64> =
-                finals.iter().filter_map(|o| o.final_record()).map(|r| r.quote.rate).collect();
-            let bases: Vec<f64> =
-                finals.iter().filter_map(|o| o.final_record()).map(|r| r.quote.base).collect();
+            let rates: Vec<f64> = finals
+                .iter()
+                .filter_map(|o| o.final_record())
+                .map(|r| r.quote.rate)
+                .collect();
+            let bases: Vec<f64> = finals
+                .iter()
+                .filter_map(|o| o.final_record())
+                .map(|r| r.quote.base)
+                .collect();
             for (which, xs) in [(0.0, &rates), (1.0, &bases)] {
                 let k = kde(xs, 128);
                 for (g, d) in k.grid.iter().zip(&k.density) {
@@ -94,11 +100,20 @@ pub fn run(model: BaseModelKind, profile: &RunProfile, seed: u64) -> Result<Vec<
 
             let n_success = finals.len();
             let (mp, sp): (Vec<f64>, Vec<f64>) = (
-                finals.iter().map(|o| o.task_revenue().unwrap_or(0.0)).collect(),
-                finals.iter().map(|o| o.data_revenue().unwrap_or(0.0)).collect(),
+                finals
+                    .iter()
+                    .map(|o| o.task_revenue().unwrap_or(0.0))
+                    .collect(),
+                finals
+                    .iter()
+                    .map(|o| o.data_revenue().unwrap_or(0.0))
+                    .collect(),
             );
-            let gains_final: Vec<f64> =
-                finals.iter().filter_map(|o| o.final_record()).map(|r| r.gain).collect();
+            let gains_final: Vec<f64> = finals
+                .iter()
+                .filter_map(|o| o.final_record())
+                .map(|r| r.gain)
+                .collect();
             let rounds: Vec<f64> = outcomes.iter().map(|o| o.n_rounds() as f64).collect();
             let summary = ArmSummary {
                 dataset: id,
@@ -146,7 +161,12 @@ pub fn run(model: BaseModelKind, profile: &RunProfile, seed: u64) -> Result<Vec<
         .map_err(io_err)?;
         write_csv_f64(
             &dir.join(format!("{fig}_{id}_reserve.csv")),
-            &["reserved_rate", "reserved_base", "target_gain", "base_accuracy"],
+            &[
+                "reserved_rate",
+                "reserved_base",
+                "target_gain",
+                "base_accuracy",
+            ],
             &[vec![
                 reserve.rate,
                 reserve.base,
@@ -159,10 +179,22 @@ pub fn run(model: BaseModelKind, profile: &RunProfile, seed: u64) -> Result<Vec<
     print_table(
         &format!(
             "{} ({} base model): final state per arm (successes/runs; payoffs over successes)",
-            if model == BaseModelKind::Forest { "Figure 2" } else { "Figure 3" },
+            if model == BaseModelKind::Forest {
+                "Figure 2"
+            } else {
+                "Figure 3"
+            },
             model.name()
         ),
-        &["dataset", "arm", "success", "net_profit", "payment", "gain", "rounds"],
+        &[
+            "dataset",
+            "arm",
+            "success",
+            "net_profit",
+            "payment",
+            "gain",
+            "rounds",
+        ],
         &table_rows,
     );
     Ok(summaries)
@@ -189,6 +221,9 @@ mod tests {
             .iter()
             .filter(|s| s.arm == Arm::Strategic && s.n_success > 0)
             .count();
-        assert!(closures >= 2, "strategic closed on only {closures}/3 datasets");
+        assert!(
+            closures >= 2,
+            "strategic closed on only {closures}/3 datasets"
+        );
     }
 }

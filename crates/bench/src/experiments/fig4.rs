@@ -90,7 +90,15 @@ pub fn run(models: &[BaseModelKind], profile: &RunProfile, seed: u64) -> Result<
     }
     print_table(
         "Figure 4: estimator MSE convergence (first vs final round, mean over runs)",
-        &["model", "dataset", "task_mse_first", "task_mse_final", "data_mse_first", "data_mse_final", "rounds"],
+        &[
+            "model",
+            "dataset",
+            "task_mse_first",
+            "task_mse_final",
+            "data_mse_first",
+            "data_mse_final",
+            "rounds",
+        ],
         &rows,
     );
     Ok(panels)

@@ -58,8 +58,14 @@ pub fn final_stats(outcomes: &[Outcome], target_reserve: ReservedPrice) -> Final
         rate: field(&|o| o.final_record().map_or(0.0, |r| r.quote.rate)),
         base: field(&|o| o.final_record().map_or(0.0, |r| r.quote.base)),
         cap_slack: field(&|o| o.final_record().map_or(0.0, |r| r.quote.cap - r.quote.base)),
-        d_rate: field(&|o| o.final_record().map_or(0.0, |r| r.quote.rate - target_reserve.rate)),
-        d_base: field(&|o| o.final_record().map_or(0.0, |r| r.quote.base - target_reserve.base)),
+        d_rate: field(&|o| {
+            o.final_record()
+                .map_or(0.0, |r| r.quote.rate - target_reserve.rate)
+        }),
+        d_base: field(&|o| {
+            o.final_record()
+                .map_or(0.0, |r| r.quote.base - target_reserve.base)
+        }),
         gain: field(&|o| o.final_record().map_or(0.0, |r| r.gain)),
         net_profit: field(&|o| o.task_revenue().unwrap_or(0.0)),
         payment: field(&|o| o.data_revenue().unwrap_or(0.0)),
@@ -70,8 +76,8 @@ pub fn final_stats(outcomes: &[Outcome], target_reserve: ReservedPrice) -> Final
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vfl_market::{QuotedPrice, RoundRecord};
     use vfl_market::{ClosedBy, OutcomeStatus};
+    use vfl_market::{QuotedPrice, RoundRecord};
     use vfl_sim::protocol::Transcript;
     use vfl_sim::BundleMask;
 
@@ -79,9 +85,13 @@ mod tests {
         let quote = QuotedPrice::new(payment_rate, 1.0, 1.0 + payment_rate * gain).unwrap();
         Outcome {
             status: if success {
-                OutcomeStatus::Success { by: ClosedBy::TaskParty }
+                OutcomeStatus::Success {
+                    by: ClosedBy::TaskParty,
+                }
             } else {
-                OutcomeStatus::Failed { reason: vfl_market::FailureReason::RoundLimit }
+                OutcomeStatus::Failed {
+                    reason: vfl_market::FailureReason::RoundLimit,
+                }
             },
             rounds: vec![RoundRecord {
                 round: 1,

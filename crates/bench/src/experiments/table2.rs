@@ -48,7 +48,11 @@ pub fn run(profile: &RunProfile, seed: u64) -> Result<Vec<Vec<String>>> {
         "data_width(paper)",
         "positive_rate",
     ];
-    print_table("Table 2: dataset statistics (ours vs paper)", &header, &rows);
+    print_table(
+        "Table 2: dataset statistics (ours vs paper)",
+        &header,
+        &rows,
+    );
     write_csv(&results_dir().join("table2_datasets.csv"), &header, &rows)
         .map_err(|e| vfl_market::MarketError::InvalidConfig(e.to_string()))?;
     Ok(rows)

@@ -120,9 +120,21 @@ pub fn run(profile: &RunProfile, seed: u64) -> Result<Vec<CostCell>> {
             }
         }
     }
-    let header =
-        ["dataset", "eps", "cost_model", "net_profit", "payment", "gain(1e-2)", "C(T)", "success"];
-    print_table("Table 3: effect of bargaining cost (Random Forest base)", &header, &rows);
+    let header = [
+        "dataset",
+        "eps",
+        "cost_model",
+        "net_profit",
+        "payment",
+        "gain(1e-2)",
+        "C(T)",
+        "success",
+    ];
+    print_table(
+        "Table 3: effect of bargaining cost (Random Forest base)",
+        &header,
+        &rows,
+    );
     write_csv(&results_dir().join("table3_cost.csv"), &header, &rows)
         .map_err(|e| vfl_market::MarketError::InvalidConfig(e.to_string()))?;
     Ok(cells)

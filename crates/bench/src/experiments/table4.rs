@@ -80,17 +80,40 @@ pub fn run(models: &[BaseModelKind], profile: &RunProfile, seed: u64) -> Result<
                     pm(stats.payment.0, stats.payment.1, 2),
                     format!("{}/{}", stats.n_success, stats.n_runs),
                 ]);
-                cells.push(InfoCell { model, dataset: id, setting, stats });
+                cells.push(InfoCell {
+                    model,
+                    dataset: id,
+                    setting,
+                    stats,
+                });
             }
         }
     }
     let header = [
-        "model", "dataset", "setting", "p", "P0", "Ph-P0", "dp", "dP0", "gain", "net_profit",
-        "payment", "success",
+        "model",
+        "dataset",
+        "setting",
+        "p",
+        "P0",
+        "Ph-P0",
+        "dp",
+        "dP0",
+        "gain",
+        "net_profit",
+        "payment",
+        "success",
     ];
-    print_table("Table 4: imperfect vs perfect performance information", &header, &rows);
-    write_csv(&results_dir().join("table4_information.csv"), &header, &rows)
-        .map_err(|e| vfl_market::MarketError::InvalidConfig(e.to_string()))?;
+    print_table(
+        "Table 4: imperfect vs perfect performance information",
+        &header,
+        &rows,
+    );
+    write_csv(
+        &results_dir().join("table4_information.csv"),
+        &header,
+        &rows,
+    )
+    .map_err(|e| vfl_market::MarketError::InvalidConfig(e.to_string()))?;
     Ok(cells)
 }
 

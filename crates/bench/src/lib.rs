@@ -3,7 +3,7 @@
 //! Experiment harness for the `vfl-bargain` reproduction: builds prepared
 //! markets over the three evaluation datasets, runs the compared bargaining
 //! models, and regenerates every table and figure of the paper's §4 (see
-//! `src/bin/repro.rs` and DESIGN.md's experiment index E0–E5 / A1–A3).
+//! `src/bin/repro.rs` and DESIGN.md's experiment index E0–E5 / A1–A5).
 
 pub mod experiments;
 pub mod params;

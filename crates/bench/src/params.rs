@@ -2,8 +2,8 @@
 //!
 //! The utility rates are chosen so the paper's headline magnitudes fall out
 //! of the synthetic gain landscapes (e.g. Titanic net profit ≈ u·ΔG −
-//! payment ≈ 1000·0.17 − 2.9 ≈ 167 vs the paper's ≈ 170); EXPERIMENTS.md
-//! records paper-vs-measured for every number.
+//! payment ≈ 1000·0.17 − 2.9 ≈ 167 vs the paper's ≈ 170); DESIGN.md
+//! records the tuning rationale and deviations.
 
 use vfl_market::ReservedPricing;
 use vfl_sim::CatalogStrategy;
@@ -194,12 +194,20 @@ impl DatasetParams {
 
     /// Catalog strategy: Titanic's 5 data-party features enumerate fully;
     /// the wider datasets sample.
-    pub fn catalog_strategy(&self, n_features: usize, profile: &RunProfile, seed: u64) -> CatalogStrategy {
+    pub fn catalog_strategy(
+        &self,
+        n_features: usize,
+        profile: &RunProfile,
+        seed: u64,
+    ) -> CatalogStrategy {
         let full_size = (1usize << n_features.min(20)) - 1;
         if full_size <= profile.catalog_target * 2 {
             CatalogStrategy::AllSubsets
         } else {
-            CatalogStrategy::Sampled { target: profile.catalog_target, seed }
+            CatalogStrategy::Sampled {
+                target: profile.catalog_target,
+                seed,
+            }
         }
     }
 }
@@ -212,8 +220,14 @@ mod tests {
     fn params_exist_for_all_datasets() {
         for id in DatasetId::ALL {
             let p = DatasetParams::for_dataset(id);
-            assert!(p.utility > p.init_rate, "{id}: individual rationality u > p0");
-            assert!(p.budget > p.init_base + p.init_rate * 0.01, "{id}: budget headroom");
+            assert!(
+                p.utility > p.init_rate,
+                "{id}: individual rationality u > p0"
+            );
+            assert!(
+                p.budget > p.init_base + p.init_rate * 0.01,
+                "{id}: budget headroom"
+            );
             assert!(p.eps > 0.0);
         }
     }
@@ -231,7 +245,10 @@ mod tests {
     fn catalog_strategy_switches_on_width() {
         let p = DatasetParams::for_dataset(DatasetId::Titanic);
         let profile = RunProfile::fast();
-        assert_eq!(p.catalog_strategy(5, &profile, 0), CatalogStrategy::AllSubsets);
+        assert_eq!(
+            p.catalog_strategy(5, &profile, 0),
+            CatalogStrategy::AllSubsets
+        );
         match p.catalog_strategy(19, &profile, 0) {
             CatalogStrategy::Sampled { target, .. } => assert_eq!(target, 20),
             other => panic!("unexpected {other:?}"),

@@ -12,13 +12,21 @@ pub fn sparkline(values: &[f64], width: usize) -> String {
         return String::new();
     }
     let resampled = resample(values, width.min(values.len()).max(1));
-    let finite: Vec<f64> = resampled.iter().copied().filter(|v| v.is_finite()).collect();
+    let finite: Vec<f64> = resampled
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite())
+        .collect();
     if finite.is_empty() {
         return " ".repeat(resampled.len());
     }
     let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
     let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    let span = if (hi - lo).abs() < 1e-300 { 1.0 } else { hi - lo };
+    let span = if (hi - lo).abs() < 1e-300 {
+        1.0
+    } else {
+        hi - lo
+    };
     resampled
         .iter()
         .map(|&v| {
@@ -41,7 +49,9 @@ fn resample(values: &[f64], cells: usize) -> Vec<f64> {
     let per = values.len() as f64 / cells as f64;
     for i in 0..cells {
         let start = (i as f64 * per) as usize;
-        let end = (((i + 1) as f64 * per) as usize).min(values.len()).max(start + 1);
+        let end = (((i + 1) as f64 * per) as usize)
+            .min(values.len())
+            .max(start + 1);
         let chunk = &values[start..end];
         out.push(chunk.iter().sum::<f64>() / chunk.len() as f64);
     }
@@ -55,7 +65,10 @@ pub fn series_line(label: &str, values: &[f64], width: usize) -> String {
     }
     let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
     let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    format!("{label:<16} [{lo:>9.3} .. {hi:>9.3}]  {}", sparkline(values, width))
+    format!(
+        "{label:<16} [{lo:>9.3} .. {hi:>9.3}]  {}",
+        sparkline(values, width)
+    )
 }
 
 #[cfg(test)]
@@ -75,8 +88,10 @@ mod tests {
     fn sparkline_monotone_series_is_monotone() {
         let values: Vec<f64> = (0..64).map(|i| i as f64).collect();
         let s = sparkline(&values, 16);
-        let levels: Vec<usize> =
-            s.chars().map(|c| BLOCKS.iter().position(|&b| b == c).unwrap()).collect();
+        let levels: Vec<usize> = s
+            .chars()
+            .map(|c| BLOCKS.iter().position(|&b| b == c).unwrap())
+            .collect();
         for w in levels.windows(2) {
             assert!(w[1] >= w[0], "monotone input must stay monotone: {s}");
         }

@@ -26,8 +26,10 @@ pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<String>]) -> std::io:
     let mut out = std::io::BufWriter::new(fs::File::create(path)?);
     writeln!(out, "{}", header.join(","))?;
     for row in rows {
-        let escaped: Vec<String> =
-            row.iter().map(|c| vfl_tabular::csv::escape_field(c)).collect();
+        let escaped: Vec<String> = row
+            .iter()
+            .map(|c| vfl_tabular::csv::escape_field(c))
+            .collect();
         writeln!(out, "{}", escaped.join(","))?;
     }
     out.flush()
@@ -35,8 +37,10 @@ pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<String>]) -> std::io:
 
 /// Convenience: writes a CSV of `f64` rows.
 pub fn write_csv_f64(path: &Path, header: &[&str], rows: &[Vec<f64>]) -> std::io::Result<()> {
-    let string_rows: Vec<Vec<String>> =
-        rows.iter().map(|r| r.iter().map(|v| format!("{v:.6}")).collect()).collect();
+    let string_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| r.iter().map(|v| format!("{v:.6}")).collect())
+        .collect();
     write_csv(path, header, &string_rows)
 }
 

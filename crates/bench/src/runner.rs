@@ -63,7 +63,9 @@ pub fn run_arm_many(
     cfg: &MarketConfig,
     n_runs: usize,
 ) -> Result<Vec<Outcome>> {
-    (0..n_runs).map(|i| run_arm(pm, arm, &cfg.with_run_seed(i as u64))).collect()
+    (0..n_runs)
+        .map(|i| run_arm(pm, arm, &cfg.with_run_seed(i as u64)))
+        .collect()
 }
 
 /// One imperfect-information negotiation plus both estimator MSE traces.
@@ -106,8 +108,13 @@ mod tests {
     use vfl_tabular::DatasetId;
 
     fn market() -> PreparedMarket {
-        PreparedMarket::build(DatasetId::Titanic, BaseModelKind::Forest, &RunProfile::fast(), 3)
-            .unwrap()
+        PreparedMarket::build(
+            DatasetId::Titanic,
+            BaseModelKind::Forest,
+            &RunProfile::fast(),
+            3,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -156,6 +163,9 @@ mod tests {
         let run = run_imperfect(&pm, &cfg).unwrap();
         assert!(!run.task_mse.is_empty());
         assert!(!run.data_mse.is_empty());
-        assert!(run.outcome.n_rounds() >= 10, "exploration must run its course");
+        assert!(
+            run.outcome.n_rounds() >= 10,
+            "exploration must run its course"
+        );
     }
 }

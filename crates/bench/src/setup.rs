@@ -85,8 +85,9 @@ impl PreparedMarket {
         )
         .map_err(MarketError::from)?;
 
-        let oracle = GainOracle::with_repeats(scenario, model, seed ^ 0x02ac1e, profile.gain_repeats)
-            .map_err(MarketError::from)?;
+        let oracle =
+            GainOracle::with_repeats(scenario, model, seed ^ 0x02ac1e, profile.gain_repeats)
+                .map_err(MarketError::from)?;
         oracle.precompute(&catalog, 0).map_err(MarketError::from)?;
         let gains = oracle.gains_for(&catalog).map_err(MarketError::from)?;
         let target_gain = gains.iter().copied().fold(f64::NEG_INFINITY, f64::max);

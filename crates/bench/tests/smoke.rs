@@ -1,0 +1,41 @@
+//! Workspace-wiring smoke test: every `DatasetId` × `BaseModelKind` cell
+//! must build a [`PreparedMarket`] end to end on the fast profile. This
+//! exercises the full crate DAG in one pass — synthetic generation and
+//! vertical splits (vfl-tabular), base-model training (vfl-ml), scenario /
+//! catalog / gain-oracle precompute (vfl-sim), and listing construction
+//! with reserved prices (vfl-market) — so a broken inter-crate boundary
+//! fails here even when each crate's unit tests still pass.
+
+use vfl_bench::{BaseModelKind, PreparedMarket, RunProfile};
+use vfl_tabular::DatasetId;
+
+#[test]
+fn every_dataset_model_cell_builds_a_prepared_market() {
+    let profile = RunProfile::fast();
+    for id in DatasetId::ALL {
+        for model in [BaseModelKind::Forest, BaseModelKind::Mlp] {
+            let market = PreparedMarket::build(id, model, &profile, 1)
+                .unwrap_or_else(|e| panic!("{id}/{}: {e}", model.name()));
+            assert!(
+                !market.listings.is_empty(),
+                "{id}/{}: no listings",
+                model.name()
+            );
+            assert_eq!(
+                market.listings.len(),
+                market.gains.len(),
+                "{id}/{}: listings and gains must align",
+                model.name()
+            );
+            assert!(
+                market.target_gain > 0.0,
+                "{id}/{}: target gain {} must be positive",
+                model.name(),
+                market.target_gain
+            );
+            let cfg = market.market_config(&profile);
+            cfg.validate()
+                .unwrap_or_else(|e| panic!("{id}/{}: bad config {e}", model.name()));
+        }
+    }
+}

@@ -62,7 +62,10 @@ impl<'a, G: GainProvider + ?Sized> Auditor<'a, G> {
     /// are flagged.
     pub fn new(provider: &'a G, tolerance: f64) -> Self {
         assert!(tolerance >= 0.0, "tolerance must be non-negative");
-        Auditor { provider, tolerance }
+        Auditor {
+            provider,
+            tolerance,
+        }
     }
 
     /// Replays every recorded round and compares reported vs recomputed ΔG.
@@ -82,7 +85,11 @@ impl<'a, G: GainProvider + ?Sized> Auditor<'a, G> {
                 violations.push(v);
             }
         }
-        Ok(AuditReport { rounds_checked: outcome.rounds.len(), violations, total_underpayment })
+        Ok(AuditReport {
+            rounds_checked: outcome.rounds.len(),
+            violations,
+            total_underpayment,
+        })
     }
 }
 
@@ -104,7 +111,10 @@ impl<G: GainProvider> UnderreportingProvider<G> {
             (0.0..=1.0).contains(&report_fraction),
             "report_fraction must be in [0, 1]"
         );
-        UnderreportingProvider { inner, report_fraction }
+        UnderreportingProvider {
+            inner,
+            report_fraction,
+        }
     }
 
     /// The wrapped honest provider.
@@ -116,7 +126,11 @@ impl<G: GainProvider> UnderreportingProvider<G> {
 impl<G: GainProvider> GainProvider for UnderreportingProvider<G> {
     fn gain(&self, bundle: BundleMask) -> Result<f64> {
         let true_gain = self.inner.gain(bundle)?;
-        Ok(if true_gain > 0.0 { true_gain * self.report_fraction } else { true_gain })
+        Ok(if true_gain > 0.0 {
+            true_gain * self.report_fraction
+        } else {
+            true_gain
+        })
     }
 
     fn known_gain(&self, bundle: BundleMask) -> Option<f64> {

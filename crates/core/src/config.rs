@@ -67,7 +67,9 @@ impl MarketConfig {
     /// Validates all parameters.
     pub fn validate(&self) -> Result<()> {
         if !(self.utility_rate > 0.0 && self.utility_rate.is_finite()) {
-            return Err(MarketError::InvalidConfig("utility_rate must be > 0".into()));
+            return Err(MarketError::InvalidConfig(
+                "utility_rate must be > 0".into(),
+            ));
         }
         if !(self.budget > 0.0 && self.budget.is_finite()) {
             return Err(MarketError::InvalidConfig("budget must be > 0".into()));
@@ -86,10 +88,14 @@ impl MarketConfig {
             return Err(MarketError::InvalidConfig("max_rounds must be >= 1".into()));
         }
         if self.quote_samples == 0 {
-            return Err(MarketError::InvalidConfig("quote_samples must be >= 1".into()));
+            return Err(MarketError::InvalidConfig(
+                "quote_samples must be >= 1".into(),
+            ));
         }
         if !(self.escalation_step > 0.0 && self.escalation_step.is_finite()) {
-            return Err(MarketError::InvalidConfig("escalation_step must be > 0".into()));
+            return Err(MarketError::InvalidConfig(
+                "escalation_step must be > 0".into(),
+            ));
         }
         if self.rate_cap <= 0.0 || self.rate_cap.is_nan() {
             return Err(MarketError::InvalidConfig("rate_cap must be > 0".into()));
@@ -101,7 +107,10 @@ impl MarketConfig {
 
     /// Derives an independent config for run `i` of a repeated experiment.
     pub fn with_run_seed(&self, run: u64) -> Self {
-        MarketConfig { seed: self.seed.wrapping_add(run.wrapping_mul(0x9e37_79b9)), ..*self }
+        MarketConfig {
+            seed: self.seed.wrapping_add(run.wrapping_mul(0x9e37_79b9)),
+            ..*self
+        }
     }
 
     /// Effective payment-rate ceiling: `min(rate_cap, u)` (the paper's
@@ -123,15 +132,48 @@ mod tests {
     #[test]
     fn rejects_bad_parameters() {
         let base = MarketConfig::default();
-        assert!(MarketConfig { utility_rate: 0.0, ..base }.validate().is_err());
-        assert!(MarketConfig { budget: -1.0, ..base }.validate().is_err());
-        assert!(MarketConfig { eps_task: -1e-3, ..base }.validate().is_err());
-        assert!(MarketConfig { max_rounds: 0, ..base }.validate().is_err());
-        assert!(MarketConfig { quote_samples: 0, ..base }.validate().is_err());
-        assert!(MarketConfig { escalation_step: 0.0, ..base }.validate().is_err());
-        assert!(MarketConfig { task_cost: CostModel::Linear { a: -1.0 }, ..base }
-            .validate()
-            .is_err());
+        assert!(MarketConfig {
+            utility_rate: 0.0,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(MarketConfig {
+            budget: -1.0,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(MarketConfig {
+            eps_task: -1e-3,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(MarketConfig {
+            max_rounds: 0,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(MarketConfig {
+            quote_samples: 0,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(MarketConfig {
+            escalation_step: 0.0,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(MarketConfig {
+            task_cost: CostModel::Linear { a: -1.0 },
+            ..base
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

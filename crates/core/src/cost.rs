@@ -32,7 +32,9 @@ impl CostModel {
                 if *a >= 0.0 && a.is_finite() {
                     Ok(())
                 } else {
-                    Err(MarketError::InvalidConfig(format!("linear cost factor must be >= 0, got {a}")))
+                    Err(MarketError::InvalidConfig(format!(
+                        "linear cost factor must be >= 0, got {a}"
+                    )))
                 }
             }
             CostModel::Exponential { a } => {
@@ -57,7 +59,9 @@ impl CostModel {
                 if *c >= 0.0 && c.is_finite() {
                     Ok(())
                 } else {
-                    Err(MarketError::InvalidConfig(format!("constant cost must be >= 0, got {c}")))
+                    Err(MarketError::InvalidConfig(format!(
+                        "constant cost must be >= 0, got {c}"
+                    )))
                 }
             }
         }

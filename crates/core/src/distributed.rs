@@ -10,12 +10,14 @@
 //! engine — but here the isolation is structural, enforced by the channel.
 
 use crate::config::MarketConfig;
+use crate::engine::{ClosedBy, FailureReason, Outcome, OutcomeStatus, RoundRecord};
 use crate::error::{MarketError, Result};
 use crate::gain::GainProvider;
 use crate::listing::Listing;
 use crate::payment::task_net_profit;
-use crate::strategy::{DataContext, DataResponse, DataStrategy, TaskContext, TaskDecision, TaskStrategy};
-use crate::engine::{ClosedBy, FailureReason, Outcome, OutcomeStatus, RoundRecord};
+use crate::strategy::{
+    DataContext, DataResponse, DataStrategy, TaskContext, TaskDecision, TaskStrategy,
+};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -118,13 +120,21 @@ pub fn run_bargaining_distributed<G: GainProvider + Sync + ?Sized>(
                 };
                 transcript.push(msg);
                 let _ = to_data.send(msg);
-                Ok(Outcome { status, rounds, transcript })
+                Ok(Outcome {
+                    status,
+                    rounds,
+                    transcript,
+                })
             };
 
             loop {
                 let exploring = round <= cfg.explore_rounds;
-                let quote_msg =
-                    QuoteMsg { rate: quote.rate, base: quote.base, cap: quote.cap, round };
+                let quote_msg = QuoteMsg {
+                    rate: quote.rate,
+                    base: quote.base,
+                    cap: quote.cap,
+                    round,
+                };
                 transcript.push(Message::Quote(quote_msg));
                 to_data
                     .send(Message::Quote(quote_msg))
@@ -137,21 +147,23 @@ pub fn run_bargaining_distributed<G: GainProvider + Sync + ?Sized>(
                             "unexpected message on task side: {other:?}"
                         )))
                     }
-                    Err(_) => {
-                        return Err(MarketError::StrategyError("data channel closed".into()))
-                    }
+                    Err(_) => return Err(MarketError::StrategyError("data channel closed".into())),
                 };
                 transcript.push(Message::Offer(offer));
                 let (bundle, is_final) = match offer {
                     OfferMsg::Withdraw { .. } => {
                         return finish(
-                            OutcomeStatus::Failed { reason: FailureReason::NoAffordableBundle },
+                            OutcomeStatus::Failed {
+                                reason: FailureReason::NoAffordableBundle,
+                            },
                             rounds,
                             transcript,
                             round,
                         );
                     }
-                    OfferMsg::Bundle { bundle, is_final, .. } => (bundle, is_final),
+                    OfferMsg::Bundle {
+                        bundle, is_final, ..
+                    } => (bundle, is_final),
                 };
 
                 let gain = provider.gain(bundle)?;
@@ -161,7 +173,11 @@ pub fn run_bargaining_distributed<G: GainProvider + Sync + ?Sized>(
                     .map_err(|_| MarketError::StrategyError("data went away".into()))?;
                 // Echo the bundle back so the seller can label its sample.
                 to_data
-                    .send(Message::Offer(OfferMsg::Bundle { bundle, is_final, round }))
+                    .send(Message::Offer(OfferMsg::Bundle {
+                        bundle,
+                        is_final,
+                        round,
+                    }))
                     .map_err(|_| MarketError::StrategyError("data went away".into()))?;
 
                 let record = RoundRecord {
@@ -184,7 +200,9 @@ pub fn run_bargaining_distributed<G: GainProvider + Sync + ?Sized>(
 
                 if is_final && !exploring {
                     return finish(
-                        OutcomeStatus::Success { by: ClosedBy::DataParty },
+                        OutcomeStatus::Success {
+                            by: ClosedBy::DataParty,
+                        },
                         rounds,
                         transcript,
                         round,
@@ -201,7 +219,9 @@ pub fn run_bargaining_distributed<G: GainProvider + Sync + ?Sized>(
                 match task.decide(&ctx, cfg, &mut rng)? {
                     TaskDecision::Accept => {
                         return finish(
-                            OutcomeStatus::Success { by: ClosedBy::TaskParty },
+                            OutcomeStatus::Success {
+                                by: ClosedBy::TaskParty,
+                            },
                             rounds,
                             transcript,
                             round,
@@ -213,19 +233,16 @@ pub fn run_bargaining_distributed<G: GainProvider + Sync + ?Sized>(
                         } else {
                             FailureReason::BudgetExhausted
                         };
-                        return finish(
-                            OutcomeStatus::Failed { reason },
-                            rounds,
-                            transcript,
-                            round,
-                        );
+                        return finish(OutcomeStatus::Failed { reason }, rounds, transcript, round);
                     }
                     TaskDecision::Requote(next) => quote = next,
                 }
                 round += 1;
                 if round > cfg.max_rounds {
                     return finish(
-                        OutcomeStatus::Failed { reason: FailureReason::RoundLimit },
+                        OutcomeStatus::Failed {
+                            reason: FailureReason::RoundLimit,
+                        },
                         rounds,
                         transcript,
                         cfg.max_rounds,
@@ -287,15 +304,13 @@ mod tests {
         for seed in 0..6 {
             let mut t1 = StrategicTask::new(0.30, 6.0, 0.9).unwrap();
             let mut d1 = StrategicData::with_gains(gains.clone());
-            let local =
-                run_bargaining(&provider, &listings, &mut t1, &mut d1, &cfg(seed)).unwrap();
+            let local = run_bargaining(&provider, &listings, &mut t1, &mut d1, &cfg(seed)).unwrap();
 
             let mut t2 = StrategicTask::new(0.30, 6.0, 0.9).unwrap();
             let mut d2 = StrategicData::with_gains(gains.clone());
-            let dist = run_bargaining_distributed(
-                &provider, &listings, &mut t2, &mut d2, &cfg(seed),
-            )
-            .unwrap();
+            let dist =
+                run_bargaining_distributed(&provider, &listings, &mut t2, &mut d2, &cfg(seed))
+                    .unwrap();
 
             assert!(local.is_success() && dist.is_success(), "seed {seed}");
             assert_eq!(
@@ -333,12 +348,18 @@ mod tests {
         let (provider, listings, gains) = market();
         let mut t = StrategicTask::new(0.30, 1.0, 0.1).unwrap();
         let mut d = StrategicData::with_gains(gains);
-        let tiny = MarketConfig { budget: 0.45, rate_cap: 1.2, ..cfg(9) };
+        let tiny = MarketConfig {
+            budget: 0.45,
+            rate_cap: 1.2,
+            ..cfg(9)
+        };
         let outcome =
             run_bargaining_distributed(&provider, &listings, &mut t, &mut d, &tiny).unwrap();
         assert_eq!(
             outcome.status,
-            OutcomeStatus::Failed { reason: FailureReason::NoAffordableBundle }
+            OutcomeStatus::Failed {
+                reason: FailureReason::NoAffordableBundle
+            }
         );
     }
 

@@ -11,7 +11,9 @@ use crate::gain::GainProvider;
 use crate::listing::Listing;
 use crate::payment::task_net_profit;
 use crate::price::QuotedPrice;
-use crate::strategy::{DataContext, DataResponse, DataStrategy, TaskContext, TaskDecision, TaskStrategy};
+use crate::strategy::{
+    DataContext, DataResponse, DataStrategy, TaskContext, TaskDecision, TaskStrategy,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -147,16 +149,26 @@ pub fn run_bargaining<G: GainProvider + ?Sized>(
     let mut quote = task.initial_quote(cfg, &mut rng)?;
     let mut round: u32 = 1;
 
-    let finish = |status: OutcomeStatus, rounds: Vec<RoundRecord>, mut transcript: Transcript, round: u32| {
+    let finish = |status: OutcomeStatus,
+                  rounds: Vec<RoundRecord>,
+                  mut transcript: Transcript,
+                  round: u32| {
         let msg = match status {
             OutcomeStatus::Success { .. } => {
-                let amount = rounds.last().map(|r: &RoundRecord| r.payment).unwrap_or(0.0);
+                let amount = rounds
+                    .last()
+                    .map(|r: &RoundRecord| r.payment)
+                    .unwrap_or(0.0);
                 Message::Settle(SettleMsg::Pay { amount, round })
             }
             OutcomeStatus::Failed { .. } => Message::Settle(SettleMsg::Abort { round }),
         };
         transcript.push(msg);
-        Ok(Outcome { status, rounds, transcript })
+        Ok(Outcome {
+            status,
+            rounds,
+            transcript,
+        })
     };
 
     loop {
@@ -183,7 +195,9 @@ pub fn run_bargaining<G: GainProvider + ?Sized>(
             DataResponse::Withdraw => {
                 transcript.push(Message::Offer(OfferMsg::Withdraw { round }));
                 return finish(
-                    OutcomeStatus::Failed { reason: FailureReason::NoAffordableBundle },
+                    OutcomeStatus::Failed {
+                        reason: FailureReason::NoAffordableBundle,
+                    },
                     rounds,
                     transcript,
                     round,
@@ -200,7 +214,11 @@ pub fn run_bargaining<G: GainProvider + ?Sized>(
             }
         };
         let bundle = listings[listing_idx].bundle;
-        transcript.push(Message::Offer(OfferMsg::Bundle { bundle, is_final, round }));
+        transcript.push(Message::Offer(OfferMsg::Bundle {
+            bundle,
+            is_final,
+            round,
+        }));
 
         // Step 3: the VFL course runs and the gain is realized.
         let gain = provider.gain(bundle)?;
@@ -224,7 +242,9 @@ pub fn run_bargaining<G: GainProvider + ?Sized>(
         // Case 2 / II: data-party acceptance closes the deal.
         if is_final && !exploring {
             return finish(
-                OutcomeStatus::Success { by: ClosedBy::DataParty },
+                OutcomeStatus::Success {
+                    by: ClosedBy::DataParty,
+                },
                 rounds,
                 transcript,
                 round,
@@ -243,7 +263,9 @@ pub fn run_bargaining<G: GainProvider + ?Sized>(
         match task.decide(&tctx, cfg, &mut rng)? {
             TaskDecision::Accept => {
                 return finish(
-                    OutcomeStatus::Success { by: ClosedBy::TaskParty },
+                    OutcomeStatus::Success {
+                        by: ClosedBy::TaskParty,
+                    },
                     rounds,
                     transcript,
                     round,
@@ -273,7 +295,9 @@ pub fn run_bargaining<G: GainProvider + ?Sized>(
         round += 1;
         if round > cfg.max_rounds {
             return finish(
-                OutcomeStatus::Failed { reason: FailureReason::RoundLimit },
+                OutcomeStatus::Failed {
+                    reason: FailureReason::RoundLimit,
+                },
                 rounds,
                 transcript,
                 cfg.max_rounds,
@@ -301,9 +325,8 @@ mod tests {
                 reserved: ReservedPrice::new(rate, base).unwrap(),
             })
             .collect();
-        let provider = TableGainProvider::new(
-            listings.iter().zip(&gains).map(|(l, &g)| (l.bundle, g)),
-        );
+        let provider =
+            TableGainProvider::new(listings.iter().zip(&gains).map(|(l, &g)| (l.bundle, g)));
         (provider, listings, gains)
     }
 
@@ -342,12 +365,18 @@ mod tests {
         let mut task = StrategicTask::new(0.30, 1.0, 0.1).unwrap();
         let mut data = StrategicData::with_gains(gains);
         // Tiny budget: opening cap 0.4, no escalation can clear reserve.
-        let tiny = MarketConfig { budget: 0.45, rate_cap: 1.2, ..cfg() };
+        let tiny = MarketConfig {
+            budget: 0.45,
+            rate_cap: 1.2,
+            ..cfg()
+        };
         let outcome = run_bargaining(&provider, &listings, &mut task, &mut data, &tiny).unwrap();
         assert!(!outcome.is_success());
         assert_eq!(
             outcome.status,
-            OutcomeStatus::Failed { reason: FailureReason::NoAffordableBundle }
+            OutcomeStatus::Failed {
+                reason: FailureReason::NoAffordableBundle
+            }
         );
         assert_eq!(outcome.n_rounds(), 0, "no course ran");
         assert!(outcome.data_revenue().is_none());
@@ -361,7 +390,11 @@ mod tests {
         let outcome = run_bargaining(&provider, &listings, &mut task, &mut data, &cfg()).unwrap();
         let t = &outcome.transcript;
         assert!(t.settlement().is_some());
-        assert_eq!(t.quotes().len(), outcome.n_rounds(), "one quote per course round");
+        assert_eq!(
+            t.quotes().len(),
+            outcome.n_rounds(),
+            "one quote per course round"
+        );
     }
 
     #[test]
@@ -395,9 +428,12 @@ mod tests {
         for seed in 0..20 {
             let mut task = StrategicTask::new(0.30, 6.0, 0.9).unwrap();
             let mut data = RandomBundleData::with_gains(gains.clone());
-            let c = MarketConfig { utility_rate: 12.0, seed, ..cfg() };
-            let outcome =
-                run_bargaining(&provider, &listings, &mut task, &mut data, &c).unwrap();
+            let c = MarketConfig {
+                utility_rate: 12.0,
+                seed,
+                ..cfg()
+            };
+            let outcome = run_bargaining(&provider, &listings, &mut task, &mut data, &c).unwrap();
             if !outcome.is_success() {
                 failures += 1;
             }
@@ -413,17 +449,17 @@ mod tests {
         let mut task = StrategicTask::new(0.30, 6.0, 0.9).unwrap();
         let mut data = StrategicData::with_gains(vec![0.01, 0.012, 0.014, 0.016]);
         // Lie in the provider too, so Case 5 never fires.
-        let provider2 = TableGainProvider::new(
-            listings.iter().map(|l| (l.bundle, 0.01)),
-        );
-        let short = MarketConfig { max_rounds: 5, utility_rate: 1e5, ..cfg() };
-        let outcome =
-            run_bargaining(&provider2, &listings, &mut task, &mut data, &short).unwrap();
+        let provider2 = TableGainProvider::new(listings.iter().map(|l| (l.bundle, 0.01)));
+        let short = MarketConfig {
+            max_rounds: 5,
+            utility_rate: 1e5,
+            ..cfg()
+        };
+        let outcome = run_bargaining(&provider2, &listings, &mut task, &mut data, &short).unwrap();
         match outcome.status {
             OutcomeStatus::Failed { reason } => {
                 assert!(
-                    reason == FailureReason::RoundLimit
-                        || reason == FailureReason::BudgetExhausted,
+                    reason == FailureReason::RoundLimit || reason == FailureReason::BudgetExhausted,
                     "got {reason:?}"
                 );
             }

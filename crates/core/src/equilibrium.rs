@@ -70,8 +70,8 @@ pub fn verify_lemma31(
                 .expect("finite profits")
         })?;
     let eq = theorem31_equivalent(best, gain).ok()?;
-    let dominated = task_net_profit(utility_rate, &eq, gain)
-        >= task_net_profit(utility_rate, best, gain) - tol;
+    let dominated =
+        task_net_profit(utility_rate, &eq, gain) >= task_net_profit(utility_rate, best, gain) - tol;
     Some((eq, dominated))
 }
 

@@ -39,7 +39,9 @@ pub struct TableGainProvider {
 impl TableGainProvider {
     /// Builds from `(bundle, gain)` pairs.
     pub fn new(entries: impl IntoIterator<Item = (BundleMask, f64)>) -> Self {
-        TableGainProvider { gains: entries.into_iter().map(|(b, g)| (b.0, g)).collect() }
+        TableGainProvider {
+            gains: entries.into_iter().map(|(b, g)| (b.0, g)).collect(),
+        }
     }
 
     /// Inserts or replaces an entry.

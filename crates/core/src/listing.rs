@@ -65,7 +65,9 @@ impl ReservedPricing {
                 if rate >= 0.0 && base >= 0.0 && rate.is_finite() && base.is_finite() {
                     Ok(())
                 } else {
-                    Err(MarketError::InvalidConfig("uniform reserve must be >= 0".into()))
+                    Err(MarketError::InvalidConfig(
+                        "uniform reserve must be >= 0".into(),
+                    ))
                 }
             }
         }
@@ -107,7 +109,12 @@ pub fn build_listings(catalog: &BundleCatalog, pricing: &ReservedPricing) -> Res
     catalog
         .bundles()
         .iter()
-        .map(|&bundle| Ok(Listing { bundle, reserved: pricing.price_for(bundle, &mut rng)? }))
+        .map(|&bundle| {
+            Ok(Listing {
+                bundle,
+                reserved: pricing.price_for(bundle, &mut rng)?,
+            })
+        })
         .collect()
 }
 
@@ -153,7 +160,10 @@ mod tests {
                 .collect();
             v.iter().sum::<f64>() / v.len() as f64
         };
-        assert!(avg_rate(5) > avg_rate(1) + 3.0, "cost must grow with bundle size");
+        assert!(
+            avg_rate(5) > avg_rate(1) + 3.0,
+            "cost must grow with bundle size"
+        );
     }
 
     #[test]
@@ -169,14 +179,27 @@ mod tests {
     #[test]
     fn uniform_pricing_is_flat() {
         let c = catalog();
-        let listings =
-            build_listings(&c, &ReservedPricing::Uniform { rate: 2.0, base: 0.5 }).unwrap();
-        assert!(listings.iter().all(|l| l.reserved.rate == 2.0 && l.reserved.base == 0.5));
+        let listings = build_listings(
+            &c,
+            &ReservedPricing::Uniform {
+                rate: 2.0,
+                base: 0.5,
+            },
+        )
+        .unwrap();
+        assert!(listings
+            .iter()
+            .all(|l| l.reserved.rate == 2.0 && l.reserved.base == 0.5));
     }
 
     #[test]
     fn validation() {
-        assert!(ReservedPricing::Uniform { rate: -1.0, base: 0.0 }.validate().is_err());
+        assert!(ReservedPricing::Uniform {
+            rate: -1.0,
+            base: 0.0
+        }
+        .validate()
+        .is_err());
         let bad = ReservedPricing::PerFeature {
             base_rate: 1.0,
             rate_per_feature: 1.0,

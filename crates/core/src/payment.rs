@@ -11,12 +11,7 @@ pub fn task_net_profit(utility_rate: f64, quote: &QuotedPrice, gain: f64) -> f64
 
 /// Task party's final revenue with bargaining cost (§3.4.4):
 /// `Rt(T) = u ΔG - payment - Ct(T)`.
-pub fn task_revenue_with_cost(
-    utility_rate: f64,
-    quote: &QuotedPrice,
-    gain: f64,
-    cost: f64,
-) -> f64 {
+pub fn task_revenue_with_cost(utility_rate: f64, quote: &QuotedPrice, gain: f64, cost: f64) -> f64 {
     task_net_profit(utility_rate, quote, gain) - cost
 }
 
@@ -86,6 +81,9 @@ mod tests {
             task_revenue_with_cost(100.0, &q, 0.1, 0.5),
             task_net_profit(100.0, &q, 0.1) - 0.5
         );
-        assert_eq!(data_revenue_with_cost(&q, 0.1, 0.3), data_payment(&q, 0.1) - 0.3);
+        assert_eq!(
+            data_revenue_with_cost(&q, 0.1, 0.3),
+            data_payment(&q, 0.1) - 0.3
+        );
     }
 }

@@ -24,10 +24,14 @@ impl QuotedPrice {
             return Err(MarketError::InvalidPrice("non-finite component".into()));
         }
         if rate <= 0.0 {
-            return Err(MarketError::InvalidPrice(format!("rate must be > 0, got {rate}")));
+            return Err(MarketError::InvalidPrice(format!(
+                "rate must be > 0, got {rate}"
+            )));
         }
         if base < 0.0 {
-            return Err(MarketError::InvalidPrice(format!("base must be >= 0, got {base}")));
+            return Err(MarketError::InvalidPrice(format!(
+                "base must be >= 0, got {base}"
+            )));
         }
         if cap < base {
             return Err(MarketError::InvalidPrice(format!(
@@ -58,7 +62,10 @@ impl QuotedPrice {
     /// The break-even gain of the task party: `P0 / (u - p)`. Net profit is
     /// negative below it (Case 4 terminates there). Requires `u > p`.
     pub fn break_even_gain(&self, utility_rate: f64) -> f64 {
-        debug_assert!(utility_rate > self.rate, "individual rationality requires u > p");
+        debug_assert!(
+            utility_rate > self.rate,
+            "individual rationality requires u > p"
+        );
         self.base / (utility_rate - self.rate)
     }
 
@@ -88,10 +95,14 @@ impl ReservedPrice {
     /// Builds a reserved price, validating non-negativity and finiteness.
     pub fn new(rate: f64, base: f64) -> Result<Self> {
         if !(rate.is_finite() && base.is_finite()) {
-            return Err(MarketError::InvalidPrice("non-finite reserved price".into()));
+            return Err(MarketError::InvalidPrice(
+                "non-finite reserved price".into(),
+            ));
         }
         if rate < 0.0 || base < 0.0 {
-            return Err(MarketError::InvalidPrice("reserved price must be >= 0".into()));
+            return Err(MarketError::InvalidPrice(
+                "reserved price must be >= 0".into(),
+            ));
         }
         Ok(ReservedPrice { rate, base })
     }

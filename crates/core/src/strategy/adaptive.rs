@@ -32,7 +32,13 @@ pub struct AdaptiveConfig {
 
 impl Default for AdaptiveConfig {
     fn default() -> Self {
-        AdaptiveConfig { expand: 1.6, contract: 0.5, min_step: 0.02, max_step: 1.0, init_step: 0.1 }
+        AdaptiveConfig {
+            expand: 1.6,
+            contract: 0.5,
+            min_step: 0.02,
+            max_step: 1.0,
+            init_step: 0.1,
+        }
     }
 }
 
@@ -43,9 +49,13 @@ impl AdaptiveConfig {
             return Err(MarketError::InvalidConfig("expand must be > 1".into()));
         }
         if !(0.0 < self.contract && self.contract < 1.0) {
-            return Err(MarketError::InvalidConfig("contract must be in (0,1)".into()));
+            return Err(MarketError::InvalidConfig(
+                "contract must be in (0,1)".into(),
+            ));
         }
-        if !(0.0 < self.min_step && self.min_step <= self.init_step && self.init_step <= self.max_step)
+        if !(0.0 < self.min_step
+            && self.min_step <= self.init_step
+            && self.init_step <= self.max_step)
         {
             return Err(MarketError::InvalidConfig(
                 "need 0 < min_step <= init_step <= max_step".into(),
@@ -80,7 +90,13 @@ impl AdaptiveStepTask {
             )));
         }
         let init = QuotedPrice::new(init_rate, init_base, init_base + init_rate * target_gain)?;
-        Ok(AdaptiveStepTask { target_gain, init, step: adaptive.init_step, adaptive, last_gain: None })
+        Ok(AdaptiveStepTask {
+            target_gain,
+            init,
+            step: adaptive.init_step,
+            adaptive,
+            last_gain: None,
+        })
     }
 
     /// Current escalation step (for tests/inspection).
@@ -116,7 +132,9 @@ impl TaskStrategy for AdaptiveStepTask {
             )));
         }
         if self.init.rate >= cfg.utility_rate {
-            return Err(MarketError::InvalidConfig("opening rate must satisfy p < u".into()));
+            return Err(MarketError::InvalidConfig(
+                "opening rate must satisfy p < u".into(),
+            ));
         }
         Ok(self.init)
     }
@@ -193,8 +211,7 @@ mod tests {
         let listings: Vec<Listing> = (0..n)
             .map(|k| Listing {
                 bundle: BundleMask::singleton(k),
-                reserved: ReservedPrice::new(3.5 + 0.8 * k as f64, 0.5 + 0.09 * k as f64)
-                    .unwrap(),
+                reserved: ReservedPrice::new(3.5 + 0.8 * k as f64, 0.5 + 0.09 * k as f64).unwrap(),
             })
             .collect();
         let provider =
@@ -214,11 +231,25 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(AdaptiveConfig { expand: 0.9, ..Default::default() }.validate().is_err());
-        assert!(AdaptiveConfig { contract: 1.5, ..Default::default() }.validate().is_err());
-        assert!(AdaptiveConfig { min_step: 0.5, init_step: 0.1, ..Default::default() }
-            .validate()
-            .is_err());
+        assert!(AdaptiveConfig {
+            expand: 0.9,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(AdaptiveConfig {
+            contract: 1.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(AdaptiveConfig {
+            min_step: 0.5,
+            init_step: 0.1,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
         assert!(AdaptiveConfig::default().validate().is_ok());
     }
 
@@ -244,7 +275,10 @@ mod tests {
         let (provider, listings, gains) = ladder(10);
         let target = 0.2;
         // Fixed small step = many rounds; adaptive accelerates while stuck.
-        let fixed_cfg = |seed| MarketConfig { escalation_step: 0.05, ..cfg(seed) };
+        let fixed_cfg = |seed| MarketConfig {
+            escalation_step: 0.05,
+            ..cfg(seed)
+        };
         let mean_rounds = |adaptive: bool| -> f64 {
             let mut total = 0usize;
             for seed in 0..10 {
@@ -254,7 +288,10 @@ mod tests {
                         target,
                         4.0,
                         0.6,
-                        AdaptiveConfig { init_step: 0.05, ..Default::default() },
+                        AdaptiveConfig {
+                            init_step: 0.05,
+                            ..Default::default()
+                        },
                     )
                     .unwrap();
                     run_bargaining(&provider, &listings, &mut task, &mut data, &fixed_cfg(seed))

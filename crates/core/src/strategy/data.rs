@@ -96,7 +96,10 @@ impl DataStrategy for StrategicData {
             // Case 1, relaxed to a cheapest-bundle offer during exploration
             // (Case VII keeps the game alive to generate training samples).
             return Ok(if ctx.exploring {
-                DataResponse::Offer { listing: cheapest_listing(listings), is_final: false }
+                DataResponse::Offer {
+                    listing: cheapest_listing(listings),
+                    is_final: false,
+                }
             } else {
                 DataResponse::Withdraw
             });
@@ -112,10 +115,17 @@ impl DataStrategy for StrategicData {
             .copied()
             .filter(|&i| self.gains[i] >= break_even)
             .collect();
-        let candidates = if viable.is_empty() { &affordable } else { &viable };
+        let candidates = if viable.is_empty() {
+            &affordable
+        } else {
+            &viable
+        };
         let pick = select_bundle(candidates, &self.gains, target);
         if ctx.exploring {
-            return Ok(DataResponse::Offer { listing: pick, is_final: false });
+            return Ok(DataResponse::Offer {
+                listing: pick,
+                is_final: false,
+            });
         }
 
         let is_final = if cfg.data_cost.is_flat() {
@@ -123,11 +133,7 @@ impl DataStrategy for StrategicData {
             // globally best bundle is already affordable and offered, no
             // escalation can improve the offer — close the deal (the perfect
             // -information mirror of Case II branch 2).
-            let best_overall = self
-                .gains
-                .iter()
-                .copied()
-                .fold(f64::NEG_INFINITY, f64::max);
+            let best_overall = self.gains.iter().copied().fold(f64::NEG_INFINITY, f64::max);
             data_success(ctx.quote, self.gains[pick], cfg.eps_data)
                 || self.gains[pick] >= best_overall
         } else {
@@ -154,7 +160,10 @@ impl DataStrategy for StrategicData {
                 cfg.eps_data_cost,
             )
         };
-        Ok(DataResponse::Offer { listing: pick, is_final })
+        Ok(DataResponse::Offer {
+            listing: pick,
+            is_final,
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -195,15 +204,20 @@ impl DataStrategy for RandomBundleData {
         let affordable = affordable_indices(ctx, listings);
         if affordable.is_empty() {
             return Ok(if ctx.exploring {
-                DataResponse::Offer { listing: cheapest_listing(listings), is_final: false }
+                DataResponse::Offer {
+                    listing: cheapest_listing(listings),
+                    is_final: false,
+                }
             } else {
                 DataResponse::Withdraw
             });
         }
         let pick = affordable[rng.random_range(0..affordable.len())];
-        let is_final =
-            !ctx.exploring && data_success(ctx.quote, self.gains[pick], cfg.eps_data);
-        Ok(DataResponse::Offer { listing: pick, is_final })
+        let is_final = !ctx.exploring && data_success(ctx.quote, self.gains[pick], cfg.eps_data);
+        Ok(DataResponse::Offer {
+            listing: pick,
+            is_final,
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -220,14 +234,19 @@ mod tests {
 
     fn listings() -> Vec<Listing> {
         // Reserves grow with gain; gains: 0.05, 0.12, 0.20, 0.30.
-        [(0.05, 5.0, 0.8), (0.12, 7.0, 1.0), (0.20, 9.0, 1.2), (0.30, 11.0, 1.5)]
-            .iter()
-            .enumerate()
-            .map(|(i, &(_, rate, base))| Listing {
-                bundle: BundleMask::singleton(i),
-                reserved: ReservedPrice::new(rate, base).unwrap(),
-            })
-            .collect()
+        [
+            (0.05, 5.0, 0.8),
+            (0.12, 7.0, 1.0),
+            (0.20, 9.0, 1.2),
+            (0.30, 11.0, 1.5),
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, rate, base))| Listing {
+            bundle: BundleMask::singleton(i),
+            reserved: ReservedPrice::new(rate, base).unwrap(),
+        })
+        .collect()
     }
 
     fn gains() -> Vec<f64> {
@@ -235,7 +254,13 @@ mod tests {
     }
 
     fn ctx<'a>(quote: &'a QuotedPrice, exploring: bool) -> DataContext<'a> {
-        DataContext { round: 1, exploring, quote, cost_now: 0.0, cost_next: 0.0 }
+        DataContext {
+            round: 1,
+            exploring,
+            quote,
+            cost_now: 0.0,
+            cost_next: 0.0,
+        }
     }
 
     #[test]
@@ -243,7 +268,12 @@ mod tests {
         let mut s = StrategicData::with_gains(gains());
         let quote = QuotedPrice::new(4.0, 0.5, 1.0).unwrap(); // below every reserve
         let mut rng = StdRng::seed_from_u64(1);
-        let r = s.respond(&ctx(&quote, false), &listings(), &MarketConfig::default(), &mut rng);
+        let r = s.respond(
+            &ctx(&quote, false),
+            &listings(),
+            &MarketConfig::default(),
+            &mut rng,
+        );
         assert_eq!(r.unwrap(), DataResponse::Withdraw);
     }
 
@@ -253,9 +283,20 @@ mod tests {
         let quote = QuotedPrice::new(4.0, 0.5, 1.0).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         let r = s
-            .respond(&ctx(&quote, true), &listings(), &MarketConfig::default(), &mut rng)
+            .respond(
+                &ctx(&quote, true),
+                &listings(),
+                &MarketConfig::default(),
+                &mut rng,
+            )
             .unwrap();
-        assert_eq!(r, DataResponse::Offer { listing: 0, is_final: false });
+        assert_eq!(
+            r,
+            DataResponse::Offer {
+                listing: 0,
+                is_final: false
+            }
+        );
     }
 
     #[test]
@@ -266,7 +307,12 @@ mod tests {
         let quote = QuotedPrice::new(7.5, 1.05, 2.25).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         let r = s
-            .respond(&ctx(&quote, false), &listings(), &MarketConfig::default(), &mut rng)
+            .respond(
+                &ctx(&quote, false),
+                &listings(),
+                &MarketConfig::default(),
+                &mut rng,
+            )
             .unwrap();
         match r {
             DataResponse::Offer { listing, is_final } => {
@@ -284,9 +330,20 @@ mod tests {
         let quote = QuotedPrice::new(7.5, 1.05, 1.05 + 7.5 * 0.12).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         let r = s
-            .respond(&ctx(&quote, false), &listings(), &MarketConfig::default(), &mut rng)
+            .respond(
+                &ctx(&quote, false),
+                &listings(),
+                &MarketConfig::default(),
+                &mut rng,
+            )
             .unwrap();
-        assert_eq!(r, DataResponse::Offer { listing: 1, is_final: true });
+        assert_eq!(
+            r,
+            DataResponse::Offer {
+                listing: 1,
+                is_final: true
+            }
+        );
     }
 
     #[test]
@@ -297,9 +354,20 @@ mod tests {
         let quote = QuotedPrice::new(20.0, 2.0, 2.0 + 20.0 * 0.9).unwrap(); // target 0.9
         let mut rng = StdRng::seed_from_u64(1);
         let r = s
-            .respond(&ctx(&quote, false), &listings(), &MarketConfig::default(), &mut rng)
+            .respond(
+                &ctx(&quote, false),
+                &listings(),
+                &MarketConfig::default(),
+                &mut rng,
+            )
             .unwrap();
-        assert_eq!(r, DataResponse::Offer { listing: 3, is_final: true });
+        assert_eq!(
+            r,
+            DataResponse::Offer {
+                listing: 3,
+                is_final: true
+            }
+        );
     }
 
     #[test]
@@ -310,7 +378,12 @@ mod tests {
         let mut seen = std::collections::BTreeSet::new();
         for _ in 0..50 {
             match s
-                .respond(&ctx(&quote, false), &listings(), &MarketConfig::default(), &mut rng)
+                .respond(
+                    &ctx(&quote, false),
+                    &listings(),
+                    &MarketConfig::default(),
+                    &mut rng,
+                )
                 .unwrap()
             {
                 DataResponse::Offer { listing, .. } => {
@@ -329,7 +402,12 @@ mod tests {
         let quote = QuotedPrice::new(9.5, 1.3, 3.0).unwrap();
         let mut rng = StdRng::seed_from_u64(4);
         assert!(s
-            .respond(&ctx(&quote, false), &listings(), &MarketConfig::default(), &mut rng)
+            .respond(
+                &ctx(&quote, false),
+                &listings(),
+                &MarketConfig::default(),
+                &mut rng
+            )
             .is_err());
     }
 

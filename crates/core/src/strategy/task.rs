@@ -40,7 +40,9 @@ pub(crate) fn escalate_coupled(
         if base < min_base || base < 0.0 {
             continue;
         }
-        let Ok(candidate) = QuotedPrice::new(rate, base, cap) else { continue };
+        let Ok(candidate) = QuotedPrice::new(rate, base, cap) else {
+            continue;
+        };
         if best.as_ref().is_none_or(|b| candidate.cap < b.cap) {
             best = Some(candidate);
         }
@@ -99,7 +101,14 @@ impl StrategicTask {
         cfg: &MarketConfig,
         rng: &mut StdRng,
     ) -> Option<QuotedPrice> {
-        escalate_coupled(current, self.target_gain, self.init.base, cfg.escalation_step, cfg, rng)
+        escalate_coupled(
+            current,
+            self.target_gain,
+            self.init.base,
+            cfg.escalation_step,
+            cfg,
+            rng,
+        )
     }
 }
 
@@ -182,7 +191,9 @@ impl IncreasePriceTask {
     /// (the paper keeps initial quotes identical across compared models).
     pub fn new(target_gain: f64, init_rate: f64, init_base: f64) -> Result<Self> {
         let strategic = StrategicTask::new(target_gain, init_rate, init_base)?;
-        Ok(IncreasePriceTask { init: *strategic.opening_quote() })
+        Ok(IncreasePriceTask {
+            init: *strategic.opening_quote(),
+        })
     }
 
     fn escalate(
@@ -266,7 +277,12 @@ mod tests {
     use rand::SeedableRng;
 
     fn cfg() -> MarketConfig {
-        MarketConfig { utility_rate: 1000.0, budget: 10.0, rate_cap: 20.0, ..Default::default() }
+        MarketConfig {
+            utility_rate: 1000.0,
+            budget: 10.0,
+            rate_cap: 20.0,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -301,9 +317,18 @@ mod tests {
             cost_now: 0.0,
             cost_next: 0.0,
         };
-        assert_eq!(s.decide(&at_target, &c, &mut rng).unwrap(), TaskDecision::Accept);
-        let below_be = TaskContext { realized_gain: 1e-6, ..at_target };
-        assert_eq!(s.decide(&below_be, &c, &mut rng).unwrap(), TaskDecision::Fail);
+        assert_eq!(
+            s.decide(&at_target, &c, &mut rng).unwrap(),
+            TaskDecision::Accept
+        );
+        let below_be = TaskContext {
+            realized_gain: 1e-6,
+            ..at_target
+        };
+        assert_eq!(
+            s.decide(&below_be, &c, &mut rng).unwrap(),
+            TaskDecision::Fail
+        );
     }
 
     #[test]
@@ -349,13 +374,19 @@ mod tests {
             cost_now: 0.0,
             cost_next: 0.0,
         };
-        assert!(matches!(s.decide(&ctx, &c, &mut rng).unwrap(), TaskDecision::Requote(_)));
+        assert!(matches!(
+            s.decide(&ctx, &c, &mut rng).unwrap(),
+            TaskDecision::Requote(_)
+        ));
     }
 
     #[test]
     fn budget_exhaustion_falls_back_rationally() {
         let mut s = StrategicTask::new(0.2, 6.0, 0.9).unwrap();
-        let c = MarketConfig { budget: 2.1, ..cfg() }; // opening cap = 2.1: no headroom
+        let c = MarketConfig {
+            budget: 2.1,
+            ..cfg()
+        }; // opening cap = 2.1: no headroom
         let mut rng = StdRng::seed_from_u64(5);
         let q = s.initial_quote(&c, &mut rng).unwrap();
         // rate is also capped to make escalation fully impossible.
@@ -368,7 +399,10 @@ mod tests {
             cost_now: 0.0,
             cost_next: 0.0,
         };
-        assert_eq!(s.decide(&profitable, &c, &mut rng).unwrap(), TaskDecision::Accept);
+        assert_eq!(
+            s.decide(&profitable, &c, &mut rng).unwrap(),
+            TaskDecision::Accept
+        );
     }
 
     #[test]

@@ -85,9 +85,7 @@ pub fn eq7_task_accepts(
     cost_next: f64,
     eps_task_cost: f64,
 ) -> bool {
-    let lhs = utility_rate * realized_gain
-        - (quote.base + quote.rate * realized_gain)
-        - cost_now;
+    let lhs = utility_rate * realized_gain - (quote.base + quote.rate * realized_gain) - cost_now;
     let rhs = utility_rate * quote.target_gain() - quote.cap - cost_next - eps_task_cost;
     lhs >= rhs
 }
@@ -151,7 +149,14 @@ mod tests {
         let q = quote();
         let reserve = ReservedPrice::new(q.rate, q.base).unwrap();
         // At the target, LHS == RHS with eps 0 and flat cost.
-        assert!(eq6_data_accepts(&q, q.target_gain(), &reserve, 1.0, 1.0, 0.0));
+        assert!(eq6_data_accepts(
+            &q,
+            q.target_gain(),
+            &reserve,
+            1.0,
+            1.0,
+            0.0
+        ));
         assert!(!eq6_data_accepts(&q, 0.1, &reserve, 1.0, 1.0, 0.0));
     }
 
@@ -176,6 +181,9 @@ mod tests {
         // accept with `cheap` than with `pricey` reversed:
         let with_cheap = eq6_data_accepts(&q, gain, &cheap, 1.0, 1.0, 0.1);
         let with_pricey = eq6_data_accepts(&q, gain, &pricey, 1.0, 1.0, 0.1);
-        assert!(with_cheap || !with_pricey, "pricier target cannot make acceptance easier");
+        assert!(
+            with_cheap || !with_pricey,
+            "pricier target cannot make acceptance easier"
+        );
     }
 }

@@ -14,7 +14,10 @@ impl<T> ReplayBuffer<T> {
     /// New buffer holding at most `capacity` experiences.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "replay buffer capacity must be >= 1");
-        ReplayBuffer { items: VecDeque::with_capacity(capacity.min(1024)), capacity }
+        ReplayBuffer {
+            items: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+        }
     }
 
     /// Appends an experience, evicting the oldest when full.

@@ -56,7 +56,10 @@ pub struct BundleGainModel {
 impl BundleGainModel {
     /// Builds the embedding + 64/32/16 MLP stack.
     pub fn new(cfg: BundleModelConfig) -> Self {
-        assert!(cfg.n_features > 0 && cfg.n_features <= 63, "1..=63 features");
+        assert!(
+            cfg.n_features > 0 && cfg.n_features <= 63,
+            "1..=63 features"
+        );
         assert!(cfg.gain_scale > 0.0 && cfg.emb_dim > 0);
         let mut rng = vfl_ml::rng::rng_from_seed(cfg.seed ^ 0xeb0d9);
         BundleGainModel {
@@ -75,7 +78,9 @@ impl BundleGainModel {
 
     /// Predicted ΔG for a bundle.
     pub fn predict(&self, bundle: BundleMask) -> f64 {
-        let pooled = self.embedding.forward_mean_inference(&[Self::ids_of(bundle)]);
+        let pooled = self
+            .embedding
+            .forward_mean_inference(&[Self::ids_of(bundle)]);
         self.net.predict(&pooled)[0] * self.cfg.gain_scale
     }
 
@@ -83,7 +88,11 @@ impl BundleGainModel {
     pub fn predict_many(&self, bundles: &[BundleMask]) -> Vec<f64> {
         let batch: Vec<Vec<u32>> = bundles.iter().map(|&b| Self::ids_of(b)).collect();
         let pooled = self.embedding.forward_mean_inference(&batch);
-        self.net.predict(&pooled).into_iter().map(|v| v * self.cfg.gain_scale).collect()
+        self.net
+            .predict(&pooled)
+            .into_iter()
+            .map(|v| v * self.cfg.gain_scale)
+            .collect()
     }
 
     /// Records a realized (bundle, ΔG) pair, performs the per-round updates
@@ -138,7 +147,10 @@ mod tests {
         }
         let strong = m.predict(BundleMask::from_features(&[1, 2]));
         let weak = m.predict(BundleMask::from_features(&[0, 3]));
-        assert!(strong > weak, "must rank bundles: strong={strong} weak={weak}");
+        assert!(
+            strong > weak,
+            "must rank bundles: strong={strong} weak={weak}"
+        );
         let final_mse = *m.mse_history().last().unwrap();
         assert!(final_mse < 0.05, "mse {final_mse}");
     }

@@ -42,7 +42,11 @@ impl ImperfectTask {
             )));
         }
         let init = QuotedPrice::new(init_rate, init_base, init_base + init_rate * target_gain)?;
-        Ok(ImperfectTask { target_gain, init, model: PriceGainModel::new(model_cfg) })
+        Ok(ImperfectTask {
+            target_gain,
+            init,
+            model: PriceGainModel::new(model_cfg),
+        })
     }
 
     /// Per-round MSE trace of the estimator `f` (Figure 4, task party).
@@ -124,8 +128,11 @@ impl ImperfectTask {
         let qualifying: Vec<usize> = (0..candidates.len())
             .filter(|&i| preds[i] >= candidates[i].target_gain() - cfg.eps_task)
             .collect();
-        let pool: Vec<usize> =
-            if qualifying.is_empty() { (0..candidates.len()).collect() } else { qualifying };
+        let pool: Vec<usize> = if qualifying.is_empty() {
+            (0..candidates.len()).collect()
+        } else {
+            qualifying
+        };
         let best = pool
             .iter()
             .copied()
@@ -152,7 +159,9 @@ impl TaskStrategy for ImperfectTask {
             )));
         }
         if self.init.rate >= cfg.utility_rate {
-            return Err(MarketError::InvalidConfig("opening rate must satisfy p < u".into()));
+            return Err(MarketError::InvalidConfig(
+                "opening rate must satisfy p < u".into(),
+            ));
         }
         Ok(self.init)
     }
@@ -175,8 +184,7 @@ impl TaskStrategy for ImperfectTask {
         match self.estimate_quote(ctx.quote, cfg, ctx.exploring, rng) {
             Some(q) => Ok(TaskDecision::Requote(q)),
             None => {
-                if cfg.utility_rate * ctx.realized_gain - ctx.quote.payment(ctx.realized_gain)
-                    > 0.0
+                if cfg.utility_rate * ctx.realized_gain - ctx.quote.payment(ctx.realized_gain) > 0.0
                 {
                     Ok(TaskDecision::Accept)
                 } else {
@@ -207,7 +215,9 @@ pub struct ImperfectData {
 impl ImperfectData {
     /// Builds the player from the estimator configuration.
     pub fn new(model_cfg: BundleModelConfig) -> Self {
-        ImperfectData { model: BundleGainModel::new(model_cfg) }
+        ImperfectData {
+            model: BundleGainModel::new(model_cfg),
+        }
     }
 
     /// Per-round MSE trace of the estimator `g` (Figure 4, data party).
@@ -248,7 +258,10 @@ impl DataStrategy for ImperfectData {
                     })
                     .map(|(i, _)| i)
                     .expect("non-empty listings");
-                DataResponse::Offer { listing: cheapest, is_final: false }
+                DataResponse::Offer {
+                    listing: cheapest,
+                    is_final: false,
+                }
             } else {
                 DataResponse::Withdraw
             });
@@ -260,8 +273,7 @@ impl DataStrategy for ImperfectData {
             // data); as g sharpens, exploration already concentrates near
             // the equilibrium path — this keeps the price -> gain mapping
             // the task party's f learns close to stationary.
-            let bundles: Vec<BundleMask> =
-                affordable.iter().map(|&i| listings[i].bundle).collect();
+            let bundles: Vec<BundleMask> = affordable.iter().map(|&i| listings[i].bundle).collect();
             let preds = self.model.predict_many(&bundles);
             let target = ctx.quote.target_gain();
             let below = (0..affordable.len())
@@ -273,7 +285,10 @@ impl DataStrategy for ImperfectData {
             } else {
                 below.unwrap_or(0)
             };
-            return Ok(DataResponse::Offer { listing: affordable[pick], is_final: false });
+            return Ok(DataResponse::Offer {
+                listing: affordable[pick],
+                is_final: false,
+            });
         }
 
         let bundles: Vec<BundleMask> = affordable.iter().map(|&i| listings[i].bundle).collect();
@@ -304,7 +319,10 @@ impl DataStrategy for ImperfectData {
             let k = below.unwrap_or(min_k);
             (k, target - preds[k] <= cfg.eps_data)
         };
-        Ok(DataResponse::Offer { listing: affordable[pick], is_final })
+        Ok(DataResponse::Offer {
+            listing: affordable[pick],
+            is_final,
+        })
     }
 
     fn observe_course(&mut self, bundle: BundleMask, gain: f64) {
@@ -345,8 +363,7 @@ mod tests {
 
     #[test]
     fn task_explores_with_diverse_quotes() {
-        let mut t =
-            ImperfectTask::new(0.2, 6.0, 0.9, PriceModelConfig::default()).unwrap();
+        let mut t = ImperfectTask::new(0.2, 6.0, 0.9, PriceModelConfig::default()).unwrap();
         let c = cfg();
         let mut rng = StdRng::seed_from_u64(1);
         let q0 = t.initial_quote(&c, &mut rng).unwrap();
@@ -373,8 +390,7 @@ mod tests {
 
     #[test]
     fn task_terminates_on_realized_gain() {
-        let mut t =
-            ImperfectTask::new(0.2, 6.0, 0.9, PriceModelConfig::default()).unwrap();
+        let mut t = ImperfectTask::new(0.2, 6.0, 0.9, PriceModelConfig::default()).unwrap();
         let c = cfg();
         let mut rng = StdRng::seed_from_u64(2);
         let q = t.initial_quote(&c, &mut rng).unwrap();
@@ -386,8 +402,14 @@ mod tests {
             cost_now: 0.0,
             cost_next: 0.0,
         };
-        assert_eq!(t.decide(&at_target, &c, &mut rng).unwrap(), TaskDecision::Accept);
-        let below = TaskContext { realized_gain: 1e-7, ..at_target };
+        assert_eq!(
+            t.decide(&at_target, &c, &mut rng).unwrap(),
+            TaskDecision::Accept
+        );
+        let below = TaskContext {
+            realized_gain: 1e-7,
+            ..at_target
+        };
         assert_eq!(t.decide(&below, &c, &mut rng).unwrap(), TaskDecision::Fail);
     }
 
@@ -406,9 +428,15 @@ mod tests {
         };
         assert!(matches!(
             d.respond(&exploring, &listings(), &c, &mut rng).unwrap(),
-            DataResponse::Offer { is_final: false, .. }
+            DataResponse::Offer {
+                is_final: false,
+                ..
+            }
         ));
-        let done = DataContext { exploring: false, ..exploring };
+        let done = DataContext {
+            exploring: false,
+            ..exploring
+        };
         assert_eq!(
             d.respond(&done, &listings(), &c, &mut rng).unwrap(),
             DataResponse::Withdraw

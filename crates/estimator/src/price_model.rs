@@ -94,7 +94,10 @@ impl PriceGainModel {
     fn training_set(&self) -> (Matrix, Vec<f64>) {
         let rows: Vec<Vec<f64>> = self.buffer.iter().map(|(f, _)| f.to_vec()).collect();
         let targets: Vec<f64> = self.buffer.iter().map(|&(_, t)| t).collect();
-        (Matrix::from_rows(&rows).expect("uniform feature rows"), targets)
+        (
+            Matrix::from_rows(&rows).expect("uniform feature rows"),
+            targets,
+        )
     }
 
     /// Per-round MSE trace (normalized target units).
@@ -132,7 +135,10 @@ mod tests {
         }
         let low = m.predict(&quote(8.0, 1.0, 1.2));
         let high = m.predict(&quote(8.0, 1.0, 3.8));
-        assert!(high > low + 0.02, "must learn monotonicity: low={low} high={high}");
+        assert!(
+            high > low + 0.02,
+            "must learn monotonicity: low={low} high={high}"
+        );
         let final_mse = *m.mse_history().last().unwrap();
         assert!(final_mse < 0.05, "mse {final_mse}");
     }
@@ -159,6 +165,9 @@ mod tests {
         for _ in 0..30 {
             last = m.observe(&q, 0.15);
         }
-        assert!(last < first, "repeated training on one point must reduce MSE");
+        assert!(
+            last < first,
+            "repeated training on one point must reduce MSE"
+        );
     }
 }

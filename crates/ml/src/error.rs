@@ -24,7 +24,10 @@ impl fmt::Display for MlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MlError::SampleMismatch { x_rows, y_len } => {
-                write!(f, "feature matrix has {x_rows} rows but {y_len} labels given")
+                write!(
+                    f,
+                    "feature matrix has {x_rows} rows but {y_len} labels given"
+                )
             }
             MlError::NotFitted => write!(f, "model has not been fitted"),
             MlError::FeatureMismatch { expected, got } => {

@@ -53,7 +53,10 @@ impl ForestConfig {
             max_features: self.max_features,
             min_impurity_decrease: 0.0,
             // Decorrelate trees: every tree gets its own stream.
-            seed: self.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(tree_idx as u64),
+            seed: self
+                .seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(tree_idx as u64),
         }
     }
 }
@@ -69,7 +72,11 @@ pub struct RandomForest {
 impl RandomForest {
     /// Creates an unfitted forest.
     pub fn new(cfg: ForestConfig) -> Self {
-        RandomForest { cfg, trees: Vec::new(), n_features: None }
+        RandomForest {
+            cfg,
+            trees: Vec::new(),
+            n_features: None,
+        }
     }
 
     /// The forest's configuration.
@@ -83,8 +90,14 @@ impl RandomForest {
     }
 
     fn resolve_threads(&self) -> usize {
-        let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        let t = if self.cfg.n_threads == 0 { hw } else { self.cfg.n_threads };
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let t = if self.cfg.n_threads == 0 {
+            hw
+        } else {
+            self.cfg.n_threads
+        };
         t.clamp(1, self.cfg.n_trees.max(1))
     }
 }
@@ -135,7 +148,10 @@ impl Classifier for RandomForest {
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("forest worker panicked")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("forest worker panicked"))
+                    .collect()
             })
             .expect("crossbeam scope failed");
             for r in results {
@@ -151,7 +167,10 @@ impl Classifier for RandomForest {
     fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>> {
         let expected = self.n_features.ok_or(MlError::NotFitted)?;
         if x.cols() != expected {
-            return Err(MlError::FeatureMismatch { expected, got: x.cols() });
+            return Err(MlError::FeatureMismatch {
+                expected,
+                got: x.cols(),
+            });
         }
         let mut probs = vec![0.0f64; x.rows()];
         for tree in &self.trees {
@@ -190,7 +209,10 @@ mod tests {
     #[test]
     fn separable_data_high_accuracy() {
         let (x, y) = blobs(400, 1);
-        let mut f = RandomForest::new(ForestConfig { n_trees: 15, ..Default::default() });
+        let mut f = RandomForest::new(ForestConfig {
+            n_trees: 15,
+            ..Default::default()
+        });
         f.fit(&x, &y).unwrap();
         let acc = accuracy_from_probs(&f.predict_proba(&x).unwrap(), &y);
         assert!(acc > 0.95, "acc {acc}");
@@ -199,18 +221,35 @@ mod tests {
     #[test]
     fn parallel_matches_serial() {
         let (x, y) = blobs(200, 2);
-        let base = ForestConfig { n_trees: 8, seed: 9, ..Default::default() };
-        let mut serial = RandomForest::new(ForestConfig { n_threads: 1, ..base });
-        let mut parallel = RandomForest::new(ForestConfig { n_threads: 4, ..base });
+        let base = ForestConfig {
+            n_trees: 8,
+            seed: 9,
+            ..Default::default()
+        };
+        let mut serial = RandomForest::new(ForestConfig {
+            n_threads: 1,
+            ..base
+        });
+        let mut parallel = RandomForest::new(ForestConfig {
+            n_threads: 4,
+            ..base
+        });
         serial.fit(&x, &y).unwrap();
         parallel.fit(&x, &y).unwrap();
-        assert_eq!(serial.predict_proba(&x).unwrap(), parallel.predict_proba(&x).unwrap());
+        assert_eq!(
+            serial.predict_proba(&x).unwrap(),
+            parallel.predict_proba(&x).unwrap()
+        );
     }
 
     #[test]
     fn deterministic_across_fits() {
         let (x, y) = blobs(150, 3);
-        let cfg = ForestConfig { n_trees: 6, seed: 42, ..Default::default() };
+        let cfg = ForestConfig {
+            n_trees: 6,
+            seed: 42,
+            ..Default::default()
+        };
         let mut a = RandomForest::new(cfg);
         let mut b = RandomForest::new(cfg);
         a.fit(&x, &y).unwrap();
@@ -221,8 +260,16 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let (x, y) = blobs(150, 3);
-        let mut a = RandomForest::new(ForestConfig { n_trees: 6, seed: 1, ..Default::default() });
-        let mut b = RandomForest::new(ForestConfig { n_trees: 6, seed: 2, ..Default::default() });
+        let mut a = RandomForest::new(ForestConfig {
+            n_trees: 6,
+            seed: 1,
+            ..Default::default()
+        });
+        let mut b = RandomForest::new(ForestConfig {
+            n_trees: 6,
+            seed: 2,
+            ..Default::default()
+        });
         a.fit(&x, &y).unwrap();
         b.fit(&x, &y).unwrap();
         assert_ne!(a.predict_proba(&x).unwrap(), b.predict_proba(&x).unwrap());
@@ -231,7 +278,10 @@ mod tests {
     #[test]
     fn probabilities_are_valid() {
         let (x, y) = blobs(100, 4);
-        let mut f = RandomForest::new(ForestConfig { n_trees: 5, ..Default::default() });
+        let mut f = RandomForest::new(ForestConfig {
+            n_trees: 5,
+            ..Default::default()
+        });
         f.fit(&x, &y).unwrap();
         for p in f.predict_proba(&x).unwrap() {
             assert!((0.0..=1.0).contains(&p));
@@ -240,9 +290,17 @@ mod tests {
 
     #[test]
     fn validation_and_not_fitted() {
-        assert!(ForestConfig { n_trees: 0, ..Default::default() }.validate().is_err());
+        assert!(ForestConfig {
+            n_trees: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
         let f = RandomForest::new(ForestConfig::default());
-        assert!(matches!(f.predict_proba(&Matrix::zeros(1, 1)).unwrap_err(), MlError::NotFitted));
+        assert!(matches!(
+            f.predict_proba(&Matrix::zeros(1, 1)).unwrap_err(),
+            MlError::NotFitted
+        ));
     }
 
     #[test]

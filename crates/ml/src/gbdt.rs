@@ -2,7 +2,7 @@
 //! loss, à la XGBoost/SecureBoost without the second-order weights).
 //!
 //! The paper's production motivation cites SecureBoost-style tree VFL
-//! ([2], [3] in its references); this model lets the market run on a
+//! (\[2\], \[3\] in its references); this model lets the market run on a
 //! boosted-tree base model in addition to the paper's Random Forest and
 //! MLP, demonstrating that the bargaining layer is model-agnostic.
 
@@ -76,13 +76,19 @@ impl GbdtConfig {
             return Err(MlError::InvalidConfig("n_stages must be >= 1".into()));
         }
         if !(self.learning_rate > 0.0 && self.learning_rate <= 1.0) {
-            return Err(MlError::InvalidConfig("learning_rate must be in (0, 1]".into()));
+            return Err(MlError::InvalidConfig(
+                "learning_rate must be in (0, 1]".into(),
+            ));
         }
         if !(0.0 < self.subsample && self.subsample <= 1.0) {
             return Err(MlError::InvalidConfig("subsample must be in (0, 1]".into()));
         }
-        TreeConfig { max_depth: self.max_depth, min_samples_leaf: self.min_samples_leaf, ..Default::default() }
-            .validate()
+        TreeConfig {
+            max_depth: self.max_depth,
+            min_samples_leaf: self.min_samples_leaf,
+            ..Default::default()
+        }
+        .validate()
     }
 }
 
@@ -108,7 +114,12 @@ fn sigmoid(x: f64) -> f64 {
 impl GradientBoosting {
     /// Creates an unfitted model.
     pub fn new(cfg: GbdtConfig) -> Self {
-        GradientBoosting { cfg, base_logit: 0.0, stages: Vec::new(), n_features: None }
+        GradientBoosting {
+            cfg,
+            base_logit: 0.0,
+            stages: Vec::new(),
+            n_features: None,
+        }
     }
 
     /// Number of fitted boosting stages.
@@ -197,9 +208,14 @@ impl Classifier for GradientBoosting {
     fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>> {
         let expected = self.n_features.ok_or(MlError::NotFitted)?;
         if x.cols() != expected {
-            return Err(MlError::FeatureMismatch { expected, got: x.cols() });
+            return Err(MlError::FeatureMismatch {
+                expected,
+                got: x.cols(),
+            });
         }
-        Ok(x.iter_rows().map(|row| sigmoid(self.raw_score(row))).collect())
+        Ok(x.iter_rows()
+            .map(|row| sigmoid(self.raw_score(row)))
+            .collect())
     }
 }
 
@@ -269,14 +285,23 @@ mod tests {
             g.fit(&x, &y).unwrap();
             accuracy_from_probs(&g.predict_proba(&x).unwrap(), &y)
         };
-        assert!(fit_with(30) >= fit_with(1), "more stages must not hurt training fit");
+        assert!(
+            fit_with(30) >= fit_with(1),
+            "more stages must not hurt training fit"
+        );
     }
 
     #[test]
     fn probabilities_are_valid_and_deterministic() {
         let (x, y) = blobs(120, 3);
-        let mut a = GradientBoosting::new(GbdtConfig { seed: 9, ..Default::default() });
-        let mut b = GradientBoosting::new(GbdtConfig { seed: 9, ..Default::default() });
+        let mut a = GradientBoosting::new(GbdtConfig {
+            seed: 9,
+            ..Default::default()
+        });
+        let mut b = GradientBoosting::new(GbdtConfig {
+            seed: 9,
+            ..Default::default()
+        });
         a.fit(&x, &y).unwrap();
         b.fit(&x, &y).unwrap();
         let pa = a.predict_proba(&x).unwrap();
@@ -286,9 +311,24 @@ mod tests {
 
     #[test]
     fn config_validation_and_errors() {
-        assert!(GbdtConfig { n_stages: 0, ..Default::default() }.validate().is_err());
-        assert!(GbdtConfig { learning_rate: 0.0, ..Default::default() }.validate().is_err());
-        assert!(GbdtConfig { subsample: 1.5, ..Default::default() }.validate().is_err());
+        assert!(GbdtConfig {
+            n_stages: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(GbdtConfig {
+            learning_rate: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(GbdtConfig {
+            subsample: 1.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
         let g = GradientBoosting::new(GbdtConfig::default());
         assert!(matches!(
             g.predict_proba(&Matrix::zeros(1, 2)).unwrap_err(),
@@ -299,7 +339,10 @@ mod tests {
     #[test]
     fn feature_mismatch_reported() {
         let (x, y) = blobs(60, 4);
-        let mut g = GradientBoosting::new(GbdtConfig { n_stages: 3, ..Default::default() });
+        let mut g = GradientBoosting::new(GbdtConfig {
+            n_stages: 3,
+            ..Default::default()
+        });
         g.fit(&x, &y).unwrap();
         assert!(g.predict_proba(&Matrix::zeros(2, 5)).is_err());
     }

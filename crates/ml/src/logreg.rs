@@ -16,7 +16,11 @@ pub struct LogRegConfig {
 
 impl Default for LogRegConfig {
     fn default() -> Self {
-        LogRegConfig { iterations: 300, lr: 0.5, l2: 1e-4 }
+        LogRegConfig {
+            iterations: 300,
+            lr: 0.5,
+            l2: 1e-4,
+        }
     }
 }
 
@@ -59,7 +63,9 @@ impl LogisticRegression {
 impl Classifier for LogisticRegression {
     fn fit(&mut self, x: &Matrix, y: &[u8]) -> Result<()> {
         if self.cfg.iterations == 0 || self.cfg.lr <= 0.0 || self.cfg.lr.is_nan() {
-            return Err(MlError::InvalidConfig("iterations >= 1 and lr > 0 required".into()));
+            return Err(MlError::InvalidConfig(
+                "iterations >= 1 and lr > 0 required".into(),
+            ));
         }
         check_fit_inputs(x, y)?;
         let standardizer = Standardizer::fit(x);
@@ -87,22 +93,33 @@ impl Classifier for LogisticRegression {
             }
             b -= self.cfg.lr * gb;
         }
-        self.state = Some(Fitted { weights: w, bias: b, standardizer });
+        self.state = Some(Fitted {
+            weights: w,
+            bias: b,
+            standardizer,
+        });
         Ok(())
     }
 
     fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>> {
         let fitted = self.state.as_ref().ok_or(MlError::NotFitted)?;
         if x.cols() != fitted.weights.len() {
-            return Err(MlError::FeatureMismatch { expected: fitted.weights.len(), got: x.cols() });
+            return Err(MlError::FeatureMismatch {
+                expected: fitted.weights.len(),
+                got: x.cols(),
+            });
         }
         let mut xs = x.clone();
         fitted.standardizer.transform_inplace(&mut xs);
         Ok(xs
             .iter_rows()
             .map(|row| {
-                let z: f64 =
-                    row.iter().zip(&fitted.weights).map(|(a, b)| a * b).sum::<f64>() + fitted.bias;
+                let z: f64 = row
+                    .iter()
+                    .zip(&fitted.weights)
+                    .map(|(a, b)| a * b)
+                    .sum::<f64>()
+                    + fitted.bias;
                 sigmoid(z)
             })
             .collect())
@@ -150,8 +167,14 @@ mod tests {
     #[test]
     fn error_paths() {
         let lr = LogisticRegression::new(LogRegConfig::default());
-        assert!(matches!(lr.predict_proba(&Matrix::zeros(1, 2)).unwrap_err(), MlError::NotFitted));
-        let mut bad = LogisticRegression::new(LogRegConfig { iterations: 0, ..Default::default() });
+        assert!(matches!(
+            lr.predict_proba(&Matrix::zeros(1, 2)).unwrap_err(),
+            MlError::NotFitted
+        ));
+        let mut bad = LogisticRegression::new(LogRegConfig {
+            iterations: 0,
+            ..Default::default()
+        });
         assert!(bad.fit(&Matrix::zeros(1, 1), &[1]).is_err());
         let (x, y) = blobs(50, 3);
         let mut lr = LogisticRegression::new(LogRegConfig::default());

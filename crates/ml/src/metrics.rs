@@ -32,7 +32,11 @@ pub fn auc(probs: &[f64], truth: &[u8]) -> f64 {
         return 0.5;
     }
     let mut order: Vec<usize> = (0..probs.len()).collect();
-    order.sort_by(|&a, &b| probs[a].partial_cmp(&probs[b]).expect("finite probabilities"));
+    order.sort_by(|&a, &b| {
+        probs[a]
+            .partial_cmp(&probs[b])
+            .expect("finite probabilities")
+    });
     // Assign mid-ranks to tied groups.
     let mut ranks = vec![0.0f64; probs.len()];
     let mut i = 0;
@@ -47,8 +51,12 @@ pub fn auc(probs: &[f64], truth: &[u8]) -> f64 {
         }
         i = j + 1;
     }
-    let rank_sum_pos: f64 =
-        truth.iter().zip(&ranks).filter(|(&t, _)| t == 1).map(|(_, &r)| r).sum();
+    let rank_sum_pos: f64 = truth
+        .iter()
+        .zip(&ranks)
+        .filter(|(&t, _)| t == 1)
+        .map(|(_, &r)| r)
+        .sum();
     (rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0) / (n_pos * n_neg) as f64
 }
 
@@ -80,7 +88,11 @@ pub fn mse(pred: &[f64], truth: &[f64]) -> f64 {
     if pred.is_empty() {
         return 0.0;
     }
-    pred.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / pred.len() as f64
+    pred.iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / pred.len() as f64
 }
 
 /// 2x2 confusion counts `(tp, fp, fn, tn)`.

@@ -28,10 +28,15 @@ pub trait Classifier {
 /// Validates the basic shape invariants shared by every `fit`.
 pub fn check_fit_inputs(x: &Matrix, y: &[u8]) -> Result<()> {
     if x.rows() != y.len() {
-        return Err(crate::error::MlError::SampleMismatch { x_rows: x.rows(), y_len: y.len() });
+        return Err(crate::error::MlError::SampleMismatch {
+            x_rows: x.rows(),
+            y_len: y.len(),
+        });
     }
     if x.rows() == 0 {
-        return Err(crate::error::MlError::DegenerateData("empty training set".into()));
+        return Err(crate::error::MlError::DegenerateData(
+            "empty training set".into(),
+        ));
     }
     Ok(())
 }

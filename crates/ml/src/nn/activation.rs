@@ -80,7 +80,10 @@ impl ActLayer {
 
     /// Backward pass: `dL/dx = dL/dy * act'(x)`.
     pub fn backward(&mut self, d_out: &Matrix) -> Matrix {
-        let y = self.output.as_ref().expect("activation backward before forward");
+        let y = self
+            .output
+            .as_ref()
+            .expect("activation backward before forward");
         assert_eq!(y.shape(), d_out.shape(), "activation grad shape");
         let mut dx = d_out.clone();
         for (d, &o) in dx.as_mut_slice().iter_mut().zip(y.as_slice()) {

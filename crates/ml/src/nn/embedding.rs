@@ -49,7 +49,10 @@ impl Embedding {
             }
             let inv = 1.0 / ids.len() as f64;
             for &id in ids {
-                debug_assert!((id as usize) < self.table.rows(), "embedding id out of range");
+                debug_assert!(
+                    (id as usize) < self.table.rows(),
+                    "embedding id out of range"
+                );
                 let src = self.table.row(id as usize).to_vec();
                 for (o, s) in out.row_mut(r).iter_mut().zip(&src) {
                     *o += s * inv;
@@ -76,7 +79,10 @@ impl Embedding {
 
     /// Scatters the pooled gradient back onto the table rows.
     pub fn backward_mean(&mut self, d_pooled: &Matrix) {
-        let batch = self.cached_batch.as_ref().expect("embedding backward before forward");
+        let batch = self
+            .cached_batch
+            .as_ref()
+            .expect("embedding backward before forward");
         assert_eq!(d_pooled.rows(), batch.len(), "embedding grad batch size");
         assert_eq!(d_pooled.cols(), self.dim(), "embedding grad dim");
         self.grad.scale(0.0);
@@ -97,7 +103,9 @@ impl Embedding {
     /// Adam step on the whole table.
     pub fn step(&mut self, cfg: &AdamConfig) {
         // Split borrows: table (params) vs grad.
-        let Embedding { table, grad, opt, .. } = self;
+        let Embedding {
+            table, grad, opt, ..
+        } = self;
         opt.step(table.as_mut_slice(), grad.as_slice(), cfg);
     }
 
@@ -150,7 +158,11 @@ mod tests {
         let _ = emb.forward_mean(&batch);
         emb.backward_mean(&Matrix::filled(1, 2, 1.0));
         emb.step(&AdamConfig::with_lr(0.1));
-        assert_eq!(emb.table().row(2), &before_untouched[..], "untouched row must not move");
+        assert_eq!(
+            emb.table().row(2),
+            &before_untouched[..],
+            "untouched row must not move"
+        );
     }
 
     #[test]

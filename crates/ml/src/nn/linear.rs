@@ -84,7 +84,8 @@ impl Linear {
 
     /// Applies one Adam step on the stored gradients.
     pub fn step(&mut self, cfg: &AdamConfig) {
-        self.opt_w.step(self.w.as_mut_slice(), self.dw.as_slice(), cfg);
+        self.opt_w
+            .step(self.w.as_mut_slice(), self.dw.as_slice(), cfg);
         self.opt_b.step(&mut self.b, &self.db, cfg);
     }
 

@@ -60,7 +60,9 @@ pub fn mse_loss(pred: &Matrix, targets: &[f64]) -> (f64, Matrix) {
 /// Sigmoid applied to a logits column, as probabilities.
 pub fn probs_from_logits(logits: &Matrix) -> Vec<f64> {
     assert_eq!(logits.cols(), 1, "expects a single output column");
-    (0..logits.rows()).map(|i| sigmoid(logits.get(i, 0))).collect()
+    (0..logits.rows())
+        .map(|i| sigmoid(logits.get(i, 0)))
+        .collect()
 }
 
 #[cfg(test)]

@@ -41,7 +41,11 @@ impl Mlp {
                 blocks.push(Block::Act(ActLayer::new(hidden_act)));
             }
         }
-        Mlp { blocks, in_dim: dims[0], out_dim: *dims.last().expect("non-empty dims") }
+        Mlp {
+            blocks,
+            in_dim: dims[0],
+            out_dim: *dims.last().expect("non-empty dims"),
+        }
     }
 
     /// Input width.
@@ -124,7 +128,12 @@ impl Default for TrainConfig {
     fn default() -> Self {
         // Paper defaults: lr 1e-2; 200 epochs for the isolated task-party
         // model; batch 128 (Titanic) / 512 (Credit, Adult).
-        TrainConfig { epochs: 200, batch_size: 128, lr: 1e-2, seed: 0 }
+        TrainConfig {
+            epochs: 200,
+            batch_size: 128,
+            lr: 1e-2,
+            seed: 0,
+        }
     }
 }
 
@@ -156,7 +165,12 @@ pub struct MlpClassifier {
 impl MlpClassifier {
     /// New classifier with the paper's embedding dims (e.g. `[64, 32]`).
     pub fn new(hidden: Vec<usize>, train: TrainConfig) -> Self {
-        MlpClassifier { hidden, activation: Activation::Relu, train, state: None }
+        MlpClassifier {
+            hidden,
+            activation: Activation::Relu,
+            train,
+            state: None,
+        }
     }
 
     /// Overrides the hidden activation.
@@ -201,7 +215,10 @@ impl Classifier for MlpClassifier {
     fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>> {
         let (mlp, standardizer) = self.state.as_ref().ok_or(MlError::NotFitted)?;
         if x.cols() != mlp.in_dim() {
-            return Err(MlError::FeatureMismatch { expected: mlp.in_dim(), got: x.cols() });
+            return Err(MlError::FeatureMismatch {
+                expected: mlp.in_dim(),
+                got: x.cols(),
+            });
         }
         let mut xs = x.clone();
         standardizer.transform_inplace(&mut xs);
@@ -224,7 +241,10 @@ impl MlpRegressor {
         dims.extend_from_slice(hidden);
         dims.push(1);
         let mut rng = rng_from_seed(seed);
-        MlpRegressor { mlp: Mlp::new(&dims, Activation::Relu, &mut rng), adam: AdamConfig::with_lr(lr) }
+        MlpRegressor {
+            mlp: Mlp::new(&dims, Activation::Relu, &mut rng),
+            adam: AdamConfig::with_lr(lr),
+        }
     }
 
     /// Input width.
@@ -301,7 +321,12 @@ mod tests {
         let (x, y) = two_moons_ish(240, 2);
         let mut clf = MlpClassifier::new(
             vec![16, 8],
-            TrainConfig { epochs: 120, batch_size: 32, lr: 1e-2, seed: 3 },
+            TrainConfig {
+                epochs: 120,
+                batch_size: 32,
+                lr: 1e-2,
+                seed: 3,
+            },
         );
         clf.fit(&x, &y).unwrap();
         let acc = accuracy_from_probs(&clf.predict_proba(&x).unwrap(), &y);
@@ -311,7 +336,12 @@ mod tests {
     #[test]
     fn classifier_is_deterministic() {
         let (x, y) = two_moons_ish(100, 4);
-        let cfg = TrainConfig { epochs: 10, batch_size: 25, lr: 1e-2, seed: 5 };
+        let cfg = TrainConfig {
+            epochs: 10,
+            batch_size: 25,
+            lr: 1e-2,
+            seed: 5,
+        };
         let mut a = MlpClassifier::new(vec![8], cfg);
         let mut b = MlpClassifier::new(vec![8], cfg);
         a.fit(&x, &y).unwrap();
@@ -335,9 +365,24 @@ mod tests {
 
     #[test]
     fn train_config_validation() {
-        assert!(TrainConfig { epochs: 0, ..Default::default() }.validate().is_err());
-        assert!(TrainConfig { batch_size: 0, ..Default::default() }.validate().is_err());
-        assert!(TrainConfig { lr: 0.0, ..Default::default() }.validate().is_err());
+        assert!(TrainConfig {
+            epochs: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(TrainConfig {
+            batch_size: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(TrainConfig {
+            lr: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
@@ -345,7 +390,12 @@ mod tests {
         let (x, y) = two_moons_ish(60, 8);
         let mut clf = MlpClassifier::new(
             vec![4],
-            TrainConfig { epochs: 2, batch_size: 16, lr: 1e-2, seed: 0 },
+            TrainConfig {
+                epochs: 2,
+                batch_size: 16,
+                lr: 1e-2,
+                seed: 0,
+            },
         );
         clf.fit(&x, &y).unwrap();
         assert!(clf.predict_proba(&Matrix::zeros(2, 5)).is_err());

@@ -13,14 +13,23 @@ pub struct AdamConfig {
 
 impl Default for AdamConfig {
     fn default() -> Self {
-        AdamConfig { lr: 1e-2, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0 }
+        AdamConfig {
+            lr: 1e-2,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+        }
     }
 }
 
 impl AdamConfig {
     /// Adam with the given learning rate and default moments.
     pub fn with_lr(lr: f64) -> Self {
-        AdamConfig { lr, ..Default::default() }
+        AdamConfig {
+            lr,
+            ..Default::default()
+        }
     }
 }
 
@@ -35,7 +44,11 @@ pub struct AdamState {
 impl AdamState {
     /// Fresh state for `n` parameters.
     pub fn new(n: usize) -> Self {
-        AdamState { m: vec![0.0; n], v: vec![0.0; n], t: 0 }
+        AdamState {
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+            t: 0,
+        }
     }
 
     /// Applies one Adam update with bias correction.
@@ -45,8 +58,10 @@ impl AdamState {
         self.t += 1;
         let bc1 = 1.0 - cfg.beta1.powi(self.t as i32);
         let bc2 = 1.0 - cfg.beta2.powi(self.t as i32);
-        for ((p, g), (m, v)) in
-            params.iter_mut().zip(grads).zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        for ((p, g), (m, v)) in params
+            .iter_mut()
+            .zip(grads)
+            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
         {
             let g = g + cfg.weight_decay * *p;
             *m = cfg.beta1 * *m + (1.0 - cfg.beta1) * g;
@@ -103,7 +118,11 @@ mod tests {
     fn weight_decay_pulls_toward_zero() {
         let mut x = [1.0f64];
         let mut state = AdamState::new(1);
-        let cfg = AdamConfig { lr: 0.05, weight_decay: 1.0, ..Default::default() };
+        let cfg = AdamConfig {
+            lr: 0.05,
+            weight_decay: 1.0,
+            ..Default::default()
+        };
         for _ in 0..300 {
             state.step(&mut x, &[0.0], &cfg); // only decay acts
         }

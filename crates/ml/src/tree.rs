@@ -69,10 +69,14 @@ impl TreeConfig {
             return Err(MlError::InvalidConfig("max_depth must be >= 1".into()));
         }
         if self.min_samples_leaf == 0 {
-            return Err(MlError::InvalidConfig("min_samples_leaf must be >= 1".into()));
+            return Err(MlError::InvalidConfig(
+                "min_samples_leaf must be >= 1".into(),
+            ));
         }
         if self.min_impurity_decrease < 0.0 {
-            return Err(MlError::InvalidConfig("min_impurity_decrease must be >= 0".into()));
+            return Err(MlError::InvalidConfig(
+                "min_impurity_decrease must be >= 0".into(),
+            ));
         }
         Ok(())
     }
@@ -80,8 +84,15 @@ impl TreeConfig {
 
 #[derive(Debug, Clone, PartialEq)]
 enum Node {
-    Split { feature: u32, threshold: f64, left: u32, right: u32 },
-    Leaf { prob: f64 },
+    Split {
+        feature: u32,
+        threshold: f64,
+        left: u32,
+        right: u32,
+    },
+    Leaf {
+        prob: f64,
+    },
 }
 
 /// A fitted (or fittable) decision tree.
@@ -112,7 +123,11 @@ struct BestSplit {
 impl DecisionTree {
     /// Creates an unfitted tree.
     pub fn new(cfg: TreeConfig) -> Self {
-        DecisionTree { cfg, nodes: Vec::new(), n_features: None }
+        DecisionTree {
+            cfg,
+            nodes: Vec::new(),
+            n_features: None,
+        }
     }
 
     /// The tree's configuration.
@@ -159,7 +174,14 @@ impl DecisionTree {
     }
 
     /// Recursively grows the tree; returns the created node id.
-    fn build(&mut self, x: &Matrix, y: &[u8], idx: &mut [usize], depth: usize, rng: &mut StdRng) -> usize {
+    fn build(
+        &mut self,
+        x: &Matrix,
+        y: &[u8],
+        idx: &mut [usize],
+        depth: usize,
+        rng: &mut StdRng,
+    ) -> usize {
         let n = idx.len();
         let pos = idx.iter().map(|&i| y[i] as usize).sum::<usize>();
         let prob = pos as f64 / n as f64;
@@ -242,8 +264,9 @@ impl DecisionTree {
                 if (n_left as usize) < min_leaf || (n_right as usize) < min_leaf {
                     continue;
                 }
-                let child =
-                    (n_left * gini(left_pos, n_left) + n_right * gini(total_pos - left_pos, n_right)) / n;
+                let child = (n_left * gini(left_pos, n_left)
+                    + n_right * gini(total_pos - left_pos, n_right))
+                    / n;
                 let decrease = parent - child;
                 if best.as_ref().is_none_or(|b| decrease > b.decrease) {
                     best = Some(BestSplit {
@@ -264,7 +287,12 @@ impl DecisionTree {
         loop {
             match &self.nodes[id] {
                 Node::Leaf { prob } => return *prob,
-                Node::Split { feature, threshold, left, right } => {
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
                     id = if row[*feature as usize] <= *threshold {
                         *left as usize
                     } else {
@@ -298,7 +326,10 @@ impl Classifier for DecisionTree {
     fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>> {
         let expected = self.n_features.ok_or(MlError::NotFitted)?;
         if x.cols() != expected {
-            return Err(MlError::FeatureMismatch { expected, got: x.cols() });
+            return Err(MlError::FeatureMismatch {
+                expected,
+                got: x.cols(),
+            });
         }
         Ok(x.iter_rows().map(|row| self.predict_row(row)).collect())
     }
@@ -327,7 +358,10 @@ mod tests {
     #[test]
     fn fits_xor_perfectly() {
         let (x, y) = xor_data();
-        let mut t = DecisionTree::new(TreeConfig { max_depth: 4, ..Default::default() });
+        let mut t = DecisionTree::new(TreeConfig {
+            max_depth: 4,
+            ..Default::default()
+        });
         t.fit(&x, &y).unwrap();
         let acc = accuracy_from_probs(&t.predict_proba(&x).unwrap(), &y);
         assert_eq!(acc, 1.0);
@@ -336,7 +370,10 @@ mod tests {
     #[test]
     fn depth_one_gives_single_leaf() {
         let (x, y) = xor_data();
-        let mut t = DecisionTree::new(TreeConfig { max_depth: 1, ..Default::default() });
+        let mut t = DecisionTree::new(TreeConfig {
+            max_depth: 1,
+            ..Default::default()
+        });
         t.fit(&x, &y).unwrap();
         assert_eq!(t.n_nodes(), 1);
         assert_eq!(t.depth(), 1);
@@ -358,7 +395,10 @@ mod tests {
     fn min_samples_leaf_is_respected() {
         let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]).unwrap();
         let y = [0, 0, 0, 1];
-        let mut t = DecisionTree::new(TreeConfig { min_samples_leaf: 2, ..Default::default() });
+        let mut t = DecisionTree::new(TreeConfig {
+            min_samples_leaf: 2,
+            ..Default::default()
+        });
         t.fit(&x, &y).unwrap();
         // The only split keeping >= 2 per side is at 1.5: leaves (0,0) (0,1).
         let probs = t.predict_proba(&x).unwrap();
@@ -373,16 +413,26 @@ mod tests {
         let bad = Matrix::zeros(1, 3);
         assert!(matches!(
             t.predict_proba(&bad).unwrap_err(),
-            MlError::FeatureMismatch { expected: 2, got: 3 }
+            MlError::FeatureMismatch {
+                expected: 2,
+                got: 3
+            }
         ));
         let unfit = DecisionTree::new(TreeConfig::default());
-        assert!(matches!(unfit.predict_proba(&bad).unwrap_err(), MlError::NotFitted));
+        assert!(matches!(
+            unfit.predict_proba(&bad).unwrap_err(),
+            MlError::NotFitted
+        ));
     }
 
     #[test]
     fn deterministic_with_subsampled_features() {
         let (x, y) = xor_data();
-        let cfg = TreeConfig { max_features: MaxFeatures::Count(1), seed: 3, ..Default::default() };
+        let cfg = TreeConfig {
+            max_features: MaxFeatures::Count(1),
+            seed: 3,
+            ..Default::default()
+        };
         let mut a = DecisionTree::new(cfg);
         let mut b = DecisionTree::new(cfg);
         a.fit(&x, &y).unwrap();
@@ -392,11 +442,24 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(TreeConfig { max_depth: 0, ..Default::default() }.validate().is_err());
-        assert!(TreeConfig { min_samples_leaf: 0, ..Default::default() }.validate().is_err());
-        assert!(TreeConfig { min_impurity_decrease: -1.0, ..Default::default() }
-            .validate()
-            .is_err());
+        assert!(TreeConfig {
+            max_depth: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(TreeConfig {
+            min_samples_leaf: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(TreeConfig {
+            min_impurity_decrease: -1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

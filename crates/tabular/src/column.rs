@@ -68,7 +68,11 @@ impl Column {
     pub fn select(&self, indices: &[usize]) -> Result<Column> {
         let check = |i: usize, len: usize| {
             if i >= len {
-                Err(TabularError::IndexOutOfBounds { context: "Column::select", index: i, len })
+                Err(TabularError::IndexOutOfBounds {
+                    context: "Column::select",
+                    index: i,
+                    len,
+                })
             } else {
                 Ok(())
             }
@@ -103,20 +107,26 @@ mod tests {
         let c = Column::Numeric(vec![1.0, 2.0]);
         assert!(c.validate("x", &ColumnKind::Numeric).is_ok());
         let c = Column::Categorical(vec![0, 1, 2]);
-        assert!(c.validate("x", &ColumnKind::Categorical { cardinality: 3 }).is_ok());
+        assert!(c
+            .validate("x", &ColumnKind::Categorical { cardinality: 3 })
+            .is_ok());
     }
 
     #[test]
     fn validate_rejects_out_of_range_category() {
         let c = Column::Categorical(vec![0, 5]);
-        let err = c.validate("x", &ColumnKind::Categorical { cardinality: 3 }).unwrap_err();
+        let err = c
+            .validate("x", &ColumnKind::Categorical { cardinality: 3 })
+            .unwrap_err();
         assert!(matches!(err, TabularError::CategoryOutOfRange { .. }));
     }
 
     #[test]
     fn validate_rejects_kind_mismatch() {
         let c = Column::Numeric(vec![1.0]);
-        assert!(c.validate("x", &ColumnKind::Categorical { cardinality: 2 }).is_err());
+        assert!(c
+            .validate("x", &ColumnKind::Categorical { cardinality: 2 })
+            .is_err());
     }
 
     #[test]

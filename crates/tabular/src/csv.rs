@@ -52,7 +52,10 @@ pub fn parse_line(line: &str, line_no: usize) -> Result<Vec<String>> {
         }
     }
     if in_quotes {
-        return Err(TabularError::Csv { line: line_no, message: "unterminated quote".into() });
+        return Err(TabularError::Csv {
+            line: line_no,
+            message: "unterminated quote".into(),
+        });
     }
     fields.push(cur);
     Ok(fields)
@@ -94,13 +97,24 @@ pub fn read_raw<R: BufRead>(reader: R) -> Result<RawTable> {
     let header = match lines.next() {
         Some((_, Ok(line))) => parse_line(&line, 1)?,
         Some((i, Err(e))) => {
-            return Err(TabularError::Csv { line: i + 1, message: e.to_string() })
+            return Err(TabularError::Csv {
+                line: i + 1,
+                message: e.to_string(),
+            })
         }
-        None => return Err(TabularError::Csv { line: 0, message: "empty input".into() }),
+        None => {
+            return Err(TabularError::Csv {
+                line: 0,
+                message: "empty input".into(),
+            })
+        }
     };
     let mut rows = Vec::new();
     for (i, line) in lines {
-        let line = line.map_err(|e| TabularError::Csv { line: i + 1, message: e.to_string() })?;
+        let line = line.map_err(|e| TabularError::Csv {
+            line: i + 1,
+            message: e.to_string(),
+        })?;
         if line.trim().is_empty() {
             continue;
         }
@@ -125,8 +139,7 @@ pub fn infer_frame(raw: &RawTable) -> Result<Frame> {
     let mut columns = Vec::with_capacity(n_cols);
     for c in 0..n_cols {
         let cells: Vec<&str> = raw.rows.iter().map(|r| r[c].as_str()).collect();
-        let parsed: Option<Vec<f64>> =
-            cells.iter().map(|s| s.trim().parse::<f64>().ok()).collect();
+        let parsed: Option<Vec<f64>> = cells.iter().map(|s| s.trim().parse::<f64>().ok()).collect();
         match parsed {
             Some(values) => {
                 specs.push(ColumnSpec::numeric(raw.header[c].clone()));
@@ -140,12 +153,17 @@ pub fn infer_frame(raw: &RawTable) -> Result<Frame> {
                 }
                 // Re-code sorted for determinism.
                 let sorted: Vec<&str> = levels.keys().copied().collect();
-                let code_of: BTreeMap<&str, u32> =
-                    sorted.iter().enumerate().map(|(i, &s)| (s, i as u32)).collect();
+                let code_of: BTreeMap<&str, u32> = sorted
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &s)| (s, i as u32))
+                    .collect();
                 let codes: Vec<u32> = cells.iter().map(|&s| code_of[s]).collect();
                 specs.push(ColumnSpec {
                     name: raw.header[c].clone(),
-                    kind: ColumnKind::Categorical { cardinality: sorted.len().max(1) as u32 },
+                    kind: ColumnKind::Categorical {
+                        cardinality: sorted.len().max(1) as u32,
+                    },
                 });
                 columns.push(Column::Categorical(codes));
             }

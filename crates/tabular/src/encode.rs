@@ -82,7 +82,9 @@ pub fn encode_frame(frame: &Frame) -> Result<(Matrix, FeatureMap)> {
                 }
             }
             (ColumnKind::Categorical { cardinality }, col) => {
-                let codes = col.as_categorical().expect("frame validated categorical column");
+                let codes = col
+                    .as_categorical()
+                    .expect("frame validated categorical column");
                 if *cardinality <= 2 {
                     for (r, &c) in codes.iter().enumerate() {
                         out.set(r, cursor, c as f64);
@@ -94,10 +96,20 @@ pub fn encode_frame(frame: &Frame) -> Result<(Matrix, FeatureMap)> {
                 }
             }
         }
-        features.push(EncodedFeature { origin: i, name: spec.name.clone(), cols: range });
+        features.push(EncodedFeature {
+            origin: i,
+            name: spec.name.clone(),
+            cols: range,
+        });
         cursor += w;
     }
-    Ok((out, FeatureMap { features, encoded_width: width }))
+    Ok((
+        out,
+        FeatureMap {
+            features,
+            encoded_width: width,
+        },
+    ))
 }
 
 /// Per-column standardization (z-score) fitted on one matrix and applied to
@@ -136,7 +148,11 @@ impl Standardizer {
 
     /// Applies the fitted transform in place.
     pub fn transform_inplace(&self, x: &mut Matrix) {
-        assert_eq!(x.cols(), self.means.len(), "standardizer fitted on different width");
+        assert_eq!(
+            x.cols(),
+            self.means.len(),
+            "standardizer fitted on different width"
+        );
         for r in 0..x.rows() {
             let row = x.row_mut(r);
             for (c, v) in row.iter_mut().enumerate() {

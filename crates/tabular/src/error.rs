@@ -6,17 +6,33 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq)]
 pub enum TabularError {
     /// A column length did not match the frame's row count.
-    LengthMismatch { expected: usize, got: usize, column: String },
+    LengthMismatch {
+        expected: usize,
+        got: usize,
+        column: String,
+    },
     /// A categorical value was outside the declared cardinality.
-    CategoryOutOfRange { column: String, value: u32, cardinality: u32 },
+    CategoryOutOfRange {
+        column: String,
+        value: u32,
+        cardinality: u32,
+    },
     /// A column name was not found in the schema.
     UnknownColumn(String),
     /// A column name appears more than once in the schema.
     DuplicateColumn(String),
     /// Matrix shapes were incompatible for the requested operation.
-    ShapeMismatch { context: &'static str, lhs: (usize, usize), rhs: (usize, usize) },
+    ShapeMismatch {
+        context: &'static str,
+        lhs: (usize, usize),
+        rhs: (usize, usize),
+    },
     /// An index was out of bounds.
-    IndexOutOfBounds { context: &'static str, index: usize, len: usize },
+    IndexOutOfBounds {
+        context: &'static str,
+        index: usize,
+        len: usize,
+    },
     /// A parameter was invalid (empty dataset, bad fraction, ...).
     InvalidParameter(String),
     /// CSV input could not be parsed.
@@ -26,22 +42,46 @@ pub enum TabularError {
 impl fmt::Display for TabularError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TabularError::LengthMismatch { expected, got, column } => {
-                write!(f, "column `{column}` has {got} values, frame expects {expected}")
+            TabularError::LengthMismatch {
+                expected,
+                got,
+                column,
+            } => {
+                write!(
+                    f,
+                    "column `{column}` has {got} values, frame expects {expected}"
+                )
             }
-            TabularError::CategoryOutOfRange { column, value, cardinality } => {
-                write!(f, "column `{column}`: category {value} >= cardinality {cardinality}")
+            TabularError::CategoryOutOfRange {
+                column,
+                value,
+                cardinality,
+            } => {
+                write!(
+                    f,
+                    "column `{column}`: category {value} >= cardinality {cardinality}"
+                )
             }
             TabularError::UnknownColumn(name) => write!(f, "unknown column `{name}`"),
             TabularError::DuplicateColumn(name) => write!(f, "duplicate column `{name}`"),
             TabularError::ShapeMismatch { context, lhs, rhs } => {
-                write!(f, "{context}: shapes {}x{} and {}x{} incompatible", lhs.0, lhs.1, rhs.0, rhs.1)
+                write!(
+                    f,
+                    "{context}: shapes {}x{} and {}x{} incompatible",
+                    lhs.0, lhs.1, rhs.0, rhs.1
+                )
             }
-            TabularError::IndexOutOfBounds { context, index, len } => {
+            TabularError::IndexOutOfBounds {
+                context,
+                index,
+                len,
+            } => {
                 write!(f, "{context}: index {index} out of bounds for length {len}")
             }
             TabularError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
-            TabularError::Csv { line, message } => write!(f, "csv parse error on line {line}: {message}"),
+            TabularError::Csv { line, message } => {
+                write!(f, "csv parse error on line {line}: {message}")
+            }
         }
     }
 }

@@ -36,7 +36,11 @@ impl Frame {
             }
             col.validate(&spec.name, &spec.kind)?;
         }
-        Ok(Frame { schema, columns, n_rows })
+        Ok(Frame {
+            schema,
+            columns,
+            n_rows,
+        })
     }
 
     /// The frame's schema.
@@ -105,7 +109,11 @@ impl Dataset {
                 "labels must be 0/1, found {bad}"
             )));
         }
-        Ok(Dataset { name: name.into(), frame, labels })
+        Ok(Dataset {
+            name: name.into(),
+            frame,
+            labels,
+        })
     }
 
     /// Number of samples.
@@ -152,7 +160,10 @@ mod tests {
         .unwrap();
         Frame::new(
             schema,
-            vec![Column::Numeric(vec![1.0, 2.0, 3.0]), Column::Categorical(vec![0, 1, 2])],
+            vec![
+                Column::Numeric(vec![1.0, 2.0, 3.0]),
+                Column::Categorical(vec![0, 1, 2]),
+            ],
         )
         .unwrap()
     }

@@ -19,12 +19,20 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows x cols` matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
-        Matrix { rows, cols, data: vec![value; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Builds a matrix from a row-major data vector.
@@ -56,7 +64,11 @@ impl Matrix {
             }
             data.extend_from_slice(r);
         }
-        Ok(Matrix { rows: rows.len(), cols, data })
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
     }
 
     /// Number of rows.
@@ -130,7 +142,9 @@ impl Matrix {
     /// Copies column `c` into a freshly allocated vector.
     pub fn col(&self, c: usize) -> Vec<f64> {
         debug_assert!(c < self.cols);
-        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + c])
+            .collect()
     }
 
     /// Returns a new matrix containing only the given rows (in order).
@@ -146,7 +160,11 @@ impl Matrix {
             }
             data.extend_from_slice(self.row(i));
         }
-        Ok(Matrix { rows: indices.len(), cols: self.cols, data })
+        Ok(Matrix {
+            rows: indices.len(),
+            cols: self.cols,
+            data,
+        })
     }
 
     /// Returns a new matrix containing only the given columns (in order).
@@ -167,7 +185,11 @@ impl Matrix {
                 data.push(row[c]);
             }
         }
-        Ok(Matrix { rows: self.rows, cols: indices.len(), data })
+        Ok(Matrix {
+            rows: self.rows,
+            cols: indices.len(),
+            data,
+        })
     }
 
     /// Horizontally stacks matrices that share a row count.
@@ -473,7 +495,11 @@ mod tests {
     #[test]
     fn matmul_t_equals_explicit_transpose() {
         let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
-        let b = m(4, 3, &[1.0, 0.0, 2.0, 0.5, 1.0, 1.5, 2.0, 2.0, 2.0, 3.0, 1.0, 0.0]);
+        let b = m(
+            4,
+            3,
+            &[1.0, 0.0, 2.0, 0.5, 1.0, 1.5, 2.0, 2.0, 2.0, 3.0, 1.0, 0.0],
+        );
         let fast = a.matmul_t(&b).unwrap();
         let slow = a.matmul(&b.transpose()).unwrap();
         assert_eq!(fast, slow);

@@ -44,12 +44,18 @@ pub struct ColumnSpec {
 impl ColumnSpec {
     /// Numeric column spec.
     pub fn numeric(name: impl Into<String>) -> Self {
-        ColumnSpec { name: name.into(), kind: ColumnKind::Numeric }
+        ColumnSpec {
+            name: name.into(),
+            kind: ColumnKind::Numeric,
+        }
     }
 
     /// Categorical column spec with the given cardinality.
     pub fn categorical(name: impl Into<String>, cardinality: u32) -> Self {
-        ColumnSpec { name: name.into(), kind: ColumnKind::Categorical { cardinality } }
+        ColumnSpec {
+            name: name.into(),
+            kind: ColumnKind::Categorical { cardinality },
+        }
     }
 }
 
@@ -136,9 +142,18 @@ mod tests {
     #[test]
     fn encoded_width_rules() {
         assert_eq!(ColumnKind::Numeric.encoded_width(), 1);
-        assert_eq!(ColumnKind::Categorical { cardinality: 2 }.encoded_width(), 1);
-        assert_eq!(ColumnKind::Categorical { cardinality: 3 }.encoded_width(), 3);
-        assert_eq!(ColumnKind::Categorical { cardinality: 8 }.encoded_width(), 8);
+        assert_eq!(
+            ColumnKind::Categorical { cardinality: 2 }.encoded_width(),
+            1
+        );
+        assert_eq!(
+            ColumnKind::Categorical { cardinality: 3 }.encoded_width(),
+            3
+        );
+        assert_eq!(
+            ColumnKind::Categorical { cardinality: 8 }.encoded_width(),
+            8
+        );
     }
 
     #[test]

@@ -33,7 +33,10 @@ pub fn train_test_indices(n: usize, train_frac: f64, seed: u64) -> Result<TrainT
     let idx = permutation(n, seed);
     let n_train = ((n as f64) * train_frac).round() as usize;
     let n_train = n_train.min(n);
-    Ok(TrainTestIndices { train: idx[..n_train].to_vec(), test: idx[n_train..].to_vec() })
+    Ok(TrainTestIndices {
+        train: idx[..n_train].to_vec(),
+        test: idx[n_train..].to_vec(),
+    })
 }
 
 /// Assignment of original feature columns to the two parties.
@@ -75,8 +78,14 @@ impl PartyAssignment {
     /// Builds an assignment from explicit column names.
     pub fn from_names(dataset: &Dataset, task: &[&str], data: &[&str]) -> Result<Self> {
         let schema = dataset.frame.schema();
-        let task = task.iter().map(|n| schema.index_of(n)).collect::<Result<Vec<_>>>()?;
-        let data = data.iter().map(|n| schema.index_of(n)).collect::<Result<Vec<_>>>()?;
+        let task = task
+            .iter()
+            .map(|n| schema.index_of(n))
+            .collect::<Result<Vec<_>>>()?;
+        let data = data
+            .iter()
+            .map(|n| schema.index_of(n))
+            .collect::<Result<Vec<_>>>()?;
         let out = PartyAssignment { task, data };
         out.validate(schema.len())?;
         Ok(out)
@@ -137,13 +146,25 @@ mod tests {
 
     #[test]
     fn assignment_validation() {
-        let good = PartyAssignment { task: vec![0, 2], data: vec![1] };
+        let good = PartyAssignment {
+            task: vec![0, 2],
+            data: vec![1],
+        };
         assert!(good.validate(3).is_ok());
-        let overlap = PartyAssignment { task: vec![0, 1], data: vec![1, 2] };
+        let overlap = PartyAssignment {
+            task: vec![0, 1],
+            data: vec![1, 2],
+        };
         assert!(overlap.validate(3).is_err());
-        let missing = PartyAssignment { task: vec![0], data: vec![1] };
+        let missing = PartyAssignment {
+            task: vec![0],
+            data: vec![1],
+        };
         assert!(missing.validate(3).is_err());
-        let oob = PartyAssignment { task: vec![5], data: vec![0, 1, 2] };
+        let oob = PartyAssignment {
+            task: vec![5],
+            data: vec![0, 1, 2],
+        };
         assert!(oob.validate(3).is_err());
     }
 

@@ -50,7 +50,11 @@ pub fn aggregate_series(runs: &[Vec<f64>]) -> Vec<PointStats> {
             if run.is_empty() {
                 continue;
             }
-            let v = if t < run.len() { run[t] } else { *run.last().expect("non-empty") };
+            let v = if t < run.len() {
+                run[t]
+            } else {
+                *run.last().expect("non-empty")
+            };
             buf.push(v);
         }
         out.push(PointStats {
@@ -89,7 +93,11 @@ pub fn silverman_bandwidth(xs: &[f64]) -> f64 {
 /// `[min - pad, max + pad]`.
 pub fn kde(xs: &[f64], points: usize) -> Kde {
     if xs.is_empty() || points == 0 {
-        return Kde { grid: vec![], density: vec![], bandwidth: 0.0 };
+        return Kde {
+            grid: vec![],
+            density: vec![],
+            bandwidth: 0.0,
+        };
     }
     let bw = silverman_bandwidth(xs);
     let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
@@ -99,7 +107,11 @@ pub fn kde(xs: &[f64], points: usize) -> Kde {
     }
     let pad = 3.0 * bw;
     let (lo, hi) = (lo - pad, hi + pad);
-    let step = if points > 1 { (hi - lo) / (points - 1) as f64 } else { 0.0 };
+    let step = if points > 1 {
+        (hi - lo) / (points - 1) as f64
+    } else {
+        0.0
+    };
     let norm = 1.0 / (xs.len() as f64 * bw * (2.0 * std::f64::consts::PI).sqrt());
     let mut grid = Vec::with_capacity(points);
     let mut density = Vec::with_capacity(points);
@@ -113,7 +125,11 @@ pub fn kde(xs: &[f64], points: usize) -> Kde {
         grid.push(g);
         density.push(d * norm);
     }
-    Kde { grid, density, bandwidth: bw }
+    Kde {
+        grid,
+        density,
+        bandwidth: bw,
+    }
 }
 
 /// Pearson correlation between two equal-length slices.

@@ -86,9 +86,17 @@ pub fn adult(cfg: SynthConfig) -> Result<Dataset> {
         let nat = sample_cat(&mut rng, &nat_w);
 
         let has_gain = rng.random::<f64>() < super::sigmoid(-2.6 + 0.55 * skill);
-        let cg = if has_gain { (7.2 + 0.9 * normal(&mut rng)).exp() } else { 0.0 };
+        let cg = if has_gain {
+            (7.2 + 0.9 * normal(&mut rng)).exp()
+        } else {
+            0.0
+        };
         let has_loss = rng.random::<f64>() < 0.047;
-        let cl = if has_loss { (7.4 + 0.35 * normal(&mut rng)).exp() } else { 0.0 };
+        let cl = if has_loss {
+            (7.4 + 0.35 * normal(&mut rng)).exp()
+        } else {
+            0.0
+        };
         let h = (40.0 + 11.0 * normal(&mut rng) + 2.5 * skill).clamp(1.0, 99.0);
         let fw = (11.7 + 0.5 * normal(&mut rng)).exp();
 
@@ -97,7 +105,8 @@ pub fn adult(cfg: SynthConfig) -> Result<Dataset> {
             + 0.17 * (edu as f64 - 7.0) * 0.5
             + 0.09 * (occ as f64 - 6.5) * 0.5
             + 0.25 * sx as f64
-            + 0.07 * (a - 38.0) - 0.0012 * (a - 38.0) * (a - 38.0)
+            + 0.07 * (a - 38.0)
+            - 0.0012 * (a - 38.0) * (a - 38.0)
             + if cg > 3000.0 { 2.6 } else { 0.0 }
             + if cl > 1500.0 { 1.2 } else { 0.0 }
             + 0.05 * (h - 40.0)
@@ -182,13 +191,22 @@ mod tests {
     #[test]
     fn positive_rate_near_target() {
         let ds = adult(SynthConfig::sized(15_000, 2)).unwrap();
-        assert!((ds.positive_rate() - POSITIVE_RATE).abs() < 0.02, "{}", ds.positive_rate());
+        assert!(
+            (ds.positive_rate() - POSITIVE_RATE).abs() < 0.02,
+            "{}",
+            ds.positive_rate()
+        );
     }
 
     #[test]
     fn capital_gain_is_strong_signal() {
         let ds = adult(SynthConfig::sized(15_000, 3)).unwrap();
-        let cg = ds.frame.column_by_name("capital_gain").unwrap().as_numeric().unwrap();
+        let cg = ds
+            .frame
+            .column_by_name("capital_gain")
+            .unwrap()
+            .as_numeric()
+            .unwrap();
         let (mut hi_pos, mut hi_n, mut lo_pos, mut lo_n) = (0.0, 0.0, 0.0, 0.0);
         for (g, &y) in cg.iter().zip(&ds.labels) {
             if *g > 3000.0 {
@@ -205,8 +223,18 @@ mod tests {
     #[test]
     fn education_num_tracks_education_bin() {
         let ds = adult(SynthConfig::sized(400, 4)).unwrap();
-        let edu = ds.frame.column_by_name("education").unwrap().as_categorical().unwrap();
-        let edu_num = ds.frame.column_by_name("education_num").unwrap().as_numeric().unwrap();
+        let edu = ds
+            .frame
+            .column_by_name("education")
+            .unwrap()
+            .as_categorical()
+            .unwrap();
+        let edu_num = ds
+            .frame
+            .column_by_name("education_num")
+            .unwrap()
+            .as_numeric()
+            .unwrap();
         for i in 0..400 {
             assert_eq!(edu_num[i], (edu[i] + 1) as f64);
         }
@@ -215,7 +243,12 @@ mod tests {
     #[test]
     fn married_earn_more() {
         let ds = adult(SynthConfig::sized(15_000, 5)).unwrap();
-        let mar = ds.frame.column_by_name("marital").unwrap().as_categorical().unwrap();
+        let mar = ds
+            .frame
+            .column_by_name("marital")
+            .unwrap()
+            .as_categorical()
+            .unwrap();
         let (mut m_pos, mut m_n, mut s_pos, mut s_n) = (0.0, 0.0, 0.0, 0.0);
         for (m, &y) in mar.iter().zip(&ds.labels) {
             if *m == 0 {

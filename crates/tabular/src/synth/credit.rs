@@ -83,9 +83,7 @@ pub fn credit(cfg: SynthConfig) -> Result<Dataset> {
 
         // High irreducible noise keeps the achievable gain small, like the
         // paper's Credit results.
-        let logit = PAY0_EFFECT[p0 as usize]
-            + 0.18 * pay_sum
-            + 0.5 * (util - 0.5)
+        let logit = PAY0_EFFECT[p0 as usize] + 0.18 * pay_sum + 0.5 * (util - 0.5)
             - 0.12 * (lb.ln() - 9.3)
             - 0.004 * (a - 35.0)
             + 0.05 * (edu as f64 - 1.0)
@@ -169,13 +167,22 @@ mod tests {
     #[test]
     fn positive_rate_near_target() {
         let ds = credit(SynthConfig::sized(12_000, 2)).unwrap();
-        assert!((ds.positive_rate() - POSITIVE_RATE).abs() < 0.02, "{}", ds.positive_rate());
+        assert!(
+            (ds.positive_rate() - POSITIVE_RATE).abs() < 0.02,
+            "{}",
+            ds.positive_rate()
+        );
     }
 
     #[test]
     fn repayment_status_predicts_default() {
         let ds = credit(SynthConfig::sized(12_000, 3)).unwrap();
-        let pay0 = ds.frame.column_by_name("pay_0").unwrap().as_categorical().unwrap();
+        let pay0 = ds
+            .frame
+            .column_by_name("pay_0")
+            .unwrap()
+            .as_categorical()
+            .unwrap();
         let mut rate = [(0.0, 0.0); 3];
         for (p, &y) in pay0.iter().zip(&ds.labels) {
             rate[*p as usize].0 += y as f64;
@@ -183,14 +190,27 @@ mod tests {
         }
         let r0 = rate[0].0 / rate[0].1;
         let r2 = rate[2].0 / rate[2].1;
-        assert!(r2 > r0 + 0.15, "delayed payers must default more: {r0} vs {r2}");
+        assert!(
+            r2 > r0 + 0.15,
+            "delayed payers must default more: {r0} vs {r2}"
+        );
     }
 
     #[test]
     fn bills_bounded_by_limit_scale() {
         let ds = credit(SynthConfig::sized(500, 4)).unwrap();
-        let lb = ds.frame.column_by_name("limit_bal").unwrap().as_numeric().unwrap();
-        let b1 = ds.frame.column_by_name("bill_amt1").unwrap().as_numeric().unwrap();
+        let lb = ds
+            .frame
+            .column_by_name("limit_bal")
+            .unwrap()
+            .as_numeric()
+            .unwrap();
+        let b1 = ds
+            .frame
+            .column_by_name("bill_amt1")
+            .unwrap()
+            .as_numeric()
+            .unwrap();
         for i in 0..500 {
             assert!(b1[i] >= 0.0 && b1[i] <= lb[i] * 1.2 + 1e-9);
         }

@@ -111,7 +111,10 @@ impl SynthConfig {
 
     /// Reduced-size dataset (for tests and fast benches).
     pub fn sized(n_rows: usize, seed: u64) -> Self {
-        SynthConfig { n_rows: Some(n_rows), seed }
+        SynthConfig {
+            n_rows: Some(n_rows),
+            seed,
+        }
     }
 }
 
@@ -138,14 +141,37 @@ pub fn party_assignment(id: DatasetId, dataset: &Dataset) -> Result<PartyAssignm
             dataset,
             &["limit_bal", "age", "education", "marriage"],
             &[
-                "sex", "pay_0", "pay_1", "pay_2", "pay_3", "pay_4", "pay_5", "bill_amt1",
-                "bill_amt2", "bill_amt3", "bill_amt4", "bill_amt5", "bill_amt6", "pay_amt1",
-                "pay_amt2", "pay_amt3", "pay_amt4", "pay_amt5", "pay_amt6",
+                "sex",
+                "pay_0",
+                "pay_1",
+                "pay_2",
+                "pay_3",
+                "pay_4",
+                "pay_5",
+                "bill_amt1",
+                "bill_amt2",
+                "bill_amt3",
+                "bill_amt4",
+                "bill_amt5",
+                "bill_amt6",
+                "pay_amt1",
+                "pay_amt2",
+                "pay_amt3",
+                "pay_amt4",
+                "pay_amt5",
+                "pay_amt6",
             ],
         ),
         DatasetId::Adult => PartyAssignment::from_names(
             dataset,
-            &["education", "occupation", "workclass", "marital", "relationship", "sex"],
+            &[
+                "education",
+                "occupation",
+                "workclass",
+                "marital",
+                "relationship",
+                "sex",
+            ],
             &[
                 "native_country",
                 "race",
@@ -219,7 +245,13 @@ pub(crate) fn calibrate_intercept(logits: &[f64], target_rate: f64) -> f64 {
 pub(crate) fn labels_from_logits(rng: &mut impl Rng, logits: &[f64], intercept: f64) -> Vec<u8> {
     logits
         .iter()
-        .map(|&l| if rng.random::<f64>() < sigmoid(l + intercept) { 1 } else { 0 })
+        .map(|&l| {
+            if rng.random::<f64>() < sigmoid(l + intercept) {
+                1
+            } else {
+                0
+            }
+        })
         .collect()
 }
 
@@ -271,10 +303,8 @@ mod tests {
             let assignment = party_assignment(id, &ds).unwrap();
             assignment.validate(ds.frame.n_cols()).unwrap();
             let (_, map) = encode_frame(&ds.frame).unwrap();
-            let task_width: usize =
-                assignment.task.iter().map(|&i| map.cols_of(i).len()).sum();
-            let data_width: usize =
-                assignment.data.iter().map(|&i| map.cols_of(i).len()).sum();
+            let task_width: usize = assignment.task.iter().map(|&i| map.cols_of(i).len()).sum();
+            let data_width: usize = assignment.data.iter().map(|&i| map.cols_of(i).len()).sum();
             assert_eq!(task_width, m.paper_task_width, "{id} task width");
             assert_eq!(data_width, m.paper_data_width, "{id} data width");
         }

@@ -186,15 +186,34 @@ mod tests {
     #[test]
     fn positive_rate_near_target() {
         let ds = titanic(SynthConfig::sized(8000, 2)).unwrap();
-        assert!((ds.positive_rate() - POSITIVE_RATE).abs() < 0.03, "{}", ds.positive_rate());
+        assert!(
+            (ds.positive_rate() - POSITIVE_RATE).abs() < 0.03,
+            "{}",
+            ds.positive_rate()
+        );
     }
 
     #[test]
     fn family_size_is_consistent() {
         let ds = titanic(SynthConfig::sized(300, 3)).unwrap();
-        let sibsp = ds.frame.column_by_name("sibsp").unwrap().as_numeric().unwrap();
-        let parch = ds.frame.column_by_name("parch").unwrap().as_numeric().unwrap();
-        let fam = ds.frame.column_by_name("family_size").unwrap().as_numeric().unwrap();
+        let sibsp = ds
+            .frame
+            .column_by_name("sibsp")
+            .unwrap()
+            .as_numeric()
+            .unwrap();
+        let parch = ds
+            .frame
+            .column_by_name("parch")
+            .unwrap()
+            .as_numeric()
+            .unwrap();
+        let fam = ds
+            .frame
+            .column_by_name("family_size")
+            .unwrap()
+            .as_numeric()
+            .unwrap();
         for i in 0..300 {
             assert_eq!(fam[i], sibsp[i] + parch[i] + 1.0);
         }
@@ -203,7 +222,12 @@ mod tests {
     #[test]
     fn females_survive_more_often() {
         let ds = titanic(SynthConfig::sized(6000, 4)).unwrap();
-        let sex = ds.frame.column_by_name("sex").unwrap().as_categorical().unwrap();
+        let sex = ds
+            .frame
+            .column_by_name("sex")
+            .unwrap()
+            .as_categorical()
+            .unwrap();
         let (mut f_pos, mut f_n, mut m_pos, mut m_n) = (0.0, 0.0, 0.0, 0.0);
         for (s, &y) in sex.iter().zip(&ds.labels) {
             if *s == 1 {
@@ -222,7 +246,12 @@ mod tests {
         // Low decks (good cabins) must out-survive high decks: this is the
         // independent data-party signal the market trades on.
         let ds = titanic(SynthConfig::sized(8000, 5)).unwrap();
-        let deck = ds.frame.column_by_name("deck").unwrap().as_categorical().unwrap();
+        let deck = ds
+            .frame
+            .column_by_name("deck")
+            .unwrap()
+            .as_categorical()
+            .unwrap();
         let (mut lo_pos, mut lo_n, mut hi_pos, mut hi_n) = (0.0, 0.0, 0.0, 0.0);
         for (d, &y) in deck.iter().zip(&ds.labels) {
             if *d <= 1 {

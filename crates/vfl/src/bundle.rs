@@ -83,7 +83,10 @@ impl BundleMask {
     /// Validates that every member is `< n_features`.
     pub fn validate(&self, n_features: usize) -> Result<()> {
         match self.iter().find(|&f| f >= n_features) {
-            Some(feature) => Err(VflError::BundleOutOfRange { feature, n_features }),
+            Some(feature) => Err(VflError::BundleOutOfRange {
+                feature,
+                n_features,
+            }),
             None => Ok(()),
         }
     }
@@ -138,7 +141,9 @@ impl BundleCatalog {
             }
             CatalogStrategy::Sampled { target, seed } => {
                 if target == 0 {
-                    return Err(VflError::InvalidScenario("sampled target must be >= 1".into()));
+                    return Err(VflError::InvalidScenario(
+                        "sampled target must be >= 1".into(),
+                    ));
                 }
                 let mut rng = StdRng::seed_from_u64(seed ^ 0xb0_0d1e_5eed);
                 let mut set = std::collections::BTreeSet::new();
@@ -164,7 +169,10 @@ impl BundleCatalog {
         };
         bundles.sort();
         bundles.dedup();
-        Ok(BundleCatalog { bundles, n_features })
+        Ok(BundleCatalog {
+            bundles,
+            n_features,
+        })
     }
 
     /// Bundles in the catalog, sorted ascending by mask.
@@ -219,7 +227,10 @@ mod tests {
         assert!(BundleMask::singleton(5).validate(6).is_ok());
         assert!(matches!(
             BundleMask::singleton(5).validate(5).unwrap_err(),
-            VflError::BundleOutOfRange { feature: 5, n_features: 5 }
+            VflError::BundleOutOfRange {
+                feature: 5,
+                n_features: 5
+            }
         ));
     }
 
@@ -232,16 +243,34 @@ mod tests {
 
     #[test]
     fn sampled_catalog_contains_singletons_and_full() {
-        let c =
-            BundleCatalog::generate(10, CatalogStrategy::Sampled { target: 40, seed: 1 }).unwrap();
+        let c = BundleCatalog::generate(
+            10,
+            CatalogStrategy::Sampled {
+                target: 40,
+                seed: 1,
+            },
+        )
+        .unwrap();
         for f in 0..10 {
-            assert!(c.bundles().contains(&BundleMask::singleton(f)), "missing singleton {f}");
+            assert!(
+                c.bundles().contains(&BundleMask::singleton(f)),
+                "missing singleton {f}"
+            );
         }
-        assert!(c.bundles().contains(&BundleMask::all(10)), "missing full bundle");
+        assert!(
+            c.bundles().contains(&BundleMask::all(10)),
+            "missing full bundle"
+        );
         assert!(c.len() >= 40);
         // Deterministic given seed.
-        let c2 =
-            BundleCatalog::generate(10, CatalogStrategy::Sampled { target: 40, seed: 1 }).unwrap();
+        let c2 = BundleCatalog::generate(
+            10,
+            CatalogStrategy::Sampled {
+                target: 40,
+                seed: 1,
+            },
+        )
+        .unwrap();
         assert_eq!(c, c2);
     }
 

@@ -48,8 +48,15 @@ mod tests {
     fn scenario() -> VflScenario {
         let ds = synth::generate(DatasetId::Titanic, SynthConfig::sized(400, 1)).unwrap();
         let assignment = synth::party_assignment(DatasetId::Titanic, &ds).unwrap();
-        VflScenario::build(&ds, &assignment, &ScenarioConfig { seed: 3, ..Default::default() })
-            .unwrap()
+        VflScenario::build(
+            &ds,
+            &assignment,
+            &ScenarioConfig {
+                seed: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap()
     }
 
     #[test]

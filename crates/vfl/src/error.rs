@@ -22,8 +22,14 @@ pub enum VflError {
 impl fmt::Display for VflError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            VflError::BundleOutOfRange { feature, n_features } => {
-                write!(f, "bundle feature {feature} out of range (data party has {n_features})")
+            VflError::BundleOutOfRange {
+                feature,
+                n_features,
+            } => {
+                write!(
+                    f,
+                    "bundle feature {feature} out of range (data party has {n_features})"
+                )
             }
             VflError::InvalidScenario(msg) => write!(f, "invalid scenario: {msg}"),
             VflError::EmptyAlignment => write!(f, "parties share no aligned samples"),

@@ -30,5 +30,5 @@ pub use course::{course_seed, performance_gain, run_course};
 pub use error::{Result, VflError};
 pub use model_cfg::BaseModelConfig;
 pub use oracle::GainOracle;
-pub use secure::{blind_settlement, keygen, Ciphertext, PublicKey, SecretKey};
 pub use scenario::{DataFeature, ScenarioConfig, VflScenario};
+pub use secure::{blind_settlement, keygen, Ciphertext, PublicKey, SecretKey};

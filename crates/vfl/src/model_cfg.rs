@@ -12,7 +12,10 @@ pub enum BaseModelConfig {
     /// Random Forest with gini splitting.
     RandomForest(ForestConfig),
     /// 3-layer MLP (hidden dims default 64/32 as in the paper).
-    Mlp { hidden: [usize; 2], train: TrainConfig },
+    Mlp {
+        hidden: [usize; 2],
+        train: TrainConfig,
+    },
     /// Gradient-boosted trees (SecureBoost-style, model-agnosticism demo).
     Gbdt(GbdtConfig),
     /// Logistic regression (extra baseline for ablations).
@@ -24,14 +27,22 @@ pub enum BaseModelConfig {
 impl BaseModelConfig {
     /// Paper-style Random Forest defaults with a seed.
     pub fn forest(seed: u64) -> Self {
-        BaseModelConfig::RandomForest(ForestConfig { seed, ..Default::default() })
+        BaseModelConfig::RandomForest(ForestConfig {
+            seed,
+            ..Default::default()
+        })
     }
 
     /// Paper-style MLP defaults: hidden 64/32, lr 1e-2.
     pub fn mlp(epochs: usize, batch_size: usize, seed: u64) -> Self {
         BaseModelConfig::Mlp {
             hidden: [64, 32],
-            train: TrainConfig { epochs, batch_size, lr: 1e-2, seed },
+            train: TrainConfig {
+                epochs,
+                batch_size,
+                lr: 1e-2,
+                seed,
+            },
         }
     }
 
@@ -76,7 +87,10 @@ mod tests {
         assert_eq!(BaseModelConfig::mlp(10, 64, 0).name(), "mlp");
         assert_eq!(BaseModelConfig::Majority.name(), "majority");
         assert_eq!(BaseModelConfig::Gbdt(GbdtConfig::default()).name(), "gbdt");
-        assert_eq!(BaseModelConfig::LogReg(LogRegConfig::default()).name(), "logreg");
+        assert_eq!(
+            BaseModelConfig::LogReg(LogRegConfig::default()).name(),
+            "logreg"
+        );
     }
 
     #[test]

@@ -24,7 +24,11 @@ pub struct QuoteMsg {
 pub enum OfferMsg {
     /// A bundle offered for this round's VFL course; `is_final` marks the
     /// data party's acceptance (termination Case 2 / II).
-    Bundle { bundle: BundleMask, is_final: bool, round: u32 },
+    Bundle {
+        bundle: BundleMask,
+        is_final: bool,
+        round: u32,
+    },
     /// No affordable bundle (termination Case 1 / I).
     Withdraw { round: u32 },
 }
@@ -78,7 +82,10 @@ impl Transcript {
     /// Appends a message, enforcing non-decreasing rounds.
     pub fn push(&mut self, msg: Message) {
         if let Some(last) = self.messages.last() {
-            assert!(msg.round() >= last.round(), "protocol rounds must not decrease");
+            assert!(
+                msg.round() >= last.round(),
+                "protocol rounds must not decrease"
+            );
         }
         self.messages.push(msg);
     }
@@ -102,7 +109,13 @@ impl Transcript {
     pub fn quotes(&self) -> Vec<QuoteMsg> {
         self.messages
             .iter()
-            .filter_map(|m| if let Message::Quote(q) = m { Some(*q) } else { None })
+            .filter_map(|m| {
+                if let Message::Quote(q) = m {
+                    Some(*q)
+                } else {
+                    None
+                }
+            })
             .collect()
     }
 
@@ -125,14 +138,25 @@ mod tests {
     #[test]
     fn transcript_orders_rounds() {
         let mut t = Transcript::default();
-        t.push(Message::Quote(QuoteMsg { rate: 1.0, base: 0.5, cap: 2.0, round: 1 }));
+        t.push(Message::Quote(QuoteMsg {
+            rate: 1.0,
+            base: 0.5,
+            cap: 2.0,
+            round: 1,
+        }));
         t.push(Message::Offer(OfferMsg::Bundle {
             bundle: BundleMask::singleton(0),
             is_final: false,
             round: 1,
         }));
-        t.push(Message::GainReport(GainReportMsg { gain: 0.1, round: 1 }));
-        t.push(Message::Settle(SettleMsg::Pay { amount: 1.2, round: 2 }));
+        t.push(Message::GainReport(GainReportMsg {
+            gain: 0.1,
+            round: 1,
+        }));
+        t.push(Message::Settle(SettleMsg::Pay {
+            amount: 1.2,
+            round: 2,
+        }));
         assert_eq!(t.len(), 4);
         assert_eq!(t.quotes().len(), 1);
         assert!(matches!(t.settlement(), Some(SettleMsg::Pay { .. })));
@@ -142,8 +166,18 @@ mod tests {
     #[should_panic(expected = "rounds must not decrease")]
     fn transcript_rejects_rewinds() {
         let mut t = Transcript::default();
-        t.push(Message::Quote(QuoteMsg { rate: 1.0, base: 0.5, cap: 2.0, round: 2 }));
-        t.push(Message::Quote(QuoteMsg { rate: 1.0, base: 0.5, cap: 2.0, round: 1 }));
+        t.push(Message::Quote(QuoteMsg {
+            rate: 1.0,
+            base: 0.5,
+            cap: 2.0,
+            round: 2,
+        }));
+        t.push(Message::Quote(QuoteMsg {
+            rate: 1.0,
+            base: 0.5,
+            cap: 2.0,
+            round: 1,
+        }));
     }
 
     #[test]

@@ -24,7 +24,12 @@ pub struct ScenarioConfig {
 
 impl Default for ScenarioConfig {
     fn default() -> Self {
-        ScenarioConfig { train_frac: 0.7, max_train_rows: 2048, max_test_rows: 1024, seed: 0 }
+        ScenarioConfig {
+            train_frac: 0.7,
+            max_train_rows: 2048,
+            max_test_rows: 1024,
+            seed: 0,
+        }
     }
 }
 
@@ -62,7 +67,9 @@ impl VflScenario {
     ) -> Result<Self> {
         assignment.validate(dataset.frame.n_cols())?;
         if assignment.data.is_empty() {
-            return Err(VflError::InvalidScenario("data party owns no features".into()));
+            return Err(VflError::InvalidScenario(
+                "data party owns no features".into(),
+            ));
         }
         if assignment.data.len() > 63 {
             return Err(VflError::InvalidScenario(
@@ -101,7 +108,9 @@ impl VflScenario {
             test_rows.truncate(cfg.max_test_rows);
         }
         if train_rows.is_empty() || test_rows.is_empty() {
-            return Err(VflError::InvalidScenario("empty train or test split".into()));
+            return Err(VflError::InvalidScenario(
+                "empty train or test split".into(),
+            ));
         }
 
         let y_train = train_rows.iter().map(|&i| dataset.labels[i]).collect();
@@ -109,7 +118,10 @@ impl VflScenario {
         let data_features = data_map
             .features()
             .iter()
-            .map(|f| DataFeature { name: f.name.clone(), cols: f.cols.clone() })
+            .map(|f| DataFeature {
+                name: f.name.clone(),
+                cols: f.cols.clone(),
+            })
             .collect();
 
         Ok(VflScenario {
@@ -198,8 +210,15 @@ mod tests {
     fn titanic_scenario() -> VflScenario {
         let ds = synth::generate(DatasetId::Titanic, SynthConfig::sized(300, 1)).unwrap();
         let assignment = synth::party_assignment(DatasetId::Titanic, &ds).unwrap();
-        VflScenario::build(&ds, &assignment, &ScenarioConfig { seed: 2, ..Default::default() })
-            .unwrap()
+        VflScenario::build(
+            &ds,
+            &assignment,
+            &ScenarioConfig {
+                seed: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap()
     }
 
     #[test]
@@ -226,7 +245,12 @@ mod tests {
         let s = VflScenario::build(
             &ds,
             &assignment,
-            &ScenarioConfig { max_train_rows: 50, max_test_rows: 20, seed: 2, train_frac: 0.7 },
+            &ScenarioConfig {
+                max_train_rows: 50,
+                max_test_rows: 20,
+                seed: 2,
+                train_frac: 0.7,
+            },
         )
         .unwrap();
         assert_eq!(s.task_matrices().0.rows(), 50);
@@ -254,7 +278,10 @@ mod tests {
     fn invalid_configs_rejected() {
         let ds = synth::generate(DatasetId::Titanic, SynthConfig::sized(100, 1)).unwrap();
         let assignment = synth::party_assignment(DatasetId::Titanic, &ds).unwrap();
-        let bad = ScenarioConfig { train_frac: 1.5, ..Default::default() };
+        let bad = ScenarioConfig {
+            train_frac: 1.5,
+            ..Default::default()
+        };
         assert!(VflScenario::build(&ds, &assignment, &bad).is_err());
     }
 

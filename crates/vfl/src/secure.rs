@@ -149,7 +149,9 @@ pub fn keygen(seed: u64) -> (PublicKey, SecretKey) {
         let n2 = (n as u128) * (n as u128);
         let lambda = (p - 1) * (q - 1) / gcd((p - 1) as u128, (q - 1) as u128) as u64;
         // g = n + 1 makes L(g^lambda mod n^2) = lambda mod n; mu = lambda^-1.
-        let Some(mu) = invmod(lambda as u128 % n as u128, n as u128) else { continue };
+        let Some(mu) = invmod(lambda as u128 % n as u128, n as u128) else {
+            continue;
+        };
         let pk = PublicKey { n, n2 };
         return (pk, SecretKey { pk, lambda, mu });
     }
@@ -216,7 +218,9 @@ pub const GAIN_OFFSET: f64 = 8.0;
 /// Encodes a gain as a non-negative fixed-point integer.
 pub fn encode_gain(gain: f64) -> Result<u64> {
     if !gain.is_finite() || gain.abs() >= GAIN_OFFSET {
-        return Err(VflError::InvalidScenario(format!("gain {gain} out of encodable range")));
+        return Err(VflError::InvalidScenario(format!(
+            "gain {gain} out of encodable range"
+        )));
     }
     Ok(((gain + GAIN_OFFSET) * FIXED_POINT).round() as u64)
 }
@@ -333,8 +337,8 @@ mod tests {
         for &(rate, base, cap, gain) in &[
             (9.5f64, 1.2f64, 3.4f64, 0.17f64),
             (6.0, 0.9, 2.1, 0.02),
-            (12.0, 1.5, 2.0, 0.9),  // capped
-            (8.0, 1.0, 4.0, -0.3),  // floored at base
+            (12.0, 1.5, 2.0, 0.9), // capped
+            (8.0, 1.0, 4.0, -0.3), // floored at base
         ] {
             let secure = blind_settlement(&sk, rate, base, cap, gain, &mut r).unwrap();
             let plain = (base + rate * gain).max(base).min(cap);

@@ -10,8 +10,8 @@
 //! ```
 
 use vfl_market::{
-    run_bargaining, CostModel, Listing, MarketConfig, ReservedPrice, StrategicData,
-    StrategicTask, TableGainProvider,
+    run_bargaining, CostModel, Listing, MarketConfig, ReservedPrice, StrategicData, StrategicTask,
+    TableGainProvider,
 };
 use vfl_sim::BundleMask;
 
@@ -27,8 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             })
         })
         .collect::<Result<_, _>>()?;
-    let provider =
-        TableGainProvider::new(listings.iter().zip(&gains).map(|(l, &g)| (l.bundle, g)));
+    let provider = TableGainProvider::new(listings.iter().zip(&gains).map(|(l, &g)| (l.bundle, g)));
 
     let base = MarketConfig {
         utility_rate: 500.0,
@@ -50,7 +49,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("exp a=1.05", CostModel::Exponential { a: 1.05 }),
         ("exp a=1.2", CostModel::Exponential { a: 1.2 }),
     ] {
-        let cfg = MarketConfig { task_cost: cost, data_cost: cost, ..base };
+        let cfg = MarketConfig {
+            task_cost: cost,
+            data_cost: cost,
+            ..base
+        };
         let mut task = StrategicTask::new(0.30, 5.0, 0.7)?;
         let mut data = StrategicData::with_gains(gains.clone());
         let outcome = run_bargaining(&provider, &listings, &mut task, &mut data, &cfg)?;

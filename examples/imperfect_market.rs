@@ -34,8 +34,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = run.task_mse.len().max(run.data_mse.len());
     let step = (n / 12).max(1);
     for t in (0..n).step_by(step) {
-        let f = run.task_mse.get(t).map_or(String::from("-"), |v| format!("{v:.4}"));
-        let g = run.data_mse.get(t).map_or(String::from("-"), |v| format!("{v:.4}"));
+        let f = run
+            .task_mse
+            .get(t)
+            .map_or(String::from("-"), |v| format!("{v:.4}"));
+        let g = run
+            .data_mse
+            .get(t)
+            .map_or(String::from("-"), |v| format!("{v:.4}"));
         println!("{:>5}   {f:>12}   {g:>12}", t + 1);
     }
 
@@ -43,10 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "\nfinal deal: dG {:+.4} for payment {:.3} (net profit {:.2}) — compare with the \
              perfect-information equilibrium near dG {:.4}",
-            last.gain,
-            last.payment,
-            last.net_profit,
-            market.target_gain
+            last.gain, last.payment, last.net_profit, market.target_gain
         );
     }
     Ok(())

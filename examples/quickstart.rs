@@ -29,8 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             })
         })
         .collect::<Result<_, _>>()?;
-    let provider =
-        TableGainProvider::new(listings.iter().zip(gains).map(|(l, g)| (l.bundle, g)));
+    let provider = TableGainProvider::new(listings.iter().zip(gains).map(|(l, g)| (l.bundle, g)));
 
     // The buyer values one unit of performance gain at u = 1000 and opens
     // with a cheap Eq. 5-conforming quote targeting the best bundle.
@@ -50,7 +49,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for r in &outcome.rounds {
         println!(
             "{:>5}   ({:>5.2}, {:>4.2}, {:>5.2})  {:>6}  {:>5.3}  {:>7.3}  {:>7.2}",
-            r.round, r.quote.rate, r.quote.base, r.quote.cap, r.listing, r.gain, r.payment,
+            r.round,
+            r.quote.rate,
+            r.quote.base,
+            r.quote.cap,
+            r.listing,
+            r.gain,
+            r.payment,
             r.net_profit,
         );
     }

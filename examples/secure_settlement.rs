@@ -45,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut data = StrategicData::with_gains(gains.clone());
     let outcome = run_bargaining(&provider, &listings, &mut task, &mut data, &cfg)?;
     let last = outcome.final_record().expect("negotiation closed");
-    println!("negotiation closed: dG = {:.4}, plaintext payment = {:.4}", last.gain, last.payment);
+    println!(
+        "negotiation closed: dG = {:.4}, plaintext payment = {:.4}",
+        last.gain, last.payment
+    );
 
     // Settle under encryption: the seller computes Enc(P0 + p*dG) without
     // learning dG; the buyer decrypts only the final number.

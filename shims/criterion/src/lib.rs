@@ -1,0 +1,337 @@
+//! Offline stand-in for `criterion`: a genuinely measuring (if statistically
+//! modest) micro-benchmark harness with the API surface this workspace's 11
+//! bench targets use — `Criterion::default().sample_size(..)
+//! .measurement_time(..)`, `bench_function`, `benchmark_group`,
+//! `Bencher::iter` / `iter_batched`, and the `criterion_group!` /
+//! `criterion_main!` macros (`name = / config = / targets =` form).
+//!
+//! Each sample times a batch of iterations sized so one batch costs roughly
+//! `measurement_time / sample_size`; the report prints min/median/mean
+//! per-iteration times. No plots, no statistics beyond that — the point is
+//! that `cargo bench` runs, produces comparable numbers locally, and the
+//! bench sources stay byte-compatible with real criterion.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so benches written against `criterion::black_box` also work.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost; the shim times whole batches
+/// regardless, so the variants only influence batch sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumIterations(u64),
+}
+
+/// Top-level harness state (configuration + report output).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+            filter: std::env::args().skip(1).find(|a| !a.starts_with('-')),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Total time budget the samples aim to fill.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(&id);
+        self
+    }
+
+    /// Opens a named group; the shim's group is a thin prefixing wrapper.
+    /// Group-scoped `sample_size`/`measurement_time` overrides are restored
+    /// when the group drops (real criterion scopes them per group).
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let saved_sample_size = self.sample_size;
+        let saved_measurement_time = self.measurement_time;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            saved_sample_size,
+            saved_measurement_time,
+        }
+    }
+}
+
+/// A named collection of related benchmarks (`group/bench` ids).
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    saved_sample_size: usize,
+    saved_measurement_time: Duration,
+}
+
+impl<'c> BenchmarkGroup<'c> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.bench_function(full, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+impl<'c> Drop for BenchmarkGroup<'c> {
+    fn drop(&mut self) {
+        self.criterion.sample_size = self.saved_sample_size;
+        self.criterion.measurement_time = self.saved_measurement_time;
+    }
+}
+
+/// Passed to the benchmark closure; runs and times the workload.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    /// (total elapsed, iterations) per sample.
+    samples: Vec<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine` called in timed batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm up and estimate per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let batch = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 10_000_000);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push((start.elapsed(), batch));
+        }
+    }
+
+    /// Times `routine` on inputs built by `setup` (setup excluded from the
+    /// measurement by timing each call individually).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut measured = Duration::ZERO;
+        let mut iters: u64 = 0;
+        // Warm-up.
+        for _ in 0..16 {
+            let input = setup();
+            black_box(routine(input));
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let per_sample = 64u64;
+            let mut sample_elapsed = Duration::ZERO;
+            for _ in 0..per_sample {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                sample_elapsed += start.elapsed();
+            }
+            measured += sample_elapsed;
+            iters += per_sample;
+            self.samples.push((sample_elapsed, per_sample));
+        }
+        let _ = (measured, iters);
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<48} (no samples)");
+            return;
+        }
+        let mut per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|(d, n)| d.as_secs_f64() / *n as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        let min = per_iter[0];
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        println!(
+            "{id:<48} min {:>12}  median {:>12}  mean {:>12}  ({} samples)",
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(mean),
+            per_iter.len()
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// `criterion_group!`: both the positional and the
+/// `name = / config = / targets =` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// `criterion_main!`: generates `main()` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        c.filter = None;
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| black_box(3u64).wrapping_mul(7))
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_prefix_names_and_finish() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2));
+        c.filter = None;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("inner", |b| b.iter(|| black_box(1u32) + 1));
+        group.finish();
+    }
+
+    #[test]
+    fn group_overrides_do_not_leak_into_later_benchmarks() {
+        let mut c = Criterion::default()
+            .sample_size(4)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2));
+        c.filter = None;
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(5));
+        group.bench_function("inner", |b| b.iter(|| black_box(1u32) + 1));
+        group.finish();
+        assert_eq!(c.sample_size, 4, "group sample_size must not leak");
+        assert_eq!(
+            c.measurement_time,
+            Duration::from_millis(10),
+            "group measurement_time must not leak"
+        );
+    }
+
+    #[test]
+    fn iter_batched_times_routine_only() {
+        let mut c = Criterion::default().sample_size(2);
+        c.filter = None;
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

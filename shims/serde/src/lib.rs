@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` (the wire
+//! messages of `vfl_sim::protocol` and a handful of config/report types);
+//! nothing calls a serializer, so the traits here are deliberately
+//! method-free markers. The derive macros live in the sibling
+//! `serde_derive` shim and emit empty impls. If a future PR needs real
+//! (de)serialization, replace both shims with the crates.io releases in
+//! `[workspace.dependencies]` — every `#[derive(Serialize, Deserialize)]`
+//! in the tree is already spelled exactly as real serde expects.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that can be serialized (derive-only in this workspace).
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized (derive-only in this
+/// workspace). Real serde's trait carries a `'de` lifetime; no code here
+/// names the trait directly, so the marker stays lifetime-free.
+pub trait Deserialize {}

@@ -5,8 +5,7 @@
 
 use vfl_market::{
     run_bargaining, DataStrategy, IncreasePriceTask, Listing, MarketConfig, Outcome,
-    RandomBundleData, ReservedPrice, StrategicData, StrategicTask, TableGainProvider,
-    TaskStrategy,
+    RandomBundleData, ReservedPrice, StrategicData, StrategicTask, TableGainProvider, TaskStrategy,
 };
 use vfl_sim::BundleMask;
 
@@ -55,7 +54,10 @@ fn run_random_bundle(seed: u64) -> Outcome {
     let mut task = StrategicTask::new(0.24, 4.0, 0.6).unwrap();
     let mut data = RandomBundleData::with_gains(gains);
     // A lower utility rate makes the break-even threshold bite, as on Adult.
-    let c = MarketConfig { utility_rate: 60.0, ..cfg(seed) };
+    let c = MarketConfig {
+        utility_rate: 60.0,
+        ..cfg(seed)
+    };
     run_bargaining(&provider, &listings, &mut task, &mut data, &c).unwrap()
 }
 
@@ -67,7 +69,10 @@ fn strategic_always_succeeds_on_the_ladder() {
         let o = run_strategic(seed);
         assert!(o.is_success(), "seed {seed}: {:?}", o.status);
         let last = o.final_record().unwrap();
-        assert!((last.gain - 0.24).abs() < 1e-9, "seed {seed}: wrong terminal bundle");
+        assert!(
+            (last.gain - 0.24).abs() < 1e-9,
+            "seed {seed}: wrong terminal bundle"
+        );
     }
 }
 
@@ -78,8 +83,10 @@ fn strategic_beats_increase_price_on_mean_profit() {
         .sum::<f64>()
         / SEEDS as f64;
     let incr_outcomes: Vec<Outcome> = (0..SEEDS).map(run_increase_price).collect();
-    let incr_successes: Vec<f64> =
-        incr_outcomes.iter().filter_map(|o| o.task_revenue()).collect();
+    let incr_successes: Vec<f64> = incr_outcomes
+        .iter()
+        .filter_map(|o| o.task_revenue())
+        .collect();
     // Count failures as zero profit for the mean (conservative toward the
     // baseline, which never loses money by failing).
     let incr = incr_successes.iter().sum::<f64>() / SEEDS as f64;
@@ -115,14 +122,19 @@ fn increase_price_overpays_relative_to_strategic() {
 
 #[test]
 fn random_bundle_fails_more_often_than_strategic() {
-    let random_failures = (0..SEEDS).filter(|&s| !run_random_bundle(s).is_success()).count();
+    let random_failures = (0..SEEDS)
+        .filter(|&s| !run_random_bundle(s).is_success())
+        .count();
     // Strategic under the same low-utility config:
     let strategic_failures = (0..SEEDS)
         .filter(|&s| {
             let (provider, listings, gains) = ladder();
             let mut task = StrategicTask::new(0.24, 4.0, 0.6).unwrap();
             let mut data = StrategicData::with_gains(gains);
-            let c = MarketConfig { utility_rate: 60.0, ..cfg(s) };
+            let c = MarketConfig {
+                utility_rate: 60.0,
+                ..cfg(s)
+            };
             !run_bargaining(&provider, &listings, &mut task, &mut data, &c)
                 .unwrap()
                 .is_success()
@@ -137,10 +149,18 @@ fn random_bundle_fails_more_often_than_strategic() {
 #[test]
 fn all_arms_respect_budget_and_reserve_admission() {
     for seed in 0..SEEDS {
-        for outcome in [run_strategic(seed), run_increase_price(seed), run_random_bundle(seed)] {
+        for outcome in [
+            run_strategic(seed),
+            run_increase_price(seed),
+            run_random_bundle(seed),
+        ] {
             let (_, listings, _) = ladder();
             for r in &outcome.rounds {
-                assert!(r.quote.cap <= 12.0 + 1e-9, "budget violated at round {}", r.round);
+                assert!(
+                    r.quote.cap <= 12.0 + 1e-9,
+                    "budget violated at round {}",
+                    r.round
+                );
                 let reserve = listings[r.listing].reserved;
                 // Exploration is off here, so every offered bundle must have
                 // been affordable.

@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use vfl_sim::{BundleMask, ScenarioConfig, VflScenario};
 use vfl_tabular::synth::{self, SynthConfig};
-use vfl_tabular::{encode_frame, csv, DatasetId, Matrix};
+use vfl_tabular::{csv, encode_frame, DatasetId, Matrix};
 
 #[test]
 fn every_dataset_flows_to_a_scenario() {
@@ -15,7 +15,10 @@ fn every_dataset_flows_to_a_scenario() {
         let scenario = VflScenario::build(
             &ds,
             &assignment,
-            &ScenarioConfig { seed: 1, ..Default::default() },
+            &ScenarioConfig {
+                seed: 1,
+                ..Default::default()
+            },
         )
         .unwrap();
         let meta = synth::meta(id);
@@ -35,9 +38,15 @@ fn every_dataset_flows_to_a_scenario() {
 fn bundle_columns_partition_the_data_matrix() {
     let ds = synth::generate(DatasetId::Titanic, SynthConfig::sized(120, 3)).unwrap();
     let assignment = synth::party_assignment(DatasetId::Titanic, &ds).unwrap();
-    let scenario =
-        VflScenario::build(&ds, &assignment, &ScenarioConfig { seed: 2, ..Default::default() })
-            .unwrap();
+    let scenario = VflScenario::build(
+        &ds,
+        &assignment,
+        &ScenarioConfig {
+            seed: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let d = scenario.n_data_features();
     // Singleton column sets must be disjoint and cover the full width.
     let mut seen = std::collections::BTreeSet::new();
@@ -67,7 +76,12 @@ fn csv_export_import_roundtrip_via_inference() {
     let mut buf = Vec::new();
     let header: Vec<String> = (0..m.cols()).map(|c| format!("f{c}")).collect();
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
-    csv::write_table(&mut buf, &header_refs, (0..m.rows()).map(|r| m.row(r).to_vec())).unwrap();
+    csv::write_table(
+        &mut buf,
+        &header_refs,
+        (0..m.rows()).map(|r| m.row(r).to_vec()),
+    )
+    .unwrap();
     let raw = csv::read_raw(std::io::Cursor::new(buf)).unwrap();
     let frame = csv::infer_frame(&raw).unwrap();
     assert_eq!(frame.n_rows(), 40);

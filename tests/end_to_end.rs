@@ -76,7 +76,11 @@ fn oracle_caches_across_runs() {
     // Everything was precomputed at build time; repeated bargaining must not
     // trigger new training.
     let _ = run_arm_many(&pm, Arm::Strategic, &cfg, 5).unwrap();
-    assert_eq!(pm.oracle.query_count(), queries_before, "cache misses during bargaining");
+    assert_eq!(
+        pm.oracle.query_count(),
+        queries_before,
+        "cache misses during bargaining"
+    );
 }
 
 #[test]
@@ -101,7 +105,10 @@ fn failure_reasons_are_classified() {
     if let OutcomeStatus::Failed { reason } = outcome.status {
         use vfl_market::FailureReason::*;
         assert!(
-            matches!(reason, GainBelowBreakEven | BudgetExhausted | NoAffordableBundle | RoundLimit),
+            matches!(
+                reason,
+                GainBelowBreakEven | BudgetExhausted | NoAffordableBundle | RoundLimit
+            ),
             "{reason:?}"
         );
     }

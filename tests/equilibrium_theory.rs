@@ -155,7 +155,10 @@ fn equilibrium_price_is_reached_by_the_engine() {
         let outcome = run_bargaining(&provider, &listings, &mut task, &mut data, &cfg).unwrap();
         assert!(outcome.is_success(), "seed {seed}: {:?}", outcome.status);
         let last = outcome.final_record().unwrap();
-        assert_eq!(last.gain, 0.26, "seed {seed}: must close on the target bundle");
+        assert_eq!(
+            last.gain, 0.26,
+            "seed {seed}: must close on the target bundle"
+        );
         assert!(
             last.quote.satisfies_equilibrium(last.gain, 0.05),
             "seed {seed}: terminal quote {:?} violates Eq. 5 at gain {}",

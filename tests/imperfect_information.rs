@@ -4,9 +4,7 @@
 
 use vfl_bench::{run_imperfect, BaseModelKind, PreparedMarket, RunProfile};
 use vfl_estimator::{BundleModelConfig, ImperfectData, ImperfectTask, PriceModelConfig};
-use vfl_market::{
-    run_bargaining, Listing, MarketConfig, ReservedPrice, TableGainProvider,
-};
+use vfl_market::{run_bargaining, Listing, MarketConfig, ReservedPrice, TableGainProvider};
 use vfl_sim::BundleMask;
 use vfl_tabular::DatasetId;
 
@@ -29,10 +27,18 @@ fn imperfect_players(target: f64, seed: u64, n_features: usize) -> (ImperfectTas
         target,
         4.0,
         0.6,
-        PriceModelConfig { gain_scale: target, seed, ..PriceModelConfig::default() },
+        PriceModelConfig {
+            gain_scale: target,
+            seed,
+            ..PriceModelConfig::default()
+        },
     )
     .unwrap();
-    let data = ImperfectData::new(BundleModelConfig::for_features(n_features, target, seed ^ 1));
+    let data = ImperfectData::new(BundleModelConfig::for_features(
+        n_features,
+        target,
+        seed ^ 1,
+    ));
     (task, data)
 }
 
@@ -64,7 +70,11 @@ fn exploration_never_terminates_early() {
     );
     // No final offers inside the window.
     for r in outcome.rounds.iter().take(explore as usize) {
-        assert!(!r.final_offer, "final offer during exploration at round {}", r.round);
+        assert!(
+            !r.final_offer,
+            "final offer during exploration at round {}",
+            r.round
+        );
     }
 }
 
@@ -72,8 +82,7 @@ fn exploration_never_terminates_early() {
 fn estimators_learn_during_bargaining() {
     let (provider, listings, _) = ladder();
     let (mut task, mut data) = imperfect_players(0.24, 6, 8);
-    let _ =
-        run_bargaining(&provider, &listings, &mut task, &mut data, &cfg(6, 40)).unwrap();
+    let _ = run_bargaining(&provider, &listings, &mut task, &mut data, &cfg(6, 40)).unwrap();
     let t = task.mse_history();
     let d = data.mse_history();
     assert!(t.len() >= 40 && d.len() >= 40, "one MSE point per course");
@@ -102,7 +111,10 @@ fn imperfect_reaches_a_deal_on_the_ladder() {
             assert!(last.payment >= listings[last.listing].reserved.base);
         }
     }
-    assert!(successes >= 4, "imperfect bargaining too unreliable: {successes}/6");
+    assert!(
+        successes >= 4,
+        "imperfect bargaining too unreliable: {successes}/6"
+    );
 }
 
 #[test]
@@ -115,8 +127,7 @@ fn imperfect_payoffs_are_comparable_to_perfect() {
     for seed in 0..6 {
         let mut t = vfl_market::StrategicTask::new(0.24, 4.0, 0.6).unwrap();
         let mut d = vfl_market::StrategicData::with_gains(gains.clone());
-        let perfect =
-            run_bargaining(&provider, &listings, &mut t, &mut d, &cfg(seed, 0)).unwrap();
+        let perfect = run_bargaining(&provider, &listings, &mut t, &mut d, &cfg(seed, 0)).unwrap();
         if let Some(p) = perfect.task_revenue() {
             perfect_profit.push(p);
         }
@@ -129,16 +140,22 @@ fn imperfect_payoffs_are_comparable_to_perfect() {
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     let (mp, mi) = (mean(&perfect_profit), mean(&imperfect_profit));
     assert!(mp > 0.0, "perfect must profit");
-    assert!(mi > 0.2 * mp, "imperfect {mi:.1} too far below perfect {mp:.1}");
-    assert!(mi <= mp * 1.1 + 1e-9, "imperfect {mi:.1} cannot beat perfect {mp:.1} by much");
+    assert!(
+        mi > 0.2 * mp,
+        "imperfect {mi:.1} too far below perfect {mp:.1}"
+    );
+    assert!(
+        mi <= mp * 1.1 + 1e-9,
+        "imperfect {mi:.1} cannot beat perfect {mp:.1} by much"
+    );
 }
 
 #[test]
 fn imperfect_market_runs_on_real_vfl_substrate() {
     // End-to-end with the actual gain oracle (fast profile, one dataset).
     let profile = RunProfile::fast();
-    let pm = PreparedMarket::build(DatasetId::Titanic, BaseModelKind::Forest, &profile, 42)
-        .unwrap();
+    let pm =
+        PreparedMarket::build(DatasetId::Titanic, BaseModelKind::Forest, &profile, 42).unwrap();
     let mut cfg = pm.market_config(&profile);
     cfg.eps_task = pm.params.table4_eps;
     cfg.eps_data = pm.params.table4_eps;

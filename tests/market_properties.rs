@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use vfl_market::{
-    run_bargaining, Listing, MarketConfig, Outcome, RandomBundleData, ReservedPrice,
-    StrategicData, StrategicTask, TableGainProvider,
+    run_bargaining, Listing, MarketConfig, Outcome, RandomBundleData, ReservedPrice, StrategicData,
+    StrategicTask, TableGainProvider,
 };
 use vfl_sim::BundleMask;
 
@@ -44,7 +44,14 @@ fn market_spec() -> impl Strategy<Value = MarketSpec> {
                 r += rb;
                 b += bb * 0.2;
             }
-            MarketSpec { gains, reserve_rates, reserve_bases, utility, budget, seed }
+            MarketSpec {
+                gains,
+                reserve_rates,
+                reserve_bases,
+                utility,
+                budget,
+                seed,
+            }
         })
 }
 
@@ -58,8 +65,12 @@ fn build(spec: &MarketSpec) -> (TableGainProvider, Vec<Listing>) {
             reserved: ReservedPrice::new(spec.reserve_rates[i], spec.reserve_bases[i]).unwrap(),
         })
         .collect();
-    let provider =
-        TableGainProvider::new(listings.iter().zip(&spec.gains).map(|(l, &g)| (l.bundle, g)));
+    let provider = TableGainProvider::new(
+        listings
+            .iter()
+            .zip(&spec.gains)
+            .map(|(l, &g)| (l.bundle, g)),
+    );
     (provider, listings)
 }
 
