@@ -1,0 +1,46 @@
+//! Bridges [`PreparedMarket`] cells into a [`vfl_exchange::Exchange`]: the
+//! throughput bench (E6) and the exchange smoke test both register
+//! heterogeneous (dataset × base model) cells and submit seeded strategic
+//! sessions through this module, so they agree on strategy wiring.
+
+use crate::params::RunProfile;
+use crate::setup::PreparedMarket;
+use std::sync::Arc;
+use vfl_exchange::{Exchange, MarketId, MarketSpec, SessionOrder};
+use vfl_market::{Result, StrategicData, StrategicTask};
+
+/// Registers one prepared market cell, serving ΔG from a *cold* twin of its
+/// oracle (real Step-3 course work; the shared exchange cache is what makes
+/// repeats cheap). Cells built from the same (dataset, model, seed) share
+/// an evaluation key and therefore cache entries.
+pub fn register_cell(
+    exchange: &Exchange,
+    market: &PreparedMarket,
+    profile: &RunProfile,
+) -> Result<MarketId> {
+    let oracle = market.cold_oracle(profile)?;
+    exchange.register_market(MarketSpec {
+        provider: Arc::new(oracle),
+        listings: Arc::new(market.listings.clone()),
+        evaluation_key: Some(market.evaluation_key(profile)),
+        name: format!("{}/{}", market.id, market.model_kind.name()),
+    })
+}
+
+/// A strategic-vs-strategic session order on `market`, independently seeded
+/// for repetition `run` (mirrors how the experiment grid seeds its arms).
+pub fn strategic_order(market: &PreparedMarket, profile: &RunProfile, run: u64) -> SessionOrder {
+    let cfg = market.market_config(profile).with_run_seed(run);
+    SessionOrder {
+        cfg,
+        task: Box::new(
+            StrategicTask::new(
+                market.target_gain,
+                market.params.init_rate,
+                market.params.init_base,
+            )
+            .expect("prepared markets have valid openings"),
+        ),
+        data: Box::new(StrategicData::with_gains(market.gains.clone())),
+    }
+}

@@ -5,6 +5,7 @@
 //! models, and regenerates every table and figure of the paper's §4 (see
 //! `src/bin/repro.rs` and DESIGN.md's experiment index E0–E5 / A1–A5).
 
+pub mod exchange_setup;
 pub mod experiments;
 pub mod params;
 pub mod plot;

@@ -21,6 +21,8 @@ pub struct PreparedMarket {
     pub gains: Vec<f64>,
     /// The task party's target ΔG* (= the catalog's maximum gain).
     pub target_gain: f64,
+    /// The build seed (everything above is derived from it).
+    pub seed: u64,
 }
 
 impl PreparedMarket {
@@ -107,7 +109,49 @@ impl PreparedMarket {
             listings,
             gains,
             target_gain,
+            seed,
         })
+    }
+
+    /// A *cold* twin of this market's oracle: same scenario, base model,
+    /// and oracle seed — so it realizes the identical gain landscape — but
+    /// with an empty memo, so every first course actually trains. Exchange
+    /// benches use this to measure real Step-3 work (and the shared cache's
+    /// effect) instead of replaying this market's precomputed table.
+    pub fn cold_oracle(&self, profile: &RunProfile) -> Result<GainOracle> {
+        GainOracle::with_repeats(
+            self.oracle.scenario().clone(),
+            *self.oracle.model(),
+            self.seed ^ 0x02ac1e,
+            profile.gain_repeats,
+        )
+        .map_err(MarketError::from)
+    }
+
+    /// Cache identity for [`vfl_exchange`]-style shared ΔG caches: two
+    /// prepared markets agree on this key exactly when they realize the
+    /// same gain landscape — same dataset, base model, build seed, AND
+    /// compute profile (row counts, model sizes, and gain repeats all
+    /// change the measured ΔG, so they are folded into the key).
+    pub fn evaluation_key(&self, profile: &RunProfile) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |bytes: &[u8]| {
+            for &byte in bytes {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        mix(self.id.to_string().as_bytes());
+        mix(self.model_kind.name().as_bytes());
+        mix(&self.seed.to_le_bytes());
+        mix(&(profile.rows.unwrap_or(0) as u64).to_le_bytes());
+        mix(&(profile.max_train_rows as u64).to_le_bytes());
+        mix(&(profile.max_test_rows as u64).to_le_bytes());
+        mix(&(profile.rf_trees as u64).to_le_bytes());
+        mix(&(profile.rf_depth as u64).to_le_bytes());
+        mix(&(profile.mlp_epochs as u64).to_le_bytes());
+        mix(&(profile.gain_repeats as u64).to_le_bytes());
+        h & !(1 << 63) // keep clear of the exchange's private-key space
     }
 
     /// The default market configuration for the figures (no cost, paper ε).

@@ -1,0 +1,84 @@
+//! Exchange-layer smoke test (runs in CI): heterogeneous prepared-market
+//! cells trade concurrently through one `vfl-exchange`, and the marketplace
+//! path must reproduce the direct `run_bargaining` outcome exactly —
+//! session by session — while the shared cache and metrics stay coherent.
+
+use vfl_bench::exchange_setup::{register_cell, strategic_order};
+use vfl_bench::{BaseModelKind, PreparedMarket, RunProfile};
+use vfl_exchange::{Exchange, ExchangeConfig, SessionStatus};
+use vfl_market::{run_bargaining, StrategicData, StrategicTask};
+use vfl_tabular::DatasetId;
+
+#[test]
+fn heterogeneous_cells_trade_concurrently_and_match_direct_runs() {
+    let profile = RunProfile::fast();
+    let cells = [
+        (DatasetId::Titanic, BaseModelKind::Forest),
+        (DatasetId::Adult, BaseModelKind::Forest),
+    ];
+    let markets: Vec<PreparedMarket> = cells
+        .iter()
+        .map(|&(id, model)| PreparedMarket::build(id, model, &profile, 1).unwrap())
+        .collect();
+
+    let exchange = Exchange::new(ExchangeConfig::default());
+    let market_ids: Vec<_> = markets
+        .iter()
+        .map(|m| register_cell(&exchange, m, &profile).unwrap())
+        .collect();
+
+    // 60 sessions, alternating across the two cells, independently seeded.
+    let runs_per_cell = 30u64;
+    let mut submitted = Vec::new();
+    for run in 0..runs_per_cell {
+        for (cell, &mid) in market_ids.iter().enumerate() {
+            let sid = exchange
+                .submit(mid, strategic_order(&markets[cell], &profile, run))
+                .unwrap();
+            submitted.push((cell, run, sid));
+        }
+    }
+
+    let report = exchange.drain(2);
+    assert_eq!(
+        report.closed + report.failed,
+        submitted.len(),
+        "every submitted session must terminate"
+    );
+    assert_eq!(report.failed, 0, "no session may die on a hard error");
+
+    let snap = exchange.metrics();
+    assert_eq!(snap.sessions_opened as usize, submitted.len());
+    assert_eq!(snap.sessions_closed as usize, submitted.len());
+    assert_eq!(snap.sessions_failed, 0);
+    assert!(snap.deals_struck > 0, "strategic games strike deals");
+    assert!(snap.rounds_completed >= snap.sessions_closed);
+    assert_eq!(snap.courses_requested, snap.cache_hits + snap.cache_misses);
+    assert!(
+        snap.cache_hit_rate() > 0.5,
+        "repeat course queries must hit the shared cache (rate {})",
+        snap.cache_hit_rate()
+    );
+
+    // The marketplace path must be *exactly* the direct engine run: same
+    // seeds, same strategies, warm oracle (gains are deterministic).
+    for &(cell, run, sid) in submitted.iter().take(6) {
+        let market = &markets[cell];
+        let cfg = market.market_config(&profile).with_run_seed(run);
+        let mut task = StrategicTask::new(
+            market.target_gain,
+            market.params.init_rate,
+            market.params.init_base,
+        )
+        .unwrap();
+        let mut data = StrategicData::with_gains(market.gains.clone());
+        let reference =
+            run_bargaining(&market.oracle, &market.listings, &mut task, &mut data, &cfg).unwrap();
+        match exchange.poll(sid) {
+            Some(SessionStatus::Done(outcome)) => {
+                assert_eq!(*outcome, reference, "cell {cell} run {run}")
+            }
+            other => panic!("cell {cell} run {run}: unexpected status {other:?}"),
+        }
+    }
+}

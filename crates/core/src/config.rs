@@ -40,6 +40,11 @@ pub struct MarketConfig {
     pub data_cost: CostModel,
     /// Base seed for all strategy randomness in one run.
     pub seed: u64,
+    /// Bounded-channel capacity (messages per direction) of the distributed
+    /// engine ([`crate::distributed`]). The protocol is strictly
+    /// turn-based, so 1 suffices for correctness; larger capacities only
+    /// loosen backpressure (see the module doc there). Must be >= 1.
+    pub channel_capacity: usize,
 }
 
 impl Default for MarketConfig {
@@ -59,6 +64,7 @@ impl Default for MarketConfig {
             task_cost: CostModel::None,
             data_cost: CostModel::None,
             seed: 0,
+            channel_capacity: 1,
         }
     }
 }
@@ -99,6 +105,11 @@ impl MarketConfig {
         }
         if self.rate_cap <= 0.0 || self.rate_cap.is_nan() {
             return Err(MarketError::InvalidConfig("rate_cap must be > 0".into()));
+        }
+        if self.channel_capacity == 0 {
+            return Err(MarketError::InvalidConfig(
+                "channel_capacity must be >= 1".into(),
+            ));
         }
         self.task_cost.validate()?;
         self.data_cost.validate()?;
@@ -170,6 +181,12 @@ mod tests {
         .is_err());
         assert!(MarketConfig {
             task_cost: CostModel::Linear { a: -1.0 },
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(MarketConfig {
+            channel_capacity: 0,
             ..base
         }
         .validate()

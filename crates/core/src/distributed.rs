@@ -8,20 +8,36 @@
 //! the boundary: the data party never sees the buyer's utility surplus, the
 //! task party never sees reserved prices, exactly as in the in-process
 //! engine — but here the isolation is structural, enforced by the channel.
+//!
+//! The task side is a thin driver over
+//! [`crate::session::NegotiationSession`]: every `AwaitOffer` suspension is
+//! answered over the wire, every `AwaitGain` by running the course locally.
+//!
+//! ## Backpressure semantics
+//!
+//! Both channels are *bounded* with capacity
+//! [`MarketConfig::channel_capacity`] messages per direction, and `send`
+//! blocks when the peer's inbox is full. The protocol is strictly
+//! turn-based — at most one quote, one offer, and one gain-report (plus its
+//! bundle echo) are ever in flight — so capacity 1 (the default) never
+//! blocks a well-behaved party for long: each party drains its inbox before
+//! producing its next message. Raising the capacity only matters for
+//! transports or strategies that pipeline messages (e.g. a streaming
+//! re-quote extension); it trades memory for slack and cannot change the
+//! negotiation outcome, because the state machine consumes messages in
+//! protocol order regardless of how many are buffered.
 
 use crate::config::MarketConfig;
-use crate::engine::{ClosedBy, FailureReason, Outcome, OutcomeStatus, RoundRecord};
+use crate::engine::Outcome;
 use crate::error::{MarketError, Result};
 use crate::gain::GainProvider;
 use crate::listing::Listing;
-use crate::payment::task_net_profit;
-use crate::strategy::{
-    DataContext, DataResponse, DataStrategy, TaskContext, TaskDecision, TaskStrategy,
-};
+use crate::session::{NegotiationSession, SessionEffect, SessionEvent};
+use crate::strategy::{DataContext, DataResponse, DataStrategy, TaskStrategy};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use vfl_sim::protocol::{GainReportMsg, Message, OfferMsg, QuoteMsg, SettleMsg, Transcript};
+use vfl_sim::protocol::{GainReportMsg, Message, OfferMsg, QuoteMsg};
 
 /// Runs a negotiation with the data party in its own thread. Produces the
 /// same outcome type as the in-process engine; the per-party RNG streams
@@ -38,8 +54,9 @@ pub fn run_bargaining_distributed<G: GainProvider + Sync + ?Sized>(
     if listings.is_empty() {
         return Err(MarketError::InvalidConfig("empty listing table".into()));
     }
-    let (to_data, data_inbox): (Sender<Message>, Receiver<Message>) = bounded(1);
-    let (to_task, task_inbox): (Sender<Message>, Receiver<Message>) = bounded(1);
+    let cap = cfg.channel_capacity;
+    let (to_data, data_inbox): (Sender<Message>, Receiver<Message>) = bounded(cap);
+    let (to_task, task_inbox): (Sender<Message>, Receiver<Message>) = bounded(cap);
 
     let result: Result<Outcome> = crossbeam::thread::scope(|scope| {
         // ---------------- data-party thread ----------------
@@ -52,13 +69,8 @@ pub fn run_bargaining_distributed<G: GainProvider + Sync + ?Sized>(
                 match msg {
                     Message::Quote(q) => {
                         let quote = crate::price::QuotedPrice::new(q.rate, q.base, q.cap)?;
-                        let ctx = DataContext {
-                            round: q.round,
-                            exploring: q.round <= cfg.explore_rounds,
-                            quote: &quote,
-                            cost_now: cfg.data_cost.cost(q.round),
-                            cost_next: cfg.data_cost.cost(q.round + 1),
-                        };
+                        let exploring = q.round <= cfg.explore_rounds;
+                        let ctx = DataContext::at_round(cfg, q.round, exploring, &quote);
                         let response = data.respond(&ctx, listings, cfg, &mut rng)?;
                         let offer = match response {
                             DataResponse::Withdraw => OfferMsg::Withdraw { round: q.round },
@@ -100,154 +112,81 @@ pub fn run_bargaining_distributed<G: GainProvider + Sync + ?Sized>(
 
         // ---------------- task-party side (this thread) ----------------
         let mut run_task = || -> Result<Outcome> {
-            let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7a5c_0002);
-            let mut transcript = Transcript::default();
-            let mut rounds: Vec<RoundRecord> = Vec::new();
-            let mut quote = task.initial_quote(cfg, &mut rng)?;
-            let mut round: u32 = 1;
-
-            let finish = |status: OutcomeStatus,
-                          rounds: Vec<RoundRecord>,
-                          mut transcript: Transcript,
-                          round: u32|
-             -> Result<Outcome> {
-                let msg = match status {
-                    OutcomeStatus::Success { .. } => {
-                        let amount = rounds.last().map(|r| r.payment).unwrap_or(0.0);
-                        Message::Settle(SettleMsg::Pay { amount, round })
-                    }
-                    OutcomeStatus::Failed { .. } => Message::Settle(SettleMsg::Abort { round }),
-                };
-                transcript.push(msg);
-                let _ = to_data.send(msg);
-                Ok(Outcome {
-                    status,
-                    rounds,
-                    transcript,
-                })
-            };
-
+            let mut session = NegotiationSession::with_rng_seed(*cfg, cfg.seed ^ 0x7a5c_0002)?;
+            let mut effect = session.step(SessionEvent::Start, listings, task)?;
             loop {
-                let exploring = round <= cfg.explore_rounds;
-                let quote_msg = QuoteMsg {
-                    rate: quote.rate,
-                    base: quote.base,
-                    cap: quote.cap,
-                    round,
-                };
-                transcript.push(Message::Quote(quote_msg));
-                to_data
-                    .send(Message::Quote(quote_msg))
-                    .map_err(|_| MarketError::StrategyError("data went away".into()))?;
-
-                let offer = match task_inbox.recv() {
-                    Ok(Message::Offer(o)) => o,
-                    Ok(other) => {
-                        return Err(MarketError::StrategyError(format!(
-                            "unexpected message on task side: {other:?}"
-                        )))
-                    }
-                    Err(_) => return Err(MarketError::StrategyError("data channel closed".into())),
-                };
-                transcript.push(Message::Offer(offer));
-                let (bundle, is_final) = match offer {
-                    OfferMsg::Withdraw { .. } => {
-                        return finish(
-                            OutcomeStatus::Failed {
-                                reason: FailureReason::NoAffordableBundle,
-                            },
-                            rounds,
-                            transcript,
-                            round,
-                        );
-                    }
-                    OfferMsg::Bundle {
-                        bundle, is_final, ..
-                    } => (bundle, is_final),
-                };
-
-                let gain = provider.gain(bundle)?;
-                transcript.push(Message::GainReport(GainReportMsg { gain, round }));
-                to_data
-                    .send(Message::GainReport(GainReportMsg { gain, round }))
-                    .map_err(|_| MarketError::StrategyError("data went away".into()))?;
-                // Echo the bundle back so the seller can label its sample.
-                to_data
-                    .send(Message::Offer(OfferMsg::Bundle {
-                        bundle,
-                        is_final,
-                        round,
-                    }))
-                    .map_err(|_| MarketError::StrategyError("data went away".into()))?;
-
-                let record = RoundRecord {
-                    round,
-                    quote,
-                    listing: listings
-                        .iter()
-                        .position(|l| l.bundle == bundle)
-                        .expect("bundle came from the listing table"),
-                    bundle,
-                    gain,
-                    payment: quote.payment(gain),
-                    net_profit: task_net_profit(cfg.utility_rate, &quote, gain),
-                    cost_task: cfg.task_cost.cost(round),
-                    cost_data: cfg.data_cost.cost(round),
-                    final_offer: is_final,
-                };
-                rounds.push(record);
-                task.observe_course(&quote, bundle, gain);
-
-                if is_final && !exploring {
-                    return finish(
-                        OutcomeStatus::Success {
-                            by: ClosedBy::DataParty,
-                        },
-                        rounds,
-                        transcript,
-                        round,
-                    );
-                }
-                let ctx = TaskContext {
-                    round,
-                    exploring,
-                    quote: &quote,
-                    realized_gain: gain,
-                    cost_now: cfg.task_cost.cost(round),
-                    cost_next: cfg.task_cost.cost(round + 1),
-                };
-                match task.decide(&ctx, cfg, &mut rng)? {
-                    TaskDecision::Accept => {
-                        return finish(
-                            OutcomeStatus::Success {
-                                by: ClosedBy::TaskParty,
-                            },
-                            rounds,
-                            transcript,
-                            round,
-                        );
-                    }
-                    TaskDecision::Fail => {
-                        let reason = if gain < quote.break_even_gain(cfg.utility_rate) {
-                            FailureReason::GainBelowBreakEven
-                        } else {
-                            FailureReason::BudgetExhausted
+                effect = match effect {
+                    SessionEffect::AwaitOffer { quote, round, .. } => {
+                        to_data
+                            .send(Message::Quote(QuoteMsg {
+                                rate: quote.rate,
+                                base: quote.base,
+                                cap: quote.cap,
+                                round,
+                            }))
+                            .map_err(|_| MarketError::StrategyError("data went away".into()))?;
+                        let offer = match task_inbox.recv() {
+                            Ok(Message::Offer(o)) => o,
+                            Ok(other) => {
+                                return Err(MarketError::StrategyError(format!(
+                                    "unexpected message on task side: {other:?}"
+                                )))
+                            }
+                            Err(_) => {
+                                return Err(MarketError::StrategyError(
+                                    "data channel closed".into(),
+                                ))
+                            }
                         };
-                        return finish(OutcomeStatus::Failed { reason }, rounds, transcript, round);
+                        let response = match offer {
+                            OfferMsg::Withdraw { .. } => DataResponse::Withdraw,
+                            OfferMsg::Bundle {
+                                bundle, is_final, ..
+                            } => {
+                                let listing = listings
+                                    .iter()
+                                    .position(|l| l.bundle == bundle)
+                                    .ok_or_else(|| {
+                                        MarketError::StrategyError(format!(
+                                            "offered bundle {bundle} not in the listing table"
+                                        ))
+                                    })?;
+                                DataResponse::Offer { listing, is_final }
+                            }
+                        };
+                        session.step(SessionEvent::Offer(response), listings, task)?
                     }
-                    TaskDecision::Requote(next) => quote = next,
-                }
-                round += 1;
-                if round > cfg.max_rounds {
-                    return finish(
-                        OutcomeStatus::Failed {
-                            reason: FailureReason::RoundLimit,
-                        },
-                        rounds,
-                        transcript,
-                        cfg.max_rounds,
-                    );
-                }
+                    SessionEffect::AwaitGain {
+                        bundle,
+                        round,
+                        final_offer,
+                        ..
+                    } => {
+                        let gain = provider.gain(bundle)?;
+                        to_data
+                            .send(Message::GainReport(GainReportMsg { gain, round }))
+                            .map_err(|_| MarketError::StrategyError("data went away".into()))?;
+                        // Echo the bundle back so the seller can label its
+                        // sample.
+                        to_data
+                            .send(Message::Offer(OfferMsg::Bundle {
+                                bundle,
+                                is_final: final_offer,
+                                round,
+                            }))
+                            .map_err(|_| MarketError::StrategyError("data went away".into()))?;
+                        session.step(SessionEvent::Gain(gain), listings, task)?
+                    }
+                    SessionEffect::Finished(outcome) => {
+                        // Forward the settlement (the session always puts
+                        // one in the transcript) so the data thread exits
+                        // cleanly.
+                        if let Some(settle) = outcome.transcript.settlement() {
+                            let _ = to_data.send(Message::Settle(settle));
+                        }
+                        return Ok(*outcome);
+                    }
+                };
             }
         };
         let outcome = run_task();
@@ -267,7 +206,7 @@ pub fn run_bargaining_distributed<G: GainProvider + Sync + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::run_bargaining;
+    use crate::engine::{run_bargaining, FailureReason, OutcomeStatus};
     use crate::gain::TableGainProvider;
     use crate::price::ReservedPrice;
     use crate::strategy::{StrategicData, StrategicTask};
@@ -369,5 +308,24 @@ mod tests {
         let mut t = StrategicTask::new(0.30, 6.0, 0.9).unwrap();
         let mut d = StrategicData::with_gains(gains);
         assert!(run_bargaining_distributed(&provider, &[], &mut t, &mut d, &cfg(1)).is_err());
+    }
+
+    #[test]
+    fn wider_channels_change_nothing() {
+        // The protocol is turn-based, so channel capacity must not affect
+        // the negotiated outcome — only buffering slack.
+        let (provider, listings, gains) = market();
+        let run = |capacity: usize| {
+            let mut t = StrategicTask::new(0.30, 6.0, 0.9).unwrap();
+            let mut d = StrategicData::with_gains(gains.clone());
+            let c = MarketConfig {
+                channel_capacity: capacity,
+                ..cfg(11)
+            };
+            run_bargaining_distributed(&provider, &listings, &mut t, &mut d, &c).unwrap()
+        };
+        let narrow = run(1);
+        let wide = run(64);
+        assert_eq!(narrow, wide);
     }
 }

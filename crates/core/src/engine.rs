@@ -1,23 +1,26 @@
-//! The iterative bargaining engine (§3.3): one authoritative implementation
-//! of the three-step round — Step 1 the task party quotes, Step 2 the data
-//! party offers a bundle (or withdraws), Step 3 the parties run a VFL
-//! course — with the termination Cases applied by the strategies, the
-//! exploration window (Case VII), bargaining costs, and a full protocol
-//! transcript.
+//! The iterative bargaining engine (§3.3): the three-step round — Step 1
+//! the task party quotes, Step 2 the data party offers a bundle (or
+//! withdraws), Step 3 the parties run a VFL course — with the termination
+//! Cases applied by the strategies, the exploration window (Case VII),
+//! bargaining costs, and a full protocol transcript.
+//!
+//! The round logic itself lives in the resumable
+//! [`crate::session::NegotiationSession`] state machine; [`run_bargaining`]
+//! is the run-to-completion driver over it, looping both parties in one
+//! thread and serving Step 3 from a [`GainProvider`]. The trace (RNG
+//! stream, transcript, round records) is bit-identical to the historic
+//! single-loop engine — the equivalence property suite in
+//! `tests/session_equivalence.rs` pins that down.
 
 use crate::config::MarketConfig;
-use crate::error::{MarketError, Result};
+use crate::error::Result;
 use crate::gain::GainProvider;
 use crate::listing::Listing;
-use crate::payment::task_net_profit;
 use crate::price::QuotedPrice;
-use crate::strategy::{
-    DataContext, DataResponse, DataStrategy, TaskContext, TaskDecision, TaskStrategy,
-};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use crate::session::{NegotiationSession, SessionEffect, SessionEvent};
+use crate::strategy::{DataContext, DataStrategy, TaskStrategy};
 use serde::{Deserialize, Serialize};
-use vfl_sim::protocol::{GainReportMsg, Message, OfferMsg, QuoteMsg, SettleMsg, Transcript};
+use vfl_sim::protocol::Transcript;
 use vfl_sim::BundleMask;
 
 /// Which side closed a successful transaction.
@@ -131,6 +134,11 @@ impl Outcome {
 
 /// Runs one complete negotiation between a task strategy and a data
 /// strategy over a listing table, with realized gains served by `provider`.
+///
+/// Thin driver over [`NegotiationSession`]: both parties run in this
+/// thread, the data party's draws are routed through the session RNG (the
+/// historic engine interleaved one stream), and each `AwaitGain` suspension
+/// is answered synchronously by `provider`.
 pub fn run_bargaining<G: GainProvider + ?Sized>(
     provider: &G,
     listings: &[Listing],
@@ -138,171 +146,28 @@ pub fn run_bargaining<G: GainProvider + ?Sized>(
     data: &mut dyn DataStrategy,
     cfg: &MarketConfig,
 ) -> Result<Outcome> {
-    cfg.validate()?;
-    if listings.is_empty() {
-        return Err(MarketError::InvalidConfig("empty listing table".into()));
-    }
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xba5_9a1_4e5);
-    let mut transcript = Transcript::default();
-    let mut rounds: Vec<RoundRecord> = Vec::new();
-
-    let mut quote = task.initial_quote(cfg, &mut rng)?;
-    let mut round: u32 = 1;
-
-    let finish = |status: OutcomeStatus,
-                  rounds: Vec<RoundRecord>,
-                  mut transcript: Transcript,
-                  round: u32| {
-        let msg = match status {
-            OutcomeStatus::Success { .. } => {
-                let amount = rounds
-                    .last()
-                    .map(|r: &RoundRecord| r.payment)
-                    .unwrap_or(0.0);
-                Message::Settle(SettleMsg::Pay { amount, round })
-            }
-            OutcomeStatus::Failed { .. } => Message::Settle(SettleMsg::Abort { round }),
-        };
-        transcript.push(msg);
-        Ok(Outcome {
-            status,
-            rounds,
-            transcript,
-        })
-    };
-
+    let mut session = NegotiationSession::new(*cfg)?;
+    let mut effect = session.step(SessionEvent::Start, listings, task)?;
     loop {
-        let exploring = round <= cfg.explore_rounds;
-
-        // Step 1 (the announcement half): record the quote on the wire.
-        transcript.push(Message::Quote(QuoteMsg {
-            rate: quote.rate,
-            base: quote.base,
-            cap: quote.cap,
-            round,
-        }));
-
-        // Step 2: the data party responds.
-        let dctx = DataContext {
-            round,
-            exploring,
-            quote: &quote,
-            cost_now: cfg.data_cost.cost(round),
-            cost_next: cfg.data_cost.cost(round + 1),
-        };
-        let response = data.respond(&dctx, listings, cfg, &mut rng)?;
-        let (listing_idx, is_final) = match response {
-            DataResponse::Withdraw => {
-                transcript.push(Message::Offer(OfferMsg::Withdraw { round }));
-                return finish(
-                    OutcomeStatus::Failed {
-                        reason: FailureReason::NoAffordableBundle,
-                    },
-                    rounds,
-                    transcript,
-                    round,
-                );
-            }
-            DataResponse::Offer { listing, is_final } => {
-                if listing >= listings.len() {
-                    return Err(MarketError::StrategyError(format!(
-                        "offered listing {listing} out of range ({} listings)",
-                        listings.len()
-                    )));
-                }
-                (listing, is_final)
-            }
-        };
-        let bundle = listings[listing_idx].bundle;
-        transcript.push(Message::Offer(OfferMsg::Bundle {
-            bundle,
-            is_final,
-            round,
-        }));
-
-        // Step 3: the VFL course runs and the gain is realized.
-        let gain = provider.gain(bundle)?;
-        transcript.push(Message::GainReport(GainReportMsg { gain, round }));
-        let record = RoundRecord {
-            round,
-            quote,
-            listing: listing_idx,
-            bundle,
-            gain,
-            payment: quote.payment(gain),
-            net_profit: task_net_profit(cfg.utility_rate, &quote, gain),
-            cost_task: cfg.task_cost.cost(round),
-            cost_data: cfg.data_cost.cost(round),
-            final_offer: is_final,
-        };
-        rounds.push(record);
-        task.observe_course(&quote, bundle, gain);
-        data.observe_course(bundle, gain);
-
-        // Case 2 / II: data-party acceptance closes the deal.
-        if is_final && !exploring {
-            return finish(
-                OutcomeStatus::Success {
-                    by: ClosedBy::DataParty,
-                },
-                rounds,
-                transcript,
+        effect = match effect {
+            SessionEffect::AwaitOffer {
+                quote,
                 round,
-            );
-        }
-
-        // Step 1 of the next round: the task party decides (Cases 4–6).
-        let tctx = TaskContext {
-            round,
-            exploring,
-            quote: &quote,
-            realized_gain: gain,
-            cost_now: cfg.task_cost.cost(round),
-            cost_next: cfg.task_cost.cost(round + 1),
+                exploring,
+            } => {
+                // Step 2: the data party responds.
+                let dctx = DataContext::at_round(cfg, round, exploring, &quote);
+                let response = data.respond(&dctx, listings, cfg, session.rng_mut())?;
+                session.step(SessionEvent::Offer(response), listings, task)?
+            }
+            SessionEffect::AwaitGain { bundle, .. } => {
+                // Step 3: the VFL course runs and the gain is realized.
+                let gain = provider.gain(bundle)?;
+                data.observe_course(bundle, gain);
+                session.step(SessionEvent::Gain(gain), listings, task)?
+            }
+            SessionEffect::Finished(outcome) => return Ok(*outcome),
         };
-        match task.decide(&tctx, cfg, &mut rng)? {
-            TaskDecision::Accept => {
-                return finish(
-                    OutcomeStatus::Success {
-                        by: ClosedBy::TaskParty,
-                    },
-                    rounds,
-                    transcript,
-                    round,
-                );
-            }
-            TaskDecision::Fail => {
-                // Distinguish break-even failure from budget exhaustion for
-                // the analysis tables.
-                let reason = if gain < quote.break_even_gain(cfg.utility_rate) {
-                    FailureReason::GainBelowBreakEven
-                } else {
-                    FailureReason::BudgetExhausted
-                };
-                return finish(OutcomeStatus::Failed { reason }, rounds, transcript, round);
-            }
-            TaskDecision::Requote(next) => {
-                if next.cap > cfg.budget + 1e-12 {
-                    return Err(MarketError::StrategyError(format!(
-                        "requote cap {} exceeds budget {}",
-                        next.cap, cfg.budget
-                    )));
-                }
-                quote = next;
-            }
-        }
-
-        round += 1;
-        if round > cfg.max_rounds {
-            return finish(
-                OutcomeStatus::Failed {
-                    reason: FailureReason::RoundLimit,
-                },
-                rounds,
-                transcript,
-                cfg.max_rounds,
-            );
-        }
     }
 }
 

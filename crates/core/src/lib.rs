@@ -13,8 +13,12 @@
 //! * [`termination`] — Cases 1–6 and the Eq. 6 / Eq. 7 cost rules;
 //! * [`strategy`] — the strategic players plus the Increase Price and
 //!   Random Bundle baselines (§4.2);
-//! * [`engine`] — the iterative three-step bargaining loop (§3.3) with
-//!   exploration (Case VII) and full protocol transcripts;
+//! * [`session`] — the resumable `NegotiationSession` state machine: one
+//!   three-step round encoded as `step(event) -> SessionEffect`, suspendable
+//!   at the offer and course boundaries (the substrate for every driver and
+//!   for the `vfl-exchange` marketplace runtime);
+//! * [`engine`] — the run-to-completion driver (§3.3) with exploration
+//!   (Case VII) and full protocol transcripts;
 //! * [`equilibrium`] — executable Theorem 3.1 / Lemma 3.1 /
 //!   Propositions 3.1–3.2 checks;
 //! * [`gain`] — the `GainProvider` boundary to the VFL substrate.
@@ -30,6 +34,7 @@ pub mod gain;
 pub mod listing;
 pub mod payment;
 pub mod price;
+pub mod session;
 pub mod strategy;
 pub mod termination;
 
@@ -42,6 +47,7 @@ pub use error::{MarketError, Result};
 pub use gain::{GainProvider, TableGainProvider};
 pub use listing::{build_listings, Listing, ReservedPricing};
 pub use price::{QuotedPrice, ReservedPrice};
+pub use session::{NegotiationSession, SessionEffect, SessionEvent, SessionPhase};
 pub use strategy::{
     AdaptiveConfig, AdaptiveStepTask, DataContext, DataResponse, DataStrategy, IncreasePriceTask,
     RandomBundleData, StrategicData, StrategicTask, TaskContext, TaskDecision, TaskStrategy,

@@ -1,0 +1,527 @@
+//! The resumable negotiation state machine: one authoritative encoding of
+//! the three-step bargaining round (§3.3) that can be *suspended* at its two
+//! interaction points — waiting for the data party's offer (Step 2) and
+//! waiting for the realized ΔG of a VFL course (Step 3) — and resumed by
+//! feeding the matching [`SessionEvent`].
+//!
+//! [`crate::engine::run_bargaining`] and
+//! [`crate::distributed::run_bargaining_distributed`] are thin drivers over
+//! this machine (one in-process, one over wire channels), and the
+//! `vfl-exchange` marketplace runtime drives thousands of these sessions
+//! interleaved, parking each one while its course result is pending.
+//!
+//! ## Termination-case map (§3.4.2 / §3.5.2)
+//!
+//! | transition | paper case |
+//! |---|---|
+//! | `Offer(Withdraw)` → `Finished(Failed: NoAffordableBundle)` | Case 1 / I |
+//! | `Gain` with a final offer outside exploration → `Finished(Success: DataParty)` | Case 2 / II |
+//! | `Offer(Offer{..})` → `AwaitGain` (course runs) | Case 3 / III |
+//! | `Gain` → task decides `Fail` (gain below break-even) → `Finished(Failed: GainBelowBreakEven)` | Case 4 / IV |
+//! | `Gain` → task decides `Accept` → `Finished(Success: TaskParty)` | Case 5 / V (and the Eq. 6/7 cost rules) |
+//! | `Gain` → task decides `Requote` → `AwaitOffer` of the next round | Case 6 / VI |
+//! | rounds `1..=explore_rounds` (`exploring` flag): closure suppressed | Case VII |
+//!
+//! Exceeding `max_rounds` fails the transaction (`RoundLimit`), and a task
+//! decision of `Fail` with escalation room exhausted maps to
+//! `BudgetExhausted` — exactly the taxonomy of [`crate::engine::FailureReason`].
+
+use crate::config::MarketConfig;
+use crate::engine::{ClosedBy, FailureReason, Outcome, OutcomeStatus, RoundRecord};
+use crate::error::{MarketError, Result};
+use crate::listing::Listing;
+use crate::payment::task_net_profit;
+use crate::price::QuotedPrice;
+use crate::strategy::{DataResponse, TaskContext, TaskDecision, TaskStrategy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vfl_sim::protocol::{GainReportMsg, Message, OfferMsg, QuoteMsg, SettleMsg, Transcript};
+use vfl_sim::BundleMask;
+
+/// RNG salt of the in-process engine ([`crate::engine::run_bargaining`]).
+pub(crate) const LOCAL_RNG_SALT: u64 = 0xba5_9a1_4e5;
+
+/// An input that resumes a suspended session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SessionEvent {
+    /// Begin the negotiation (valid exactly once, on a fresh session).
+    Start,
+    /// The data party's response to the pending quote (Step 2).
+    Offer(DataResponse),
+    /// The realized ΔG of the pending VFL course (Step 3).
+    Gain(f64),
+}
+
+/// What the driver must do next.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionEffect {
+    /// Deliver `quote` to the data party and feed its response back as
+    /// [`SessionEvent::Offer`].
+    AwaitOffer {
+        quote: QuotedPrice,
+        round: u32,
+        /// True during the exploration window (Case VII).
+        exploring: bool,
+    },
+    /// Run the VFL course for `bundle` and feed the realized ΔG back as
+    /// [`SessionEvent::Gain`]. This is the expensive step: a marketplace
+    /// runtime parks the session here and lets a worker (or a shared cache)
+    /// produce the gain.
+    AwaitGain {
+        bundle: BundleMask,
+        /// Index of the offered listing.
+        listing: usize,
+        round: u32,
+        /// True when the data party marked the offer final (Case 2 pends on
+        /// this course's result).
+        final_offer: bool,
+    },
+    /// The negotiation closed; the outcome is yielded exactly once.
+    Finished(Box<Outcome>),
+}
+
+/// Where a session currently is (coarse observability for stores/dashboards;
+/// the fine-grained case taxonomy lives in [`OutcomeStatus`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionPhase {
+    /// Constructed, [`SessionEvent::Start`] not yet applied.
+    Created,
+    /// Suspended on Step 2: a quote is on the table.
+    AwaitingOffer,
+    /// Suspended on Step 3: a course result is pending.
+    AwaitingGain,
+    /// Terminal: the outcome has been produced.
+    Closed,
+}
+
+/// A resumable negotiation. Owns the protocol bookkeeping (round counter,
+/// transcript, per-round records, the engine RNG) but *not* the strategies
+/// or the listing table — those are passed into [`Self::step`] by the
+/// driver, so the same machine serves borrowed in-process strategies, the
+/// task side of the distributed engine, and boxed exchange sessions.
+#[derive(Debug)]
+pub struct NegotiationSession {
+    cfg: MarketConfig,
+    rng: StdRng,
+    transcript: Transcript,
+    rounds: Vec<RoundRecord>,
+    quote: Option<QuotedPrice>,
+    round: u32,
+    phase: SessionPhase,
+    pending: Option<PendingCourse>,
+}
+
+/// Step-2 context carried across the course suspension.
+#[derive(Debug, Clone, Copy)]
+struct PendingCourse {
+    listing: usize,
+    is_final: bool,
+}
+
+impl NegotiationSession {
+    /// A session with the in-process engine's RNG stream: step-driving it
+    /// is bit-identical to [`crate::engine::run_bargaining`].
+    pub fn new(cfg: MarketConfig) -> Result<Self> {
+        let salt = cfg.seed ^ LOCAL_RNG_SALT;
+        Self::with_rng_seed(cfg, salt)
+    }
+
+    /// A session whose RNG is seeded explicitly (the distributed engine
+    /// derives per-party streams; see [`crate::distributed`]).
+    pub fn with_rng_seed(cfg: MarketConfig, rng_seed: u64) -> Result<Self> {
+        cfg.validate()?;
+        Ok(NegotiationSession {
+            cfg,
+            rng: StdRng::seed_from_u64(rng_seed),
+            transcript: Transcript::default(),
+            rounds: Vec::new(),
+            quote: None,
+            round: 1,
+            phase: SessionPhase::Created,
+            pending: None,
+        })
+    }
+
+    /// The session's market configuration.
+    pub fn config(&self) -> &MarketConfig {
+        &self.cfg
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> SessionPhase {
+        self.phase
+    }
+
+    /// Current round `T` (1-based).
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// Number of rounds in which a VFL course has completed so far.
+    pub fn n_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// The engine RNG. In-process drivers route the data party's draws
+    /// through this so the interleaved stream matches the classic
+    /// single-loop engine draw for draw.
+    pub fn rng_mut(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// True while `round` is inside the exploration window (Case VII).
+    pub fn exploring(&self) -> bool {
+        self.round <= self.cfg.explore_rounds
+    }
+
+    /// Applies one event and returns the next effect. Feeding an event that
+    /// does not match the current phase is a protocol violation
+    /// ([`MarketError::StrategyError`]); the session stays usable only along
+    /// the legal path.
+    pub fn step(
+        &mut self,
+        event: SessionEvent,
+        listings: &[Listing],
+        task: &mut dyn TaskStrategy,
+    ) -> Result<SessionEffect> {
+        match (self.phase, event) {
+            (SessionPhase::Created, SessionEvent::Start) => {
+                if listings.is_empty() {
+                    return Err(MarketError::InvalidConfig("empty listing table".into()));
+                }
+                let quote = task.initial_quote(&self.cfg, &mut self.rng)?;
+                Ok(self.emit_quote(quote))
+            }
+            (SessionPhase::AwaitingOffer, SessionEvent::Offer(response)) => {
+                self.on_offer(response, listings)
+            }
+            (SessionPhase::AwaitingGain, SessionEvent::Gain(gain)) => {
+                self.on_gain(gain, listings, task)
+            }
+            (phase, event) => Err(MarketError::StrategyError(format!(
+                "session protocol violation: event {event:?} in phase {phase:?}"
+            ))),
+        }
+    }
+
+    /// Step 1 (announcement half): puts `quote` on the wire and suspends for
+    /// the data party's response.
+    fn emit_quote(&mut self, quote: QuotedPrice) -> SessionEffect {
+        self.transcript.push(Message::Quote(QuoteMsg {
+            rate: quote.rate,
+            base: quote.base,
+            cap: quote.cap,
+            round: self.round,
+        }));
+        self.quote = Some(quote);
+        self.phase = SessionPhase::AwaitingOffer;
+        SessionEffect::AwaitOffer {
+            quote,
+            round: self.round,
+            exploring: self.exploring(),
+        }
+    }
+
+    /// Step 2: the data party responded (withdraw = Case 1, offer = Case 3).
+    fn on_offer(&mut self, response: DataResponse, listings: &[Listing]) -> Result<SessionEffect> {
+        match response {
+            DataResponse::Withdraw => {
+                self.transcript
+                    .push(Message::Offer(OfferMsg::Withdraw { round: self.round }));
+                Ok(self.finish(
+                    OutcomeStatus::Failed {
+                        reason: FailureReason::NoAffordableBundle,
+                    },
+                    self.round,
+                ))
+            }
+            DataResponse::Offer { listing, is_final } => {
+                if listing >= listings.len() {
+                    return Err(MarketError::StrategyError(format!(
+                        "offered listing {listing} out of range ({} listings)",
+                        listings.len()
+                    )));
+                }
+                let bundle = listings[listing].bundle;
+                self.transcript.push(Message::Offer(OfferMsg::Bundle {
+                    bundle,
+                    is_final,
+                    round: self.round,
+                }));
+                self.pending = Some(PendingCourse { listing, is_final });
+                self.phase = SessionPhase::AwaitingGain;
+                Ok(SessionEffect::AwaitGain {
+                    bundle,
+                    listing,
+                    round: self.round,
+                    final_offer: is_final,
+                })
+            }
+        }
+    }
+
+    /// Step 3 aftermath: record the course, then apply the termination
+    /// cases (2/II, 4–6) and either close or open the next round.
+    fn on_gain(
+        &mut self,
+        gain: f64,
+        listings: &[Listing],
+        task: &mut dyn TaskStrategy,
+    ) -> Result<SessionEffect> {
+        let PendingCourse { listing, is_final } =
+            self.pending.take().expect("AwaitingGain holds a course");
+        let quote = self.quote.expect("AwaitingGain holds a quote");
+        let round = self.round;
+        let exploring = self.exploring();
+        self.transcript
+            .push(Message::GainReport(GainReportMsg { gain, round }));
+        self.rounds.push(RoundRecord {
+            round,
+            quote,
+            listing,
+            bundle: listings[listing].bundle,
+            gain,
+            payment: quote.payment(gain),
+            net_profit: task_net_profit(self.cfg.utility_rate, &quote, gain),
+            cost_task: self.cfg.task_cost.cost(round),
+            cost_data: self.cfg.data_cost.cost(round),
+            final_offer: is_final,
+        });
+        task.observe_course(&quote, listings[listing].bundle, gain);
+
+        // Case 2 / II: data-party acceptance closes the deal.
+        if is_final && !exploring {
+            return Ok(self.finish(
+                OutcomeStatus::Success {
+                    by: ClosedBy::DataParty,
+                },
+                round,
+            ));
+        }
+
+        // Step 1 of the next round: the task party decides (Cases 4–6).
+        let cfg = self.cfg;
+        let tctx = TaskContext::after_course(&cfg, round, exploring, &quote, gain);
+        match task.decide(&tctx, &cfg, &mut self.rng)? {
+            TaskDecision::Accept => Ok(self.finish(
+                OutcomeStatus::Success {
+                    by: ClosedBy::TaskParty,
+                },
+                round,
+            )),
+            TaskDecision::Fail => {
+                // Distinguish break-even failure from budget exhaustion for
+                // the analysis tables.
+                let reason = if gain < quote.break_even_gain(self.cfg.utility_rate) {
+                    FailureReason::GainBelowBreakEven
+                } else {
+                    FailureReason::BudgetExhausted
+                };
+                Ok(self.finish(OutcomeStatus::Failed { reason }, round))
+            }
+            TaskDecision::Requote(next) => {
+                if next.cap > self.cfg.budget + 1e-12 {
+                    return Err(MarketError::StrategyError(format!(
+                        "requote cap {} exceeds budget {}",
+                        next.cap, self.cfg.budget
+                    )));
+                }
+                self.round += 1;
+                if self.round > self.cfg.max_rounds {
+                    return Ok(self.finish(
+                        OutcomeStatus::Failed {
+                            reason: FailureReason::RoundLimit,
+                        },
+                        self.cfg.max_rounds,
+                    ));
+                }
+                Ok(self.emit_quote(next))
+            }
+        }
+    }
+
+    /// Settles the transcript and yields the outcome.
+    fn finish(&mut self, status: OutcomeStatus, round: u32) -> SessionEffect {
+        let msg = match status {
+            OutcomeStatus::Success { .. } => {
+                let amount = self.rounds.last().map(|r| r.payment).unwrap_or(0.0);
+                Message::Settle(SettleMsg::Pay { amount, round })
+            }
+            OutcomeStatus::Failed { .. } => Message::Settle(SettleMsg::Abort { round }),
+        };
+        self.transcript.push(msg);
+        self.phase = SessionPhase::Closed;
+        SessionEffect::Finished(Box::new(Outcome {
+            status,
+            rounds: std::mem::take(&mut self.rounds),
+            transcript: std::mem::take(&mut self.transcript),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_bargaining;
+    use crate::gain::TableGainProvider;
+    use crate::price::ReservedPrice;
+    use crate::strategy::{DataContext, DataStrategy, StrategicData, StrategicTask};
+
+    fn market() -> (TableGainProvider, Vec<Listing>, Vec<f64>) {
+        let gains = vec![0.05, 0.12, 0.20, 0.30];
+        let listings: Vec<Listing> = [(5.0, 0.8), (7.0, 1.0), (9.0, 1.2), (11.0, 1.5)]
+            .iter()
+            .enumerate()
+            .map(|(i, &(rate, base))| Listing {
+                bundle: BundleMask::singleton(i),
+                reserved: ReservedPrice::new(rate, base).unwrap(),
+            })
+            .collect();
+        let provider =
+            TableGainProvider::new(listings.iter().zip(&gains).map(|(l, &g)| (l.bundle, g)));
+        (provider, listings, gains)
+    }
+
+    fn cfg(seed: u64) -> MarketConfig {
+        MarketConfig {
+            utility_rate: 1000.0,
+            budget: 12.0,
+            rate_cap: 20.0,
+            seed,
+            ..MarketConfig::default()
+        }
+    }
+
+    /// Drives the machine by hand, mirroring the in-process driver.
+    fn drive_manual(seed: u64) -> Outcome {
+        use crate::gain::GainProvider;
+        let (provider, listings, gains) = market();
+        let cfg = cfg(seed);
+        let mut task = StrategicTask::new(0.30, 6.0, 0.9).unwrap();
+        let mut data = StrategicData::with_gains(gains);
+        let mut session = NegotiationSession::new(cfg).unwrap();
+        let mut effect = session
+            .step(SessionEvent::Start, &listings, &mut task)
+            .unwrap();
+        loop {
+            effect = match effect {
+                SessionEffect::AwaitOffer {
+                    quote,
+                    round,
+                    exploring,
+                } => {
+                    let dctx = DataContext::at_round(&cfg, round, exploring, &quote);
+                    let resp = data
+                        .respond(&dctx, &listings, &cfg, session.rng_mut())
+                        .unwrap();
+                    session
+                        .step(SessionEvent::Offer(resp), &listings, &mut task)
+                        .unwrap()
+                }
+                SessionEffect::AwaitGain { bundle, .. } => {
+                    let gain = provider.gain(bundle).unwrap();
+                    data.observe_course(bundle, gain);
+                    session
+                        .step(SessionEvent::Gain(gain), &listings, &mut task)
+                        .unwrap()
+                }
+                SessionEffect::Finished(outcome) => return *outcome,
+            };
+        }
+    }
+
+    #[test]
+    fn manual_stepping_matches_run_bargaining() {
+        let (provider, listings, gains) = market();
+        for seed in 0..8 {
+            let mut task = StrategicTask::new(0.30, 6.0, 0.9).unwrap();
+            let mut data = StrategicData::with_gains(gains.clone());
+            let reference =
+                run_bargaining(&provider, &listings, &mut task, &mut data, &cfg(seed)).unwrap();
+            assert_eq!(drive_manual(seed), reference, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn phases_progress_and_close() {
+        let (provider, listings, gains) = market();
+        let cfg = cfg(3);
+        let mut task = StrategicTask::new(0.30, 6.0, 0.9).unwrap();
+        let mut data = StrategicData::with_gains(gains);
+        let mut session = NegotiationSession::new(cfg).unwrap();
+        assert_eq!(session.phase(), SessionPhase::Created);
+        let mut effect = session
+            .step(SessionEvent::Start, &listings, &mut task)
+            .unwrap();
+        assert_eq!(session.phase(), SessionPhase::AwaitingOffer);
+        let mut saw_gain_phase = false;
+        loop {
+            effect = match effect {
+                SessionEffect::AwaitOffer {
+                    quote,
+                    round,
+                    exploring,
+                } => {
+                    let dctx = DataContext::at_round(&cfg, round, exploring, &quote);
+                    let resp = data
+                        .respond(&dctx, &listings, &cfg, session.rng_mut())
+                        .unwrap();
+                    session
+                        .step(SessionEvent::Offer(resp), &listings, &mut task)
+                        .unwrap()
+                }
+                SessionEffect::AwaitGain { bundle, .. } => {
+                    use crate::gain::GainProvider;
+                    assert_eq!(session.phase(), SessionPhase::AwaitingGain);
+                    saw_gain_phase = true;
+                    let gain = provider.gain(bundle).unwrap();
+                    session
+                        .step(SessionEvent::Gain(gain), &listings, &mut task)
+                        .unwrap()
+                }
+                SessionEffect::Finished(_) => break,
+            };
+        }
+        assert!(saw_gain_phase);
+        assert_eq!(session.phase(), SessionPhase::Closed);
+    }
+
+    #[test]
+    fn out_of_order_events_are_protocol_violations() {
+        let (_, listings, gains) = market();
+        let mut task = StrategicTask::new(0.30, 6.0, 0.9).unwrap();
+        let _ = gains;
+        let mut session = NegotiationSession::new(cfg(1)).unwrap();
+        // Gain before Start.
+        assert!(session
+            .step(SessionEvent::Gain(0.1), &listings, &mut task)
+            .is_err());
+        // Start works once…
+        session
+            .step(SessionEvent::Start, &listings, &mut task)
+            .unwrap();
+        // …but not twice, and a gain is not expected yet.
+        assert!(session
+            .step(SessionEvent::Start, &listings, &mut task)
+            .is_err());
+        assert!(session
+            .step(SessionEvent::Gain(0.1), &listings, &mut task)
+            .is_err());
+    }
+
+    #[test]
+    fn empty_listings_rejected_at_start() {
+        let mut task = StrategicTask::new(0.30, 6.0, 0.9).unwrap();
+        let mut session = NegotiationSession::new(cfg(1)).unwrap();
+        assert!(session.step(SessionEvent::Start, &[], &mut task).is_err());
+    }
+
+    #[test]
+    fn invalid_config_rejected_at_construction() {
+        let bad = MarketConfig {
+            budget: -1.0,
+            ..MarketConfig::default()
+        };
+        assert!(NegotiationSession::new(bad).is_err());
+    }
+}

@@ -38,6 +38,27 @@ pub struct TaskContext<'a> {
     pub cost_next: f64,
 }
 
+impl<'a> TaskContext<'a> {
+    /// The context of the decision following round `round`'s course, with
+    /// the cost terms derived from `cfg` (Eq. 7's `C_t(T)` / `C_t(T+1)`).
+    pub fn after_course(
+        cfg: &MarketConfig,
+        round: u32,
+        exploring: bool,
+        quote: &'a QuotedPrice,
+        realized_gain: f64,
+    ) -> Self {
+        TaskContext {
+            round,
+            exploring,
+            quote,
+            realized_gain,
+            cost_now: cfg.task_cost.cost(round),
+            cost_next: cfg.task_cost.cost(round + 1),
+        }
+    }
+}
+
 /// Task-party decision after observing a course.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TaskDecision {
@@ -84,6 +105,25 @@ pub struct DataContext<'a> {
     pub cost_now: f64,
     /// `C_d(T+1)` (for Eq. 6).
     pub cost_next: f64,
+}
+
+impl<'a> DataContext<'a> {
+    /// The context for responding to round `round`'s quote, with the cost
+    /// terms derived from `cfg` (Eq. 6's `C_d(T)` / `C_d(T+1)`).
+    pub fn at_round(
+        cfg: &MarketConfig,
+        round: u32,
+        exploring: bool,
+        quote: &'a QuotedPrice,
+    ) -> Self {
+        DataContext {
+            round,
+            exploring,
+            quote,
+            cost_now: cfg.data_cost.cost(round),
+            cost_next: cfg.data_cost.cost(round + 1),
+        }
+    }
 }
 
 /// Data-party response to a quote.

@@ -1,0 +1,434 @@
+//! Engine-refactor equivalence: the `NegotiationSession` state machine must
+//! reproduce the historic run-to-completion engine *bit for bit*.
+//!
+//! `reference_run_bargaining` below is a verbatim copy of the pre-refactor
+//! single-loop engine (the `run_bargaining` body before it became a session
+//! driver). The properties assert that, over randomly generated market
+//! shapes, configs, cost models, exploration windows, and both data-party
+//! strategies:
+//!
+//! 1. the production `run_bargaining` driver yields an identical `Outcome`
+//!    (status, every `RoundRecord` field, the full transcript), and
+//! 2. driving the `NegotiationSession` step by step by hand — the way the
+//!    `vfl-exchange` runtime drives parked sessions — yields the same.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vfl_market::session::{NegotiationSession, SessionEffect, SessionEvent};
+use vfl_market::strategy::{DataContext, DataResponse, TaskContext, TaskDecision};
+use vfl_market::{
+    run_bargaining, ClosedBy, CostModel, DataStrategy, FailureReason, GainProvider, Listing,
+    MarketConfig, MarketError, Outcome, OutcomeStatus, RandomBundleData, ReservedPrice,
+    RoundRecord, StrategicData, StrategicTask, TableGainProvider, TaskStrategy,
+};
+use vfl_sim::protocol::{GainReportMsg, Message, OfferMsg, QuoteMsg, SettleMsg, Transcript};
+use vfl_sim::BundleMask;
+
+// ---------------------------------------------------------------------------
+// Reference implementation: the pre-refactor engine, copied verbatim.
+// ---------------------------------------------------------------------------
+
+#[allow(clippy::too_many_lines)]
+fn reference_run_bargaining<G: GainProvider + ?Sized>(
+    provider: &G,
+    listings: &[Listing],
+    task: &mut dyn TaskStrategy,
+    data: &mut dyn DataStrategy,
+    cfg: &MarketConfig,
+) -> Result<Outcome, MarketError> {
+    cfg.validate()?;
+    if listings.is_empty() {
+        return Err(MarketError::InvalidConfig("empty listing table".into()));
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xba5_9a1_4e5);
+    let mut transcript = Transcript::default();
+    let mut rounds: Vec<RoundRecord> = Vec::new();
+
+    let mut quote = task.initial_quote(cfg, &mut rng)?;
+    let mut round: u32 = 1;
+
+    let finish = |status: OutcomeStatus,
+                  rounds: Vec<RoundRecord>,
+                  mut transcript: Transcript,
+                  round: u32| {
+        let msg = match status {
+            OutcomeStatus::Success { .. } => {
+                let amount = rounds
+                    .last()
+                    .map(|r: &RoundRecord| r.payment)
+                    .unwrap_or(0.0);
+                Message::Settle(SettleMsg::Pay { amount, round })
+            }
+            OutcomeStatus::Failed { .. } => Message::Settle(SettleMsg::Abort { round }),
+        };
+        transcript.push(msg);
+        Ok(Outcome {
+            status,
+            rounds,
+            transcript,
+        })
+    };
+
+    loop {
+        let exploring = round <= cfg.explore_rounds;
+
+        transcript.push(Message::Quote(QuoteMsg {
+            rate: quote.rate,
+            base: quote.base,
+            cap: quote.cap,
+            round,
+        }));
+
+        let dctx = DataContext {
+            round,
+            exploring,
+            quote: &quote,
+            cost_now: cfg.data_cost.cost(round),
+            cost_next: cfg.data_cost.cost(round + 1),
+        };
+        let response = data.respond(&dctx, listings, cfg, &mut rng)?;
+        let (listing_idx, is_final) = match response {
+            DataResponse::Withdraw => {
+                transcript.push(Message::Offer(OfferMsg::Withdraw { round }));
+                return finish(
+                    OutcomeStatus::Failed {
+                        reason: FailureReason::NoAffordableBundle,
+                    },
+                    rounds,
+                    transcript,
+                    round,
+                );
+            }
+            DataResponse::Offer { listing, is_final } => {
+                if listing >= listings.len() {
+                    return Err(MarketError::StrategyError(format!(
+                        "offered listing {listing} out of range ({} listings)",
+                        listings.len()
+                    )));
+                }
+                (listing, is_final)
+            }
+        };
+        let bundle = listings[listing_idx].bundle;
+        transcript.push(Message::Offer(OfferMsg::Bundle {
+            bundle,
+            is_final,
+            round,
+        }));
+
+        let gain = provider.gain(bundle)?;
+        transcript.push(Message::GainReport(GainReportMsg { gain, round }));
+        let record = RoundRecord {
+            round,
+            quote,
+            listing: listing_idx,
+            bundle,
+            gain,
+            payment: quote.payment(gain),
+            net_profit: vfl_market::payment::task_net_profit(cfg.utility_rate, &quote, gain),
+            cost_task: cfg.task_cost.cost(round),
+            cost_data: cfg.data_cost.cost(round),
+            final_offer: is_final,
+        };
+        rounds.push(record);
+        task.observe_course(&quote, bundle, gain);
+        data.observe_course(bundle, gain);
+
+        if is_final && !exploring {
+            return finish(
+                OutcomeStatus::Success {
+                    by: ClosedBy::DataParty,
+                },
+                rounds,
+                transcript,
+                round,
+            );
+        }
+
+        let tctx = TaskContext {
+            round,
+            exploring,
+            quote: &quote,
+            realized_gain: gain,
+            cost_now: cfg.task_cost.cost(round),
+            cost_next: cfg.task_cost.cost(round + 1),
+        };
+        match task.decide(&tctx, cfg, &mut rng)? {
+            TaskDecision::Accept => {
+                return finish(
+                    OutcomeStatus::Success {
+                        by: ClosedBy::TaskParty,
+                    },
+                    rounds,
+                    transcript,
+                    round,
+                );
+            }
+            TaskDecision::Fail => {
+                let reason = if gain < quote.break_even_gain(cfg.utility_rate) {
+                    FailureReason::GainBelowBreakEven
+                } else {
+                    FailureReason::BudgetExhausted
+                };
+                return finish(OutcomeStatus::Failed { reason }, rounds, transcript, round);
+            }
+            TaskDecision::Requote(next) => {
+                if next.cap > cfg.budget + 1e-12 {
+                    return Err(MarketError::StrategyError(format!(
+                        "requote cap {} exceeds budget {}",
+                        next.cap, cfg.budget
+                    )));
+                }
+                quote = next;
+            }
+        }
+
+        round += 1;
+        if round > cfg.max_rounds {
+            return finish(
+                OutcomeStatus::Failed {
+                    reason: FailureReason::RoundLimit,
+                },
+                rounds,
+                transcript,
+                cfg.max_rounds,
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Random market shapes (ladder markets + config axes the engine branches on).
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    gains: Vec<f64>,
+    reserve_rates: Vec<f64>,
+    reserve_bases: Vec<f64>,
+    utility: f64,
+    budget: f64,
+    seed: u64,
+    explore_rounds: u32,
+    max_rounds: u32,
+    escalation_step: f64,
+    quote_samples: usize,
+    task_cost: CostModel,
+    data_cost: CostModel,
+    random_data: bool,
+}
+
+fn cost_model() -> impl Strategy<Value = CostModel> {
+    (0u8..4, 0.0f64..0.05).prop_map(|(kind, a)| match kind {
+        0 => CostModel::None,
+        1 => CostModel::Linear { a },
+        2 => CostModel::Exponential { a: 1.0 + a * 0.1 },
+        _ => CostModel::Constant { c: a },
+    })
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (2usize..10, 0u64..2000, any::<bool>())
+        .prop_flat_map(|(n, seed, random_data)| {
+            (
+                prop::collection::vec(0.005f64..0.4, n),
+                prop::collection::vec(0.0f64..5.0, n),
+                prop::collection::vec(0.0f64..0.7, n),
+                150.0f64..2000.0,
+                8.0f64..20.0,
+                Just(seed),
+                0u32..6,
+                5u32..120,
+                0.05f64..0.5,
+                1usize..24,
+                cost_model(),
+                cost_model(),
+            )
+                .prop_map(move |axes| (axes, random_data))
+        })
+        .prop_map(
+            |(
+                (
+                    gains,
+                    rate_bumps,
+                    base_bumps,
+                    utility,
+                    budget,
+                    seed,
+                    explore_rounds,
+                    max_rounds,
+                    escalation_step,
+                    quote_samples,
+                    task_cost,
+                    data_cost,
+                ),
+                random_data,
+            )| {
+                let mut reserve_rates = Vec::with_capacity(gains.len());
+                let mut reserve_bases = Vec::with_capacity(gains.len());
+                // Anchor the cheapest listing below the (4.0, 0.6) opening
+                // quote so round 1 has affordable bundles, then grow.
+                let (mut r, mut b) = (3.0f64, 0.4f64);
+                for (rb, bb) in rate_bumps.iter().zip(&base_bumps) {
+                    reserve_rates.push(r);
+                    reserve_bases.push(b);
+                    r += rb;
+                    b += bb * 0.2;
+                }
+                Scenario {
+                    gains,
+                    reserve_rates,
+                    reserve_bases,
+                    utility,
+                    budget,
+                    seed,
+                    explore_rounds,
+                    max_rounds,
+                    escalation_step,
+                    quote_samples,
+                    task_cost,
+                    data_cost,
+                    random_data,
+                }
+            },
+        )
+}
+
+fn build(spec: &Scenario) -> (TableGainProvider, Vec<Listing>) {
+    let listings: Vec<Listing> = spec
+        .gains
+        .iter()
+        .enumerate()
+        .map(|(i, _)| Listing {
+            bundle: BundleMask::singleton(i),
+            reserved: ReservedPrice::new(spec.reserve_rates[i], spec.reserve_bases[i]).unwrap(),
+        })
+        .collect();
+    let provider = TableGainProvider::new(
+        listings
+            .iter()
+            .zip(&spec.gains)
+            .map(|(l, &g)| (l.bundle, g)),
+    );
+    (provider, listings)
+}
+
+fn config(spec: &Scenario) -> MarketConfig {
+    MarketConfig {
+        utility_rate: spec.utility,
+        budget: spec.budget,
+        rate_cap: 24.0,
+        max_rounds: spec.max_rounds,
+        explore_rounds: spec.explore_rounds,
+        escalation_step: spec.escalation_step,
+        quote_samples: spec.quote_samples,
+        task_cost: spec.task_cost,
+        data_cost: spec.data_cost,
+        seed: spec.seed,
+        ..MarketConfig::default()
+    }
+}
+
+fn task_for(spec: &Scenario) -> StrategicTask {
+    let target = spec.gains.iter().copied().fold(f64::MIN, f64::max);
+    StrategicTask::new(target, 4.0, 0.6).unwrap()
+}
+
+fn data_for(spec: &Scenario) -> Box<dyn DataStrategy> {
+    if spec.random_data {
+        Box::new(RandomBundleData::with_gains(spec.gains.clone()))
+    } else {
+        Box::new(StrategicData::with_gains(spec.gains.clone()))
+    }
+}
+
+/// Drives the state machine by hand, exactly like the exchange runtime.
+fn run_stepwise(spec: &Scenario) -> Outcome {
+    let (provider, listings) = build(spec);
+    let cfg = config(spec);
+    let mut task = task_for(spec);
+    let mut data = data_for(spec);
+    let mut session = NegotiationSession::new(cfg).unwrap();
+    let mut effect = session
+        .step(SessionEvent::Start, &listings, &mut task)
+        .unwrap();
+    loop {
+        effect = match effect {
+            SessionEffect::AwaitOffer {
+                quote,
+                round,
+                exploring,
+            } => {
+                let dctx = DataContext::at_round(&cfg, round, exploring, &quote);
+                let response = data
+                    .respond(&dctx, &listings, &cfg, session.rng_mut())
+                    .unwrap();
+                session
+                    .step(SessionEvent::Offer(response), &listings, &mut task)
+                    .unwrap()
+            }
+            SessionEffect::AwaitGain { bundle, .. } => {
+                let gain = provider.gain(bundle).unwrap();
+                data.observe_course(bundle, gain);
+                session
+                    .step(SessionEvent::Gain(gain), &listings, &mut task)
+                    .unwrap()
+            }
+            SessionEffect::Finished(outcome) => return *outcome,
+        };
+    }
+}
+
+fn run_reference(spec: &Scenario) -> Outcome {
+    let (provider, listings) = build(spec);
+    let mut task = task_for(spec);
+    let mut data = data_for(spec);
+    reference_run_bargaining(
+        &provider,
+        &listings,
+        &mut task,
+        data.as_mut(),
+        &config(spec),
+    )
+    .unwrap()
+}
+
+fn run_production(spec: &Scenario) -> Outcome {
+    let (provider, listings) = build(spec);
+    let mut task = task_for(spec);
+    let mut data = data_for(spec);
+    run_bargaining(
+        &provider,
+        &listings,
+        &mut task,
+        data.as_mut(),
+        &config(spec),
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    /// The session-driver `run_bargaining` is bit-identical to the
+    /// pre-refactor engine: same status, same `RoundRecord` sequence
+    /// (every field, `==` on floats included), same transcript.
+    #[test]
+    fn driver_matches_pre_refactor_engine(spec in scenario()) {
+        let reference = run_reference(&spec);
+        let production = run_production(&spec);
+        prop_assert_eq!(&production.status, &reference.status);
+        prop_assert_eq!(&production.rounds, &reference.rounds);
+        prop_assert_eq!(&production.transcript, &reference.transcript);
+    }
+
+    /// Step-driving the machine by hand (the exchange runtime's shape) is
+    /// also bit-identical to the pre-refactor engine.
+    #[test]
+    fn stepwise_matches_pre_refactor_engine(spec in scenario()) {
+        let reference = run_reference(&spec);
+        let stepwise = run_stepwise(&spec);
+        prop_assert_eq!(stepwise, reference);
+    }
+}

@@ -1,0 +1,246 @@
+//! The exchange-wide ΔG evaluation cache: one sharded memo table shared by
+//! *every* session in the exchange, keyed by `(evaluation key, bundle)`.
+//!
+//! Course evaluation is the marketplace's hot path. Two markets registered
+//! with the same evaluation key (same scenario, base model, and oracle
+//! seed) produce identical ΔG for identical bundles, so their sessions
+//! share cache lines; lookups hash onto independently locked shards so
+//! concurrent hits never contend, and the miss path runs the course
+//! *outside* any lock so slow trainings on different bundles proceed in
+//! parallel. Concurrent misses on the *same* key are deduplicated through
+//! the [`CourseServe::Busy`] protocol: one worker trains, the rest requeue
+//! their session and find the result cached on retry.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use vfl_market::{GainProvider, Result};
+use vfl_sim::BundleMask;
+
+/// Sharded `(evaluation key, bundle) -> ΔG` map with hit/miss counters and
+/// an in-flight set that dedups concurrent trainings of the same key.
+#[derive(Debug)]
+pub struct SharedGainCache {
+    shards: Vec<Mutex<HashMap<(u64, u64), f64>>>,
+    /// Keys whose course is being trained by some worker right now.
+    in_flight: Mutex<std::collections::HashSet<(u64, u64)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Outcome of [`SharedGainCache::serve`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CourseServe {
+    /// Served from cache.
+    Hit(f64),
+    /// This caller trained the course (the expensive path).
+    Computed(f64),
+    /// Another worker is training this exact key right now — back off and
+    /// retry; the result will be a [`CourseServe::Hit`] once it lands.
+    Busy,
+}
+
+impl SharedGainCache {
+    /// A cache with `n_shards` independent locks (clamped to >= 1).
+    pub fn new(n_shards: usize) -> Self {
+        let n = n_shards.max(1);
+        SharedGainCache {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            in_flight: Mutex::new(std::collections::HashSet::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: (u64, u64)) -> &Mutex<HashMap<(u64, u64), f64>> {
+        let h = key
+            .0
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(key.1)
+            .wrapping_mul(0x2545_f491_4f6c_dd1d);
+        &self.shards[(h >> 33) as usize % self.shards.len()]
+    }
+
+    /// Cached ΔG for `bundle` under `eval_key`; counts a hit when present.
+    /// The cheap path — exchange workers resume a session inline on a hit
+    /// and only yield it when a miss forces a real course.
+    pub fn lookup(&self, eval_key: u64, bundle: BundleMask) -> Option<f64> {
+        let g = self.peek(eval_key, bundle);
+        if g.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        g
+    }
+
+    /// Like [`Self::lookup`] but without touching the hit counter (for
+    /// budget checks that precede a real, counted request).
+    pub fn peek(&self, eval_key: u64, bundle: BundleMask) -> Option<f64> {
+        let key = (eval_key, bundle.0);
+        self.shard(key).lock().get(&key).copied()
+    }
+
+    /// Runs the course through `provider` (outside any lock), records the
+    /// miss, and caches the result.
+    pub fn compute(
+        &self,
+        eval_key: u64,
+        bundle: BundleMask,
+        provider: &dyn GainProvider,
+    ) -> Result<f64> {
+        let g = provider.gain(bundle)?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let key = (eval_key, bundle.0);
+        self.shard(key).lock().insert(key, g);
+        Ok(g)
+    }
+
+    /// Serves one course request with concurrent-miss dedup: a hit returns
+    /// immediately; on a miss, exactly one caller per key trains the course
+    /// (others get [`CourseServe::Busy`] and should requeue their session —
+    /// the landed result turns their retry into a hit). This keeps N
+    /// workers racing on one cold bundle from paying N trainings.
+    pub fn serve(
+        &self,
+        eval_key: u64,
+        bundle: BundleMask,
+        provider: &dyn GainProvider,
+    ) -> Result<CourseServe> {
+        if let Some(g) = self.lookup(eval_key, bundle) {
+            return Ok(CourseServe::Hit(g));
+        }
+        let key = (eval_key, bundle.0);
+        if !self.in_flight.lock().insert(key) {
+            return Ok(CourseServe::Busy);
+        }
+        let result = self.compute(eval_key, bundle, provider);
+        self.in_flight.lock().remove(&key);
+        result.map(CourseServe::Computed)
+    }
+
+    /// ΔG for `bundle` under `eval_key`: [`Self::lookup`] or, on a miss,
+    /// [`Self::compute`] (no dedup — single-caller convenience).
+    pub fn gain(
+        &self,
+        eval_key: u64,
+        bundle: BundleMask,
+        provider: &dyn GainProvider,
+    ) -> Result<f64> {
+        match self.lookup(eval_key, bundle) {
+            Some(g) => Ok(g),
+            None => self.compute(eval_key, bundle, provider),
+        }
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct `(evaluation key, bundle)` entries.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfl_market::TableGainProvider;
+
+    fn provider() -> TableGainProvider {
+        TableGainProvider::new([
+            (BundleMask::singleton(0), 0.1),
+            (BundleMask::singleton(1), 0.2),
+        ])
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let cache = SharedGainCache::new(8);
+        let p = provider();
+        let b = BundleMask::singleton(0);
+        assert_eq!(cache.gain(7, b, &p).unwrap(), 0.1);
+        assert_eq!(cache.gain(7, b, &p).unwrap(), 0.1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn evaluation_keys_are_isolated() {
+        let cache = SharedGainCache::new(8);
+        let p = provider();
+        let b = BundleMask::singleton(1);
+        cache.gain(1, b, &p).unwrap();
+        cache.gain(2, b, &p).unwrap();
+        assert_eq!(cache.misses(), 2, "distinct keys never share entries");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn provider_errors_propagate_and_do_not_cache() {
+        let cache = SharedGainCache::new(2);
+        let p = provider();
+        let unknown = BundleMask::singleton(5);
+        assert!(cache.gain(0, unknown, &p).is_err());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn serve_computes_once_then_hits() {
+        let cache = SharedGainCache::new(4);
+        let p = provider();
+        let b = BundleMask::singleton(0);
+        assert_eq!(cache.serve(3, b, &p).unwrap(), CourseServe::Computed(0.1));
+        assert_eq!(cache.serve(3, b, &p).unwrap(), CourseServe::Hit(0.1));
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn serve_releases_the_claim_on_provider_error() {
+        let cache = SharedGainCache::new(4);
+        let p = provider();
+        let unknown = BundleMask::singleton(9);
+        assert!(cache.serve(3, unknown, &p).is_err());
+        // The claim must not leak: a provider that recovers can compute.
+        let mut fixed = p.clone();
+        fixed.insert(unknown, 0.5);
+        assert_eq!(
+            cache.serve(3, unknown, &fixed).unwrap(),
+            CourseServe::Computed(0.5)
+        );
+    }
+
+    #[test]
+    fn concurrent_access_converges() {
+        let cache = SharedGainCache::new(4);
+        let p = provider();
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = &cache;
+                let p = &p;
+                scope.spawn(move |_| {
+                    for _ in 0..50 {
+                        assert_eq!(cache.gain(9, BundleMask::singleton(0), p).unwrap(), 0.1);
+                        assert_eq!(cache.gain(9, BundleMask::singleton(1), p).unwrap(), 0.2);
+                    }
+                });
+            }
+        })
+        .expect("scope failed");
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.hits() + cache.misses(), 400);
+        assert!(cache.misses() <= 8, "misses bounded by workers × bundles");
+    }
+}

@@ -1,0 +1,397 @@
+//! The marketplace engine: registered markets, the sharded session store,
+//! the shared gain cache, and the worker pool that drives every queued
+//! session to completion.
+//!
+//! ## Execution model
+//!
+//! A session's cheap work (quotes, offers, decisions, *cached* course
+//! results) runs inline; its expensive work (the VFL training behind an
+//! uncached ΔG) is what workers spend their time on. Each dispatch drives
+//! one session until it closes or has paid for exactly one
+//! [`SharedGainCache`] miss, then yields it back to the queue — so a
+//! dispatch costs at most one model training, cache-hot sessions close in
+//! one dispatch, and cold sessions interleave fairly over the workers
+//! instead of running head-of-line.
+//!
+//! [`Exchange::drain`] runs a dispatcher on the calling thread and
+//! `n_workers` worker threads over two **bounded** crossbeam queues (ready
+//! sessions out, notices back). The dispatcher only ever `try_send`s into
+//! the ready queue and workers only ever block on notices the dispatcher is
+//! guaranteed to consume, so the pool is deadlock-free by construction: a
+//! full ready queue simply leaves session ids parked in the dispatcher's
+//! overflow list (backpressure), never blocking anyone who holds work.
+
+use crossbeam::channel::bounded;
+use parking_lot::{Mutex, RwLock};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use vfl_market::{GainProvider, Listing, MarketError, Outcome, Result};
+
+use crate::cache::{CourseServe, SharedGainCache};
+use crate::metrics::{ExchangeMetrics, MetricsSnapshot};
+use crate::session::{ActiveSession, Drive, SessionOrder};
+use crate::store::{SessionId, SessionStatus, SessionStore};
+
+/// Opaque market handle returned by `register_market`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MarketId(pub usize);
+
+impl std::fmt::Display for MarketId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// One tradable market: a gain provider over a fixed listing table.
+pub struct MarketSpec {
+    /// Serves Step 3 (must be shareable across workers).
+    pub provider: Arc<dyn GainProvider + Send + Sync>,
+    /// The bundles on sale.
+    pub listings: Arc<Vec<Listing>>,
+    /// Cache identity: two markets with equal keys share ΔG cache entries,
+    /// so set it to a fingerprint of (scenario, base model, oracle seed).
+    /// `None` gives the market a private cache space.
+    pub evaluation_key: Option<u64>,
+    /// Display name for dashboards/reports.
+    pub name: String,
+}
+
+/// Tuning knobs for an exchange instance.
+#[derive(Debug, Clone, Copy)]
+pub struct ExchangeConfig {
+    /// Session-store shards (locks). Default 16.
+    pub store_shards: usize,
+    /// Gain-cache shards (locks). Default 32.
+    pub cache_shards: usize,
+    /// Capacity of each bounded worker queue. Default 1024.
+    pub queue_capacity: usize,
+}
+
+impl Default for ExchangeConfig {
+    fn default() -> Self {
+        ExchangeConfig {
+            store_shards: 16,
+            cache_shards: 32,
+            queue_capacity: 1024,
+        }
+    }
+}
+
+/// What one `drain` call accomplished.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DrainReport {
+    /// Sessions that reached a negotiated outcome during this drain.
+    pub closed: usize,
+    /// Sessions that died on a hard error during this drain.
+    pub failed: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock time of the drain.
+    pub elapsed: Duration,
+}
+
+impl DrainReport {
+    /// Sessions completed per wall-clock second.
+    pub fn sessions_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            (self.closed + self.failed) as f64 / secs
+        }
+    }
+}
+
+struct MarketEntry {
+    provider: Arc<dyn GainProvider + Send + Sync>,
+    listings: Arc<Vec<Listing>>,
+    eval_key: u64,
+    #[allow(dead_code)]
+    name: String,
+}
+
+/// The concurrent multi-session marketplace engine.
+pub struct Exchange {
+    cfg: ExchangeConfig,
+    markets: RwLock<Vec<MarketEntry>>,
+    store: SessionStore,
+    cache: SharedGainCache,
+    metrics: ExchangeMetrics,
+    next_session: AtomicU64,
+    /// Submitted-but-not-yet-dispatched session ids; drained by `drain`.
+    pending: Mutex<VecDeque<SessionId>>,
+}
+
+enum Notice {
+    /// The session needs another slice (one course was served).
+    Yielded(SessionId),
+    /// The session reached a terminal state.
+    Finished { closed: bool },
+}
+
+impl Exchange {
+    /// An exchange with the given tuning knobs.
+    pub fn new(cfg: ExchangeConfig) -> Self {
+        Exchange {
+            store: SessionStore::new(cfg.store_shards),
+            cache: SharedGainCache::new(cfg.cache_shards),
+            metrics: ExchangeMetrics::default(),
+            markets: RwLock::new(Vec::new()),
+            next_session: AtomicU64::new(0),
+            pending: Mutex::new(VecDeque::new()),
+            cfg,
+        }
+    }
+
+    /// Registers a market; heterogeneous scenarios (any dataset × base
+    /// model mix) coexist in one exchange.
+    pub fn register_market(&self, spec: MarketSpec) -> Result<MarketId> {
+        if spec.listings.is_empty() {
+            return Err(MarketError::InvalidConfig(
+                "market has an empty listing table".into(),
+            ));
+        }
+        let mut markets = self.markets.write();
+        let id = MarketId(markets.len());
+        // Private cache spaces get the high bit so they can never collide
+        // with caller-provided fingerprints of other markets.
+        let eval_key = spec.evaluation_key.unwrap_or((1 << 63) | id.0 as u64);
+        markets.push(MarketEntry {
+            provider: spec.provider,
+            listings: spec.listings,
+            eval_key,
+            name: spec.name,
+        });
+        Ok(id)
+    }
+
+    /// Opens a negotiation on `market`. The session is validated and queued
+    /// immediately; it runs during the next [`Self::drain`].
+    pub fn submit(&self, market: MarketId, order: SessionOrder) -> Result<SessionId> {
+        let listings = {
+            let markets = self.markets.read();
+            let entry = markets.get(market.0).ok_or_else(|| {
+                MarketError::InvalidConfig(format!("unknown market {}", market.0))
+            })?;
+            entry.listings.clone()
+        };
+        let session = ActiveSession::new(market, listings, order)?;
+        let id = SessionId(self.next_session.fetch_add(1, Ordering::Relaxed));
+        self.store.insert(id, session);
+        self.pending.lock().push_back(id);
+        ExchangeMetrics::incr(&self.metrics.sessions_opened);
+        Ok(id)
+    }
+
+    /// Point-in-time status of a session (`None` for unknown/evicted ids).
+    pub fn poll(&self, id: SessionId) -> Option<SessionStatus> {
+        self.store.status(id)
+    }
+
+    /// Removes a *terminal* session and returns its outcome; `None` while
+    /// the session is still live (or for unknown ids).
+    pub fn take(&self, id: SessionId) -> Option<Result<Box<Outcome>>> {
+        self.store.take_outcome(id)
+    }
+
+    /// Live counters plus cache statistics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            sessions_opened: self.metrics.sessions_opened.load(Ordering::Relaxed),
+            sessions_closed: self.metrics.sessions_closed.load(Ordering::Relaxed),
+            sessions_failed: self.metrics.sessions_failed.load(Ordering::Relaxed),
+            deals_struck: self.metrics.deals_struck.load(Ordering::Relaxed),
+            courses_requested: self.metrics.courses_requested.load(Ordering::Relaxed),
+            rounds_completed: self.metrics.rounds_completed.load(Ordering::Relaxed),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+        }
+    }
+
+    /// Number of sessions currently stored (queued, running, or terminal
+    /// and not yet taken).
+    pub fn session_count(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Runs every queued session to completion on `n_workers` threads
+    /// (0 = one per core) and returns the drain statistics. Sessions
+    /// submitted concurrently (from other threads) while the drain runs are
+    /// picked up too; the call returns when no session is queued or in
+    /// flight.
+    pub fn drain(&self, n_workers: usize) -> DrainReport {
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let workers = if n_workers == 0 { hw } else { n_workers }.max(1);
+        let start = Instant::now();
+        let (ready_tx, ready_rx) = bounded::<SessionId>(self.cfg.queue_capacity);
+        let (notice_tx, notice_rx) = bounded::<Notice>(self.cfg.queue_capacity);
+
+        let (closed, failed) = crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                let ready_rx = ready_rx.clone();
+                let notice_tx = notice_tx.clone();
+                scope.spawn(move |_| {
+                    while let Ok(id) = ready_rx.recv() {
+                        let notice = self.run_slice(id);
+                        if notice_tx.send(notice).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(ready_rx);
+            drop(notice_tx);
+
+            // ---- dispatcher (this thread) ----
+            let mut overflow: VecDeque<SessionId> = VecDeque::new();
+            let mut in_flight = 0usize;
+            let mut closed = 0usize;
+            let mut failed = 0usize;
+            loop {
+                overflow.append(&mut self.pending.lock());
+                // Feed the bounded ready queue without ever blocking: what
+                // doesn't fit stays parked here (backpressure).
+                while let Some(&id) = overflow.front() {
+                    match ready_tx.try_send(id) {
+                        Ok(()) => {
+                            overflow.pop_front();
+                            in_flight += 1;
+                        }
+                        Err(_) => break,
+                    }
+                }
+                if in_flight == 0 {
+                    if overflow.is_empty() && self.pending.lock().is_empty() {
+                        break;
+                    }
+                    continue;
+                }
+                match notice_rx.recv() {
+                    Ok(Notice::Yielded(id)) => {
+                        in_flight -= 1;
+                        overflow.push_back(id);
+                    }
+                    Ok(Notice::Finished { closed: ok }) => {
+                        in_flight -= 1;
+                        if ok {
+                            closed += 1;
+                        } else {
+                            failed += 1;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+            drop(ready_tx);
+            (closed, failed)
+        })
+        .expect("exchange worker scope failed");
+
+        DrainReport {
+            closed,
+            failed,
+            workers,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// One worker slice. Cheap work (strategy steps, cached course results)
+    /// runs inline; the slice ends when the session closes or right after
+    /// it has paid for ONE expensive course (a shared-cache miss), at which
+    /// point the session yields so queued sessions get their turn. Thus a
+    /// dispatch costs at most one model training, cache-hot sessions close
+    /// in a single dispatch, and cold sessions interleave fairly.
+    fn run_slice(&self, id: SessionId) -> Notice {
+        let Some(mut session) = self.store.check_out(id) else {
+            // Stale id (evicted or double-dispatched); treat as failed.
+            return Notice::Finished { closed: false };
+        };
+        let (provider, eval_key) = {
+            let markets = self.markets.read();
+            let entry = &markets[session.market.0];
+            (entry.provider.clone(), entry.eval_key)
+        };
+        let rounds_before = session.rounds_so_far();
+        // On completion the outcome absorbs the round records, so the
+        // terminal count must be read off the outcome itself.
+        let mut rounds_after = rounds_before;
+        let mut paid_course = false;
+        let notice = loop {
+            let step = match session.pending_bundle() {
+                Some(bundle) => {
+                    if paid_course && self.cache.peek(eval_key, bundle).is_none() {
+                        // A second training would blow the slice budget:
+                        // park the session; the next dispatch pays it.
+                        break Notice::Yielded(id);
+                    }
+                    ExchangeMetrics::incr(&self.metrics.courses_requested);
+                    match self.cache.serve(eval_key, bundle, provider.as_ref()) {
+                        Ok(CourseServe::Hit(g)) => session.drive(Some(g)),
+                        Ok(CourseServe::Computed(g)) => {
+                            paid_course = true;
+                            session.drive(Some(g))
+                        }
+                        Ok(CourseServe::Busy) => {
+                            // Another worker is training this exact course;
+                            // requeue and find it cached on retry. Cede the
+                            // core first — the trainer needs it more than
+                            // another redispatch does (a waitlist woken on
+                            // insert is the tracked follow-on).
+                            self.metrics
+                                .courses_requested
+                                .fetch_sub(1, Ordering::Relaxed);
+                            std::thread::yield_now();
+                            break Notice::Yielded(id);
+                        }
+                        Err(e) => Err(e),
+                    }
+                }
+                None => session.drive(None),
+            };
+            match step {
+                Ok(Drive::NeedGain) => continue,
+                Ok(Drive::Done(outcome)) => {
+                    ExchangeMetrics::incr(&self.metrics.sessions_closed);
+                    if outcome.is_success() {
+                        ExchangeMetrics::incr(&self.metrics.deals_struck);
+                    }
+                    rounds_after = outcome.n_rounds();
+                    self.store.finish(id, Ok(outcome));
+                    break Notice::Finished { closed: true };
+                }
+                Err(e) => {
+                    ExchangeMetrics::incr(&self.metrics.sessions_failed);
+                    self.store.finish(id, Err(e));
+                    break Notice::Finished { closed: false };
+                }
+            }
+        };
+        if !matches!(notice, Notice::Finished { closed: true }) {
+            rounds_after = session.rounds_so_far();
+        }
+        let rounds_delta = rounds_after.saturating_sub(rounds_before) as u64;
+        if rounds_delta > 0 {
+            self.metrics
+                .rounds_completed
+                .fetch_add(rounds_delta, Ordering::Relaxed);
+        }
+        if matches!(notice, Notice::Yielded(_)) {
+            self.store.check_in(id, session);
+        }
+        notice
+    }
+}
+
+impl std::fmt::Debug for Exchange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Exchange")
+            .field("markets", &self.markets.read().len())
+            .field("sessions", &self.store.len())
+            .field("cache_entries", &self.cache.len())
+            .finish()
+    }
+}

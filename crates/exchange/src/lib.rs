@@ -1,0 +1,296 @@
+//! # vfl-exchange
+//!
+//! The concurrent multi-session marketplace engine on top of `vfl-market`.
+//!
+//! The paper specifies its bargaining mechanism for one task party and one
+//! data party, but its own deployment framing (§3.4's trading-platform
+//! third party, §3.6's direct-deployment note) implies a platform mediating
+//! *many* concurrent negotiations. This crate is that platform tier:
+//!
+//! * [`Exchange`] — registered markets (any dataset × base-model mix in one
+//!   exchange), a `submit`/`poll`/`drain` API, and a worker pool that
+//!   drives thousands of interleaved
+//!   [`vfl_market::session::NegotiationSession`]s to completion;
+//! * [`SharedGainCache`] — the exchange-wide sharded ΔG memo: identical
+//!   (scenario, model, bundle) course queries across sessions hit the
+//!   cache, and misses never serialize behind a single lock;
+//! * [`SessionStore`](store) — sharded session registry; workers check
+//!   sessions out, drive them lock-free, and check them back in;
+//! * [`MetricsSnapshot`] — sessions opened/closed/failed, rounds, course
+//!   requests, cache hit rate.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use vfl_exchange::{Exchange, ExchangeConfig, MarketSpec, SessionOrder};
+//! use vfl_market::{MarketConfig, StrategicData, StrategicTask, TableGainProvider};
+//!
+//! # fn listings() -> Vec<vfl_market::Listing> { vec![] }
+//! let exchange = Exchange::new(ExchangeConfig::default());
+//! let market = exchange
+//!     .register_market(MarketSpec {
+//!         provider: Arc::new(TableGainProvider::new([])),
+//!         listings: Arc::new(listings()),
+//!         evaluation_key: None,
+//!         name: "titanic/forest".into(),
+//!     })
+//!     .unwrap();
+//! let sid = exchange
+//!     .submit(
+//!         market,
+//!         SessionOrder {
+//!             cfg: MarketConfig::default(),
+//!             task: Box::new(StrategicTask::new(0.3, 6.0, 0.9).unwrap()),
+//!             data: Box::new(StrategicData::with_gains(vec![0.3])),
+//!         },
+//!     )
+//!     .unwrap();
+//! let report = exchange.drain(4);
+//! println!("{} sessions/s", report.sessions_per_sec());
+//! let outcome = exchange.take(sid).unwrap().unwrap();
+//! # let _ = outcome;
+//! ```
+
+pub mod cache;
+pub mod exchange;
+pub mod metrics;
+pub mod session;
+pub mod store;
+
+pub use cache::{CourseServe, SharedGainCache};
+pub use exchange::{DrainReport, Exchange, ExchangeConfig, MarketId, MarketSpec};
+pub use metrics::{ExchangeMetrics, MetricsSnapshot};
+pub use session::SessionOrder;
+pub use store::{SessionId, SessionStatus};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vfl_market::{
+        run_bargaining, Listing, MarketConfig, Outcome, ReservedPrice, StrategicData,
+        StrategicTask, TableGainProvider,
+    };
+    use vfl_sim::BundleMask;
+
+    fn table_market() -> (TableGainProvider, Arc<Vec<Listing>>, Vec<f64>) {
+        let gains = vec![0.05, 0.12, 0.20, 0.30];
+        let listings: Vec<Listing> = [(5.0, 0.8), (7.0, 1.0), (9.0, 1.2), (11.0, 1.5)]
+            .iter()
+            .enumerate()
+            .map(|(i, &(rate, base))| Listing {
+                bundle: BundleMask::singleton(i),
+                reserved: ReservedPrice::new(rate, base).unwrap(),
+            })
+            .collect();
+        let provider =
+            TableGainProvider::new(listings.iter().zip(&gains).map(|(l, &g)| (l.bundle, g)));
+        (provider, Arc::new(listings), gains)
+    }
+
+    fn cfg(seed: u64) -> MarketConfig {
+        MarketConfig {
+            utility_rate: 1000.0,
+            budget: 12.0,
+            rate_cap: 20.0,
+            seed,
+            ..MarketConfig::default()
+        }
+    }
+
+    fn order(gains: &[f64], seed: u64) -> SessionOrder {
+        SessionOrder {
+            cfg: cfg(seed),
+            task: Box::new(StrategicTask::new(0.30, 6.0, 0.9).unwrap()),
+            data: Box::new(StrategicData::with_gains(gains.to_vec())),
+        }
+    }
+
+    fn exchange_with_market() -> (Exchange, MarketId, TableGainProvider, Vec<f64>) {
+        let (provider, listings, gains) = table_market();
+        let exchange = Exchange::new(ExchangeConfig::default());
+        let market = exchange
+            .register_market(MarketSpec {
+                provider: Arc::new(provider.clone()),
+                listings,
+                evaluation_key: Some(42),
+                name: "table".into(),
+            })
+            .unwrap();
+        (exchange, market, provider, gains)
+    }
+
+    #[test]
+    fn single_session_matches_run_bargaining() {
+        let (exchange, market, provider, gains) = exchange_with_market();
+        let (_, listings, _) = table_market();
+        let sid = exchange.submit(market, order(&gains, 7)).unwrap();
+        assert!(matches!(
+            exchange.poll(sid),
+            Some(SessionStatus::Queued { rounds: 0 })
+        ));
+        let report = exchange.drain(2);
+        assert_eq!(report.closed, 1);
+        assert_eq!(report.failed, 0);
+
+        let mut task = StrategicTask::new(0.30, 6.0, 0.9).unwrap();
+        let mut data = StrategicData::with_gains(gains.clone());
+        let reference: Outcome =
+            run_bargaining(&provider, &listings[..], &mut task, &mut data, &cfg(7)).unwrap();
+        let via_exchange = exchange.take(sid).unwrap().unwrap();
+        assert_eq!(*via_exchange, reference);
+        assert!(
+            exchange.take(sid).is_none(),
+            "outcome is taken exactly once"
+        );
+    }
+
+    #[test]
+    fn many_sessions_interleave_and_all_close() {
+        let (exchange, market, _, gains) = exchange_with_market();
+        let ids: Vec<SessionId> = (0..100)
+            .map(|seed| exchange.submit(market, order(&gains, seed)).unwrap())
+            .collect();
+        let report = exchange.drain(4);
+        assert_eq!(report.closed + report.failed, 100);
+        assert_eq!(report.failed, 0);
+        let snap = exchange.metrics();
+        assert_eq!(snap.sessions_opened, 100);
+        assert_eq!(snap.sessions_closed, 100);
+        assert!(snap.deals_struck > 0);
+        assert!(snap.rounds_completed >= 100);
+        assert_eq!(snap.courses_requested, snap.cache_hits + snap.cache_misses);
+        // 4 listings under one evaluation key: essentially everything after
+        // the first few courses is a hit.
+        assert!(snap.cache_misses <= 16, "misses {}", snap.cache_misses);
+        for id in ids {
+            assert!(matches!(exchange.poll(id), Some(SessionStatus::Done(_))));
+        }
+    }
+
+    #[test]
+    fn markets_with_shared_keys_share_the_cache() {
+        let (provider, listings, gains) = table_market();
+        let exchange = Exchange::new(ExchangeConfig::default());
+        let spec = |name: &str| MarketSpec {
+            provider: Arc::new(provider.clone()),
+            listings: listings.clone(),
+            evaluation_key: Some(99),
+            name: name.into(),
+        };
+        let m1 = exchange.register_market(spec("a")).unwrap();
+        let m2 = exchange.register_market(spec("b")).unwrap();
+        for seed in 0..20 {
+            exchange.submit(m1, order(&gains, seed)).unwrap();
+            exchange.submit(m2, order(&gains, seed)).unwrap();
+        }
+        exchange.drain(3);
+        let snap = exchange.metrics();
+        assert!(
+            snap.cache_misses <= 12,
+            "both markets must share entries, misses {}",
+            snap.cache_misses
+        );
+    }
+
+    #[test]
+    fn private_cache_spaces_do_not_collide() {
+        let (provider, listings, gains) = table_market();
+        let exchange = Exchange::new(ExchangeConfig::default());
+        let spec = || MarketSpec {
+            provider: Arc::new(provider.clone()),
+            listings: listings.clone(),
+            evaluation_key: None,
+            name: "private".into(),
+        };
+        let m1 = exchange.register_market(spec()).unwrap();
+        let m2 = exchange.register_market(spec()).unwrap();
+        exchange.submit(m1, order(&gains, 1)).unwrap();
+        exchange.submit(m2, order(&gains, 1)).unwrap();
+        exchange.drain(2);
+        let snap = exchange.metrics();
+        // Same bundles, distinct keys: each market pays its own misses.
+        assert!(snap.cache_misses >= 2);
+    }
+
+    #[test]
+    fn bad_submissions_are_rejected_or_fail_cleanly() {
+        let (exchange, market, _, gains) = exchange_with_market();
+        // Unknown market.
+        assert!(exchange.submit(MarketId(999), order(&gains, 1)).is_err());
+        // Invalid config is caught at submit time.
+        let bad = SessionOrder {
+            cfg: MarketConfig {
+                budget: -3.0,
+                ..MarketConfig::default()
+            },
+            task: Box::new(StrategicTask::new(0.30, 6.0, 0.9).unwrap()),
+            data: Box::new(StrategicData::with_gains(gains.clone())),
+        };
+        assert!(exchange.submit(market, bad).is_err());
+        // A provider hole (bundle without a gain) fails the session, not
+        // the exchange.
+        let (_, listings, _) = table_market();
+        let holey = exchange
+            .register_market(MarketSpec {
+                provider: Arc::new(TableGainProvider::new([(BundleMask::singleton(0), 0.05)])),
+                listings,
+                evaluation_key: None,
+                name: "holey".into(),
+            })
+            .unwrap();
+        let sid = exchange.submit(holey, order(&gains, 3)).unwrap();
+        let report = exchange.drain(1);
+        assert_eq!(report.failed, 1);
+        assert!(matches!(exchange.poll(sid), Some(SessionStatus::Failed(_))));
+        assert!(exchange.take(sid).unwrap().is_err());
+        assert_eq!(exchange.metrics().sessions_failed, 1);
+    }
+
+    #[test]
+    fn tiny_queues_still_drain_everything() {
+        // Backpressure path: queue capacity far below the session count.
+        let (provider, listings, gains) = table_market();
+        let exchange = Exchange::new(ExchangeConfig {
+            store_shards: 2,
+            cache_shards: 2,
+            queue_capacity: 4,
+        });
+        let market = exchange
+            .register_market(MarketSpec {
+                provider: Arc::new(provider),
+                listings,
+                evaluation_key: Some(1),
+                name: "tiny".into(),
+            })
+            .unwrap();
+        for seed in 0..64 {
+            exchange.submit(market, order(&gains, seed)).unwrap();
+        }
+        let report = exchange.drain(3);
+        assert_eq!(report.closed, 64);
+    }
+
+    #[test]
+    fn empty_drain_returns_immediately() {
+        let exchange = Exchange::new(ExchangeConfig::default());
+        let report = exchange.drain(2);
+        assert_eq!(report.closed + report.failed, 0);
+    }
+
+    #[test]
+    fn deterministic_across_worker_counts() {
+        // Concurrency must never change a negotiation's result: outcomes
+        // depend only on (cfg, strategies, provider), not on scheduling.
+        let run = |workers: usize| -> Vec<Outcome> {
+            let (exchange, market, _, gains) = exchange_with_market();
+            let ids: Vec<SessionId> = (0..24)
+                .map(|seed| exchange.submit(market, order(&gains, seed)).unwrap())
+                .collect();
+            exchange.drain(workers);
+            ids.iter()
+                .map(|&id| *exchange.take(id).unwrap().unwrap())
+                .collect()
+        };
+        assert_eq!(run(1), run(4));
+    }
+}

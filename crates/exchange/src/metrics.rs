@@ -1,0 +1,100 @@
+//! Per-exchange operational counters. All counters are relaxed atomics —
+//! they are observability, not synchronization — and a [`MetricsSnapshot`]
+//! is a consistent-enough point-in-time read for dashboards and benches.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters owned by an [`crate::Exchange`].
+#[derive(Debug, Default)]
+pub struct ExchangeMetrics {
+    /// Sessions accepted by `submit`.
+    pub(crate) sessions_opened: AtomicU64,
+    /// Sessions that reached a negotiated outcome (success *or* negotiated
+    /// failure — both are orderly closures of the protocol).
+    pub(crate) sessions_closed: AtomicU64,
+    /// Sessions that died on a hard error (strategy/config/course error).
+    pub(crate) sessions_failed: AtomicU64,
+    /// Negotiations that closed successfully (subset of `sessions_closed`).
+    pub(crate) deals_struck: AtomicU64,
+    /// VFL course evaluations requested by sessions (cache hits + misses).
+    pub(crate) courses_requested: AtomicU64,
+    /// Bargaining rounds completed across all sessions.
+    pub(crate) rounds_completed: AtomicU64,
+}
+
+impl ExchangeMetrics {
+    pub(crate) fn incr(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time view of an exchange's counters plus cache statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricsSnapshot {
+    pub sessions_opened: u64,
+    pub sessions_closed: u64,
+    pub sessions_failed: u64,
+    pub deals_struck: u64,
+    pub courses_requested: u64,
+    pub rounds_completed: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+}
+
+impl MetricsSnapshot {
+    /// Fraction of course requests served from the shared cache; 0 when no
+    /// request has been made yet.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Sessions that are still open (submitted but not yet closed/failed).
+    /// (Per-drain throughput lives on
+    /// [`crate::DrainReport::sessions_per_sec`], which owns the wall-clock.)
+    pub fn sessions_in_flight(&self) -> u64 {
+        self.sessions_opened
+            .saturating_sub(self.sessions_closed + self.sessions_failed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_and_in_flight() {
+        let snap = MetricsSnapshot {
+            sessions_opened: 10,
+            sessions_closed: 6,
+            sessions_failed: 1,
+            deals_struck: 5,
+            courses_requested: 40,
+            rounds_completed: 40,
+            cache_hits: 30,
+            cache_misses: 10,
+        };
+        assert!((snap.cache_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(snap.sessions_in_flight(), 3);
+    }
+
+    #[test]
+    fn empty_snapshot_is_defined() {
+        let snap = MetricsSnapshot {
+            sessions_opened: 0,
+            sessions_closed: 0,
+            sessions_failed: 0,
+            deals_struck: 0,
+            courses_requested: 0,
+            rounds_completed: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+        };
+        assert_eq!(snap.cache_hit_rate(), 0.0);
+        assert_eq!(snap.sessions_in_flight(), 0);
+    }
+}

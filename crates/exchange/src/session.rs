@@ -1,0 +1,200 @@
+//! Exchange-side session wrapper: a [`NegotiationSession`] bundled with its
+//! owned strategies and a handle to its market, driven in *slices* — the
+//! cheap strategy steps run inline, and the session parks whenever it needs
+//! a ΔG so a worker can serve the course through the shared cache.
+
+use std::sync::Arc;
+use vfl_market::session::{NegotiationSession, SessionEffect, SessionEvent};
+use vfl_market::{DataContext, DataStrategy, Listing, MarketConfig, Outcome, Result, TaskStrategy};
+use vfl_sim::BundleMask;
+
+use crate::exchange::MarketId;
+
+/// Everything a submitter provides for one negotiation: the market-config
+/// template (seed included) and the two owned strategies.
+pub struct SessionOrder {
+    pub cfg: MarketConfig,
+    pub task: Box<dyn TaskStrategy + Send>,
+    pub data: Box<dyn DataStrategy + Send>,
+}
+
+/// What one drive slice produced.
+pub(crate) enum Drive {
+    /// The session parked on a course (Step 3 suspension); the needed
+    /// bundle is readable via [`ActiveSession::pending_bundle`].
+    NeedGain,
+    /// The negotiation closed.
+    Done(Box<Outcome>),
+}
+
+/// A live session owned by the exchange.
+pub(crate) struct ActiveSession {
+    pub(crate) market: MarketId,
+    session: NegotiationSession,
+    task: Box<dyn TaskStrategy + Send>,
+    data: Box<dyn DataStrategy + Send>,
+    listings: Arc<Vec<Listing>>,
+    cfg: MarketConfig,
+    started: bool,
+    /// The bundle whose course result the session is parked on.
+    pending: Option<BundleMask>,
+}
+
+impl ActiveSession {
+    pub(crate) fn new(
+        market: MarketId,
+        listings: Arc<Vec<Listing>>,
+        order: SessionOrder,
+    ) -> Result<Self> {
+        Ok(ActiveSession {
+            market,
+            session: NegotiationSession::new(order.cfg)?,
+            task: order.task,
+            data: order.data,
+            listings,
+            cfg: order.cfg,
+            started: false,
+            pending: None,
+        })
+    }
+
+    /// The bundle this session is waiting on, if parked.
+    pub(crate) fn pending_bundle(&self) -> Option<BundleMask> {
+        self.pending
+    }
+
+    /// Number of completed bargaining rounds so far.
+    pub(crate) fn rounds_so_far(&self) -> usize {
+        self.session.n_rounds()
+    }
+
+    /// Advances the session until it parks on a course or finishes. `gain`
+    /// must be `Some` exactly when the session is parked
+    /// ([`Self::pending_bundle`] is `Some`) and carries that course's ΔG.
+    pub(crate) fn drive(&mut self, gain: Option<f64>) -> Result<Drive> {
+        let mut effect = match (self.pending.take(), gain) {
+            (Some(bundle), Some(g)) => {
+                self.data.observe_course(bundle, g);
+                self.session
+                    .step(SessionEvent::Gain(g), &self.listings, self.task.as_mut())?
+            }
+            (None, None) => {
+                debug_assert!(!self.started, "un-parked sessions must be fresh");
+                self.started = true;
+                self.session
+                    .step(SessionEvent::Start, &self.listings, self.task.as_mut())?
+            }
+            (pending, _) => {
+                self.pending = pending;
+                return Err(vfl_market::MarketError::StrategyError(
+                    "exchange drive/park mismatch".into(),
+                ));
+            }
+        };
+        loop {
+            effect = match effect {
+                SessionEffect::AwaitOffer {
+                    quote,
+                    round,
+                    exploring,
+                } => {
+                    let dctx = DataContext::at_round(&self.cfg, round, exploring, &quote);
+                    let response = self.data.respond(
+                        &dctx,
+                        &self.listings,
+                        &self.cfg,
+                        self.session.rng_mut(),
+                    )?;
+                    self.session.step(
+                        SessionEvent::Offer(response),
+                        &self.listings,
+                        self.task.as_mut(),
+                    )?
+                }
+                SessionEffect::AwaitGain { bundle, .. } => {
+                    self.pending = Some(bundle);
+                    return Ok(Drive::NeedGain);
+                }
+                SessionEffect::Finished(outcome) => return Ok(Drive::Done(outcome)),
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfl_market::{
+        run_bargaining, GainProvider, ReservedPrice, StrategicData, StrategicTask,
+        TableGainProvider,
+    };
+
+    fn market() -> (TableGainProvider, Arc<Vec<Listing>>, Vec<f64>) {
+        let gains = vec![0.05, 0.12, 0.20, 0.30];
+        let listings: Vec<Listing> = [(5.0, 0.8), (7.0, 1.0), (9.0, 1.2), (11.0, 1.5)]
+            .iter()
+            .enumerate()
+            .map(|(i, &(rate, base))| Listing {
+                bundle: BundleMask::singleton(i),
+                reserved: ReservedPrice::new(rate, base).unwrap(),
+            })
+            .collect();
+        let provider =
+            TableGainProvider::new(listings.iter().zip(&gains).map(|(l, &g)| (l.bundle, g)));
+        (provider, Arc::new(listings), gains)
+    }
+
+    fn cfg(seed: u64) -> MarketConfig {
+        MarketConfig {
+            utility_rate: 1000.0,
+            budget: 12.0,
+            rate_cap: 20.0,
+            seed,
+            ..MarketConfig::default()
+        }
+    }
+
+    #[test]
+    fn sliced_driving_matches_run_bargaining() {
+        let (provider, listings, gains) = market();
+        for seed in 0..6 {
+            let mut task = StrategicTask::new(0.30, 6.0, 0.9).unwrap();
+            let mut data = StrategicData::with_gains(gains.clone());
+            let reference =
+                run_bargaining(&provider, &listings[..], &mut task, &mut data, &cfg(seed)).unwrap();
+
+            let order = SessionOrder {
+                cfg: cfg(seed),
+                task: Box::new(StrategicTask::new(0.30, 6.0, 0.9).unwrap()),
+                data: Box::new(StrategicData::with_gains(gains.clone())),
+            };
+            let mut active = ActiveSession::new(MarketId(0), listings.clone(), order).unwrap();
+            let mut gain = None;
+            let outcome = loop {
+                match active.drive(gain.take()).unwrap() {
+                    Drive::NeedGain => {
+                        let bundle = active.pending_bundle().unwrap();
+                        gain = Some(provider.gain(bundle).unwrap());
+                    }
+                    Drive::Done(outcome) => break *outcome,
+                }
+            };
+            assert_eq!(outcome, reference, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn drive_park_mismatch_is_an_error() {
+        let (_, listings, gains) = market();
+        let order = SessionOrder {
+            cfg: cfg(1),
+            task: Box::new(StrategicTask::new(0.30, 6.0, 0.9).unwrap()),
+            data: Box::new(StrategicData::with_gains(gains)),
+        };
+        let mut active = ActiveSession::new(MarketId(0), listings, order).unwrap();
+        // Feeding a gain before the session ever parked is a driver bug.
+        assert!(active.drive(Some(0.3)).is_err());
+        // The session is still fresh and drivable.
+        assert!(matches!(active.drive(None), Ok(Drive::NeedGain)));
+    }
+}

@@ -4,6 +4,11 @@
 //! the perfect-information setting, and answers on-demand queries for the
 //! imperfect setting (where each query corresponds to actually running the
 //! VFL course of that round).
+//!
+//! The memo table is sharded (`CACHE_SHARDS` independent locks) so the
+//! parallel precompute pass and the `vfl-exchange` worker pool — many
+//! sessions querying one oracle concurrently — never serialize behind a
+//! single global mutex.
 
 use crate::bundle::{BundleCatalog, BundleMask};
 use crate::course::{performance_gain, run_course};
@@ -12,6 +17,21 @@ use crate::model_cfg::BaseModelConfig;
 use crate::scenario::VflScenario;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of independent cache shards. Course evaluation is the market's
+/// hot path: parallel precomputation and concurrent exchange sessions all
+/// query the same oracle, so the memo table is split into fixed-arity
+/// shards (each with its own lock) instead of one global mutex. 16 shards
+/// keep lock contention negligible up to far more workers than a laptop
+/// has cores, at ~the cost of one empty `HashMap` each.
+const CACHE_SHARDS: usize = 16;
+
+/// Fibonacci-hash a bundle mask onto a shard index (the shift only mixes
+/// high bits down; the modulo is what respects `CACHE_SHARDS`).
+fn shard_of(bundle: u64) -> usize {
+    (bundle.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize % CACHE_SHARDS
+}
 
 /// Memoizing ΔG oracle over one scenario + base model.
 pub struct GainOracle {
@@ -20,8 +40,8 @@ pub struct GainOracle {
     base: f64,
     seed: u64,
     repeats: usize,
-    cache: Mutex<HashMap<u64, f64>>,
-    queries: Mutex<u64>,
+    cache: [Mutex<HashMap<u64, f64>>; CACHE_SHARDS],
+    queries: AtomicU64,
 }
 
 impl GainOracle {
@@ -47,8 +67,8 @@ impl GainOracle {
             base,
             seed,
             repeats,
-            cache: Mutex::new(HashMap::new()),
-            queries: Mutex::new(0),
+            cache: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            queries: AtomicU64::new(0),
         })
     }
 
@@ -88,41 +108,52 @@ impl GainOracle {
     }
 
     /// Number of *uncached* gain computations performed so far (the paper's
-    /// "query fees" accrue on these).
+    /// "query fees" accrue on these). Counted atomically, so the tally stays
+    /// accurate when many threads train courses concurrently; two threads
+    /// racing on the same cold bundle each pay for (and count) their own
+    /// course, exactly like two simultaneous platform queries would.
     pub fn query_count(&self) -> u64 {
-        *self.queries.lock()
+        self.queries.load(Ordering::Relaxed)
     }
 
-    /// ΔG for a bundle, training the joint model on a cache miss.
+    /// ΔG for a bundle, training the joint model on a cache miss. The miss
+    /// path trains *outside* the shard lock, so concurrent misses on
+    /// different bundles never serialize.
     pub fn gain(&self, bundle: BundleMask) -> Result<f64> {
-        if let Some(&g) = self.cache.lock().get(&bundle.0) {
+        let shard = &self.cache[shard_of(bundle.0)];
+        if let Some(&g) = shard.lock().get(&bundle.0) {
             return Ok(g);
         }
         let m = Self::measure(&self.scenario, &self.model, bundle, self.seed, self.repeats)?;
         let g = performance_gain(m, self.base);
-        *self.queries.lock() += 1;
-        self.cache.lock().insert(bundle.0, g);
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        shard.lock().insert(bundle.0, g);
         Ok(g)
     }
 
     /// Cached ΔG if present (no training).
     pub fn cached_gain(&self, bundle: BundleMask) -> Option<f64> {
-        self.cache.lock().get(&bundle.0).copied()
+        self.cache[shard_of(bundle.0)]
+            .lock()
+            .get(&bundle.0)
+            .copied()
+    }
+
+    /// Number of distinct bundles currently cached.
+    pub fn cached_len(&self) -> usize {
+        self.cache.iter().map(|s| s.lock().len()).sum()
     }
 
     /// Precomputes ΔG for every bundle in the catalog using `n_threads`
     /// workers (0 = one per core). This is the pre-bargaining training pass
     /// the trading platform runs in the perfect-information setting.
     pub fn precompute(&self, catalog: &BundleCatalog, n_threads: usize) -> Result<()> {
-        let todo: Vec<BundleMask> = {
-            let cache = self.cache.lock();
-            catalog
-                .bundles()
-                .iter()
-                .copied()
-                .filter(|b| !cache.contains_key(&b.0))
-                .collect()
-        };
+        let todo: Vec<BundleMask> = catalog
+            .bundles()
+            .iter()
+            .copied()
+            .filter(|b| self.cached_gain(*b).is_none())
+            .collect();
         if todo.is_empty() {
             return Ok(());
         }
@@ -182,7 +213,7 @@ impl std::fmt::Debug for GainOracle {
             .field("scenario", &self.scenario.name())
             .field("model", &self.model.name())
             .field("base", &self.base)
-            .field("cached", &self.cache.lock().len())
+            .field("cached", &self.cached_len())
             .finish()
     }
 }
@@ -239,6 +270,7 @@ mod tests {
         for &b in catalog.bundles() {
             assert!(o.cached_gain(b).is_some(), "missing {b}");
         }
+        assert_eq!(o.cached_len(), 31, "every bundle lands in some shard");
         let gains = o.gains_for(&catalog).unwrap();
         assert_eq!(gains.len(), 31);
         let max = o.max_gain(&catalog).unwrap();

@@ -89,6 +89,15 @@ pub mod channel {
     #[derive(Debug, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
+    /// Error returned by [`Sender::try_send`], mirroring crossbeam's type:
+    /// the value comes back either because the queue is full or because all
+    /// receivers are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        Full(T),
+        Disconnected(T),
+    }
+
     /// Error returned by [`Receiver::recv`] when empty and all senders gone.
     #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
@@ -150,6 +159,24 @@ pub mod channel {
                     return Ok(());
                 }
                 state = self.0.not_full.wait(state).expect("channel poisoned");
+            }
+        }
+
+        /// Non-blocking send: fails with [`TrySendError::Full`] instead of
+        /// waiting for room (the backpressure-aware path — callers keep the
+        /// value and do other work).
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.0.state.lock().expect("channel poisoned");
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if state.queue.len() < state.cap {
+                state.queue.push_back(value);
+                drop(state);
+                self.0.not_empty.notify_one();
+                Ok(())
+            } else {
+                Err(TrySendError::Full(value))
             }
         }
     }
@@ -234,5 +261,18 @@ mod tests {
         })
         .expect("scope failed");
         assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        use crate::channel::TrySendError;
+        let (tx, rx) = crate::channel::bounded::<u32>(2);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Ok(()));
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(tx.try_send(3), Ok(()));
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
     }
 }

@@ -160,6 +160,10 @@ pub mod strategy {
         (A, B, C, D, E, F)
         (A, B, C, D, E, F, G)
         (A, B, C, D, E, F, G, H)
+        (A, B, C, D, E, F, G, H, I)
+        (A, B, C, D, E, F, G, H, I, J)
+        (A, B, C, D, E, F, G, H, I, J, K)
+        (A, B, C, D, E, F, G, H, I, J, K, L)
     }
 }
 
