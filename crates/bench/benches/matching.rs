@@ -1,0 +1,344 @@
+//! E7 — matching throughput and quality: drains ≥ 300 demands over a
+//! heterogeneous pool of quoting data parties (varying catalog coverage,
+//! gain landscapes, and quoting strategies) through the `vfl-exchange`
+//! matching tier on the fast profile, at 1 / 4 workers, and records match
+//! rate, buyer surplus against the best-single-seller baseline, and
+//! demands/sec to `results/BENCH_matching.json` so the matching trajectory
+//! accrues over PRs.
+//!
+//! Custom harness (no criterion): the unit of measurement is a whole drain
+//! of a demand book, not a micro-iteration. Sellers are synthetic table
+//! markets — the bench measures the *matching tier* (fan-out, probe,
+//! settlement, cancellation), not model training, so each run drains the
+//! full demand book in milliseconds and the numbers isolate marketplace
+//! overhead.
+//!
+//! **Quality baseline.** For every demand, the best-single-seller baseline
+//! runs the direct 1×1 `run_bargaining` against *each* eligible seller and
+//! keeps the best buyer surplus — what an omniscient buyer who could
+//! bargain every seller to conclusion would earn. Matching settles after
+//! `probe_rounds` quote rounds, so its surplus is ≤ the baseline by
+//! construction (the winner is one of those pairings); the recorded ratio
+//! is the price of deciding early. A ratio near 1 means the standing quote
+//! at the probe horizon is an honest proxy for the final outcome.
+//!
+//! `MATCHING_BENCH_DEMANDS` overrides the demand count (dev loops).
+
+use std::sync::Arc;
+use std::time::Duration;
+use vfl_bench::report::results_dir;
+use vfl_exchange::{
+    BestResponse, Demand, DemandId, Exchange, ExchangeConfig, MarketSpec, SellerSpec,
+};
+use vfl_market::{
+    run_bargaining, DataStrategy, Listing, MarketConfig, RandomBundleData, ReservedPrice,
+    StrategicData, StrategicTask, TableGainProvider,
+};
+use vfl_sim::BundleMask;
+
+const FEATURES: usize = 8;
+
+/// One synthetic data party: catalog subset, gain landscape, quoting kind.
+#[derive(Clone)]
+struct Seller {
+    name: String,
+    features: Vec<usize>,
+    gains: Vec<f64>,
+    random_quoting: bool,
+}
+
+impl Seller {
+    fn catalog(&self) -> BundleMask {
+        BundleMask::from_features(&self.features)
+    }
+
+    fn listings(&self) -> Vec<Listing> {
+        self.features
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| Listing {
+                bundle: BundleMask::singleton(f),
+                reserved: ReservedPrice::new(3.0 + i as f64 * 1.2, 0.4 + i as f64 * 0.12)
+                    .expect("valid reserve"),
+            })
+            .collect()
+    }
+
+    /// The listings/gains subset overlapping `wanted` (what a candidate
+    /// session for such a demand negotiates over).
+    fn scoped(&self, wanted: BundleMask) -> (Vec<Listing>, Vec<f64>) {
+        self.listings()
+            .into_iter()
+            .zip(self.gains.iter().copied())
+            .filter(|(l, _)| l.bundle.intersects(wanted))
+            .unzip()
+    }
+
+    /// The quoting strategy over a scoped listing table (listings are
+    /// singleton(feature), so gains map through the feature index).
+    fn quoting_for(&self, table: &[Listing]) -> Box<dyn DataStrategy + Send> {
+        let gains: Vec<f64> = table
+            .iter()
+            .map(|l| {
+                let f = l.bundle.to_features()[0];
+                let i = self
+                    .features
+                    .iter()
+                    .position(|&sf| sf == f)
+                    .expect("listed");
+                self.gains[i]
+            })
+            .collect();
+        if self.random_quoting {
+            Box::new(RandomBundleData::with_gains(gains))
+        } else {
+            Box::new(StrategicData::with_gains(gains))
+        }
+    }
+}
+
+/// A deterministic heterogeneous pool: catalog sizes 3..=6 rotating over
+/// the feature universe, gain landscapes spread over [0.04, 0.36], every
+/// fourth seller quoting randomly instead of strategically.
+fn seller_pool(n_sellers: usize) -> Vec<Seller> {
+    (0..n_sellers)
+        .map(|s| {
+            let width = 3 + s % 4;
+            let features: Vec<usize> = (0..width).map(|i| (s * 3 + i * 2) % FEATURES).collect();
+            let mut features = features;
+            features.sort_unstable();
+            features.dedup();
+            let gains = features
+                .iter()
+                .enumerate()
+                .map(|(i, _)| 0.04 + 0.32 * ((s * 7 + i * 11) % 13) as f64 / 12.0)
+                .collect();
+            Seller {
+                name: format!("seller-{s}"),
+                features,
+                gains,
+                random_quoting: s % 4 == 3,
+            }
+        })
+        .collect()
+}
+
+/// The demand grid: rotating wanted-masks (3 features wide) and seeds.
+fn demand_cfg(d: usize) -> (BundleMask, MarketConfig) {
+    let wanted = BundleMask::from_features(&[d % FEATURES, (d + 2) % FEATURES, (d + 5) % FEATURES]);
+    let cfg = MarketConfig {
+        utility_rate: 600.0 + 200.0 * (d % 5) as f64,
+        budget: 10.0 + (d % 4) as f64,
+        rate_cap: 20.0,
+        seed: d as u64,
+        ..MarketConfig::default()
+    };
+    (wanted, cfg)
+}
+
+fn buyer_demand(d: usize) -> Demand {
+    let (wanted, cfg) = demand_cfg(d);
+    Demand {
+        wanted,
+        scenario: None,
+        cfg,
+        task: Arc::new(|| Box::new(StrategicTask::new(0.30, 6.0, 0.9).expect("valid opening"))),
+        probe_rounds: 2,
+        policy: Arc::new(BestResponse),
+    }
+}
+
+struct Run {
+    workers: usize,
+    elapsed: Duration,
+    demands_per_sec: f64,
+    match_rate: f64,
+    mean_surplus: f64,
+    sessions_cancelled: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+fn run_drain(sellers: &[Seller], n_demands: usize, workers: usize) -> Run {
+    let exchange = Exchange::new(ExchangeConfig::default());
+    for seller in sellers {
+        exchange
+            .register_seller(SellerSpec {
+                market: MarketSpec {
+                    provider: Arc::new(TableGainProvider::new(
+                        seller
+                            .listings()
+                            .iter()
+                            .zip(&seller.gains)
+                            .map(|(l, &g)| (l.bundle, g)),
+                    )),
+                    listings: Arc::new(seller.listings()),
+                    evaluation_key: None,
+                    name: seller.name.clone(),
+                },
+                quoting: {
+                    let seller = seller.clone();
+                    Arc::new(move |table| seller.quoting_for(table))
+                },
+            })
+            .expect("register seller");
+    }
+    let demands: Vec<DemandId> = (0..n_demands)
+        .map(|d| {
+            exchange
+                .submit_demand(buyer_demand(d))
+                .expect("submit demand")
+        })
+        .collect();
+
+    let report = exchange.drain(workers);
+    assert_eq!(report.failed, 0, "hard failures in the matching bench");
+
+    let mut matched = 0usize;
+    let mut surplus_total = 0.0f64;
+    for &did in &demands {
+        let settled = exchange.take_demand(did).expect("every demand settles");
+        if let Some(sid) = settled.winning_session() {
+            matched += 1;
+            let outcome = exchange
+                .take(sid)
+                .expect("winner terminal")
+                .expect("no error");
+            surplus_total += outcome.task_revenue().unwrap_or(0.0);
+        }
+    }
+    let snap = exchange.metrics();
+    assert_eq!(snap.demands_settled as usize, n_demands);
+    let secs = report.elapsed.as_secs_f64().max(1e-9);
+    Run {
+        workers: report.workers,
+        elapsed: report.elapsed,
+        demands_per_sec: n_demands as f64 / secs,
+        match_rate: matched as f64 / n_demands as f64,
+        mean_surplus: surplus_total / n_demands as f64,
+        sessions_cancelled: snap.sessions_cancelled,
+        cache_hits: snap.cache_hits,
+        cache_misses: snap.cache_misses,
+    }
+}
+
+/// Best-single-seller baseline: for each demand, bargain every eligible
+/// seller to conclusion directly and keep the best buyer surplus.
+fn baseline_mean_surplus(sellers: &[Seller], n_demands: usize) -> f64 {
+    let mut total = 0.0f64;
+    for d in 0..n_demands {
+        let (wanted, cfg) = demand_cfg(d);
+        let mut best = 0.0f64;
+        for seller in sellers {
+            if !seller.catalog().intersects(wanted) {
+                continue;
+            }
+            // Same scoping the matching tier applies: the baseline buyer
+            // bargains the wanted-overlap of this seller's catalog.
+            let (listings, gains) = seller.scoped(wanted);
+            let provider =
+                TableGainProvider::new(listings.iter().zip(&gains).map(|(l, &g)| (l.bundle, g)));
+            let mut task = StrategicTask::new(0.30, 6.0, 0.9).expect("valid opening");
+            let mut data = seller.quoting_for(&listings);
+            let outcome = run_bargaining(&provider, &listings, &mut task, data.as_mut(), &cfg)
+                .expect("direct run");
+            best = best.max(outcome.task_revenue().unwrap_or(0.0));
+        }
+        total += best;
+    }
+    total / n_demands as f64
+}
+
+fn main() {
+    let n_demands: usize = std::env::var("MATCHING_BENCH_DEMANDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300);
+    let sellers = seller_pool(12);
+
+    eprintln!(
+        "baseline: bargaining {} demands × eligible sellers to conclusion…",
+        n_demands
+    );
+    let baseline = baseline_mean_surplus(&sellers, n_demands);
+
+    let mut runs: Vec<Run> = Vec::new();
+    for workers in [1usize, 4] {
+        eprintln!(
+            "draining {n_demands} demands over {} sellers on {workers} worker(s)…",
+            sellers.len()
+        );
+        runs.push(run_drain(&sellers, n_demands, workers));
+    }
+
+    println!(
+        "\n== E7 matching throughput/quality ({n_demands} demands, {} sellers) ==",
+        sellers.len()
+    );
+    println!(
+        "{:>8} {:>10} {:>12} {:>11} {:>13} {:>14} {:>10}",
+        "workers", "elapsed_s", "demands/s", "match_rate", "mean_surplus", "baseline_best", "ratio"
+    );
+    for run in &runs {
+        let ratio = if baseline > 0.0 {
+            run.mean_surplus / baseline
+        } else {
+            1.0
+        };
+        println!(
+            "{:>8} {:>10.4} {:>12.1} {:>11.3} {:>13.2} {:>14.2} {:>10.4}",
+            run.workers,
+            run.elapsed.as_secs_f64(),
+            run.demands_per_sec,
+            run.match_rate,
+            run.mean_surplus,
+            baseline,
+            ratio,
+        );
+        // The winner is one of the baseline's pairings, so matching can
+        // never beat an omniscient single-seller buyer — only tie it.
+        assert!(
+            run.mean_surplus <= baseline + 1e-6,
+            "matching surplus {} exceeds the best-single-seller bound {}",
+            run.mean_surplus,
+            baseline
+        );
+        assert!(run.match_rate > 0.0, "the pool must match some demands");
+    }
+
+    let json_runs: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"workers\": {}, \"elapsed_s\": {:.6}, \"demands_per_sec\": {:.3}, \
+                 \"match_rate\": {:.6}, \"mean_buyer_surplus\": {:.6}, \
+                 \"best_single_seller_surplus\": {:.6}, \"surplus_ratio\": {:.6}, \
+                 \"sessions_cancelled\": {}, \"cache_hits\": {}, \"cache_misses\": {}}}",
+                r.workers,
+                r.elapsed.as_secs_f64(),
+                r.demands_per_sec,
+                r.match_rate,
+                r.mean_surplus,
+                baseline,
+                if baseline > 0.0 {
+                    r.mean_surplus / baseline
+                } else {
+                    1.0
+                },
+                r.sessions_cancelled,
+                r.cache_hits,
+                r.cache_misses,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"matching\",\n  \"profile\": \"fast\",\n  \"demands\": {},\n  \
+         \"sellers\": {},\n  \"probe_rounds\": 2,\n  \"runs\": [\n{}\n  ]\n}}\n",
+        n_demands,
+        sellers.len(),
+        json_runs.join(",\n")
+    );
+    let path = results_dir().join("BENCH_matching.json");
+    std::fs::write(&path, json).expect("write BENCH_matching.json");
+    println!("wrote {}", path.display());
+}

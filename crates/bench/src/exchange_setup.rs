@@ -1,13 +1,17 @@
 //! Bridges [`PreparedMarket`] cells into a [`vfl_exchange::Exchange`]: the
-//! throughput bench (E6) and the exchange smoke test both register
-//! heterogeneous (dataset × base model) cells and submit seeded strategic
-//! sessions through this module, so they agree on strategy wiring.
+//! throughput benches (E6, E7) and the exchange smoke test register
+//! heterogeneous (dataset × base model) cells — as plain markets or as
+//! quoting sellers on the matching tier — and submit seeded strategic
+//! sessions/demands through this module, so they agree on strategy wiring.
 
 use crate::params::RunProfile;
 use crate::setup::PreparedMarket;
 use std::sync::Arc;
-use vfl_exchange::{Exchange, MarketId, MarketSpec, SessionOrder};
+use vfl_exchange::{
+    BestResponse, Demand, Exchange, MarketId, MarketSpec, SellerId, SellerSpec, SessionOrder,
+};
 use vfl_market::{Result, StrategicData, StrategicTask};
+use vfl_sim::BundleMask;
 
 /// Registers one prepared market cell, serving ΔG from a *cold* twin of its
 /// oracle (real Step-3 course work; the shared exchange cache is what makes
@@ -42,5 +46,75 @@ pub fn strategic_order(market: &PreparedMarket, profile: &RunProfile, run: u64) 
             .expect("prepared markets have valid openings"),
         ),
         data: Box::new(StrategicData::with_gains(market.gains.clone())),
+    }
+}
+
+/// Registers a prepared market cell as a quoting data party on the matching
+/// tier: same cold oracle and evaluation key as [`register_cell`], quoting
+/// with the paper's strategic data party over the cell's gain landscape.
+/// `listings` restricts the seller's catalog to a subset of the cell's
+/// listing table (by index); `None` sells the whole catalog — two sellers
+/// over different subsets of one cell model competing data parties with
+/// overlapping features.
+pub fn seller_cell(
+    exchange: &Exchange,
+    market: &PreparedMarket,
+    profile: &RunProfile,
+    listings: Option<&[usize]>,
+) -> Result<SellerId> {
+    let oracle = market.cold_oracle(profile)?;
+    let table: Vec<vfl_market::Listing> = match listings {
+        Some(keep) => keep.iter().map(|&i| market.listings[i]).collect(),
+        None => market.listings.clone(),
+    };
+    let gains: Vec<f64> = match listings {
+        Some(keep) => keep.iter().map(|&i| market.gains[i]).collect(),
+        None => market.gains.clone(),
+    };
+    let suffix = listings.map_or_else(String::new, |keep| format!("#{}", keep.len()));
+    let by_bundle: std::collections::HashMap<u64, f64> = table
+        .iter()
+        .zip(&gains)
+        .map(|(l, &g)| (l.bundle.0, g))
+        .collect();
+    exchange.register_seller(SellerSpec {
+        market: MarketSpec {
+            provider: Arc::new(oracle),
+            listings: Arc::new(table),
+            evaluation_key: Some(market.evaluation_key(profile)),
+            name: format!("{}/{}{}", market.id, market.model_kind.name(), suffix),
+        },
+        quoting: Arc::new(move |scoped| {
+            Box::new(StrategicData::with_gains(
+                scoped.iter().map(|l| by_bundle[&l.bundle.0]).collect(),
+            ))
+        }),
+    })
+}
+
+/// A demand mirroring [`strategic_order`]'s buyer side: same opening quote
+/// and per-run seed, wanting every feature the cell lists, scoped to the
+/// cell's scenario fingerprint, settled by best-response selection.
+pub fn strategic_demand(
+    market: &PreparedMarket,
+    profile: &RunProfile,
+    run: u64,
+    probe_rounds: u32,
+) -> Demand {
+    let cfg = market.market_config(profile).with_run_seed(run);
+    let (target, rate, base) = (
+        market.target_gain,
+        market.params.init_rate,
+        market.params.init_base,
+    );
+    Demand {
+        wanted: BundleMask::union_of(market.listings.iter().map(|l| l.bundle)),
+        scenario: Some(market.evaluation_key(profile)),
+        cfg,
+        task: Arc::new(move || {
+            Box::new(StrategicTask::new(target, rate, base).expect("valid opening"))
+        }),
+        probe_rounds,
+        policy: Arc::new(BestResponse),
     }
 }

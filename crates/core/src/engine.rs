@@ -44,6 +44,12 @@ pub enum FailureReason {
     BudgetExhausted,
     /// The round limit was hit (paper: 500).
     RoundLimit,
+    /// The driver cancelled the negotiation before a protocol conclusion —
+    /// outside the paper's 1×1 taxonomy. A marketplace matching tier uses
+    /// this to terminate the losing candidates of a multi-seller demand
+    /// once settlement has picked a winner; the settlement message in the
+    /// transcript is an `Abort` at the round the cancellation landed.
+    Cancelled,
 }
 
 /// Terminal state of a negotiation.

@@ -21,10 +21,14 @@
 //! | `Gain` → task decides `Accept` → `Finished(Success: TaskParty)` | Case 5 / V (and the Eq. 6/7 cost rules) |
 //! | `Gain` → task decides `Requote` → `AwaitOffer` of the next round | Case 6 / VI |
 //! | rounds `1..=explore_rounds` (`exploring` flag): closure suppressed | Case VII |
+//! | `Cancel` from any live phase → `Finished(Failed: Cancelled)` | — (driver/marketplace event) |
 //!
 //! Exceeding `max_rounds` fails the transaction (`RoundLimit`), and a task
 //! decision of `Fail` with escalation room exhausted maps to
 //! `BudgetExhausted` — exactly the taxonomy of [`crate::engine::FailureReason`].
+//! `Cancelled` sits outside the paper's taxonomy: it is how a mediating
+//! tier (the `vfl-exchange` matching tier) closes the losing candidates of
+//! a multi-seller demand in an orderly way, transcript settled and all.
 
 use crate::config::MarketConfig;
 use crate::engine::{ClosedBy, FailureReason, Outcome, OutcomeStatus, RoundRecord};
@@ -50,6 +54,13 @@ pub enum SessionEvent {
     Offer(DataResponse),
     /// The realized ΔG of the pending VFL course (Step 3).
     Gain(f64),
+    /// Terminate the negotiation from any live phase with
+    /// [`FailureReason::Cancelled`]. This is a *driver* event, not a paper
+    /// case: a marketplace that fans one demand out to several data parties
+    /// sends it to the losing candidates once settlement picks a winner, so
+    /// a cancelled session settles its transcript (an `Abort` at the
+    /// current round) instead of being dropped mid-protocol.
+    Cancel,
 }
 
 /// What the driver must do next.
@@ -162,6 +173,21 @@ impl NegotiationSession {
         self.rounds.len()
     }
 
+    /// Per-round records accumulated so far. The last entry is the standing
+    /// quote a mediating tier compares across sellers before settlement; on
+    /// closure the records are drained into the final [`Outcome`], after
+    /// which this is empty.
+    pub fn rounds(&self) -> &[RoundRecord] {
+        &self.rounds
+    }
+
+    /// Stamps the quoting data party's identity on the transcript (see
+    /// [`Transcript::set_seller`]); multi-seller marketplaces call this at
+    /// fan-out so every candidate negotiation names its counterparty.
+    pub fn tag_seller(&mut self, name: impl Into<String>) {
+        self.transcript.set_seller(name);
+    }
+
     /// The engine RNG. In-process drivers route the data party's draws
     /// through this so the interleaved stream matches the classic
     /// single-loop engine draw for draw.
@@ -198,6 +224,12 @@ impl NegotiationSession {
             (SessionPhase::AwaitingGain, SessionEvent::Gain(gain)) => {
                 self.on_gain(gain, listings, task)
             }
+            (phase, SessionEvent::Cancel) if phase != SessionPhase::Closed => Ok(self.finish(
+                OutcomeStatus::Failed {
+                    reason: FailureReason::Cancelled,
+                },
+                self.round,
+            )),
             (phase, event) => Err(MarketError::StrategyError(format!(
                 "session protocol violation: event {event:?} in phase {phase:?}"
             ))),
@@ -507,6 +539,96 @@ mod tests {
         assert!(session
             .step(SessionEvent::Gain(0.1), &listings, &mut task)
             .is_err());
+    }
+
+    #[test]
+    fn cancel_closes_any_live_phase() {
+        let (provider, listings, gains) = market();
+        let mut task = StrategicTask::new(0.30, 6.0, 0.9).unwrap();
+        let mut data = StrategicData::with_gains(gains);
+
+        // Created.
+        let mut fresh = NegotiationSession::new(cfg(2)).unwrap();
+        let effect = fresh
+            .step(SessionEvent::Cancel, &listings, &mut task)
+            .unwrap();
+        let SessionEffect::Finished(outcome) = effect else {
+            panic!("cancel must finish the session");
+        };
+        assert_eq!(
+            outcome.status,
+            OutcomeStatus::Failed {
+                reason: FailureReason::Cancelled
+            }
+        );
+        assert!(matches!(
+            outcome.transcript.settlement(),
+            Some(vfl_sim::protocol::SettleMsg::Abort { .. })
+        ));
+        assert_eq!(fresh.phase(), SessionPhase::Closed);
+
+        // AwaitingGain, mid-negotiation: records so far ride along.
+        let mut session = NegotiationSession::new(cfg(2)).unwrap();
+        let mut effect = session
+            .step(SessionEvent::Start, &listings, &mut task)
+            .unwrap();
+        loop {
+            match effect {
+                SessionEffect::AwaitOffer {
+                    quote,
+                    round,
+                    exploring,
+                } => {
+                    let dctx = DataContext::at_round(&cfg(2), round, exploring, &quote);
+                    let resp = data
+                        .respond(&dctx, &listings, &cfg(2), session.rng_mut())
+                        .unwrap();
+                    effect = session
+                        .step(SessionEvent::Offer(resp), &listings, &mut task)
+                        .unwrap();
+                }
+                SessionEffect::AwaitGain { bundle, .. } => {
+                    if session.n_rounds() >= 1 {
+                        break;
+                    }
+                    use crate::gain::GainProvider;
+                    let gain = provider.gain(bundle).unwrap();
+                    effect = session
+                        .step(SessionEvent::Gain(gain), &listings, &mut task)
+                        .unwrap();
+                }
+                SessionEffect::Finished(_) => panic!("market closes in > 1 round"),
+            }
+        }
+        assert_eq!(session.rounds().len(), 1, "one standing round record");
+        let effect = session
+            .step(SessionEvent::Cancel, &listings, &mut task)
+            .unwrap();
+        let SessionEffect::Finished(outcome) = effect else {
+            panic!("cancel must finish the session");
+        };
+        assert!(!outcome.is_success());
+        assert_eq!(outcome.n_rounds(), 1, "completed rounds are preserved");
+
+        // Closed sessions cannot be cancelled again.
+        assert!(session
+            .step(SessionEvent::Cancel, &listings, &mut task)
+            .is_err());
+    }
+
+    #[test]
+    fn seller_tag_lands_in_the_outcome_transcript() {
+        let (_, listings, _) = market();
+        let mut task = StrategicTask::new(0.30, 6.0, 0.9).unwrap();
+        let mut session = NegotiationSession::new(cfg(5)).unwrap();
+        session.tag_seller("data-party-7");
+        let effect = session
+            .step(SessionEvent::Cancel, &listings, &mut task)
+            .unwrap();
+        let SessionEffect::Finished(outcome) = effect else {
+            panic!("cancel must finish the session");
+        };
+        assert_eq!(outcome.transcript.seller(), Some("data-party-7"));
     }
 
     #[test]

@@ -8,8 +8,21 @@
 //! concurrent hits never contend, and the miss path runs the course
 //! *outside* any lock so slow trainings on different bundles proceed in
 //! parallel. Concurrent misses on the *same* key are deduplicated through
-//! the [`CourseServe::Busy`] protocol: one worker trains, the rest requeue
-//! their session and find the result cached on retry.
+//! the [`CourseServe::Busy`] protocol: one worker trains, the rest park
+//! their session on the exchange's course waitlist and are requeued when
+//! the result lands (wake-on-insert — the insert happens inside
+//! [`SharedGainCache::serve`], the wake is the caller's duty; see
+//! `crate::waitlist` for the ownership handshake).
+//!
+//! ## Invariants
+//!
+//! * No shard lock is ever held across a course computation; a training
+//!   blocks only its `(evaluation key, bundle)` claim, never a lookup.
+//! * At most one in-flight claim exists per key ([`SharedGainCache::serve`]
+//!   inserts into the claim set before training and removes on *both* the
+//!   success and error paths — a failed training never leaks its claim).
+//! * Results are insert-once: a landed ΔG is immutable, so waiters can be
+//!   woken after the insert with no risk of observing a torn value.
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -35,8 +48,10 @@ pub enum CourseServe {
     Hit(f64),
     /// This caller trained the course (the expensive path).
     Computed(f64),
-    /// Another worker is training this exact key right now — back off and
-    /// retry; the result will be a [`CourseServe::Hit`] once it lands.
+    /// Another worker is training this exact key right now — park the
+    /// session (the exchange uses its course waitlist) and retry when the
+    /// wake arrives; the result will be a [`CourseServe::Hit`] once it
+    /// lands, or the retry inherits the claim if the training failed.
     Busy,
 }
 
@@ -96,8 +111,8 @@ impl SharedGainCache {
 
     /// Serves one course request with concurrent-miss dedup: a hit returns
     /// immediately; on a miss, exactly one caller per key trains the course
-    /// (others get [`CourseServe::Busy`] and should requeue their session —
-    /// the landed result turns their retry into a hit). This keeps N
+    /// (others get [`CourseServe::Busy`] and should park their session —
+    /// the landed result turns their woken retry into a hit). This keeps N
     /// workers racing on one cold bundle from paying N trainings.
     pub fn serve(
         &self,
@@ -129,6 +144,16 @@ impl SharedGainCache {
             Some(g) => Ok(g),
             None => self.compute(eval_key, bundle, provider),
         }
+    }
+
+    /// True while some caller holds the in-flight training claim for
+    /// `(eval_key, bundle)`. A waiter that saw [`CourseServe::Busy`] uses
+    /// this (after registering on its waitlist) to detect the claim being
+    /// *released without a result* — a failed training inserts nothing, so
+    /// checking only for a cached value would miss the wake and park the
+    /// waiter forever.
+    pub fn is_training(&self, eval_key: u64, bundle: BundleMask) -> bool {
+        self.in_flight.lock().contains(&(eval_key, bundle.0))
     }
 
     /// Cache hits so far.
@@ -213,6 +238,11 @@ mod tests {
         let p = provider();
         let unknown = BundleMask::singleton(9);
         assert!(cache.serve(3, unknown, &p).is_err());
+        // The claim is gone even though nothing was inserted — this is the
+        // state a Busy waiter must detect via `is_training`, since peeking
+        // for a result would miss it.
+        assert!(!cache.is_training(3, unknown));
+        assert!(cache.peek(3, unknown).is_none());
         // The claim must not leak: a provider that recovers can compute.
         let mut fixed = p.clone();
         fixed.insert(unknown, 0.5);

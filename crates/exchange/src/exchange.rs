@@ -1,6 +1,7 @@
-//! The marketplace engine: registered markets, the sharded session store,
-//! the shared gain cache, and the worker pool that drives every queued
-//! session to completion.
+//! The marketplace engine: registered markets and sellers, the sharded
+//! session store, the shared gain cache, the course waitlist, the matching
+//! book, and the worker pool that drives every queued session to
+//! completion.
 //!
 //! ## Execution model
 //!
@@ -20,6 +21,29 @@
 //! guaranteed to consume, so the pool is deadlock-free by construction: a
 //! full ready queue simply leaves session ids parked in the dispatcher's
 //! overflow list (backpressure), never blocking anyone who holds work.
+//!
+//! ## Parked sessions and drain termination
+//!
+//! Two kinds of session leave the ready/notice cycle without terminating:
+//! course waiters (parked on the `CourseWaitlist` (`waitlist` module) until
+//! the in-flight training of their `(evaluation key, bundle)` lands) and
+//! matching candidates parked at their probe horizon (until their demand
+//! settles). Both are woken by *work that is still in flight* — the
+//! training worker wakes its waiters and the settlement-completing report
+//! wakes/cancels its candidates **before** the corresponding notice reaches
+//! the dispatcher — so whenever the dispatcher observes zero in-flight
+//! slices and empty queues, no parked session can still be waiting on
+//! anything. That is the drain-termination invariant; every park/wake path
+//! in `Exchange::run_slice` preserves it by performing its wakes inside
+//! the slice that triggers them.
+//!
+//! ## Lock order
+//!
+//! Flat by design: the market/seller registries, store shards, cache
+//! shards, waitlist, pending queue, and per-demand settlement locks are
+//! never nested inside one another on any path (`run_slice` holds *no* lock
+//! while driving strategy or course code; settlement actions are applied
+//! after the demand lock is dropped — see [`crate::matching`]).
 
 use crossbeam::channel::bounded;
 use parking_lot::{Mutex, RwLock};
@@ -28,11 +52,17 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use vfl_market::{GainProvider, Listing, MarketError, Outcome, Result};
+use vfl_sim::BundleMask;
 
 use crate::cache::{CourseServe, SharedGainCache};
+use crate::matching::{
+    Demand, DemandId, DemandReport, DemandState, DemandStatus, MatchBook, QuoteState,
+    QuotingFactory, SellerId, SettleAction,
+};
 use crate::metrics::{ExchangeMetrics, MetricsSnapshot};
-use crate::session::{ActiveSession, Drive, SessionOrder};
+use crate::session::{ActiveSession, Drive, MatchTag, SessionOrder};
 use crate::store::{SessionId, SessionStatus, SessionStore};
+use crate::waitlist::CourseWaitlist;
 
 /// Opaque market handle returned by `register_market`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -52,9 +82,12 @@ pub struct MarketSpec {
     pub listings: Arc<Vec<Listing>>,
     /// Cache identity: two markets with equal keys share ΔG cache entries,
     /// so set it to a fingerprint of (scenario, base model, oracle seed).
-    /// `None` gives the market a private cache space.
+    /// `None` gives the market a private cache space. The matching tier
+    /// also reads it as the seller's *scenario* fingerprint (see
+    /// [`Demand::scenario`]).
     pub evaluation_key: Option<u64>,
-    /// Display name for dashboards/reports.
+    /// Display name for dashboards/reports; the matching tier stamps it
+    /// into candidate transcripts as the seller identity.
     pub name: String,
 }
 
@@ -82,10 +115,16 @@ impl Default for ExchangeConfig {
 /// What one `drain` call accomplished.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DrainReport {
-    /// Sessions that reached a negotiated outcome during this drain.
+    /// Sessions that ran to their own negotiated outcome during this
+    /// drain (success or negotiated failure — not cancellations).
     pub closed: usize,
     /// Sessions that died on a hard error during this drain.
     pub failed: usize,
+    /// Losing matching candidates cancelled by demand settlements this
+    /// drain's own worker slices performed (terminal, Abort-settled
+    /// outcomes, but terminated by the platform rather than the protocol;
+    /// counted locally, so concurrent drains never cross-attribute).
+    pub cancelled: usize,
     /// Worker threads used.
     pub workers: usize,
     /// Wall-clock time of the drain.
@@ -93,13 +132,14 @@ pub struct DrainReport {
 }
 
 impl DrainReport {
-    /// Sessions completed per wall-clock second.
+    /// Sessions brought to *any* terminal state per wall-clock second
+    /// (closed + failed + cancelled).
     pub fn sessions_per_sec(&self) -> f64 {
         let secs = self.elapsed.as_secs_f64();
         if secs <= 0.0 {
             0.0
         } else {
-            (self.closed + self.failed) as f64 / secs
+            (self.closed + self.failed + self.cancelled) as f64 / secs
         }
     }
 }
@@ -112,21 +152,52 @@ struct MarketEntry {
     name: String,
 }
 
+/// A registered data party: its market, quoting strategy factory, and the
+/// catalog/scenario fingerprints demand eligibility is decided on.
+struct SellerEntry {
+    market: MarketId,
+    name: String,
+    /// Union of every listed bundle — the seller's feature catalog.
+    catalog: BundleMask,
+    /// The market's registered evaluation key (scenario fingerprint);
+    /// `None` for private-cache markets, which only match scenario-less
+    /// demands.
+    scenario: Option<u64>,
+    quoting: QuotingFactory,
+}
+
 /// The concurrent multi-session marketplace engine.
 pub struct Exchange {
     cfg: ExchangeConfig,
     markets: RwLock<Vec<MarketEntry>>,
+    sellers: RwLock<Vec<SellerEntry>>,
     store: SessionStore,
     cache: SharedGainCache,
+    waitlist: CourseWaitlist,
+    match_book: MatchBook,
     metrics: ExchangeMetrics,
     next_session: AtomicU64,
     /// Submitted-but-not-yet-dispatched session ids; drained by `drain`.
     pending: Mutex<VecDeque<SessionId>>,
 }
 
-enum Notice {
+/// What one worker slice did with its session, plus how many *other*
+/// sessions the slice cancelled as a side-effect of a demand settlement it
+/// completed (attributed locally so concurrent drains never cross-count).
+struct Notice {
+    kind: NoticeKind,
+    cancelled: usize,
+}
+
+enum NoticeKind {
     /// The session needs another slice (one course was served).
     Yielded(SessionId),
+    /// The session left the ready cycle without terminating: it is parked
+    /// (course waitlist or probe horizon) and will be requeued by whoever
+    /// wakes it — or the dispatched id turned out to be a spurious wake of
+    /// an already-terminal session. Either way: nothing to requeue, nothing
+    /// to count.
+    Parked,
     /// The session reached a terminal state.
     Finished { closed: bool },
 }
@@ -137,8 +208,11 @@ impl Exchange {
         Exchange {
             store: SessionStore::new(cfg.store_shards),
             cache: SharedGainCache::new(cfg.cache_shards),
+            waitlist: CourseWaitlist::default(),
+            match_book: MatchBook::new(),
             metrics: ExchangeMetrics::default(),
             markets: RwLock::new(Vec::new()),
+            sellers: RwLock::new(Vec::new()),
             next_session: AtomicU64::new(0),
             pending: Mutex::new(VecDeque::new()),
             cfg,
@@ -167,6 +241,38 @@ impl Exchange {
         Ok(id)
     }
 
+    /// Registers a data party on the matching tier: its market (also
+    /// reachable through the plain [`Self::submit`] path via the market of
+    /// the returned seller) plus the quoting strategy it answers demands
+    /// with. Sellers are matched against demands by catalog overlap and
+    /// scenario fingerprint (see [`Demand`]).
+    pub fn register_seller(&self, spec: crate::matching::SellerSpec) -> Result<SellerId> {
+        let catalog = BundleMask::union_of(spec.market.listings.iter().map(|l| l.bundle));
+        let scenario = spec.market.evaluation_key;
+        let name = spec.market.name.clone();
+        let market = self.register_market(spec.market)?;
+        let mut sellers = self.sellers.write();
+        let id = SellerId(sellers.len());
+        sellers.push(SellerEntry {
+            market,
+            name,
+            catalog,
+            scenario,
+            quoting: spec.quoting,
+        });
+        Ok(id)
+    }
+
+    /// The market a registered seller trades on (`None` for unknown ids).
+    pub fn seller_market(&self, id: SellerId) -> Option<MarketId> {
+        self.sellers.read().get(id.0).map(|s| s.market)
+    }
+
+    /// Number of registered sellers.
+    pub fn seller_count(&self) -> usize {
+        self.sellers.read().len()
+    }
+
     /// Opens a negotiation on `market`. The session is validated and queued
     /// immediately; it runs during the next [`Self::drain`].
     pub fn submit(&self, market: MarketId, order: SessionOrder) -> Result<SessionId> {
@@ -183,6 +289,131 @@ impl Exchange {
         self.pending.lock().push_back(id);
         ExchangeMetrics::incr(&self.metrics.sessions_opened);
         Ok(id)
+    }
+
+    /// Posts a task party's demand: fans it out into one candidate
+    /// negotiation per eligible seller (catalog overlap with
+    /// [`Demand::wanted`], and — when [`Demand::scenario`] is set — an
+    /// equal scenario fingerprint), each scoped to the wanted-overlapping
+    /// subset of that seller's listings, to be probed and settled during
+    /// the next [`Self::drain`] (see [`crate::matching`] for the
+    /// lifecycle).
+    ///
+    /// Validation is all-or-nothing: an invalid config or an ineligible
+    /// demand (no overlapping seller, empty `wanted`, `probe_rounds == 0`)
+    /// rejects the whole demand without opening any session.
+    pub fn submit_demand(&self, demand: Demand) -> Result<DemandId> {
+        if demand.probe_rounds == 0 {
+            return Err(MarketError::InvalidConfig(
+                "demand probe_rounds must be >= 1".into(),
+            ));
+        }
+        if demand.wanted.is_empty() {
+            return Err(MarketError::InvalidConfig(
+                "demand wants no features (empty bundle mask)".into(),
+            ));
+        }
+        // Snapshot the eligible sellers (registration order = slot order).
+        let eligible: Vec<(SellerId, String, MarketId, QuotingFactory)> = {
+            let sellers = self.sellers.read();
+            sellers
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| {
+                    s.catalog.intersects(demand.wanted)
+                        && match demand.scenario {
+                            Some(key) => s.scenario == Some(key),
+                            None => true,
+                        }
+                })
+                .map(|(i, s)| (SellerId(i), s.name.clone(), s.market, s.quoting.clone()))
+                .collect()
+        };
+        if eligible.is_empty() {
+            return Err(MarketError::InvalidConfig(
+                "no registered seller's catalog overlaps the demand".into(),
+            ));
+        }
+        // One registry read for all candidate tables, dropped before any
+        // factory (user code) runs. Each candidate negotiates over the
+        // wanted-overlapping subset of its seller's catalog: the demand
+        // scopes the table, so a settled match can never deliver only
+        // unrequested features.
+        let tables: Vec<Arc<Vec<Listing>>> = {
+            let markets = self.markets.read();
+            eligible
+                .iter()
+                .map(|(_, _, market, _)| {
+                    Arc::new(
+                        markets[market.0]
+                            .listings
+                            .iter()
+                            .filter(|l| l.bundle.intersects(demand.wanted))
+                            .copied()
+                            .collect::<Vec<Listing>>(),
+                    )
+                })
+                .collect()
+        };
+        // Build every candidate session before touching any shared state.
+        let mut sessions = Vec::with_capacity(eligible.len());
+        for ((_, name, market, quoting), table) in eligible.iter().zip(&tables) {
+            debug_assert!(!table.is_empty(), "catalog overlap implies a listing");
+            let order = SessionOrder {
+                cfg: demand.cfg,
+                task: (demand.task)(),
+                data: (quoting)(table.as_slice()),
+            };
+            let mut session = ActiveSession::new(*market, table.clone(), order)?;
+            session.tag_seller(name);
+            sessions.push(session);
+        }
+        // Commit: ids, then the demand state (so any report finds it), then
+        // tagged sessions into the store, then one atomic batch into the
+        // pending queue (a concurrent drain sees all candidates or none).
+        let ids: Vec<SessionId> = sessions
+            .iter()
+            .map(|_| SessionId(self.next_session.fetch_add(1, Ordering::Relaxed)))
+            .collect();
+        let candidates: Vec<(SellerId, String, SessionId)> = eligible
+            .iter()
+            .zip(&ids)
+            .map(|((seller, name, _, _), &sid)| (*seller, name.clone(), sid))
+            .collect();
+        let did = self
+            .match_book
+            .open(DemandState::new(demand.cfg, demand.policy, candidates));
+        for ((slot, mut session), &sid) in sessions.into_iter().enumerate().zip(&ids) {
+            session.set_match_tag(MatchTag {
+                demand: did,
+                slot,
+                probe_rounds: demand.probe_rounds,
+                released: false,
+            });
+            self.store.insert(sid, session);
+            ExchangeMetrics::incr(&self.metrics.sessions_opened);
+        }
+        self.pending.lock().extend(ids);
+        ExchangeMetrics::incr(&self.metrics.demands_submitted);
+        Ok(did)
+    }
+
+    /// Point-in-time status of a demand (`None` for unknown/taken ids).
+    pub fn demand_status(&self, id: DemandId) -> Option<DemandStatus> {
+        self.match_book.status(id)
+    }
+
+    /// Removes a *settled* demand and returns its report; `None` while the
+    /// demand is still matching (or for unknown ids). Candidate sessions
+    /// stay in the store for [`Self::poll`]/[`Self::take`].
+    pub fn take_demand(&self, id: DemandId) -> Option<DemandReport> {
+        self.match_book.take(id)
+    }
+
+    /// Number of demands currently stored (matching, or settled and not
+    /// yet taken).
+    pub fn demand_count(&self) -> usize {
+        self.match_book.len()
     }
 
     /// Point-in-time status of a session (`None` for unknown/evicted ids).
@@ -202,16 +433,21 @@ impl Exchange {
             sessions_opened: self.metrics.sessions_opened.load(Ordering::Relaxed),
             sessions_closed: self.metrics.sessions_closed.load(Ordering::Relaxed),
             sessions_failed: self.metrics.sessions_failed.load(Ordering::Relaxed),
+            sessions_cancelled: self.metrics.sessions_cancelled.load(Ordering::Relaxed),
             deals_struck: self.metrics.deals_struck.load(Ordering::Relaxed),
             courses_requested: self.metrics.courses_requested.load(Ordering::Relaxed),
+            course_waits: self.metrics.course_waits.load(Ordering::Relaxed),
             rounds_completed: self.metrics.rounds_completed.load(Ordering::Relaxed),
+            demands_submitted: self.metrics.demands_submitted.load(Ordering::Relaxed),
+            demands_settled: self.metrics.demands_settled.load(Ordering::Relaxed),
+            demands_matched: self.metrics.demands_matched.load(Ordering::Relaxed),
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
         }
     }
 
-    /// Number of sessions currently stored (queued, running, or terminal
-    /// and not yet taken).
+    /// Number of sessions currently stored (queued, running, parked, or
+    /// terminal and not yet taken).
     pub fn session_count(&self) -> usize {
         self.store.len()
     }
@@ -219,8 +455,10 @@ impl Exchange {
     /// Runs every queued session to completion on `n_workers` threads
     /// (0 = one per core) and returns the drain statistics. Sessions
     /// submitted concurrently (from other threads) while the drain runs are
-    /// picked up too; the call returns when no session is queued or in
-    /// flight.
+    /// picked up too; the call returns when no session is queued, parked,
+    /// or in flight — in particular, every demand whose candidates were all
+    /// submitted before the drain returned is settled, and its winner has
+    /// run to a terminal state.
     pub fn drain(&self, n_workers: usize) -> DrainReport {
         let hw = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -230,7 +468,7 @@ impl Exchange {
         let (ready_tx, ready_rx) = bounded::<SessionId>(self.cfg.queue_capacity);
         let (notice_tx, notice_rx) = bounded::<Notice>(self.cfg.queue_capacity);
 
-        let (closed, failed) = crossbeam::thread::scope(|scope| {
+        let (closed, failed, cancelled) = crossbeam::thread::scope(|scope| {
             for _ in 0..workers {
                 let ready_rx = ready_rx.clone();
                 let notice_tx = notice_tx.clone();
@@ -251,6 +489,7 @@ impl Exchange {
             let mut in_flight = 0usize;
             let mut closed = 0usize;
             let mut failed = 0usize;
+            let mut cancelled = 0usize;
             loop {
                 overflow.append(&mut self.pending.lock());
                 // Feed the bounded ready queue without ever blocking: what
@@ -265,50 +504,125 @@ impl Exchange {
                     }
                 }
                 if in_flight == 0 {
+                    // No slice is running, so nothing can wake a parked
+                    // session or enqueue new work from inside the pool (see
+                    // the module doc's drain-termination invariant); only a
+                    // concurrent external submit could, and we re-check the
+                    // pending queue for exactly that before exiting.
                     if overflow.is_empty() && self.pending.lock().is_empty() {
                         break;
                     }
                     continue;
                 }
                 match notice_rx.recv() {
-                    Ok(Notice::Yielded(id)) => {
+                    Ok(notice) => {
                         in_flight -= 1;
-                        overflow.push_back(id);
-                    }
-                    Ok(Notice::Finished { closed: ok }) => {
-                        in_flight -= 1;
-                        if ok {
-                            closed += 1;
-                        } else {
-                            failed += 1;
+                        cancelled += notice.cancelled;
+                        match notice.kind {
+                            NoticeKind::Yielded(id) => overflow.push_back(id),
+                            NoticeKind::Parked => {}
+                            NoticeKind::Finished { closed: ok } => {
+                                if ok {
+                                    closed += 1;
+                                } else {
+                                    failed += 1;
+                                }
+                            }
                         }
                     }
                     Err(_) => break,
                 }
             }
             drop(ready_tx);
-            (closed, failed)
+            (closed, failed, cancelled)
         })
         .expect("exchange worker scope failed");
 
         DrainReport {
             closed,
             failed,
+            cancelled,
             workers,
             elapsed: start.elapsed(),
         }
     }
 
+    /// Adds completed rounds to the metrics (no-op for zero).
+    fn add_rounds(&self, delta: usize) {
+        if delta > 0 {
+            self.metrics
+                .rounds_completed
+                .fetch_add(delta as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Requeues every session waiting on `(eval_key, bundle)`. Called by
+    /// the worker that landed (or failed) the in-flight training, *inside*
+    /// its slice — before its notice reaches the dispatcher — so the
+    /// drain-termination invariant holds.
+    fn wake_course_waiters(&self, eval_key: u64, bundle: BundleMask) {
+        let woken = self.waitlist.drain((eval_key, bundle.0));
+        if !woken.is_empty() {
+            self.pending.lock().extend(woken);
+        }
+    }
+
+    /// Records a candidate quote and, when it completes the demand,
+    /// applies the settlement: wake the winner past its horizon, cancel
+    /// parked losers. Runs inside the reporting worker's slice; returns
+    /// how many sessions it cancelled so the slice's notice can attribute
+    /// them to the drain that did the work.
+    fn report_quote(&self, demand: DemandId, slot: usize, quote: QuoteState) -> usize {
+        let Some(settlement) = self.match_book.report(demand, slot, quote) else {
+            return 0;
+        };
+        ExchangeMetrics::incr(&self.metrics.demands_settled);
+        if settlement.matched {
+            ExchangeMetrics::incr(&self.metrics.demands_matched);
+        }
+        let mut cancelled = 0usize;
+        for action in settlement.actions {
+            match action {
+                SettleAction::Wake(sid) => {
+                    // The winner is parked: Ready in the store, owned by
+                    // nobody, reachable only through this settlement.
+                    if let Some(mut session) = self.store.check_out(sid) {
+                        session.release();
+                        self.store.check_in(sid, session);
+                        self.pending.lock().push_back(sid);
+                    } else {
+                        debug_assert!(false, "winning candidate {sid} must be parked");
+                    }
+                }
+                SettleAction::Cancel(sid) => {
+                    if let Some(mut session) = self.store.check_out(sid) {
+                        let result = session.cancel();
+                        ExchangeMetrics::incr(&self.metrics.sessions_cancelled);
+                        self.store.finish(sid, result);
+                        cancelled += 1;
+                    } else {
+                        debug_assert!(false, "losing candidate {sid} must be parked");
+                    }
+                }
+            }
+        }
+        cancelled
+    }
+
     /// One worker slice. Cheap work (strategy steps, cached course results)
-    /// runs inline; the slice ends when the session closes or right after
-    /// it has paid for ONE expensive course (a shared-cache miss), at which
-    /// point the session yields so queued sessions get their turn. Thus a
-    /// dispatch costs at most one model training, cache-hot sessions close
-    /// in a single dispatch, and cold sessions interleave fairly.
+    /// runs inline; the slice ends when the session closes, parks (probe
+    /// horizon or course waitlist), or right after it has paid for ONE
+    /// expensive course (a shared-cache miss), at which point the session
+    /// yields so queued sessions get their turn. Thus a dispatch costs at
+    /// most one model training, cache-hot sessions close in a single
+    /// dispatch, and cold sessions interleave fairly.
     fn run_slice(&self, id: SessionId) -> Notice {
+        let plain = |kind: NoticeKind| Notice { kind, cancelled: 0 };
         let Some(mut session) = self.store.check_out(id) else {
-            // Stale id (evicted or double-dispatched); treat as failed.
-            return Notice::Finished { closed: false };
+            // Spurious wake: a course-waitlist or settlement wake raced the
+            // session into a terminal state (e.g. a cancelled loser that
+            // was still on a waitlist). Nothing to run, nothing to count.
+            return plain(NoticeKind::Parked);
         };
         let (provider, eval_key) = {
             let markets = self.markets.read();
@@ -316,38 +630,81 @@ impl Exchange {
             (entry.provider.clone(), entry.eval_key)
         };
         let rounds_before = session.rounds_so_far();
-        // On completion the outcome absorbs the round records, so the
-        // terminal count must be read off the outcome itself.
-        let mut rounds_after = rounds_before;
         let mut paid_course = false;
-        let notice = loop {
+        loop {
+            // Matching tier: an unreleased candidate at its probe horizon
+            // parks for settlement instead of training again. Check-in
+            // precedes the report so that, if this report settles the
+            // demand, settlement finds the session in the store.
+            if session.probe_parked() {
+                let tag = *session.match_tag().expect("probe_parked implies a tag");
+                let standing = session
+                    .standing_quote()
+                    .expect("probe horizon implies a completed round");
+                self.add_rounds(session.rounds_so_far() - rounds_before);
+                self.store.check_in(id, session);
+                let cancelled =
+                    self.report_quote(tag.demand, tag.slot, QuoteState::Standing(standing));
+                return Notice {
+                    kind: NoticeKind::Parked,
+                    cancelled,
+                };
+            }
             let step = match session.pending_bundle() {
                 Some(bundle) => {
                     if paid_course && self.cache.peek(eval_key, bundle).is_none() {
                         // A second training would blow the slice budget:
                         // park the session; the next dispatch pays it.
-                        break Notice::Yielded(id);
+                        self.add_rounds(session.rounds_so_far() - rounds_before);
+                        self.store.check_in(id, session);
+                        return plain(NoticeKind::Yielded(id));
                     }
                     ExchangeMetrics::incr(&self.metrics.courses_requested);
                     match self.cache.serve(eval_key, bundle, provider.as_ref()) {
                         Ok(CourseServe::Hit(g)) => session.drive(Some(g)),
                         Ok(CourseServe::Computed(g)) => {
                             paid_course = true;
+                            // Wake-on-insert: the result is cached, so
+                            // sessions that hit Busy on this key resume.
+                            self.wake_course_waiters(eval_key, bundle);
                             session.drive(Some(g))
                         }
                         Ok(CourseServe::Busy) => {
-                            // Another worker is training this exact course;
-                            // requeue and find it cached on retry. Cede the
-                            // core first — the trainer needs it more than
-                            // another redispatch does (a waitlist woken on
-                            // insert is the tracked follow-on).
+                            // Another worker is training this exact course.
+                            // Park on the waitlist (check-in first, then
+                            // enqueue — see the waitlist module's wake
+                            // protocol) instead of spinning on redispatch.
                             self.metrics
                                 .courses_requested
                                 .fetch_sub(1, Ordering::Relaxed);
-                            std::thread::yield_now();
-                            break Notice::Yielded(id);
+                            ExchangeMetrics::incr(&self.metrics.course_waits);
+                            self.add_rounds(session.rounds_so_far() - rounds_before);
+                            self.store.check_in(id, session);
+                            let key = (eval_key, bundle.0);
+                            self.waitlist.enqueue(key, id);
+                            // Check-after-enqueue: if the training ended in
+                            // the meantime — result landed, OR the claim
+                            // was released by a *failed* training (which
+                            // inserts nothing, so peeking alone would miss
+                            // it and park us forever) — arbitrate with the
+                            // trainer's drain over who requeues us
+                            // (exactly one side does).
+                            if (self.cache.peek(eval_key, bundle).is_some()
+                                || !self.cache.is_training(eval_key, bundle))
+                                && self.waitlist.cancel(key, id)
+                            {
+                                return plain(NoticeKind::Yielded(id));
+                            }
+                            return plain(NoticeKind::Parked);
                         }
-                        Err(e) => Err(e),
+                        Err(e) => {
+                            // The training failed: nothing was inserted but
+                            // the in-flight claim is released. Wake waiters
+                            // so they retry (and surface the error on their
+                            // own sessions) instead of sleeping forever.
+                            self.wake_course_waiters(eval_key, bundle);
+                            Err(e)
+                        }
                     }
                 }
                 None => session.drive(None),
@@ -359,30 +716,43 @@ impl Exchange {
                     if outcome.is_success() {
                         ExchangeMetrics::incr(&self.metrics.deals_struck);
                     }
-                    rounds_after = outcome.n_rounds();
+                    // On completion the outcome absorbs the round records,
+                    // so the terminal count is read off the outcome itself.
+                    self.add_rounds(outcome.n_rounds().saturating_sub(rounds_before));
+                    let tag = session.match_tag().filter(|t| !t.released).copied();
+                    let quote = tag.map(|_| QuoteState::Closed {
+                        status: outcome.status,
+                        last: outcome.final_record().copied(),
+                    });
                     self.store.finish(id, Ok(outcome));
-                    break Notice::Finished { closed: true };
+                    let cancelled = match (tag, quote) {
+                        (Some(tag), Some(quote)) => self.report_quote(tag.demand, tag.slot, quote),
+                        _ => 0,
+                    };
+                    return Notice {
+                        kind: NoticeKind::Finished { closed: true },
+                        cancelled,
+                    };
                 }
                 Err(e) => {
                     ExchangeMetrics::incr(&self.metrics.sessions_failed);
+                    self.add_rounds(session.rounds_so_far().saturating_sub(rounds_before));
+                    let tag = session.match_tag().filter(|t| !t.released).copied();
+                    let msg = e.to_string();
                     self.store.finish(id, Err(e));
-                    break Notice::Finished { closed: false };
+                    let cancelled = match tag {
+                        Some(tag) => {
+                            self.report_quote(tag.demand, tag.slot, QuoteState::Error(msg))
+                        }
+                        None => 0,
+                    };
+                    return Notice {
+                        kind: NoticeKind::Finished { closed: false },
+                        cancelled,
+                    };
                 }
             }
-        };
-        if !matches!(notice, Notice::Finished { closed: true }) {
-            rounds_after = session.rounds_so_far();
         }
-        let rounds_delta = rounds_after.saturating_sub(rounds_before) as u64;
-        if rounds_delta > 0 {
-            self.metrics
-                .rounds_completed
-                .fetch_add(rounds_delta, Ordering::Relaxed);
-        }
-        if matches!(notice, Notice::Yielded(_)) {
-            self.store.check_in(id, session);
-        }
-        notice
     }
 }
 
@@ -390,8 +760,11 @@ impl std::fmt::Debug for Exchange {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Exchange")
             .field("markets", &self.markets.read().len())
+            .field("sellers", &self.sellers.read().len())
             .field("sessions", &self.store.len())
+            .field("demands", &self.match_book.len())
             .field("cache_entries", &self.cache.len())
+            .field("course_waiters", &self.waitlist.waiting())
             .finish()
     }
 }

@@ -16,8 +16,13 @@
 //!   cache, and misses never serialize behind a single lock;
 //! * [`SessionStore`](store) — sharded session registry; workers check
 //!   sessions out, drive them lock-free, and check them back in;
-//! * [`MetricsSnapshot`] — sessions opened/closed/failed, rounds, course
-//!   requests, cache hit rate.
+//! * [`matching`] — the multi-seller tier: a task party posts a [`Demand`],
+//!   the exchange fans it out to every registered seller whose catalog
+//!   overlaps, probes the candidates concurrently, and settles by a
+//!   pluggable [`MatchPolicy`] (losing candidates are cancelled, the winner
+//!   runs to the paper's Cases 1–6 conclusion);
+//! * [`MetricsSnapshot`] — sessions opened/closed/failed/cancelled, rounds,
+//!   course requests and waits, demand/match counts, cache hit rate.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -49,15 +54,66 @@
 //! let outcome = exchange.take(sid).unwrap().unwrap();
 //! # let _ = outcome;
 //! ```
+//!
+//! Multi-seller matching rides on the same pool: register sellers instead
+//! of bare markets, post a [`Demand`], drain, and read the settled quote
+//! table.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use vfl_exchange::{BestResponse, Demand, Exchange, ExchangeConfig, MarketSpec, SellerSpec};
+//! use vfl_market::{MarketConfig, StrategicData, StrategicTask, TableGainProvider};
+//! use vfl_sim::BundleMask;
+//!
+//! # fn listings() -> Vec<vfl_market::Listing> { vec![] }
+//! # fn gain_for(l: &vfl_market::Listing) -> f64 { let _ = l; 0.0 }
+//! let exchange = Exchange::new(ExchangeConfig::default());
+//! exchange
+//!     .register_seller(SellerSpec {
+//!         market: MarketSpec {
+//!             provider: Arc::new(TableGainProvider::new([])),
+//!             listings: Arc::new(listings()),
+//!             evaluation_key: Some(42),
+//!             name: "acme-data".into(),
+//!         },
+//!         // The factory sees the listing table the candidate will
+//!         // negotiate over (the demand-scoped subset of the catalog).
+//!         quoting: Arc::new(|table| {
+//!             Box::new(StrategicData::with_gains(table.iter().map(gain_for).collect()))
+//!         }),
+//!     })
+//!     .unwrap();
+//! let demand = exchange
+//!     .submit_demand(Demand {
+//!         wanted: BundleMask::all(8),
+//!         scenario: Some(42),
+//!         cfg: MarketConfig::default(),
+//!         task: Arc::new(|| Box::new(StrategicTask::new(0.3, 6.0, 0.9).unwrap())),
+//!         probe_rounds: 2,
+//!         policy: Arc::new(BestResponse),
+//!     })
+//!     .unwrap();
+//! exchange.drain(4);
+//! let report = exchange.take_demand(demand).unwrap();
+//! println!("winner: {:?}", report.winning_quote().map(|q| &q.seller_name));
+//! ```
+
+#![deny(missing_docs)]
 
 pub mod cache;
 pub mod exchange;
+pub mod matching;
 pub mod metrics;
 pub mod session;
 pub mod store;
+mod waitlist;
 
 pub use cache::{CourseServe, SharedGainCache};
 pub use exchange::{DrainReport, Exchange, ExchangeConfig, MarketId, MarketSpec};
+pub use matching::{
+    BestResponse, CandidateQuote, Demand, DemandId, DemandReport, DemandStatus, MatchPolicy,
+    QuoteState, QuotingFactory, SellerId, SellerSpec, TaskFactory,
+};
 pub use metrics::{ExchangeMetrics, MetricsSnapshot};
 pub use session::SessionOrder;
 pub use store::{SessionId, SessionStatus};
@@ -275,6 +331,326 @@ mod tests {
         let exchange = Exchange::new(ExchangeConfig::default());
         let report = exchange.drain(2);
         assert_eq!(report.closed + report.failed, 0);
+    }
+
+    /// A seller over `table_market` whose per-bundle gains are scaled by
+    /// `scale` (same listings, same reserves — only the landscape differs).
+    fn scaled_seller(name: &str, scale: f64, eval_key: Option<u64>) -> SellerSpec {
+        let (_, listings, gains) = table_market();
+        let gains: Vec<f64> = gains.iter().map(|g| g * scale).collect();
+        let provider =
+            TableGainProvider::new(listings.iter().zip(&gains).map(|(l, &g)| (l.bundle, g)));
+        let by_bundle: std::collections::HashMap<u64, f64> = listings
+            .iter()
+            .zip(&gains)
+            .map(|(l, &g)| (l.bundle.0, g))
+            .collect();
+        SellerSpec {
+            market: MarketSpec {
+                provider: Arc::new(provider),
+                listings,
+                evaluation_key: eval_key,
+                name: name.into(),
+            },
+            quoting: Arc::new(move |table| {
+                Box::new(StrategicData::with_gains(
+                    table.iter().map(|l| by_bundle[&l.bundle.0]).collect(),
+                ))
+            }),
+        }
+    }
+
+    fn demand(seed: u64, probe_rounds: u32) -> Demand {
+        Demand {
+            wanted: vfl_sim::BundleMask::all(4),
+            scenario: None,
+            cfg: cfg(seed),
+            task: Arc::new(|| Box::new(StrategicTask::new(0.30, 6.0, 0.9).unwrap())),
+            probe_rounds,
+            policy: Arc::new(BestResponse),
+        }
+    }
+
+    #[test]
+    fn matching_settles_and_picks_the_richer_landscape() {
+        let exchange = Exchange::new(ExchangeConfig::default());
+        let weak = exchange
+            .register_seller(scaled_seller("weak", 0.1, None))
+            .unwrap();
+        let strong = exchange
+            .register_seller(scaled_seller("strong", 1.0, None))
+            .unwrap();
+        let did = exchange.submit_demand(demand(7, 1)).unwrap();
+        assert!(matches!(
+            exchange.demand_status(did),
+            Some(DemandStatus::Matching {
+                reported: 0,
+                total: 2
+            })
+        ));
+        let report = exchange.drain(2);
+        assert_eq!(report.failed, 0);
+
+        let settled = exchange
+            .take_demand(did)
+            .expect("demand settles in one drain");
+        assert_eq!(settled.quotes.len(), 2);
+        let winner = settled.winning_quote().expect("a winner exists");
+        // Ten-fold gains at equal reserves: the strong landscape's standing
+        // net profit dominates at any probe horizon.
+        assert_eq!(winner.seller, strong);
+        assert_eq!(winner.seller_name, "strong");
+        let _ = weak;
+
+        // The winner ran to a protocol conclusion past its probe horizon.
+        let wsid = settled.winning_session().unwrap();
+        let outcome = exchange.take(wsid).unwrap().unwrap();
+        assert!(
+            !matches!(
+                outcome.status,
+                vfl_market::OutcomeStatus::Failed {
+                    reason: vfl_market::FailureReason::Cancelled
+                }
+            ),
+            "the winner is never cancelled"
+        );
+        assert_eq!(outcome.transcript.seller(), Some("strong"));
+
+        // The losing candidate was cancelled or closed on its own; either
+        // way it is terminal and carries its seller identity.
+        let loser = settled
+            .quotes
+            .iter()
+            .find(|q| q.seller != winner.seller)
+            .unwrap();
+        let loser_outcome = exchange.take(loser.session).unwrap().unwrap();
+        assert_eq!(loser_outcome.transcript.seller(), Some("weak"));
+        if matches!(loser.state, QuoteState::Standing(_)) {
+            assert_eq!(
+                loser_outcome.status,
+                vfl_market::OutcomeStatus::Failed {
+                    reason: vfl_market::FailureReason::Cancelled
+                },
+                "parked losers are cancelled at settlement"
+            );
+        }
+
+        let snap = exchange.metrics();
+        assert_eq!(snap.demands_submitted, 1);
+        assert_eq!(snap.demands_settled, 1);
+        assert_eq!(snap.demands_matched, 1);
+        assert_eq!(
+            report.cancelled as u64, snap.sessions_cancelled,
+            "a single drain owns every cancellation it performed"
+        );
+        assert_eq!(
+            snap.sessions_closed + snap.sessions_failed + snap.sessions_cancelled,
+            snap.sessions_opened
+        );
+    }
+
+    #[test]
+    fn single_seller_demand_matches_run_bargaining_modulo_seller_tag() {
+        let (provider, listings, gains) = table_market();
+        for (seed, probe) in [(1u64, 1u32), (3, 2), (5, 4), (9, 64)] {
+            let exchange = Exchange::new(ExchangeConfig::default());
+            exchange
+                .register_seller(scaled_seller("solo", 1.0, None))
+                .unwrap();
+            let did = exchange.submit_demand(demand(seed, probe)).unwrap();
+            exchange.drain(2);
+            let settled = exchange.take_demand(did).unwrap();
+            let sid = settled.quotes[0].session;
+            let via_matching = exchange.take(sid).unwrap().unwrap();
+
+            let mut task = StrategicTask::new(0.30, 6.0, 0.9).unwrap();
+            let mut data = StrategicData::with_gains(gains.clone());
+            let mut reference =
+                run_bargaining(&provider, &listings[..], &mut task, &mut data, &cfg(seed)).unwrap();
+            reference.transcript.set_seller("solo");
+            assert_eq!(*via_matching, reference, "seed {seed} probe {probe}");
+            // A lone candidate wins iff its negotiation can still close.
+            match settled.winner {
+                Some(0) => {}
+                None => assert!(!reference.is_success(), "seed {seed} probe {probe}"),
+                other => panic!("impossible winner {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn demand_scopes_every_candidate_to_the_wanted_features() {
+        // Sellers list features 0..4; the buyer wants only features 0–1.
+        // Every listing on a candidate's table must deliver at least one
+        // wanted feature (bundle granularity is the seller's: a listing
+        // that mixes wanted and unwanted features stays tradable, so the
+        // enforced invariant is intersection, not subset).
+        let exchange = Exchange::new(ExchangeConfig::default());
+        exchange
+            .register_seller(scaled_seller("a", 1.0, None))
+            .unwrap();
+        exchange
+            .register_seller(scaled_seller("b", 0.5, None))
+            .unwrap();
+        let wanted = vfl_sim::BundleMask::from_features(&[0, 1]);
+        let mut d = demand(4, 2);
+        d.wanted = wanted;
+        let did = exchange.submit_demand(d).unwrap();
+        exchange.drain(2);
+        let settled = exchange.take_demand(did).expect("demand settles");
+        assert!(settled.winner.is_some());
+        for quote in &settled.quotes {
+            let outcome = exchange.take(quote.session).unwrap().unwrap();
+            for rec in &outcome.rounds {
+                assert!(
+                    rec.bundle.intersects(wanted),
+                    "candidate traded bundle {} with no wanted feature",
+                    rec.bundle
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn demands_with_no_eligible_seller_are_rejected() {
+        let exchange = Exchange::new(ExchangeConfig::default());
+        // No sellers at all.
+        assert!(exchange.submit_demand(demand(1, 1)).is_err());
+        exchange
+            .register_seller(scaled_seller("a", 1.0, Some(5)))
+            .unwrap();
+        // Catalog overlap but the scenario fingerprint differs.
+        let mut d = demand(1, 1);
+        d.scenario = Some(6);
+        assert!(exchange.submit_demand(d).is_err());
+        // No catalog overlap (the seller lists features 0..4).
+        let mut d = demand(1, 1);
+        d.wanted = vfl_sim::BundleMask::singleton(17);
+        assert!(exchange.submit_demand(d).is_err());
+        // Degenerate knobs.
+        let mut d = demand(1, 0);
+        d.probe_rounds = 0;
+        assert!(exchange.submit_demand(d).is_err());
+        let mut d = demand(1, 1);
+        d.wanted = vfl_sim::BundleMask::EMPTY;
+        assert!(exchange.submit_demand(d).is_err());
+        // Nothing leaked into the stores.
+        assert_eq!(exchange.session_count(), 0);
+        assert_eq!(exchange.demand_count(), 0);
+        assert_eq!(exchange.metrics().sessions_opened, 0);
+    }
+
+    #[test]
+    fn matching_is_deterministic_across_worker_counts() {
+        let run = |workers: usize| {
+            let exchange = Exchange::new(ExchangeConfig::default());
+            exchange
+                .register_seller(scaled_seller("a", 0.4, None))
+                .unwrap();
+            exchange
+                .register_seller(scaled_seller("b", 1.0, None))
+                .unwrap();
+            exchange
+                .register_seller(scaled_seller("c", 0.7, None))
+                .unwrap();
+            let dids: Vec<DemandId> = (0..12)
+                .map(|seed| exchange.submit_demand(demand(seed, 2)).unwrap())
+                .collect();
+            exchange.drain(workers);
+            dids.iter()
+                .map(|&did| {
+                    let report = exchange.take_demand(did).unwrap();
+                    let winner = report.winning_quote().map(|q| q.seller);
+                    let outcomes: Vec<Outcome> = report
+                        .quotes
+                        .iter()
+                        .map(|q| *exchange.take(q.session).unwrap().unwrap())
+                        .collect();
+                    (winner, outcomes)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    /// A provider that sleeps on every training, wide enough for another
+    /// worker to hit the in-flight claim and park on the course waitlist.
+    #[derive(Clone)]
+    struct SlowProvider {
+        inner: TableGainProvider,
+        delay: std::time::Duration,
+    }
+
+    impl vfl_market::GainProvider for SlowProvider {
+        fn gain(&self, bundle: BundleMask) -> vfl_market::Result<f64> {
+            std::thread::sleep(self.delay);
+            self.inner.gain(bundle)
+        }
+    }
+
+    #[test]
+    fn busy_sessions_park_on_the_waitlist_and_are_woken_on_insert() {
+        let (provider, listings, gains) = table_market();
+        let exchange = Exchange::new(ExchangeConfig::default());
+        let market = exchange
+            .register_market(MarketSpec {
+                provider: Arc::new(SlowProvider {
+                    inner: provider,
+                    delay: std::time::Duration::from_millis(100),
+                }),
+                listings,
+                evaluation_key: Some(7),
+                name: "slow".into(),
+            })
+            .unwrap();
+        // Identical seeds: every session wants the same cold course first,
+        // so all but the trainer must wait out the 100 ms training.
+        let ids: Vec<SessionId> = (0..6)
+            .map(|_| exchange.submit(market, order(&gains, 11)).unwrap())
+            .collect();
+        let report = exchange.drain(3);
+        assert_eq!(report.closed, 6);
+        assert_eq!(report.failed, 0);
+        let snap = exchange.metrics();
+        assert!(
+            snap.course_waits >= 1,
+            "with a 100 ms training and 3 workers, someone must have waited \
+             (waits {})",
+            snap.course_waits
+        );
+        // Identical sessions: every course is trained exactly once.
+        assert!(snap.cache_misses <= 4, "misses {}", snap.cache_misses);
+        for id in ids {
+            assert!(matches!(exchange.poll(id), Some(SessionStatus::Done(_))));
+        }
+    }
+
+    #[test]
+    fn waitlist_waking_survives_provider_errors() {
+        // A provider with a hole: the first course trains fine (slowly),
+        // but a later bundle errors. Waiters parked on the erroring key
+        // must be woken (to fail on their own) instead of hanging the
+        // drain forever — this test not deadlocking IS the assertion.
+        let (_, listings, gains) = table_market();
+        let holey = TableGainProvider::new([(BundleMask::singleton(0), 0.05)]);
+        let exchange = Exchange::new(ExchangeConfig::default());
+        let market = exchange
+            .register_market(MarketSpec {
+                provider: Arc::new(SlowProvider {
+                    inner: holey,
+                    delay: std::time::Duration::from_millis(50),
+                }),
+                listings,
+                evaluation_key: Some(8),
+                name: "holey-slow".into(),
+            })
+            .unwrap();
+        for _ in 0..4 {
+            exchange.submit(market, order(&gains, 2)).unwrap();
+        }
+        let report = exchange.drain(3);
+        assert_eq!(report.closed + report.failed, 4, "no session may hang");
+        assert!(report.failed >= 1, "the provider hole must surface");
     }
 
     #[test]

@@ -1,0 +1,612 @@
+//! The multi-seller matching tier: one task party's demand fanned out to
+//! every registered data party whose catalog overlaps it, probed
+//! concurrently, and settled by a pluggable [`MatchPolicy`].
+//!
+//! The paper prices a single buyer/seller trade; its trading-platform
+//! framing (§3.4) implies a task party *choosing among* data parties with
+//! overlapping feature catalogs. This module is that choice mechanism:
+//!
+//! 1. **Fan-out.** [`crate::Exchange::submit_demand`] opens one candidate
+//!    negotiation per eligible seller (catalog ∩ demand ≠ ∅, optional
+//!    scenario filter), scoped to the wanted-overlapping subset of that
+//!    seller's listings, sharing the demand's config and seed, each
+//!    stamped with the seller's identity in its transcript.
+//! 2. **Probe.** Candidates run through the ordinary worker pool and shared
+//!    ΔG cache until they either reach a protocol conclusion (Cases 1–6) or
+//!    complete `probe_rounds` quote rounds, at which point they *park* and
+//!    report their standing quote.
+//! 3. **Settle.** When the last candidate reports, the demand's
+//!    [`MatchPolicy`] picks a winner. The winner (if parked) is released to
+//!    run to its Cases 1–6 conclusion with no further horizon; parked losers
+//!    are cancelled (`FailureReason::Cancelled`) and never train another
+//!    model.
+//!
+//! ## Linearizability of settlement
+//!
+//! Per demand, every report and the settlement decision run under one
+//! `Mutex<DemandState>`: reports are totally ordered, the report that
+//! completes the candidate set performs selection *inside* the same
+//! critical section, and `reported == total` can be true for exactly one
+//! reporter — so settlement runs exactly once per demand while quote rounds
+//! of *other* demands proceed untouched on the worker pool. The
+//! side-effects of settlement (waking the winner, cancelling losers) are
+//! applied *after* the lock is released: they only touch sessions that are
+//! parked-for-settlement, and a parked session is reachable by nothing but
+//! the settlement that parked it — no queue holds it, no worker owns it —
+//! so deferring the actions cannot race anything. Lock order is therefore
+//! flat: demand lock and session-store shard locks are never held together.
+//!
+//! ## Policy seam
+//!
+//! [`BestResponse`] (pick the candidate with the highest standing buyer
+//! surplus) is the shipped policy; the [`MatchPolicy`] trait is the seam
+//! for richer mechanisms — a double auction over standing quotes needs only
+//! a policy that clears bids against asks, the probe/settle machinery is
+//! unchanged.
+
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use vfl_market::{DataStrategy, Listing, MarketConfig, OutcomeStatus, RoundRecord, TaskStrategy};
+use vfl_sim::BundleMask;
+
+use crate::exchange::MarketSpec;
+use crate::store::SessionId;
+
+/// Opaque data-party handle returned by [`crate::Exchange::register_seller`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SellerId(pub usize);
+
+impl std::fmt::Display for SellerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// Opaque demand handle returned by [`crate::Exchange::submit_demand`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DemandId(pub u64);
+
+impl std::fmt::Display for DemandId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// Builds one fresh task-party strategy per fan-out session (candidates
+/// must not share mutable strategy state).
+pub type TaskFactory = Arc<dyn Fn() -> Box<dyn TaskStrategy + Send> + Send + Sync>;
+
+/// Builds the seller's quoting strategy for each demand fanned out to it.
+/// The argument is the listing table the candidate session will negotiate
+/// over — the wanted-overlapping subset of the seller's catalog, in
+/// catalog order — so per-listing strategy state (e.g. a gain vector)
+/// must be built against *that* table, not the full catalog.
+pub type QuotingFactory = Arc<dyn Fn(&[Listing]) -> Box<dyn DataStrategy + Send> + Send + Sync>;
+
+/// A data party on the matching tier: a tradable market plus the quoting
+/// strategy the seller answers demands with.
+pub struct SellerSpec {
+    /// The seller's market: gain provider, listing catalog, cache identity
+    /// (`evaluation_key` doubles as the scenario fingerprint demands can
+    /// filter on), and display name.
+    pub market: MarketSpec,
+    /// Produces the seller's quoting strategy, fresh per candidate session.
+    pub quoting: QuotingFactory,
+}
+
+/// A task party's posted demand: what it wants, on which scenario, under
+/// which bargaining configuration, and how the match is settled.
+pub struct Demand {
+    /// Features of interest. A seller is eligible when the union of its
+    /// listed bundles intersects this mask, and each candidate session
+    /// negotiates over exactly the overlapping subset of the seller's
+    /// catalog — listings with no wanted feature are not on the table, so
+    /// every tradable bundle delivers at least one requested feature.
+    /// Bundle granularity stays the seller's: a listing that mixes wanted
+    /// and unwanted features remains tradable whole. An empty mask is
+    /// rejected.
+    pub wanted: BundleMask,
+    /// Restricts eligibility to sellers registered with this evaluation
+    /// key (same dataset × base model × oracle seed). `None` matches any
+    /// seller whose catalog overlaps — use it only when every registered
+    /// seller serves the same scenario.
+    pub scenario: Option<u64>,
+    /// Bargaining configuration (budget, utility rate, seed, …) applied to
+    /// every candidate session. Sharing the seed across candidates keeps
+    /// the fan-out deterministic: each pairing negotiates exactly as a
+    /// direct 1×1 run with this config would.
+    pub cfg: MarketConfig,
+    /// Task-party strategy factory; invoked once per candidate seller.
+    pub task: TaskFactory,
+    /// Quote rounds each candidate completes before settlement (≥ 1).
+    /// Candidates that reach a protocol conclusion earlier report that
+    /// conclusion instead; the rest park at this horizon with a standing
+    /// quote.
+    pub probe_rounds: u32,
+    /// Settlement policy (see [`MatchPolicy`]).
+    pub policy: Arc<dyn MatchPolicy>,
+}
+
+/// A candidate's reported state at settlement time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuoteState {
+    /// Parked at the probe horizon mid-negotiation; the record is the last
+    /// completed quote round (quote, offered bundle, realized ΔG, implied
+    /// payment).
+    Standing(RoundRecord),
+    /// Reached a protocol conclusion (Cases 1–6) before the horizon.
+    Closed {
+        /// How the negotiation closed.
+        status: OutcomeStatus,
+        /// The terminal round's record, when any course ran.
+        last: Option<RoundRecord>,
+    },
+    /// Died on a hard error (strategy/config/course failure).
+    Error(String),
+}
+
+/// One candidate's identity and reported quote, as handed to the
+/// [`MatchPolicy`] and recorded in the [`DemandReport`].
+#[derive(Debug, Clone)]
+pub struct CandidateQuote {
+    /// The quoting data party.
+    pub seller: SellerId,
+    /// The seller's display name (from its market registration).
+    pub seller_name: String,
+    /// The candidate negotiation's session id.
+    pub session: SessionId,
+    /// The candidate's state at settlement.
+    pub state: QuoteState,
+}
+
+impl CandidateQuote {
+    /// The buyer's surplus under this quote: net profit minus the task
+    /// party's bargaining cost at the quoted round. `None` when the
+    /// candidate cannot be selected (failed conclusion, hard error, or a
+    /// withdrawal before any course ran).
+    pub fn buyer_surplus(&self) -> Option<f64> {
+        match &self.state {
+            QuoteState::Standing(rec) => Some(rec.net_profit - rec.cost_task),
+            QuoteState::Closed {
+                status: OutcomeStatus::Success { .. },
+                last: Some(rec),
+            } => Some(rec.net_profit - rec.cost_task),
+            _ => None,
+        }
+    }
+}
+
+/// Settlement policy: picks the winning candidate of a demand.
+///
+/// ## Contract
+///
+/// * Called **exactly once** per demand, after every candidate has
+///   reported, under the demand's settlement lock — implementations must
+///   be pure over their inputs and must **not** call back into the
+///   exchange (that would deadlock the settlement).
+/// * The return value is an index into `quotes`, or `None` for "no
+///   acceptable candidate" (all parked candidates are then cancelled).
+///   Out-of-range indices are treated as `None`.
+/// * Selecting a `Standing` candidate resumes its negotiation to a
+///   Cases 1–6 conclusion; the final outcome may still fail (e.g. Case 4)
+///   — selection is a *routing* decision, not a guarantee of trade.
+pub trait MatchPolicy: Send + Sync {
+    /// Picks the winner among `quotes` for a demand configured by `cfg`.
+    fn select(&self, cfg: &MarketConfig, quotes: &[CandidateQuote]) -> Option<usize>;
+}
+
+/// The shipped policy: select the candidate with the highest standing
+/// buyer surplus ([`CandidateQuote::buyer_surplus`]); candidates without a
+/// surplus (failed or errored) are ineligible, and ties break toward the
+/// lowest candidate index (registration order) for determinism.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BestResponse;
+
+impl MatchPolicy for BestResponse {
+    fn select(&self, _cfg: &MarketConfig, quotes: &[CandidateQuote]) -> Option<usize> {
+        quotes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, q)| q.buyer_surplus().map(|s| (i, s)))
+            .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i)
+    }
+}
+
+/// Point-in-time state of a demand (what
+/// [`crate::Exchange::demand_status`] returns).
+#[derive(Debug, Clone)]
+pub enum DemandStatus {
+    /// Candidates are still probing.
+    Matching {
+        /// Candidates that have reported a quote so far.
+        reported: usize,
+        /// Total fan-out size.
+        total: usize,
+    },
+    /// Settlement ran; the report names the winner (if any). The winning
+    /// session may still be live (running past its probe horizon) — poll it
+    /// via [`crate::Exchange::poll`], or read it after
+    /// [`crate::Exchange::drain`] returns, which guarantees every session
+    /// is terminal.
+    Settled(DemandReport),
+}
+
+/// The settled quote table of a demand.
+#[derive(Debug, Clone)]
+pub struct DemandReport {
+    /// The settled demand.
+    pub demand: DemandId,
+    /// Index into `quotes` of the winning candidate, `None` when the
+    /// policy found no acceptable candidate.
+    pub winner: Option<usize>,
+    /// Every candidate's reported quote, in fan-out (seller registration)
+    /// order.
+    pub quotes: Vec<CandidateQuote>,
+}
+
+impl DemandReport {
+    /// The winning candidate's session, when a winner was selected. Its
+    /// final [`vfl_market::Outcome`] is read with
+    /// [`crate::Exchange::take`] once the session is terminal (guaranteed
+    /// after the drain that settled the demand returns).
+    pub fn winning_session(&self) -> Option<SessionId> {
+        self.winner.map(|i| self.quotes[i].session)
+    }
+
+    /// The winning candidate's quote row.
+    pub fn winning_quote(&self) -> Option<&CandidateQuote> {
+        self.winner.map(|i| &self.quotes[i])
+    }
+}
+
+/// What the exchange must do after a settlement: wake the winner and/or
+/// cancel parked losers. Applied by the exchange *after* the demand lock is
+/// released (see the module doc's linearizability argument).
+pub(crate) enum SettleAction {
+    /// Release the parked winner past its probe horizon and requeue it.
+    Wake(SessionId),
+    /// Cancel a parked loser (it never trains another model).
+    Cancel(SessionId),
+}
+
+/// The result of the report that completed a demand's candidate set.
+pub(crate) struct Settlement {
+    /// True when a winner was selected.
+    pub(crate) matched: bool,
+    /// Deferred side-effects for the exchange to apply.
+    pub(crate) actions: Vec<SettleAction>,
+}
+
+/// One candidate slot of a live demand.
+struct CandidateSlot {
+    seller: SellerId,
+    name: String,
+    session: SessionId,
+    quote: Option<QuoteState>,
+}
+
+/// A live demand: its candidates, policy, and (after settlement) report.
+/// All mutation happens under the owning mutex in [`MatchBook`].
+pub(crate) struct DemandState {
+    cfg: MarketConfig,
+    policy: Arc<dyn MatchPolicy>,
+    slots: Vec<CandidateSlot>,
+    reported: usize,
+    report: Option<DemandReport>,
+}
+
+impl DemandState {
+    pub(crate) fn new(
+        cfg: MarketConfig,
+        policy: Arc<dyn MatchPolicy>,
+        candidates: Vec<(SellerId, String, SessionId)>,
+    ) -> Self {
+        DemandState {
+            cfg,
+            policy,
+            slots: candidates
+                .into_iter()
+                .map(|(seller, name, session)| CandidateSlot {
+                    seller,
+                    name,
+                    session,
+                    quote: None,
+                })
+                .collect(),
+            reported: 0,
+            report: None,
+        }
+    }
+}
+
+/// The registry of live and settled demands: `DemandId -> DemandState`,
+/// each state behind its own mutex (the per-demand linearization point).
+/// The outer map lock is held only for lookup/insert/remove, never across
+/// a report or settlement.
+pub(crate) struct MatchBook {
+    demands: RwLock<HashMap<u64, Arc<Mutex<DemandState>>>>,
+    next: AtomicU64,
+}
+
+impl MatchBook {
+    pub(crate) fn new() -> Self {
+        MatchBook {
+            demands: RwLock::new(HashMap::new()),
+            next: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers a demand; must happen before any of its candidate
+    /// sessions is queued, so a racing report always finds the state.
+    pub(crate) fn open(&self, state: DemandState) -> DemandId {
+        let id = DemandId(self.next.fetch_add(1, Ordering::Relaxed));
+        self.demands
+            .write()
+            .insert(id.0, Arc::new(Mutex::new(state)));
+        id
+    }
+
+    /// Point-in-time status (`None` for unknown/taken ids).
+    pub(crate) fn status(&self, id: DemandId) -> Option<DemandStatus> {
+        let entry = self.demands.read().get(&id.0)?.clone();
+        let st = entry.lock();
+        Some(match &st.report {
+            Some(report) => DemandStatus::Settled(report.clone()),
+            None => DemandStatus::Matching {
+                reported: st.reported,
+                total: st.slots.len(),
+            },
+        })
+    }
+
+    /// Removes a *settled* demand and returns its report; `None` while the
+    /// demand is still matching (live demands cannot be evicted).
+    pub(crate) fn take(&self, id: DemandId) -> Option<DemandReport> {
+        let mut demands = self.demands.write();
+        let report = {
+            let entry = demands.get(&id.0)?;
+            let st = entry.lock();
+            st.report.clone()?
+        };
+        demands.remove(&id.0);
+        Some(report)
+    }
+
+    /// Number of demands currently stored (matching or settled-not-taken).
+    pub(crate) fn len(&self) -> usize {
+        self.demands.read().len()
+    }
+
+    /// Records candidate `slot`'s quote for `demand`. The report that
+    /// completes the candidate set runs the policy and returns the
+    /// settlement's deferred actions; every other report returns `None`.
+    pub(crate) fn report(
+        &self,
+        demand: DemandId,
+        slot: usize,
+        quote: QuoteState,
+    ) -> Option<Settlement> {
+        let entry = self.demands.read().get(&demand.0)?.clone();
+        let mut st = entry.lock();
+        debug_assert!(st.report.is_none(), "report after settlement");
+        debug_assert!(st.slots[slot].quote.is_none(), "double report for a slot");
+        if st.slots[slot].quote.is_none() {
+            st.reported += 1;
+        }
+        st.slots[slot].quote = Some(quote);
+        if st.reported < st.slots.len() {
+            return None;
+        }
+
+        // Settlement: this is the linearization point — exactly one report
+        // can observe `reported == total`, and it decides under the lock.
+        let quotes: Vec<CandidateQuote> = st
+            .slots
+            .iter()
+            .map(|s| CandidateQuote {
+                seller: s.seller,
+                seller_name: s.name.clone(),
+                session: s.session,
+                state: s.quote.clone().expect("all slots reported"),
+            })
+            .collect();
+        let winner = st
+            .policy
+            .select(&st.cfg, &quotes)
+            .filter(|&i| i < quotes.len());
+        let mut actions = Vec::new();
+        for (i, q) in quotes.iter().enumerate() {
+            if !matches!(q.state, QuoteState::Standing(_)) {
+                continue; // already terminal; nothing to wake or cancel
+            }
+            if winner == Some(i) {
+                actions.push(SettleAction::Wake(q.session));
+            } else {
+                actions.push(SettleAction::Cancel(q.session));
+            }
+        }
+        st.report = Some(DemandReport {
+            demand,
+            winner,
+            quotes,
+        });
+        Some(Settlement {
+            matched: winner.is_some(),
+            actions,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfl_market::QuotedPrice;
+
+    fn rec(net_profit: f64, cost_task: f64) -> RoundRecord {
+        RoundRecord {
+            round: 1,
+            quote: QuotedPrice {
+                rate: 5.0,
+                base: 1.0,
+                cap: 10.0,
+            },
+            listing: 0,
+            bundle: BundleMask::singleton(0),
+            gain: 0.2,
+            payment: 2.0,
+            net_profit,
+            cost_task,
+            cost_data: 0.0,
+            final_offer: false,
+        }
+    }
+
+    fn quote(i: usize, state: QuoteState) -> CandidateQuote {
+        CandidateQuote {
+            seller: SellerId(i),
+            seller_name: format!("s{i}"),
+            session: SessionId(i as u64),
+            state,
+        }
+    }
+
+    #[test]
+    fn best_response_prefers_highest_surplus() {
+        let quotes = vec![
+            quote(0, QuoteState::Standing(rec(10.0, 1.0))),
+            quote(1, QuoteState::Standing(rec(30.0, 2.0))),
+            quote(2, QuoteState::Standing(rec(30.0, 5.0))),
+        ];
+        assert_eq!(
+            BestResponse.select(&MarketConfig::default(), &quotes),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn best_response_ties_break_to_registration_order() {
+        let quotes = vec![
+            quote(0, QuoteState::Standing(rec(30.0, 2.0))),
+            quote(1, QuoteState::Standing(rec(30.0, 2.0))),
+        ];
+        assert_eq!(
+            BestResponse.select(&MarketConfig::default(), &quotes),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn best_response_skips_failed_and_errored_candidates() {
+        let quotes = vec![
+            quote(
+                0,
+                QuoteState::Closed {
+                    status: OutcomeStatus::Failed {
+                        reason: vfl_market::FailureReason::NoAffordableBundle,
+                    },
+                    last: None,
+                },
+            ),
+            quote(1, QuoteState::Error("course died".into())),
+            quote(2, QuoteState::Standing(rec(-5.0, 0.0))),
+        ];
+        // A standing negotiation is eligible even at a (currently) negative
+        // surplus: the negotiation itself decides Cases 4–6 after release.
+        assert_eq!(
+            BestResponse.select(&MarketConfig::default(), &quotes),
+            Some(2)
+        );
+        assert_eq!(
+            BestResponse.select(&MarketConfig::default(), &quotes[..2]),
+            None
+        );
+    }
+
+    #[test]
+    fn settlement_fires_exactly_once_and_defers_actions() {
+        let book = MatchBook::new();
+        let id = book.open(DemandState::new(
+            MarketConfig::default(),
+            Arc::new(BestResponse),
+            vec![
+                (SellerId(0), "a".into(), SessionId(10)),
+                (SellerId(1), "b".into(), SessionId(11)),
+            ],
+        ));
+        assert!(matches!(
+            book.status(id),
+            Some(DemandStatus::Matching {
+                reported: 0,
+                total: 2
+            })
+        ));
+        assert!(book
+            .report(id, 0, QuoteState::Standing(rec(5.0, 0.5)))
+            .is_none());
+        assert!(book.take(id).is_none(), "live demands cannot be evicted");
+        let settlement = book
+            .report(id, 1, QuoteState::Standing(rec(50.0, 0.5)))
+            .expect("last report settles");
+        assert!(settlement.matched);
+        // Winner (slot 1) woken, loser (slot 0) cancelled.
+        assert_eq!(settlement.actions.len(), 2);
+        assert!(matches!(
+            settlement.actions[0],
+            SettleAction::Cancel(SessionId(10))
+        ));
+        assert!(matches!(
+            settlement.actions[1],
+            SettleAction::Wake(SessionId(11))
+        ));
+        match book.status(id) {
+            Some(DemandStatus::Settled(report)) => {
+                assert_eq!(report.winner, Some(1));
+                assert_eq!(report.winning_session(), Some(SessionId(11)));
+                assert_eq!(report.quotes.len(), 2);
+            }
+            other => panic!("expected settled, got {other:?}"),
+        }
+        let report = book.take(id).expect("settled demands can be taken");
+        assert_eq!(report.winner, Some(1));
+        assert!(book.status(id).is_none(), "taken demands are gone");
+        assert_eq!(book.len(), 0);
+    }
+
+    #[test]
+    fn no_acceptable_candidate_cancels_every_parked_loser() {
+        let book = MatchBook::new();
+        let id = book.open(DemandState::new(
+            MarketConfig::default(),
+            Arc::new(BestResponse),
+            vec![
+                (SellerId(0), "a".into(), SessionId(0)),
+                (SellerId(1), "b".into(), SessionId(1)),
+            ],
+        ));
+        book.report(id, 0, QuoteState::Error("boom".into()));
+        let settlement = book
+            .report(
+                id,
+                1,
+                QuoteState::Closed {
+                    status: OutcomeStatus::Failed {
+                        reason: vfl_market::FailureReason::RoundLimit,
+                    },
+                    last: None,
+                },
+            )
+            .expect("last report settles");
+        assert!(!settlement.matched);
+        assert!(
+            settlement.actions.is_empty(),
+            "nothing parked, nothing to do"
+        );
+        match book.status(id) {
+            Some(DemandStatus::Settled(report)) => assert_eq!(report.winner, None),
+            other => panic!("expected settled, got {other:?}"),
+        }
+    }
+}

@@ -1,25 +1,43 @@
 //! Per-exchange operational counters. All counters are relaxed atomics —
 //! they are observability, not synchronization — and a [`MetricsSnapshot`]
 //! is a consistent-enough point-in-time read for dashboards and benches.
+//! The exchange never branches on a counter; invariants that matter for
+//! correctness (settlement once per demand, wake once per waiter) are
+//! enforced by the matching book and course waitlist, not here.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Live counters owned by an [`crate::Exchange`].
 #[derive(Debug, Default)]
 pub struct ExchangeMetrics {
-    /// Sessions accepted by `submit`.
+    /// Sessions accepted by `submit` (or fanned out by `submit_demand`).
     pub(crate) sessions_opened: AtomicU64,
     /// Sessions that reached a negotiated outcome (success *or* negotiated
     /// failure — both are orderly closures of the protocol).
     pub(crate) sessions_closed: AtomicU64,
     /// Sessions that died on a hard error (strategy/config/course error).
     pub(crate) sessions_failed: AtomicU64,
+    /// Sessions terminated by the platform: losing candidates of a settled
+    /// demand (`FailureReason::Cancelled`). Disjoint from `sessions_closed`
+    /// and `sessions_failed`.
+    pub(crate) sessions_cancelled: AtomicU64,
     /// Negotiations that closed successfully (subset of `sessions_closed`).
     pub(crate) deals_struck: AtomicU64,
-    /// VFL course evaluations requested by sessions (cache hits + misses).
+    /// VFL course evaluations requested by sessions (cache hits + misses;
+    /// a `Busy` wait is not a request — it is retried after the wake).
     pub(crate) courses_requested: AtomicU64,
+    /// Times a session parked on the course waitlist because another
+    /// worker was already training the same `(evaluation key, bundle)`.
+    pub(crate) course_waits: AtomicU64,
     /// Bargaining rounds completed across all sessions.
     pub(crate) rounds_completed: AtomicU64,
+    /// Demands accepted by `submit_demand`.
+    pub(crate) demands_submitted: AtomicU64,
+    /// Demands whose settlement has run (every candidate reported).
+    pub(crate) demands_settled: AtomicU64,
+    /// Settled demands where the policy selected a winner (subset of
+    /// `demands_settled`).
+    pub(crate) demands_matched: AtomicU64,
 }
 
 impl ExchangeMetrics {
@@ -31,13 +49,31 @@ impl ExchangeMetrics {
 /// Point-in-time view of an exchange's counters plus cache statistics.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MetricsSnapshot {
+    /// Sessions accepted by `submit`/`submit_demand` so far.
     pub sessions_opened: u64,
+    /// Sessions that reached a negotiated outcome.
     pub sessions_closed: u64,
+    /// Sessions that died on a hard error.
     pub sessions_failed: u64,
+    /// Losing candidates cancelled at settlement.
+    pub sessions_cancelled: u64,
+    /// Successful closures (subset of `sessions_closed`).
     pub deals_struck: u64,
+    /// Course evaluations requested (hits + misses).
     pub courses_requested: u64,
+    /// Sessions that waited out another worker's in-flight training.
+    pub course_waits: u64,
+    /// Bargaining rounds completed across all sessions.
     pub rounds_completed: u64,
+    /// Demands accepted so far.
+    pub demands_submitted: u64,
+    /// Demands settled so far.
+    pub demands_settled: u64,
+    /// Settled demands with a winner.
+    pub demands_matched: u64,
+    /// Shared-cache hits.
     pub cache_hits: u64,
+    /// Shared-cache misses (each one paid a real course).
     pub cache_misses: u64,
 }
 
@@ -53,12 +89,22 @@ impl MetricsSnapshot {
         }
     }
 
-    /// Sessions that are still open (submitted but not yet closed/failed).
-    /// (Per-drain throughput lives on
+    /// Sessions that are still open (submitted but not yet closed, failed,
+    /// or cancelled). (Per-drain throughput lives on
     /// [`crate::DrainReport::sessions_per_sec`], which owns the wall-clock.)
     pub fn sessions_in_flight(&self) -> u64 {
         self.sessions_opened
-            .saturating_sub(self.sessions_closed + self.sessions_failed)
+            .saturating_sub(self.sessions_closed + self.sessions_failed + self.sessions_cancelled)
+    }
+
+    /// Fraction of settled demands that found a winner; 0 before any
+    /// demand settled.
+    pub fn match_rate(&self) -> f64 {
+        if self.demands_settled == 0 {
+            0.0
+        } else {
+            self.demands_matched as f64 / self.demands_settled as f64
+        }
     }
 }
 
@@ -66,20 +112,30 @@ impl MetricsSnapshot {
 mod tests {
     use super::*;
 
-    #[test]
-    fn hit_rate_and_in_flight() {
-        let snap = MetricsSnapshot {
-            sessions_opened: 10,
+    fn snap() -> MetricsSnapshot {
+        MetricsSnapshot {
+            sessions_opened: 12,
             sessions_closed: 6,
             sessions_failed: 1,
+            sessions_cancelled: 2,
             deals_struck: 5,
             courses_requested: 40,
+            course_waits: 3,
             rounds_completed: 40,
+            demands_submitted: 4,
+            demands_settled: 4,
+            demands_matched: 3,
             cache_hits: 30,
             cache_misses: 10,
-        };
+        }
+    }
+
+    #[test]
+    fn hit_rate_in_flight_and_match_rate() {
+        let snap = snap();
         assert!((snap.cache_hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(snap.sessions_in_flight(), 3);
+        assert!((snap.match_rate() - 0.75).abs() < 1e-12);
     }
 
     #[test]
@@ -88,13 +144,19 @@ mod tests {
             sessions_opened: 0,
             sessions_closed: 0,
             sessions_failed: 0,
+            sessions_cancelled: 0,
             deals_struck: 0,
             courses_requested: 0,
+            course_waits: 0,
             rounds_completed: 0,
+            demands_submitted: 0,
+            demands_settled: 0,
+            demands_matched: 0,
             cache_hits: 0,
             cache_misses: 0,
         };
         assert_eq!(snap.cache_hit_rate(), 0.0);
         assert_eq!(snap.sessions_in_flight(), 0);
+        assert_eq!(snap.match_rate(), 0.0);
     }
 }

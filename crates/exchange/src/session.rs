@@ -2,20 +2,58 @@
 //! owned strategies and a handle to its market, driven in *slices* — the
 //! cheap strategy steps run inline, and the session parks whenever it needs
 //! a ΔG so a worker can serve the course through the shared cache.
+//!
+//! ## Invariants
+//!
+//! * `pending_bundle()` is `Some` exactly while the underlying machine is
+//!   suspended at `AwaitGain`; `ActiveSession::drive` must be fed the
+//!   matching ΔG (`Some`) then, and `None` only on the very first drive of
+//!   a fresh session — any other combination is a driver bug and errors.
+//! * A matching-tier candidate carries a `MatchTag`; until the tag is
+//!   released, `ActiveSession::probe_parked`
+//!   goes true the moment the session both (a) needs a course and (b) has
+//!   completed `probe_rounds` quote rounds — the worker then parks it for
+//!   settlement instead of paying for another training.
+//! * `ActiveSession::cancel` is terminal: it closes the machine with
+//!   `FailureReason::Cancelled` and settles the transcript; the wrapper
+//!   must not be driven afterwards.
 
 use std::sync::Arc;
 use vfl_market::session::{NegotiationSession, SessionEffect, SessionEvent};
-use vfl_market::{DataContext, DataStrategy, Listing, MarketConfig, Outcome, Result, TaskStrategy};
+use vfl_market::{
+    DataContext, DataStrategy, Listing, MarketConfig, MarketError, Outcome, Result, RoundRecord,
+    TaskStrategy,
+};
 use vfl_sim::BundleMask;
 
 use crate::exchange::MarketId;
+use crate::matching::DemandId;
 
 /// Everything a submitter provides for one negotiation: the market-config
 /// template (seed included) and the two owned strategies.
 pub struct SessionOrder {
+    /// Bargaining configuration, seed included (validated at submit).
     pub cfg: MarketConfig,
+    /// The task party (buyer) strategy, owned by the session.
     pub task: Box<dyn TaskStrategy + Send>,
+    /// The data party (seller) strategy, owned by the session.
     pub data: Box<dyn DataStrategy + Send>,
+}
+
+/// Matching-tier bookkeeping riding on a candidate session: which demand
+/// and slot it reports to, its probe horizon, and whether settlement has
+/// released it to run past that horizon.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MatchTag {
+    /// The demand this candidate belongs to.
+    pub(crate) demand: DemandId,
+    /// This candidate's slot index within the demand.
+    pub(crate) slot: usize,
+    /// Quote rounds to complete before parking for settlement.
+    pub(crate) probe_rounds: u32,
+    /// Set by settlement when this candidate wins: the horizon no longer
+    /// applies and terminal states are no longer reported to the demand.
+    pub(crate) released: bool,
 }
 
 /// What one drive slice produced.
@@ -38,6 +76,8 @@ pub(crate) struct ActiveSession {
     started: bool,
     /// The bundle whose course result the session is parked on.
     pending: Option<BundleMask>,
+    /// Matching-tier bookkeeping (`None` for plain `submit` sessions).
+    match_tag: Option<MatchTag>,
 }
 
 impl ActiveSession {
@@ -55,6 +95,7 @@ impl ActiveSession {
             cfg: order.cfg,
             started: false,
             pending: None,
+            match_tag: None,
         })
     }
 
@@ -66,6 +107,63 @@ impl ActiveSession {
     /// Number of completed bargaining rounds so far.
     pub(crate) fn rounds_so_far(&self) -> usize {
         self.session.n_rounds()
+    }
+
+    /// Stamps the quoting data party's identity on the transcript.
+    pub(crate) fn tag_seller(&mut self, name: &str) {
+        self.session.tag_seller(name);
+    }
+
+    /// Attaches matching-tier bookkeeping (fan-out time only).
+    pub(crate) fn set_match_tag(&mut self, tag: MatchTag) {
+        self.match_tag = Some(tag);
+    }
+
+    /// The matching-tier tag, if this is a candidate session.
+    pub(crate) fn match_tag(&self) -> Option<&MatchTag> {
+        self.match_tag.as_ref()
+    }
+
+    /// Lifts the probe horizon after this candidate wins its demand.
+    pub(crate) fn release(&mut self) {
+        if let Some(tag) = &mut self.match_tag {
+            tag.released = true;
+        }
+    }
+
+    /// True when an unreleased candidate has hit its probe horizon: it
+    /// needs a course *and* has already completed `probe_rounds` quote
+    /// rounds — park it for settlement instead of training again.
+    pub(crate) fn probe_parked(&self) -> bool {
+        match &self.match_tag {
+            Some(tag) if !tag.released => {
+                self.pending.is_some() && self.session.n_rounds() >= tag.probe_rounds as usize
+            }
+            _ => false,
+        }
+    }
+
+    /// The last completed quote round — the standing quote a parked
+    /// candidate reports to its demand. `None` before any course ran.
+    pub(crate) fn standing_quote(&self) -> Option<RoundRecord> {
+        self.session.rounds().last().copied()
+    }
+
+    /// Terminates the negotiation with `FailureReason::Cancelled` (orderly:
+    /// the transcript gets its settlement message) and yields the outcome.
+    /// Settlement applies this to parked losing candidates; the session
+    /// must not be driven afterwards.
+    pub(crate) fn cancel(&mut self) -> Result<Box<Outcome>> {
+        self.pending = None;
+        match self
+            .session
+            .step(SessionEvent::Cancel, &self.listings, self.task.as_mut())?
+        {
+            SessionEffect::Finished(outcome) => Ok(outcome),
+            effect => Err(MarketError::StrategyError(format!(
+                "cancel must close the session, got {effect:?}"
+            ))),
+        }
     }
 
     /// Advances the session until it parks on a course or finishes. `gain`

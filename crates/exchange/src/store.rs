@@ -4,6 +4,18 @@
 //! on one registry mutex. Workers *check out* a session (leaving a
 //! `Running` marker), drive it without holding any store lock, and check it
 //! back in — the store never holds a lock across strategy or course code.
+//!
+//! ## Ownership discipline
+//!
+//! A `Ready` slot is owned by whoever removes it via `check_out`; exactly
+//! one caller can win that race per park/wake cycle, which is what makes
+//! the exchange's parked states sound: a session parked for a course wait
+//! or a matching settlement sits here as `Ready` but in *no* queue, so the
+//! only path back to a worker is the single wake its parker arranged
+//! (waitlist drain or settlement action). Terminal slots (`Done`/`Failed`)
+//! are immutable until `take_outcome` evicts them; a `check_out` against
+//! one returns `None`, which the dispatch path treats as a spurious wake,
+//! not an error.
 
 use parking_lot::Mutex;
 use std::collections::HashMap;

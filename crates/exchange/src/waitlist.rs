@@ -1,0 +1,118 @@
+//! Wake-on-insert waitlist for in-flight course claims: sessions that hit
+//! [`crate::CourseServe::Busy`] park here, keyed by `(evaluation key,
+//! bundle)`, and the worker that lands the result requeues them — no
+//! redispatch churn under same-bundle contention.
+//!
+//! ## Wake protocol (who owns a parked session when)
+//!
+//! The racy window is between a waiter observing `Busy` and the trainer
+//! draining the waitlist. The protocol closes it with *check-in before
+//! enqueue* on the waiter side and *insert before drain* on the trainer
+//! side, plus a check-after-enqueue:
+//!
+//! 1. Waiter: check the session back into the store, then
+//!    [`CourseWaitlist::enqueue`] its id, then re-check the training state.
+//! 2. Trainer: land the outcome — insert the result into the cache on
+//!    success, or just release the claim on error — then
+//!    [`CourseWaitlist::drain`] the key and requeue every drained id.
+//! 3. If the waiter's re-check finds the training over (a result in the
+//!    cache, *or* no in-flight claim — a failed training releases its
+//!    claim without inserting anything, so peeking for a result alone
+//!    would miss it), the trainer may or may not have seen its
+//!    registration. [`CourseWaitlist::cancel`] arbitrates: removing one's
+//!    own registration succeeds for exactly one side — if the waiter wins,
+//!    it requeues itself; if the trainer won, the id is already on its way
+//!    to the ready queue and the waiter backs off.
+//!
+//! Either way the session is requeued exactly once, and because the waiter
+//! checked it in *first*, whoever requeues it will find it checked in.
+//! A trainer whose course *fails* drains and wakes too (nothing was
+//! inserted, but the claim is released): the woken sessions retry, re-claim
+//! one at a time, and surface the provider error on their own sessions
+//! instead of sleeping forever.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+use crate::store::SessionId;
+
+/// `(evaluation key, bundle bits) -> waiting session ids`. One flat mutex:
+/// operations are O(waiters-per-key) pointer work on a cold path (a wait
+/// already implies a multi-second course is running), so sharding would buy
+/// nothing.
+#[derive(Debug, Default)]
+pub(crate) struct CourseWaitlist {
+    waiting: Mutex<HashMap<(u64, u64), Vec<SessionId>>>,
+}
+
+impl CourseWaitlist {
+    /// Registers `id` as waiting on `key`. The caller must have checked the
+    /// session into the store first (see the module doc).
+    pub(crate) fn enqueue(&self, key: (u64, u64), id: SessionId) {
+        self.waiting.lock().entry(key).or_default().push(id);
+    }
+
+    /// Removes `id`'s registration under `key`, returning whether it was
+    /// still there. `true` means the caller reclaimed the session (no one
+    /// else will wake it); `false` means a drain already claimed it.
+    pub(crate) fn cancel(&self, key: (u64, u64), id: SessionId) -> bool {
+        let mut waiting = self.waiting.lock();
+        let Some(ids) = waiting.get_mut(&key) else {
+            return false;
+        };
+        let Some(pos) = ids.iter().position(|&w| w == id) else {
+            return false;
+        };
+        ids.swap_remove(pos);
+        if ids.is_empty() {
+            waiting.remove(&key);
+        }
+        true
+    }
+
+    /// Takes every session waiting on `key`; the caller must requeue them.
+    pub(crate) fn drain(&self, key: (u64, u64)) -> Vec<SessionId> {
+        self.waiting.lock().remove(&key).unwrap_or_default()
+    }
+
+    /// Total sessions currently parked (all keys).
+    pub(crate) fn waiting(&self) -> usize {
+        self.waiting.lock().values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const K1: (u64, u64) = (7, 0b01);
+    const K2: (u64, u64) = (7, 0b10);
+
+    #[test]
+    fn drain_takes_exactly_the_keys_waiters() {
+        let wl = CourseWaitlist::default();
+        wl.enqueue(K1, SessionId(1));
+        wl.enqueue(K1, SessionId(2));
+        wl.enqueue(K2, SessionId(3));
+        assert_eq!(wl.waiting(), 3);
+        let woken = wl.drain(K1);
+        assert_eq!(woken, vec![SessionId(1), SessionId(2)]);
+        assert_eq!(wl.waiting(), 1, "other keys untouched");
+        assert!(wl.drain(K1).is_empty(), "drain is take, not copy");
+    }
+
+    #[test]
+    fn cancel_arbitrates_the_wake_race() {
+        let wl = CourseWaitlist::default();
+        wl.enqueue(K1, SessionId(9));
+        // Waiter wins: registration still present, waiter owns the requeue.
+        assert!(wl.cancel(K1, SessionId(9)));
+        assert_eq!(wl.waiting(), 0);
+        // Trainer wins: a drain already claimed the id, cancel backs off.
+        wl.enqueue(K1, SessionId(9));
+        assert_eq!(wl.drain(K1), vec![SessionId(9)]);
+        assert!(!wl.cancel(K1, SessionId(9)));
+        // Cancelling a never-enqueued id is a no-op.
+        assert!(!wl.cancel(K2, SessionId(42)));
+    }
+}

@@ -65,6 +65,20 @@ impl BundleMask {
         BundleMask(self.0 | other.0)
     }
 
+    /// Union of an arbitrary collection of masks ([`BundleMask::EMPTY`]
+    /// for an empty iterator) — e.g. a seller's feature catalog as the
+    /// union of its listed bundles.
+    pub fn union_of(masks: impl IntoIterator<Item = BundleMask>) -> BundleMask {
+        masks
+            .into_iter()
+            .fold(BundleMask::EMPTY, |acc, m| acc.union(m))
+    }
+
+    /// True when the two masks share at least one feature.
+    pub fn intersects(&self, other: BundleMask) -> bool {
+        self.0 & other.0 != 0
+    }
+
     /// True when `self` is a subset of `other`.
     pub fn is_subset_of(&self, other: BundleMask) -> bool {
         self.0 & other.0 == self.0
@@ -218,6 +232,13 @@ mod tests {
         assert_eq!(a.union(b), BundleMask::from_features(&[0, 1, 2]));
         assert!(a.is_subset_of(a.union(b)));
         assert!(!a.is_subset_of(b));
+        assert!(a.intersects(b));
+        assert!(!a.intersects(BundleMask::from_features(&[4, 5])));
+        assert_eq!(
+            BundleMask::union_of([a, b, BundleMask::singleton(6)]),
+            BundleMask::from_features(&[0, 1, 2, 6])
+        );
+        assert_eq!(BundleMask::union_of([]), BundleMask::EMPTY);
     }
 
     #[test]

@@ -72,10 +72,20 @@ impl Message {
     }
 }
 
-/// An append-only log of protocol messages.
+/// An append-only log of protocol messages, optionally stamped with the
+/// identity of the quoting data party.
+///
+/// The paper's 1×1 mechanism needs no party identity — there is exactly one
+/// counterparty. A marketplace that fans one demand out to *several* data
+/// parties does: each candidate negotiation's transcript must name which
+/// seller quoted it, or the audit trail of a settled match is ambiguous.
+/// The tag is `None` for direct engine runs and is set via
+/// [`Transcript::set_seller`] by mediating tiers; it participates in
+/// equality and serialization like any other recorded fact.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Transcript {
     messages: Vec<Message>,
+    seller: Option<String>,
 }
 
 impl Transcript {
@@ -117,6 +127,18 @@ impl Transcript {
                 }
             })
             .collect()
+    }
+
+    /// Identity of the quoting data party, when a mediating tier stamped
+    /// one (`None` for direct 1×1 engine runs).
+    pub fn seller(&self) -> Option<&str> {
+        self.seller.as_deref()
+    }
+
+    /// Stamps the quoting data party's identity (idempotent; the last write
+    /// wins — marketplaces stamp once, at fan-out time).
+    pub fn set_seller(&mut self, name: impl Into<String>) {
+        self.seller = Some(name.into());
     }
 
     /// The settlement, if the negotiation closed.
@@ -191,5 +213,16 @@ mod tests {
         let t = Transcript::default();
         assert!(t.is_empty());
         assert!(t.settlement().is_none());
+    }
+
+    #[test]
+    fn seller_identity_is_recorded_and_compared() {
+        let mut a = Transcript::default();
+        let b = Transcript::default();
+        assert_eq!(a.seller(), None);
+        assert_eq!(a, b);
+        a.set_seller("acme-data");
+        assert_eq!(a.seller(), Some("acme-data"));
+        assert_ne!(a, b, "the seller stamp is a recorded fact");
     }
 }

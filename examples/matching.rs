@@ -1,0 +1,198 @@
+//! Multi-seller matching: one task party's demand fanned out to three
+//! competing data parties with overlapping feature catalogs, probed
+//! concurrently, and settled by best-response selection.
+//!
+//! Run with: `cargo run --release --example matching`
+//!
+//! Three sellers list overlapping slices of a six-feature universe with
+//! different gain landscapes. The buyer posts ONE demand; the exchange
+//! opens a candidate negotiation per seller, runs two quote rounds each
+//! (the probe), settles on the best standing buyer surplus, cancels the
+//! losers, and lets the winner bargain to the paper's Cases 1–6
+//! conclusion. The printed quote table is the settled demand report.
+
+use std::sync::Arc;
+use vfl_exchange::{
+    BestResponse, Demand, DemandStatus, Exchange, ExchangeConfig, MarketSpec, QuoteState,
+    SellerSpec,
+};
+use vfl_market::{
+    Listing, MarketConfig, OutcomeStatus, ReservedPrice, StrategicData, StrategicTask,
+    TableGainProvider,
+};
+use vfl_sim::BundleMask;
+
+/// A seller over a slice of the feature universe: singleton listings with
+/// a rising reserve ladder and a seller-specific gain landscape.
+fn seller(name: &str, features: &[usize], gains: &[f64]) -> SellerSpec {
+    assert_eq!(features.len(), gains.len());
+    let listings: Vec<Listing> = features
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| Listing {
+            bundle: BundleMask::singleton(f),
+            reserved: ReservedPrice::new(3.5 + i as f64 * 1.4, 0.5 + i as f64 * 0.1).unwrap(),
+        })
+        .collect();
+    let provider = TableGainProvider::new(listings.iter().zip(gains).map(|(l, &g)| (l.bundle, g)));
+    let by_bundle: std::collections::HashMap<u64, f64> = listings
+        .iter()
+        .zip(gains)
+        .map(|(l, &g)| (l.bundle.0, g))
+        .collect();
+    SellerSpec {
+        market: MarketSpec {
+            provider: Arc::new(provider),
+            listings: Arc::new(listings),
+            evaluation_key: None,
+            name: name.into(),
+        },
+        // The factory receives the listing table this candidate will
+        // negotiate over (the demand-scoped slice of the catalog).
+        quoting: Arc::new(move |table| {
+            Box::new(StrategicData::with_gains(
+                table.iter().map(|l| by_bundle[&l.bundle.0]).collect(),
+            ))
+        }),
+    }
+}
+
+fn state_label(state: &QuoteState) -> String {
+    match state {
+        QuoteState::Standing(_) => "standing".into(),
+        QuoteState::Closed { status, .. } => match status {
+            OutcomeStatus::Success { .. } => "closed: deal".into(),
+            OutcomeStatus::Failed { reason } => format!("closed: {reason:?}"),
+        },
+        QuoteState::Error(e) => format!("error: {e}"),
+    }
+}
+
+fn main() {
+    let exchange = Exchange::new(ExchangeConfig::default());
+
+    // Three data parties, overlapping catalogs, different landscapes.
+    exchange
+        .register_seller(seller(
+            "alpha-analytics",
+            &[0, 1, 2, 3],
+            &[0.06, 0.12, 0.21, 0.30],
+        ))
+        .unwrap();
+    exchange
+        .register_seller(seller(
+            "bravo-data",
+            &[2, 3, 4, 5],
+            &[0.05, 0.11, 0.18, 0.24],
+        ))
+        .unwrap();
+    exchange
+        .register_seller(seller("charlie-feeds", &[0, 2, 4], &[0.04, 0.16, 0.22]))
+        .unwrap();
+
+    // The task party wants features 0–5, has budget 12, and values a unit
+    // of ΔG at 900. Two probe rounds per candidate, then best-response
+    // settlement.
+    let demand = exchange
+        .submit_demand(Demand {
+            wanted: BundleMask::all(6),
+            scenario: None,
+            cfg: MarketConfig {
+                utility_rate: 900.0,
+                budget: 12.0,
+                rate_cap: 20.0,
+                seed: 17,
+                ..MarketConfig::default()
+            },
+            task: Arc::new(|| Box::new(StrategicTask::new(0.28, 6.0, 0.9).unwrap())),
+            probe_rounds: 2,
+            policy: Arc::new(BestResponse),
+        })
+        .unwrap();
+
+    let report = exchange.drain(3);
+    let snap = exchange.metrics();
+    println!(
+        "fanned out {} candidate sessions on {} workers, drained in {:.2?} \
+         ({} cancelled at settlement)\n",
+        snap.sessions_opened, report.workers, report.elapsed, snap.sessions_cancelled
+    );
+
+    let Some(DemandStatus::Settled(settled)) = exchange.demand_status(demand) else {
+        panic!("the demand settles within one drain");
+    };
+    println!("settled quote table for demand {}:", settled.demand);
+    println!(
+        "  {:<16} {:<14} {:>6} {:>8} {:>9} {:>10}  decision",
+        "seller", "state", "round", "gain", "payment", "surplus"
+    );
+    for (i, quote) in settled.quotes.iter().enumerate() {
+        let rec = match &quote.state {
+            QuoteState::Standing(rec) => Some(rec),
+            QuoteState::Closed { last, .. } => last.as_ref(),
+            QuoteState::Error(_) => None,
+        };
+        let (round, gain, payment) = rec
+            .map(|r| {
+                (
+                    r.round.to_string(),
+                    format!("{:.3}", r.gain),
+                    format!("{:.2}", r.payment),
+                )
+            })
+            .unwrap_or_else(|| ("-".into(), "-".into(), "-".into()));
+        let surplus = quote
+            .buyer_surplus()
+            .map(|s| format!("{s:.1}"))
+            .unwrap_or_else(|| "-".into());
+        let decision = if settled.winner == Some(i) {
+            "WON → ran to conclusion"
+        } else if matches!(quote.state, QuoteState::Standing(_)) {
+            "outbid → cancelled"
+        } else {
+            "outbid"
+        };
+        println!(
+            "  {:<16} {:<14} {:>6} {:>8} {:>9} {:>10}  {decision}",
+            quote.seller_name,
+            state_label(&quote.state),
+            round,
+            gain,
+            payment,
+            surplus,
+        );
+    }
+
+    let winner = settled.winning_quote().expect("this market matches");
+    let outcome = exchange
+        .take(winner.session)
+        .expect("terminal after drain")
+        .expect("no hard error");
+    println!("\nwinner: {} ({})", winner.seller_name, winner.seller);
+    match outcome.status {
+        OutcomeStatus::Success { by } => {
+            let last = outcome
+                .final_record()
+                .expect("successful deals have a record");
+            println!(
+                "  deal closed by {by:?} after {} rounds: ΔG {:.3} for payment {:.2} \
+                 (buyer surplus {:.1})",
+                outcome.n_rounds(),
+                last.gain,
+                last.payment,
+                outcome.task_revenue().unwrap_or(0.0),
+            );
+        }
+        OutcomeStatus::Failed { reason } => {
+            println!(
+                "  negotiation ended without a deal after {} rounds ({reason:?})",
+                outcome.n_rounds()
+            );
+        }
+    }
+    println!(
+        "  transcript: {} messages, seller identity {:?}",
+        outcome.transcript.len(),
+        outcome.transcript.seller()
+    );
+}
