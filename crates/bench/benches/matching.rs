@@ -22,6 +22,15 @@
 //! is the price of deciding early. A ratio near 1 means the standing quote
 //! at the probe horizon is an honest proxy for the final outcome.
 //!
+//! **Probe-horizon sweep.** Each extra probe round buys settlement-time
+//! information at the price of one *served* course per losing candidate
+//! (a training only when it misses the shared ΔG cache — the recorded
+//! `cache_misses` column is the actually-trained subset), so the sweep
+//! arm re-drains the book at `probe_rounds ∈ {1, 2, 4, 8}` and records
+//! the surplus ratio against the probe spend (total loser courses, read
+//! off the per-candidate histories the `DemandReport` now carries) — the
+//! early-decision-cost-vs-probe-spend trade the ROADMAP asks for.
+//!
 //! `MATCHING_BENCH_DEMANDS` overrides the demand count (dev loops).
 
 use std::sync::Arc;
@@ -136,30 +145,34 @@ fn demand_cfg(d: usize) -> (BundleMask, MarketConfig) {
     (wanted, cfg)
 }
 
-fn buyer_demand(d: usize) -> Demand {
+fn buyer_demand(d: usize, probe_rounds: u32) -> Demand {
     let (wanted, cfg) = demand_cfg(d);
     Demand {
         wanted,
         scenario: None,
         cfg,
         task: Arc::new(|| Box::new(StrategicTask::new(0.30, 6.0, 0.9).expect("valid opening"))),
-        probe_rounds: 2,
+        probe_rounds,
         policy: Arc::new(BestResponse),
     }
 }
 
 struct Run {
     workers: usize,
+    probe_rounds: u32,
     elapsed: Duration,
     demands_per_sec: f64,
     match_rate: f64,
     mean_surplus: f64,
+    /// Total courses the losing candidates ran before settlement (summed
+    /// over demands) — the information cost of deciding at this horizon.
+    probe_spend: u64,
     sessions_cancelled: u64,
     cache_hits: u64,
     cache_misses: u64,
 }
 
-fn run_drain(sellers: &[Seller], n_demands: usize, workers: usize) -> Run {
+fn run_drain(sellers: &[Seller], n_demands: usize, workers: usize, probe_rounds: u32) -> Run {
     let exchange = Exchange::new(ExchangeConfig::default());
     for seller in sellers {
         exchange
@@ -186,7 +199,7 @@ fn run_drain(sellers: &[Seller], n_demands: usize, workers: usize) -> Run {
     let demands: Vec<DemandId> = (0..n_demands)
         .map(|d| {
             exchange
-                .submit_demand(buyer_demand(d))
+                .submit_demand(buyer_demand(d, probe_rounds))
                 .expect("submit demand")
         })
         .collect();
@@ -196,8 +209,10 @@ fn run_drain(sellers: &[Seller], n_demands: usize, workers: usize) -> Run {
 
     let mut matched = 0usize;
     let mut surplus_total = 0.0f64;
+    let mut probe_spend = 0u64;
     for &did in &demands {
         let settled = exchange.take_demand(did).expect("every demand settles");
+        probe_spend += settled.loser_probe_spend() as u64;
         if let Some(sid) = settled.winning_session() {
             matched += 1;
             let outcome = exchange
@@ -212,10 +227,12 @@ fn run_drain(sellers: &[Seller], n_demands: usize, workers: usize) -> Run {
     let secs = report.elapsed.as_secs_f64().max(1e-9);
     Run {
         workers: report.workers,
+        probe_rounds,
         elapsed: report.elapsed,
         demands_per_sec: n_demands as f64 / secs,
         match_rate: matched as f64 / n_demands as f64,
         mean_surplus: surplus_total / n_demands as f64,
+        probe_spend,
         sessions_cancelled: snap.sessions_cancelled,
         cache_hits: snap.cache_hits,
         cache_misses: snap.cache_misses,
@@ -268,7 +285,7 @@ fn main() {
             "draining {n_demands} demands over {} sellers on {workers} worker(s)…",
             sellers.len()
         );
-        runs.push(run_drain(&sellers, n_demands, workers));
+        runs.push(run_drain(&sellers, n_demands, workers, 2));
     }
 
     println!(
@@ -306,37 +323,92 @@ fn main() {
         assert!(run.match_rate > 0.0, "the pool must match some demands");
     }
 
-    let json_runs: Vec<String> = runs
-        .iter()
-        .map(|r| {
-            format!(
-                "    {{\"workers\": {}, \"elapsed_s\": {:.6}, \"demands_per_sec\": {:.3}, \
-                 \"match_rate\": {:.6}, \"mean_buyer_surplus\": {:.6}, \
-                 \"best_single_seller_surplus\": {:.6}, \"surplus_ratio\": {:.6}, \
-                 \"sessions_cancelled\": {}, \"cache_hits\": {}, \"cache_misses\": {}}}",
-                r.workers,
-                r.elapsed.as_secs_f64(),
-                r.demands_per_sec,
-                r.match_rate,
-                r.mean_surplus,
-                baseline,
-                if baseline > 0.0 {
-                    r.mean_surplus / baseline
-                } else {
-                    1.0
-                },
-                r.sessions_cancelled,
-                r.cache_hits,
-                r.cache_misses,
-            )
-        })
-        .collect();
+    // Probe-horizon sensitivity: how much surplus each extra probe round
+    // recovers, and what it costs in loser courses.
+    let mut sweep: Vec<Run> = Vec::new();
+    for probe_rounds in [1u32, 2, 4, 8] {
+        eprintln!("probe sweep: draining at probe_rounds = {probe_rounds}…");
+        sweep.push(run_drain(&sellers, n_demands, 4, probe_rounds));
+    }
+    println!("\n== E7 probe-horizon sweep ({n_demands} demands, 4 workers) ==");
+    println!(
+        "{:>6} {:>11} {:>13} {:>10} {:>12} {:>12}",
+        "probe", "match_rate", "mean_surplus", "ratio", "probe_spend", "demands/s"
+    );
+    for run in &sweep {
+        let ratio = if baseline > 0.0 {
+            run.mean_surplus / baseline
+        } else {
+            1.0
+        };
+        println!(
+            "{:>6} {:>11.3} {:>13.2} {:>10.4} {:>12} {:>12.1}",
+            run.probe_rounds,
+            run.match_rate,
+            run.mean_surplus,
+            ratio,
+            run.probe_spend,
+            run.demands_per_sec,
+        );
+        assert!(
+            run.mean_surplus <= baseline + 1e-6,
+            "probe {} surplus {} exceeds the bound {}",
+            run.probe_rounds,
+            run.mean_surplus,
+            baseline
+        );
+    }
+    // Spend usually grows with the horizon, but it is NOT an invariant: a
+    // longer horizon can switch the winner to the candidate with the
+    // longest history, shrinking the loser-side sum. Warn, don't gate.
+    for pair in sweep.windows(2) {
+        if pair[1].probe_spend < pair[0].probe_spend {
+            eprintln!(
+                "note: probe spend fell {} -> {} between horizons {} and {} \
+                 (winner switch)",
+                pair[0].probe_spend,
+                pair[1].probe_spend,
+                pair[0].probe_rounds,
+                pair[1].probe_rounds
+            );
+        }
+    }
+
+    let run_json = |r: &Run| {
+        format!(
+            "    {{\"workers\": {}, \"probe_rounds\": {}, \"elapsed_s\": {:.6}, \
+             \"demands_per_sec\": {:.3}, \"match_rate\": {:.6}, \"mean_buyer_surplus\": {:.6}, \
+             \"best_single_seller_surplus\": {:.6}, \"surplus_ratio\": {:.6}, \
+             \"probe_spend\": {}, \"sessions_cancelled\": {}, \"cache_hits\": {}, \
+             \"cache_misses\": {}}}",
+            r.workers,
+            r.probe_rounds,
+            r.elapsed.as_secs_f64(),
+            r.demands_per_sec,
+            r.match_rate,
+            r.mean_surplus,
+            baseline,
+            if baseline > 0.0 {
+                r.mean_surplus / baseline
+            } else {
+                1.0
+            },
+            r.probe_spend,
+            r.sessions_cancelled,
+            r.cache_hits,
+            r.cache_misses,
+        )
+    };
+    let json_runs: Vec<String> = runs.iter().map(run_json).collect();
+    let json_sweep: Vec<String> = sweep.iter().map(run_json).collect();
     let json = format!(
         "{{\n  \"bench\": \"matching\",\n  \"profile\": \"fast\",\n  \"demands\": {},\n  \
-         \"sellers\": {},\n  \"probe_rounds\": 2,\n  \"runs\": [\n{}\n  ]\n}}\n",
+         \"sellers\": {},\n  \"probe_rounds\": 2,\n  \"runs\": [\n{}\n  ],\n  \
+         \"probe_sweep\": [\n{}\n  ]\n}}\n",
         n_demands,
         sellers.len(),
-        json_runs.join(",\n")
+        json_runs.join(",\n"),
+        json_sweep.join(",\n")
     );
     let path = results_dir().join("BENCH_matching.json");
     std::fs::write(&path, json).expect("write BENCH_matching.json");

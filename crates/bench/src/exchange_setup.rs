@@ -92,6 +92,58 @@ pub fn seller_cell(
     })
 }
 
+/// Training recorder for the replay/durability proofs (the
+/// replay-equivalence tier and the E8 bench): every wrapped provider call
+/// is one *paid* course, tagged with its evaluation key so entries compare
+/// directly against `CourseServed` journal events.
+#[derive(Clone, Default)]
+pub struct TrainingRecorder {
+    trained: Arc<std::sync::Mutex<Vec<(u64, u64)>>>,
+}
+
+impl TrainingRecorder {
+    /// The distinct `(evaluation key, bundle bits)` pairs trained so far.
+    pub fn set(&self) -> std::collections::HashSet<(u64, u64)> {
+        self.trained.lock().unwrap().iter().copied().collect()
+    }
+}
+
+/// A [`vfl_market::TableGainProvider`] wrapper that records each training
+/// into a shared [`TrainingRecorder`] — how the replay proofs count (and
+/// then forbid) re-trained courses.
+#[derive(Clone)]
+pub struct CountingGainProvider {
+    inner: vfl_market::TableGainProvider,
+    eval_key: u64,
+    recorder: TrainingRecorder,
+}
+
+impl CountingGainProvider {
+    /// Wraps `inner`, tagging every training with `eval_key`.
+    pub fn new(
+        inner: vfl_market::TableGainProvider,
+        eval_key: u64,
+        recorder: &TrainingRecorder,
+    ) -> Self {
+        CountingGainProvider {
+            inner,
+            eval_key,
+            recorder: recorder.clone(),
+        }
+    }
+}
+
+impl vfl_market::GainProvider for CountingGainProvider {
+    fn gain(&self, bundle: BundleMask) -> Result<f64> {
+        self.recorder
+            .trained
+            .lock()
+            .unwrap()
+            .push((self.eval_key, bundle.0));
+        self.inner.gain(bundle)
+    }
+}
+
 /// A demand mirroring [`strategic_order`]'s buyer side: same opening quote
 /// and per-run seed, wanting every feature the cell lists, scoped to the
 /// cell's scenario fingerprint, settled by best-response selection.

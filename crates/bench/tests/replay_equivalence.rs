@@ -1,0 +1,671 @@
+//! Replay-equivalence and fault-injection tier for the exchange journal.
+//!
+//! The journal's contract (see `vfl_exchange::journal`) is that a crashed
+//! drain can be rebuilt from any valid journal prefix and *resumed* to the
+//! exact same place — bit-identical `Outcome`s, transcripts, and
+//! settlement winners — without re-training any course the prefix
+//! acknowledges. This suite proves the contract the hard way:
+//!
+//! * **Boundary sweep** — `REPLAY_WORLDS` (≥ 64) random marketplace
+//!   worlds (heterogeneous sellers, plain sessions, multi-seller demands)
+//!   run to completion under a journal; the journal is then truncated at
+//!   *every* event boundary, recovered, and drained, and every recovered
+//!   entity must reproduce the reference bit for bit while a counting
+//!   provider proves the resumed run trains exactly the complement of the
+//!   prefix's recorded courses — zero re-trainings.
+//! * **Torn tail / corruption** — truncation *inside* a frame and flipped
+//!   bytes must drop the invalid tail (checksum), never misparse, and the
+//!   surviving prefix must still recover equivalently.
+//! * **Crash points** — an injected hook seals the journal *inside* the
+//!   dispatcher's critical sections (course trained but not recorded,
+//!   settlement decided but not recorded, …), which between-event
+//!   truncation cannot reach; the sealed journal must still recover to
+//!   the crashed run's own in-memory conclusion.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use vfl_bench::exchange_setup::{CountingGainProvider, TrainingRecorder};
+use vfl_exchange::{
+    read_events, BestResponse, CrashPoint, Demand, DemandId, DemandReport, Exchange,
+    ExchangeConfig, ExchangeEvent, Journal, MarketSpec, MemorySink, ReplaySpec, SellerSpec,
+    SessionId, SessionOrder,
+};
+use vfl_market::{
+    DataStrategy, Listing, MarketConfig, Outcome, RandomBundleData, ReservedPrice, StrategicData,
+    StrategicTask, TableGainProvider,
+};
+use vfl_sim::BundleMask;
+
+const FEATURES: usize = 6;
+
+// ---------------------------------------------------------------------------
+// World generation (pure functions of the world index — the recovery spec
+// rebuilds byte-identical strategies from the same index)
+// ---------------------------------------------------------------------------
+
+fn plain_eval_key(world: usize) -> u64 {
+    9_000 + (world as u64) * 64
+}
+
+fn seller_eval_key(world: usize, seller: usize) -> u64 {
+    9_001 + (world as u64) * 64 + seller as u64
+}
+
+fn n_sellers(world: usize) -> usize {
+    2 + world % 2
+}
+
+fn plain_listings_gains(world: usize) -> (Vec<Listing>, Vec<f64>) {
+    let listings = (0..4)
+        .map(|i| Listing {
+            bundle: BundleMask::singleton(i),
+            reserved: ReservedPrice::new(5.0 + i as f64 * 2.0, 0.8 + i as f64 * 0.2)
+                .expect("valid reserve"),
+        })
+        .collect();
+    let gains = (0..4)
+        .map(|i| 0.05 + 0.08 * i as f64 + 0.01 * (world % 5) as f64)
+        .collect();
+    (listings, gains)
+}
+
+fn seller_features(world: usize, seller: usize) -> Vec<usize> {
+    let width = 3 + (world + seller) % 2;
+    let mut features: Vec<usize> = (0..width)
+        .map(|i| (seller * 2 + i + world) % FEATURES)
+        .collect();
+    features.sort_unstable();
+    features.dedup();
+    features
+}
+
+fn seller_listings_gains(world: usize, seller: usize) -> (Vec<Listing>, Vec<f64>) {
+    let features = seller_features(world, seller);
+    let listings = features
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| Listing {
+            bundle: BundleMask::singleton(f),
+            reserved: ReservedPrice::new(3.0 + i as f64 * 1.5, 0.5 + i as f64 * 0.15)
+                .expect("valid reserve"),
+        })
+        .collect();
+    let gains = features
+        .iter()
+        .enumerate()
+        .map(|(i, _)| 0.04 + 0.30 * ((world * 7 + seller * 11 + i * 5) % 13) as f64 / 12.0)
+        .collect();
+    (listings, gains)
+}
+
+fn plain_market_spec(world: usize, recorder: &TrainingRecorder) -> MarketSpec {
+    let (listings, gains) = plain_listings_gains(world);
+    let inner = TableGainProvider::new(listings.iter().zip(&gains).map(|(l, &g)| (l.bundle, g)));
+    MarketSpec {
+        provider: Arc::new(CountingGainProvider::new(
+            inner,
+            plain_eval_key(world),
+            recorder,
+        )),
+        listings: Arc::new(listings),
+        evaluation_key: Some(plain_eval_key(world)),
+        name: format!("plain-{world}"),
+    }
+}
+
+fn seller_spec(world: usize, seller: usize, recorder: &TrainingRecorder) -> SellerSpec {
+    let (listings, gains) = seller_listings_gains(world, seller);
+    let inner = TableGainProvider::new(listings.iter().zip(&gains).map(|(l, &g)| (l.bundle, g)));
+    let by_bundle: HashMap<u64, f64> = listings
+        .iter()
+        .zip(&gains)
+        .map(|(l, &g)| (l.bundle.0, g))
+        .collect();
+    let random_quoting = (world + seller) % 3 == 2;
+    SellerSpec {
+        market: MarketSpec {
+            provider: Arc::new(CountingGainProvider::new(
+                inner,
+                seller_eval_key(world, seller),
+                recorder,
+            )),
+            listings: Arc::new(listings),
+            evaluation_key: Some(seller_eval_key(world, seller)),
+            name: format!("seller-{world}-{seller}"),
+        },
+        quoting: Arc::new(move |table: &[Listing]| {
+            let gains: Vec<f64> = table.iter().map(|l| by_bundle[&l.bundle.0]).collect();
+            if random_quoting {
+                Box::new(RandomBundleData::with_gains(gains)) as Box<dyn DataStrategy + Send>
+            } else {
+                Box::new(StrategicData::with_gains(gains)) as Box<dyn DataStrategy + Send>
+            }
+        }),
+    }
+}
+
+fn plain_cfg(world: usize, k: usize) -> MarketConfig {
+    MarketConfig {
+        utility_rate: 700.0 + 150.0 * ((world + k) % 4) as f64,
+        budget: 10.0 + (world % 3) as f64,
+        rate_cap: 20.0,
+        seed: (world * 31 + k) as u64,
+        ..MarketConfig::default()
+    }
+}
+
+fn plain_order(world: usize, k: usize) -> SessionOrder {
+    let (_, gains) = plain_listings_gains(world);
+    SessionOrder {
+        cfg: plain_cfg(world, k),
+        task: Box::new(StrategicTask::new(0.30, 6.0, 0.9).expect("valid opening")),
+        data: Box::new(StrategicData::with_gains(gains)),
+    }
+}
+
+fn demand_for(world: usize, d: usize) -> Demand {
+    let wanted = BundleMask::from_features(&[
+        (world + d) % FEATURES,
+        (world + d + 2) % FEATURES,
+        (world + d + 4) % FEATURES,
+    ]);
+    Demand {
+        wanted,
+        scenario: None,
+        cfg: MarketConfig {
+            utility_rate: 600.0 + 100.0 * ((world + d) % 5) as f64,
+            budget: 9.0 + (d % 4) as f64,
+            rate_cap: 18.0,
+            seed: (world * 97 + d * 13) as u64,
+            ..MarketConfig::default()
+        },
+        task: Arc::new(|| Box::new(StrategicTask::new(0.28, 6.0, 0.9).expect("valid opening"))),
+        probe_rounds: 1 + ((world + d) % 3) as u32,
+        policy: Arc::new(BestResponse),
+    }
+}
+
+const N_PLAIN: usize = 2;
+const N_DEMANDS: usize = 2;
+
+struct World {
+    exchange: Exchange,
+    sink: MemorySink,
+    journal: Arc<Journal>,
+    recorder: TrainingRecorder,
+    plain_map: HashMap<SessionId, usize>,
+    demand_map: HashMap<DemandId, usize>,
+}
+
+fn build_world(world: usize) -> World {
+    let recorder = TrainingRecorder::default();
+    let (journal, sink) = Journal::in_memory();
+    let exchange = Exchange::with_journal(ExchangeConfig::default(), journal.clone());
+    let market = exchange
+        .register_market(plain_market_spec(world, &recorder))
+        .expect("register plain market");
+    for s in 0..n_sellers(world) {
+        exchange
+            .register_seller(seller_spec(world, s, &recorder))
+            .expect("register seller");
+    }
+    let mut plain_map = HashMap::new();
+    for k in 0..N_PLAIN {
+        let sid = exchange
+            .submit(market, plain_order(world, k))
+            .expect("submit plain session");
+        plain_map.insert(sid, k);
+    }
+    let mut demand_map = HashMap::new();
+    for d in 0..N_DEMANDS {
+        let did = exchange
+            .submit_demand(demand_for(world, d))
+            .expect("submit demand");
+        demand_map.insert(did, d);
+    }
+    World {
+        exchange,
+        sink,
+        journal,
+        recorder,
+        plain_map,
+        demand_map,
+    }
+}
+
+fn spec_for(
+    world: usize,
+    recorder: &TrainingRecorder,
+    plain_map: &HashMap<SessionId, usize>,
+    demand_map: &HashMap<DemandId, usize>,
+) -> ReplaySpec {
+    let plain_map = plain_map.clone();
+    let demand_map = demand_map.clone();
+    ReplaySpec {
+        markets: vec![plain_market_spec(world, recorder)],
+        sellers: (0..n_sellers(world))
+            .map(|s| seller_spec(world, s, recorder))
+            .collect(),
+        orders: Box::new(move |sid| {
+            let k = *plain_map
+                .get(&sid)
+                .unwrap_or_else(|| panic!("journal records unknown plain session {sid}"));
+            plain_order(world, k)
+        }),
+        demands: Box::new(move |did| {
+            let d = *demand_map
+                .get(&did)
+                .unwrap_or_else(|| panic!("journal records unknown demand {did}"));
+            demand_for(world, d)
+        }),
+    }
+}
+
+/// Everything the uncrashed run produced, keyed for later comparison.
+struct Reference {
+    outcomes: HashMap<SessionId, Result<Outcome, String>>,
+    reports: HashMap<DemandId, DemandReport>,
+    trained: HashSet<(u64, u64)>,
+}
+
+/// Drains `world.exchange` and snapshots every outcome and report.
+fn snapshot(world: &World) -> Reference {
+    world.exchange.drain(2);
+    let mut reports = HashMap::new();
+    let mut sids: Vec<SessionId> = world.plain_map.keys().copied().collect();
+    for &did in world.demand_map.keys() {
+        let report = world
+            .exchange
+            .take_demand(did)
+            .expect("every demand settles in the drain");
+        sids.extend(report.quotes.iter().map(|q| q.session));
+        reports.insert(did, report);
+    }
+    let mut outcomes = HashMap::new();
+    for sid in sids {
+        let result = world
+            .exchange
+            .take(sid)
+            .expect("every session is terminal after the drain")
+            .map(|b| *b)
+            .map_err(|e| e.to_string());
+        outcomes.insert(sid, result);
+    }
+    Reference {
+        outcomes,
+        reports,
+        trained: world.recorder.set(),
+    }
+}
+
+/// Recovers `prefix`, resumes it, and asserts full equivalence with the
+/// reference for every entity the prefix records — plus the zero-retrain
+/// guarantee. Returns the number of courses the resumed run trained.
+fn check_equivalence(
+    world: usize,
+    reference: &Reference,
+    prefix: &[u8],
+    plain_map: &HashMap<SessionId, usize>,
+    demand_map: &HashMap<DemandId, usize>,
+    ctx: &str,
+) -> usize {
+    let (events, _) = read_events(prefix);
+    let mut recorded_sessions: Vec<SessionId> = Vec::new();
+    let mut recorded_demands: Vec<DemandId> = Vec::new();
+    let mut prefix_courses: HashSet<(u64, u64)> = HashSet::new();
+    for event in &events {
+        match event {
+            ExchangeEvent::SessionSubmitted { session, .. } => recorded_sessions.push(*session),
+            ExchangeEvent::DemandSubmitted {
+                demand, candidates, ..
+            } => {
+                recorded_demands.push(*demand);
+                recorded_sessions.extend(candidates.iter().map(|&(_, sid)| sid));
+            }
+            ExchangeEvent::CourseServed {
+                eval_key, bundle, ..
+            } => {
+                prefix_courses.insert((*eval_key, bundle.0));
+            }
+            _ => {}
+        }
+    }
+
+    let recorder = TrainingRecorder::default();
+    let spec = spec_for(world, &recorder, plain_map, demand_map);
+    let (recovered, report) = Exchange::recover(ExchangeConfig::default(), prefix, spec, None)
+        .unwrap_or_else(|e| panic!("{ctx}: recovery failed: {e}"));
+    assert_eq!(report.courses_preloaded, prefix_courses.len(), "{ctx}");
+    recovered.drain(2);
+
+    // The journal's own divergence audit must pass: every conclusion the
+    // prefix recorded is re-reached with the exact digest and every
+    // recorded settlement re-settles to the recorded winner (this is the
+    // check a REAL recovery relies on, having no reference run).
+    let audited = recovered
+        .audit_replay(&report)
+        .unwrap_or_else(|e| panic!("{ctx}: {e}"));
+    assert_eq!(
+        audited,
+        report.conclusions.len() + report.settlements.len(),
+        "{ctx}"
+    );
+
+    // Zero re-training: the resumed run trains exactly the complement of
+    // the prefix's acknowledged courses — never a course the journal
+    // already paid for.
+    let retrained = recorder.set();
+    assert!(
+        retrained.is_disjoint(&prefix_courses),
+        "{ctx}: re-trained a journaled course: {:?}",
+        retrained.intersection(&prefix_courses).collect::<Vec<_>>()
+    );
+    assert!(
+        retrained.is_subset(&reference.trained),
+        "{ctx}: resume must never invent a training the reference run did not pay"
+    );
+    // Once the prefix records every submission (always true for any cut
+    // taken during or after the drain — courses are journaled after
+    // submissions), the resumed run trains *exactly* the complement of
+    // the journaled courses.
+    if recorded_sessions.len() == reference.outcomes.len() {
+        let expected: HashSet<(u64, u64)> = reference
+            .trained
+            .difference(&prefix_courses)
+            .copied()
+            .collect();
+        assert_eq!(
+            retrained, expected,
+            "{ctx}: resumed trainings must be exactly the unjournaled courses"
+        );
+    }
+
+    // Bit-identical outcomes and transcripts for every recovered session.
+    for sid in &recorded_sessions {
+        let replayed = recovered
+            .take(*sid)
+            .unwrap_or_else(|| panic!("{ctx}: recovered session {sid} not terminal"))
+            .map(|b| *b)
+            .map_err(|e| e.to_string());
+        assert_eq!(
+            &replayed, &reference.outcomes[sid],
+            "{ctx}: session {sid} diverged"
+        );
+    }
+    // Identical settlement winners and quote tables (histories included —
+    // the probe-spend audit must survive recovery too).
+    for did in &recorded_demands {
+        let replayed = recovered
+            .take_demand(*did)
+            .unwrap_or_else(|| panic!("{ctx}: recovered demand {did} not settled"));
+        let reference = &reference.reports[did];
+        assert_eq!(replayed.winner, reference.winner, "{ctx}: demand {did}");
+        assert_eq!(replayed.quotes.len(), reference.quotes.len(), "{ctx}");
+        for (a, b) in replayed.quotes.iter().zip(&reference.quotes) {
+            assert_eq!(a.seller, b.seller, "{ctx}");
+            assert_eq!(a.seller_name, b.seller_name, "{ctx}");
+            assert_eq!(a.session, b.session, "{ctx}");
+            assert_eq!(a.state, b.state, "{ctx}: demand {did} quote state");
+            assert_eq!(a.history, b.history, "{ctx}: demand {did} probe history");
+        }
+        assert_eq!(
+            replayed.loser_probe_spend(),
+            reference.loser_probe_spend(),
+            "{ctx}"
+        );
+    }
+    retrained.len()
+}
+
+fn n_worlds() -> usize {
+    std::env::var("REPLAY_WORLDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+// ---------------------------------------------------------------------------
+// The tier
+// ---------------------------------------------------------------------------
+
+/// The headline property: truncate the journal at EVERY event boundary of
+/// every world; replay + resume must be bit-identical to the uncrashed run
+/// with zero re-trained courses.
+#[test]
+fn truncation_at_every_event_boundary_replays_bit_identically() {
+    let mut boundaries_checked = 0usize;
+    for world in 0..n_worlds() {
+        let w = build_world(world);
+        let reference = snapshot(&w);
+        let bytes = w.sink.bytes();
+        let boundaries = vfl_exchange::frame_boundaries(&bytes);
+        assert!(
+            boundaries.len() > 8,
+            "world {world}: a journaled run must record a real event stream"
+        );
+        // Every boundary, plus the empty journal (crash before anything
+        // became durable).
+        for &cut in std::iter::once(&0usize).chain(boundaries.iter()) {
+            check_equivalence(
+                world,
+                &reference,
+                &bytes[..cut],
+                &w.plain_map,
+                &w.demand_map,
+                &format!("world {world} cut {cut}/{}", bytes.len()),
+            );
+            boundaries_checked += 1;
+        }
+    }
+    assert!(boundaries_checked > n_worlds() * 8);
+}
+
+/// A torn final record (truncation inside a frame) and flipped bytes are
+/// detected via the checksum and dropped — recovery sees the longest valid
+/// prefix and still resumes equivalently.
+#[test]
+fn torn_and_corrupt_tails_are_dropped_and_still_recover() {
+    let world = 1usize;
+    let w = build_world(world);
+    let reference = snapshot(&w);
+    let bytes = w.sink.bytes();
+    let boundaries = vfl_exchange::frame_boundaries(&bytes);
+
+    // Tear inside several frames: header-only, mid-payload, mid-checksum.
+    for &frame_idx in &[0usize, boundaries.len() / 2, boundaries.len() - 1] {
+        let start = if frame_idx == 0 {
+            0
+        } else {
+            boundaries[frame_idx - 1]
+        };
+        let end = boundaries[frame_idx];
+        for cut in [start + 1, start + (end - start) / 2, end - 1] {
+            let (events, dropped) = read_events(&bytes[..cut]);
+            assert_eq!(events.len(), frame_idx, "cut {cut}");
+            assert_eq!(dropped, cut - start, "cut {cut}");
+            check_equivalence(
+                world,
+                &reference,
+                &bytes[..cut],
+                &w.plain_map,
+                &w.demand_map,
+                &format!("torn cut {cut}"),
+            );
+        }
+    }
+
+    // Flip one byte in the middle of the journal: the valid prefix ends
+    // there; recovery of the corrupted bytes equals recovery of the clean
+    // prefix.
+    let mid_frame = boundaries.len() / 2;
+    let flip_at = boundaries[mid_frame] + 7;
+    let mut corrupt = bytes.clone();
+    corrupt[flip_at] ^= 0x20;
+    let (events, _) = read_events(&corrupt);
+    assert_eq!(events.len(), mid_frame + 1, "corruption ends the prefix");
+    check_equivalence(
+        world,
+        &reference,
+        &corrupt,
+        &w.plain_map,
+        &w.demand_map,
+        "corrupt mid-journal",
+    );
+}
+
+/// Seals the journal at the `nth` occurrence of a crash point selected by
+/// `pred`, drains to completion (the in-memory run IS the reference), and
+/// checks the sealed journal recovers equivalently. Returns true when the
+/// point fired.
+fn crash_and_check(
+    world: usize,
+    nth: usize,
+    pred: impl Fn(&CrashPoint) -> bool + Send + Sync + 'static,
+    ctx: &str,
+) -> bool {
+    let w = build_world(world);
+    let fired = Arc::new(AtomicUsize::new(0));
+    {
+        let journal = w.journal.clone();
+        let fired = fired.clone();
+        w.exchange
+            .set_crash_hook(Some(Arc::new(move |point: &CrashPoint| {
+                if pred(point) && fired.fetch_add(1, Ordering::SeqCst) == nth {
+                    journal.seal();
+                }
+            })));
+    }
+    let reference = snapshot(&w);
+    let hit = fired.load(Ordering::SeqCst) > nth;
+    if hit {
+        assert!(w.journal.is_sealed(), "{ctx}: the crash must have sealed");
+    }
+    check_equivalence(
+        world,
+        &reference,
+        &w.sink.bytes(),
+        &w.plain_map,
+        &w.demand_map,
+        ctx,
+    );
+    hit
+}
+
+/// Crashes landing INSIDE course dispatch: after the training finished but
+/// before its receipt is journaled (the course is legitimately re-trained
+/// on resume — it was never acknowledged) and right after the receipt
+/// (never re-trained).
+#[test]
+fn crash_inside_course_dispatch_recovers() {
+    for world in 2..6 {
+        for nth in [0, 2] {
+            assert!(
+                crash_and_check(
+                    world,
+                    nth,
+                    |p| matches!(p, CrashPoint::CourseTrained { .. }),
+                    &format!("world {world}: crash after training #{nth}, before its record"),
+                ),
+                "course crash point must fire"
+            );
+            assert!(
+                crash_and_check(
+                    world,
+                    nth,
+                    |p| matches!(p, CrashPoint::CourseRecorded { .. }),
+                    &format!("world {world}: crash after course record #{nth}"),
+                ),
+                "course-recorded crash point must fire"
+            );
+        }
+    }
+}
+
+/// Crashes landing INSIDE the settlement critical section: the decision is
+/// made but not journaled (resume re-settles to the same winner), and the
+/// record landed but no side-effect (wake/cancel) was applied yet.
+#[test]
+fn crash_inside_settlement_recovers() {
+    for world in 2..8 {
+        assert!(
+            crash_and_check(
+                world,
+                0,
+                |p| matches!(p, CrashPoint::SettlementDecided(_)),
+                &format!("world {world}: crash between settlement decision and its record"),
+            ),
+            "settlement-decided crash point must fire"
+        );
+        assert!(
+            crash_and_check(
+                world,
+                0,
+                |p| matches!(p, CrashPoint::SettlementRecorded(_)),
+                &format!("world {world}: crash between settlement record and its side-effects"),
+            ),
+            "settlement-recorded crash point must fire"
+        );
+    }
+}
+
+/// Crashes at dispatch pick-up and just before a conclusion is recorded.
+#[test]
+fn crash_at_dispatch_and_conclusion_recovers() {
+    for world in 2..6 {
+        assert!(
+            crash_and_check(
+                world,
+                1,
+                |p| matches!(p, CrashPoint::Dispatched(_)),
+                &format!("world {world}: crash at dispatch"),
+            ),
+            "dispatch crash point must fire"
+        );
+        assert!(
+            crash_and_check(
+                world,
+                0,
+                |p| matches!(p, CrashPoint::Concluding(_)),
+                &format!("world {world}: crash before the conclusion record"),
+            ),
+            "concluding crash point must fire"
+        );
+    }
+}
+
+/// A recovered exchange that records into a fresh journal produces a
+/// journal that is itself recoverable — recovery chains.
+#[test]
+fn recovery_can_be_journaled_and_recovered_again() {
+    let world = 3usize;
+    let w = build_world(world);
+    let reference = snapshot(&w);
+    let bytes = w.sink.bytes();
+    let boundaries = vfl_exchange::frame_boundaries(&bytes);
+    let cut = boundaries[boundaries.len() / 2];
+
+    // First recovery records into a fresh journal…
+    let recorder = TrainingRecorder::default();
+    let (journal2, sink2) = Journal::in_memory();
+    let (recovered, _) = Exchange::recover(
+        ExchangeConfig::default(),
+        &bytes[..cut],
+        spec_for(world, &recorder, &w.plain_map, &w.demand_map),
+        Some(journal2),
+    )
+    .expect("first recovery");
+    recovered.drain(2);
+    // …and the second-generation journal recovers to the same reference,
+    // now with nothing at all left to train (its prefix holds every
+    // course the full run needed).
+    let trained = check_equivalence(
+        world,
+        &reference,
+        &sink2.bytes(),
+        &w.plain_map,
+        &w.demand_map,
+        "second-generation journal",
+    );
+    assert_eq!(trained, 0, "a completed run's journal holds every course");
+}

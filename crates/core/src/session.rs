@@ -391,6 +391,221 @@ impl NegotiationSession {
     }
 }
 
+/// Compact, stable (de)serialization surface for durable event logs.
+///
+/// The `vfl-exchange` journal persists negotiation facts — terminal
+/// statuses, configuration fingerprints, outcome digests — in a versioned
+/// binary format that must stay decodable across releases and offline
+/// (the serde shim provides no real serialization). This module is the
+/// single authority for those encodings: a wire code per terminal status,
+/// a fixed-field-order FNV-1a digest for [`MarketConfig`] (the fold
+/// sequence is part of the format — reordering it breaks old digests), and a
+/// content digest for [`Outcome`] (status + round records + transcript,
+/// seller stamp included) that lets a replayed negotiation be checked
+/// against the journaled conclusion without persisting the outcome itself.
+///
+/// Codes are append-only: a code, once assigned, is never reused or
+/// renumbered (old journals must keep decoding).
+pub mod wire {
+    use super::*;
+    use crate::cost::CostModel;
+
+    /// Wire code for "the session died on a hard error" — an exchange-level
+    /// terminal state that is not an [`OutcomeStatus`] (no outcome exists).
+    pub const STATUS_HARD_ERROR: u16 = 0;
+
+    /// Encodes a terminal status as a stable wire code (never 0; see
+    /// [`STATUS_HARD_ERROR`]).
+    pub fn status_code(status: OutcomeStatus) -> u16 {
+        match status {
+            OutcomeStatus::Success {
+                by: ClosedBy::DataParty,
+            } => 1,
+            OutcomeStatus::Success {
+                by: ClosedBy::TaskParty,
+            } => 2,
+            OutcomeStatus::Failed {
+                reason: FailureReason::NoAffordableBundle,
+            } => 10,
+            OutcomeStatus::Failed {
+                reason: FailureReason::GainBelowBreakEven,
+            } => 11,
+            OutcomeStatus::Failed {
+                reason: FailureReason::BudgetExhausted,
+            } => 12,
+            OutcomeStatus::Failed {
+                reason: FailureReason::RoundLimit,
+            } => 13,
+            OutcomeStatus::Failed {
+                reason: FailureReason::Cancelled,
+            } => 14,
+        }
+    }
+
+    /// Decodes a wire code back into a status (`None` for unknown codes
+    /// and for [`STATUS_HARD_ERROR`], which carries no outcome).
+    pub fn status_from_code(code: u16) -> Option<OutcomeStatus> {
+        Some(match code {
+            1 => OutcomeStatus::Success {
+                by: ClosedBy::DataParty,
+            },
+            2 => OutcomeStatus::Success {
+                by: ClosedBy::TaskParty,
+            },
+            10 => OutcomeStatus::Failed {
+                reason: FailureReason::NoAffordableBundle,
+            },
+            11 => OutcomeStatus::Failed {
+                reason: FailureReason::GainBelowBreakEven,
+            },
+            12 => OutcomeStatus::Failed {
+                reason: FailureReason::BudgetExhausted,
+            },
+            13 => OutcomeStatus::Failed {
+                reason: FailureReason::RoundLimit,
+            },
+            14 => OutcomeStatus::Failed {
+                reason: FailureReason::Cancelled,
+            },
+            _ => return None,
+        })
+    }
+
+    /// FNV-1a 64 over a byte slice — the journal's checksum primitive.
+    pub fn fnv64(bytes: &[u8]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Folds one 64-bit word into a running FNV-1a state (byte-wise, so a
+    /// digest built from words equals one built from the same bytes).
+    pub fn fnv64_fold(h: u64, word: u64) -> u64 {
+        let mut h = h;
+        for b in word.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+    fn fold_f64(h: u64, x: f64) -> u64 {
+        fnv64_fold(h, x.to_bits())
+    }
+
+    fn fold_cost(h: u64, cost: CostModel) -> u64 {
+        match cost {
+            CostModel::None => fnv64_fold(h, 0),
+            CostModel::Linear { a } => fold_f64(fnv64_fold(h, 1), a),
+            CostModel::Exponential { a } => fold_f64(fnv64_fold(h, 2), a),
+            CostModel::ScaledExponential { a, k } => fold_f64(fold_f64(fnv64_fold(h, 3), a), k),
+            CostModel::Constant { c } => fold_f64(fnv64_fold(h, 4), c),
+        }
+    }
+
+    /// Content fingerprint of a [`MarketConfig`] (bit patterns of every
+    /// field, fixed order). A journaled submission stores this digest; at
+    /// replay time the recovering spec's config must produce the same
+    /// value, or recovery refuses to silently re-run a *different*
+    /// negotiation under a recorded id.
+    pub fn config_digest(cfg: &MarketConfig) -> u64 {
+        let mut h = FNV_OFFSET;
+        h = fold_f64(h, cfg.utility_rate);
+        h = fold_f64(h, cfg.budget);
+        h = fold_f64(h, cfg.eps_task);
+        h = fold_f64(h, cfg.eps_data);
+        h = fold_f64(h, cfg.eps_task_cost);
+        h = fold_f64(h, cfg.eps_data_cost);
+        h = fnv64_fold(h, cfg.max_rounds as u64);
+        h = fnv64_fold(h, cfg.explore_rounds as u64);
+        h = fnv64_fold(h, cfg.quote_samples as u64);
+        h = fold_f64(h, cfg.escalation_step);
+        h = fold_f64(h, cfg.rate_cap);
+        h = fold_cost(h, cfg.task_cost);
+        h = fold_cost(h, cfg.data_cost);
+        h = fnv64_fold(h, cfg.seed);
+        h = fnv64_fold(h, cfg.channel_capacity as u64);
+        h
+    }
+
+    fn fold_message(h: u64, msg: &Message) -> u64 {
+        match msg {
+            Message::Quote(q) => {
+                let mut h = fnv64_fold(h, 1);
+                h = fold_f64(h, q.rate);
+                h = fold_f64(h, q.base);
+                h = fold_f64(h, q.cap);
+                fnv64_fold(h, q.round as u64)
+            }
+            Message::Offer(OfferMsg::Bundle {
+                bundle,
+                is_final,
+                round,
+            }) => {
+                let mut h = fnv64_fold(h, 2);
+                h = fnv64_fold(h, bundle.0);
+                h = fnv64_fold(h, *is_final as u64);
+                fnv64_fold(h, *round as u64)
+            }
+            Message::Offer(OfferMsg::Withdraw { round }) => {
+                fnv64_fold(fnv64_fold(h, 3), *round as u64)
+            }
+            Message::GainReport(g) => {
+                fold_f64(fnv64_fold(fnv64_fold(h, 4), g.round as u64), g.gain)
+            }
+            Message::Settle(SettleMsg::Pay { amount, round }) => {
+                fold_f64(fnv64_fold(fnv64_fold(h, 5), *round as u64), *amount)
+            }
+            Message::Settle(SettleMsg::Abort { round }) => {
+                fnv64_fold(fnv64_fold(h, 6), *round as u64)
+            }
+        }
+    }
+
+    /// Content digest of a full [`Outcome`]: status code, every round
+    /// record (all fields, bit patterns), every transcript message, and
+    /// the seller stamp. Two outcomes compare equal iff their digests do
+    /// (modulo the vanishing FNV collision probability), so a journal can
+    /// assert "replay reproduced the recorded conclusion" in 8 bytes.
+    pub fn outcome_digest(outcome: &Outcome) -> u64 {
+        let mut h = FNV_OFFSET;
+        h = fnv64_fold(h, status_code(outcome.status) as u64);
+        h = fnv64_fold(h, outcome.rounds.len() as u64);
+        for r in &outcome.rounds {
+            h = fnv64_fold(h, r.round as u64);
+            h = fold_f64(h, r.quote.rate);
+            h = fold_f64(h, r.quote.base);
+            h = fold_f64(h, r.quote.cap);
+            h = fnv64_fold(h, r.listing as u64);
+            h = fnv64_fold(h, r.bundle.0);
+            h = fold_f64(h, r.gain);
+            h = fold_f64(h, r.payment);
+            h = fold_f64(h, r.net_profit);
+            h = fold_f64(h, r.cost_task);
+            h = fold_f64(h, r.cost_data);
+            h = fnv64_fold(h, r.final_offer as u64);
+        }
+        for msg in outcome.transcript.messages() {
+            h = fold_message(h, msg);
+        }
+        match outcome.transcript.seller() {
+            Some(name) => {
+                h = fnv64_fold(h, name.len() as u64);
+                for &b in name.as_bytes() {
+                    h = fnv64_fold(h, b as u64);
+                }
+            }
+            None => h = fnv64_fold(h, u64::MAX),
+        }
+        h
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -645,5 +860,92 @@ mod tests {
             ..MarketConfig::default()
         };
         assert!(NegotiationSession::new(bad).is_err());
+    }
+
+    #[test]
+    fn wire_status_codes_roundtrip_and_reserve_zero() {
+        use crate::engine::{ClosedBy, FailureReason};
+        let all = [
+            OutcomeStatus::Success {
+                by: ClosedBy::DataParty,
+            },
+            OutcomeStatus::Success {
+                by: ClosedBy::TaskParty,
+            },
+            OutcomeStatus::Failed {
+                reason: FailureReason::NoAffordableBundle,
+            },
+            OutcomeStatus::Failed {
+                reason: FailureReason::GainBelowBreakEven,
+            },
+            OutcomeStatus::Failed {
+                reason: FailureReason::BudgetExhausted,
+            },
+            OutcomeStatus::Failed {
+                reason: FailureReason::RoundLimit,
+            },
+            OutcomeStatus::Failed {
+                reason: FailureReason::Cancelled,
+            },
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for status in all {
+            let code = wire::status_code(status);
+            assert_ne!(code, wire::STATUS_HARD_ERROR, "0 is reserved");
+            assert!(seen.insert(code), "codes are unique");
+            assert_eq!(wire::status_from_code(code), Some(status));
+        }
+        assert_eq!(wire::status_from_code(wire::STATUS_HARD_ERROR), None);
+        assert_eq!(wire::status_from_code(999), None);
+    }
+
+    #[test]
+    fn wire_config_digest_separates_configs() {
+        let base = MarketConfig::default();
+        let d0 = wire::config_digest(&base);
+        assert_eq!(d0, wire::config_digest(&base), "deterministic");
+        for other in [
+            MarketConfig { seed: 1, ..base },
+            MarketConfig {
+                budget: 11.0,
+                ..base
+            },
+            MarketConfig {
+                task_cost: crate::cost::CostModel::Linear { a: 0.1 },
+                ..base
+            },
+            MarketConfig {
+                explore_rounds: 2,
+                ..base
+            },
+        ] {
+            assert_ne!(d0, wire::config_digest(&other), "{other:?}");
+        }
+    }
+
+    #[test]
+    fn wire_outcome_digest_tracks_content() {
+        let a = drive_manual(3);
+        let b = drive_manual(3);
+        assert_eq!(wire::outcome_digest(&a), wire::outcome_digest(&b));
+        let c = drive_manual(4);
+        assert_ne!(
+            wire::outcome_digest(&a),
+            wire::outcome_digest(&c),
+            "different negotiations digest differently"
+        );
+        // The seller stamp is a recorded fact and participates.
+        let mut stamped = a.clone();
+        stamped.transcript.set_seller("acme");
+        assert_ne!(wire::outcome_digest(&a), wire::outcome_digest(&stamped));
+    }
+
+    #[test]
+    fn wire_fnv_primitives_agree() {
+        let word = 0x1234_5678_9abc_def0u64;
+        assert_eq!(
+            wire::fnv64(&word.to_le_bytes()),
+            wire::fnv64_fold(0xcbf2_9ce4_8422_2325, word)
+        );
     }
 }

@@ -109,6 +109,15 @@ impl SharedGainCache {
         Ok(g)
     }
 
+    /// Inserts a course result directly, bypassing the provider — the
+    /// journal-recovery preload path. Counts neither a hit nor a miss:
+    /// the training was paid for by a previous life of the exchange, and
+    /// the resumed drain will read it back as ordinary hits.
+    pub fn insert(&self, eval_key: u64, bundle: BundleMask, gain: f64) {
+        let key = (eval_key, bundle.0);
+        self.shard(key).lock().insert(key, gain);
+    }
+
     /// Serves one course request with concurrent-miss dedup: a hit returns
     /// immediately; on a miss, exactly one caller per key trains the course
     /// (others get [`CourseServe::Busy`] and should park their session —

@@ -48,13 +48,15 @@
 use crossbeam::channel::bounded;
 use parking_lot::{Mutex, RwLock};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use vfl_market::{GainProvider, Listing, MarketError, Outcome, Result};
+use vfl_market::session::wire;
+use vfl_market::{GainProvider, Listing, MarketError, Outcome, Result, RoundRecord};
 use vfl_sim::BundleMask;
 
 use crate::cache::{CourseServe, SharedGainCache};
+use crate::journal::{CrashHook, CrashPoint, ExchangeEvent, Journal, QuoteKind};
 use crate::matching::{
     Demand, DemandId, DemandReport, DemandState, DemandStatus, MatchBook, QuoteState,
     QuotingFactory, SellerId, SettleAction,
@@ -148,7 +150,6 @@ struct MarketEntry {
     provider: Arc<dyn GainProvider + Send + Sync>,
     listings: Arc<Vec<Listing>>,
     eval_key: u64,
-    #[allow(dead_code)]
     name: String,
 }
 
@@ -179,6 +180,13 @@ pub struct Exchange {
     next_session: AtomicU64,
     /// Submitted-but-not-yet-dispatched session ids; drained by `drain`.
     pending: Mutex<VecDeque<SessionId>>,
+    /// Durable event journal, when the exchange was built with one
+    /// ([`Exchange::with_journal`]); appends happen at the linearization
+    /// points documented in [`crate::journal`].
+    journal: Option<Arc<Journal>>,
+    /// Fault-injection observer (tests); fast-gated by `crash_armed`.
+    crash_hook: Mutex<Option<CrashHook>>,
+    crash_armed: AtomicBool,
 }
 
 /// What one worker slice did with its session, plus how many *other*
@@ -203,8 +211,20 @@ enum NoticeKind {
 }
 
 impl Exchange {
-    /// An exchange with the given tuning knobs.
+    /// An exchange with the given tuning knobs (no journal: nothing is
+    /// persisted, exactly the pre-journal behaviour).
     pub fn new(cfg: ExchangeConfig) -> Self {
+        Self::build(cfg, None)
+    }
+
+    /// An exchange that appends every registration, submission, trained
+    /// course, and conclusion to `journal`, so a crashed drain can be
+    /// rebuilt with [`Exchange::recover`] (see [`crate::journal`]).
+    pub fn with_journal(cfg: ExchangeConfig, journal: Arc<Journal>) -> Self {
+        Self::build(cfg, Some(journal))
+    }
+
+    fn build(cfg: ExchangeConfig, journal: Option<Arc<Journal>>) -> Self {
         Exchange {
             store: SessionStore::new(cfg.store_shards),
             cache: SharedGainCache::new(cfg.cache_shards),
@@ -215,20 +235,62 @@ impl Exchange {
             sellers: RwLock::new(Vec::new()),
             next_session: AtomicU64::new(0),
             pending: Mutex::new(VecDeque::new()),
+            journal,
+            crash_hook: Mutex::new(None),
+            crash_armed: AtomicBool::new(false),
             cfg,
         }
     }
 
-    /// Registers a market; heterogeneous scenarios (any dataset × base
-    /// model mix) coexist in one exchange.
-    pub fn register_market(&self, spec: MarketSpec) -> Result<MarketId> {
+    /// Appends to the journal, building the event only when one is
+    /// attached (the no-journal hot path pays one branch).
+    fn record_with(&self, make: impl FnOnce() -> ExchangeEvent) {
+        if let Some(journal) = &self.journal {
+            journal.append(&make());
+        }
+    }
+
+    /// Installs (or clears) the fault-injection hook. The hook fires at
+    /// every [`CrashPoint`] a worker slice passes — *inside* the course
+    /// and settlement critical sections — and typically reacts by sealing
+    /// the journal, freezing durability exactly as a crash at that
+    /// instant would. Observability only: the in-memory run continues, so
+    /// a test can compare it against the recovery of the sealed journal.
+    pub fn set_crash_hook(&self, hook: Option<CrashHook>) {
+        let mut slot = self.crash_hook.lock();
+        self.crash_armed.store(hook.is_some(), Ordering::Relaxed);
+        *slot = hook;
+    }
+
+    fn crash_point(&self, point: CrashPoint) {
+        if self.crash_armed.load(Ordering::Relaxed) {
+            let hook = self.crash_hook.lock().clone();
+            if let Some(hook) = hook {
+                hook(&point);
+            }
+        }
+    }
+
+    /// Appends one market entry under the held registry lock; journal
+    /// appends happen under the same lock, so journal order is id order
+    /// (recovery re-registers by walking the journal).
+    fn push_market(markets: &mut Vec<MarketEntry>, spec: MarketSpec) -> Result<(MarketId, bool)> {
         if spec.listings.is_empty() {
             return Err(MarketError::InvalidConfig(
                 "market has an empty listing table".into(),
             ));
         }
-        let mut markets = self.markets.write();
+        // Journal strings are u16-length-prefixed; reject rather than
+        // letting a journaled exchange panic where a bare one succeeds.
+        if spec.name.len() > u16::MAX as usize {
+            return Err(MarketError::InvalidConfig(format!(
+                "market name is {} bytes; the journal format caps names at {}",
+                spec.name.len(),
+                u16::MAX
+            )));
+        }
         let id = MarketId(markets.len());
+        let private = spec.evaluation_key.is_none();
         // Private cache spaces get the high bit so they can never collide
         // with caller-provided fingerprints of other markets.
         let eval_key = spec.evaluation_key.unwrap_or((1 << 63) | id.0 as u64);
@@ -237,6 +299,26 @@ impl Exchange {
             listings: spec.listings,
             eval_key,
             name: spec.name,
+        });
+        Ok((id, private))
+    }
+
+    /// Registers a market; heterogeneous scenarios (any dataset × base
+    /// model mix) coexist in one exchange.
+    pub fn register_market(&self, spec: MarketSpec) -> Result<MarketId> {
+        let mut markets = self.markets.write();
+        let (id, private) = Self::push_market(&mut markets, spec)?;
+        self.record_with(|| {
+            let entry = &markets[id.0];
+            ExchangeEvent::MarketRegistered {
+                market: id,
+                eval_key: entry.eval_key,
+                private,
+                listings: entry.listings.len() as u32,
+                catalog: BundleMask::union_of(entry.listings.iter().map(|l| l.bundle)),
+                table_digest: crate::journal::listing_table_digest(&entry.listings),
+                name: entry.name.clone(),
+            }
         });
         Ok(id)
     }
@@ -250,15 +332,31 @@ impl Exchange {
         let catalog = BundleMask::union_of(spec.market.listings.iter().map(|l| l.bundle));
         let scenario = spec.market.evaluation_key;
         let name = spec.market.name.clone();
-        let market = self.register_market(spec.market)?;
+        // Lock order: markets before sellers — the only place both are
+        // held together, so the market-id allocation and the seller
+        // record form one atomic registration in journal order (one
+        // `SellerRegistered` event covers both; a journal prefix never
+        // sees a seller's market without its seller).
+        let mut markets = self.markets.write();
         let mut sellers = self.sellers.write();
+        let (market, private) = Self::push_market(&mut markets, spec.market)?;
         let id = SellerId(sellers.len());
         sellers.push(SellerEntry {
             market,
-            name,
+            name: name.clone(),
             catalog,
             scenario,
             quoting: spec.quoting,
+        });
+        self.record_with(|| ExchangeEvent::SellerRegistered {
+            seller: id,
+            market,
+            eval_key: markets[market.0].eval_key,
+            private,
+            listings: markets[market.0].listings.len() as u32,
+            catalog,
+            table_digest: crate::journal::listing_table_digest(&markets[market.0].listings),
+            name: name.clone(),
         });
         Ok(id)
     }
@@ -276,6 +374,14 @@ impl Exchange {
     /// Opens a negotiation on `market`. The session is validated and queued
     /// immediately; it runs during the next [`Self::drain`].
     pub fn submit(&self, market: MarketId, order: SessionOrder) -> Result<SessionId> {
+        let id = SessionId(self.next_session.fetch_add(1, Ordering::Relaxed));
+        self.open_session(id, market, order)?;
+        Ok(id)
+    }
+
+    /// Validates, stores, and queues one session under an explicit id
+    /// (shared by `submit` and journal recovery).
+    fn open_session(&self, id: SessionId, market: MarketId, order: SessionOrder) -> Result<()> {
         let listings = {
             let markets = self.markets.read();
             let entry = markets.get(market.0).ok_or_else(|| {
@@ -283,12 +389,53 @@ impl Exchange {
             })?;
             entry.listings.clone()
         };
+        let cfg_digest = wire::config_digest(&order.cfg);
         let session = ActiveSession::new(market, listings, order)?;
-        let id = SessionId(self.next_session.fetch_add(1, Ordering::Relaxed));
         self.store.insert(id, session);
+        // Journal before the pending push: once the id is queued, a
+        // concurrent drain may dispatch it and journal course/conclusion
+        // events — the submission record must precede them in every
+        // prefix (same write-ahead order as `commit_demand`).
+        self.record_with(|| ExchangeEvent::SessionSubmitted {
+            session: id,
+            market,
+            cfg_digest,
+        });
         self.pending.lock().push_back(id);
         ExchangeMetrics::incr(&self.metrics.sessions_opened);
-        Ok(id)
+        Ok(())
+    }
+
+    /// Recovery path of [`Self::submit`]: re-opens a journaled session
+    /// under its recorded id and bumps the id counter past it. A duplicate
+    /// recorded id is rejected (a well-formed journal never repeats one;
+    /// silently overwriting would lose a submission).
+    pub(crate) fn replay_session(
+        &self,
+        id: SessionId,
+        market: MarketId,
+        order: SessionOrder,
+    ) -> Result<()> {
+        if self.store.status(id).is_some() {
+            return Err(MarketError::InvalidConfig(format!(
+                "journal records session {id} twice"
+            )));
+        }
+        self.next_session.fetch_max(id.0 + 1, Ordering::Relaxed);
+        self.open_session(id, market, order)
+    }
+
+    /// Refills one journaled course result into the shared ΔG cache
+    /// (recovery): the training was paid for by the pre-crash run, so the
+    /// resumed drain serves it as a hit and never re-trains it.
+    pub(crate) fn preload_course(&self, eval_key: u64, bundle: BundleMask, gain: f64) {
+        self.cache.insert(eval_key, bundle, gain);
+        ExchangeMetrics::incr(&self.metrics.courses_preloaded);
+        self.record_with(|| ExchangeEvent::CourseServed {
+            eval_key,
+            bundle,
+            gain,
+        });
     }
 
     /// Posts a task party's demand: fans it out into one candidate
@@ -303,16 +450,7 @@ impl Exchange {
     /// demand (no overlapping seller, empty `wanted`, `probe_rounds == 0`)
     /// rejects the whole demand without opening any session.
     pub fn submit_demand(&self, demand: Demand) -> Result<DemandId> {
-        if demand.probe_rounds == 0 {
-            return Err(MarketError::InvalidConfig(
-                "demand probe_rounds must be >= 1".into(),
-            ));
-        }
-        if demand.wanted.is_empty() {
-            return Err(MarketError::InvalidConfig(
-                "demand wants no features (empty bundle mask)".into(),
-            ));
-        }
+        Self::validate_demand(&demand)?;
         // Snapshot the eligible sellers (registration order = slot order).
         let eligible: Vec<(SellerId, String, MarketId, QuotingFactory)> = {
             let sellers = self.sellers.read();
@@ -334,11 +472,41 @@ impl Exchange {
                 "no registered seller's catalog overlaps the demand".into(),
             ));
         }
+        let sessions = self.build_candidates(&demand, &eligible)?;
+        let ids: Vec<SessionId> = sessions
+            .iter()
+            .map(|_| SessionId(self.next_session.fetch_add(1, Ordering::Relaxed)))
+            .collect();
+        let did = self.match_book.allocate();
+        self.commit_demand(did, ids, eligible, sessions, &demand);
+        Ok(did)
+    }
+
+    fn validate_demand(demand: &Demand) -> Result<()> {
+        if demand.probe_rounds == 0 {
+            return Err(MarketError::InvalidConfig(
+                "demand probe_rounds must be >= 1".into(),
+            ));
+        }
+        if demand.wanted.is_empty() {
+            return Err(MarketError::InvalidConfig(
+                "demand wants no features (empty bundle mask)".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Builds one candidate session per eligible seller, each negotiating
+    /// over the wanted-overlapping subset of its seller's catalog (the
+    /// demand scopes the table, so a settled match can never deliver only
+    /// unrequested features). No shared state is touched.
+    fn build_candidates(
+        &self,
+        demand: &Demand,
+        eligible: &[(SellerId, String, MarketId, QuotingFactory)],
+    ) -> Result<Vec<ActiveSession>> {
         // One registry read for all candidate tables, dropped before any
-        // factory (user code) runs. Each candidate negotiates over the
-        // wanted-overlapping subset of its seller's catalog: the demand
-        // scopes the table, so a settled match can never deliver only
-        // unrequested features.
+        // factory (user code) runs.
         let tables: Vec<Arc<Vec<Listing>>> = {
             let markets = self.markets.read();
             eligible
@@ -355,10 +523,16 @@ impl Exchange {
                 })
                 .collect()
         };
-        // Build every candidate session before touching any shared state.
         let mut sessions = Vec::with_capacity(eligible.len());
-        for ((_, name, market, quoting), table) in eligible.iter().zip(&tables) {
-            debug_assert!(!table.is_empty(), "catalog overlap implies a listing");
+        for ((seller, name, market, quoting), table) in eligible.iter().zip(&tables) {
+            if table.is_empty() {
+                // Unreachable through `submit_demand` (eligibility implies
+                // overlap); a journal naming a non-overlapping seller is
+                // rejected here instead of failing at session start.
+                return Err(MarketError::InvalidConfig(format!(
+                    "candidate seller {seller} has no listing overlapping the demand"
+                )));
+            }
             let order = SessionOrder {
                 cfg: demand.cfg,
                 task: (demand.task)(),
@@ -368,21 +542,30 @@ impl Exchange {
             session.tag_seller(name);
             sessions.push(session);
         }
-        // Commit: ids, then the demand state (so any report finds it), then
-        // tagged sessions into the store, then one atomic batch into the
-        // pending queue (a concurrent drain sees all candidates or none).
-        let ids: Vec<SessionId> = sessions
-            .iter()
-            .map(|_| SessionId(self.next_session.fetch_add(1, Ordering::Relaxed)))
-            .collect();
+        Ok(sessions)
+    }
+
+    /// Commits a planned fan-out: the demand state (so any report finds
+    /// it), then tagged sessions into the store, then one atomic batch
+    /// into the pending queue (a concurrent drain sees all candidates or
+    /// none), then the journal record — one event for the whole fan-out.
+    fn commit_demand(
+        &self,
+        did: DemandId,
+        ids: Vec<SessionId>,
+        eligible: Vec<(SellerId, String, MarketId, QuotingFactory)>,
+        sessions: Vec<ActiveSession>,
+        demand: &Demand,
+    ) {
         let candidates: Vec<(SellerId, String, SessionId)> = eligible
             .iter()
             .zip(&ids)
             .map(|((seller, name, _, _), &sid)| (*seller, name.clone(), sid))
             .collect();
-        let did = self
-            .match_book
-            .open(DemandState::new(demand.cfg, demand.policy, candidates));
+        self.match_book.open_at(
+            did,
+            DemandState::new(demand.cfg, demand.policy.clone(), candidates),
+        );
         for ((slot, mut session), &sid) in sessions.into_iter().enumerate().zip(&ids) {
             session.set_match_tag(MatchTag {
                 demand: did,
@@ -393,9 +576,74 @@ impl Exchange {
             self.store.insert(sid, session);
             ExchangeMetrics::incr(&self.metrics.sessions_opened);
         }
+        self.record_with(|| ExchangeEvent::DemandSubmitted {
+            demand: did,
+            wanted: demand.wanted,
+            probe_rounds: demand.probe_rounds,
+            cfg_digest: wire::config_digest(&demand.cfg),
+            candidates: eligible
+                .iter()
+                .zip(&ids)
+                .map(|((seller, _, _, _), &sid)| (*seller, sid))
+                .collect(),
+        });
         self.pending.lock().extend(ids);
         ExchangeMetrics::incr(&self.metrics.demands_submitted);
-        Ok(did)
+    }
+
+    /// Recovery path of [`Self::submit_demand`]: re-opens a journaled
+    /// demand under its recorded ids. The fan-out is **not** re-derived
+    /// from eligibility — the journal's candidate list is the truth (a
+    /// seller registration that raced the original submission must not
+    /// grow the replayed fan-out) — but every recorded seller must still
+    /// resolve and overlap the demand.
+    pub(crate) fn replay_demand(
+        &self,
+        did: DemandId,
+        demand: Demand,
+        recorded: &[(SellerId, SessionId)],
+    ) -> Result<()> {
+        Self::validate_demand(&demand)?;
+        if recorded.is_empty() {
+            return Err(MarketError::InvalidConfig(
+                "journaled demand has an empty fan-out".into(),
+            ));
+        }
+        // Reject duplicate recorded ids instead of silently overwriting
+        // state (the store/book uniqueness guards are debug-only).
+        if self.match_book.status(did).is_some() {
+            return Err(MarketError::InvalidConfig(format!(
+                "journal records demand {did} twice"
+            )));
+        }
+        for &(_, sid) in recorded {
+            if self.store.status(sid).is_some() {
+                return Err(MarketError::InvalidConfig(format!(
+                    "journal records candidate session {sid} twice"
+                )));
+            }
+        }
+        let eligible: Vec<(SellerId, String, MarketId, QuotingFactory)> = {
+            let sellers = self.sellers.read();
+            recorded
+                .iter()
+                .map(|&(sid, _)| {
+                    let s = sellers.get(sid.0).ok_or_else(|| {
+                        MarketError::InvalidConfig(format!(
+                            "journaled demand names unregistered seller {sid}"
+                        ))
+                    })?;
+                    Ok((sid, s.name.clone(), s.market, s.quoting.clone()))
+                })
+                .collect::<Result<_>>()?
+        };
+        let sessions = self.build_candidates(&demand, &eligible)?;
+        let ids: Vec<SessionId> = recorded.iter().map(|&(_, sid)| sid).collect();
+        for &id in &ids {
+            self.next_session.fetch_max(id.0 + 1, Ordering::Relaxed);
+        }
+        self.commit_demand(did, ids, eligible, sessions, &demand);
+        Ok(())
     }
 
     /// Point-in-time status of a demand (`None` for unknown/taken ids).
@@ -441,6 +689,7 @@ impl Exchange {
             demands_submitted: self.metrics.demands_submitted.load(Ordering::Relaxed),
             demands_settled: self.metrics.demands_settled.load(Ordering::Relaxed),
             demands_matched: self.metrics.demands_matched.load(Ordering::Relaxed),
+            courses_preloaded: self.metrics.courses_preloaded.load(Ordering::Relaxed),
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
         }
@@ -567,19 +816,48 @@ impl Exchange {
         }
     }
 
-    /// Records a candidate quote and, when it completes the demand,
-    /// applies the settlement: wake the winner past its horizon, cancel
-    /// parked losers. Runs inside the reporting worker's slice; returns
-    /// how many sessions it cancelled so the slice's notice can attribute
-    /// them to the drain that did the work.
-    fn report_quote(&self, demand: DemandId, slot: usize, quote: QuoteState) -> usize {
-        let Some(settlement) = self.match_book.report(demand, slot, quote) else {
+    /// Records a candidate quote (with its round history, for probe-spend
+    /// accounting) and, when it completes the demand, applies the
+    /// settlement: wake the winner past its horizon, cancel parked
+    /// losers. Runs inside the reporting worker's slice; returns how many
+    /// sessions it cancelled so the slice's notice can attribute them to
+    /// the drain that did the work.
+    fn report_quote(
+        &self,
+        demand: DemandId,
+        slot: usize,
+        quote: QuoteState,
+        history: Vec<RoundRecord>,
+    ) -> usize {
+        let kind = match &quote {
+            QuoteState::Standing(_) => QuoteKind::Standing,
+            QuoteState::Closed { .. } => QuoteKind::Closed,
+            QuoteState::Error(_) => QuoteKind::Error,
+        };
+        let rounds = history.len() as u32;
+        let settlement = self.match_book.report(demand, slot, quote, history);
+        self.record_with(|| ExchangeEvent::QuoteRecorded {
+            demand,
+            slot: slot as u32,
+            kind,
+            rounds,
+        });
+        let Some(settlement) = settlement else {
             return 0;
         };
         ExchangeMetrics::incr(&self.metrics.demands_settled);
         if settlement.matched {
             ExchangeMetrics::incr(&self.metrics.demands_matched);
         }
+        // Settlement critical section: the decision is made (and the
+        // report visible in the match book) but neither journaled nor
+        // applied yet — the injectable crash window replay must survive.
+        self.crash_point(CrashPoint::SettlementDecided(demand));
+        self.record_with(|| ExchangeEvent::DemandSettled {
+            demand,
+            winner: settlement.winner.map(|w| w as u32),
+        });
+        self.crash_point(CrashPoint::SettlementRecorded(demand));
         let mut cancelled = 0usize;
         for action in settlement.actions {
             match action {
@@ -598,6 +876,20 @@ impl Exchange {
                     if let Some(mut session) = self.store.check_out(sid) {
                         let result = session.cancel();
                         ExchangeMetrics::incr(&self.metrics.sessions_cancelled);
+                        match &result {
+                            Ok(outcome) => self.record_with(|| ExchangeEvent::SessionConcluded {
+                                session: sid,
+                                status: wire::status_code(outcome.status),
+                                rounds: outcome.n_rounds() as u32,
+                                digest: wire::outcome_digest(outcome),
+                            }),
+                            Err(_) => self.record_with(|| ExchangeEvent::SessionConcluded {
+                                session: sid,
+                                status: wire::STATUS_HARD_ERROR,
+                                rounds: 0,
+                                digest: 0,
+                            }),
+                        }
                         self.store.finish(sid, result);
                         cancelled += 1;
                     } else {
@@ -624,6 +916,8 @@ impl Exchange {
             // was still on a waitlist). Nothing to run, nothing to count.
             return plain(NoticeKind::Parked);
         };
+        self.crash_point(CrashPoint::Dispatched(id));
+        self.record_with(|| ExchangeEvent::SessionDispatched { session: id });
         let (provider, eval_key) = {
             let markets = self.markets.read();
             let entry = &markets[session.market.0];
@@ -641,10 +935,15 @@ impl Exchange {
                 let standing = session
                     .standing_quote()
                     .expect("probe horizon implies a completed round");
+                let history = session.round_history();
                 self.add_rounds(session.rounds_so_far() - rounds_before);
                 self.store.check_in(id, session);
-                let cancelled =
-                    self.report_quote(tag.demand, tag.slot, QuoteState::Standing(standing));
+                let cancelled = self.report_quote(
+                    tag.demand,
+                    tag.slot,
+                    QuoteState::Standing(standing),
+                    history,
+                );
                 return Notice {
                     kind: NoticeKind::Parked,
                     cancelled,
@@ -661,9 +960,34 @@ impl Exchange {
                     }
                     ExchangeMetrics::incr(&self.metrics.courses_requested);
                     match self.cache.serve(eval_key, bundle, provider.as_ref()) {
-                        Ok(CourseServe::Hit(g)) => session.drive(Some(g)),
+                        Ok(CourseServe::Hit(g)) => {
+                            self.record_with(|| ExchangeEvent::CourseRequested {
+                                session: id,
+                                eval_key,
+                                bundle,
+                            });
+                            session.drive(Some(g))
+                        }
                         Ok(CourseServe::Computed(g)) => {
                             paid_course = true;
+                            // Course critical section: the training is paid
+                            // but not yet journaled — a crash here loses the
+                            // receipt, and recovery legitimately re-trains.
+                            self.crash_point(CrashPoint::CourseTrained {
+                                session: id,
+                                eval_key,
+                                bundle,
+                            });
+                            self.record_with(|| ExchangeEvent::CourseServed {
+                                eval_key,
+                                bundle,
+                                gain: g,
+                            });
+                            self.crash_point(CrashPoint::CourseRecorded {
+                                session: id,
+                                eval_key,
+                                bundle,
+                            });
                             // Wake-on-insert: the result is cached, so
                             // sessions that hit Busy on this key resume.
                             self.wake_course_waiters(eval_key, bundle);
@@ -724,9 +1048,19 @@ impl Exchange {
                         status: outcome.status,
                         last: outcome.final_record().copied(),
                     });
+                    let history = tag.map(|_| outcome.rounds.clone());
+                    self.crash_point(CrashPoint::Concluding(id));
+                    self.record_with(|| ExchangeEvent::SessionConcluded {
+                        session: id,
+                        status: wire::status_code(outcome.status),
+                        rounds: outcome.n_rounds() as u32,
+                        digest: wire::outcome_digest(&outcome),
+                    });
                     self.store.finish(id, Ok(outcome));
-                    let cancelled = match (tag, quote) {
-                        (Some(tag), Some(quote)) => self.report_quote(tag.demand, tag.slot, quote),
+                    let cancelled = match (tag, quote, history) {
+                        (Some(tag), Some(quote), Some(history)) => {
+                            self.report_quote(tag.demand, tag.slot, quote, history)
+                        }
                         _ => 0,
                     };
                     return Notice {
@@ -738,13 +1072,21 @@ impl Exchange {
                     ExchangeMetrics::incr(&self.metrics.sessions_failed);
                     self.add_rounds(session.rounds_so_far().saturating_sub(rounds_before));
                     let tag = session.match_tag().filter(|t| !t.released).copied();
+                    let history = tag.map(|_| session.round_history());
                     let msg = e.to_string();
+                    self.crash_point(CrashPoint::Concluding(id));
+                    self.record_with(|| ExchangeEvent::SessionConcluded {
+                        session: id,
+                        status: wire::STATUS_HARD_ERROR,
+                        rounds: session.rounds_so_far() as u32,
+                        digest: 0,
+                    });
                     self.store.finish(id, Err(e));
-                    let cancelled = match tag {
-                        Some(tag) => {
-                            self.report_quote(tag.demand, tag.slot, QuoteState::Error(msg))
+                    let cancelled = match (tag, history) {
+                        (Some(tag), Some(history)) => {
+                            self.report_quote(tag.demand, tag.slot, QuoteState::Error(msg), history)
                         }
-                        None => 0,
+                        _ => 0,
                     };
                     return Notice {
                         kind: NoticeKind::Finished { closed: false },
@@ -766,5 +1108,185 @@ impl std::fmt::Debug for Exchange {
             .field("cache_entries", &self.cache.len())
             .field("course_waiters", &self.waitlist.waiting())
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Barrier;
+    use vfl_market::{
+        DataContext, DataResponse, DataStrategy, ReservedPrice, StrategicData, StrategicTask,
+        TableGainProvider,
+    };
+
+    /// A data strategy that counts every `respond` call — driving a session
+    /// is observable, so a test can prove a session was *never* driven.
+    struct CountingData {
+        inner: StrategicData,
+        calls: Arc<AtomicU64>,
+    }
+
+    impl DataStrategy for CountingData {
+        fn respond(
+            &mut self,
+            ctx: &DataContext<'_>,
+            listings: &[Listing],
+            cfg: &vfl_market::MarketConfig,
+            rng: &mut rand::rngs::StdRng,
+        ) -> Result<DataResponse> {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            self.inner.respond(ctx, listings, cfg, rng)
+        }
+
+        fn observe_course(&mut self, bundle: BundleMask, gain: f64) {
+            self.inner.observe_course(bundle, gain);
+        }
+
+        fn name(&self) -> &'static str {
+            "counting"
+        }
+    }
+
+    fn market_fixture(exchange: &Exchange) -> (MarketId, Vec<f64>) {
+        let gains = vec![0.05, 0.12, 0.20, 0.30];
+        let listings: Vec<Listing> = [(5.0, 0.8), (7.0, 1.0), (9.0, 1.2), (11.0, 1.5)]
+            .iter()
+            .enumerate()
+            .map(|(i, &(rate, base))| Listing {
+                bundle: BundleMask::singleton(i),
+                reserved: ReservedPrice::new(rate, base).unwrap(),
+            })
+            .collect();
+        let provider =
+            TableGainProvider::new(listings.iter().zip(&gains).map(|(l, &g)| (l.bundle, g)));
+        let market = exchange
+            .register_market(MarketSpec {
+                provider: Arc::new(provider),
+                listings: Arc::new(listings),
+                evaluation_key: Some(7),
+                name: "race".into(),
+            })
+            .unwrap();
+        (market, gains)
+    }
+
+    fn counted_order(gains: &[f64], calls: &Arc<AtomicU64>) -> SessionOrder {
+        SessionOrder {
+            cfg: vfl_market::MarketConfig {
+                utility_rate: 1000.0,
+                budget: 12.0,
+                rate_cap: 20.0,
+                seed: 3,
+                ..vfl_market::MarketConfig::default()
+            },
+            task: Box::new(StrategicTask::new(0.30, 6.0, 0.9).unwrap()),
+            data: Box::new(CountingData {
+                inner: StrategicData::with_gains(gains.to_vec()),
+                calls: calls.clone(),
+            }),
+        }
+    }
+
+    /// The cancel-arbitrated waitlist race, pinned deterministically: a
+    /// losing candidate can sit on the course waitlist when its demand
+    /// settles, so the settlement's `Cancel` races the trainer's
+    /// wake-on-insert. Whatever the interleaving, the wake must never
+    /// drive the cancelled session — the woken dispatch finds a terminal
+    /// slot and drops as spurious. Three schedules: cancel-then-wake,
+    /// wake-then-cancel, and both sides racing from a barrier.
+    #[test]
+    fn waitlist_wake_never_drives_a_cancelled_session() {
+        let cancel_side = |exchange: &Exchange, sid: SessionId| {
+            // Exactly what `SettleAction::Cancel` does in `report_quote`.
+            let mut session = exchange
+                .store
+                .check_out(sid)
+                .expect("parked losers are checked in");
+            let result = session.cancel();
+            exchange.store.finish(sid, result);
+        };
+        let wake_side = |exchange: &Exchange, key: (u64, BundleMask)| {
+            // Exactly what the trainer does after landing (or failing) the
+            // in-flight course this waiter parked on.
+            exchange.wake_course_waiters(key.0, key.1);
+        };
+        let run_schedule = |schedule: usize| {
+            let exchange = Exchange::new(ExchangeConfig::default());
+            let (market, gains) = market_fixture(&exchange);
+            let calls = Arc::new(AtomicU64::new(0));
+            let sid = exchange
+                .submit(market, counted_order(&gains, &calls))
+                .unwrap();
+            // Park the session on the waitlist as a Busy waiter would
+            // (checked in — `submit` left it Ready — then enqueued).
+            let bundle = BundleMask::singleton(0);
+            let key = (7u64, bundle);
+            exchange.waitlist.enqueue((key.0, bundle.0), sid);
+            // Drop the submit-time pending entry: the session's only route
+            // back to a worker is the waitlist wake under test.
+            exchange.pending.lock().clear();
+
+            match schedule {
+                0 => {
+                    cancel_side(&exchange, sid);
+                    wake_side(&exchange, key);
+                }
+                1 => {
+                    wake_side(&exchange, key);
+                    cancel_side(&exchange, sid);
+                }
+                _ => {
+                    let barrier = Barrier::new(2);
+                    crossbeam::thread::scope(|scope| {
+                        scope.spawn(|_| {
+                            barrier.wait();
+                            cancel_side(&exchange, sid);
+                        });
+                        scope.spawn(|_| {
+                            barrier.wait();
+                            wake_side(&exchange, key);
+                        });
+                    })
+                    .expect("race scope");
+                }
+            }
+
+            // The wake requeued the id (order 0/1/2 all leave it pending
+            // unless the wake ran before the enqueue was visible — it
+            // cannot: enqueue happens before both sides start).
+            let woken: Vec<SessionId> = exchange.pending.lock().drain(..).collect();
+            assert_eq!(woken, vec![sid], "schedule {schedule}: exactly one wake");
+            // Dispatching the woken id must be a spurious no-op: the
+            // session is terminal (cancelled), never driven.
+            let notice = exchange.run_slice(sid);
+            assert!(
+                matches!(notice.kind, NoticeKind::Parked),
+                "schedule {schedule}: woken dispatch of a cancelled session must drop"
+            );
+            assert_eq!(notice.cancelled, 0);
+            assert_eq!(
+                calls.load(Ordering::SeqCst),
+                0,
+                "schedule {schedule}: a cancelled session's strategies never run"
+            );
+            match exchange.poll(sid) {
+                Some(SessionStatus::Failed(_)) => panic!("cancel is orderly, not an error"),
+                Some(SessionStatus::Done(outcome)) => assert_eq!(
+                    outcome.status,
+                    vfl_market::OutcomeStatus::Failed {
+                        reason: vfl_market::FailureReason::Cancelled
+                    },
+                    "schedule {schedule}"
+                ),
+                other => panic!("schedule {schedule}: unexpected status {other:?}"),
+            }
+            assert_eq!(exchange.waitlist.waiting(), 0, "schedule {schedule}");
+        };
+        run_schedule(0);
+        run_schedule(1);
+        for _ in 0..64 {
+            run_schedule(2);
+        }
     }
 }

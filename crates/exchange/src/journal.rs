@@ -1,0 +1,1490 @@
+//! Durable append-only event journal and crash-replay recovery.
+//!
+//! A trading platform that crashes mid-drain must come back without
+//! re-training models it already paid for and without corrupting
+//! settlements. The journal makes that possible with a deliberately small
+//! trust base: every *input* to the exchange (registrations, submissions)
+//! and every *expensive, non-recomputable* step (a trained ΔG course) is
+//! recorded at its linearization point; everything else — quotes, round
+//! records, settlement decisions, final outcomes — is deterministic given
+//! those inputs, so recovery **recomputes** it instead of trusting bytes
+//! on disk. Audit events (dispatches, course requests, quote reports,
+//! settlements, conclusions) are journaled too, but replay only verifies
+//! against them; it never short-circuits through them.
+//!
+//! ## Record layout
+//!
+//! Each event is one self-delimiting frame:
+//!
+//! ```text
+//! ┌──────┬─────────┬──────────────┬──────────────────┬────────────────┐
+//! │ 0xEJ │ version │ len: u32 LE  │ payload (len B)  │ fnv64: u64 LE  │
+//! │ 1 B  │ 1 B     │ 4 B          │ tag + fields     │ over bytes 0.. │
+//! └──────┴─────────┴──────────────┴──────────────────┴────────────────┘
+//! ```
+//!
+//! The checksum is FNV-1a 64 ([`vfl_market::session::wire::fnv64`]) over
+//! the magic, version, length, and payload bytes. Payload fields are
+//! fixed-width little-endian (f64 as IEEE bit patterns); strings are
+//! `u16` length + UTF-8 bytes. The format is versioned and append-only:
+//! tags and codes are never reused.
+//!
+//! ## Truncation rule
+//!
+//! A journal's readable content is its **longest valid prefix**: parsing
+//! stops at the first frame that is incomplete (fewer bytes than the
+//! header promises — the torn tail of a crashed write), has a wrong magic
+//! or version byte, or fails its checksum. The invalid tail is *dropped,
+//! never misparsed* — a partial final record cannot smear into a bogus
+//! event — and its byte count is reported so operators can distinguish a
+//! clean shutdown (0 dropped) from a torn one.
+//!
+//! ## Replay safety (why recovery never re-trains a paid course)
+//!
+//! [`Exchange::recover`] rebuilds an exchange from a journal prefix plus a
+//! [`ReplaySpec`] (the operator's durable configuration: market/seller
+//! specs and strategy factories — closures cannot live in a byte log):
+//!
+//! 1. registrations are re-applied in journal order (ids are assigned
+//!    under the registration locks, so journal order *is* id order) and
+//!    verified against the recorded fingerprints;
+//! 2. every [`ExchangeEvent::CourseServed`] refills the shared ΔG cache —
+//!    these are the paid trainings;
+//! 3. every recorded submission is re-opened **from round one** under its
+//!    recorded id, with its config digest checked against the spec.
+//!
+//! The next [`Exchange::drain`] then re-drives every session through the
+//! ordinary worker pool. Because negotiations are deterministic given
+//! (config, strategies, course results) — the property the session-
+//! equivalence suites pin — re-driving reproduces the pre-crash run bit
+//! for bit, and every course the crashed run paid for is a cache *hit*:
+//! the gain provider is invoked only for courses the journal never
+//! acknowledged. Waitlist and match state need no persistence at all:
+//! both exist only to coordinate in-flight work, and after recovery
+//! nothing is in flight — parked sessions are simply pending again, and
+//! demands re-probe (from cache) and re-settle to the same winner.
+//! `crates/bench/tests/replay_equivalence.rs` proves all of this by
+//! truncating real journals at every event boundary.
+//!
+//! ## Fault injection
+//!
+//! [`CrashPoint`] names the instants *inside* the dispatcher's critical
+//! sections (course trained but not yet journaled, settlement decided but
+//! not yet recorded, …). A hook installed with
+//! [`Exchange::set_crash_hook`] observes them and typically calls
+//! [`Journal::seal`] — freezing the journal exactly as a crash would —
+//! while the in-memory run continues as the uncrashed reference.
+
+use parking_lot::Mutex;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use vfl_market::session::wire;
+use vfl_sim::BundleMask;
+
+use crate::exchange::{Exchange, ExchangeConfig, MarketId, MarketSpec};
+use crate::matching::{Demand, DemandId, SellerId, SellerSpec};
+use crate::session::SessionOrder;
+use crate::store::SessionId;
+
+const MAGIC: u8 = 0xEA;
+const VERSION: u8 = 1;
+const HEADER: usize = 6; // magic + version + u32 length
+const TRAILER: usize = 8; // fnv64 checksum
+
+/// Content fingerprint of a full listing table: every bundle's bits and
+/// both reserved-price components, folded in table order. Registration
+/// events record it so recovery rejects a spec whose table drifted in any
+/// way the coarser count/catalog fingerprints cannot see (edited
+/// reserves, reordered listings with the same feature union).
+pub fn listing_table_digest(listings: &[vfl_market::Listing]) -> u64 {
+    let mut h = wire::fnv64(&[]);
+    for l in listings {
+        h = wire::fnv64_fold(h, l.bundle.0);
+        h = wire::fnv64_fold(h, l.reserved.rate.to_bits());
+        h = wire::fnv64_fold(h, l.reserved.base.to_bits());
+    }
+    h
+}
+
+/// A candidate's reported shape, as journaled in
+/// [`ExchangeEvent::QuoteRecorded`] (the full quote lives in the
+/// recomputed [`crate::DemandReport`], not in the journal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuoteKind {
+    /// Parked at the probe horizon with a standing quote.
+    Standing,
+    /// Reached its own protocol conclusion before the horizon.
+    Closed,
+    /// Died on a hard error.
+    Error,
+}
+
+impl QuoteKind {
+    fn code(self) -> u8 {
+        match self {
+            QuoteKind::Standing => 0,
+            QuoteKind::Closed => 1,
+            QuoteKind::Error => 2,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => QuoteKind::Standing,
+            1 => QuoteKind::Closed,
+            2 => QuoteKind::Error,
+            _ => return None,
+        })
+    }
+}
+
+/// One journaled fact. Registrations, submissions, and served courses are
+/// load-bearing for recovery; the rest are the audit trail (see the module
+/// doc for the replay-safety argument).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExchangeEvent {
+    /// A market registered via [`Exchange::register_market`].
+    MarketRegistered {
+        /// The assigned market id (journal order is id order).
+        market: MarketId,
+        /// The effective cache key (private markets get the high-bit key).
+        eval_key: u64,
+        /// True when the registrant passed no evaluation key.
+        private: bool,
+        /// Listing-table size (spec fingerprint for recovery).
+        listings: u32,
+        /// Union of all listed bundles (spec fingerprint for recovery).
+        catalog: BundleMask,
+        /// [`listing_table_digest`] of the full table — bundles *and*
+        /// reserved prices, in order — so a spec with edited reserves or a
+        /// reordered table is rejected, not silently re-negotiated.
+        table_digest: u64,
+        /// The market's display name.
+        name: String,
+    },
+    /// A data party registered via [`Exchange::register_seller`] (covers
+    /// the seller's market registration too — one atomic record).
+    SellerRegistered {
+        /// The assigned seller id.
+        seller: SellerId,
+        /// The assigned id of the seller's market.
+        market: MarketId,
+        /// The market's effective cache key.
+        eval_key: u64,
+        /// True when the seller's market has a private cache space.
+        private: bool,
+        /// Listing-table size (spec fingerprint for recovery).
+        listings: u32,
+        /// The seller's feature catalog (spec fingerprint for recovery).
+        catalog: BundleMask,
+        /// [`listing_table_digest`] of the seller's full listing table.
+        table_digest: u64,
+        /// The seller's display name.
+        name: String,
+    },
+    /// A plain negotiation accepted by [`Exchange::submit`].
+    SessionSubmitted {
+        /// The assigned session id.
+        session: SessionId,
+        /// The market it negotiates on.
+        market: MarketId,
+        /// [`wire::config_digest`] of the order's config — recovery
+        /// refuses a spec whose rebuilt order disagrees.
+        cfg_digest: u64,
+    },
+    /// A demand accepted by [`Exchange::submit_demand`], with its whole
+    /// candidate fan-out (one atomic record: a prefix never sees half a
+    /// demand).
+    DemandSubmitted {
+        /// The assigned demand id.
+        demand: DemandId,
+        /// The demand's wanted-feature mask.
+        wanted: BundleMask,
+        /// The probe horizon.
+        probe_rounds: u32,
+        /// [`wire::config_digest`] of the demand config.
+        cfg_digest: u64,
+        /// The fan-out: `(seller, candidate session)` in slot order.
+        candidates: Vec<(SellerId, SessionId)>,
+    },
+    /// A worker slice picked the session up (audit/throughput trail).
+    SessionDispatched {
+        /// The dispatched session.
+        session: SessionId,
+    },
+    /// A session's course request was answered from the shared ΔG cache
+    /// (audit trail). A request that *trains* is recorded as
+    /// [`ExchangeEvent::CourseServed`] instead — every answered request is
+    /// exactly one of the two — and `Busy` waits are neither (they retry).
+    CourseRequested {
+        /// The requesting session.
+        session: SessionId,
+        /// The course's cache space.
+        eval_key: u64,
+        /// The evaluated bundle.
+        bundle: BundleMask,
+    },
+    /// A course was **trained** and its ΔG is now cached — the paid,
+    /// non-recomputable step recovery must never repeat. Load-bearing.
+    CourseServed {
+        /// The course's cache space.
+        eval_key: u64,
+        /// The trained bundle.
+        bundle: BundleMask,
+        /// The realized ΔG.
+        gain: f64,
+    },
+    /// A matching candidate reported to its demand (audit trail).
+    QuoteRecorded {
+        /// The demand reported to.
+        demand: DemandId,
+        /// The candidate's slot.
+        slot: u32,
+        /// The report's shape.
+        kind: QuoteKind,
+        /// Completed rounds at report time (probe spend).
+        rounds: u32,
+    },
+    /// A demand's settlement ran (audit trail; `winner: None` records a
+    /// no-match settlement — every parked candidate was cancelled).
+    DemandSettled {
+        /// The settled demand.
+        demand: DemandId,
+        /// Winning slot index, if the policy matched.
+        winner: Option<u32>,
+    },
+    /// A session reached a terminal state (audit trail; replay re-derives
+    /// the outcome and can verify it against `digest`).
+    SessionConcluded {
+        /// The terminal session.
+        session: SessionId,
+        /// [`wire::status_code`] of the outcome, or
+        /// [`wire::STATUS_HARD_ERROR`] for a hard error.
+        status: u16,
+        /// Rounds in the final outcome (0 for hard errors).
+        rounds: u32,
+        /// [`wire::outcome_digest`] of the outcome (0 for hard errors).
+        digest: u64,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    assert!(
+        bytes.len() <= u16::MAX as usize,
+        "journal strings are short"
+    );
+    put_u16(buf, bytes.len() as u16);
+    buf.extend_from_slice(bytes);
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        self.take(2)
+            .map(|b| u16::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+impl ExchangeEvent {
+    /// Encodes the event's payload (tag byte + fields, no frame).
+    fn payload(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(32);
+        match self {
+            ExchangeEvent::MarketRegistered {
+                market,
+                eval_key,
+                private,
+                listings,
+                catalog,
+                table_digest,
+                name,
+            } => {
+                buf.push(1);
+                put_u32(&mut buf, market.0 as u32);
+                put_u64(&mut buf, *eval_key);
+                buf.push(*private as u8);
+                put_u32(&mut buf, *listings);
+                put_u64(&mut buf, catalog.0);
+                put_u64(&mut buf, *table_digest);
+                put_str(&mut buf, name);
+            }
+            ExchangeEvent::SellerRegistered {
+                seller,
+                market,
+                eval_key,
+                private,
+                listings,
+                catalog,
+                table_digest,
+                name,
+            } => {
+                buf.push(2);
+                put_u32(&mut buf, seller.0 as u32);
+                put_u32(&mut buf, market.0 as u32);
+                put_u64(&mut buf, *eval_key);
+                buf.push(*private as u8);
+                put_u32(&mut buf, *listings);
+                put_u64(&mut buf, catalog.0);
+                put_u64(&mut buf, *table_digest);
+                put_str(&mut buf, name);
+            }
+            ExchangeEvent::SessionSubmitted {
+                session,
+                market,
+                cfg_digest,
+            } => {
+                buf.push(3);
+                put_u64(&mut buf, session.0);
+                put_u32(&mut buf, market.0 as u32);
+                put_u64(&mut buf, *cfg_digest);
+            }
+            ExchangeEvent::DemandSubmitted {
+                demand,
+                wanted,
+                probe_rounds,
+                cfg_digest,
+                candidates,
+            } => {
+                buf.push(4);
+                put_u64(&mut buf, demand.0);
+                put_u64(&mut buf, wanted.0);
+                put_u32(&mut buf, *probe_rounds);
+                put_u64(&mut buf, *cfg_digest);
+                put_u32(&mut buf, candidates.len() as u32);
+                for (seller, session) in candidates {
+                    put_u32(&mut buf, seller.0 as u32);
+                    put_u64(&mut buf, session.0);
+                }
+            }
+            ExchangeEvent::SessionDispatched { session } => {
+                buf.push(5);
+                put_u64(&mut buf, session.0);
+            }
+            ExchangeEvent::CourseRequested {
+                session,
+                eval_key,
+                bundle,
+            } => {
+                buf.push(6);
+                put_u64(&mut buf, session.0);
+                put_u64(&mut buf, *eval_key);
+                put_u64(&mut buf, bundle.0);
+            }
+            ExchangeEvent::CourseServed {
+                eval_key,
+                bundle,
+                gain,
+            } => {
+                buf.push(7);
+                put_u64(&mut buf, *eval_key);
+                put_u64(&mut buf, bundle.0);
+                put_u64(&mut buf, gain.to_bits());
+            }
+            ExchangeEvent::QuoteRecorded {
+                demand,
+                slot,
+                kind,
+                rounds,
+            } => {
+                buf.push(8);
+                put_u64(&mut buf, demand.0);
+                put_u32(&mut buf, *slot);
+                buf.push(kind.code());
+                put_u32(&mut buf, *rounds);
+            }
+            ExchangeEvent::DemandSettled { demand, winner } => {
+                buf.push(9);
+                put_u64(&mut buf, demand.0);
+                match winner {
+                    Some(w) => {
+                        buf.push(1);
+                        put_u32(&mut buf, *w);
+                    }
+                    None => buf.push(0),
+                }
+            }
+            ExchangeEvent::SessionConcluded {
+                session,
+                status,
+                rounds,
+                digest,
+            } => {
+                buf.push(10);
+                put_u64(&mut buf, session.0);
+                put_u16(&mut buf, *status);
+                put_u32(&mut buf, *rounds);
+                put_u64(&mut buf, *digest);
+            }
+        }
+        buf
+    }
+
+    /// Decodes one payload. `None` for unknown tags or malformed fields
+    /// (the caller treats both as end-of-valid-prefix).
+    fn decode(payload: &[u8]) -> Option<ExchangeEvent> {
+        let mut r = Reader::new(payload);
+        let event = match r.u8()? {
+            1 => ExchangeEvent::MarketRegistered {
+                market: MarketId(r.u32()? as usize),
+                eval_key: r.u64()?,
+                private: r.u8()? != 0,
+                listings: r.u32()?,
+                catalog: BundleMask(r.u64()?),
+                table_digest: r.u64()?,
+                name: r.str()?,
+            },
+            2 => ExchangeEvent::SellerRegistered {
+                seller: SellerId(r.u32()? as usize),
+                market: MarketId(r.u32()? as usize),
+                eval_key: r.u64()?,
+                private: r.u8()? != 0,
+                listings: r.u32()?,
+                catalog: BundleMask(r.u64()?),
+                table_digest: r.u64()?,
+                name: r.str()?,
+            },
+            3 => ExchangeEvent::SessionSubmitted {
+                session: SessionId(r.u64()?),
+                market: MarketId(r.u32()? as usize),
+                cfg_digest: r.u64()?,
+            },
+            4 => {
+                let demand = DemandId(r.u64()?);
+                let wanted = BundleMask(r.u64()?);
+                let probe_rounds = r.u32()?;
+                let cfg_digest = r.u64()?;
+                let n = r.u32()? as usize;
+                let mut candidates = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    candidates.push((SellerId(r.u32()? as usize), SessionId(r.u64()?)));
+                }
+                ExchangeEvent::DemandSubmitted {
+                    demand,
+                    wanted,
+                    probe_rounds,
+                    cfg_digest,
+                    candidates,
+                }
+            }
+            5 => ExchangeEvent::SessionDispatched {
+                session: SessionId(r.u64()?),
+            },
+            6 => ExchangeEvent::CourseRequested {
+                session: SessionId(r.u64()?),
+                eval_key: r.u64()?,
+                bundle: BundleMask(r.u64()?),
+            },
+            7 => ExchangeEvent::CourseServed {
+                eval_key: r.u64()?,
+                bundle: BundleMask(r.u64()?),
+                gain: r.f64()?,
+            },
+            8 => ExchangeEvent::QuoteRecorded {
+                demand: DemandId(r.u64()?),
+                slot: r.u32()?,
+                kind: QuoteKind::from_code(r.u8()?)?,
+                rounds: r.u32()?,
+            },
+            9 => {
+                let demand = DemandId(r.u64()?);
+                let winner = match r.u8()? {
+                    0 => None,
+                    1 => Some(r.u32()?),
+                    _ => return None,
+                };
+                ExchangeEvent::DemandSettled { demand, winner }
+            }
+            10 => ExchangeEvent::SessionConcluded {
+                session: SessionId(r.u64()?),
+                status: r.u16()?,
+                rounds: r.u32()?,
+                digest: r.u64()?,
+            },
+            _ => return None,
+        };
+        if !r.done() {
+            return None; // trailing garbage inside a framed payload
+        }
+        Some(event)
+    }
+
+    /// Encodes the event as one complete frame (header + payload +
+    /// checksum), exactly as [`Journal::append`] writes it.
+    pub fn encode_frame(&self) -> Vec<u8> {
+        let payload = self.payload();
+        let mut frame = Vec::with_capacity(HEADER + payload.len() + TRAILER);
+        frame.push(MAGIC);
+        frame.push(VERSION);
+        put_u32(&mut frame, payload.len() as u32);
+        frame.extend_from_slice(&payload);
+        let sum = wire::fnv64(&frame);
+        put_u64(&mut frame, sum);
+        frame
+    }
+}
+
+/// Parses one frame at `bytes[..]`. `Ok((event, frame_len))` on success,
+/// `Err(())` when the prefix at this offset is torn, corrupt, or from an
+/// unknown version — the caller stops there (truncation rule).
+fn parse_frame(bytes: &[u8]) -> Result<(ExchangeEvent, usize), ()> {
+    if bytes.len() < HEADER {
+        return Err(());
+    }
+    if bytes[0] != MAGIC || bytes[1] != VERSION {
+        return Err(());
+    }
+    let len = u32::from_le_bytes(bytes[2..6].try_into().unwrap()) as usize;
+    let total = HEADER + len + TRAILER;
+    if bytes.len() < total {
+        return Err(());
+    }
+    let sum = wire::fnv64(&bytes[..HEADER + len]);
+    let recorded = u64::from_le_bytes(bytes[HEADER + len..total].try_into().unwrap());
+    if sum != recorded {
+        return Err(());
+    }
+    let event = ExchangeEvent::decode(&bytes[HEADER..HEADER + len]).ok_or(())?;
+    Ok((event, total))
+}
+
+/// Decodes a journal's longest valid prefix. Returns the events plus the
+/// number of trailing bytes dropped by the truncation rule (0 for a clean
+/// journal).
+pub fn read_events(bytes: &[u8]) -> (Vec<ExchangeEvent>, usize) {
+    let mut events = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        match parse_frame(&bytes[pos..]) {
+            Ok((event, len)) => {
+                events.push(event);
+                pos += len;
+            }
+            Err(()) => break,
+        }
+    }
+    (events, bytes.len() - pos)
+}
+
+/// Byte offsets of every event boundary in a journal: `offsets[i]` is the
+/// end of the `i`-th frame (and the start of the next), so truncating at
+/// each offset exercises every possible between-events crash. The
+/// equivalence suite iterates exactly this list.
+pub fn frame_boundaries(bytes: &[u8]) -> Vec<usize> {
+    let mut offsets = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        match parse_frame(&bytes[pos..]) {
+            Ok((_, len)) => {
+                pos += len;
+                offsets.push(pos);
+            }
+            Err(()) => break,
+        }
+    }
+    offsets
+}
+
+// ---------------------------------------------------------------------------
+// Journal writer
+// ---------------------------------------------------------------------------
+
+/// A shared in-memory journal sink (what [`Journal::in_memory`] writes
+/// into); cloneable, snapshot anytime.
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink {
+    buf: Arc<Mutex<Vec<u8>>>,
+}
+
+impl MemorySink {
+    /// A point-in-time copy of everything appended so far.
+    pub fn bytes(&self) -> Vec<u8> {
+        self.buf.lock().clone()
+    }
+
+    /// Bytes appended so far.
+    pub fn len(&self) -> usize {
+        self.buf.lock().len()
+    }
+
+    /// True before the first append.
+    pub fn is_empty(&self) -> bool {
+        self.buf.lock().is_empty()
+    }
+}
+
+impl Write for MemorySink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.buf.lock().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+struct JournalInner {
+    sink: Box<dyn Write + Send>,
+    error: Option<String>,
+}
+
+/// The append-only event journal an [`Exchange`] records into.
+///
+/// Appends are whole frames under one mutex — concurrent workers never
+/// interleave partial records — and each append is flushed through the
+/// sink before the mutex drops, so the on-disk prefix always ends at a
+/// frame boundary unless the *platform* (not the exchange) tears the last
+/// write; the truncation rule in the module doc handles exactly that
+/// case. A journal can be [`Journal::seal`]ed to simulate (or enforce)
+/// crash-stop durability: sealed journals drop every further append.
+pub struct Journal {
+    inner: Mutex<JournalInner>,
+    sealed: AtomicBool,
+    records: AtomicU64,
+}
+
+impl Journal {
+    /// A journal writing frames into `sink` (a file, a socket, …).
+    pub fn new(sink: Box<dyn Write + Send>) -> Self {
+        Journal {
+            inner: Mutex::new(JournalInner { sink, error: None }),
+            sealed: AtomicBool::new(false),
+            records: AtomicU64::new(0),
+        }
+    }
+
+    /// An in-memory journal plus the sink its frames land in (tests,
+    /// benches, and the truncate-and-resume example read it back).
+    pub fn in_memory() -> (Arc<Journal>, MemorySink) {
+        let sink = MemorySink::default();
+        let journal = Arc::new(Journal::new(Box::new(sink.clone())));
+        (journal, sink)
+    }
+
+    /// Appends one event (no-op once sealed). I/O errors do not unwind
+    /// into the worker pool; the first one is latched and readable via
+    /// [`Journal::last_error`].
+    pub fn append(&self, event: &ExchangeEvent) {
+        if self.sealed.load(Ordering::Acquire) {
+            return;
+        }
+        let frame = event.encode_frame();
+        let mut inner = self.inner.lock();
+        // Re-check under the sink lock: `seal` also takes it, so every
+        // append either completed before the seal or observes it — no
+        // frame can land "after the crash".
+        if self.sealed.load(Ordering::Acquire) || inner.error.is_some() {
+            return;
+        }
+        let result = inner
+            .sink
+            .write_all(&frame)
+            .and_then(|()| inner.sink.flush());
+        match result {
+            Ok(()) => {
+                self.records.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => inner.error = Some(e.to_string()),
+        }
+    }
+
+    /// Freezes the journal: every subsequent append is dropped. This is
+    /// the crash-simulation primitive — after `seal` returns, the sink
+    /// holds exactly what a crash at this instant would have left durable
+    /// (taking the sink lock fences out appends already past the fast
+    /// sealed-check; see [`Journal::append`]).
+    pub fn seal(&self) {
+        let _sink = self.inner.lock();
+        self.sealed.store(true, Ordering::Release);
+    }
+
+    /// True once [`Journal::seal`] has run.
+    pub fn is_sealed(&self) -> bool {
+        self.sealed.load(Ordering::Acquire)
+    }
+
+    /// Frames successfully appended so far.
+    pub fn records(&self) -> u64 {
+        self.records.load(Ordering::Relaxed)
+    }
+
+    /// The first sink error, if any append failed.
+    pub fn last_error(&self) -> Option<String> {
+        self.inner.lock().error.clone()
+    }
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("records", &self.records())
+            .field("sealed", &self.is_sealed())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Crash points
+// ---------------------------------------------------------------------------
+
+/// Instants inside the dispatcher's critical sections where a fault-
+/// injection hook fires — *between* a state change and its journal record
+/// (or vice versa), which is exactly where between-event truncation
+/// cannot land. See [`Exchange::set_crash_hook`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CrashPoint {
+    /// A worker slice checked the session out, before the
+    /// [`ExchangeEvent::SessionDispatched`] record.
+    Dispatched(SessionId),
+    /// A course finished **training**, before its
+    /// [`ExchangeEvent::CourseServed`] record: a crash here loses the
+    /// payment receipt, so recovery legitimately re-trains this course.
+    CourseTrained {
+        /// The session that paid for the training.
+        session: SessionId,
+        /// The course's cache space.
+        eval_key: u64,
+        /// The trained bundle.
+        bundle: BundleMask,
+    },
+    /// The course's [`ExchangeEvent::CourseServed`] record landed, before
+    /// waiters are woken / the session resumes.
+    CourseRecorded {
+        /// The session that paid for the training.
+        session: SessionId,
+        /// The course's cache space.
+        eval_key: u64,
+        /// The trained bundle.
+        bundle: BundleMask,
+    },
+    /// Settlement decided a winner under the demand lock, before the
+    /// [`ExchangeEvent::DemandSettled`] record.
+    SettlementDecided(DemandId),
+    /// The settlement record landed, before its wake/cancel side-effects
+    /// are applied to the candidate sessions.
+    SettlementRecorded(DemandId),
+    /// A session produced its terminal outcome, before the
+    /// [`ExchangeEvent::SessionConcluded`] record.
+    Concluding(SessionId),
+}
+
+/// A fault-injection observer (see [`Exchange::set_crash_hook`]).
+pub type CrashHook = Arc<dyn Fn(&CrashPoint) + Send + Sync>;
+
+// ---------------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------------
+
+/// The operator's durable configuration, re-supplied at recovery time.
+///
+/// The journal records *facts with ids*; strategies, providers, and
+/// policies are code and cannot live in a byte log. A spec re-supplies
+/// them in registration/submission order, and recovery verifies every
+/// recorded fingerprint (catalog, listing count, name, config digest)
+/// before re-running anything — a spec that drifted from what the journal
+/// recorded is rejected, not silently replayed.
+pub struct ReplaySpec {
+    /// Market specs for every [`ExchangeEvent::MarketRegistered`], in
+    /// journal order.
+    pub markets: Vec<MarketSpec>,
+    /// Seller specs for every [`ExchangeEvent::SellerRegistered`], in
+    /// journal order.
+    pub sellers: Vec<SellerSpec>,
+    /// Rebuilds the [`SessionOrder`] of a journaled plain submission
+    /// (called once per [`ExchangeEvent::SessionSubmitted`], with the
+    /// recorded id).
+    pub orders: Box<dyn FnMut(SessionId) -> SessionOrder>,
+    /// Rebuilds the [`Demand`] of a journaled demand submission (called
+    /// once per [`ExchangeEvent::DemandSubmitted`], with the recorded id).
+    pub demands: Box<dyn FnMut(DemandId) -> Demand>,
+}
+
+impl Default for ReplaySpec {
+    /// A spec with no registrations and panicking submission factories —
+    /// extend it field by field; the panics only fire if the journal
+    /// records a submission kind the spec never supplied.
+    fn default() -> Self {
+        ReplaySpec {
+            markets: Vec::new(),
+            sellers: Vec::new(),
+            orders: Box::new(|id| {
+                panic!("replay spec has no order factory (journal records session {id})")
+            }),
+            demands: Box::new(|id| {
+                panic!("replay spec has no demand factory (journal records demand {id})")
+            }),
+        }
+    }
+}
+
+/// A journaled conclusion: which terminal state (and outcome content) a
+/// session reached before the crash, re-checkable after the resumed drain
+/// via [`Exchange::audit_replay`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordedConclusion {
+    /// The concluded session.
+    pub session: SessionId,
+    /// [`wire::status_code`] of the recorded outcome, or
+    /// [`wire::STATUS_HARD_ERROR`].
+    pub status: u16,
+    /// [`wire::outcome_digest`] of the recorded outcome (0 for hard
+    /// errors).
+    pub digest: u64,
+}
+
+/// A journaled settlement: which winner (by slot) a demand settled to
+/// before the crash, re-checkable after the resumed drain via
+/// [`Exchange::audit_replay`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordedSettlement {
+    /// The settled demand.
+    pub demand: DemandId,
+    /// The recorded winning slot (`None` = no acceptable candidate).
+    pub winner: Option<u32>,
+}
+
+/// What [`Exchange::recover`] rebuilt.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReplayReport {
+    /// Valid events decoded from the journal prefix.
+    pub events: usize,
+    /// Bytes dropped by the truncation rule (torn/corrupt tail).
+    pub dropped_bytes: usize,
+    /// Markets re-registered.
+    pub markets: usize,
+    /// Sellers re-registered.
+    pub sellers: usize,
+    /// Plain sessions re-opened (they re-run from round one on the next
+    /// drain, against the warmed cache).
+    pub sessions: usize,
+    /// Demands re-opened (full fan-out each).
+    pub demands: usize,
+    /// ΔG courses refilled into the shared cache — the trainings recovery
+    /// will never repeat.
+    pub courses_preloaded: usize,
+    /// Conclusions the prefix recorded, for [`Exchange::audit_replay`]
+    /// after the resumed drain: replay re-derives every outcome, and these
+    /// digests are how a *real* recovery (no in-memory reference to
+    /// compare against) detects divergence instead of trusting it away.
+    pub conclusions: Vec<RecordedConclusion>,
+    /// Settlements the prefix recorded, audited the same way: the resumed
+    /// run must re-settle every recorded demand to the recorded winner.
+    pub settlements: Vec<RecordedSettlement>,
+}
+
+/// Why a recovery was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoverError {
+    /// The spec disagrees with a recorded fingerprint (message names the
+    /// event and field).
+    SpecMismatch(String),
+    /// The journal's event stream is internally inconsistent (e.g. a
+    /// submission against a market the prefix never registered).
+    InconsistentJournal(String),
+    /// [`Exchange::audit_replay`] found a resumed session whose outcome
+    /// does not match the conclusion the journal recorded for it.
+    Divergence(String),
+}
+
+impl std::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoverError::SpecMismatch(msg) => write!(f, "replay spec mismatch: {msg}"),
+            RecoverError::InconsistentJournal(msg) => {
+                write!(f, "inconsistent journal: {msg}")
+            }
+            RecoverError::Divergence(msg) => write!(f, "replay divergence: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+fn catalog_of(spec: &MarketSpec) -> BundleMask {
+    BundleMask::union_of(spec.listings.iter().map(|l| l.bundle))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_market_spec(
+    what: &str,
+    spec: &MarketSpec,
+    private: bool,
+    eval_key: u64,
+    listings: u32,
+    catalog: BundleMask,
+    table_digest: u64,
+    name: &str,
+) -> Result<(), RecoverError> {
+    if spec.name != name {
+        return Err(RecoverError::SpecMismatch(format!(
+            "{what}: journal records name {name:?}, spec supplies {:?}",
+            spec.name
+        )));
+    }
+    if spec.listings.len() as u32 != listings {
+        return Err(RecoverError::SpecMismatch(format!(
+            "{what} {name:?}: journal records {listings} listings, spec supplies {}",
+            spec.listings.len()
+        )));
+    }
+    if catalog_of(spec) != catalog {
+        return Err(RecoverError::SpecMismatch(format!(
+            "{what} {name:?}: journal records catalog {catalog}, spec supplies {}",
+            catalog_of(spec)
+        )));
+    }
+    if listing_table_digest(&spec.listings) != table_digest {
+        return Err(RecoverError::SpecMismatch(format!(
+            "{what} {name:?}: the spec's listing table differs from the journaled \
+             one (bundles, reserved prices, or order drifted) — recovering it \
+             would silently re-run different negotiations"
+        )));
+    }
+    match (private, spec.evaluation_key) {
+        (true, None) => Ok(()),
+        (false, Some(key)) if key == eval_key => Ok(()),
+        _ => Err(RecoverError::SpecMismatch(format!(
+            "{what} {name:?}: journal records {} evaluation key {eval_key}, \
+             spec supplies {:?}",
+            if private { "private" } else { "shared" },
+            spec.evaluation_key
+        ))),
+    }
+}
+
+impl Exchange {
+    /// Rebuilds an exchange from a journal's valid prefix and the
+    /// operator's [`ReplaySpec`], optionally recording into a fresh
+    /// `journal` (the rebuilt prefix is re-emitted into it, compacted to
+    /// the load-bearing events, so journaling continues seamlessly).
+    ///
+    /// On success the exchange holds every recorded registration, every
+    /// recorded submission re-opened **from round one** under its
+    /// recorded id, and a ΔG cache warmed with every journaled course.
+    /// Call [`Exchange::drain`] to resume: sessions re-drive
+    /// deterministically through the warm cache, reproducing the
+    /// pre-crash run bit for bit without re-training any journaled course
+    /// (the module doc has the full argument; the replay-equivalence
+    /// suite proves it at every truncation boundary).
+    pub fn recover(
+        cfg: ExchangeConfig,
+        journal_bytes: &[u8],
+        mut spec: ReplaySpec,
+        journal: Option<Arc<Journal>>,
+    ) -> Result<(Exchange, ReplayReport), RecoverError> {
+        let (events, dropped_bytes) = read_events(journal_bytes);
+        let exchange = match journal {
+            Some(journal) => Exchange::with_journal(cfg, journal),
+            None => Exchange::new(cfg),
+        };
+        let mut report = ReplayReport {
+            events: events.len(),
+            dropped_bytes,
+            ..ReplayReport::default()
+        };
+        for event in events {
+            match event {
+                ExchangeEvent::MarketRegistered {
+                    market,
+                    eval_key,
+                    private,
+                    listings,
+                    catalog,
+                    table_digest,
+                    name,
+                } => {
+                    if spec.markets.is_empty() {
+                        return Err(RecoverError::SpecMismatch(format!(
+                            "journal records market {market} {name:?} but the spec \
+                             supplies no further market"
+                        )));
+                    }
+                    let ms = spec.markets.remove(0);
+                    check_market_spec(
+                        "market",
+                        &ms,
+                        private,
+                        eval_key,
+                        listings,
+                        catalog,
+                        table_digest,
+                        &name,
+                    )?;
+                    let id = exchange
+                        .register_market(ms)
+                        .map_err(|e| RecoverError::SpecMismatch(format!("market {name:?}: {e}")))?;
+                    if id != market {
+                        return Err(RecoverError::InconsistentJournal(format!(
+                            "market {name:?} replayed as {id}, journal records {market}"
+                        )));
+                    }
+                    report.markets += 1;
+                }
+                ExchangeEvent::SellerRegistered {
+                    seller,
+                    market,
+                    eval_key,
+                    private,
+                    listings,
+                    catalog,
+                    table_digest,
+                    name,
+                } => {
+                    if spec.sellers.is_empty() {
+                        return Err(RecoverError::SpecMismatch(format!(
+                            "journal records seller {seller} {name:?} but the spec \
+                             supplies no further seller"
+                        )));
+                    }
+                    let ss = spec.sellers.remove(0);
+                    check_market_spec(
+                        "seller",
+                        &ss.market,
+                        private,
+                        eval_key,
+                        listings,
+                        catalog,
+                        table_digest,
+                        &name,
+                    )?;
+                    let id = exchange
+                        .register_seller(ss)
+                        .map_err(|e| RecoverError::SpecMismatch(format!("seller {name:?}: {e}")))?;
+                    if id != seller {
+                        return Err(RecoverError::InconsistentJournal(format!(
+                            "seller {name:?} replayed as {id}, journal records {seller}"
+                        )));
+                    }
+                    let replayed_market = exchange.seller_market(id).expect("just registered");
+                    if replayed_market != market {
+                        return Err(RecoverError::InconsistentJournal(format!(
+                            "seller {name:?} market replayed as {replayed_market}, \
+                             journal records {market}"
+                        )));
+                    }
+                    report.sellers += 1;
+                }
+                ExchangeEvent::SessionSubmitted {
+                    session,
+                    market,
+                    cfg_digest,
+                } => {
+                    let order = (spec.orders)(session);
+                    let digest = wire::config_digest(&order.cfg);
+                    if digest != cfg_digest {
+                        return Err(RecoverError::SpecMismatch(format!(
+                            "session {session}: journal records config digest \
+                             {cfg_digest:#x}, spec's order digests to {digest:#x}"
+                        )));
+                    }
+                    exchange
+                        .replay_session(session, market, order)
+                        .map_err(|e| {
+                            RecoverError::InconsistentJournal(format!("session {session}: {e}"))
+                        })?;
+                    report.sessions += 1;
+                }
+                ExchangeEvent::DemandSubmitted {
+                    demand,
+                    wanted,
+                    probe_rounds,
+                    cfg_digest,
+                    candidates,
+                } => {
+                    let d = (spec.demands)(demand);
+                    if d.wanted != wanted {
+                        return Err(RecoverError::SpecMismatch(format!(
+                            "demand {demand}: journal records wanted {wanted}, spec \
+                             supplies {}",
+                            d.wanted
+                        )));
+                    }
+                    if d.probe_rounds != probe_rounds {
+                        return Err(RecoverError::SpecMismatch(format!(
+                            "demand {demand}: journal records probe_rounds \
+                             {probe_rounds}, spec supplies {}",
+                            d.probe_rounds
+                        )));
+                    }
+                    let digest = wire::config_digest(&d.cfg);
+                    if digest != cfg_digest {
+                        return Err(RecoverError::SpecMismatch(format!(
+                            "demand {demand}: journal records config digest \
+                             {cfg_digest:#x}, spec's demand digests to {digest:#x}"
+                        )));
+                    }
+                    exchange
+                        .replay_demand(demand, d, &candidates)
+                        .map_err(|e| {
+                            RecoverError::InconsistentJournal(format!("demand {demand}: {e}"))
+                        })?;
+                    report.demands += 1;
+                }
+                ExchangeEvent::CourseServed {
+                    eval_key,
+                    bundle,
+                    gain,
+                } => {
+                    exchange.preload_course(eval_key, bundle, gain);
+                    report.courses_preloaded += 1;
+                }
+                // Recorded conclusions are not replayed (the resuming
+                // drain recomputes every outcome), but they are kept for
+                // the post-resume divergence audit.
+                ExchangeEvent::SessionConcluded {
+                    session,
+                    status,
+                    rounds: _,
+                    digest,
+                } => report.conclusions.push(RecordedConclusion {
+                    session,
+                    status,
+                    digest,
+                }),
+                // Recorded settlements: not replayed (the resuming drain
+                // re-settles), kept for the post-resume winner audit.
+                ExchangeEvent::DemandSettled { demand, winner } => report
+                    .settlements
+                    .push(RecordedSettlement { demand, winner }),
+                // Pure audit trail: recomputed by the resuming drain (see
+                // the module doc's replay-safety argument).
+                ExchangeEvent::SessionDispatched { .. }
+                | ExchangeEvent::CourseRequested { .. }
+                | ExchangeEvent::QuoteRecorded { .. } => {}
+            }
+        }
+        Ok((exchange, report))
+    }
+
+    /// Verifies, after the resumed drain, that every session the journal
+    /// prefix recorded as concluded re-reached *exactly* the recorded
+    /// conclusion (status wire code and outcome content digest) and that
+    /// every recorded settlement re-settled to the recorded winner. This
+    /// is how a real recovery — which has no in-memory reference run to
+    /// compare against — detects replay divergence (a drifted spec or
+    /// match policy the fingerprints could not see, a nondeterministic
+    /// strategy) instead of silently trusting the recomputation. Call it
+    /// between the drain and any `take`; returns the number of records
+    /// verified (conclusions + settlements).
+    pub fn audit_replay(&self, report: &ReplayReport) -> Result<usize, RecoverError> {
+        for rs in &report.settlements {
+            match self.demand_status(rs.demand) {
+                Some(crate::matching::DemandStatus::Settled(replayed)) => {
+                    let winner = replayed.winner.map(|w| w as u32);
+                    if winner != rs.winner {
+                        return Err(RecoverError::Divergence(format!(
+                            "demand {}: journal records winner slot {:?}, replay \
+                             settled to {winner:?}",
+                            rs.demand, rs.winner
+                        )));
+                    }
+                }
+                Some(crate::matching::DemandStatus::Matching { .. }) => {
+                    return Err(RecoverError::Divergence(format!(
+                        "demand {} is still matching — audit_replay must run after \
+                         the resumed drain",
+                        rs.demand
+                    )));
+                }
+                None => {
+                    return Err(RecoverError::Divergence(format!(
+                        "journal records a settlement for demand {} but the \
+                         recovered exchange no longer holds it (audit before \
+                         taking reports)",
+                        rs.demand
+                    )));
+                }
+            }
+        }
+        for rc in &report.conclusions {
+            let status = self.poll(rc.session).ok_or_else(|| {
+                RecoverError::Divergence(format!(
+                    "journal records a conclusion for session {} but the recovered \
+                     exchange no longer holds it (audit before taking outcomes)",
+                    rc.session
+                ))
+            })?;
+            match status {
+                crate::store::SessionStatus::Done(outcome) => {
+                    let code = wire::status_code(outcome.status);
+                    let digest = wire::outcome_digest(&outcome);
+                    if code != rc.status || digest != rc.digest {
+                        return Err(RecoverError::Divergence(format!(
+                            "session {}: journal records status {} / digest {:#x}, \
+                             replay produced status {code} / digest {digest:#x}",
+                            rc.session, rc.status, rc.digest
+                        )));
+                    }
+                }
+                crate::store::SessionStatus::Failed(msg) => {
+                    if rc.status != wire::STATUS_HARD_ERROR {
+                        return Err(RecoverError::Divergence(format!(
+                            "session {}: journal records status {}, replay failed \
+                             hard ({msg})",
+                            rc.session, rc.status
+                        )));
+                    }
+                }
+                live => {
+                    return Err(RecoverError::Divergence(format!(
+                        "session {} is still {live:?} — audit_replay must run after \
+                         the resumed drain",
+                        rc.session
+                    )));
+                }
+            }
+        }
+        Ok(report.conclusions.len() + report.settlements.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<ExchangeEvent> {
+        vec![
+            ExchangeEvent::MarketRegistered {
+                market: MarketId(0),
+                eval_key: 42,
+                private: false,
+                listings: 4,
+                catalog: BundleMask(0b1111),
+                table_digest: 0xaaaa_bbbb,
+                name: "table".into(),
+            },
+            ExchangeEvent::SellerRegistered {
+                seller: SellerId(0),
+                market: MarketId(1),
+                eval_key: (1 << 63) | 1,
+                private: true,
+                listings: 3,
+                catalog: BundleMask(0b0111),
+                table_digest: 0xcccc_dddd,
+                name: "acme-data".into(),
+            },
+            ExchangeEvent::SessionSubmitted {
+                session: SessionId(7),
+                market: MarketId(0),
+                cfg_digest: 0xdead_beef,
+            },
+            ExchangeEvent::DemandSubmitted {
+                demand: DemandId(3),
+                wanted: BundleMask(0b101),
+                probe_rounds: 2,
+                cfg_digest: 0xfeed_f00d,
+                candidates: vec![(SellerId(0), SessionId(8)), (SellerId(2), SessionId(9))],
+            },
+            ExchangeEvent::SessionDispatched {
+                session: SessionId(7),
+            },
+            ExchangeEvent::CourseRequested {
+                session: SessionId(7),
+                eval_key: 42,
+                bundle: BundleMask(0b10),
+            },
+            ExchangeEvent::CourseServed {
+                eval_key: 42,
+                bundle: BundleMask(0b10),
+                gain: 0.125,
+            },
+            ExchangeEvent::QuoteRecorded {
+                demand: DemandId(3),
+                slot: 1,
+                kind: QuoteKind::Standing,
+                rounds: 2,
+            },
+            ExchangeEvent::DemandSettled {
+                demand: DemandId(3),
+                winner: Some(1),
+            },
+            ExchangeEvent::DemandSettled {
+                demand: DemandId(4),
+                winner: None,
+            },
+            ExchangeEvent::SessionConcluded {
+                session: SessionId(7),
+                status: 2,
+                rounds: 3,
+                digest: 0x1234_5678,
+            },
+        ]
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let events = sample_events();
+        let mut bytes = Vec::new();
+        for e in &events {
+            bytes.extend_from_slice(&e.encode_frame());
+        }
+        let (decoded, dropped) = read_events(&bytes);
+        assert_eq!(decoded, events);
+        assert_eq!(dropped, 0);
+        assert_eq!(frame_boundaries(&bytes).len(), events.len());
+        assert_eq!(*frame_boundaries(&bytes).last().unwrap(), bytes.len());
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_never_misparsed() {
+        let events = sample_events();
+        let mut bytes = Vec::new();
+        for e in &events {
+            bytes.extend_from_slice(&e.encode_frame());
+        }
+        let boundaries = frame_boundaries(&bytes);
+        // Truncate at every byte offset: the decoded prefix must always be
+        // exactly the events whose frames fit whole.
+        for cut in 0..=bytes.len() {
+            let (decoded, dropped) = read_events(&bytes[..cut]);
+            let whole = boundaries.iter().filter(|&&b| b <= cut).count();
+            assert_eq!(decoded.len(), whole, "cut {cut}");
+            assert_eq!(decoded[..], events[..whole], "cut {cut}");
+            let last = boundaries[..whole].last().copied().unwrap_or(0);
+            assert_eq!(dropped, cut - last, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_records_fail_the_checksum() {
+        let events = sample_events();
+        let mut bytes = Vec::new();
+        for e in &events {
+            bytes.extend_from_slice(&e.encode_frame());
+        }
+        let boundaries = frame_boundaries(&bytes);
+        // Flip one byte inside the last frame: the final record must be
+        // dropped, the prefix must survive untouched.
+        let start_last = boundaries[boundaries.len() - 2];
+        let mut corrupt = bytes.clone();
+        corrupt[start_last + 8] ^= 0x40;
+        let (decoded, dropped) = read_events(&corrupt);
+        assert_eq!(decoded[..], events[..events.len() - 1]);
+        assert_eq!(dropped, bytes.len() - start_last);
+        // Flip a byte mid-journal: everything from that frame on is
+        // dropped (no resync — the truncation rule is prefix-only).
+        let mut corrupt = bytes.clone();
+        corrupt[boundaries[2] + 3] ^= 0x01;
+        let (decoded, _) = read_events(&corrupt);
+        assert_eq!(decoded[..], events[..3]);
+    }
+
+    #[test]
+    fn journal_appends_seals_and_counts() {
+        let (journal, sink) = Journal::in_memory();
+        let events = sample_events();
+        journal.append(&events[0]);
+        journal.append(&events[1]);
+        assert_eq!(journal.records(), 2);
+        assert!(!journal.is_sealed());
+        journal.seal();
+        journal.append(&events[2]);
+        assert_eq!(journal.records(), 2, "sealed journals drop appends");
+        let (decoded, dropped) = read_events(&sink.bytes());
+        assert_eq!(decoded[..], events[..2]);
+        assert_eq!(dropped, 0);
+        assert!(journal.last_error().is_none());
+    }
+
+    #[test]
+    fn journal_latches_sink_errors() {
+        struct FailingSink;
+        impl Write for FailingSink {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let journal = Journal::new(Box::new(FailingSink));
+        journal.append(&sample_events()[0]);
+        assert_eq!(journal.records(), 0);
+        assert!(journal.last_error().unwrap().contains("disk full"));
+    }
+
+    #[test]
+    fn unknown_tags_and_versions_end_the_prefix() {
+        let good = sample_events()[0].encode_frame();
+        // Unknown tag: a frame whose payload starts with 200.
+        let mut payload_frame = Vec::new();
+        payload_frame.push(MAGIC);
+        payload_frame.push(VERSION);
+        put_u32(&mut payload_frame, 1);
+        payload_frame.push(200);
+        let sum = wire::fnv64(&payload_frame);
+        put_u64(&mut payload_frame, sum);
+        let mut bytes = good.clone();
+        bytes.extend_from_slice(&payload_frame);
+        let (decoded, dropped) = read_events(&bytes);
+        assert_eq!(decoded.len(), 1);
+        assert_eq!(dropped, payload_frame.len());
+        // Future version: dropped whole.
+        let mut versioned = good.clone();
+        versioned[1] = VERSION + 1;
+        let (decoded, dropped) = read_events(&versioned);
+        assert!(decoded.is_empty());
+        assert_eq!(dropped, versioned.len());
+    }
+}

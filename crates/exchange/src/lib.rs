@@ -22,7 +22,11 @@
 //!   pluggable [`MatchPolicy`] (losing candidates are cancelled, the winner
 //!   runs to the paper's Cases 1–6 conclusion);
 //! * [`MetricsSnapshot`] — sessions opened/closed/failed/cancelled, rounds,
-//!   course requests and waits, demand/match counts, cache hit rate.
+//!   course requests and waits, demand/match counts, cache hit rate;
+//! * [`journal`] — the durable append-only event journal (versioned,
+//!   checksummed frames) and [`Exchange::recover`]: a crashed drain is
+//!   rebuilt from the journal's valid prefix and resumes without
+//!   re-training any course it already paid for.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -102,6 +106,7 @@
 
 pub mod cache;
 pub mod exchange;
+pub mod journal;
 pub mod matching;
 pub mod metrics;
 pub mod session;
@@ -110,6 +115,11 @@ mod waitlist;
 
 pub use cache::{CourseServe, SharedGainCache};
 pub use exchange::{DrainReport, Exchange, ExchangeConfig, MarketId, MarketSpec};
+pub use journal::{
+    frame_boundaries, listing_table_digest, read_events, CrashHook, CrashPoint, ExchangeEvent,
+    Journal, MemorySink, QuoteKind, RecordedConclusion, RecordedSettlement, RecoverError,
+    ReplayReport, ReplaySpec,
+};
 pub use matching::{
     BestResponse, CandidateQuote, Demand, DemandId, DemandReport, DemandStatus, MatchPolicy,
     QuoteState, QuotingFactory, SellerId, SellerSpec, TaskFactory,
@@ -651,6 +661,308 @@ mod tests {
         let report = exchange.drain(3);
         assert_eq!(report.closed + report.failed, 4, "no session may hang");
         assert!(report.failed >= 1, "the provider hole must surface");
+    }
+
+    /// A provider that counts trainings (each call is one paid course).
+    #[derive(Clone)]
+    struct CountingProvider {
+        inner: TableGainProvider,
+        trained: Arc<std::sync::atomic::AtomicU64>,
+    }
+
+    impl vfl_market::GainProvider for CountingProvider {
+        fn gain(&self, bundle: BundleMask) -> vfl_market::Result<f64> {
+            self.trained
+                .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            self.inner.gain(bundle)
+        }
+    }
+
+    /// One journaled world: a plain market with two sessions plus a
+    /// two-seller demand, all behind counting providers. Returns the
+    /// pieces a recovery needs.
+    struct JournaledWorld {
+        exchange: Exchange,
+        sink: MemorySink,
+        sids: Vec<SessionId>,
+        did: DemandId,
+        trained: Arc<std::sync::atomic::AtomicU64>,
+    }
+
+    fn journaled_world() -> JournaledWorld {
+        let trained = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let (journal, sink) = Journal::in_memory();
+        let exchange = Exchange::with_journal(ExchangeConfig::default(), journal);
+        let (market, sids, did) = populate_world(&exchange, &trained);
+        let _ = market;
+        JournaledWorld {
+            exchange,
+            sink,
+            sids,
+            did,
+            trained,
+        }
+    }
+
+    /// Registers the fixed world on `exchange` (identical each call — the
+    /// recovery spec re-creates it) and submits its sessions/demand.
+    fn populate_world(
+        exchange: &Exchange,
+        trained: &Arc<std::sync::atomic::AtomicU64>,
+    ) -> (MarketId, Vec<SessionId>, DemandId) {
+        let (provider, listings, gains) = table_market();
+        let market = exchange
+            .register_market(MarketSpec {
+                provider: Arc::new(CountingProvider {
+                    inner: provider,
+                    trained: trained.clone(),
+                }),
+                listings,
+                evaluation_key: Some(42),
+                name: "plain".into(),
+            })
+            .unwrap();
+        let seller = |name: &str, scale: f64| {
+            let (_, listings, gains) = table_market();
+            let gains: Vec<f64> = gains.iter().map(|g| g * scale).collect();
+            let inner =
+                TableGainProvider::new(listings.iter().zip(&gains).map(|(l, &g)| (l.bundle, g)));
+            let by_bundle: std::collections::HashMap<u64, f64> = listings
+                .iter()
+                .zip(&gains)
+                .map(|(l, &g)| (l.bundle.0, g))
+                .collect();
+            exchange
+                .register_seller(SellerSpec {
+                    market: MarketSpec {
+                        provider: Arc::new(CountingProvider {
+                            inner,
+                            trained: trained.clone(),
+                        }),
+                        listings,
+                        evaluation_key: None,
+                        name: name.into(),
+                    },
+                    quoting: Arc::new(move |table: &[vfl_market::Listing]| {
+                        Box::new(StrategicData::with_gains(
+                            table.iter().map(|l| by_bundle[&l.bundle.0]).collect(),
+                        )) as Box<dyn vfl_market::DataStrategy + Send>
+                    }),
+                })
+                .unwrap()
+        };
+        seller("alpha", 0.4);
+        seller("beta", 1.0);
+        let sids: Vec<SessionId> = (0..2)
+            .map(|seed| exchange.submit(market, order(&gains, seed)).unwrap())
+            .collect();
+        let did = exchange.submit_demand(demand(9, 2)).unwrap();
+        (market, sids, did)
+    }
+
+    /// The recovery spec matching [`populate_world`]'s registrations.
+    fn world_spec(trained: &Arc<std::sync::atomic::AtomicU64>) -> ReplaySpec {
+        let (provider, listings, _) = table_market();
+        let market_spec = MarketSpec {
+            provider: Arc::new(CountingProvider {
+                inner: provider,
+                trained: trained.clone(),
+            }),
+            listings,
+            evaluation_key: Some(42),
+            name: "plain".into(),
+        };
+        let seller_spec = |name: &str, scale: f64| {
+            let (_, listings, gains) = table_market();
+            let gains: Vec<f64> = gains.iter().map(|g| g * scale).collect();
+            let inner =
+                TableGainProvider::new(listings.iter().zip(&gains).map(|(l, &g)| (l.bundle, g)));
+            let by_bundle: std::collections::HashMap<u64, f64> = listings
+                .iter()
+                .zip(&gains)
+                .map(|(l, &g)| (l.bundle.0, g))
+                .collect();
+            SellerSpec {
+                market: MarketSpec {
+                    provider: Arc::new(CountingProvider {
+                        inner,
+                        trained: trained.clone(),
+                    }),
+                    listings,
+                    evaluation_key: None,
+                    name: name.into(),
+                },
+                quoting: Arc::new(move |table: &[vfl_market::Listing]| {
+                    Box::new(StrategicData::with_gains(
+                        table.iter().map(|l| by_bundle[&l.bundle.0]).collect(),
+                    )) as Box<dyn vfl_market::DataStrategy + Send>
+                }),
+            }
+        };
+        ReplaySpec {
+            markets: vec![market_spec],
+            sellers: vec![seller_spec("alpha", 0.4), seller_spec("beta", 1.0)],
+            orders: Box::new(move |sid| order(&table_market().2, sid.0)),
+            demands: Box::new(|_| demand(9, 2)),
+        }
+    }
+
+    #[test]
+    fn recovery_from_a_full_journal_is_bit_identical_and_trains_nothing() {
+        let world = journaled_world();
+        world.exchange.drain(2);
+        let reference: Vec<Outcome> = world
+            .sids
+            .iter()
+            .map(|&sid| (*world.exchange.take(sid).unwrap().unwrap()).clone())
+            .collect();
+        let ref_report = world.exchange.take_demand(world.did).unwrap();
+        let trained_before = world.trained.load(std::sync::atomic::Ordering::SeqCst);
+        assert!(trained_before > 0, "the reference run trains courses");
+
+        let retrained = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let (recovered, report) = Exchange::recover(
+            ExchangeConfig::default(),
+            &world.sink.bytes(),
+            world_spec(&retrained),
+            None,
+        )
+        .expect("full journal recovers");
+        assert_eq!(report.dropped_bytes, 0);
+        assert_eq!(report.markets, 1);
+        assert_eq!(report.sellers, 2);
+        assert_eq!(report.sessions, 2);
+        assert_eq!(report.demands, 1);
+        assert_eq!(report.courses_preloaded as u64, trained_before);
+        assert_eq!(
+            recovered.metrics().courses_preloaded,
+            trained_before,
+            "every paid course is preloaded"
+        );
+
+        recovered.drain(2);
+        assert_eq!(
+            retrained.load(std::sync::atomic::Ordering::SeqCst),
+            0,
+            "a full journal leaves nothing to re-train"
+        );
+        // The recorded-conclusion/settlement audit (a real recovery's
+        // divergence detector) passes: every journaled conclusion is
+        // re-reached and the demand re-settles to the recorded winner.
+        let audited = recovered.audit_replay(&report).unwrap();
+        assert_eq!(audited, report.conclusions.len() + report.settlements.len());
+        assert!(audited >= 3, "conclusions + the settlement were audited");
+        for (&sid, reference) in world.sids.iter().zip(&reference) {
+            let outcome = recovered.take(sid).unwrap().unwrap();
+            assert_eq!(*outcome, *reference, "plain session {sid}");
+        }
+        let replayed = recovered.take_demand(world.did).unwrap();
+        assert_eq!(replayed.winner, ref_report.winner);
+        for (a, b) in replayed.quotes.iter().zip(&ref_report.quotes) {
+            assert_eq!(a.seller, b.seller);
+            assert_eq!(a.state, b.state);
+            assert_eq!(a.history, b.history);
+            let ra = recovered.take(a.session).unwrap().unwrap();
+            let rb = world.exchange.take(b.session).unwrap().unwrap();
+            assert_eq!(ra, rb, "candidate {}", a.seller_name);
+        }
+    }
+
+    #[test]
+    fn recovery_rejects_a_drifted_spec() {
+        let world = journaled_world();
+        world.exchange.drain(1);
+        let bytes = world.sink.bytes();
+        let fresh = Arc::new(std::sync::atomic::AtomicU64::new(0));
+
+        // Wrong market name.
+        let mut spec = world_spec(&fresh);
+        spec.markets[0].name = "renamed".into();
+        assert!(matches!(
+            Exchange::recover(ExchangeConfig::default(), &bytes, spec, None),
+            Err(RecoverError::SpecMismatch(_))
+        ));
+        // Wrong evaluation key.
+        let mut spec = world_spec(&fresh);
+        spec.markets[0].evaluation_key = Some(43);
+        assert!(matches!(
+            Exchange::recover(ExchangeConfig::default(), &bytes, spec, None),
+            Err(RecoverError::SpecMismatch(_))
+        ));
+        // Same catalog and listing count, but an edited reserved price:
+        // the full-table digest catches what the coarse fingerprints
+        // cannot (recovering it would silently re-negotiate different
+        // reserves).
+        let mut spec = world_spec(&fresh);
+        let mut listings = (*spec.markets[0].listings).clone();
+        listings[0].reserved = ReservedPrice::new(99.0, 9.9).unwrap();
+        spec.markets[0].listings = Arc::new(listings);
+        assert!(matches!(
+            Exchange::recover(ExchangeConfig::default(), &bytes, spec, None),
+            Err(RecoverError::SpecMismatch(_))
+        ));
+        // Missing seller.
+        let mut spec = world_spec(&fresh);
+        spec.sellers.pop();
+        assert!(matches!(
+            Exchange::recover(ExchangeConfig::default(), &bytes, spec, None),
+            Err(RecoverError::SpecMismatch(_))
+        ));
+        // Wrong session config (digest mismatch).
+        let mut spec = world_spec(&fresh);
+        spec.orders = Box::new(|sid| order(&table_market().2, sid.0 + 100));
+        assert!(matches!(
+            Exchange::recover(ExchangeConfig::default(), &bytes, spec, None),
+            Err(RecoverError::SpecMismatch(_))
+        ));
+        // Wrong demand shape.
+        let mut spec = world_spec(&fresh);
+        spec.demands = Box::new(|_| demand(9, 3));
+        assert!(matches!(
+            Exchange::recover(ExchangeConfig::default(), &bytes, spec, None),
+            Err(RecoverError::SpecMismatch(_))
+        ));
+        // The pristine spec still recovers.
+        assert!(
+            Exchange::recover(ExchangeConfig::default(), &bytes, world_spec(&fresh), None).is_ok()
+        );
+    }
+
+    #[test]
+    fn crash_hook_seals_the_journal_inside_the_course_critical_section() {
+        let world = journaled_world();
+        // Observe the FIRST trained course, before its CourseServed record
+        // lands — the lost-receipt window.
+        let armed = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let sink = world.sink.clone();
+        let records_at_seal = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        {
+            let armed = armed.clone();
+            let sink = sink.clone();
+            let records_at_seal = records_at_seal.clone();
+            world
+                .exchange
+                .set_crash_hook(Some(Arc::new(move |point: &CrashPoint| {
+                    if matches!(point, CrashPoint::CourseTrained { .. })
+                        && armed.fetch_add(1, std::sync::atomic::Ordering::SeqCst) == 0
+                    {
+                        records_at_seal
+                            .store(sink.len() as u64, std::sync::atomic::Ordering::SeqCst);
+                    }
+                })));
+        }
+        world.exchange.drain(1);
+        assert!(
+            armed.load(std::sync::atomic::Ordering::SeqCst) >= 1,
+            "the hook must fire inside the course critical section"
+        );
+        // The hook observed the sink length BEFORE the CourseServed record
+        // was appended: the journal grew afterwards.
+        assert!(
+            (records_at_seal.load(std::sync::atomic::Ordering::SeqCst) as usize) < sink.len(),
+            "CourseTrained fires before the course record lands"
+        );
+        world.exchange.set_crash_hook(None);
     }
 
     #[test]

@@ -159,9 +159,23 @@ pub struct CandidateQuote {
     pub session: SessionId,
     /// The candidate's state at settlement.
     pub state: QuoteState,
+    /// Every completed round at report time, in order (for `Standing`
+    /// candidates the last entry *is* the standing quote). Losing
+    /// candidates are cancelled at settlement, so this history is the
+    /// surviving record of what their probes asked for — each entry is
+    /// one *served* course (under the shared ΔG cache usually a hit; the
+    /// exchange's cache misses are the subset that actually trained) —
+    /// and what they finally quoted; replay audits and the E7
+    /// probe-horizon sweep account per-seller probe spend from it.
+    pub history: Vec<RoundRecord>,
 }
 
 impl CandidateQuote {
+    /// Courses this candidate ran before reporting (its probe spend).
+    pub fn probe_courses(&self) -> usize {
+        self.history.len()
+    }
+
     /// The buyer's surplus under this quote: net profit minus the task
     /// party's bargaining cost at the quoted round. `None` when the
     /// candidate cannot be selected (failed conclusion, hard error, or a
@@ -260,6 +274,20 @@ impl DemandReport {
     pub fn winning_quote(&self) -> Option<&CandidateQuote> {
         self.winner.map(|i| &self.quotes[i])
     }
+
+    /// Total courses *served* to losing candidates before settlement —
+    /// the demand's probe spend: rounds that bought information, not
+    /// features. Counted in served courses, not trainings (with a shared
+    /// ΔG cache most probe courses are hits; the exchange-level cache-miss
+    /// count is the actually-trained subset).
+    pub fn loser_probe_spend(&self) -> usize {
+        self.quotes
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| Some(i) != self.winner)
+            .map(|(_, q)| q.probe_courses())
+            .sum()
+    }
 }
 
 /// What the exchange must do after a settlement: wake the winner and/or
@@ -276,6 +304,9 @@ pub(crate) enum SettleAction {
 pub(crate) struct Settlement {
     /// True when a winner was selected.
     pub(crate) matched: bool,
+    /// The winning slot index (`matched` iff `Some`) — journaled by the
+    /// exchange as the settlement record.
+    pub(crate) winner: Option<usize>,
     /// Deferred side-effects for the exchange to apply.
     pub(crate) actions: Vec<SettleAction>,
 }
@@ -286,6 +317,7 @@ struct CandidateSlot {
     name: String,
     session: SessionId,
     quote: Option<QuoteState>,
+    history: Vec<RoundRecord>,
 }
 
 /// A live demand: its candidates, policy, and (after settlement) report.
@@ -314,6 +346,7 @@ impl DemandState {
                     name,
                     session,
                     quote: None,
+                    history: Vec::new(),
                 })
                 .collect(),
             reported: 0,
@@ -339,13 +372,31 @@ impl MatchBook {
         }
     }
 
-    /// Registers a demand; must happen before any of its candidate
-    /// sessions is queued, so a racing report always finds the state.
-    pub(crate) fn open(&self, state: DemandState) -> DemandId {
-        let id = DemandId(self.next.fetch_add(1, Ordering::Relaxed));
-        self.demands
+    /// Allocates the next fresh demand id (the caller commits the state
+    /// via [`MatchBook::open_at`]).
+    pub(crate) fn allocate(&self) -> DemandId {
+        DemandId(self.next.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Registers a demand under an explicit id; must happen before any of
+    /// its candidate sessions is queued, so a racing report always finds
+    /// the state. Recovery opens demands under their *journaled* ids, so
+    /// the id counter is bumped past `id` (fresh allocations never
+    /// collide with replayed ones).
+    pub(crate) fn open_at(&self, id: DemandId, state: DemandState) {
+        self.next.fetch_max(id.0 + 1, Ordering::Relaxed);
+        let prev = self
+            .demands
             .write()
             .insert(id.0, Arc::new(Mutex::new(state)));
+        debug_assert!(prev.is_none(), "demand ids are unique");
+    }
+
+    /// [`MatchBook::allocate`] + [`MatchBook::open_at`] in one step.
+    #[cfg(test)]
+    pub(crate) fn open(&self, state: DemandState) -> DemandId {
+        let id = self.allocate();
+        self.open_at(id, state);
         id
     }
 
@@ -380,14 +431,16 @@ impl MatchBook {
         self.demands.read().len()
     }
 
-    /// Records candidate `slot`'s quote for `demand`. The report that
-    /// completes the candidate set runs the policy and returns the
-    /// settlement's deferred actions; every other report returns `None`.
+    /// Records candidate `slot`'s quote (plus its full round history, for
+    /// probe-spend accounting) for `demand`. The report that completes
+    /// the candidate set runs the policy and returns the settlement's
+    /// deferred actions; every other report returns `None`.
     pub(crate) fn report(
         &self,
         demand: DemandId,
         slot: usize,
         quote: QuoteState,
+        history: Vec<RoundRecord>,
     ) -> Option<Settlement> {
         let entry = self.demands.read().get(&demand.0)?.clone();
         let mut st = entry.lock();
@@ -397,6 +450,7 @@ impl MatchBook {
             st.reported += 1;
         }
         st.slots[slot].quote = Some(quote);
+        st.slots[slot].history = history;
         if st.reported < st.slots.len() {
             return None;
         }
@@ -411,6 +465,7 @@ impl MatchBook {
                 seller_name: s.name.clone(),
                 session: s.session,
                 state: s.quote.clone().expect("all slots reported"),
+                history: s.history.clone(),
             })
             .collect();
         let winner = st
@@ -435,6 +490,7 @@ impl MatchBook {
         });
         Some(Settlement {
             matched: winner.is_some(),
+            winner,
             actions,
         })
     }
@@ -465,11 +521,19 @@ mod tests {
     }
 
     fn quote(i: usize, state: QuoteState) -> CandidateQuote {
+        let history = match &state {
+            QuoteState::Standing(rec) => vec![*rec],
+            QuoteState::Closed {
+                last: Some(rec), ..
+            } => vec![*rec],
+            _ => Vec::new(),
+        };
         CandidateQuote {
             seller: SellerId(i),
             seller_name: format!("s{i}"),
             session: SessionId(i as u64),
             state,
+            history,
         }
     }
 
@@ -544,13 +608,24 @@ mod tests {
             })
         ));
         assert!(book
-            .report(id, 0, QuoteState::Standing(rec(5.0, 0.5)))
+            .report(
+                id,
+                0,
+                QuoteState::Standing(rec(5.0, 0.5)),
+                vec![rec(5.0, 0.5)]
+            )
             .is_none());
         assert!(book.take(id).is_none(), "live demands cannot be evicted");
         let settlement = book
-            .report(id, 1, QuoteState::Standing(rec(50.0, 0.5)))
+            .report(
+                id,
+                1,
+                QuoteState::Standing(rec(50.0, 0.5)),
+                vec![rec(10.0, 0.5), rec(50.0, 0.5)],
+            )
             .expect("last report settles");
         assert!(settlement.matched);
+        assert_eq!(settlement.winner, Some(1));
         // Winner (slot 1) woken, loser (slot 0) cancelled.
         assert_eq!(settlement.actions.len(), 2);
         assert!(matches!(
@@ -566,6 +641,12 @@ mod tests {
                 assert_eq!(report.winner, Some(1));
                 assert_eq!(report.winning_session(), Some(SessionId(11)));
                 assert_eq!(report.quotes.len(), 2);
+                // Probe-spend accounting: the loser's full history (one
+                // course) survives the settlement; the winner's two-course
+                // history is excluded from the loser spend.
+                assert_eq!(report.quotes[0].probe_courses(), 1);
+                assert_eq!(report.quotes[1].probe_courses(), 2);
+                assert_eq!(report.loser_probe_spend(), 1);
             }
             other => panic!("expected settled, got {other:?}"),
         }
@@ -586,7 +667,7 @@ mod tests {
                 (SellerId(1), "b".into(), SessionId(1)),
             ],
         ));
-        book.report(id, 0, QuoteState::Error("boom".into()));
+        book.report(id, 0, QuoteState::Error("boom".into()), Vec::new());
         let settlement = book
             .report(
                 id,
@@ -597,9 +678,11 @@ mod tests {
                     },
                     last: None,
                 },
+                Vec::new(),
             )
             .expect("last report settles");
         assert!(!settlement.matched);
+        assert_eq!(settlement.winner, None);
         assert!(
             settlement.actions.is_empty(),
             "nothing parked, nothing to do"

@@ -38,6 +38,9 @@ pub struct ExchangeMetrics {
     /// Settled demands where the policy selected a winner (subset of
     /// `demands_settled`).
     pub(crate) demands_matched: AtomicU64,
+    /// ΔG courses refilled into the cache by journal recovery — trainings
+    /// paid for by a previous life of this exchange, never re-run here.
+    pub(crate) courses_preloaded: AtomicU64,
 }
 
 impl ExchangeMetrics {
@@ -71,6 +74,9 @@ pub struct MetricsSnapshot {
     pub demands_settled: u64,
     /// Settled demands with a winner.
     pub demands_matched: u64,
+    /// Courses preloaded from a journal at recovery (each one a training
+    /// the resumed run did not repeat).
+    pub courses_preloaded: u64,
     /// Shared-cache hits.
     pub cache_hits: u64,
     /// Shared-cache misses (each one paid a real course).
@@ -125,6 +131,7 @@ mod tests {
             demands_submitted: 4,
             demands_settled: 4,
             demands_matched: 3,
+            courses_preloaded: 0,
             cache_hits: 30,
             cache_misses: 10,
         }
@@ -152,6 +159,7 @@ mod tests {
             demands_submitted: 0,
             demands_settled: 0,
             demands_matched: 0,
+            courses_preloaded: 0,
             cache_hits: 0,
             cache_misses: 0,
         };

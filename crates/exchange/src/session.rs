@@ -149,6 +149,13 @@ impl ActiveSession {
         self.session.rounds().last().copied()
     }
 
+    /// Every completed round so far (cloned) — the probe history a
+    /// matching candidate hands to its demand at report time, so the
+    /// per-seller probe spend survives a later cancellation.
+    pub(crate) fn round_history(&self) -> Vec<RoundRecord> {
+        self.session.rounds().to_vec()
+    }
+
     /// Terminates the negotiation with `FailureReason::Cancelled` (orderly:
     /// the transcript gets its settlement message) and yields the outcome.
     /// Settlement applies this to parked losing candidates; the session

@@ -115,4 +115,41 @@ mod tests {
         // Cancelling a never-enqueued id is a no-op.
         assert!(!wl.cancel(K2, SessionId(42)));
     }
+
+    /// Two threads race `cancel` against `drain` from a barrier, for every
+    /// iteration: exactly ONE side may own the parked session — if the
+    /// canceller reclaimed it, the drain must not have returned it, and
+    /// vice versa. This exactly-one-owner arbitration is what lets the
+    /// exchange guarantee a settled-and-cancelled candidate is requeued at
+    /// most once (and then dropped as a spurious wake — see the
+    /// `waitlist_wake_never_drives_a_cancelled_session` schedules in
+    /// `crate::exchange`).
+    #[test]
+    fn concurrent_cancel_and_drain_have_exactly_one_owner() {
+        for round in 0..256u64 {
+            let wl = CourseWaitlist::default();
+            let id = SessionId(round);
+            wl.enqueue(K1, id);
+            let barrier = std::sync::Barrier::new(2);
+            let (cancelled, drained) = crossbeam::thread::scope(|scope| {
+                let canceller = scope.spawn(|_| {
+                    barrier.wait();
+                    wl.cancel(K1, id)
+                });
+                let trainer = scope.spawn(|_| {
+                    barrier.wait();
+                    wl.drain(K1)
+                });
+                (canceller.join().unwrap(), trainer.join().unwrap())
+            })
+            .expect("race scope");
+            assert_ne!(
+                cancelled,
+                drained.contains(&id),
+                "round {round}: exactly one side owns the wake \
+                 (cancel {cancelled}, drained {drained:?})"
+            );
+            assert_eq!(wl.waiting(), 0, "round {round}: nobody left behind");
+        }
+    }
 }
