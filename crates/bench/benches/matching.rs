@@ -31,13 +31,31 @@
 //! off the per-candidate histories the `DemandReport` now carries) — the
 //! early-decision-cost-vs-probe-spend trade the ROADMAP asks for.
 //!
+//! **E9 — double-auction clearing on a contended pool.** A second, much
+//! tighter pool (4 sellers for the whole demand book → every epoch
+//! crosses ≥ 2 demands per seller) is drained through the clearing
+//! window under a per-epoch seller capacity of 1, comparing three
+//! settlement regimes at equal scarcity: uncoordinated per-demand
+//! best-response (`PerDemand(BestResponse)`, no roll patience — the
+//! starving baseline), `UniformPriceClearing` at the same patience (the
+//! welfare-maximizing cross — the bench asserts its realized surplus
+//! dominates the baseline's), and `UniformPriceClearing` with unlimited
+//! rolls (full service across epochs). Immediate-mode best-response on
+//! the same pool is recorded alongside as the no-capacity reference (it
+//! "serves" everyone by oversubscribing the sellers). Each arm records
+//! match rate, realized buyer surplus, starvation counts, epochs/rolls,
+//! mean uniform clearing price, and a Jain fairness index over
+//! per-demand realized surplus, all into the same
+//! `results/BENCH_matching.json` under `"clearing"`.
+//!
 //! `MATCHING_BENCH_DEMANDS` overrides the demand count (dev loops).
 
 use std::sync::Arc;
 use std::time::Duration;
 use vfl_bench::report::results_dir;
 use vfl_exchange::{
-    BestResponse, Demand, DemandId, Exchange, ExchangeConfig, MarketSpec, SellerSpec,
+    BestResponse, ClearPolicy, ClearingSpec, Demand, DemandId, Exchange, ExchangeConfig,
+    MarketSpec, PerDemand, SellerSpec, SettleMode, UniformPriceClearing,
 };
 use vfl_market::{
     run_bargaining, DataStrategy, Listing, MarketConfig, RandomBundleData, ReservedPrice,
@@ -146,6 +164,14 @@ fn demand_cfg(d: usize) -> (BundleMask, MarketConfig) {
 }
 
 fn buyer_demand(d: usize, probe_rounds: u32) -> Demand {
+    demand_with(
+        d,
+        probe_rounds,
+        SettleMode::Immediate(Arc::new(BestResponse)),
+    )
+}
+
+fn demand_with(d: usize, probe_rounds: u32, settle: SettleMode) -> Demand {
     let (wanted, cfg) = demand_cfg(d);
     Demand {
         wanted,
@@ -153,7 +179,7 @@ fn buyer_demand(d: usize, probe_rounds: u32) -> Demand {
         cfg,
         task: Arc::new(|| Box::new(StrategicTask::new(0.30, 6.0, 0.9).expect("valid opening"))),
         probe_rounds,
-        policy: Arc::new(BestResponse),
+        settle,
     }
 }
 
@@ -172,7 +198,7 @@ struct Run {
     cache_misses: u64,
 }
 
-fn run_drain(sellers: &[Seller], n_demands: usize, workers: usize, probe_rounds: u32) -> Run {
+fn pool_exchange(sellers: &[Seller]) -> Exchange {
     let exchange = Exchange::new(ExchangeConfig::default());
     for seller in sellers {
         exchange
@@ -196,6 +222,11 @@ fn run_drain(sellers: &[Seller], n_demands: usize, workers: usize, probe_rounds:
             })
             .expect("register seller");
     }
+    exchange
+}
+
+fn run_drain(sellers: &[Seller], n_demands: usize, workers: usize, probe_rounds: u32) -> Run {
+    let exchange = pool_exchange(sellers);
     let demands: Vec<DemandId> = (0..n_demands)
         .map(|d| {
             exchange
@@ -264,6 +295,126 @@ fn baseline_mean_surplus(sellers: &[Seller], n_demands: usize) -> f64 {
         total += best;
     }
     total / n_demands as f64
+}
+
+// ---------------------------------------------------------------------------
+// E9: double-auction clearing vs best-response on a contended pool
+// ---------------------------------------------------------------------------
+
+/// One E9 arm's scorecard.
+struct ClearArm {
+    label: &'static str,
+    elapsed: Duration,
+    matched: usize,
+    starved: u64,
+    epochs: u64,
+    rolled: u64,
+    /// Realized buyer surplus (winner outcomes' task revenue), summed.
+    surplus: f64,
+    /// Per-demand realized surplus (0 for unserved) — fairness input.
+    per_demand: Vec<f64>,
+    /// Mean uniform clearing price over matched epoch demands (0 when
+    /// the arm clears nothing).
+    mean_price: f64,
+}
+
+impl ClearArm {
+    fn match_rate(&self) -> f64 {
+        self.matched as f64 / self.per_demand.len() as f64
+    }
+
+    /// Jain's fairness index over per-demand realized surplus: 1 =
+    /// perfectly even, 1/n = one demand takes everything.
+    fn fairness(&self) -> f64 {
+        let n = self.per_demand.len() as f64;
+        let sum: f64 = self.per_demand.iter().sum();
+        let sq: f64 = self.per_demand.iter().map(|s| s * s).sum();
+        if sq <= 0.0 {
+            1.0
+        } else {
+            sum * sum / (n * sq)
+        }
+    }
+}
+
+/// Drains the contended book through the clearing window under `policy`
+/// (per-epoch seller capacity 1), or — with `policy = None` — in plain
+/// immediate best-response mode (the no-capacity reference).
+fn run_contended(
+    sellers: &[Seller],
+    n_demands: usize,
+    workers: usize,
+    label: &'static str,
+    policy: Option<(Arc<dyn ClearPolicy>, u32)>,
+    epoch_size: usize,
+) -> ClearArm {
+    let exchange = pool_exchange(sellers);
+    let settle = match &policy {
+        Some((policy, max_rolls)) => {
+            exchange
+                .open_clearing(ClearingSpec {
+                    epoch_size,
+                    capacity: 1,
+                    max_rolls: *max_rolls,
+                    policy: policy.clone(),
+                })
+                .expect("open clearing window");
+            SettleMode::Epoch
+        }
+        None => SettleMode::Immediate(Arc::new(BestResponse)),
+    };
+    let demands: Vec<DemandId> = (0..n_demands)
+        .map(|d| {
+            exchange
+                .submit_demand(demand_with(d, 2, settle.clone()))
+                .expect("submit demand")
+        })
+        .collect();
+    let report = exchange.drain(workers);
+    assert_eq!(report.failed, 0, "hard failures in the clearing bench");
+
+    let mut matched = 0usize;
+    let mut surplus = 0.0f64;
+    let mut per_demand = Vec::with_capacity(n_demands);
+    let mut price_sum = 0.0f64;
+    let mut price_n = 0usize;
+    for &did in &demands {
+        let settled = exchange.take_demand(did).expect("every demand settles");
+        if let Some(p) = settled.clearing_price {
+            price_sum += p;
+            price_n += 1;
+        }
+        let realized = settled
+            .winning_session()
+            .map(|sid| {
+                matched += 1;
+                exchange
+                    .take(sid)
+                    .expect("winner terminal")
+                    .expect("no error")
+                    .task_revenue()
+                    .unwrap_or(0.0)
+            })
+            .unwrap_or(0.0);
+        surplus += realized;
+        per_demand.push(realized);
+    }
+    let snap = exchange.metrics();
+    ClearArm {
+        label,
+        elapsed: report.elapsed,
+        matched,
+        starved: snap.demands_expired,
+        epochs: snap.epochs_cleared,
+        rolled: snap.demands_rolled,
+        surplus,
+        per_demand,
+        mean_price: if price_n > 0 {
+            price_sum / price_n as f64
+        } else {
+            0.0
+        },
+    }
 }
 
 fn main() {
@@ -374,6 +525,97 @@ fn main() {
         }
     }
 
+    // E9: a contended pool (4 sellers for the whole book — every epoch
+    // crosses >= 2 demands per seller at capacity 1), three settlement
+    // regimes at equal scarcity plus the no-capacity reference.
+    let contended = seller_pool(4);
+    let n_contended = (n_demands / 3).max(24);
+    let epoch_size = 12;
+    eprintln!(
+        "E9: draining {n_contended} demands over {} contended sellers \
+         (epoch {epoch_size}, capacity 1)…",
+        contended.len()
+    );
+    let arms: Vec<ClearArm> = vec![
+        run_contended(
+            &contended,
+            n_contended,
+            4,
+            "immediate-best-response",
+            None,
+            epoch_size,
+        ),
+        run_contended(
+            &contended,
+            n_contended,
+            4,
+            "per-demand-best-response",
+            Some((Arc::new(PerDemand(BestResponse)), 0)),
+            epoch_size,
+        ),
+        run_contended(
+            &contended,
+            n_contended,
+            4,
+            "uniform-price",
+            Some((Arc::new(UniformPriceClearing::default()), 0)),
+            epoch_size,
+        ),
+        run_contended(
+            &contended,
+            n_contended,
+            4,
+            "uniform-price-patient",
+            Some((Arc::new(UniformPriceClearing::default()), u32::MAX)),
+            epoch_size,
+        ),
+    ];
+    println!(
+        "\n== E9 double-auction clearing ({n_contended} demands, {} sellers, capacity 1) ==",
+        contended.len()
+    );
+    println!(
+        "{:>26} {:>8} {:>8} {:>8} {:>7} {:>12} {:>9} {:>10}",
+        "arm", "matched", "starved", "epochs", "rolled", "surplus", "fairness", "mean_price"
+    );
+    for arm in &arms {
+        println!(
+            "{:>26} {:>8} {:>8} {:>8} {:>7} {:>12.2} {:>9.4} {:>10.2}",
+            arm.label,
+            arm.matched,
+            arm.starved,
+            arm.epochs,
+            arm.rolled,
+            arm.surplus,
+            arm.fairness(),
+            arm.mean_price,
+        );
+    }
+    let best_response = &arms[1];
+    let uniform = &arms[2];
+    let patient = &arms[3];
+    // The acceptance gate: at equal scarcity and equal patience, the
+    // welfare-maximizing cross must not realize less surplus than
+    // uncoordinated per-demand selection (it assigns every contended
+    // seat to a top claimant instead of whoever is earliest in batch
+    // order, and reroutes the rest).
+    assert!(
+        uniform.surplus >= best_response.surplus - 1e-6,
+        "cleared surplus {} fell below the best-response baseline {}",
+        uniform.surplus,
+        best_response.surplus
+    );
+    assert!(
+        uniform.matched >= best_response.matched,
+        "clearing must serve at least as many demands as the baseline"
+    );
+    // Patience turns starvation into later epochs: full service.
+    assert!(
+        patient.matched >= uniform.matched,
+        "unlimited rolls must not lose served demands"
+    );
+    assert_eq!(patient.starved, 0, "patient clearing starves nobody");
+
     let run_json = |r: &Run| {
         format!(
             "    {{\"workers\": {}, \"probe_rounds\": {}, \"elapsed_s\": {:.6}, \
@@ -401,14 +643,34 @@ fn main() {
     };
     let json_runs: Vec<String> = runs.iter().map(run_json).collect();
     let json_sweep: Vec<String> = sweep.iter().map(run_json).collect();
+    let arm_json = |a: &ClearArm| {
+        format!(
+            "    {{\"arm\": \"{}\", \"demands\": {}, \"matched\": {}, \"match_rate\": {:.6}, \
+             \"starved\": {}, \"epochs\": {}, \"rolled\": {}, \"realized_surplus\": {:.6}, \
+             \"fairness_jain\": {:.6}, \"mean_clearing_price\": {:.6}, \"elapsed_s\": {:.6}}}",
+            a.label,
+            a.per_demand.len(),
+            a.matched,
+            a.match_rate(),
+            a.starved,
+            a.epochs,
+            a.rolled,
+            a.surplus,
+            a.fairness(),
+            a.mean_price,
+            a.elapsed.as_secs_f64(),
+        )
+    };
+    let json_arms: Vec<String> = arms.iter().map(arm_json).collect();
     let json = format!(
         "{{\n  \"bench\": \"matching\",\n  \"profile\": \"fast\",\n  \"demands\": {},\n  \
          \"sellers\": {},\n  \"probe_rounds\": 2,\n  \"runs\": [\n{}\n  ],\n  \
-         \"probe_sweep\": [\n{}\n  ]\n}}\n",
+         \"probe_sweep\": [\n{}\n  ],\n  \"clearing\": [\n{}\n  ]\n}}\n",
         n_demands,
         sellers.len(),
         json_runs.join(",\n"),
-        json_sweep.join(",\n")
+        json_sweep.join(",\n"),
+        json_arms.join(",\n")
     );
     let path = results_dir().join("BENCH_matching.json");
     std::fs::write(&path, json).expect("write BENCH_matching.json");

@@ -22,7 +22,7 @@ use vfl_bench::exchange_setup::{CountingGainProvider, TrainingRecorder};
 use vfl_bench::report::results_dir;
 use vfl_exchange::{
     read_events, BestResponse, Demand, DemandId, Exchange, ExchangeConfig, ExchangeEvent, Journal,
-    MarketSpec, ReplaySpec, SellerSpec,
+    MarketSpec, ReplaySpec, SellerSpec, SettleMode,
 };
 use vfl_market::{
     DataStrategy, Listing, MarketConfig, Outcome, ReservedPrice, StrategicData, StrategicTask,
@@ -97,7 +97,7 @@ fn buyer_demand(d: usize) -> Demand {
         },
         task: Arc::new(|| Box::new(StrategicTask::new(0.30, 6.0, 0.9).expect("valid opening"))),
         probe_rounds: 2,
-        policy: Arc::new(BestResponse),
+        settle: SettleMode::Immediate(Arc::new(BestResponse)),
     }
 }
 
@@ -227,6 +227,7 @@ fn main() {
         sellers: (0..N_SELLERS).map(|s| seller_spec(s, &recorder)).collect(),
         orders: Box::new(|sid| panic!("no plain sessions in this bench ({sid})")),
         demands: Box::new(move |did| buyer_demand(demand_map[&did])),
+        clearing: None,
     };
     let recover_start = Instant::now();
     let (recovered, report) = Exchange::recover(ExchangeConfig::default(), prefix, spec, None)

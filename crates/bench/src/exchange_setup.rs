@@ -9,6 +9,7 @@ use crate::setup::PreparedMarket;
 use std::sync::Arc;
 use vfl_exchange::{
     BestResponse, Demand, Exchange, MarketId, MarketSpec, SellerId, SellerSpec, SessionOrder,
+    SettleMode,
 };
 use vfl_market::{Result, StrategicData, StrategicTask};
 use vfl_sim::BundleMask;
@@ -167,6 +168,6 @@ pub fn strategic_demand(
             Box::new(StrategicTask::new(target, rate, base).expect("valid opening"))
         }),
         probe_rounds,
-        policy: Arc::new(BestResponse),
+        settle: SettleMode::Immediate(Arc::new(BestResponse)),
     }
 }

@@ -1,0 +1,398 @@
+//! Clearing-tier test suite: contention starvation and the
+//! single-demand-epoch ≡ best-response equivalence property.
+//!
+//! Two claims anchor the tier (see `vfl_exchange::clearing`):
+//!
+//! * **Contention starvation.** N demands wanting the same single seller
+//!   cannot all be served at once under a per-epoch capacity bound.
+//!   Uncoordinated per-demand best-response (the `PerDemand` adapter
+//!   with no roll patience — exactly what settling each demand alone
+//!   amounts to under scarcity) serves `capacity` of them and starves
+//!   the rest; `UniformPriceClearing` with roll patience serializes the
+//!   SAME workload across epochs and serves every demand. The fixture
+//!   pins both halves, plus the oversubscription face of the same coin:
+//!   immediate mode happily promises one seller to all N at once.
+//! * **Single-demand equivalence.** An epoch with one demand in it has
+//!   nothing to cross against, so `UniformPriceClearing` must degenerate
+//!   to `BestResponse` — bit-identical winner, outcome, transcript, and
+//!   probe history, pinned by a 96-case property sweep over random
+//!   market shapes (mirroring the matching tier's single-seller
+//!   equivalence property one level up).
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use vfl_exchange::{
+    BestResponse, ClearingSpec, Demand, DemandId, DemandStatus, EpochEntryKind, Exchange,
+    ExchangeConfig, MarketSpec, PerDemand, SellerSpec, SettleMode, UniformPriceClearing,
+};
+use vfl_market::{
+    run_bargaining, FailureReason, Listing, MarketConfig, OutcomeStatus, ReservedPrice,
+    StrategicData, StrategicTask, TableGainProvider,
+};
+use vfl_sim::BundleMask;
+
+/// A single-seller market over a reserve ladder with the given gains.
+fn ladder(gains: &[f64]) -> (TableGainProvider, Vec<Listing>) {
+    let listings: Vec<Listing> = gains
+        .iter()
+        .enumerate()
+        .map(|(i, _)| Listing {
+            bundle: BundleMask::singleton(i),
+            reserved: ReservedPrice::new(4.0 + i as f64 * 1.6, 0.6 + i as f64 * 0.15)
+                .expect("valid reserve"),
+        })
+        .collect();
+    let provider = TableGainProvider::new(listings.iter().zip(gains).map(|(l, &g)| (l.bundle, g)));
+    (provider, listings)
+}
+
+fn seller(name: &str, gains: Vec<f64>) -> SellerSpec {
+    let (provider, listings) = ladder(&gains);
+    let by_bundle: std::collections::HashMap<u64, f64> = listings
+        .iter()
+        .zip(&gains)
+        .map(|(l, &g)| (l.bundle.0, g))
+        .collect();
+    SellerSpec {
+        market: MarketSpec {
+            provider: Arc::new(provider),
+            listings: Arc::new(listings),
+            evaluation_key: None,
+            name: name.into(),
+        },
+        quoting: Arc::new(move |table: &[Listing]| {
+            Box::new(StrategicData::with_gains(
+                table.iter().map(|l| by_bundle[&l.bundle.0]).collect(),
+            )) as Box<dyn vfl_market::DataStrategy + Send>
+        }),
+    }
+}
+
+fn contended_demand(seed: u64, settle: SettleMode) -> Demand {
+    Demand {
+        wanted: BundleMask::all(4),
+        scenario: None,
+        cfg: MarketConfig {
+            utility_rate: 900.0 + 50.0 * (seed % 3) as f64,
+            budget: 12.0,
+            rate_cap: 20.0,
+            seed,
+            ..MarketConfig::default()
+        },
+        task: Arc::new(|| Box::new(StrategicTask::new(0.30, 6.0, 0.9).expect("valid opening"))),
+        probe_rounds: 2,
+        settle,
+    }
+}
+
+const N_CONTENDED: usize = 5;
+
+/// The starvation half: N demands, ONE seller, capacity 1. Per-demand
+/// best-response with no patience (what independent settlement amounts to
+/// under scarcity) serves exactly one demand and starves the other N−1.
+#[test]
+fn per_demand_best_response_starves_a_contended_seller() {
+    let exchange = Exchange::new(ExchangeConfig::default());
+    exchange
+        .register_seller(seller("solo", vec![0.06, 0.12, 0.20, 0.30]))
+        .unwrap();
+    exchange
+        .open_clearing(ClearingSpec {
+            epoch_size: N_CONTENDED,
+            capacity: 1,
+            max_rolls: 0,
+            policy: Arc::new(PerDemand(BestResponse)),
+        })
+        .unwrap();
+    let dids: Vec<DemandId> = (0..N_CONTENDED as u64)
+        .map(|seed| {
+            exchange
+                .submit_demand(contended_demand(seed, SettleMode::Epoch))
+                .unwrap()
+        })
+        .collect();
+    let report = exchange.drain(2);
+    assert_eq!(report.failed, 0);
+
+    let matched: Vec<bool> = dids
+        .iter()
+        .map(|&did| exchange.take_demand(did).unwrap().winner.is_some())
+        .collect();
+    assert_eq!(
+        matched.iter().filter(|&&m| m).count(),
+        1,
+        "capacity 1 + no patience: exactly one demand is served"
+    );
+    let snap = exchange.metrics();
+    assert_eq!(snap.demands_expired, (N_CONTENDED - 1) as u64, "starved");
+    assert_eq!(snap.epochs_cleared, 1);
+    // The epoch record names the starvation explicitly.
+    let history = exchange.epoch_history();
+    assert_eq!(history.len(), 1);
+    assert_eq!(
+        history[0]
+            .entries
+            .iter()
+            .filter(|e| e.kind == EpochEntryKind::Expired)
+            .count(),
+        N_CONTENDED - 1
+    );
+}
+
+/// The clearing half of the same fixture: identical workload, identical
+/// capacity, but `UniformPriceClearing` with roll patience serializes the
+/// seller across epochs — every demand is served, one per epoch.
+#[test]
+fn uniform_clearing_serves_all_contended_demands_across_epochs() {
+    let exchange = Exchange::new(ExchangeConfig::default());
+    exchange
+        .register_seller(seller("solo", vec![0.06, 0.12, 0.20, 0.30]))
+        .unwrap();
+    exchange
+        .open_clearing(ClearingSpec {
+            epoch_size: N_CONTENDED,
+            capacity: 1,
+            max_rolls: u32::MAX,
+            policy: Arc::new(UniformPriceClearing::default()),
+        })
+        .unwrap();
+    let dids: Vec<DemandId> = (0..N_CONTENDED as u64)
+        .map(|seed| {
+            exchange
+                .submit_demand(contended_demand(seed, SettleMode::Epoch))
+                .unwrap()
+        })
+        .collect();
+    let report = exchange.drain(2);
+    assert_eq!(report.failed, 0);
+
+    let snap = exchange.metrics();
+    assert_eq!(snap.demands_settled, N_CONTENDED as u64);
+    assert_eq!(
+        snap.demands_matched, N_CONTENDED as u64,
+        "every contended demand is served"
+    );
+    assert_eq!(snap.demands_expired, 0, "nobody starves");
+    assert_eq!(
+        snap.epochs_cleared, N_CONTENDED as u64,
+        "capacity 1: one engagement per epoch, N epochs"
+    );
+    // Each demand settled in a distinct epoch, each with a clearing
+    // price, and each winner ran to a real (non-cancelled) conclusion.
+    let mut epochs: Vec<u64> = Vec::new();
+    for &did in &dids {
+        let settled = exchange.take_demand(did).unwrap();
+        epochs.push(settled.epoch.expect("epoch-settled"));
+        assert!(settled.clearing_price.is_some());
+        let outcome = exchange
+            .take(settled.winning_session().unwrap())
+            .unwrap()
+            .unwrap();
+        assert!(
+            !matches!(
+                outcome.status,
+                OutcomeStatus::Failed {
+                    reason: FailureReason::Cancelled
+                }
+            ),
+            "a served winner is never cancelled"
+        );
+    }
+    epochs.sort_unstable();
+    epochs.dedup();
+    assert_eq!(epochs.len(), N_CONTENDED, "one served demand per epoch");
+}
+
+/// The oversubscription face of the same coin: immediate-mode
+/// best-response settles every demand independently and promises the one
+/// seller to all N at once — the capacity fiction the clearing tier
+/// exists to remove.
+#[test]
+fn immediate_mode_oversubscribes_the_same_seller_pool() {
+    let exchange = Exchange::new(ExchangeConfig::default());
+    exchange
+        .register_seller(seller("solo", vec![0.06, 0.12, 0.20, 0.30]))
+        .unwrap();
+    let dids: Vec<DemandId> = (0..N_CONTENDED as u64)
+        .map(|seed| {
+            exchange
+                .submit_demand(contended_demand(
+                    seed,
+                    SettleMode::Immediate(Arc::new(BestResponse)),
+                ))
+                .unwrap()
+        })
+        .collect();
+    exchange.drain(2);
+    let matched = dids
+        .iter()
+        .filter(|&&did| exchange.take_demand(did).unwrap().winner.is_some())
+        .count();
+    assert_eq!(
+        matched, N_CONTENDED,
+        "independent settlement sees no capacity at all"
+    );
+    assert_eq!(exchange.metrics().epochs_cleared, 0);
+}
+
+/// Mid-drain observability: an epoch demand whose candidates all reported
+/// but whose batch has not fired yet reads as `Clearing`.
+#[test]
+fn parked_epoch_demands_read_as_clearing() {
+    let exchange = Exchange::new(ExchangeConfig::default());
+    exchange
+        .register_seller(seller("solo", vec![0.06, 0.12, 0.20, 0.30]))
+        .unwrap();
+    exchange
+        .open_clearing(ClearingSpec {
+            // Epoch size larger than the book: the demand parks ready and
+            // only the drain-idle flush clears it.
+            epoch_size: 64,
+            capacity: 1,
+            max_rolls: u32::MAX,
+            policy: Arc::new(UniformPriceClearing::default()),
+        })
+        .unwrap();
+    let did = exchange
+        .submit_demand(contended_demand(3, SettleMode::Epoch))
+        .unwrap();
+    assert!(matches!(
+        exchange.demand_status(did),
+        Some(DemandStatus::Matching { .. })
+    ));
+    exchange.drain(1);
+    // The flush settled it; the Clearing state was transitional inside
+    // the drain. Settled report carries epoch 0 (the flush epoch).
+    match exchange.demand_status(did) {
+        Some(DemandStatus::Settled(report)) => assert_eq!(report.epoch, Some(0)),
+        other => panic!("expected settled, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property: single-demand epochs ≡ BestResponse settlement, bit for bit.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Shape {
+    gains: Vec<f64>,
+    utility_rate: f64,
+    budget: f64,
+    seed: u64,
+    probe_rounds: u32,
+    n_sellers: usize,
+}
+
+fn market_shape() -> impl Strategy<Value = Shape> {
+    (
+        proptest::collection::vec(0.02f64..0.4, 2..6),
+        300.0f64..1200.0,
+        6.0f64..16.0,
+        0u64..1_000_000,
+        1u32..5,
+        1usize..4,
+    )
+        .prop_map(
+            |(gains, utility_rate, budget, seed, probe_rounds, n_sellers)| Shape {
+                gains,
+                utility_rate,
+                budget,
+                seed,
+                probe_rounds,
+                n_sellers,
+            },
+        )
+}
+
+fn shape_cfg(shape: &Shape) -> MarketConfig {
+    MarketConfig {
+        utility_rate: shape.utility_rate,
+        budget: shape.budget,
+        rate_cap: 24.0,
+        seed: shape.seed,
+        ..MarketConfig::default()
+    }
+}
+
+/// Builds the shape's seller pool on `exchange` (scaled gain landscapes,
+/// one catalog) and submits one demand with the given settle mode.
+fn run_shape(shape: &Shape, settle: SettleMode) -> (Exchange, DemandId) {
+    let exchange = Exchange::new(ExchangeConfig::default());
+    for s in 0..shape.n_sellers {
+        let scale = 1.0 - 0.3 * s as f64 / shape.n_sellers as f64;
+        let gains: Vec<f64> = shape.gains.iter().map(|g| g * scale).collect();
+        exchange
+            .register_seller(seller(&format!("s{s}"), gains))
+            .unwrap();
+    }
+    if settle.is_epoch() {
+        exchange
+            .open_clearing(ClearingSpec {
+                epoch_size: 1,
+                capacity: 1,
+                max_rolls: u32::MAX,
+                policy: Arc::new(UniformPriceClearing::default()),
+            })
+            .unwrap();
+    }
+    let did = exchange
+        .submit_demand(Demand {
+            wanted: BundleMask::all(shape.gains.len()),
+            scenario: None,
+            cfg: shape_cfg(shape),
+            task: Arc::new(|| Box::new(StrategicTask::new(0.30, 6.0, 0.9).unwrap())),
+            probe_rounds: shape.probe_rounds,
+            settle,
+        })
+        .unwrap();
+    exchange.drain(1);
+    (exchange, did)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// A single-demand epoch has nothing to cross against, so the double
+    /// auction must degenerate to per-demand best-response exactly: the
+    /// same winner, and every candidate session's outcome bit-identical
+    /// (transcripts, round records, probe histories included).
+    #[test]
+    fn single_demand_epochs_settle_bit_identically_to_best_response(shape in market_shape()) {
+        let (immediate, did_i) =
+            run_shape(&shape, SettleMode::Immediate(Arc::new(BestResponse)));
+        let (epoch, did_e) = run_shape(&shape, SettleMode::Epoch);
+
+        let ri = immediate.take_demand(did_i).expect("immediate settles");
+        let re = epoch.take_demand(did_e).expect("epoch settles");
+        prop_assert_eq!(re.winner, ri.winner, "same winner as BestResponse");
+        prop_assert_eq!(re.quotes.len(), ri.quotes.len());
+        prop_assert_eq!(re.epoch, Some(0));
+        prop_assert_eq!(ri.epoch, None);
+        for (a, b) in re.quotes.iter().zip(&ri.quotes) {
+            prop_assert_eq!(a.seller, b.seller);
+            prop_assert_eq!(&a.state, &b.state, "standing quotes identical");
+            prop_assert_eq!(&a.history, &b.history, "probe histories identical");
+            let oa = epoch.take(a.session).unwrap().map(|b| *b).map_err(|e| e.to_string());
+            let ob = immediate.take(b.session).unwrap().map(|b| *b).map_err(|e| e.to_string());
+            prop_assert_eq!(oa, ob, "bit-identical candidate outcomes");
+        }
+        // The direct 1×1 reference triangle: when one seller exists, both
+        // paths equal the bare run_bargaining outcome (modulo the seller
+        // stamp), exactly like the matching tier's equivalence property.
+        if shape.n_sellers == 1 {
+            let (provider, listings) = ladder(&shape.gains);
+            let mut task = StrategicTask::new(0.30, 6.0, 0.9).unwrap();
+            let mut data = StrategicData::with_gains(shape.gains.clone());
+            let mut reference = run_bargaining(
+                &provider, &listings, &mut task, &mut data, &shape_cfg(&shape),
+            ).unwrap();
+            reference.transcript.set_seller("s0");
+            // Both exchanges already yielded their outcomes above; re-run
+            // the epoch arm to compare against the bare engine.
+            let (epoch2, did2) = run_shape(&shape, SettleMode::Epoch);
+            let r2 = epoch2.take_demand(did2).unwrap();
+            let outcome = epoch2.take(r2.quotes[0].session).unwrap().unwrap();
+            prop_assert_eq!(*outcome, reference);
+        }
+    }
+}

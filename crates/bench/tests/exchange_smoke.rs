@@ -18,7 +18,7 @@ use vfl_bench::exchange_setup::{register_cell, seller_cell, strategic_demand, st
 use vfl_bench::{BaseModelKind, PreparedMarket, RunProfile};
 use vfl_exchange::{
     BestResponse, Demand, DemandStatus, Exchange, ExchangeConfig, MarketSpec, QuoteState,
-    SellerSpec, SessionStatus,
+    SellerSpec, SessionStatus, SettleMode,
 };
 use vfl_market::{
     run_bargaining, FailureReason, GainProvider, Listing, MarketConfig, OutcomeStatus,
@@ -308,7 +308,7 @@ fn losing_session_never_trains_a_model_after_settlement() {
             cfg: matching_cfg(seed),
             task: Arc::new(|| Box::new(StrategicTask::new(0.30, 6.0, 0.9).unwrap())),
             probe_rounds: 1,
-            policy: Arc::new(BestResponse),
+            settle: SettleMode::Immediate(Arc::new(BestResponse)),
         })
         .unwrap();
     exchange.drain(2);
@@ -467,7 +467,7 @@ proptest! {
                 cfg,
                 task: Arc::new(|| Box::new(StrategicTask::new(0.30, 6.0, 0.9).unwrap())),
                 probe_rounds: shape.probe_rounds,
-                policy: Arc::new(BestResponse),
+                settle: SettleMode::Immediate(Arc::new(BestResponse)),
             })
             .unwrap();
         exchange.drain(1);

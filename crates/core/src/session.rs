@@ -27,8 +27,17 @@
 //! decision of `Fail` with escalation room exhausted maps to
 //! `BudgetExhausted` — exactly the taxonomy of [`crate::engine::FailureReason`].
 //! `Cancelled` sits outside the paper's taxonomy: it is how a mediating
-//! tier (the `vfl-exchange` matching tier) closes the losing candidates of
-//! a multi-seller demand in an orderly way, transcript settled and all.
+//! tier closes candidates it routed away from, in an orderly way —
+//! transcript settled and all. Two marketplace paths fan into it: the
+//! `vfl-exchange` matching tier cancels the losing candidates of a
+//! multi-seller demand at its per-demand settlement, and the clearing
+//! tier cancels whole batches of losers at each epoch (every demand a
+//! double auction settles — matched or not — cancels its parked
+//! non-winners through this same event). Symmetrically, a winner is
+//! *released*: its probe horizon lifts and the machine simply keeps
+//! stepping to its Cases 1–6 conclusion — release is exchange-side
+//! bookkeeping, invisible to this state machine, which is why a routed
+//! winner's outcome is bit-identical to a direct 1×1 run.
 
 use crate::config::MarketConfig;
 use crate::engine::{ClosedBy, FailureReason, Outcome, OutcomeStatus, RoundRecord};
@@ -57,9 +66,11 @@ pub enum SessionEvent {
     /// Terminate the negotiation from any live phase with
     /// [`FailureReason::Cancelled`]. This is a *driver* event, not a paper
     /// case: a marketplace that fans one demand out to several data parties
-    /// sends it to the losing candidates once settlement picks a winner, so
-    /// a cancelled session settles its transcript (an `Abort` at the
-    /// current round) instead of being dropped mid-protocol.
+    /// sends it to the losing candidates once a winner is picked — whether
+    /// by a per-demand settlement or by a batch clearing epoch crossing
+    /// many demands at once — so a cancelled session settles its
+    /// transcript (an `Abort` at the current round) instead of being
+    /// dropped mid-protocol.
     Cancel,
 }
 

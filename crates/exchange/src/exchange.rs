@@ -39,11 +39,21 @@
 //!
 //! ## Lock order
 //!
-//! Flat by design: the market/seller registries, store shards, cache
-//! shards, waitlist, pending queue, and per-demand settlement locks are
-//! never nested inside one another on any path (`run_slice` holds *no* lock
-//! while driving strategy or course code; settlement actions are applied
-//! after the demand lock is dropped — see [`crate::matching`]).
+//! Flat by design, with one documented chain: the market/seller
+//! registries, store shards, cache shards, waitlist, pending queue, and
+//! per-demand settlement locks are never nested inside one another on any
+//! path (`run_slice` holds *no* lock while driving strategy or course
+//! code; immediate-mode settlement actions are applied after the demand
+//! lock is dropped — see [`crate::matching`]). The exception is the
+//! clearing tier: a whole epoch — decision, journal records, per-demand
+//! settlement, wake/cancel side-effects — runs under `clearing_sync`,
+//! inside which the window mutex and then each settled demand's lock are
+//! taken (`clearing_sync → window → demand → store shard`). No path
+//! acquires any of those the other way around (a completing report
+//! releases its demand lock *before* touching the window), so the chain
+//! cannot deadlock; holding `clearing_sync` across the epoch is what
+//! makes journal order equal epoch order, which crash-replay depends on
+//! (see [`crate::clearing`]).
 
 use crossbeam::channel::bounded;
 use parking_lot::{Mutex, RwLock};
@@ -56,10 +66,11 @@ use vfl_market::{GainProvider, Listing, MarketError, Outcome, Result, RoundRecor
 use vfl_sim::BundleMask;
 
 use crate::cache::{CourseServe, SharedGainCache};
+use crate::clearing::{ClearingSpec, ClearingWindow, EpochRecord};
 use crate::journal::{CrashHook, CrashPoint, ExchangeEvent, Journal, QuoteKind};
 use crate::matching::{
     Demand, DemandId, DemandReport, DemandState, DemandStatus, MatchBook, QuoteState,
-    QuotingFactory, SellerId, SettleAction,
+    QuotingFactory, ReportOutcome, SellerId, SettleAction, Settlement,
 };
 use crate::metrics::{ExchangeMetrics, MetricsSnapshot};
 use crate::session::{ActiveSession, Drive, MatchTag, SessionOrder};
@@ -176,6 +187,15 @@ pub struct Exchange {
     cache: SharedGainCache,
     waitlist: CourseWaitlist,
     match_book: MatchBook,
+    /// The clearing window, once [`Exchange::open_clearing`] ran (at most
+    /// one per exchange; epoch-mode demands are rejected without it).
+    clearing: RwLock<Option<Arc<ClearingWindow>>>,
+    /// Serializes whole clearing epochs (decision + journal + settlement)
+    /// — the batch linearization point; see the module doc's lock order.
+    clearing_sync: Mutex<()>,
+    /// Audit history of every cleared epoch, in epoch order (what
+    /// [`Exchange::epoch_history`] returns and `audit_replay` re-checks).
+    epoch_log: Mutex<Vec<EpochRecord>>,
     metrics: ExchangeMetrics,
     next_session: AtomicU64,
     /// Submitted-but-not-yet-dispatched session ids; drained by `drain`.
@@ -230,6 +250,9 @@ impl Exchange {
             cache: SharedGainCache::new(cfg.cache_shards),
             waitlist: CourseWaitlist::default(),
             match_book: MatchBook::new(),
+            clearing: RwLock::new(None),
+            clearing_sync: Mutex::new(()),
+            epoch_log: Mutex::new(Vec::new()),
             metrics: ExchangeMetrics::default(),
             markets: RwLock::new(Vec::new()),
             sellers: RwLock::new(Vec::new()),
@@ -361,6 +384,45 @@ impl Exchange {
         Ok(id)
     }
 
+    /// Opens the exchange's clearing window: demands submitted with
+    /// [`crate::SettleMode::Epoch`] park after their probes and are settled in
+    /// batch epochs by `spec.policy` (see [`crate::clearing`] for the
+    /// epoch lifecycle). At most one window per exchange; open it before
+    /// submitting any epoch-mode demand. The window's shape
+    /// (`epoch_size`, `capacity`, `max_rolls`) is journaled so recovery
+    /// can verify the re-supplied spec against it.
+    pub fn open_clearing(&self, spec: ClearingSpec) -> Result<()> {
+        let mut slot = self.clearing.write();
+        if slot.is_some() {
+            return Err(MarketError::InvalidConfig(
+                "the exchange's clearing window is already open".into(),
+            ));
+        }
+        let window = ClearingWindow::new(spec)?;
+        // Journal under the held window lock, mirroring registrations:
+        // the open-record precedes every epoch demand in any prefix.
+        self.record_with(|| ExchangeEvent::ClearingOpened {
+            epoch_size: window.spec().epoch_size as u32,
+            capacity: window.spec().capacity,
+            max_rolls: window.spec().max_rolls,
+        });
+        *slot = Some(Arc::new(window));
+        Ok(())
+    }
+
+    /// The audit log of every cleared epoch so far, in epoch order: which
+    /// demand matched/rolled/expired in which batch, and the uniform
+    /// clearing price per seller market (see [`crate::clearing`]).
+    pub fn epoch_history(&self) -> Vec<EpochRecord> {
+        self.epoch_log.lock().clone()
+    }
+
+    /// The clearing window's spec-and-queue view (`None` before
+    /// [`Exchange::open_clearing`]).
+    pub fn clearing_window(&self) -> Option<Arc<ClearingWindow>> {
+        self.clearing.read().clone()
+    }
+
     /// The market a registered seller trades on (`None` for unknown ids).
     pub fn seller_market(&self, id: SellerId) -> Option<MarketId> {
         self.sellers.read().get(id.0).map(|s| s.market)
@@ -450,7 +512,7 @@ impl Exchange {
     /// demand (no overlapping seller, empty `wanted`, `probe_rounds == 0`)
     /// rejects the whole demand without opening any session.
     pub fn submit_demand(&self, demand: Demand) -> Result<DemandId> {
-        Self::validate_demand(&demand)?;
+        self.validate_demand(&demand)?;
         // Snapshot the eligible sellers (registration order = slot order).
         let eligible: Vec<(SellerId, String, MarketId, QuotingFactory)> = {
             let sellers = self.sellers.read();
@@ -482,7 +544,7 @@ impl Exchange {
         Ok(did)
     }
 
-    fn validate_demand(demand: &Demand) -> Result<()> {
+    fn validate_demand(&self, demand: &Demand) -> Result<()> {
         if demand.probe_rounds == 0 {
             return Err(MarketError::InvalidConfig(
                 "demand probe_rounds must be >= 1".into(),
@@ -491,6 +553,11 @@ impl Exchange {
         if demand.wanted.is_empty() {
             return Err(MarketError::InvalidConfig(
                 "demand wants no features (empty bundle mask)".into(),
+            ));
+        }
+        if demand.settle.is_epoch() && self.clearing.read().is_none() {
+            return Err(MarketError::InvalidConfig(
+                "epoch-mode demand with no clearing window (call open_clearing first)".into(),
             ));
         }
         Ok(())
@@ -546,9 +613,12 @@ impl Exchange {
     }
 
     /// Commits a planned fan-out: the demand state (so any report finds
-    /// it), then tagged sessions into the store, then one atomic batch
-    /// into the pending queue (a concurrent drain sees all candidates or
-    /// none), then the journal record — one event for the whole fan-out.
+    /// it), then — for epoch demands — the clearing-window queue entry
+    /// (submission order is epoch-membership order, and it must exist
+    /// before any candidate can report ready), then tagged sessions into
+    /// the store, then one atomic batch into the pending queue (a
+    /// concurrent drain sees all candidates or none), then the journal
+    /// record — one event for the whole fan-out.
     fn commit_demand(
         &self,
         did: DemandId,
@@ -564,8 +634,16 @@ impl Exchange {
             .collect();
         self.match_book.open_at(
             did,
-            DemandState::new(demand.cfg, demand.policy.clone(), candidates),
+            DemandState::new(demand.cfg, demand.settle.clone(), candidates),
         );
+        if demand.settle.is_epoch() {
+            let window = self
+                .clearing
+                .read()
+                .clone()
+                .expect("validated: epoch demands require an open window");
+            window.enqueue(did, demand.cfg);
+        }
         for ((slot, mut session), &sid) in sessions.into_iter().enumerate().zip(&ids) {
             session.set_match_tag(MatchTag {
                 demand: did,
@@ -581,6 +659,7 @@ impl Exchange {
             wanted: demand.wanted,
             probe_rounds: demand.probe_rounds,
             cfg_digest: wire::config_digest(&demand.cfg),
+            epoch_mode: demand.settle.is_epoch(),
             candidates: eligible
                 .iter()
                 .zip(&ids)
@@ -603,7 +682,7 @@ impl Exchange {
         demand: Demand,
         recorded: &[(SellerId, SessionId)],
     ) -> Result<()> {
-        Self::validate_demand(&demand)?;
+        self.validate_demand(&demand)?;
         if recorded.is_empty() {
             return Err(MarketError::InvalidConfig(
                 "journaled demand has an empty fan-out".into(),
@@ -690,6 +769,9 @@ impl Exchange {
             demands_settled: self.metrics.demands_settled.load(Ordering::Relaxed),
             demands_matched: self.metrics.demands_matched.load(Ordering::Relaxed),
             courses_preloaded: self.metrics.courses_preloaded.load(Ordering::Relaxed),
+            epochs_cleared: self.metrics.epochs_cleared.load(Ordering::Relaxed),
+            demands_rolled: self.metrics.demands_rolled.load(Ordering::Relaxed),
+            demands_expired: self.metrics.demands_expired.load(Ordering::Relaxed),
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
         }
@@ -759,7 +841,20 @@ impl Exchange {
                     // concurrent external submit could, and we re-check the
                     // pending queue for exactly that before exiting.
                     if overflow.is_empty() && self.pending.lock().is_empty() {
-                        break;
+                        // One parked state outlives an idle pool by design:
+                        // epoch demands awaiting a partial final batch. With
+                        // no other work left, every queued demand is ready
+                        // (its candidates all reported before the pool went
+                        // idle), so the flush deterministically clears the
+                        // remainder — epoch by epoch, rolled demands
+                        // re-batched — wakes the winners into the pending
+                        // queue, and the loop continues; when it neither
+                        // wakes nor cancels anything, the window is empty
+                        // and the drain is done.
+                        cancelled += self.flush_clearing();
+                        if self.pending.lock().is_empty() {
+                            break;
+                        }
                     }
                     continue;
                 }
@@ -817,11 +912,13 @@ impl Exchange {
     }
 
     /// Records a candidate quote (with its round history, for probe-spend
-    /// accounting) and, when it completes the demand, applies the
-    /// settlement: wake the winner past its horizon, cancel parked
-    /// losers. Runs inside the reporting worker's slice; returns how many
-    /// sessions it cancelled so the slice's notice can attribute them to
-    /// the drain that did the work.
+    /// accounting) and, when it completes the demand, either applies the
+    /// settlement (immediate mode: wake the winner past its horizon,
+    /// cancel parked losers) or parks the demand ready in the clearing
+    /// window and drives any epoch that is now due. Runs inside the
+    /// reporting worker's slice; returns how many sessions it cancelled
+    /// so the slice's notice can attribute them to the drain that did
+    /// the work.
     fn report_quote(
         &self,
         demand: DemandId,
@@ -835,31 +932,54 @@ impl Exchange {
             QuoteState::Error(_) => QuoteKind::Error,
         };
         let rounds = history.len() as u32;
-        let settlement = self.match_book.report(demand, slot, quote, history);
+        let outcome = self.match_book.report(demand, slot, quote, history);
         self.record_with(|| ExchangeEvent::QuoteRecorded {
             demand,
             slot: slot as u32,
             kind,
             rounds,
         });
-        let Some(settlement) = settlement else {
-            return 0;
-        };
+        match outcome {
+            None => 0,
+            Some(ReportOutcome::Settled(settlement)) => self.apply_settlement(demand, settlement),
+            Some(ReportOutcome::EpochReady(quotes)) => {
+                let window = self.clearing.read().clone();
+                let Some(window) = window else {
+                    debug_assert!(false, "epoch demand {demand} without a window");
+                    return 0;
+                };
+                // The demand lock was released inside `report`; only now
+                // does the window get touched (lock order, module doc).
+                window.mark_ready(demand, quotes);
+                self.drive_clearing(&window, false)
+            }
+        }
+    }
+
+    /// Journals and applies one demand's settlement: the decision is
+    /// already made (and visible in the match book) but neither recorded
+    /// nor applied — the two crash points bracket exactly the windows the
+    /// injectable-crash replay must survive. Returns the sessions
+    /// cancelled.
+    fn apply_settlement(&self, demand: DemandId, settlement: Settlement) -> usize {
         ExchangeMetrics::incr(&self.metrics.demands_settled);
         if settlement.matched {
             ExchangeMetrics::incr(&self.metrics.demands_matched);
         }
-        // Settlement critical section: the decision is made (and the
-        // report visible in the match book) but neither journaled nor
-        // applied yet — the injectable crash window replay must survive.
         self.crash_point(CrashPoint::SettlementDecided(demand));
         self.record_with(|| ExchangeEvent::DemandSettled {
             demand,
             winner: settlement.winner.map(|w| w as u32),
         });
         self.crash_point(CrashPoint::SettlementRecorded(demand));
+        self.apply_actions(settlement.actions)
+    }
+
+    /// Applies deferred wake/cancel actions to parked candidate sessions;
+    /// returns how many it cancelled.
+    fn apply_actions(&self, actions: Vec<SettleAction>) -> usize {
         let mut cancelled = 0usize;
-        for action in settlement.actions {
+        for action in actions {
             match action {
                 SettleAction::Wake(sid) => {
                     // The winner is parked: Ready in the store, owned by
@@ -899,6 +1019,67 @@ impl Exchange {
             }
         }
         cancelled
+    }
+
+    /// Clears every epoch that is currently due — on the count trigger
+    /// (`flush = false`, fired inside the worker slice whose report
+    /// completed a batch) or the drain-idle flush (`flush = true`,
+    /// partial final batches included). Each epoch runs whole under the
+    /// clearing-sync mutex: decision, `EpochCleared` record, and every
+    /// member demand's settlement (decision→record→side-effects, exactly
+    /// the immediate path's sequence) — the batch's single linearization
+    /// point, and the reason journaled epoch order equals real epoch
+    /// order. Returns the sessions cancelled.
+    fn drive_clearing(&self, window: &ClearingWindow, flush: bool) -> usize {
+        let mut cancelled = 0usize;
+        loop {
+            let _sync = self.clearing_sync.lock();
+            let Some(outcome) = window.clear_next(flush) else {
+                break;
+            };
+            let epoch = outcome.record.epoch;
+            // Epoch critical section: decided but not recorded, then
+            // recorded but not applied — both windows are injectable.
+            self.crash_point(CrashPoint::EpochDecided(epoch));
+            self.record_with(|| ExchangeEvent::EpochCleared {
+                record: outcome.record.clone(),
+            });
+            self.crash_point(CrashPoint::EpochRecorded(epoch));
+            self.epoch_log.lock().push(outcome.record.clone());
+            ExchangeMetrics::incr(&self.metrics.epochs_cleared);
+            for _ in 0..outcome.rolled.len() {
+                ExchangeMetrics::incr(&self.metrics.demands_rolled);
+            }
+            for _ in 0..outcome.expired {
+                ExchangeMetrics::incr(&self.metrics.demands_expired);
+            }
+            for &did in &outcome.rolled {
+                self.match_book.note_roll(did);
+            }
+            for settled in &outcome.settled {
+                if let Some(settlement) = self.match_book.settle_epoch(
+                    settled.demand,
+                    settled.winner,
+                    epoch,
+                    settled.price,
+                ) {
+                    cancelled += self.apply_settlement(settled.demand, settlement);
+                } else {
+                    debug_assert!(false, "cleared demand {} not in the book", settled.demand);
+                }
+            }
+        }
+        cancelled
+    }
+
+    /// Drain-idle hook: flushes the clearing window (partial final
+    /// epochs included). Returns the sessions it cancelled; winners it
+    /// woke are in the pending queue afterwards.
+    fn flush_clearing(&self) -> usize {
+        match self.clearing.read().clone() {
+            Some(window) => self.drive_clearing(&window, true),
+            None => 0,
+        }
     }
 
     /// One worker slice. Cheap work (strategy steps, cached course results)

@@ -82,6 +82,7 @@ use std::sync::Arc;
 use vfl_market::session::wire;
 use vfl_sim::BundleMask;
 
+use crate::clearing::{ClearingSpec, EpochEntry, EpochEntryKind, EpochRecord};
 use crate::exchange::{Exchange, ExchangeConfig, MarketId, MarketSpec};
 use crate::matching::{Demand, DemandId, SellerId, SellerSpec};
 use crate::session::SessionOrder;
@@ -195,7 +196,9 @@ pub enum ExchangeEvent {
     },
     /// A demand accepted by [`Exchange::submit_demand`], with its whole
     /// candidate fan-out (one atomic record: a prefix never sees half a
-    /// demand).
+    /// demand). Immediate- and epoch-mode demands are distinct frame
+    /// tags on the wire (the format is append-only), decoded into one
+    /// variant with the `epoch_mode` flag.
     DemandSubmitted {
         /// The assigned demand id.
         demand: DemandId,
@@ -205,8 +208,33 @@ pub enum ExchangeEvent {
         probe_rounds: u32,
         /// [`wire::config_digest`] of the demand config.
         cfg_digest: u64,
+        /// True when the demand settles through the clearing window
+        /// ([`crate::SettleMode::Epoch`]); recovery verifies the
+        /// re-supplied demand's mode against it.
+        epoch_mode: bool,
         /// The fan-out: `(seller, candidate session)` in slot order.
         candidates: Vec<(SellerId, SessionId)>,
+    },
+    /// The clearing window opened ([`Exchange::open_clearing`]) — the
+    /// window's shape; its [`crate::ClearPolicy`] is code and is
+    /// re-supplied (and divergence-audited) at recovery. Load-bearing:
+    /// replay re-opens the window before re-submitting epoch demands.
+    ClearingOpened {
+        /// Demands per epoch (count trigger).
+        epoch_size: u32,
+        /// Per-epoch matched engagements per seller.
+        capacity: u32,
+        /// Rolls before a contended demand expires unmatched.
+        max_rolls: u32,
+    },
+    /// A clearing epoch ran (audit trail, like [`Self::DemandSettled`]):
+    /// the full batch record — every member demand's disposition and the
+    /// uniform clearing price per seller market. Replay re-derives every
+    /// epoch; [`Exchange::audit_replay`] re-checks the recovered epoch
+    /// history against these records.
+    EpochCleared {
+        /// The epoch's audit record.
+        record: EpochRecord,
     },
     /// A worker slice picked the session up (audit/throughput trail).
     SessionDispatched {
@@ -404,9 +432,12 @@ impl ExchangeEvent {
                 wanted,
                 probe_rounds,
                 cfg_digest,
+                epoch_mode,
                 candidates,
             } => {
-                buf.push(4);
+                // Two tags, one layout: tag 4 = immediate (the original
+                // format, old journals keep decoding), tag 11 = epoch.
+                buf.push(if *epoch_mode { 11 } else { 4 });
                 put_u64(&mut buf, demand.0);
                 put_u64(&mut buf, wanted.0);
                 put_u32(&mut buf, *probe_rounds);
@@ -415,6 +446,36 @@ impl ExchangeEvent {
                 for (seller, session) in candidates {
                     put_u32(&mut buf, seller.0 as u32);
                     put_u64(&mut buf, session.0);
+                }
+            }
+            ExchangeEvent::ClearingOpened {
+                epoch_size,
+                capacity,
+                max_rolls,
+            } => {
+                buf.push(12);
+                put_u32(&mut buf, *epoch_size);
+                put_u32(&mut buf, *capacity);
+                put_u32(&mut buf, *max_rolls);
+            }
+            ExchangeEvent::EpochCleared { record } => {
+                buf.push(13);
+                put_u64(&mut buf, record.epoch);
+                put_u32(&mut buf, record.entries.len() as u32);
+                for entry in &record.entries {
+                    put_u64(&mut buf, entry.demand.0);
+                    buf.push(entry.kind.code());
+                    if entry.kind == EpochEntryKind::Matched {
+                        put_u32(
+                            &mut buf,
+                            entry.winner.expect("matched entries have a winner"),
+                        );
+                    }
+                }
+                put_u32(&mut buf, record.prices.len() as u32);
+                for (seller, price) in &record.prices {
+                    put_u32(&mut buf, seller.0 as u32);
+                    put_u64(&mut buf, price.to_bits());
                 }
             }
             ExchangeEvent::SessionDispatched { session } => {
@@ -509,7 +570,7 @@ impl ExchangeEvent {
                 market: MarketId(r.u32()? as usize),
                 cfg_digest: r.u64()?,
             },
-            4 => {
+            tag @ (4 | 11) => {
                 let demand = DemandId(r.u64()?);
                 let wanted = BundleMask(r.u64()?);
                 let probe_rounds = r.u32()?;
@@ -524,6 +585,7 @@ impl ExchangeEvent {
                     wanted,
                     probe_rounds,
                     cfg_digest,
+                    epoch_mode: tag == 11,
                     candidates,
                 }
             }
@@ -561,6 +623,42 @@ impl ExchangeEvent {
                 rounds: r.u32()?,
                 digest: r.u64()?,
             },
+            12 => ExchangeEvent::ClearingOpened {
+                epoch_size: r.u32()?,
+                capacity: r.u32()?,
+                max_rolls: r.u32()?,
+            },
+            13 => {
+                let epoch = r.u64()?;
+                let n = r.u32()? as usize;
+                let mut entries = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let demand = DemandId(r.u64()?);
+                    let kind = EpochEntryKind::from_code(r.u8()?)?;
+                    let winner = if kind == EpochEntryKind::Matched {
+                        Some(r.u32()?)
+                    } else {
+                        None
+                    };
+                    entries.push(EpochEntry {
+                        demand,
+                        kind,
+                        winner,
+                    });
+                }
+                let n_prices = r.u32()? as usize;
+                let mut prices = Vec::with_capacity(n_prices.min(1024));
+                for _ in 0..n_prices {
+                    prices.push((SellerId(r.u32()? as usize), r.f64()?));
+                }
+                ExchangeEvent::EpochCleared {
+                    record: EpochRecord {
+                        epoch,
+                        entries,
+                        prices,
+                    },
+                }
+            }
             _ => return None,
         };
         if !r.done() {
@@ -824,6 +922,12 @@ pub enum CrashPoint {
     /// The settlement record landed, before its wake/cancel side-effects
     /// are applied to the candidate sessions.
     SettlementRecorded(DemandId),
+    /// A clearing epoch's batch decision is made (queue already
+    /// updated), before its [`ExchangeEvent::EpochCleared`] record.
+    EpochDecided(u64),
+    /// The epoch record landed, before any member demand was settled —
+    /// the whole batch's settlements are still pending at this instant.
+    EpochRecorded(u64),
     /// A session produced its terminal outcome, before the
     /// [`ExchangeEvent::SessionConcluded`] record.
     Concluding(SessionId),
@@ -856,8 +960,17 @@ pub struct ReplaySpec {
     /// recorded id).
     pub orders: Box<dyn FnMut(SessionId) -> SessionOrder>,
     /// Rebuilds the [`Demand`] of a journaled demand submission (called
-    /// once per [`ExchangeEvent::DemandSubmitted`], with the recorded id).
+    /// once per [`ExchangeEvent::DemandSubmitted`], with the recorded
+    /// id). The rebuilt demand's settle mode must match the journaled
+    /// one (epoch demands journal under their own frame tag).
     pub demands: Box<dyn FnMut(DemandId) -> Demand>,
+    /// The clearing window's spec, when the journal records a
+    /// [`ExchangeEvent::ClearingOpened`]: `epoch_size`/`capacity`/
+    /// `max_rolls` are verified against the record, the
+    /// [`crate::ClearPolicy`] is code and is trusted here — a drifted
+    /// policy is what the epoch audit in [`Exchange::audit_replay`]
+    /// catches after the resumed drain.
+    pub clearing: Option<ClearingSpec>,
 }
 
 impl Default for ReplaySpec {
@@ -874,6 +987,7 @@ impl Default for ReplaySpec {
             demands: Box::new(|id| {
                 panic!("replay spec has no demand factory (journal records demand {id})")
             }),
+            clearing: None,
         }
     }
 }
@@ -905,7 +1019,7 @@ pub struct RecordedSettlement {
 }
 
 /// What [`Exchange::recover`] rebuilt.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ReplayReport {
     /// Valid events decoded from the journal prefix.
     pub events: usize,
@@ -931,6 +1045,15 @@ pub struct ReplayReport {
     /// Settlements the prefix recorded, audited the same way: the resumed
     /// run must re-settle every recorded demand to the recorded winner.
     pub settlements: Vec<RecordedSettlement>,
+    /// Clearing epochs the prefix recorded (full batch records), audited
+    /// the same way: the resumed run re-derives every epoch from scratch
+    /// and [`Exchange::audit_replay`] requires each recorded epoch to
+    /// reappear identically — entries, winners, and uniform prices — in
+    /// the recovered [`Exchange::epoch_history`].
+    pub epochs: Vec<EpochRecord>,
+    /// True when the prefix recorded a [`ExchangeEvent::ClearingOpened`]
+    /// (and the recovered exchange re-opened its window).
+    pub clearing_opened: bool,
 }
 
 /// Why a recovery was refused.
@@ -1145,14 +1268,51 @@ impl Exchange {
                         })?;
                     report.sessions += 1;
                 }
+                ExchangeEvent::ClearingOpened {
+                    epoch_size,
+                    capacity,
+                    max_rolls,
+                } => {
+                    let Some(cs) = spec.clearing.take() else {
+                        return Err(RecoverError::SpecMismatch(
+                            "journal records a clearing window but the spec supplies \
+                             no clearing spec"
+                                .into(),
+                        ));
+                    };
+                    if cs.epoch_size as u32 != epoch_size
+                        || cs.capacity != capacity
+                        || cs.max_rolls != max_rolls
+                    {
+                        return Err(RecoverError::SpecMismatch(format!(
+                            "clearing window: journal records epoch_size {epoch_size} / \
+                             capacity {capacity} / max_rolls {max_rolls}, spec supplies \
+                             {} / {} / {}",
+                            cs.epoch_size, cs.capacity, cs.max_rolls
+                        )));
+                    }
+                    exchange
+                        .open_clearing(cs)
+                        .map_err(|e| RecoverError::InconsistentJournal(format!("clearing: {e}")))?;
+                    report.clearing_opened = true;
+                }
                 ExchangeEvent::DemandSubmitted {
                     demand,
                     wanted,
                     probe_rounds,
                     cfg_digest,
+                    epoch_mode,
                     candidates,
                 } => {
                     let d = (spec.demands)(demand);
+                    if d.settle.is_epoch() != epoch_mode {
+                        return Err(RecoverError::SpecMismatch(format!(
+                            "demand {demand}: journal records {} settlement, spec \
+                             supplies {:?}",
+                            if epoch_mode { "epoch" } else { "immediate" },
+                            d.settle
+                        )));
+                    }
                     if d.wanted != wanted {
                         return Err(RecoverError::SpecMismatch(format!(
                             "demand {demand}: journal records wanted {wanted}, spec \
@@ -1207,6 +1367,11 @@ impl Exchange {
                 ExchangeEvent::DemandSettled { demand, winner } => report
                     .settlements
                     .push(RecordedSettlement { demand, winner }),
+                // Recorded epochs: not replayed (the resuming drain
+                // re-clears from scratch), kept for the post-resume
+                // batch audit — entries, winners, and prices must all
+                // reappear.
+                ExchangeEvent::EpochCleared { record } => report.epochs.push(record),
                 // Pure audit trail: recomputed by the resuming drain (see
                 // the module doc's replay-safety argument).
                 ExchangeEvent::SessionDispatched { .. }
@@ -1224,10 +1389,39 @@ impl Exchange {
     /// is how a real recovery — which has no in-memory reference run to
     /// compare against — detects replay divergence (a drifted spec or
     /// match policy the fingerprints could not see, a nondeterministic
-    /// strategy) instead of silently trusting the recomputation. Call it
+    /// strategy) instead of silently trusting the recomputation — and,
+    /// for clearing exchanges, that every recorded epoch re-cleared to
+    /// the identical batch record. Call it
     /// between the drain and any `take`; returns the number of records
-    /// verified (conclusions + settlements).
+    /// verified (conclusions + settlements + epochs).
     pub fn audit_replay(&self, report: &ReplayReport) -> Result<usize, RecoverError> {
+        // Epoch audit: the resumed run re-derives the epoch sequence
+        // from scratch, so every epoch the prefix recorded must
+        // reappear at the same epoch number with the identical batch
+        // record — membership, dispositions, winners, and uniform
+        // prices. A drifted ClearPolicy (which the spec fingerprints
+        // cannot see) surfaces here.
+        let history = self.epoch_history();
+        for recorded in &report.epochs {
+            let replayed = history.iter().find(|r| r.epoch == recorded.epoch);
+            match replayed {
+                Some(replayed) if replayed == recorded => {}
+                Some(replayed) => {
+                    return Err(RecoverError::Divergence(format!(
+                        "epoch {}: journal records {recorded:?}, replay cleared \
+                         {replayed:?}",
+                        recorded.epoch
+                    )));
+                }
+                None => {
+                    return Err(RecoverError::Divergence(format!(
+                        "journal records epoch {} but the resumed run never cleared \
+                         it",
+                        recorded.epoch
+                    )));
+                }
+            }
+        }
         for rs in &report.settlements {
             match self.demand_status(rs.demand) {
                 Some(crate::matching::DemandStatus::Settled(replayed)) => {
@@ -1240,7 +1434,10 @@ impl Exchange {
                         )));
                     }
                 }
-                Some(crate::matching::DemandStatus::Matching { .. }) => {
+                Some(
+                    crate::matching::DemandStatus::Matching { .. }
+                    | crate::matching::DemandStatus::Clearing { .. },
+                ) => {
                     return Err(RecoverError::Divergence(format!(
                         "demand {} is still matching — audit_replay must run after \
                          the resumed drain",
@@ -1295,7 +1492,7 @@ impl Exchange {
                 }
             }
         }
-        Ok(report.conclusions.len() + report.settlements.len())
+        Ok(report.conclusions.len() + report.settlements.len() + report.epochs.len())
     }
 }
 
@@ -1334,7 +1531,49 @@ mod tests {
                 wanted: BundleMask(0b101),
                 probe_rounds: 2,
                 cfg_digest: 0xfeed_f00d,
+                epoch_mode: false,
                 candidates: vec![(SellerId(0), SessionId(8)), (SellerId(2), SessionId(9))],
+            },
+            ExchangeEvent::ClearingOpened {
+                epoch_size: 4,
+                capacity: 1,
+                max_rolls: u32::MAX,
+            },
+            ExchangeEvent::DemandSubmitted {
+                demand: DemandId(5),
+                wanted: BundleMask(0b110),
+                probe_rounds: 1,
+                cfg_digest: 0x0dd_ba11,
+                epoch_mode: true,
+                candidates: vec![(SellerId(1), SessionId(12))],
+            },
+            ExchangeEvent::EpochCleared {
+                record: EpochRecord {
+                    epoch: 2,
+                    entries: vec![
+                        EpochEntry {
+                            demand: DemandId(5),
+                            kind: EpochEntryKind::Matched,
+                            winner: Some(0),
+                        },
+                        EpochEntry {
+                            demand: DemandId(6),
+                            kind: EpochEntryKind::Rolled,
+                            winner: None,
+                        },
+                        EpochEntry {
+                            demand: DemandId(7),
+                            kind: EpochEntryKind::Expired,
+                            winner: None,
+                        },
+                        EpochEntry {
+                            demand: DemandId(8),
+                            kind: EpochEntryKind::Unmatched,
+                            winner: None,
+                        },
+                    ],
+                    prices: vec![(SellerId(1), 3.75), (SellerId(4), 0.125)],
+                },
             },
             ExchangeEvent::SessionDispatched {
                 session: SessionId(7),

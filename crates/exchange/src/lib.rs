@@ -21,12 +21,19 @@
 //!   overlaps, probes the candidates concurrently, and settles by a
 //!   pluggable [`MatchPolicy`] (losing candidates are cancelled, the winner
 //!   runs to the paper's Cases 1–6 conclusion);
+//! * [`clearing`] — the batch tier above it: demands submitted with
+//!   [`SettleMode::Epoch`] park after their probes and are crossed
+//!   *together* against the seller pool in deterministic epochs by a
+//!   double-auction [`ClearPolicy`] ([`UniformPriceClearing`] ships),
+//!   capacity-aware and journaled as one atomic batch per epoch;
 //! * [`MetricsSnapshot`] — sessions opened/closed/failed/cancelled, rounds,
-//!   course requests and waits, demand/match counts, cache hit rate;
+//!   course requests and waits, demand/match counts, epochs cleared and
+//!   rolls, cache hit rate;
 //! * [`journal`] — the durable append-only event journal (versioned,
 //!   checksummed frames) and [`Exchange::recover`]: a crashed drain is
 //!   rebuilt from the journal's valid prefix and resumes without
-//!   re-training any course it already paid for.
+//!   re-training any course it already paid for (epoch clearings
+//!   included — the recorded epochs are re-derived and audited).
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -65,7 +72,9 @@
 //!
 //! ```no_run
 //! use std::sync::Arc;
-//! use vfl_exchange::{BestResponse, Demand, Exchange, ExchangeConfig, MarketSpec, SellerSpec};
+//! use vfl_exchange::{
+//!     BestResponse, Demand, Exchange, ExchangeConfig, MarketSpec, SellerSpec, SettleMode,
+//! };
 //! use vfl_market::{MarketConfig, StrategicData, StrategicTask, TableGainProvider};
 //! use vfl_sim::BundleMask;
 //!
@@ -94,7 +103,7 @@
 //!         cfg: MarketConfig::default(),
 //!         task: Arc::new(|| Box::new(StrategicTask::new(0.3, 6.0, 0.9).unwrap())),
 //!         probe_rounds: 2,
-//!         policy: Arc::new(BestResponse),
+//!         settle: SettleMode::Immediate(Arc::new(BestResponse)),
 //!     })
 //!     .unwrap();
 //! exchange.drain(4);
@@ -105,6 +114,7 @@
 #![deny(missing_docs)]
 
 pub mod cache;
+pub mod clearing;
 pub mod exchange;
 pub mod journal;
 pub mod matching;
@@ -114,6 +124,11 @@ pub mod store;
 mod waitlist;
 
 pub use cache::{CourseServe, SharedGainCache};
+pub use clearing::{
+    uniform_prices, Assignment, ClearPolicy, ClearingSpec, ClearingWindow, EpochBatch,
+    EpochDecision, EpochDemand, EpochEntry, EpochEntryKind, EpochRecord, PerDemand,
+    UniformPriceClearing,
+};
 pub use exchange::{DrainReport, Exchange, ExchangeConfig, MarketId, MarketSpec};
 pub use journal::{
     frame_boundaries, listing_table_digest, read_events, CrashHook, CrashPoint, ExchangeEvent,
@@ -122,7 +137,7 @@ pub use journal::{
 };
 pub use matching::{
     BestResponse, CandidateQuote, Demand, DemandId, DemandReport, DemandStatus, MatchPolicy,
-    QuoteState, QuotingFactory, SellerId, SellerSpec, TaskFactory,
+    QuoteState, QuotingFactory, SellerId, SellerSpec, SettleMode, TaskFactory,
 };
 pub use metrics::{ExchangeMetrics, MetricsSnapshot};
 pub use session::SessionOrder;
@@ -377,7 +392,7 @@ mod tests {
             cfg: cfg(seed),
             task: Arc::new(|| Box::new(StrategicTask::new(0.30, 6.0, 0.9).unwrap())),
             probe_rounds,
-            policy: Arc::new(BestResponse),
+            settle: SettleMode::Immediate(Arc::new(BestResponse)),
         }
     }
 
@@ -804,6 +819,7 @@ mod tests {
             sellers: vec![seller_spec("alpha", 0.4), seller_spec("beta", 1.0)],
             orders: Box::new(move |sid| order(&table_market().2, sid.0)),
             demands: Box::new(|_| demand(9, 2)),
+            clearing: None,
         }
     }
 
@@ -963,6 +979,133 @@ mod tests {
             "CourseTrained fires before the course record lands"
         );
         world.exchange.set_crash_hook(None);
+    }
+
+    #[test]
+    fn epoch_demands_clear_through_the_window_end_to_end() {
+        let exchange = Exchange::new(ExchangeConfig::default());
+        let weak = exchange
+            .register_seller(scaled_seller("weak", 0.1, None))
+            .unwrap();
+        let strong = exchange
+            .register_seller(scaled_seller("strong", 1.0, None))
+            .unwrap();
+        exchange
+            .open_clearing(ClearingSpec {
+                epoch_size: 2,
+                capacity: 1,
+                max_rolls: u32::MAX,
+                policy: Arc::new(UniformPriceClearing::default()),
+            })
+            .unwrap();
+        let mut d0 = demand(7, 1);
+        d0.settle = SettleMode::Epoch;
+        let mut d1 = demand(8, 1);
+        d1.settle = SettleMode::Epoch;
+        let dids = [
+            exchange.submit_demand(d0).unwrap(),
+            exchange.submit_demand(d1).unwrap(),
+        ];
+        let report = exchange.drain(2);
+        assert_eq!(report.failed, 0);
+
+        // Both demands settled through the window; with one seat per
+        // seller per epoch, the two demands share the pool instead of
+        // both claiming the strong seller.
+        let snap = exchange.metrics();
+        assert_eq!(snap.demands_settled, 2);
+        let history = exchange.epoch_history();
+        assert!(!history.is_empty(), "at least one epoch cleared");
+        assert_eq!(snap.epochs_cleared as usize, history.len());
+        let mut winners = Vec::new();
+        for did in dids {
+            let settled = exchange.take_demand(did).expect("settled in the drain");
+            let epoch = settled.epoch.expect("epoch-mode reports carry their epoch");
+            assert!(history.iter().any(|r| r.epoch == epoch));
+            if let Some(q) = settled.winning_quote() {
+                assert!(
+                    settled.clearing_price.is_some(),
+                    "matched epoch demands carry their market's uniform price"
+                );
+                winners.push(q.seller);
+                // The winner ran to a real conclusion after its release.
+                let outcome = exchange.take(settled.winning_session().unwrap()).unwrap();
+                assert!(outcome.is_ok());
+            }
+        }
+        assert!(winners.contains(&strong), "the strong landscape clears");
+        if winners.len() == 2 {
+            assert!(
+                winners.contains(&weak),
+                "capacity 1: the second demand crossed to the other seller"
+            );
+        }
+        // Epoch dispositions cover exactly the two demands.
+        let entries: usize = history.iter().map(|r| r.entries.len()).sum();
+        assert!(entries >= 2);
+    }
+
+    #[test]
+    fn epoch_demands_require_an_open_window_and_it_opens_once() {
+        let exchange = Exchange::new(ExchangeConfig::default());
+        exchange
+            .register_seller(scaled_seller("solo", 1.0, None))
+            .unwrap();
+        let mut d = demand(3, 1);
+        d.settle = SettleMode::Epoch;
+        assert!(
+            exchange.submit_demand(d).is_err(),
+            "epoch demands need open_clearing first"
+        );
+        exchange.open_clearing(ClearingSpec::uniform()).unwrap();
+        assert!(
+            exchange.open_clearing(ClearingSpec::uniform()).is_err(),
+            "one window per exchange"
+        );
+        let mut d = demand(3, 1);
+        d.settle = SettleMode::Epoch;
+        let did = exchange.submit_demand(d).unwrap();
+        exchange.drain(1);
+        let settled = exchange.take_demand(did).expect("flush settles it");
+        assert_eq!(settled.epoch, Some(0));
+    }
+
+    #[test]
+    fn clearing_is_deterministic_across_worker_counts() {
+        let run = |workers: usize| {
+            let exchange = Exchange::new(ExchangeConfig::default());
+            exchange
+                .register_seller(scaled_seller("a", 0.4, None))
+                .unwrap();
+            exchange
+                .register_seller(scaled_seller("b", 1.0, None))
+                .unwrap();
+            exchange
+                .open_clearing(ClearingSpec {
+                    epoch_size: 3,
+                    capacity: 1,
+                    max_rolls: u32::MAX,
+                    policy: Arc::new(UniformPriceClearing::default()),
+                })
+                .unwrap();
+            let dids: Vec<DemandId> = (0..9)
+                .map(|seed| {
+                    let mut d = demand(seed, 2);
+                    d.settle = SettleMode::Epoch;
+                    exchange.submit_demand(d).unwrap()
+                })
+                .collect();
+            exchange.drain(workers);
+            let reports: Vec<(Option<usize>, Option<u64>, Option<f64>)> = dids
+                .iter()
+                .map(|&did| {
+                    let r = exchange.take_demand(did).unwrap();
+                    (r.winner, r.epoch, r.clearing_price)
+                })
+                .collect();
+            (reports, exchange.epoch_history())
+        };
+        assert_eq!(run(1), run(4));
     }
 
     #[test]

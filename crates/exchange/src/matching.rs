@@ -36,13 +36,19 @@
 //! so deferring the actions cannot race anything. Lock order is therefore
 //! flat: demand lock and session-store shard locks are never held together.
 //!
-//! ## Policy seam
+//! ## Policy seam — and the clearing tier above it
 //!
 //! [`BestResponse`] (pick the candidate with the highest standing buyer
-//! surplus) is the shipped policy; the [`MatchPolicy`] trait is the seam
-//! for richer mechanisms — a double auction over standing quotes needs only
-//! a policy that clears bids against asks, the probe/settle machinery is
-//! unchanged.
+//! surplus) is the shipped per-demand policy; the [`MatchPolicy`] trait is
+//! the seam for richer per-demand mechanisms. Step 3 above describes
+//! [`SettleMode::Immediate`] — settle alone, the moment the last candidate
+//! reports. A demand submitted with [`SettleMode::Epoch`] instead *parks*
+//! at that point and is settled in batch by the exchange's clearing window
+//! ([`crate::clearing`]): a [`crate::ClearPolicy`] crosses every parked
+//! demand's quotes against the seller pool at once (double auction,
+//! capacity-aware), which is exactly what a per-demand policy cannot see.
+//! The probe machinery, the wake/cancel fan-in, and everything below this
+//! module are identical in both modes — only *who decides, when* differs.
 
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -85,6 +91,36 @@ pub type TaskFactory = Arc<dyn Fn() -> Box<dyn TaskStrategy + Send> + Send + Syn
 /// must be built against *that* table, not the full catalog.
 pub type QuotingFactory = Arc<dyn Fn(&[Listing]) -> Box<dyn DataStrategy + Send> + Send + Sync>;
 
+/// How a demand is settled once every candidate has reported.
+#[derive(Clone)]
+pub enum SettleMode {
+    /// Settle this demand alone, the moment its last candidate reports,
+    /// by the given per-demand policy (the matching tier's original
+    /// behaviour — [`BestResponse`] is the shipped policy).
+    Immediate(Arc<dyn MatchPolicy>),
+    /// Park the reported demand in the exchange's clearing window and
+    /// settle it in a batch epoch, crossed against every other parked
+    /// demand by the window's [`crate::ClearPolicy`] (requires
+    /// [`crate::Exchange::open_clearing`] before submission).
+    Epoch,
+}
+
+impl std::fmt::Debug for SettleMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SettleMode::Immediate(_) => f.write_str("Immediate"),
+            SettleMode::Epoch => f.write_str("Epoch"),
+        }
+    }
+}
+
+impl SettleMode {
+    /// True for [`SettleMode::Epoch`].
+    pub fn is_epoch(&self) -> bool {
+        matches!(self, SettleMode::Epoch)
+    }
+}
+
 /// A data party on the matching tier: a tradable market plus the quoting
 /// strategy the seller answers demands with.
 pub struct SellerSpec {
@@ -125,8 +161,10 @@ pub struct Demand {
     /// conclusion instead; the rest park at this horizon with a standing
     /// quote.
     pub probe_rounds: u32,
-    /// Settlement policy (see [`MatchPolicy`]).
-    pub policy: Arc<dyn MatchPolicy>,
+    /// How the reported demand is settled: alone by a per-demand
+    /// [`MatchPolicy`], or in batch by the exchange's clearing window
+    /// (see [`SettleMode`]).
+    pub settle: SettleMode,
 }
 
 /// A candidate's reported state at settlement time.
@@ -181,12 +219,29 @@ impl CandidateQuote {
     /// candidate cannot be selected (failed conclusion, hard error, or a
     /// withdrawal before any course ran).
     pub fn buyer_surplus(&self) -> Option<f64> {
+        self.last_record().map(|rec| rec.net_profit - rec.cost_task)
+    }
+
+    /// The quote read as a crossed double-auction pair `(bid, ask)`: the
+    /// ask is the seller's standing implied payment at the quoted round,
+    /// the bid is the buyer's reservation value net of its bargaining
+    /// cost — so `bid − ask` is exactly [`Self::buyer_surplus`]. The
+    /// clearing tier ([`crate::clearing`]) crosses these; `None` exactly
+    /// when the candidate is unselectable.
+    pub fn bid_ask(&self) -> Option<(f64, f64)> {
+        self.last_record()
+            .map(|rec| (rec.net_profit - rec.cost_task + rec.payment, rec.payment))
+    }
+
+    /// The record behind a selectable quote (standing, or closed as a
+    /// success).
+    fn last_record(&self) -> Option<&RoundRecord> {
         match &self.state {
-            QuoteState::Standing(rec) => Some(rec.net_profit - rec.cost_task),
+            QuoteState::Standing(rec) => Some(rec),
             QuoteState::Closed {
                 status: OutcomeStatus::Success { .. },
                 last: Some(rec),
-            } => Some(rec.net_profit - rec.cost_task),
+            } => Some(rec),
             _ => None,
         }
     }
@@ -240,6 +295,13 @@ pub enum DemandStatus {
         /// Total fan-out size.
         total: usize,
     },
+    /// Every candidate reported; the demand is parked in the clearing
+    /// window awaiting its batch epoch ([`SettleMode::Epoch`] only).
+    Clearing {
+        /// Epochs this demand has been rolled past so far (capacity
+        /// contention — see [`crate::clearing`]).
+        rolls: u32,
+    },
     /// Settlement ran; the report names the winner (if any). The winning
     /// session may still be live (running past its probe horizon) — poll it
     /// via [`crate::Exchange::poll`], or read it after
@@ -259,6 +321,15 @@ pub struct DemandReport {
     /// Every candidate's reported quote, in fan-out (seller registration)
     /// order.
     pub quotes: Vec<CandidateQuote>,
+    /// The clearing epoch that settled this demand; `None` for
+    /// immediate-mode settlements.
+    pub epoch: Option<u64>,
+    /// The uniform clearing price of the winning seller's market in that
+    /// epoch (`None` for immediate-mode or unmatched demands). The
+    /// winner's negotiation still settles at its own bargained payment —
+    /// this is the auction's price signal (see
+    /// [`crate::clearing::uniform_prices`]).
+    pub clearing_price: Option<f64>,
 }
 
 impl DemandReport {
@@ -311,6 +382,17 @@ pub(crate) struct Settlement {
     pub(crate) actions: Vec<SettleAction>,
 }
 
+/// What the report that completed a demand's candidate set resolved to.
+pub(crate) enum ReportOutcome {
+    /// [`SettleMode::Immediate`]: the per-demand policy ran under the
+    /// demand lock; apply the settlement.
+    Settled(Settlement),
+    /// [`SettleMode::Epoch`]: the demand is ready for clearing; hand its
+    /// full quote table to the window (the demand stays live — its
+    /// report is written later by [`MatchBook::settle_epoch`]).
+    EpochReady(Vec<CandidateQuote>),
+}
+
 /// One candidate slot of a live demand.
 struct CandidateSlot {
     seller: SellerId,
@@ -320,25 +402,27 @@ struct CandidateSlot {
     history: Vec<RoundRecord>,
 }
 
-/// A live demand: its candidates, policy, and (after settlement) report.
-/// All mutation happens under the owning mutex in [`MatchBook`].
+/// A live demand: its candidates, settle mode, and (after settlement)
+/// report. All mutation happens under the owning mutex in [`MatchBook`].
 pub(crate) struct DemandState {
     cfg: MarketConfig,
-    policy: Arc<dyn MatchPolicy>,
+    settle: SettleMode,
     slots: Vec<CandidateSlot>,
     reported: usize,
+    /// Epochs this demand has been rolled past (epoch mode only).
+    rolls: u32,
     report: Option<DemandReport>,
 }
 
 impl DemandState {
     pub(crate) fn new(
         cfg: MarketConfig,
-        policy: Arc<dyn MatchPolicy>,
+        settle: SettleMode,
         candidates: Vec<(SellerId, String, SessionId)>,
     ) -> Self {
         DemandState {
             cfg,
-            policy,
+            settle,
             slots: candidates
                 .into_iter()
                 .map(|(seller, name, session)| CandidateSlot {
@@ -350,8 +434,41 @@ impl DemandState {
                 })
                 .collect(),
             reported: 0,
+            rolls: 0,
             report: None,
         }
+    }
+
+    /// The full quote table (every slot must have reported).
+    fn quotes(&self) -> Vec<CandidateQuote> {
+        self.slots
+            .iter()
+            .map(|s| CandidateQuote {
+                seller: s.seller,
+                seller_name: s.name.clone(),
+                session: s.session,
+                state: s.quote.clone().expect("all slots reported"),
+                history: s.history.clone(),
+            })
+            .collect()
+    }
+
+    /// The deferred wake/cancel actions a settlement with `winner`
+    /// implies: only parked (`Standing`) candidates need anything —
+    /// already-terminal ones keep their own outcome.
+    fn actions(quotes: &[CandidateQuote], winner: Option<usize>) -> Vec<SettleAction> {
+        let mut actions = Vec::new();
+        for (i, q) in quotes.iter().enumerate() {
+            if !matches!(q.state, QuoteState::Standing(_)) {
+                continue;
+            }
+            if winner == Some(i) {
+                actions.push(SettleAction::Wake(q.session));
+            } else {
+                actions.push(SettleAction::Cancel(q.session));
+            }
+        }
+        actions
     }
 }
 
@@ -406,6 +523,9 @@ impl MatchBook {
         let st = entry.lock();
         Some(match &st.report {
             Some(report) => DemandStatus::Settled(report.clone()),
+            None if st.settle.is_epoch() && st.reported == st.slots.len() => {
+                DemandStatus::Clearing { rolls: st.rolls }
+            }
             None => DemandStatus::Matching {
                 reported: st.reported,
                 total: st.slots.len(),
@@ -433,15 +553,17 @@ impl MatchBook {
 
     /// Records candidate `slot`'s quote (plus its full round history, for
     /// probe-spend accounting) for `demand`. The report that completes
-    /// the candidate set runs the policy and returns the settlement's
-    /// deferred actions; every other report returns `None`.
+    /// the candidate set either settles it (immediate mode: the policy
+    /// runs under this same lock — the per-demand linearization point) or
+    /// yields the quote table for the clearing window (epoch mode);
+    /// every other report returns `None`.
     pub(crate) fn report(
         &self,
         demand: DemandId,
         slot: usize,
         quote: QuoteState,
         history: Vec<RoundRecord>,
-    ) -> Option<Settlement> {
+    ) -> Option<ReportOutcome> {
         let entry = self.demands.read().get(&demand.0)?.clone();
         let mut st = entry.lock();
         debug_assert!(st.report.is_none(), "report after settlement");
@@ -455,38 +577,70 @@ impl MatchBook {
             return None;
         }
 
-        // Settlement: this is the linearization point — exactly one report
-        // can observe `reported == total`, and it decides under the lock.
-        let quotes: Vec<CandidateQuote> = st
-            .slots
-            .iter()
-            .map(|s| CandidateQuote {
-                seller: s.seller,
-                seller_name: s.name.clone(),
-                session: s.session,
-                state: s.quote.clone().expect("all slots reported"),
-                history: s.history.clone(),
-            })
-            .collect();
-        let winner = st
-            .policy
+        // The candidate set is complete: exactly one report can observe
+        // `reported == total`. Epoch-mode demands park here — the
+        // exchange hands their table to the clearing window, and the
+        // window's epoch is their linearization point instead.
+        let quotes = st.quotes();
+        let policy = match &st.settle {
+            SettleMode::Immediate(policy) => policy.clone(),
+            SettleMode::Epoch => return Some(ReportOutcome::EpochReady(quotes)),
+        };
+        let winner = policy
             .select(&st.cfg, &quotes)
             .filter(|&i| i < quotes.len());
-        let mut actions = Vec::new();
-        for (i, q) in quotes.iter().enumerate() {
-            if !matches!(q.state, QuoteState::Standing(_)) {
-                continue; // already terminal; nothing to wake or cancel
-            }
-            if winner == Some(i) {
-                actions.push(SettleAction::Wake(q.session));
-            } else {
-                actions.push(SettleAction::Cancel(q.session));
-            }
-        }
+        let actions = DemandState::actions(&quotes, winner);
         st.report = Some(DemandReport {
             demand,
             winner,
             quotes,
+            epoch: None,
+            clearing_price: None,
+        });
+        Some(ReportOutcome::Settled(Settlement {
+            matched: winner.is_some(),
+            winner,
+            actions,
+        }))
+    }
+
+    /// Counts one clearing-epoch roll against `demand` (observability:
+    /// [`DemandStatus::Clearing`] reports it).
+    pub(crate) fn note_roll(&self, demand: DemandId) {
+        if let Some(entry) = self.demands.read().get(&demand.0) {
+            entry.lock().rolls += 1;
+        }
+    }
+
+    /// Settles an epoch-mode demand with the winner its clearing epoch
+    /// assigned (validated in range), stamping the epoch number and the
+    /// winning market's uniform clearing price into the report. Called by
+    /// the exchange under its clearing-sync mutex, once per demand — the
+    /// demand lock nests inside it (lock order in [`crate::clearing`]).
+    pub(crate) fn settle_epoch(
+        &self,
+        demand: DemandId,
+        winner: Option<usize>,
+        epoch: u64,
+        clearing_price: Option<f64>,
+    ) -> Option<Settlement> {
+        let entry = self.demands.read().get(&demand.0)?.clone();
+        let mut st = entry.lock();
+        debug_assert!(st.settle.is_epoch(), "immediate demands settle in report");
+        debug_assert!(st.report.is_none(), "an epoch settles a demand once");
+        debug_assert_eq!(st.reported, st.slots.len(), "cleared before ready");
+        if st.report.is_some() {
+            return None;
+        }
+        let quotes = st.quotes();
+        let winner = winner.filter(|&i| i < quotes.len());
+        let actions = DemandState::actions(&quotes, winner);
+        st.report = Some(DemandReport {
+            demand,
+            winner,
+            quotes,
+            epoch: Some(epoch),
+            clearing_price: winner.and(clearing_price),
         });
         Some(Settlement {
             matched: winner.is_some(),
@@ -594,7 +748,7 @@ mod tests {
         let book = MatchBook::new();
         let id = book.open(DemandState::new(
             MarketConfig::default(),
-            Arc::new(BestResponse),
+            SettleMode::Immediate(Arc::new(BestResponse)),
             vec![
                 (SellerId(0), "a".into(), SessionId(10)),
                 (SellerId(1), "b".into(), SessionId(11)),
@@ -616,14 +770,17 @@ mod tests {
             )
             .is_none());
         assert!(book.take(id).is_none(), "live demands cannot be evicted");
-        let settlement = book
+        let ReportOutcome::Settled(settlement) = book
             .report(
                 id,
                 1,
                 QuoteState::Standing(rec(50.0, 0.5)),
                 vec![rec(10.0, 0.5), rec(50.0, 0.5)],
             )
-            .expect("last report settles");
+            .expect("last report settles")
+        else {
+            panic!("immediate demands settle in the completing report");
+        };
         assert!(settlement.matched);
         assert_eq!(settlement.winner, Some(1));
         // Winner (slot 1) woken, loser (slot 0) cancelled.
@@ -661,14 +818,14 @@ mod tests {
         let book = MatchBook::new();
         let id = book.open(DemandState::new(
             MarketConfig::default(),
-            Arc::new(BestResponse),
+            SettleMode::Immediate(Arc::new(BestResponse)),
             vec![
                 (SellerId(0), "a".into(), SessionId(0)),
                 (SellerId(1), "b".into(), SessionId(1)),
             ],
         ));
         book.report(id, 0, QuoteState::Error("boom".into()), Vec::new());
-        let settlement = book
+        let ReportOutcome::Settled(settlement) = book
             .report(
                 id,
                 1,
@@ -680,7 +837,10 @@ mod tests {
                 },
                 Vec::new(),
             )
-            .expect("last report settles");
+            .expect("last report settles")
+        else {
+            panic!("immediate demands settle in the completing report");
+        };
         assert!(!settlement.matched);
         assert_eq!(settlement.winner, None);
         assert!(
@@ -691,5 +851,71 @@ mod tests {
             Some(DemandStatus::Settled(report)) => assert_eq!(report.winner, None),
             other => panic!("expected settled, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn epoch_demands_park_ready_and_settle_through_the_book() {
+        let book = MatchBook::new();
+        let id = book.open(DemandState::new(
+            MarketConfig::default(),
+            SettleMode::Epoch,
+            vec![
+                (SellerId(0), "a".into(), SessionId(20)),
+                (SellerId(1), "b".into(), SessionId(21)),
+            ],
+        ));
+        book.report(
+            id,
+            0,
+            QuoteState::Standing(rec(5.0, 0.5)),
+            vec![rec(5.0, 0.5)],
+        );
+        let ReportOutcome::EpochReady(quotes) = book
+            .report(
+                id,
+                1,
+                QuoteState::Standing(rec(9.0, 0.5)),
+                vec![rec(9.0, 0.5)],
+            )
+            .expect("completing report yields the table")
+        else {
+            panic!("epoch demands park instead of settling");
+        };
+        assert_eq!(quotes.len(), 2);
+        // Parked for clearing: visible as Clearing, not evictable yet.
+        assert!(matches!(
+            book.status(id),
+            Some(DemandStatus::Clearing { rolls: 0 })
+        ));
+        assert!(book.take(id).is_none());
+        book.note_roll(id);
+        assert!(matches!(
+            book.status(id),
+            Some(DemandStatus::Clearing { rolls: 1 })
+        ));
+
+        // The epoch settles it with the winner the window assigned.
+        let settlement = book
+            .settle_epoch(id, Some(1), 4, Some(3.25))
+            .expect("epoch settlement");
+        assert!(settlement.matched);
+        assert_eq!(settlement.actions.len(), 2, "wake winner, cancel loser");
+        let report = book.take(id).expect("settled demands can be taken");
+        assert_eq!(report.winner, Some(1));
+        assert_eq!(report.epoch, Some(4));
+        assert_eq!(report.clearing_price, Some(3.25));
+    }
+
+    #[test]
+    fn bid_ask_crosses_to_the_buyer_surplus() {
+        let q = quote(0, QuoteState::Standing(rec(10.0, 1.5)));
+        let (bid, ask) = q.bid_ask().expect("standing quotes cross");
+        assert!((ask - 2.0).abs() < 1e-12, "ask is the implied payment");
+        assert!(
+            (bid - ask - q.buyer_surplus().unwrap()).abs() < 1e-12,
+            "bid − ask is exactly the standing buyer surplus"
+        );
+        let errored = quote(1, QuoteState::Error("boom".into()));
+        assert!(errored.bid_ask().is_none());
     }
 }

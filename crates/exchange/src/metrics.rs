@@ -41,6 +41,14 @@ pub struct ExchangeMetrics {
     /// ΔG courses refilled into the cache by journal recovery — trainings
     /// paid for by a previous life of this exchange, never re-run here.
     pub(crate) courses_preloaded: AtomicU64,
+    /// Clearing epochs the window has run (batch settlements).
+    pub(crate) epochs_cleared: AtomicU64,
+    /// Demand-epochs spent rolling: one count each time a demand lost its
+    /// seller slot to capacity and stayed queued for the next epoch.
+    pub(crate) demands_rolled: AtomicU64,
+    /// Epoch demands that settled unmatched because they were rolled past
+    /// the window's `max_rolls` (contention starvation made visible).
+    pub(crate) demands_expired: AtomicU64,
 }
 
 impl ExchangeMetrics {
@@ -77,6 +85,12 @@ pub struct MetricsSnapshot {
     /// Courses preloaded from a journal at recovery (each one a training
     /// the resumed run did not repeat).
     pub courses_preloaded: u64,
+    /// Clearing epochs run so far (0 without a clearing window).
+    pub epochs_cleared: u64,
+    /// Demand-epochs spent rolling (capacity contention).
+    pub demands_rolled: u64,
+    /// Epoch demands expired unmatched by the `max_rolls` bound.
+    pub demands_expired: u64,
     /// Shared-cache hits.
     pub cache_hits: u64,
     /// Shared-cache misses (each one paid a real course).
@@ -132,6 +146,9 @@ mod tests {
             demands_settled: 4,
             demands_matched: 3,
             courses_preloaded: 0,
+            epochs_cleared: 2,
+            demands_rolled: 1,
+            demands_expired: 0,
             cache_hits: 30,
             cache_misses: 10,
         }
@@ -160,6 +177,9 @@ mod tests {
             demands_settled: 0,
             demands_matched: 0,
             courses_preloaded: 0,
+            epochs_cleared: 0,
+            demands_rolled: 0,
+            demands_expired: 0,
             cache_hits: 0,
             cache_misses: 0,
         };

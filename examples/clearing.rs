@@ -1,0 +1,208 @@
+//! Double-auction clearing: a contended marketplace settled in batch
+//! epochs instead of demand by demand.
+//!
+//! Run with: `cargo run --release --example clearing`
+//!
+//! Two data parties, eight task parties, and a per-epoch seller capacity
+//! of one — four times more buyers than the pool can serve at once. The
+//! demands are submitted in epoch mode (`SettleMode::Epoch`), park after
+//! their two probe rounds, and are crossed **together** by
+//! `UniformPriceClearing`: each epoch assigns the contended seats to the
+//! highest-surplus crossings, prices every cleared market at one uniform
+//! price, and rolls the demands that lost their seat into the next
+//! epoch. The printed epoch ledger is `Exchange::epoch_history()` — the
+//! same record the journal would carry as `EpochCleared` events.
+
+use std::sync::Arc;
+use vfl_exchange::{
+    ClearingSpec, Demand, EpochEntryKind, Exchange, ExchangeConfig, MarketSpec, SellerSpec,
+    SettleMode, UniformPriceClearing,
+};
+use vfl_market::{
+    Listing, MarketConfig, OutcomeStatus, ReservedPrice, StrategicData, StrategicTask,
+    TableGainProvider,
+};
+use vfl_sim::BundleMask;
+
+/// A seller over a slice of the feature universe: singleton listings on
+/// a rising reserve ladder with a seller-specific gain landscape.
+fn seller(name: &str, features: &[usize], gains: &[f64]) -> SellerSpec {
+    assert_eq!(features.len(), gains.len());
+    let listings: Vec<Listing> = features
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| Listing {
+            bundle: BundleMask::singleton(f),
+            reserved: ReservedPrice::new(3.5 + i as f64 * 1.4, 0.5 + i as f64 * 0.1).unwrap(),
+        })
+        .collect();
+    let provider = TableGainProvider::new(listings.iter().zip(gains).map(|(l, &g)| (l.bundle, g)));
+    let by_bundle: std::collections::HashMap<u64, f64> = listings
+        .iter()
+        .zip(gains)
+        .map(|(l, &g)| (l.bundle.0, g))
+        .collect();
+    SellerSpec {
+        market: MarketSpec {
+            provider: Arc::new(provider),
+            listings: Arc::new(listings),
+            evaluation_key: None,
+            name: name.into(),
+        },
+        quoting: Arc::new(move |table| {
+            Box::new(StrategicData::with_gains(
+                table.iter().map(|l| by_bundle[&l.bundle.0]).collect(),
+            ))
+        }),
+    }
+}
+
+fn main() {
+    let exchange = Exchange::new(ExchangeConfig::default());
+
+    // Two data parties with overlapping catalogs — the whole seller pool.
+    exchange
+        .register_seller(seller(
+            "alpha-analytics",
+            &[0, 1, 2, 3],
+            &[0.06, 0.12, 0.21, 0.30],
+        ))
+        .unwrap();
+    exchange
+        .register_seller(seller(
+            "bravo-data",
+            &[1, 2, 3, 4],
+            &[0.05, 0.11, 0.19, 0.26],
+        ))
+        .unwrap();
+
+    // The clearing window: 4-demand epochs, each seller serves ONE
+    // matched engagement per epoch, unlimited patience (every demand is
+    // eventually served), uniform prices split the crossed surplus.
+    exchange
+        .open_clearing(ClearingSpec {
+            epoch_size: 4,
+            capacity: 1,
+            max_rolls: u32::MAX,
+            policy: Arc::new(UniformPriceClearing { k: 0.5 }),
+        })
+        .unwrap();
+
+    // Eight task parties, all wanting overlapping features, all submitted
+    // in epoch mode: they will be batched 4 at a time and crossed.
+    let demands: Vec<_> = (0..8u64)
+        .map(|i| {
+            exchange
+                .submit_demand(Demand {
+                    wanted: BundleMask::all(5),
+                    scenario: None,
+                    cfg: MarketConfig {
+                        utility_rate: 700.0 + 60.0 * (i % 4) as f64,
+                        budget: 11.0 + (i % 3) as f64,
+                        rate_cap: 20.0,
+                        seed: 40 + i,
+                        ..MarketConfig::default()
+                    },
+                    task: Arc::new(|| Box::new(StrategicTask::new(0.28, 6.0, 0.9).unwrap())),
+                    probe_rounds: 2,
+                    settle: SettleMode::Epoch,
+                })
+                .unwrap()
+        })
+        .collect();
+
+    let report = exchange.drain(3);
+    let snap = exchange.metrics();
+    println!(
+        "drained {} candidate sessions on {} workers in {:.2?}: {} epochs, \
+         {} demand-rolls, {} cancelled\n",
+        snap.sessions_opened,
+        report.workers,
+        report.elapsed,
+        snap.epochs_cleared,
+        snap.demands_rolled,
+        snap.sessions_cancelled,
+    );
+
+    // The epoch ledger: who cleared when, at what uniform price.
+    println!("epoch ledger:");
+    for record in exchange.epoch_history() {
+        let summary: Vec<String> = record
+            .entries
+            .iter()
+            .map(|e| {
+                let tag = match e.kind {
+                    EpochEntryKind::Matched => "matched",
+                    EpochEntryKind::Rolled => "rolled",
+                    EpochEntryKind::Unmatched => "unmatched",
+                    EpochEntryKind::Expired => "expired",
+                };
+                format!("{} {tag}", e.demand)
+            })
+            .collect();
+        let prices: Vec<String> = record
+            .prices
+            .iter()
+            .map(|(seller, p)| format!("{seller}@{p:.2}"))
+            .collect();
+        println!(
+            "  epoch {}: [{}]  uniform prices: {}",
+            record.epoch,
+            summary.join(", "),
+            if prices.is_empty() {
+                "-".into()
+            } else {
+                prices.join("  ")
+            }
+        );
+    }
+
+    // Every demand settles — capacity 1 just spreads them over epochs.
+    println!("\nsettled demands:");
+    println!(
+        "  {:<6} {:>6} {:<16} {:>10} {:>11} {:>9}",
+        "demand", "epoch", "seller", "uniform_p", "bargained_p", "surplus"
+    );
+    for did in demands {
+        let settled = exchange.take_demand(did).expect("all settle in one drain");
+        let epoch = settled.epoch.expect("epoch-settled");
+        match settled.winning_quote() {
+            Some(winner) => {
+                let outcome = exchange
+                    .take(settled.winning_session().unwrap())
+                    .unwrap()
+                    .unwrap();
+                let (bargained, surplus) = match outcome.status {
+                    OutcomeStatus::Success { .. } => (
+                        outcome.final_record().map(|r| r.payment).unwrap_or(0.0),
+                        outcome.task_revenue().unwrap_or(0.0),
+                    ),
+                    OutcomeStatus::Failed { .. } => (0.0, 0.0),
+                };
+                println!(
+                    "  {:<6} {:>6} {:<16} {:>10.2} {:>11.2} {:>9.1}",
+                    settled.demand.to_string(),
+                    epoch,
+                    winner.seller_name,
+                    settled.clearing_price.unwrap_or(0.0),
+                    bargained,
+                    surplus,
+                );
+            }
+            None => println!(
+                "  {:<6} {:>6} {:<16} {:>10} {:>11} {:>9}",
+                settled.demand.to_string(),
+                epoch,
+                "(unmatched)",
+                "-",
+                "-",
+                "-"
+            ),
+        }
+    }
+    println!(
+        "\nThe uniform price is the auction's signal; each winner still pays \
+         its own bargained payment (the negotiation finishes normally after \
+         release). Compare `--example matching` for per-demand settlement."
+    );
+}

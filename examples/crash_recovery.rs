@@ -12,7 +12,7 @@ use std::sync::Arc;
 use vfl_bench::exchange_setup::{CountingGainProvider, TrainingRecorder};
 use vfl_exchange::{
     frame_boundaries, BestResponse, Demand, DemandId, Exchange, ExchangeConfig, Journal,
-    MarketSpec, ReplaySpec, SellerSpec,
+    MarketSpec, ReplaySpec, SellerSpec, SettleMode,
 };
 use vfl_market::{
     DataStrategy, Listing, MarketConfig, ReservedPrice, StrategicData, StrategicTask,
@@ -70,7 +70,7 @@ fn buyer_demand() -> Demand {
         },
         task: Arc::new(|| Box::new(StrategicTask::new(0.30, 6.0, 0.9).expect("valid opening"))),
         probe_rounds: 2,
-        policy: Arc::new(BestResponse),
+        settle: SettleMode::Immediate(Arc::new(BestResponse)),
     }
 }
 
@@ -129,6 +129,7 @@ fn main() {
         sellers: sellers(&retrained),
         orders: Box::new(|sid| panic!("no plain sessions journaled ({sid})")),
         demands: Box::new(|_| buyer_demand()),
+        clearing: None,
     };
     let (recovered, report) =
         Exchange::recover(ExchangeConfig::default(), prefix, spec, None).expect("recover");

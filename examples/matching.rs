@@ -14,7 +14,7 @@
 use std::sync::Arc;
 use vfl_exchange::{
     BestResponse, Demand, DemandStatus, Exchange, ExchangeConfig, MarketSpec, QuoteState,
-    SellerSpec,
+    SellerSpec, SettleMode,
 };
 use vfl_market::{
     Listing, MarketConfig, OutcomeStatus, ReservedPrice, StrategicData, StrategicTask,
@@ -106,7 +106,7 @@ fn main() {
             },
             task: Arc::new(|| Box::new(StrategicTask::new(0.28, 6.0, 0.9).unwrap())),
             probe_rounds: 2,
-            policy: Arc::new(BestResponse),
+            settle: SettleMode::Immediate(Arc::new(BestResponse)),
         })
         .unwrap();
 
