@@ -1,0 +1,38 @@
+//! `vfl-audit` — offline exchange-journal auditor.
+//!
+//! ```text
+//! vfl-audit <journal-file>
+//! ```
+//!
+//! Walks the journal's longest valid prefix (re-verifying every frame
+//! checksum), re-checks conclusion digests against checkpoint outcomes,
+//! validates checkpoint/suffix consistency, and prints the per-seller
+//! settlement ledger plus journal-size and recovery-cost statistics.
+//!
+//! Exit codes: `0` consistent, `1` violations found, `2` usage or I/O
+//! error. The report itself goes to stdout either way, so operators can
+//! read *why* a journal failed from the same invocation CI gates on.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(path), None) = (args.next(), args.next()) else {
+        eprintln!("usage: vfl-audit <journal-file>");
+        return ExitCode::from(vfl_audit::EXIT_USAGE as u8);
+    };
+    let bytes = match std::fs::read(&path) {
+        Ok(bytes) => bytes,
+        Err(e) => {
+            eprintln!("vfl-audit: {path}: {e}");
+            return ExitCode::from(vfl_audit::EXIT_USAGE as u8);
+        }
+    };
+    let audit = vfl_audit::audit_bytes(&bytes);
+    print!("{}", audit.render(&path));
+    if audit.is_consistent() {
+        ExitCode::from(vfl_audit::EXIT_OK as u8)
+    } else {
+        ExitCode::from(vfl_audit::EXIT_INCONSISTENT as u8)
+    }
+}

@@ -5,6 +5,12 @@
 //! only unjournaled courses are re-trained. Results accrue to
 //! `results/BENCH_replay.json`.
 //!
+//! E10 — bounded-cost recovery: re-runs the same book checkpointing every
+//! `interval` demands, then measures what the checkpoints buy — events
+//! skipped at recovery, recover/resume wall time, and the compacted
+//! generation's size — and asserts the checkpointed run's winners are
+//! identical to the plain run's (checkpointing is pure observation).
+//!
 //! Custom harness (no criterion): the unit of measurement is a whole
 //! drain, and the off/on pair must run the *identical* workload (same
 //! sellers, same demands, same seeds) for the overhead ratio to mean
@@ -293,6 +299,116 @@ fn main() {
         recover_elapsed.as_secs_f64() * 1e3,
         resume_elapsed.as_secs_f64() * 1e3,
         resumed_identical,
+    );
+    // ---- E10: checkpoint interval sweep ------------------------------------
+    // Checkpoint every `interval` demands and measure what that buys at
+    // recovery time: skipped events, recover/resume wall time, and the
+    // compacted generation's size. Results must stay bit-identical.
+    println!("\n== E10 checkpoint sweep ({n_demands} demands, {N_SELLERS} sellers, 4 workers) ==");
+    println!(
+        "{:>9} {:>12} {:>14} {:>14} {:>14} {:>11} {:>10}",
+        "interval",
+        "checkpoints",
+        "journal_bytes",
+        "compact_bytes",
+        "events_skipped",
+        "recover_ms",
+        "resume_ms"
+    );
+    let mut sweep_rows = Vec::new();
+    for interval in [n_demands, n_demands.div_ceil(2), n_demands.div_ceil(8)] {
+        let (ckpt_journal, ckpt_sink) = Journal::in_memory();
+        let recorder = TrainingRecorder::default();
+        let exchange = Exchange::with_journal(ExchangeConfig::default(), ckpt_journal.clone());
+        for s in 0..N_SELLERS {
+            exchange
+                .register_seller(seller_spec(s, &recorder))
+                .expect("register seller");
+        }
+        let mut demand_map = HashMap::new();
+        let mut checkpoints = 0usize;
+        let mut submitted = 0usize;
+        while submitted < n_demands {
+            let batch = interval.min(n_demands - submitted);
+            for d in submitted..submitted + batch {
+                let did = exchange
+                    .submit_demand(buyer_demand(d))
+                    .expect("submit demand");
+                demand_map.insert(did, d);
+            }
+            submitted += batch;
+            exchange.drain(4);
+            exchange.checkpoint().expect("drain-idle checkpoint");
+            checkpoints += 1;
+        }
+        // Checkpointing is pure observation: identical winners/outcomes.
+        for (did, &d) in &demand_map {
+            let settled = exchange.take_demand(*did).expect("settled");
+            let (ref_winner, ref_outcome) = &on.winners[d];
+            assert_eq!(settled.winner, *ref_winner, "demand {d}: winner diverged");
+            let outcome = settled
+                .winning_session()
+                .map(|sid| *exchange.take(sid).expect("terminal").expect("no error"));
+            assert_eq!(&outcome, ref_outcome, "demand {d}: outcome diverged");
+        }
+        let bytes = ckpt_sink.bytes();
+
+        let recorder = TrainingRecorder::default();
+        let map = demand_map.clone();
+        let spec = ReplaySpec {
+            markets: Vec::new(),
+            sellers: (0..N_SELLERS).map(|s| seller_spec(s, &recorder)).collect(),
+            orders: Box::new(|sid| panic!("no plain sessions in this bench ({sid})")),
+            demands: Box::new(move |did| buyer_demand(map[&did])),
+            clearing: None,
+        };
+        let recover_start = Instant::now();
+        let (recovered, report) = Exchange::recover(ExchangeConfig::default(), &bytes, spec, None)
+            .expect("recovery from the checkpointed journal");
+        let recover_ms = recover_start.elapsed().as_secs_f64() * 1e3;
+        let resume_start = Instant::now();
+        recovered.drain(4);
+        let resume_ms = resume_start.elapsed().as_secs_f64() * 1e3;
+        assert!(report.checkpoint_restored);
+        assert!(
+            recorder.set().is_empty(),
+            "a complete checkpointed journal re-trains nothing"
+        );
+
+        let gen2_sink = vfl_exchange::MemorySink::default();
+        let (_, cstats) = ckpt_journal
+            .compact(&bytes, Box::new(gen2_sink.clone()))
+            .expect("compact");
+        let compact_bytes = gen2_sink.bytes().len();
+        assert_eq!(
+            cstats.events_after, 1,
+            "final checkpoint compacts to itself"
+        );
+
+        println!(
+            "{:>9} {:>12} {:>14} {:>14} {:>14} {:>11.3} {:>10.3}",
+            interval,
+            checkpoints,
+            bytes.len(),
+            compact_bytes,
+            report.events_skipped,
+            recover_ms,
+            resume_ms,
+        );
+        sweep_rows.push(format!(
+            "    {{\"interval\": {interval}, \"checkpoints\": {checkpoints}, \
+             \"journal_bytes\": {}, \"compact_bytes\": {compact_bytes}, \
+             \"events_skipped\": {}, \"recover_ms\": {recover_ms:.3}, \
+             \"resume_ms\": {resume_ms:.3}}}",
+            bytes.len(),
+            report.events_skipped,
+        ));
+    }
+
+    let json = format!(
+        "{},\n  \"checkpoint_sweep\": [\n{}\n  ]\n}}\n",
+        json.trim_end().trim_end_matches('}').trim_end(),
+        sweep_rows.join(",\n")
     );
     let path = results_dir().join("BENCH_replay.json");
     std::fs::write(&path, json).expect("write BENCH_replay.json");

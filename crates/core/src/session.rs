@@ -615,6 +615,245 @@ pub mod wire {
         }
         h
     }
+
+    // -- full Outcome (de)serialization ------------------------------------
+    //
+    // The digest above proves a replayed outcome matches a journaled one;
+    // checkpoint frames need the outcome *itself* so recovery can restore
+    // terminal sessions without re-running them. Same append-only rules:
+    // field order and tag codes are part of the format.
+
+    fn put_u16(buf: &mut Vec<u8>, v: u16) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32(buf: &mut Vec<u8>, v: u32) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64(buf: &mut Vec<u8>, v: u64) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_f64(buf: &mut Vec<u8>, v: f64) {
+        put_u64(buf, v.to_bits());
+    }
+
+    fn put_str(buf: &mut Vec<u8>, s: &str) {
+        assert!(s.len() <= u16::MAX as usize, "wire strings are u16-length");
+        put_u16(buf, s.len() as u16);
+        buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Serializes one [`RoundRecord`] in the journal's fixed field order
+    /// (checkpoint frames embed quote histories; [`read_round_record`] is
+    /// the exact inverse).
+    pub fn put_round_record(buf: &mut Vec<u8>, r: &RoundRecord) {
+        put_u32(buf, r.round);
+        put_f64(buf, r.quote.rate);
+        put_f64(buf, r.quote.base);
+        put_f64(buf, r.quote.cap);
+        put_u64(buf, r.listing as u64);
+        put_u64(buf, r.bundle.0);
+        put_f64(buf, r.gain);
+        put_f64(buf, r.payment);
+        put_f64(buf, r.net_profit);
+        put_f64(buf, r.cost_task);
+        put_f64(buf, r.cost_data);
+        buf.push(r.final_offer as u8);
+    }
+
+    fn put_message(buf: &mut Vec<u8>, msg: &Message) {
+        match msg {
+            Message::Quote(q) => {
+                buf.push(0);
+                put_f64(buf, q.rate);
+                put_f64(buf, q.base);
+                put_f64(buf, q.cap);
+                put_u32(buf, q.round);
+            }
+            Message::Offer(OfferMsg::Bundle {
+                bundle,
+                is_final,
+                round,
+            }) => {
+                buf.push(1);
+                put_u64(buf, bundle.0);
+                buf.push(*is_final as u8);
+                put_u32(buf, *round);
+            }
+            Message::Offer(OfferMsg::Withdraw { round }) => {
+                buf.push(2);
+                put_u32(buf, *round);
+            }
+            Message::GainReport(g) => {
+                buf.push(3);
+                put_f64(buf, g.gain);
+                put_u32(buf, g.round);
+            }
+            Message::Settle(SettleMsg::Pay { amount, round }) => {
+                buf.push(4);
+                put_f64(buf, *amount);
+                put_u32(buf, *round);
+            }
+            Message::Settle(SettleMsg::Abort { round }) => {
+                buf.push(5);
+                put_u32(buf, *round);
+            }
+        }
+    }
+
+    /// Serializes a full [`Outcome`] — status code, round records,
+    /// transcript messages, seller stamp — in the journal's fixed field
+    /// order. [`read_outcome`] is the exact inverse.
+    pub fn put_outcome(buf: &mut Vec<u8>, outcome: &Outcome) {
+        put_u16(buf, status_code(outcome.status));
+        put_u32(buf, outcome.rounds.len() as u32);
+        for r in &outcome.rounds {
+            put_round_record(buf, r);
+        }
+        put_u32(buf, outcome.transcript.len() as u32);
+        for msg in outcome.transcript.messages() {
+            put_message(buf, msg);
+        }
+        match outcome.transcript.seller() {
+            Some(name) => {
+                buf.push(1);
+                put_str(buf, name);
+            }
+            None => buf.push(0),
+        }
+    }
+
+    fn take<'a>(bytes: &'a [u8], pos: &mut usize, n: usize) -> Option<&'a [u8]> {
+        let end = pos.checked_add(n)?;
+        if end > bytes.len() {
+            return None;
+        }
+        let s = &bytes[*pos..end];
+        *pos = end;
+        Some(s)
+    }
+
+    fn get_u8(bytes: &[u8], pos: &mut usize) -> Option<u8> {
+        take(bytes, pos, 1).map(|s| s[0])
+    }
+
+    fn get_u16(bytes: &[u8], pos: &mut usize) -> Option<u16> {
+        take(bytes, pos, 2).map(|s| u16::from_le_bytes([s[0], s[1]]))
+    }
+
+    fn get_u32(bytes: &[u8], pos: &mut usize) -> Option<u32> {
+        take(bytes, pos, 4).map(|s| u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    fn get_u64(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+        let s = take(bytes, pos, 8)?;
+        Some(u64::from_le_bytes([
+            s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
+        ]))
+    }
+
+    fn get_f64(bytes: &[u8], pos: &mut usize) -> Option<f64> {
+        get_u64(bytes, pos).map(f64::from_bits)
+    }
+
+    fn get_str(bytes: &[u8], pos: &mut usize) -> Option<String> {
+        let len = get_u16(bytes, pos)? as usize;
+        let s = take(bytes, pos, len)?;
+        String::from_utf8(s.to_vec()).ok()
+    }
+
+    /// Deserializes a [`RoundRecord`] written by [`put_round_record`],
+    /// advancing `pos` past it (`None` on truncation).
+    pub fn read_round_record(bytes: &[u8], pos: &mut usize) -> Option<RoundRecord> {
+        get_round_record(bytes, pos)
+    }
+
+    fn get_round_record(bytes: &[u8], pos: &mut usize) -> Option<RoundRecord> {
+        Some(RoundRecord {
+            round: get_u32(bytes, pos)?,
+            quote: QuotedPrice {
+                rate: get_f64(bytes, pos)?,
+                base: get_f64(bytes, pos)?,
+                cap: get_f64(bytes, pos)?,
+            },
+            listing: get_u64(bytes, pos)? as usize,
+            bundle: BundleMask(get_u64(bytes, pos)?),
+            gain: get_f64(bytes, pos)?,
+            payment: get_f64(bytes, pos)?,
+            net_profit: get_f64(bytes, pos)?,
+            cost_task: get_f64(bytes, pos)?,
+            cost_data: get_f64(bytes, pos)?,
+            final_offer: get_u8(bytes, pos)? != 0,
+        })
+    }
+
+    fn get_message(bytes: &[u8], pos: &mut usize) -> Option<Message> {
+        Some(match get_u8(bytes, pos)? {
+            0 => Message::Quote(QuoteMsg {
+                rate: get_f64(bytes, pos)?,
+                base: get_f64(bytes, pos)?,
+                cap: get_f64(bytes, pos)?,
+                round: get_u32(bytes, pos)?,
+            }),
+            1 => Message::Offer(OfferMsg::Bundle {
+                bundle: BundleMask(get_u64(bytes, pos)?),
+                is_final: get_u8(bytes, pos)? != 0,
+                round: get_u32(bytes, pos)?,
+            }),
+            2 => Message::Offer(OfferMsg::Withdraw {
+                round: get_u32(bytes, pos)?,
+            }),
+            3 => Message::GainReport(GainReportMsg {
+                gain: get_f64(bytes, pos)?,
+                round: get_u32(bytes, pos)?,
+            }),
+            4 => Message::Settle(SettleMsg::Pay {
+                amount: get_f64(bytes, pos)?,
+                round: get_u32(bytes, pos)?,
+            }),
+            5 => Message::Settle(SettleMsg::Abort {
+                round: get_u32(bytes, pos)?,
+            }),
+            _ => return None,
+        })
+    }
+
+    /// Deserializes an [`Outcome`] written by [`put_outcome`], advancing
+    /// `pos` past it. Returns `None` on any malformation — truncation,
+    /// unknown codes, or a transcript whose rounds decrease (the decoder
+    /// re-validates the [`Transcript::push`] invariant rather than
+    /// panicking on crafted bytes).
+    pub fn read_outcome(bytes: &[u8], pos: &mut usize) -> Option<Outcome> {
+        let status = status_from_code(get_u16(bytes, pos)?)?;
+        let n_rounds = get_u32(bytes, pos)? as usize;
+        let mut rounds = Vec::with_capacity(n_rounds.min(1024));
+        for _ in 0..n_rounds {
+            rounds.push(get_round_record(bytes, pos)?);
+        }
+        let n_messages = get_u32(bytes, pos)? as usize;
+        let mut transcript = Transcript::default();
+        let mut last_round = 0u32;
+        for _ in 0..n_messages {
+            let msg = get_message(bytes, pos)?;
+            if msg.round() < last_round {
+                return None;
+            }
+            last_round = msg.round();
+            transcript.push(msg);
+        }
+        match get_u8(bytes, pos)? {
+            0 => {}
+            1 => transcript.set_seller(get_str(bytes, pos)?),
+            _ => return None,
+        }
+        Some(Outcome {
+            status,
+            rounds,
+            transcript,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -958,5 +1197,43 @@ mod tests {
             wire::fnv64(&word.to_le_bytes()),
             wire::fnv64_fold(0xcbf2_9ce4_8422_2325, word)
         );
+    }
+
+    #[test]
+    fn wire_outcome_roundtrips_bit_identically() {
+        for seed in 0..6 {
+            let mut outcome = drive_manual(seed);
+            if seed % 2 == 0 {
+                outcome.transcript.set_seller("acme-data");
+            }
+            let mut buf = Vec::new();
+            wire::put_outcome(&mut buf, &outcome);
+            let mut pos = 0usize;
+            let decoded = wire::read_outcome(&buf, &mut pos).expect("decodes");
+            assert_eq!(pos, buf.len(), "consumed exactly");
+            assert_eq!(decoded, outcome, "seed {seed}");
+            assert_eq!(
+                wire::outcome_digest(&decoded),
+                wire::outcome_digest(&outcome)
+            );
+        }
+    }
+
+    #[test]
+    fn wire_outcome_decode_rejects_malformed_bytes() {
+        let outcome = drive_manual(1);
+        let mut buf = Vec::new();
+        wire::put_outcome(&mut buf, &outcome);
+        // Every truncation is a clean None, never a panic.
+        for cut in 0..buf.len() {
+            let mut pos = 0usize;
+            assert!(wire::read_outcome(&buf[..cut], &mut pos).is_none(), "{cut}");
+        }
+        // An unknown status code is rejected up front.
+        let mut bad = buf.clone();
+        bad[0] = 0xff;
+        bad[1] = 0xff;
+        let mut pos = 0usize;
+        assert!(wire::read_outcome(&bad, &mut pos).is_none());
     }
 }

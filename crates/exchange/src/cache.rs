@@ -184,6 +184,19 @@ impl SharedGainCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// A sorted snapshot of every `((evaluation key, bundle), ΔG)` entry —
+    /// the checkpoint path's view of the cache. Shards are locked one at a
+    /// time (never nested), and the result is ordered by key so snapshots
+    /// of equal caches are bit-identical regardless of shard layout.
+    pub fn entries(&self) -> Vec<((u64, u64), f64)> {
+        let mut out: Vec<((u64, u64), f64)> = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            out.extend(shard.lock().iter().map(|(&k, &g)| (k, g)));
+        }
+        out.sort_unstable_by_key(|&(k, _)| k);
+        out
+    }
 }
 
 #[cfg(test)]

@@ -768,6 +768,17 @@ impl ClearingWindow {
         self.state.lock().next_epoch
     }
 
+    /// Fast-forwards the epoch counter to `epoch` — the checkpoint
+    /// recovery path, which restores the epoch *history* from the frame
+    /// instead of re-clearing it. Only moves forward, and only makes
+    /// sense on an empty queue (recovery restores before any replayed
+    /// submission can enqueue).
+    pub(crate) fn skip_to_epoch(&self, epoch: u64) {
+        let mut state = self.state.lock();
+        debug_assert!(state.queue.is_empty(), "skip on a non-empty window");
+        state.next_epoch = state.next_epoch.max(epoch);
+    }
+
     /// Queues a freshly submitted epoch-mode demand (submission order is
     /// epoch-membership order; called before any candidate can report).
     pub(crate) fn enqueue(&self, id: DemandId, cfg: MarketConfig) {

@@ -67,7 +67,10 @@ use vfl_sim::BundleMask;
 
 use crate::cache::{CourseServe, SharedGainCache};
 use crate::clearing::{ClearingSpec, ClearingWindow, EpochRecord};
-use crate::journal::{CrashHook, CrashPoint, ExchangeEvent, Journal, QuoteKind};
+use crate::journal::{
+    check_market_spec, CheckpointMarket, CheckpointState, CrashHook, CrashPoint, ExchangeEvent,
+    Journal, QuoteKind, RecoverError, ReplaySpec,
+};
 use crate::matching::{
     Demand, DemandId, DemandReport, DemandState, DemandStatus, MatchBook, QuoteState,
     QuotingFactory, ReportOutcome, SellerId, SettleAction, Settlement,
@@ -157,10 +160,29 @@ impl DrainReport {
     }
 }
 
+/// What one [`Exchange::checkpoint`] snapshot captured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Registration stamps (markets, seller-owned included).
+    pub markets: usize,
+    /// Terminal sessions captured with their full outcomes.
+    pub sessions: usize,
+    /// Settled demands captured with their full reports.
+    pub demands: usize,
+    /// Cached ΔG courses captured — trainings recovery will never repeat.
+    pub courses: usize,
+    /// Cleared epochs captured (the restored window resumes after them).
+    pub epochs: usize,
+}
+
 struct MarketEntry {
     provider: Arc<dyn GainProvider + Send + Sync>,
     listings: Arc<Vec<Listing>>,
     eval_key: u64,
+    /// Registered without a caller-supplied evaluation key (checkpoint
+    /// stamps persist this; it is not derivable from `eval_key` alone — a
+    /// caller may legally supply a high-bit key).
+    private: bool,
     name: String,
 }
 
@@ -321,6 +343,7 @@ impl Exchange {
             provider: spec.provider,
             listings: spec.listings,
             eval_key,
+            private,
             name: spec.name,
         });
         Ok((id, private))
@@ -415,6 +438,320 @@ impl Exchange {
     /// clearing price per seller market (see [`crate::clearing`]).
     pub fn epoch_history(&self) -> Vec<EpochRecord> {
         self.epoch_log.lock().clone()
+    }
+
+    /// Appends a [`ExchangeEvent::Checkpoint`] frame — a wholesale
+    /// snapshot of registrations, paid ΔG courses, terminal outcomes,
+    /// settled demand reports, and the cleared-epoch ledger — so the next
+    /// [`Exchange::recover`] seeks to it and replays only later events
+    /// (bounded-cost recovery; see [`crate::journal`]'s checkpoint
+    /// section), and [`crate::Journal::compact`] can drop the history it
+    /// summarizes.
+    ///
+    /// Checkpoints are taken at **drain-idle quiescence** only: the call
+    /// errors if any session is pending or live, any demand unsettled, or
+    /// the clearing window still holds queued demands (run
+    /// [`Exchange::drain`] first). A mid-flight session cannot be
+    /// serialized — its strategy state is code — so the quiescence check
+    /// is what makes the snapshot complete rather than torn.
+    pub fn checkpoint(&self) -> Result<CheckpointStats> {
+        let journal = self.journal.as_ref().ok_or_else(|| {
+            MarketError::InvalidConfig(
+                "checkpoint requires a journaled exchange (Exchange::with_journal)".into(),
+            )
+        })?;
+        if journal.is_sealed() {
+            return Err(MarketError::InvalidConfig(
+                "checkpoint on a sealed journal".into(),
+            ));
+        }
+        if let Some(e) = journal.last_error() {
+            return Err(MarketError::InvalidConfig(format!(
+                "checkpoint on a failed journal: {e}"
+            )));
+        }
+        // Quiescence gate. Checked pending → window → store → book so a
+        // drain that just returned always passes; a concurrent submit
+        // between the checks surfaces as a live slot below.
+        let pending = self.pending.lock().len();
+        if pending > 0 {
+            return Err(MarketError::InvalidConfig(format!(
+                "checkpoint on a non-quiescent exchange: {pending} sessions pending \
+                 (drain first)"
+            )));
+        }
+        if let Some(window) = self.clearing.read().clone() {
+            let queued = window.pending();
+            if queued > 0 {
+                return Err(MarketError::InvalidConfig(format!(
+                    "checkpoint on a non-quiescent exchange: {queued} demands queued \
+                     in the clearing window (drain first)"
+                )));
+            }
+        }
+        let sessions = self.store.snapshot_terminal().map_err(|live| {
+            MarketError::InvalidConfig(format!(
+                "checkpoint on a non-quiescent exchange: {live} sessions still live \
+                 (drain first)"
+            ))
+        })?;
+        let demands = self.match_book.snapshot_settled().map_err(|live| {
+            MarketError::InvalidConfig(format!(
+                "checkpoint on a non-quiescent exchange: {live} demands still \
+                 matching (drain first)"
+            ))
+        })?;
+        // Registration stamps under the markets → sellers lock order (the
+        // registration paths' order), so a racing registration lands
+        // wholly before or wholly after the snapshot.
+        let markets_stamp: Vec<CheckpointMarket> = {
+            let markets = self.markets.read();
+            let sellers = self.sellers.read();
+            let mut owner: Vec<Option<SellerId>> = vec![None; markets.len()];
+            for (i, s) in sellers.iter().enumerate() {
+                owner[s.market.0] = Some(SellerId(i));
+            }
+            markets
+                .iter()
+                .enumerate()
+                .map(|(i, m)| CheckpointMarket {
+                    owner: owner[i],
+                    eval_key: m.eval_key,
+                    private: m.private,
+                    listings: m.listings.len() as u32,
+                    catalog: BundleMask::union_of(m.listings.iter().map(|l| l.bundle)),
+                    table_digest: crate::journal::listing_table_digest(&m.listings),
+                    name: m.name.clone(),
+                })
+                .collect()
+        };
+        let clearing = self.clearing.read().clone().map(|w| {
+            let s = w.spec();
+            (s.epoch_size as u32, s.capacity, s.max_rolls)
+        });
+        let state = CheckpointState {
+            next_session: self.next_session.load(Ordering::Relaxed),
+            next_demand: self.match_book.next_id(),
+            markets: markets_stamp,
+            clearing,
+            epochs: self.epoch_history(),
+            courses: self.cache.entries(),
+            sessions,
+            demands,
+        };
+        let stats = CheckpointStats {
+            markets: state.markets.len(),
+            sessions: state.sessions.len(),
+            demands: state.demands.len(),
+            courses: state.courses.len(),
+            epochs: state.epochs.len(),
+        };
+        // Checkpoint critical section: snapshot captured but not appended,
+        // then appended + flushed but success not yet observed.
+        self.crash_point(CrashPoint::CheckpointSnapshotted);
+        journal.append(&ExchangeEvent::Checkpoint {
+            state: Box::new(state),
+        });
+        self.crash_point(CrashPoint::CheckpointRecorded);
+        if let Some(e) = journal.last_error() {
+            return Err(MarketError::InvalidConfig(format!(
+                "checkpoint frame append failed: {e}"
+            )));
+        }
+        Ok(stats)
+    }
+
+    /// Registration path of checkpoint restore: exactly
+    /// [`Self::register_market`] minus the journal record (the restored
+    /// checkpoint frame already covers it).
+    fn restore_market(&self, spec: MarketSpec) -> Result<MarketId> {
+        let mut markets = self.markets.write();
+        let (id, _) = Self::push_market(&mut markets, spec)?;
+        Ok(id)
+    }
+
+    /// Seller path of checkpoint restore: [`Self::register_seller`] minus
+    /// the journal record.
+    fn restore_seller(&self, spec: crate::matching::SellerSpec) -> Result<SellerId> {
+        let catalog = BundleMask::union_of(spec.market.listings.iter().map(|l| l.bundle));
+        let scenario = spec.market.evaluation_key;
+        let name = spec.market.name.clone();
+        let mut markets = self.markets.write();
+        let mut sellers = self.sellers.write();
+        let (market, _) = Self::push_market(&mut markets, spec.market)?;
+        let id = SellerId(sellers.len());
+        sellers.push(SellerEntry {
+            market,
+            name,
+            catalog,
+            scenario,
+            quoting: spec.quoting,
+        });
+        Ok(id)
+    }
+
+    /// Clearing path of checkpoint restore: [`Self::open_clearing`] minus
+    /// the journal record.
+    fn restore_clearing(&self, spec: ClearingSpec) -> Result<()> {
+        let mut slot = self.clearing.write();
+        if slot.is_some() {
+            return Err(MarketError::InvalidConfig(
+                "the exchange's clearing window is already open".into(),
+            ));
+        }
+        *slot = Some(Arc::new(ClearingWindow::new(spec)?));
+        Ok(())
+    }
+
+    /// Restores a [`CheckpointState`] into this (fresh) exchange:
+    /// registrations re-verified against the re-supplied spec exactly as
+    /// genesis replay verifies registration events, then courses, terminal
+    /// outcomes, settled reports, and the epoch ledger installed wholesale
+    /// — **nothing re-runs and nothing is journaled by the restore paths**.
+    /// The checkpoint frame itself is re-appended to the fresh journal
+    /// (before the caller replays the suffix through the ordinary
+    /// journaling paths), so the new generation reads `[Checkpoint,
+    /// suffix…]` and chains.
+    pub(crate) fn restore_checkpoint(
+        &self,
+        state: CheckpointState,
+        spec: &mut ReplaySpec,
+    ) -> std::result::Result<(), RecoverError> {
+        for (idx, m) in state.markets.iter().enumerate() {
+            match m.owner {
+                None => {
+                    if spec.markets.is_empty() {
+                        return Err(RecoverError::SpecMismatch(format!(
+                            "checkpoint records market m{idx} {:?} but the spec \
+                             supplies no further market",
+                            m.name
+                        )));
+                    }
+                    let ms = spec.markets.remove(0);
+                    check_market_spec(
+                        "market",
+                        &ms,
+                        m.private,
+                        m.eval_key,
+                        m.listings,
+                        m.catalog,
+                        m.table_digest,
+                        &m.name,
+                    )?;
+                    let id = self.restore_market(ms).map_err(|e| {
+                        RecoverError::SpecMismatch(format!("market {:?}: {e}", m.name))
+                    })?;
+                    if id.0 != idx {
+                        return Err(RecoverError::InconsistentJournal(format!(
+                            "checkpoint market {:?} restored as {id}, stamp is m{idx}",
+                            m.name
+                        )));
+                    }
+                }
+                Some(seller) => {
+                    if spec.sellers.is_empty() {
+                        return Err(RecoverError::SpecMismatch(format!(
+                            "checkpoint records seller {seller} {:?} but the spec \
+                             supplies no further seller",
+                            m.name
+                        )));
+                    }
+                    let ss = spec.sellers.remove(0);
+                    check_market_spec(
+                        "seller",
+                        &ss.market,
+                        m.private,
+                        m.eval_key,
+                        m.listings,
+                        m.catalog,
+                        m.table_digest,
+                        &m.name,
+                    )?;
+                    let id = self.restore_seller(ss).map_err(|e| {
+                        RecoverError::SpecMismatch(format!("seller {:?}: {e}", m.name))
+                    })?;
+                    if id != seller {
+                        return Err(RecoverError::InconsistentJournal(format!(
+                            "checkpoint seller {:?} restored as {id}, stamp is {seller}",
+                            m.name
+                        )));
+                    }
+                    let market = self.seller_market(id).expect("just registered");
+                    if market.0 != idx {
+                        return Err(RecoverError::InconsistentJournal(format!(
+                            "checkpoint seller {:?} market restored as {market}, \
+                             stamp is m{idx}",
+                            m.name
+                        )));
+                    }
+                }
+            }
+            // Private keys encode the assigned id, so equality here also
+            // pins the registration *order* the spec re-supplied.
+            let restored_key = self.markets.read()[idx].eval_key;
+            if restored_key != m.eval_key {
+                return Err(RecoverError::InconsistentJournal(format!(
+                    "checkpoint market m{idx} {:?} restored with evaluation key \
+                     {restored_key}, stamp records {}",
+                    m.name, m.eval_key
+                )));
+            }
+        }
+        match (state.clearing, spec.clearing.take()) {
+            (None, unused) => spec.clearing = unused, // a suffix ClearingOpened may claim it
+            (Some((epoch_size, capacity, max_rolls)), Some(cs)) => {
+                if cs.epoch_size as u32 != epoch_size
+                    || cs.capacity != capacity
+                    || cs.max_rolls != max_rolls
+                {
+                    return Err(RecoverError::SpecMismatch(format!(
+                        "clearing window: checkpoint records epoch_size {epoch_size} / \
+                         capacity {capacity} / max_rolls {max_rolls}, spec supplies \
+                         {} / {} / {}",
+                        cs.epoch_size, cs.capacity, cs.max_rolls
+                    )));
+                }
+                self.restore_clearing(cs)
+                    .map_err(|e| RecoverError::InconsistentJournal(format!("clearing: {e}")))?;
+            }
+            (Some(_), None) => {
+                return Err(RecoverError::SpecMismatch(
+                    "checkpoint records a clearing window but the spec supplies no \
+                     clearing spec"
+                        .into(),
+                ));
+            }
+        }
+        if !state.epochs.is_empty() {
+            let Some(window) = self.clearing.read().clone() else {
+                return Err(RecoverError::InconsistentJournal(
+                    "checkpoint records cleared epochs but no clearing window".into(),
+                ));
+            };
+            let next = state.epochs.last().expect("non-empty").epoch + 1;
+            window.skip_to_epoch(next);
+            *self.epoch_log.lock() = state.epochs.clone();
+        }
+        for &((eval_key, bundle), gain) in &state.courses {
+            self.cache.insert(eval_key, BundleMask(bundle), gain);
+        }
+        for (sid, result) in &state.sessions {
+            self.next_session.fetch_max(sid.0 + 1, Ordering::Relaxed);
+            self.store.finish(*sid, result.clone());
+        }
+        for report in &state.demands {
+            self.match_book.restore_settled(report.clone());
+        }
+        self.next_session
+            .fetch_max(state.next_session, Ordering::Relaxed);
+        self.match_book.bump_next(state.next_demand);
+        // Stamp the restored checkpoint into the fresh generation *after*
+        // every check passed (the restore paths above journal nothing, so
+        // this frame is the new journal's first — `[Checkpoint, suffix…]`).
+        self.record_with(|| ExchangeEvent::Checkpoint {
+            state: Box::new(state),
+        });
+        Ok(())
     }
 
     /// The clearing window's spec-and-queue view (`None` before

@@ -74,6 +74,46 @@
 //! [`Exchange::set_crash_hook`] observes them and typically calls
 //! [`Journal::seal`] — freezing the journal exactly as a crash would —
 //! while the in-memory run continues as the uncrashed reference.
+//!
+//! ## Checkpoints and compaction (bounded-cost recovery)
+//!
+//! Genesis replay re-drives *every* journaled session, so recovery cost
+//! grows with journal length — fine for a day, wrong for a year. A
+//! [`ExchangeEvent::Checkpoint`] frame (tag 14) bounds it: a wholesale
+//! snapshot of the registrations (fingerprints only — specs still come
+//! from the [`ReplaySpec`]), the paid ΔG course cache, every terminal
+//! session outcome, every settled [`DemandReport`], the cleared-epoch
+//! ledger, and both id counters.
+//!
+//! **Quiescence.** [`Exchange::checkpoint`] refuses unless the exchange
+//! is drain-idle: no pending or live sessions, no unsettled demands, no
+//! demands queued in the clearing window. A mid-flight negotiation's
+//! strategy state is code, not data — it cannot be serialized — so
+//! quiescence is what makes the snapshot complete rather than torn.
+//! Phase boundaries (after [`Exchange::drain`]) are exactly such points.
+//!
+//! **Recovery seek.** [`Exchange::recover`] seeks to the *last*
+//! checkpoint in the valid prefix, restores its state wholesale (courses
+//! become cache hits, outcomes and settlements are installed verbatim,
+//! registrations are re-verified against the spec exactly as replay
+//! verifies registration events), and replays only the suffix. A torn
+//! checkpoint — the crash landed mid-append — simply falls off the valid
+//! prefix per the truncation rule, and the seek lands on the previous
+//! complete checkpoint or genesis: checkpointing can never lose journaled
+//! events, only fail to accelerate them.
+//!
+//! **Compaction.** [`Journal::compact`] rewrites a snapshot of the
+//! journal into a fresh sink as `[Checkpoint, suffix…]`, dropping the
+//! history the checkpoint summarizes. The old generation is never
+//! modified — the rewrite holds the sink lock as a fence (a sealed
+//! journal refuses compaction outright), and appends racing the rewrite
+//! land in the old generation, which stays authoritative until the
+//! operator switches over. Generations chain: a later checkpoint in a
+//! compacted journal compacts again, and if the newest generation is
+//! torn or lost the previous one still recovers everything it held.
+//! The offline `vfl-audit` tool verifies any generation end to end
+//! (checksums, digests, checkpoint/suffix consistency) and prints the
+//! settlement ledger an operator reconciles before switching.
 
 use parking_lot::Mutex;
 use std::io::Write;
@@ -84,9 +124,12 @@ use vfl_sim::BundleMask;
 
 use crate::clearing::{ClearingSpec, EpochEntry, EpochEntryKind, EpochRecord};
 use crate::exchange::{Exchange, ExchangeConfig, MarketId, MarketSpec};
-use crate::matching::{Demand, DemandId, SellerId, SellerSpec};
+use crate::matching::{
+    CandidateQuote, Demand, DemandId, DemandReport, QuoteState, SellerId, SellerSpec,
+};
 use crate::session::SessionOrder;
 use crate::store::SessionId;
+use vfl_market::{MarketError, Outcome};
 
 const MAGIC: u8 = 0xEA;
 const VERSION: u8 = 1;
@@ -295,6 +338,74 @@ pub enum ExchangeEvent {
         /// [`wire::outcome_digest`] of the outcome (0 for hard errors).
         digest: u64,
     },
+    /// A quiescent-point snapshot of the whole exchange (see
+    /// [`Exchange::checkpoint`]): recovery seeks to the **last** checkpoint
+    /// in the prefix, restores its state wholesale, and replays only the
+    /// events after it — bounding recovery cost by the suffix length
+    /// instead of the journal's full history. [`Journal::compact`] rewrites
+    /// a journal as `[Checkpoint, suffix…]` on the strength of the same
+    /// frame.
+    Checkpoint {
+        /// The snapshot (boxed: checkpoint frames dwarf every other
+        /// variant).
+        state: Box<CheckpointState>,
+    },
+}
+
+/// One market's registration stamp inside a [`CheckpointState`] — the same
+/// fingerprints a [`ExchangeEvent::MarketRegistered`] /
+/// [`ExchangeEvent::SellerRegistered`] record carries, so recovery verifies
+/// the re-supplied [`ReplaySpec`] exactly as genesis replay would.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointMarket {
+    /// The owning seller for seller-registered markets, `None` for plain
+    /// [`Exchange::register_market`] registrations. Restore consumes the
+    /// matching [`ReplaySpec`] list (markets or sellers) in market-id
+    /// order, exactly like genesis replay consumes registration events.
+    pub owner: Option<SellerId>,
+    /// The market's evaluation key (private keys carry the high bit).
+    pub eval_key: u64,
+    /// True when the market was registered without a caller-supplied key.
+    pub private: bool,
+    /// Listing count.
+    pub listings: u32,
+    /// Union of every listed bundle.
+    pub catalog: BundleMask,
+    /// [`listing_table_digest`] of the full listing table.
+    pub table_digest: u64,
+    /// Display name.
+    pub name: String,
+}
+
+/// Everything a drain-idle exchange needs persisted to resume without
+/// replaying its history: registration stamps, the clearing window's shape
+/// and cleared-epoch ledger, the paid ΔG courses, and every terminal
+/// session / settled demand. Strategies, providers, and policies are code
+/// and still come from the [`ReplaySpec`] at restore time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointState {
+    /// The session-id counter at snapshot time (restore bumps past it so
+    /// post-recovery submissions never collide with checkpointed ids).
+    pub next_session: u64,
+    /// The demand-id counter at snapshot time.
+    pub next_demand: u64,
+    /// Registration stamps in market-id order.
+    pub markets: Vec<CheckpointMarket>,
+    /// `(epoch_size, capacity, max_rolls)` when the clearing window was
+    /// open at snapshot time.
+    pub clearing: Option<(u32, u32, u32)>,
+    /// Every cleared epoch's batch record, in epoch order (the restored
+    /// window resumes at the next epoch number).
+    pub epochs: Vec<EpochRecord>,
+    /// Every cached `((evaluation key, bundle), ΔG)` entry, sorted by key
+    /// — the paid trainings recovery must never repeat.
+    pub courses: Vec<((u64, u64), f64)>,
+    /// Every terminal session in id order: its full outcome (`Ok`) or hard
+    /// error (`Err`). Restored directly — zero re-driven rounds.
+    pub sessions: Vec<(SessionId, Result<Box<Outcome>, MarketError>)>,
+    /// Every settled demand's full report in id order, quote tables
+    /// included. Restored directly — zero re-probed candidates.
+    pub demands: Vec<DemandReport>,
 }
 
 // ---------------------------------------------------------------------------
@@ -321,6 +432,47 @@ fn put_str(buf: &mut Vec<u8>, s: &str) {
     );
     put_u16(buf, bytes.len() as u16);
     buf.extend_from_slice(bytes);
+}
+
+/// Body encoding of one [`EpochRecord`] — shared verbatim by the
+/// [`ExchangeEvent::EpochCleared`] payload and the epoch ledger inside a
+/// checkpoint frame, so the two can never drift apart.
+fn put_epoch_record(buf: &mut Vec<u8>, record: &EpochRecord) {
+    put_u64(buf, record.epoch);
+    put_u32(buf, record.entries.len() as u32);
+    for entry in &record.entries {
+        put_u64(buf, entry.demand.0);
+        buf.push(entry.kind.code());
+        if entry.kind == EpochEntryKind::Matched {
+            put_u32(buf, entry.winner.expect("matched entries have a winner"));
+        }
+    }
+    put_u32(buf, record.prices.len() as u32);
+    for (seller, price) in &record.prices {
+        put_u32(buf, seller.0 as u32);
+        put_u64(buf, price.to_bits());
+    }
+}
+
+/// `(variant code, inner message)` of a [`MarketError`] — checkpoint frames
+/// persist failed sessions' terminal errors. Codes are append-only.
+fn error_code(e: &MarketError) -> (u8, &str) {
+    match e {
+        MarketError::InvalidPrice(msg) => (0, msg),
+        MarketError::InvalidConfig(msg) => (1, msg),
+        MarketError::StrategyError(msg) => (2, msg),
+        MarketError::Gain(msg) => (3, msg),
+    }
+}
+
+fn error_from_code(code: u8, msg: String) -> Option<MarketError> {
+    Some(match code {
+        0 => MarketError::InvalidPrice(msg),
+        1 => MarketError::InvalidConfig(msg),
+        2 => MarketError::StrategyError(msg),
+        3 => MarketError::Gain(msg),
+        _ => return None,
+    })
 }
 
 struct Reader<'a> {
@@ -372,6 +524,38 @@ impl<'a> Reader<'a> {
     fn done(&self) -> bool {
         self.pos == self.buf.len()
     }
+}
+
+/// Inverse of [`put_epoch_record`] (shared by the tag-13 and tag-14
+/// decoders).
+fn read_epoch_record(r: &mut Reader<'_>) -> Option<EpochRecord> {
+    let epoch = r.u64()?;
+    let n = r.u32()? as usize;
+    let mut entries = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let demand = DemandId(r.u64()?);
+        let kind = EpochEntryKind::from_code(r.u8()?)?;
+        let winner = if kind == EpochEntryKind::Matched {
+            Some(r.u32()?)
+        } else {
+            None
+        };
+        entries.push(EpochEntry {
+            demand,
+            kind,
+            winner,
+        });
+    }
+    let n_prices = r.u32()? as usize;
+    let mut prices = Vec::with_capacity(n_prices.min(1024));
+    for _ in 0..n_prices {
+        prices.push((SellerId(r.u32()? as usize), r.f64()?));
+    }
+    Some(EpochRecord {
+        epoch,
+        entries,
+        prices,
+    })
 }
 
 impl ExchangeEvent {
@@ -460,23 +644,7 @@ impl ExchangeEvent {
             }
             ExchangeEvent::EpochCleared { record } => {
                 buf.push(13);
-                put_u64(&mut buf, record.epoch);
-                put_u32(&mut buf, record.entries.len() as u32);
-                for entry in &record.entries {
-                    put_u64(&mut buf, entry.demand.0);
-                    buf.push(entry.kind.code());
-                    if entry.kind == EpochEntryKind::Matched {
-                        put_u32(
-                            &mut buf,
-                            entry.winner.expect("matched entries have a winner"),
-                        );
-                    }
-                }
-                put_u32(&mut buf, record.prices.len() as u32);
-                for (seller, price) in &record.prices {
-                    put_u32(&mut buf, seller.0 as u32);
-                    put_u64(&mut buf, price.to_bits());
-                }
+                put_epoch_record(&mut buf, record);
             }
             ExchangeEvent::SessionDispatched { session } => {
                 buf.push(5);
@@ -536,6 +704,124 @@ impl ExchangeEvent {
                 put_u16(&mut buf, *status);
                 put_u32(&mut buf, *rounds);
                 put_u64(&mut buf, *digest);
+            }
+            ExchangeEvent::Checkpoint { state } => {
+                buf.push(14);
+                put_u64(&mut buf, state.next_session);
+                put_u64(&mut buf, state.next_demand);
+                put_u32(&mut buf, state.markets.len() as u32);
+                for m in &state.markets {
+                    match m.owner {
+                        Some(seller) => {
+                            buf.push(1);
+                            put_u32(&mut buf, seller.0 as u32);
+                        }
+                        None => buf.push(0),
+                    }
+                    put_u64(&mut buf, m.eval_key);
+                    buf.push(m.private as u8);
+                    put_u32(&mut buf, m.listings);
+                    put_u64(&mut buf, m.catalog.0);
+                    put_u64(&mut buf, m.table_digest);
+                    put_str(&mut buf, &m.name);
+                }
+                match state.clearing {
+                    Some((epoch_size, capacity, max_rolls)) => {
+                        buf.push(1);
+                        put_u32(&mut buf, epoch_size);
+                        put_u32(&mut buf, capacity);
+                        put_u32(&mut buf, max_rolls);
+                    }
+                    None => buf.push(0),
+                }
+                put_u32(&mut buf, state.epochs.len() as u32);
+                for record in &state.epochs {
+                    put_epoch_record(&mut buf, record);
+                }
+                put_u32(&mut buf, state.courses.len() as u32);
+                for &((eval_key, bundle), gain) in &state.courses {
+                    put_u64(&mut buf, eval_key);
+                    put_u64(&mut buf, bundle);
+                    put_u64(&mut buf, gain.to_bits());
+                }
+                put_u32(&mut buf, state.sessions.len() as u32);
+                for (session, result) in &state.sessions {
+                    put_u64(&mut buf, session.0);
+                    match result {
+                        Ok(outcome) => {
+                            buf.push(0);
+                            wire::put_outcome(&mut buf, outcome);
+                            // Per-outcome digest: the decoder re-derives it
+                            // from the bytes it just read, so a checkpoint
+                            // whose stored outcome was tampered with (but
+                            // whose frame checksum was refreshed) still
+                            // fails to decode.
+                            put_u64(&mut buf, wire::outcome_digest(outcome));
+                        }
+                        Err(e) => {
+                            buf.push(1);
+                            let (code, msg) = error_code(e);
+                            buf.push(code);
+                            put_str(&mut buf, msg);
+                        }
+                    }
+                }
+                put_u32(&mut buf, state.demands.len() as u32);
+                for report in &state.demands {
+                    put_u64(&mut buf, report.demand.0);
+                    match report.winner {
+                        Some(w) => {
+                            buf.push(1);
+                            put_u32(&mut buf, w as u32);
+                        }
+                        None => buf.push(0),
+                    }
+                    match report.epoch {
+                        Some(epoch) => {
+                            buf.push(1);
+                            put_u64(&mut buf, epoch);
+                        }
+                        None => buf.push(0),
+                    }
+                    match report.clearing_price {
+                        Some(price) => {
+                            buf.push(1);
+                            put_u64(&mut buf, price.to_bits());
+                        }
+                        None => buf.push(0),
+                    }
+                    put_u32(&mut buf, report.quotes.len() as u32);
+                    for q in &report.quotes {
+                        put_u32(&mut buf, q.seller.0 as u32);
+                        put_str(&mut buf, &q.seller_name);
+                        put_u64(&mut buf, q.session.0);
+                        match &q.state {
+                            QuoteState::Standing(record) => {
+                                buf.push(0);
+                                wire::put_round_record(&mut buf, record);
+                            }
+                            QuoteState::Closed { status, last } => {
+                                buf.push(1);
+                                put_u16(&mut buf, wire::status_code(*status));
+                                match last {
+                                    Some(record) => {
+                                        buf.push(1);
+                                        wire::put_round_record(&mut buf, record);
+                                    }
+                                    None => buf.push(0),
+                                }
+                            }
+                            QuoteState::Error(msg) => {
+                                buf.push(2);
+                                put_str(&mut buf, msg);
+                            }
+                        }
+                        put_u32(&mut buf, q.history.len() as u32);
+                        for record in &q.history {
+                            wire::put_round_record(&mut buf, record);
+                        }
+                    }
+                }
             }
         }
         buf
@@ -628,35 +914,141 @@ impl ExchangeEvent {
                 capacity: r.u32()?,
                 max_rolls: r.u32()?,
             },
-            13 => {
-                let epoch = r.u64()?;
-                let n = r.u32()? as usize;
-                let mut entries = Vec::with_capacity(n.min(1024));
-                for _ in 0..n {
-                    let demand = DemandId(r.u64()?);
-                    let kind = EpochEntryKind::from_code(r.u8()?)?;
-                    let winner = if kind == EpochEntryKind::Matched {
-                        Some(r.u32()?)
-                    } else {
-                        None
+            13 => ExchangeEvent::EpochCleared {
+                record: read_epoch_record(&mut r)?,
+            },
+            14 => {
+                let next_session = r.u64()?;
+                let next_demand = r.u64()?;
+                let n_markets = r.u32()? as usize;
+                let mut markets = Vec::with_capacity(n_markets.min(1024));
+                for _ in 0..n_markets {
+                    let owner = match r.u8()? {
+                        0 => None,
+                        1 => Some(SellerId(r.u32()? as usize)),
+                        _ => return None,
                     };
-                    entries.push(EpochEntry {
-                        demand,
-                        kind,
-                        winner,
+                    markets.push(CheckpointMarket {
+                        owner,
+                        eval_key: r.u64()?,
+                        private: r.u8()? != 0,
+                        listings: r.u32()?,
+                        catalog: BundleMask(r.u64()?),
+                        table_digest: r.u64()?,
+                        name: r.str()?,
                     });
                 }
-                let n_prices = r.u32()? as usize;
-                let mut prices = Vec::with_capacity(n_prices.min(1024));
-                for _ in 0..n_prices {
-                    prices.push((SellerId(r.u32()? as usize), r.f64()?));
+                let clearing = match r.u8()? {
+                    0 => None,
+                    1 => Some((r.u32()?, r.u32()?, r.u32()?)),
+                    _ => return None,
+                };
+                let n_epochs = r.u32()? as usize;
+                let mut epochs = Vec::with_capacity(n_epochs.min(1024));
+                for _ in 0..n_epochs {
+                    epochs.push(read_epoch_record(&mut r)?);
                 }
-                ExchangeEvent::EpochCleared {
-                    record: EpochRecord {
+                let n_courses = r.u32()? as usize;
+                let mut courses = Vec::with_capacity(n_courses.min(1024));
+                for _ in 0..n_courses {
+                    let eval_key = r.u64()?;
+                    let bundle = r.u64()?;
+                    courses.push(((eval_key, bundle), r.f64()?));
+                }
+                let n_sessions = r.u32()? as usize;
+                let mut sessions = Vec::with_capacity(n_sessions.min(1024));
+                for _ in 0..n_sessions {
+                    let session = SessionId(r.u64()?);
+                    let result = match r.u8()? {
+                        0 => {
+                            let outcome = wire::read_outcome(r.buf, &mut r.pos)?;
+                            // The stored digest must match the outcome just
+                            // decoded — tampered outcome bytes fail here
+                            // even under a refreshed frame checksum.
+                            if r.u64()? != wire::outcome_digest(&outcome) {
+                                return None;
+                            }
+                            Ok(Box::new(outcome))
+                        }
+                        1 => {
+                            let code = r.u8()?;
+                            Err(error_from_code(code, r.str()?)?)
+                        }
+                        _ => return None,
+                    };
+                    sessions.push((session, result));
+                }
+                let n_demands = r.u32()? as usize;
+                let mut demands = Vec::with_capacity(n_demands.min(1024));
+                for _ in 0..n_demands {
+                    let demand = DemandId(r.u64()?);
+                    let winner = match r.u8()? {
+                        0 => None,
+                        1 => Some(r.u32()? as usize),
+                        _ => return None,
+                    };
+                    let epoch = match r.u8()? {
+                        0 => None,
+                        1 => Some(r.u64()?),
+                        _ => return None,
+                    };
+                    let clearing_price = match r.u8()? {
+                        0 => None,
+                        1 => Some(r.f64()?),
+                        _ => return None,
+                    };
+                    let n_quotes = r.u32()? as usize;
+                    let mut quotes = Vec::with_capacity(n_quotes.min(1024));
+                    for _ in 0..n_quotes {
+                        let seller = SellerId(r.u32()? as usize);
+                        let seller_name = r.str()?;
+                        let session = SessionId(r.u64()?);
+                        let state = match r.u8()? {
+                            0 => QuoteState::Standing(wire::read_round_record(r.buf, &mut r.pos)?),
+                            1 => {
+                                let status = wire::status_from_code(r.u16()?)?;
+                                let last = match r.u8()? {
+                                    0 => None,
+                                    1 => Some(wire::read_round_record(r.buf, &mut r.pos)?),
+                                    _ => return None,
+                                };
+                                QuoteState::Closed { status, last }
+                            }
+                            2 => QuoteState::Error(r.str()?),
+                            _ => return None,
+                        };
+                        let n_history = r.u32()? as usize;
+                        let mut history = Vec::with_capacity(n_history.min(1024));
+                        for _ in 0..n_history {
+                            history.push(wire::read_round_record(r.buf, &mut r.pos)?);
+                        }
+                        quotes.push(CandidateQuote {
+                            seller,
+                            seller_name,
+                            session,
+                            state,
+                            history,
+                        });
+                    }
+                    demands.push(DemandReport {
+                        demand,
+                        winner,
+                        quotes,
                         epoch,
-                        entries,
-                        prices,
-                    },
+                        clearing_price,
+                    });
+                }
+                ExchangeEvent::Checkpoint {
+                    state: Box::new(CheckpointState {
+                        next_session,
+                        next_demand,
+                        markets,
+                        clearing,
+                        epochs,
+                        courses,
+                        sessions,
+                        demands,
+                    }),
                 }
             }
             _ => return None,
@@ -871,7 +1263,135 @@ impl Journal {
     pub fn last_error(&self) -> Option<String> {
         self.inner.lock().error.clone()
     }
+
+    /// Rewrites this journal's content (`bytes`, a full snapshot of its
+    /// sink) into `sink` as `[last checkpoint frame, suffix…]`, chaining a
+    /// new **generation**: the returned journal starts where the old one's
+    /// last [`ExchangeEvent::Checkpoint`] left off, and everything before
+    /// that checkpoint — already summarized by it — is dropped.
+    ///
+    /// The old journal's sink lock is held across the whole rewrite, so
+    /// concurrent appends and seals are fenced out and `bytes` cannot go
+    /// stale mid-rewrite. The old journal itself is **never modified**:
+    /// appends issued after `compact` returns land in the old generation
+    /// only, so the operator swaps journals (or re-creates the exchange on
+    /// the new one) before continuing. A sealed journal refuses compaction
+    /// — a sealed sink is crash evidence, not a live log — and a sink
+    /// failure mid-rewrite leaves a torn *new* generation while the old
+    /// one stays the intact recovery source (recovery's truncation rule
+    /// drops the torn tail; fall back to the previous generation's bytes).
+    pub fn compact(
+        &self,
+        bytes: &[u8],
+        sink: Box<dyn Write + Send>,
+    ) -> Result<(Arc<Journal>, CompactStats), CompactError> {
+        self.compact_observed(bytes, sink, None)
+    }
+
+    /// [`Journal::compact`] with a fault-injection hook: fires
+    /// [`CrashPoint::CompactionRewrite`] after the checkpoint frame is
+    /// flushed into the new sink but before any suffix frame — the instant
+    /// whose crash tears the new generation (tests make the sink die
+    /// there and prove the old generation recovers in full).
+    pub fn compact_observed(
+        &self,
+        bytes: &[u8],
+        mut sink: Box<dyn Write + Send>,
+        hook: Option<&CrashHook>,
+    ) -> Result<(Arc<Journal>, CompactStats), CompactError> {
+        let _fence = self.inner.lock();
+        if self.sealed.load(Ordering::Acquire) {
+            return Err(CompactError::Sealed);
+        }
+        let (events, _) = read_events(bytes);
+        if events.len() as u64 != self.records() {
+            return Err(CompactError::StaleSnapshot {
+                snapshot: events.len(),
+                journal: self.records(),
+            });
+        }
+        let Some(at) = events
+            .iter()
+            .rposition(|e| matches!(e, ExchangeEvent::Checkpoint { .. }))
+        else {
+            return Err(CompactError::NoCheckpoint);
+        };
+        let io = |e: std::io::Error| CompactError::Io(e.to_string());
+        sink.write_all(&events[at].encode_frame())
+            .and_then(|()| sink.flush())
+            .map_err(io)?;
+        if let Some(hook) = hook {
+            hook(&CrashPoint::CompactionRewrite);
+        }
+        let mut written = 1u64;
+        for event in &events[at + 1..] {
+            sink.write_all(&event.encode_frame())
+                .and_then(|()| sink.flush())
+                .map_err(io)?;
+            written += 1;
+        }
+        let journal = Arc::new(Journal::new(sink));
+        journal.records.store(written, Ordering::Relaxed);
+        Ok((
+            journal,
+            CompactStats {
+                events_before: events.len(),
+                events_after: written as usize,
+                dropped: at,
+            },
+        ))
+    }
 }
+
+/// What one [`Journal::compact`] rewrite accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactStats {
+    /// Frames in the old generation.
+    pub events_before: usize,
+    /// Frames written to the new generation (the checkpoint + its suffix).
+    pub events_after: usize,
+    /// Pre-checkpoint frames dropped — history the checkpoint summarizes.
+    pub dropped: usize,
+}
+
+/// Why [`Journal::compact`] refused to rewrite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompactError {
+    /// The journal is sealed: its sink is crash evidence and must stay
+    /// byte-identical for recovery, so compaction refuses to touch it.
+    Sealed,
+    /// `bytes` does not decode to exactly the frames this journal has
+    /// appended — a stale snapshot, or the bytes of some other journal.
+    StaleSnapshot {
+        /// Frames decoded from the supplied bytes.
+        snapshot: usize,
+        /// Frames this journal has appended.
+        journal: u64,
+    },
+    /// The journal holds no [`ExchangeEvent::Checkpoint`] frame;
+    /// compaction needs one to anchor the new generation (run
+    /// [`Exchange::checkpoint`] first).
+    NoCheckpoint,
+    /// The new generation's sink failed mid-rewrite. The old journal is
+    /// untouched; discard the torn new generation.
+    Io(String),
+}
+
+impl std::fmt::Display for CompactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompactError::Sealed => write!(f, "journal is sealed"),
+            CompactError::StaleSnapshot { snapshot, journal } => write!(
+                f,
+                "stale snapshot: {snapshot} decoded frames vs {journal} appended"
+            ),
+            CompactError::NoCheckpoint => write!(f, "journal holds no checkpoint frame"),
+            CompactError::Io(msg) => write!(f, "new-generation sink failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CompactError {}
 
 impl std::fmt::Debug for Journal {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -931,6 +1451,19 @@ pub enum CrashPoint {
     /// A session produced its terminal outcome, before the
     /// [`ExchangeEvent::SessionConcluded`] record.
     Concluding(SessionId),
+    /// [`Exchange::checkpoint`] captured its quiescent snapshot, before
+    /// the [`ExchangeEvent::Checkpoint`] frame is appended — a crash here
+    /// leaves the journal checkpoint-free, and recovery simply replays
+    /// from genesis (or the previous checkpoint), losing nothing.
+    CheckpointSnapshotted,
+    /// The checkpoint frame is appended and flushed, before the caller
+    /// observes success — a crash here leaves a *complete* checkpoint the
+    /// operator never learned about; recovery still seeks to it.
+    CheckpointRecorded,
+    /// [`Journal::compact_observed`] flushed the checkpoint frame into
+    /// the new generation's sink, before any suffix frame — a crash here
+    /// tears the new generation while the old one stays intact.
+    CompactionRewrite,
 }
 
 /// A fault-injection observer (see [`Exchange::set_crash_hook`]).
@@ -1054,6 +1587,19 @@ pub struct ReplayReport {
     /// True when the prefix recorded a [`ExchangeEvent::ClearingOpened`]
     /// (and the recovered exchange re-opened its window).
     pub clearing_opened: bool,
+    /// True when recovery seeked to a [`ExchangeEvent::Checkpoint`] frame
+    /// and restored its state wholesale instead of replaying the full
+    /// history (the fields above then describe only the post-checkpoint
+    /// suffix).
+    pub checkpoint_restored: bool,
+    /// Pre-checkpoint events the seek skipped — the replay work a
+    /// checkpoint saves.
+    pub events_skipped: usize,
+    /// Terminal sessions restored directly from the checkpoint (zero
+    /// re-driven rounds, zero re-trained courses).
+    pub sessions_restored: usize,
+    /// Settled demands restored directly from the checkpoint.
+    pub demands_restored: usize,
 }
 
 /// Why a recovery was refused.
@@ -1089,7 +1635,7 @@ fn catalog_of(spec: &MarketSpec) -> BundleMask {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn check_market_spec(
+pub(crate) fn check_market_spec(
     what: &str,
     spec: &MarketSpec,
     private: bool,
@@ -1156,7 +1702,7 @@ impl Exchange {
         mut spec: ReplaySpec,
         journal: Option<Arc<Journal>>,
     ) -> Result<(Exchange, ReplayReport), RecoverError> {
-        let (events, dropped_bytes) = read_events(journal_bytes);
+        let (mut events, dropped_bytes) = read_events(journal_bytes);
         let exchange = match journal {
             Some(journal) => Exchange::with_journal(cfg, journal),
             None => Exchange::new(cfg),
@@ -1166,6 +1712,27 @@ impl Exchange {
             dropped_bytes,
             ..ReplayReport::default()
         };
+        // Checkpoint seek: restore the LAST complete checkpoint wholesale
+        // and replay only the events after it. A torn checkpoint frame
+        // needs no handling here — the truncation rule already dropped it,
+        // so the seek lands on the previous complete one (or nowhere, and
+        // recovery replays from genesis).
+        if let Some(at) = events
+            .iter()
+            .rposition(|e| matches!(e, ExchangeEvent::Checkpoint { .. }))
+        {
+            let suffix = events.split_off(at + 1);
+            let Some(ExchangeEvent::Checkpoint { state }) = events.pop() else {
+                unreachable!("rposition found a checkpoint at index {at}");
+            };
+            report.checkpoint_restored = true;
+            report.events_skipped = events.len();
+            report.sessions_restored = state.sessions.len();
+            report.demands_restored = state.demands.len();
+            report.clearing_opened = state.clearing.is_some();
+            exchange.restore_checkpoint(*state, &mut spec)?;
+            events = suffix;
+        }
         for event in events {
             match event {
                 ExchangeEvent::MarketRegistered {
@@ -1377,6 +1944,9 @@ impl Exchange {
                 ExchangeEvent::SessionDispatched { .. }
                 | ExchangeEvent::CourseRequested { .. }
                 | ExchangeEvent::QuoteRecorded { .. } => {}
+                ExchangeEvent::Checkpoint { .. } => {
+                    unreachable!("the seek above consumed every checkpoint up to the last one")
+                }
             }
         }
         Ok((exchange, report))
@@ -1499,6 +2069,115 @@ impl Exchange {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vfl_market::{ClosedBy, OutcomeStatus, QuotedPrice, RoundRecord};
+    use vfl_sim::protocol::Transcript;
+
+    fn sample_round(round: u32) -> RoundRecord {
+        RoundRecord {
+            round,
+            quote: QuotedPrice {
+                rate: 11.5,
+                base: 2.0,
+                cap: 20.0,
+            },
+            listing: 1,
+            bundle: BundleMask(0b11),
+            gain: 0.25,
+            payment: 4.875,
+            net_profit: 220.125,
+            cost_task: 0.2,
+            cost_data: 0.1,
+            final_offer: round > 1,
+        }
+    }
+
+    fn sample_checkpoint() -> ExchangeEvent {
+        let outcome = Outcome {
+            status: OutcomeStatus::Success {
+                by: ClosedBy::TaskParty,
+            },
+            rounds: vec![sample_round(1), sample_round(2)],
+            transcript: Transcript::default(),
+        };
+        ExchangeEvent::Checkpoint {
+            state: Box::new(CheckpointState {
+                next_session: 31,
+                next_demand: 9,
+                markets: vec![
+                    CheckpointMarket {
+                        owner: None,
+                        eval_key: 42,
+                        private: false,
+                        listings: 4,
+                        catalog: BundleMask(0b1111),
+                        table_digest: 0xaaaa_bbbb,
+                        name: "table".into(),
+                    },
+                    CheckpointMarket {
+                        owner: Some(SellerId(0)),
+                        eval_key: (1 << 63) | 1,
+                        private: true,
+                        listings: 3,
+                        catalog: BundleMask(0b0111),
+                        table_digest: 0xcccc_dddd,
+                        name: "acme-data".into(),
+                    },
+                ],
+                clearing: Some((4, 1, u32::MAX)),
+                epochs: vec![EpochRecord {
+                    epoch: 2,
+                    entries: vec![EpochEntry {
+                        demand: DemandId(5),
+                        kind: EpochEntryKind::Matched,
+                        winner: Some(0),
+                    }],
+                    prices: vec![(SellerId(0), 3.75)],
+                }],
+                courses: vec![((42, 0b10), 0.125), (((1 << 63) | 1, 0b111), 0.5)],
+                sessions: vec![
+                    (SessionId(7), Ok(Box::new(outcome))),
+                    (
+                        SessionId(8),
+                        Err(MarketError::StrategyError("probe died".into())),
+                    ),
+                ],
+                demands: vec![DemandReport {
+                    demand: DemandId(5),
+                    winner: Some(0),
+                    quotes: vec![
+                        CandidateQuote {
+                            seller: SellerId(0),
+                            seller_name: "acme-data".into(),
+                            session: SessionId(12),
+                            state: QuoteState::Closed {
+                                status: OutcomeStatus::Success {
+                                    by: ClosedBy::DataParty,
+                                },
+                                last: Some(sample_round(3)),
+                            },
+                            history: vec![sample_round(2), sample_round(3)],
+                        },
+                        CandidateQuote {
+                            seller: SellerId(1),
+                            seller_name: "globex-data".into(),
+                            session: SessionId(13),
+                            state: QuoteState::Standing(sample_round(2)),
+                            history: vec![sample_round(2)],
+                        },
+                        CandidateQuote {
+                            seller: SellerId(2),
+                            seller_name: "initech-data".into(),
+                            session: SessionId(14),
+                            state: QuoteState::Error("course failure".into()),
+                            history: vec![],
+                        },
+                    ],
+                    epoch: Some(2),
+                    clearing_price: Some(3.75),
+                }],
+            }),
+        }
+    }
 
     fn sample_events() -> Vec<ExchangeEvent> {
         vec![
@@ -1578,6 +2257,7 @@ mod tests {
             ExchangeEvent::SessionDispatched {
                 session: SessionId(7),
             },
+            sample_checkpoint(),
             ExchangeEvent::CourseRequested {
                 session: SessionId(7),
                 eval_key: 42,
@@ -1725,5 +2405,105 @@ mod tests {
         let (decoded, dropped) = read_events(&versioned);
         assert!(decoded.is_empty());
         assert_eq!(dropped, versioned.len());
+    }
+
+    /// A journal holding `events` (which must include a checkpoint for
+    /// compaction to succeed), plus its sink for snapshotting.
+    fn journal_of(events: &[ExchangeEvent]) -> (Arc<Journal>, MemorySink) {
+        let (journal, sink) = Journal::in_memory();
+        for e in events {
+            journal.append(e);
+        }
+        (journal, sink)
+    }
+
+    #[test]
+    fn sealed_journals_refuse_compaction() {
+        let events = sample_events();
+        let (journal, sink) = journal_of(&events);
+        journal.seal();
+        match journal.compact(&sink.bytes(), Box::new(MemorySink::default())) {
+            Err(CompactError::Sealed) => {}
+            other => panic!("expected Sealed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compaction_rejects_stale_snapshots_and_missing_checkpoints() {
+        let events = sample_events();
+        let (journal, sink) = journal_of(&events);
+        // A snapshot missing the latest appends is stale: compacting it
+        // would silently drop the tail.
+        let boundaries = frame_boundaries(&sink.bytes());
+        let stale = &sink.bytes()[..boundaries[boundaries.len() - 2]];
+        match journal.compact(stale, Box::new(MemorySink::default())) {
+            Err(CompactError::StaleSnapshot { snapshot, journal }) => {
+                assert_eq!(snapshot, events.len() - 1);
+                assert_eq!(journal, events.len() as u64);
+            }
+            other => panic!("expected StaleSnapshot, got {other:?}"),
+        }
+        // No checkpoint frame anywhere: nothing to compact onto.
+        let plain: Vec<ExchangeEvent> = sample_events()
+            .into_iter()
+            .filter(|e| !matches!(e, ExchangeEvent::Checkpoint { .. }))
+            .collect();
+        let (journal, sink) = journal_of(&plain);
+        match journal.compact(&sink.bytes(), Box::new(MemorySink::default())) {
+            Err(CompactError::NoCheckpoint) => {}
+            other => panic!("expected NoCheckpoint, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compaction_rewrites_checkpoint_plus_suffix() {
+        let events = sample_events();
+        let at = events
+            .iter()
+            .position(|e| matches!(e, ExchangeEvent::Checkpoint { .. }))
+            .unwrap();
+        let (journal, sink) = journal_of(&events);
+        let before = sink.bytes();
+        let gen2_sink = MemorySink::default();
+        let (gen2, stats) = journal
+            .compact(&before, Box::new(gen2_sink.clone()))
+            .unwrap();
+        assert_eq!(stats.events_before, events.len());
+        assert_eq!(stats.events_after, events.len() - at);
+        assert_eq!(stats.dropped, at);
+        assert_eq!(gen2.records(), (events.len() - at) as u64);
+        // The new generation is exactly `[Checkpoint, suffix…]`.
+        let (decoded, dropped) = read_events(&gen2_sink.bytes());
+        assert_eq!(decoded[..], events[at..]);
+        assert_eq!(dropped, 0);
+        // The old generation is untouched, stays unsealed, and keeps
+        // receiving appends — generation switch-over is the operator's move.
+        assert_eq!(sink.bytes(), before);
+        assert!(!journal.is_sealed());
+        journal.append(&events[0]);
+        assert_eq!(journal.records(), events.len() as u64 + 1);
+        let (old, _) = read_events(&sink.bytes());
+        assert_eq!(old.len(), events.len() + 1);
+        let (new, _) = read_events(&gen2_sink.bytes());
+        assert_eq!(new[..], events[at..], "post-compact appends never leak");
+    }
+
+    #[test]
+    fn compaction_surfaces_sink_errors() {
+        struct FailingSink;
+        impl Write for FailingSink {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let events = sample_events();
+        let (journal, sink) = journal_of(&events);
+        match journal.compact(&sink.bytes(), Box::new(FailingSink)) {
+            Err(CompactError::Io(e)) => assert!(e.contains("disk full")),
+            other => panic!("expected Io, got {other:?}"),
+        }
     }
 }

@@ -129,11 +129,11 @@ pub use clearing::{
     EpochDecision, EpochDemand, EpochEntry, EpochEntryKind, EpochRecord, PerDemand,
     UniformPriceClearing,
 };
-pub use exchange::{DrainReport, Exchange, ExchangeConfig, MarketId, MarketSpec};
+pub use exchange::{CheckpointStats, DrainReport, Exchange, ExchangeConfig, MarketId, MarketSpec};
 pub use journal::{
-    frame_boundaries, listing_table_digest, read_events, CrashHook, CrashPoint, ExchangeEvent,
-    Journal, MemorySink, QuoteKind, RecordedConclusion, RecordedSettlement, RecoverError,
-    ReplayReport, ReplaySpec,
+    frame_boundaries, listing_table_digest, read_events, CheckpointMarket, CheckpointState,
+    CompactError, CompactStats, CrashHook, CrashPoint, ExchangeEvent, Journal, MemorySink,
+    QuoteKind, RecordedConclusion, RecordedSettlement, RecoverError, ReplayReport, ReplaySpec,
 };
 pub use matching::{
     BestResponse, CandidateQuote, Demand, DemandId, DemandReport, DemandStatus, MatchPolicy,

@@ -187,7 +187,7 @@ pub enum QuoteState {
 
 /// One candidate's identity and reported quote, as handed to the
 /// [`MatchPolicy`] and recorded in the [`DemandReport`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CandidateQuote {
     /// The quoting data party.
     pub seller: SellerId,
@@ -311,7 +311,7 @@ pub enum DemandStatus {
 }
 
 /// The settled quote table of a demand.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DemandReport {
     /// The settled demand.
     pub demand: DemandId,
@@ -439,6 +439,26 @@ impl DemandState {
         }
     }
 
+    /// A state restored straight into its settled report — the checkpoint
+    /// recovery path. The settle mode is derived from the report (epoch
+    /// stamp ⇒ epoch mode) and the config defaults: both are only
+    /// consulted *before* settlement, which this state is already past.
+    pub(crate) fn settled(report: DemandReport) -> Self {
+        let settle = if report.epoch.is_some() {
+            SettleMode::Epoch
+        } else {
+            SettleMode::Immediate(Arc::new(BestResponse))
+        };
+        DemandState {
+            cfg: MarketConfig::default(),
+            settle,
+            slots: Vec::new(),
+            reported: 0,
+            rolls: 0,
+            report: Some(report),
+        }
+    }
+
     /// The full quote table (every slot must have reported).
     fn quotes(&self) -> Vec<CandidateQuote> {
         self.slots
@@ -495,6 +515,18 @@ impl MatchBook {
         DemandId(self.next.fetch_add(1, Ordering::Relaxed))
     }
 
+    /// The id the next [`MatchBook::allocate`] would hand out (checkpoint
+    /// stamps persist it so a restored book never re-issues an id).
+    pub(crate) fn next_id(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// Bumps the id counter to at least `next` (checkpoint restore:
+    /// demands taken before the snapshot still occupied ids).
+    pub(crate) fn bump_next(&self, next: u64) {
+        self.next.fetch_max(next, Ordering::Relaxed);
+    }
+
     /// Registers a demand under an explicit id; must happen before any of
     /// its candidate sessions is queued, so a racing report always finds
     /// the state. Recovery opens demands under their *journaled* ids, so
@@ -549,6 +581,34 @@ impl MatchBook {
     /// Number of demands currently stored (matching or settled-not-taken).
     pub(crate) fn len(&self) -> usize {
         self.demands.read().len()
+    }
+
+    /// A sorted snapshot of every demand's settled report, for the
+    /// checkpoint path. `Err(live)` when any demand is still matching or
+    /// parked for clearing — checkpoints require every demand settled.
+    pub(crate) fn snapshot_settled(&self) -> Result<Vec<DemandReport>, usize> {
+        let demands = self.demands.read();
+        let mut out: Vec<DemandReport> = Vec::with_capacity(demands.len());
+        let mut live = 0usize;
+        for entry in demands.values() {
+            match &entry.lock().report {
+                Some(report) => out.push(report.clone()),
+                None => live += 1,
+            }
+        }
+        if live > 0 {
+            return Err(live);
+        }
+        out.sort_unstable_by_key(|r| r.demand.0);
+        Ok(out)
+    }
+
+    /// Re-registers a checkpointed settled demand under its journaled id
+    /// ([`DemandState::settled`]); the id counter is bumped past it like
+    /// any replayed open.
+    pub(crate) fn restore_settled(&self, report: DemandReport) {
+        let id = report.demand;
+        self.open_at(id, DemandState::settled(report));
     }
 
     /// Records candidate `slot`'s quote (plus its full round history, for

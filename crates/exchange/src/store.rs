@@ -148,4 +148,30 @@ impl SessionStore {
     pub(crate) fn len(&self) -> usize {
         self.shards.iter().map(|s| s.lock().len()).sum()
     }
+
+    /// A sorted snapshot of every *terminal* slot, for the checkpoint
+    /// path. `Err(live)` when any slot is still `Ready`/`Running` — a
+    /// checkpoint must not split a mid-flight session across the frame
+    /// boundary, so the caller checkpoints only at drain-idle quiescence.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn snapshot_terminal(
+        &self,
+    ) -> Result<Vec<(SessionId, Result<Box<Outcome>, MarketError>)>, usize> {
+        let mut out: Vec<(SessionId, Result<Box<Outcome>, MarketError>)> = Vec::new();
+        let mut live = 0usize;
+        for shard in &self.shards {
+            for (&id, slot) in shard.lock().iter() {
+                match slot {
+                    Slot::Done(outcome) => out.push((SessionId(id), Ok(outcome.clone()))),
+                    Slot::Failed(e) => out.push((SessionId(id), Err(e.clone()))),
+                    Slot::Ready(_) | Slot::Running => live += 1,
+                }
+            }
+        }
+        if live > 0 {
+            return Err(live);
+        }
+        out.sort_unstable_by_key(|&(id, _)| id);
+        Ok(out)
+    }
 }

@@ -1,0 +1,195 @@
+//! Bounded-cost recovery end to end: journal a two-phase marketplace run,
+//! checkpoint at the quiescent phase boundary, "crash" after the second
+//! phase started, and recover — the checkpoint is restored wholesale
+//! (no replay, no re-training) and only the post-checkpoint suffix is
+//! re-driven. Then compact the journal to `[Checkpoint, suffix…]` and
+//! show the new generation recovers identically from far fewer bytes.
+//!
+//! ```sh
+//! cargo run --release --example checkpoint [JOURNAL_OUT]
+//! ```
+//!
+//! With a `JOURNAL_OUT` path the checkpointed journal is also written to
+//! disk, ready for `vfl-audit JOURNAL_OUT` (CI runs exactly that).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use vfl_bench::exchange_setup::{CountingGainProvider, TrainingRecorder};
+use vfl_exchange::{
+    frame_boundaries, read_events, BestResponse, Demand, DemandId, Exchange, ExchangeConfig,
+    ExchangeEvent, Journal, MarketSpec, MemorySink, ReplaySpec, SellerSpec, SettleMode,
+};
+use vfl_market::{
+    DataStrategy, Listing, MarketConfig, ReservedPrice, StrategicData, StrategicTask,
+    TableGainProvider,
+};
+use vfl_sim::BundleMask;
+
+/// One seller: four singleton listings whose gains are scaled by `scale`,
+/// wrapped in the counting fixture so the demo can show which trainings
+/// the checkpoint restore skipped.
+fn seller(name: &str, scale: f64, key: u64, trained: &TrainingRecorder) -> SellerSpec {
+    let listings: Vec<Listing> = (0..4)
+        .map(|i| Listing {
+            bundle: BundleMask::singleton(i),
+            reserved: ReservedPrice::new(5.0 + i as f64 * 2.0, 0.8 + i as f64 * 0.2)
+                .expect("valid reserve"),
+        })
+        .collect();
+    let gains: Vec<f64> = (0..4).map(|i| scale * (0.06 + 0.08 * i as f64)).collect();
+    let by_bundle: HashMap<u64, f64> = listings
+        .iter()
+        .zip(&gains)
+        .map(|(l, &g)| (l.bundle.0, g))
+        .collect();
+    SellerSpec {
+        market: MarketSpec {
+            provider: Arc::new(CountingGainProvider::new(
+                TableGainProvider::new(listings.iter().zip(&gains).map(|(l, &g)| (l.bundle, g))),
+                key,
+                trained,
+            )),
+            listings: Arc::new(listings),
+            evaluation_key: Some(key),
+            name: name.into(),
+        },
+        quoting: Arc::new(move |table: &[Listing]| {
+            Box::new(StrategicData::with_gains(
+                table.iter().map(|l| by_bundle[&l.bundle.0]).collect(),
+            )) as Box<dyn DataStrategy + Send>
+        }),
+    }
+}
+
+/// One buyer demand per phase, varied by seed so the phases differ.
+fn buyer_demand(phase: u64) -> Demand {
+    Demand {
+        wanted: BundleMask::all(4),
+        scenario: None,
+        cfg: MarketConfig {
+            utility_rate: 900.0 - 120.0 * phase as f64,
+            budget: 12.0,
+            rate_cap: 20.0,
+            seed: 7 + phase,
+            ..MarketConfig::default()
+        },
+        task: Arc::new(|| Box::new(StrategicTask::new(0.30, 6.0, 0.9).expect("valid opening"))),
+        probe_rounds: 2,
+        settle: SettleMode::Immediate(Arc::new(BestResponse)),
+    }
+}
+
+fn sellers(trained: &TrainingRecorder) -> Vec<SellerSpec> {
+    vec![
+        seller("acme-data", 0.5, 101, trained),
+        seller("globex-data", 1.0, 102, trained),
+    ]
+}
+
+fn main() {
+    // ---- phase 1: run, drain, checkpoint -----------------------------------
+    let trained = TrainingRecorder::default();
+    let (journal, sink) = Journal::in_memory();
+    let exchange = Exchange::with_journal(ExchangeConfig::default(), journal.clone());
+    for spec in sellers(&trained) {
+        exchange.register_seller(spec).expect("register seller");
+    }
+    let d1: DemandId = exchange.submit_demand(buyer_demand(0)).expect("submit");
+    exchange.drain(2);
+    // Drain-idle is the quiescent point the checkpoint contract requires:
+    // every submitted session and demand is terminal.
+    let stats = exchange.checkpoint().expect("quiescent checkpoint");
+    let phase1_courses = trained.set().len();
+    println!(
+        "phase 1:   {} sessions, {} demand settled, {} courses trained — \
+         checkpoint frame covers {} sessions / {} courses",
+        stats.sessions, stats.demands, phase1_courses, stats.sessions, stats.courses
+    );
+
+    // ---- phase 2: more work after the checkpoint ---------------------------
+    let d2: DemandId = exchange.submit_demand(buyer_demand(1)).expect("submit");
+    exchange.drain(2);
+    let r1 = exchange.take_demand(d1).expect("settled");
+    let r2 = exchange.take_demand(d2).expect("settled");
+    let paid = trained.set().len();
+    let bytes = sink.bytes();
+    println!(
+        "phase 2:   winners {} / {} ({} courses total, {} journal bytes)",
+        r1.winning_quote().expect("a winner").seller_name,
+        r2.winning_quote().expect("a winner").seller_name,
+        paid,
+        bytes.len()
+    );
+
+    if let Some(path) = std::env::args().nth(1) {
+        std::fs::write(&path, &bytes).expect("write journal");
+        println!("journal:   written to {path} (audit it: vfl-audit {path})");
+    }
+
+    // ---- crash + recover: the checkpoint bounds the replay -----------------
+    let (events, _) = read_events(&bytes);
+    let at = events
+        .iter()
+        .position(|e| matches!(e, ExchangeEvent::Checkpoint { .. }))
+        .expect("one checkpoint frame");
+    let retrained = TrainingRecorder::default();
+    let spec = |trained: &TrainingRecorder| ReplaySpec {
+        markets: Vec::new(),
+        sellers: sellers(trained),
+        orders: Box::new(|sid| panic!("no plain sessions journaled ({sid})")),
+        demands: Box::new(|did| buyer_demand(if did.0 == 0 { 0 } else { 1 })),
+        clearing: None,
+    };
+    let (recovered, report) =
+        Exchange::recover(ExchangeConfig::default(), &bytes, spec(&retrained), None)
+            .expect("recover");
+    recovered.drain(2);
+    recovered.audit_replay(&report).expect("divergence audit");
+    let resumed = recovered.take_demand(d2).expect("re-settled");
+    assert_eq!(resumed.winner, r2.winner, "same settlement winner");
+    println!(
+        "recovered: checkpoint restored {} sessions / {} demands wholesale, \
+         skipped {} of {} events, replayed only the suffix — {} courses re-trained",
+        report.sessions_restored,
+        report.demands_restored,
+        report.events_skipped,
+        events.len(),
+        retrained.set().len()
+    );
+    assert_eq!(
+        report.events_skipped, at,
+        "everything before the checkpoint"
+    );
+    assert!(
+        retrained.set().is_empty(),
+        "a complete journal re-trains nothing"
+    );
+
+    // ---- compaction: a new generation of bounded size ----------------------
+    let gen2_sink = MemorySink::default();
+    let (_, cstats) = journal
+        .compact(&bytes, Box::new(gen2_sink.clone()))
+        .expect("compact");
+    let gen2 = gen2_sink.bytes();
+    let (recovered2, report2) = Exchange::recover(
+        ExchangeConfig::default(),
+        &gen2,
+        spec(&TrainingRecorder::default()),
+        None,
+    )
+    .expect("recover generation 2");
+    recovered2.drain(2);
+    let resumed2 = recovered2.take_demand(d2).expect("re-settled");
+    assert_eq!(resumed2.winner, r2.winner, "generation 2 agrees");
+    println!(
+        "compacted: {} events -> {} ({} pre-checkpoint events dropped), \
+         {} -> {} bytes ({} frames), generation 2 recovers identically",
+        cstats.events_before,
+        cstats.events_after,
+        cstats.dropped,
+        bytes.len(),
+        gen2.len(),
+        frame_boundaries(&gen2).len()
+    );
+    assert!(report2.checkpoint_restored);
+}
