@@ -157,6 +157,107 @@ impl JournalAudit {
     }
 }
 
+/// One checkpoint generation's share of the journal: the event frames up
+/// to (and including) one checkpoint, or the live tail after the last
+/// checkpoint (what a recovery replays).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenerationStats {
+    /// Generation index, 0 = genesis through the first checkpoint.
+    pub generation: usize,
+    /// Event frames in the generation (closing checkpoint included).
+    pub events: usize,
+    /// Bytes the generation occupies in the journal.
+    pub bytes: usize,
+    /// True when a checkpoint seals the generation; the last row is open
+    /// unless the journal happens to end exactly on a checkpoint frame.
+    pub closed: bool,
+}
+
+/// The `--stats` supplement to [`JournalAudit`]: where the journal's bytes
+/// went (per event tag) and how events and bytes distribute across
+/// checkpoint generations — the numbers that tell an operator whether the
+/// checkpoint cadence is keeping recovery cost bounded.
+#[derive(Debug, Clone, Default)]
+pub struct JournalStats {
+    /// `(tag, frames, bytes)` per tag, tag-name order, zero-count tags
+    /// omitted. Byte counts are whole frames (header + payload + checksum),
+    /// so the rows sum to the valid prefix exactly.
+    pub tag_bytes: Vec<(&'static str, usize, usize)>,
+    /// One row per checkpoint generation, journal order.
+    pub generations: Vec<GenerationStats>,
+}
+
+impl JournalStats {
+    /// The operator-facing `--stats` section.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "  bytes by tag:");
+        for (tag, frames, bytes) in &self.tag_bytes {
+            let _ = writeln!(out, "    {tag}: {bytes} bytes over {frames} frame(s)");
+        }
+        if self.tag_bytes.is_empty() {
+            let _ = writeln!(out, "    (empty journal)");
+        }
+        let _ = writeln!(out, "  checkpoint generations:");
+        for g in &self.generations {
+            let state = if g.closed {
+                "sealed by a checkpoint"
+            } else {
+                "open (replayed on recovery)"
+            };
+            let _ = writeln!(
+                out,
+                "    generation {}: {} event(s), {} bytes, {state}",
+                g.generation, g.events, g.bytes
+            );
+        }
+        out
+    }
+}
+
+/// Computes the `--stats` breakdown from journal bytes. Same truncation
+/// rule as [`audit_bytes`]: only the longest valid prefix is counted.
+pub fn stats_of(bytes: &[u8]) -> JournalStats {
+    let (events, _) = read_events(bytes);
+    // frame_boundaries yields each frame's END offset, so frame i spans
+    // [ends[i-1], ends[i]) and the per-tag byte rows sum to the prefix.
+    let ends = frame_boundaries(bytes);
+    debug_assert_eq!(ends.len(), events.len());
+    let mut per_tag: BTreeMap<&'static str, (usize, usize)> = BTreeMap::new();
+    let mut generations = Vec::new();
+    let (mut gen_events, mut gen_bytes, mut start) = (0usize, 0usize, 0usize);
+    for (event, &end) in events.iter().zip(&ends) {
+        let len = end - start;
+        start = end;
+        let slot = per_tag.entry(tag_name(event)).or_default();
+        slot.0 += 1;
+        slot.1 += len;
+        gen_events += 1;
+        gen_bytes += len;
+        if matches!(event, ExchangeEvent::Checkpoint { .. }) {
+            generations.push(GenerationStats {
+                generation: generations.len(),
+                events: gen_events,
+                bytes: gen_bytes,
+                closed: true,
+            });
+            (gen_events, gen_bytes) = (0, 0);
+        }
+    }
+    if gen_events > 0 || generations.is_empty() {
+        generations.push(GenerationStats {
+            generation: generations.len(),
+            events: gen_events,
+            bytes: gen_bytes,
+            closed: false,
+        });
+    }
+    JournalStats {
+        tag_bytes: per_tag.into_iter().map(|(t, (n, b))| (t, n, b)).collect(),
+        generations,
+    }
+}
+
 fn tag_name(event: &ExchangeEvent) -> &'static str {
     match event {
         ExchangeEvent::MarketRegistered { .. } => "market-registered",
@@ -670,3 +771,123 @@ pub const EXIT_OK: i32 = 0;
 pub const EXIT_INCONSISTENT: i32 = 1;
 /// Exit code for usage or I/O errors (no audit ran).
 pub const EXIT_USAGE: i32 = 2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vfl_exchange::{Exchange, ExchangeConfig, Journal, MarketSpec, SessionOrder};
+    use vfl_market::{
+        Listing, MarketConfig, ReservedPrice, StrategicData, StrategicTask, TableGainProvider,
+    };
+    use vfl_sim::BundleMask;
+
+    /// One journaled run with a mid-life checkpoint: 3 sessions, the
+    /// checkpoint, then 2 more — so the stats see one sealed generation
+    /// and one open tail.
+    fn journal_with_checkpoint() -> Vec<u8> {
+        let gains = vec![0.05, 0.12, 0.20, 0.30];
+        let listings: Vec<Listing> = [(5.0, 0.8), (7.0, 1.0), (9.0, 1.2), (11.0, 1.5)]
+            .iter()
+            .enumerate()
+            .map(|(i, &(rate, base))| Listing {
+                bundle: BundleMask::singleton(i),
+                reserved: ReservedPrice::new(rate, base).unwrap(),
+            })
+            .collect();
+        let provider =
+            TableGainProvider::new(listings.iter().zip(&gains).map(|(l, &g)| (l.bundle, g)));
+        let (journal, sink) = Journal::in_memory();
+        let exchange = Exchange::with_journal(ExchangeConfig::default(), journal);
+        let market = exchange
+            .register_market(MarketSpec {
+                provider: Arc::new(provider),
+                listings: Arc::new(listings),
+                evaluation_key: Some(42),
+                name: "stats".into(),
+            })
+            .unwrap();
+        let order = |seed: u64| SessionOrder {
+            cfg: MarketConfig {
+                utility_rate: 1000.0,
+                budget: 12.0,
+                rate_cap: 20.0,
+                seed,
+                ..MarketConfig::default()
+            },
+            task: Box::new(StrategicTask::new(0.30, 6.0, 0.9).unwrap()),
+            data: Box::new(StrategicData::with_gains(gains.clone())),
+        };
+        for seed in 0..3 {
+            exchange.submit(market, order(seed)).unwrap();
+        }
+        exchange.drain(1);
+        exchange.checkpoint().unwrap();
+        for seed in 3..5 {
+            exchange.submit(market, order(seed)).unwrap();
+        }
+        exchange.drain(1);
+        sink.bytes()
+    }
+
+    #[test]
+    fn stats_partition_the_prefix_exactly() {
+        let bytes = journal_with_checkpoint();
+        let audit = audit_bytes(&bytes);
+        assert!(audit.is_consistent(), "{:?}", audit.violations);
+        let stats = stats_of(&bytes);
+
+        // Tag rows agree with the audit's frame counts and sum to the
+        // valid prefix byte-exactly.
+        let total_frames: usize = stats.tag_bytes.iter().map(|&(_, n, _)| n).sum();
+        let total_bytes: usize = stats.tag_bytes.iter().map(|&(_, _, b)| b).sum();
+        assert_eq!(total_frames, audit.frames);
+        assert_eq!(total_bytes, bytes.len() - audit.dropped_bytes);
+        assert_eq!(stats.tag_bytes.len(), audit.tag_counts.len());
+        for (&(tag_a, n_a), &(tag_b, n_b, b)) in audit.tag_counts.iter().zip(&stats.tag_bytes) {
+            assert_eq!(tag_a, tag_b);
+            assert_eq!(n_a, n_b);
+            assert!(b > 0, "{tag_b} has frames but no bytes");
+        }
+
+        // Two generations: one sealed by the checkpoint, one open tail,
+        // together partitioning the frames; the open tail is exactly what
+        // the audit says a recovery would replay.
+        assert_eq!(stats.generations.len(), 2);
+        assert!(stats.generations[0].closed);
+        assert!(!stats.generations[1].closed);
+        let gen_events: usize = stats.generations.iter().map(|g| g.events).sum();
+        let gen_bytes: usize = stats.generations.iter().map(|g| g.bytes).sum();
+        assert_eq!(gen_events, audit.frames);
+        assert_eq!(gen_bytes, total_bytes);
+        assert_eq!(stats.generations[1].events, audit.replay_events);
+
+        let text = stats.render();
+        for &(tag, ..) in &stats.tag_bytes {
+            assert!(text.contains(tag), "{tag} missing from render:\n{text}");
+        }
+        assert!(text.contains("generation 0"), "{text}");
+        assert!(text.contains("sealed by a checkpoint"), "{text}");
+        assert!(text.contains("open (replayed on recovery)"), "{text}");
+    }
+
+    #[test]
+    fn stats_of_empty_and_torn_journals_are_defined() {
+        let empty = stats_of(&[]);
+        assert!(empty.tag_bytes.is_empty());
+        assert_eq!(empty.generations.len(), 1);
+        assert_eq!(empty.generations[0].events, 0);
+        assert!(!empty.generations[0].closed);
+
+        // A torn tail shrinks the counted prefix, same rule as the audit.
+        let bytes = journal_with_checkpoint();
+        let torn = &bytes[..bytes.len() - 3];
+        let stats = stats_of(torn);
+        let total: usize = stats.tag_bytes.iter().map(|&(_, _, b)| b).sum();
+        assert!(total < torn.len());
+        assert_eq!(
+            total,
+            audit_bytes(torn).bytes - audit_bytes(torn).dropped_bytes
+        );
+    }
+}

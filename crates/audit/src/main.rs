@@ -1,13 +1,15 @@
 //! `vfl-audit` — offline exchange-journal auditor.
 //!
 //! ```text
-//! vfl-audit <journal-file>
+//! vfl-audit [--stats] <journal-file>
 //! ```
 //!
 //! Walks the journal's longest valid prefix (re-verifying every frame
 //! checksum), re-checks conclusion digests against checkpoint outcomes,
 //! validates checkpoint/suffix consistency, and prints the per-seller
 //! settlement ledger plus journal-size and recovery-cost statistics.
+//! With `--stats` it appends the byte breakdown: bytes per event tag and
+//! events/bytes per checkpoint generation.
 //!
 //! Exit codes: `0` consistent, `1` violations found, `2` usage or I/O
 //! error. The report itself goes to stdout either way, so operators can
@@ -16,9 +18,20 @@
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    let (Some(path), None) = (args.next(), args.next()) else {
-        eprintln!("usage: vfl-audit <journal-file>");
+    let mut stats = false;
+    let mut path = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--stats" => stats = true,
+            _ if path.is_none() && !arg.starts_with('-') => path = Some(arg),
+            _ => {
+                eprintln!("usage: vfl-audit [--stats] <journal-file>");
+                return ExitCode::from(vfl_audit::EXIT_USAGE as u8);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: vfl-audit [--stats] <journal-file>");
         return ExitCode::from(vfl_audit::EXIT_USAGE as u8);
     };
     let bytes = match std::fs::read(&path) {
@@ -30,6 +43,9 @@ fn main() -> ExitCode {
     };
     let audit = vfl_audit::audit_bytes(&bytes);
     print!("{}", audit.render(&path));
+    if stats {
+        print!("{}", vfl_audit::stats_of(&bytes).render());
+    }
     if audit.is_consistent() {
         ExitCode::from(vfl_audit::EXIT_OK as u8)
     } else {

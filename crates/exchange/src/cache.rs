@@ -136,6 +136,15 @@ impl SharedGainCache {
         if !self.in_flight.lock().insert(key) {
             return Ok(CourseServe::Busy);
         }
+        // The miss above and the claim are not atomic: a trainer that ran
+        // entirely in between (inserted its result, released its claim)
+        // leaves this caller holding a fresh claim on an already-cached
+        // course. Re-check under the claim, or the course would be trained
+        // — and journaled — twice.
+        if let Some(g) = self.lookup(eval_key, bundle) {
+            self.in_flight.lock().remove(&key);
+            return Ok(CourseServe::Hit(g));
+        }
         let result = self.compute(eval_key, bundle, provider);
         self.in_flight.lock().remove(&key);
         result.map(CourseServe::Computed)

@@ -78,7 +78,9 @@ use crate::matching::{
 use crate::metrics::{ExchangeMetrics, MetricsSnapshot};
 use crate::session::{ActiveSession, Drive, MatchTag, SessionOrder};
 use crate::store::{SessionId, SessionStatus, SessionStore};
+use crate::telemetry::{ExchangeTelemetry, SliceTimer};
 use crate::waitlist::CourseWaitlist;
+use vfl_telemetry::TraceKey;
 
 /// Opaque market handle returned by `register_market`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -229,6 +231,10 @@ pub struct Exchange {
     /// Fault-injection observer (tests); fast-gated by `crash_armed`.
     crash_hook: Mutex<Option<CrashHook>>,
     crash_armed: AtomicBool,
+    /// Telemetry sink, when attached ([`Exchange::with_telemetry`]).
+    /// Strictly observe-only: written at the stage boundaries documented
+    /// in [`crate::telemetry`], never read back by any exchange path.
+    telemetry: Option<Arc<ExchangeTelemetry>>,
 }
 
 /// What one worker slice did with its session, plus how many *other*
@@ -256,17 +262,41 @@ impl Exchange {
     /// An exchange with the given tuning knobs (no journal: nothing is
     /// persisted, exactly the pre-journal behaviour).
     pub fn new(cfg: ExchangeConfig) -> Self {
-        Self::build(cfg, None)
+        Self::build(cfg, None, None)
     }
 
     /// An exchange that appends every registration, submission, trained
     /// course, and conclusion to `journal`, so a crashed drain can be
     /// rebuilt with [`Exchange::recover`] (see [`crate::journal`]).
     pub fn with_journal(cfg: ExchangeConfig, journal: Arc<Journal>) -> Self {
-        Self::build(cfg, Some(journal))
+        Self::build(cfg, Some(journal), None)
     }
 
-    fn build(cfg: ExchangeConfig, journal: Option<Arc<Journal>>) -> Self {
+    /// An exchange that records per-stage latencies, queue depths, and
+    /// trace spans into `telemetry` (see [`crate::telemetry`] for the
+    /// stage table and the observe-only invariant). Scrape with
+    /// [`Exchange::scrape`] / [`Exchange::scrape_json`].
+    pub fn with_telemetry(cfg: ExchangeConfig, telemetry: Arc<ExchangeTelemetry>) -> Self {
+        Self::build(cfg, None, Some(telemetry))
+    }
+
+    /// A journaled *and* instrumented exchange
+    /// ([`Exchange::with_journal`] + [`Exchange::with_telemetry`]); the
+    /// journal-append stage histogram is only populated on this
+    /// combination.
+    pub fn with_journal_and_telemetry(
+        cfg: ExchangeConfig,
+        journal: Arc<Journal>,
+        telemetry: Arc<ExchangeTelemetry>,
+    ) -> Self {
+        Self::build(cfg, Some(journal), Some(telemetry))
+    }
+
+    pub(crate) fn build(
+        cfg: ExchangeConfig,
+        journal: Option<Arc<Journal>>,
+        telemetry: Option<Arc<ExchangeTelemetry>>,
+    ) -> Self {
         Exchange {
             store: SessionStore::new(cfg.store_shards),
             cache: SharedGainCache::new(cfg.cache_shards),
@@ -283,15 +313,47 @@ impl Exchange {
             journal,
             crash_hook: Mutex::new(None),
             crash_armed: AtomicBool::new(false),
+            telemetry,
             cfg,
         }
     }
 
+    /// The attached telemetry sink, if any.
+    pub fn telemetry(&self) -> Option<&Arc<ExchangeTelemetry>> {
+        self.telemetry.as_ref()
+    }
+
+    /// Prometheus text scrape: every exchange counter bridged into the
+    /// registry plus the stage histograms and depth gauges. `None`
+    /// without an attached telemetry sink.
+    pub fn scrape(&self) -> Option<String> {
+        self.telemetry
+            .as_ref()
+            .map(|t| t.render_with(&self.metrics()))
+    }
+
+    /// JSON twin of [`Exchange::scrape`] (histograms carry
+    /// count/sum/min/max and p50/p95/p99).
+    pub fn scrape_json(&self) -> Option<String> {
+        self.telemetry
+            .as_ref()
+            .map(|t| t.render_json_with(&self.metrics()))
+    }
+
     /// Appends to the journal, building the event only when one is
-    /// attached (the no-journal hot path pays one branch).
+    /// attached (the no-journal hot path pays one branch). With
+    /// telemetry attached, the append — serialize, frame, sink write —
+    /// is timed into the `journal_append` stage.
     fn record_with(&self, make: impl FnOnce() -> ExchangeEvent) {
         if let Some(journal) = &self.journal {
-            journal.append(&make());
+            match self.telemetry.as_deref() {
+                Some(t) => {
+                    let start = t.now_ns();
+                    journal.append(&make());
+                    t.stages.journal_append.record(t.now_ns() - start);
+                }
+                None => journal.append(&make()),
+            }
         }
     }
 
@@ -789,7 +851,10 @@ impl Exchange {
             entry.listings.clone()
         };
         let cfg_digest = wire::config_digest(&order.cfg);
-        let session = ActiveSession::new(market, listings, order)?;
+        let mut session = ActiveSession::new(market, listings, order)?;
+        if let Some(t) = self.telemetry.as_deref() {
+            session.stamp_enqueued(t.now_ns());
+        }
         self.store.insert(id, session);
         // Journal before the pending push: once the id is queued, a
         // concurrent drain may dispatch it and journal course/conclusion
@@ -800,7 +865,13 @@ impl Exchange {
             market,
             cfg_digest,
         });
-        self.pending.lock().push_back(id);
+        {
+            let mut pending = self.pending.lock();
+            pending.push_back(id);
+            if let Some(t) = self.telemetry.as_deref() {
+                t.queue_depth.set(pending.len() as i64);
+            }
+        }
         ExchangeMetrics::incr(&self.metrics.sessions_opened);
         Ok(())
     }
@@ -988,6 +1059,9 @@ impl Exchange {
                 probe_rounds: demand.probe_rounds,
                 released: false,
             });
+            if let Some(t) = self.telemetry.as_deref() {
+                session.stamp_enqueued(t.now_ns());
+            }
             self.store.insert(sid, session);
             ExchangeMetrics::incr(&self.metrics.sessions_opened);
         }
@@ -1003,7 +1077,13 @@ impl Exchange {
                 .map(|((seller, _, _, _), &sid)| (*seller, sid))
                 .collect(),
         });
-        self.pending.lock().extend(ids);
+        {
+            let mut pending = self.pending.lock();
+            pending.extend(ids);
+            if let Some(t) = self.telemetry.as_deref() {
+                t.queue_depth.set(pending.len() as i64);
+            }
+        }
         ExchangeMetrics::incr(&self.metrics.demands_submitted);
     }
 
@@ -1091,27 +1171,13 @@ impl Exchange {
         self.store.take_outcome(id)
     }
 
-    /// Live counters plus cache statistics.
+    /// Live counters plus cache statistics. The collection path is
+    /// generated from the counter list in [`crate::metrics`], so a new
+    /// counter shows up here (and in the telemetry export) without any
+    /// per-field plumbing.
     pub fn metrics(&self) -> MetricsSnapshot {
-        MetricsSnapshot {
-            sessions_opened: self.metrics.sessions_opened.load(Ordering::Relaxed),
-            sessions_closed: self.metrics.sessions_closed.load(Ordering::Relaxed),
-            sessions_failed: self.metrics.sessions_failed.load(Ordering::Relaxed),
-            sessions_cancelled: self.metrics.sessions_cancelled.load(Ordering::Relaxed),
-            deals_struck: self.metrics.deals_struck.load(Ordering::Relaxed),
-            courses_requested: self.metrics.courses_requested.load(Ordering::Relaxed),
-            course_waits: self.metrics.course_waits.load(Ordering::Relaxed),
-            rounds_completed: self.metrics.rounds_completed.load(Ordering::Relaxed),
-            demands_submitted: self.metrics.demands_submitted.load(Ordering::Relaxed),
-            demands_settled: self.metrics.demands_settled.load(Ordering::Relaxed),
-            demands_matched: self.metrics.demands_matched.load(Ordering::Relaxed),
-            courses_preloaded: self.metrics.courses_preloaded.load(Ordering::Relaxed),
-            epochs_cleared: self.metrics.epochs_cleared.load(Ordering::Relaxed),
-            demands_rolled: self.metrics.demands_rolled.load(Ordering::Relaxed),
-            demands_expired: self.metrics.demands_expired.load(Ordering::Relaxed),
-            cache_hits: self.cache.hits(),
-            cache_misses: self.cache.misses(),
-        }
+        self.metrics
+            .snapshot(self.cache.hits(), self.cache.misses())
     }
 
     /// Number of sessions currently stored (queued, running, parked, or
@@ -1170,6 +1236,12 @@ impl Exchange {
                         }
                         Err(_) => break,
                     }
+                }
+                if let Some(t) = self.telemetry.as_deref() {
+                    // The backlog the dispatcher actually sees: pending
+                    // was just drained into overflow, so overflow *is*
+                    // the submitted-not-yet-dispatched set right now.
+                    t.queue_depth.set(overflow.len() as i64);
                 }
                 if in_flight == 0 {
                     // No slice is running, so nothing can wake a parked
@@ -1244,7 +1316,14 @@ impl Exchange {
     fn wake_course_waiters(&self, eval_key: u64, bundle: BundleMask) {
         let woken = self.waitlist.drain((eval_key, bundle.0));
         if !woken.is_empty() {
-            self.pending.lock().extend(woken);
+            if let Some(t) = self.telemetry.as_deref() {
+                t.waitlist_depth.add(-(woken.len() as i64));
+            }
+            let mut pending = self.pending.lock();
+            pending.extend(woken);
+            if let Some(t) = self.telemetry.as_deref() {
+                t.queue_depth.set(pending.len() as i64);
+            }
         }
     }
 
@@ -1276,6 +1355,13 @@ impl Exchange {
             kind,
             rounds,
         });
+        if let Some(t) = self.telemetry.as_deref() {
+            // Point event on the demand's timeline: one candidate's
+            // quote landed (slot index not carried — the timeline shows
+            // cadence, the journal shows content).
+            let now = t.now_ns();
+            t.span(TraceKey::Demand(demand.0), "quote_recorded", now, now);
+        }
         match outcome {
             None => 0,
             Some(ReportOutcome::Settled(settlement)) => self.apply_settlement(demand, settlement),
@@ -1299,6 +1385,7 @@ impl Exchange {
     /// injectable-crash replay must survive. Returns the sessions
     /// cancelled.
     fn apply_settlement(&self, demand: DemandId, settlement: Settlement) -> usize {
+        let start = self.telemetry.as_deref().map(|t| t.now_ns());
         ExchangeMetrics::incr(&self.metrics.demands_settled);
         if settlement.matched {
             ExchangeMetrics::incr(&self.metrics.demands_matched);
@@ -1309,7 +1396,13 @@ impl Exchange {
             winner: settlement.winner.map(|w| w as u32),
         });
         self.crash_point(CrashPoint::SettlementRecorded(demand));
-        self.apply_actions(settlement.actions)
+        let cancelled = self.apply_actions(settlement.actions);
+        if let (Some(t), Some(start)) = (self.telemetry.as_deref(), start) {
+            let now = t.now_ns();
+            t.stages.settlement.record(now - start);
+            t.span(TraceKey::Demand(demand.0), "settlement", start, now);
+        }
+        cancelled
     }
 
     /// Applies deferred wake/cancel actions to parked candidate sessions;
@@ -1323,8 +1416,19 @@ impl Exchange {
                     // nobody, reachable only through this settlement.
                     if let Some(mut session) = self.store.check_out(sid) {
                         session.release();
+                        if let Some(t) = self.telemetry.as_deref() {
+                            // Re-stamp: the next dispatch-wait sample
+                            // measures wake → dispatch, not submit →
+                            // dispatch (the park was the demand's, not
+                            // the queue's).
+                            session.stamp_enqueued(t.now_ns());
+                        }
                         self.store.check_in(sid, session);
-                        self.pending.lock().push_back(sid);
+                        let mut pending = self.pending.lock();
+                        pending.push_back(sid);
+                        if let Some(t) = self.telemetry.as_deref() {
+                            t.queue_depth.set(pending.len() as i64);
+                        }
                     } else {
                         debug_assert!(false, "winning candidate {sid} must be parked");
                     }
@@ -1374,6 +1478,7 @@ impl Exchange {
             let Some(outcome) = window.clear_next(flush) else {
                 break;
             };
+            let epoch_start = self.telemetry.as_deref().map(|t| t.now_ns());
             let epoch = outcome.record.epoch;
             // Epoch critical section: decided but not recorded, then
             // recorded but not applied — both windows are injectable.
@@ -1405,6 +1510,11 @@ impl Exchange {
                     debug_assert!(false, "cleared demand {} not in the book", settled.demand);
                 }
             }
+            if let (Some(t), Some(start)) = (self.telemetry.as_deref(), epoch_start) {
+                let now = t.now_ns();
+                t.stages.epoch_clear.record(now - start);
+                t.span(TraceKey::Epoch(epoch), "epoch_clear", start, now);
+            }
         }
         cancelled
     }
@@ -1434,6 +1544,19 @@ impl Exchange {
             // was still on a waitlist). Nothing to run, nothing to count.
             return plain(NoticeKind::Parked);
         };
+        // Telemetry bracket: start the slice timer and settle the queued
+        // session's dispatch-wait sample (stamped at submit or wake).
+        // Everything below is observe-only — see crate::telemetry.
+        let tele = self.telemetry.as_deref();
+        let mut slice_timer = tele.map(|t| {
+            let timer = SliceTimer::start(t, session.rounds_so_far());
+            if let Some(enqueued) = session.take_enqueued_ns() {
+                let now = timer.start_ns();
+                t.stages.dispatch_wait.record(now.saturating_sub(enqueued));
+                t.span(TraceKey::Session(id.0), "dispatch_wait", enqueued, now);
+            }
+            timer
+        });
         self.crash_point(CrashPoint::Dispatched(id));
         self.record_with(|| ExchangeEvent::SessionDispatched { session: id });
         let (provider, eval_key) = {
@@ -1455,6 +1578,9 @@ impl Exchange {
                     .expect("probe horizon implies a completed round");
                 let history = session.round_history();
                 self.add_rounds(session.rounds_so_far() - rounds_before);
+                if let (Some(t), Some(timer)) = (tele, slice_timer.take()) {
+                    timer.finish(t, session.rounds_so_far());
+                }
                 self.store.check_in(id, session);
                 let cancelled = self.report_quote(
                     tag.demand,
@@ -1473,12 +1599,23 @@ impl Exchange {
                         // A second training would blow the slice budget:
                         // park the session; the next dispatch pays it.
                         self.add_rounds(session.rounds_so_far() - rounds_before);
+                        if let (Some(t), Some(timer)) = (tele, slice_timer.take()) {
+                            timer.finish(t, session.rounds_so_far());
+                        }
                         self.store.check_in(id, session);
                         return plain(NoticeKind::Yielded(id));
                     }
                     ExchangeMetrics::incr(&self.metrics.courses_requested);
+                    let serve_start = tele.map(|t| t.now_ns());
                     match self.cache.serve(eval_key, bundle, provider.as_ref()) {
                         Ok(CourseServe::Hit(g)) => {
+                            if let (Some(t), Some(start)) = (tele, serve_start) {
+                                let served = t.now_ns() - start;
+                                t.stages.course_cache_hit.record(served);
+                                if let Some(timer) = slice_timer.as_mut() {
+                                    timer.note_serve(served);
+                                }
+                            }
                             self.record_with(|| ExchangeEvent::CourseRequested {
                                 session: id,
                                 eval_key,
@@ -1488,6 +1625,14 @@ impl Exchange {
                         }
                         Ok(CourseServe::Computed(g)) => {
                             paid_course = true;
+                            if let (Some(t), Some(start)) = (tele, serve_start) {
+                                let now = t.now_ns();
+                                t.stages.course_train.record(now - start);
+                                t.span(TraceKey::Session(id.0), "course_train", start, now);
+                                if let Some(timer) = slice_timer.as_mut() {
+                                    timer.note_serve(now - start);
+                                }
+                            }
                             // Course critical section: the training is paid
                             // but not yet journaled — a crash here loses the
                             // receipt, and recovery legitimately re-trains.
@@ -1521,9 +1666,15 @@ impl Exchange {
                                 .fetch_sub(1, Ordering::Relaxed);
                             ExchangeMetrics::incr(&self.metrics.course_waits);
                             self.add_rounds(session.rounds_so_far() - rounds_before);
+                            if let (Some(t), Some(timer)) = (tele, slice_timer.take()) {
+                                timer.finish(t, session.rounds_so_far());
+                            }
                             self.store.check_in(id, session);
                             let key = (eval_key, bundle.0);
                             self.waitlist.enqueue(key, id);
+                            if let Some(t) = tele {
+                                t.waitlist_depth.inc();
+                            }
                             // Check-after-enqueue: if the training ended in
                             // the meantime — result landed, OR the claim
                             // was released by a *failed* training (which
@@ -1535,6 +1686,9 @@ impl Exchange {
                                 || !self.cache.is_training(eval_key, bundle))
                                 && self.waitlist.cancel(key, id)
                             {
+                                if let Some(t) = tele {
+                                    t.waitlist_depth.dec();
+                                }
                                 return plain(NoticeKind::Yielded(id));
                             }
                             return plain(NoticeKind::Parked);
@@ -1561,6 +1715,9 @@ impl Exchange {
                     // On completion the outcome absorbs the round records,
                     // so the terminal count is read off the outcome itself.
                     self.add_rounds(outcome.n_rounds().saturating_sub(rounds_before));
+                    if let (Some(t), Some(timer)) = (tele, slice_timer.take()) {
+                        timer.finish(t, outcome.n_rounds());
+                    }
                     let tag = session.match_tag().filter(|t| !t.released).copied();
                     let quote = tag.map(|_| QuoteState::Closed {
                         status: outcome.status,
@@ -1589,6 +1746,9 @@ impl Exchange {
                 Err(e) => {
                     ExchangeMetrics::incr(&self.metrics.sessions_failed);
                     self.add_rounds(session.rounds_so_far().saturating_sub(rounds_before));
+                    if let (Some(t), Some(timer)) = (tele, slice_timer.take()) {
+                        timer.finish(t, session.rounds_so_far());
+                    }
                     let tag = session.match_tag().filter(|t| !t.released).copied();
                     let history = tag.map(|_| session.round_history());
                     let msg = e.to_string();

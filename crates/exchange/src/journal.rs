@@ -129,6 +129,7 @@ use crate::matching::{
 };
 use crate::session::SessionOrder;
 use crate::store::SessionId;
+use crate::telemetry::ExchangeTelemetry;
 use vfl_market::{MarketError, Outcome};
 
 const MAGIC: u8 = 0xEA;
@@ -1699,14 +1700,28 @@ impl Exchange {
     pub fn recover(
         cfg: ExchangeConfig,
         journal_bytes: &[u8],
-        mut spec: ReplaySpec,
+        spec: ReplaySpec,
         journal: Option<Arc<Journal>>,
     ) -> Result<(Exchange, ReplayReport), RecoverError> {
+        Self::recover_with_telemetry(cfg, journal_bytes, spec, journal, None)
+    }
+
+    /// [`Self::recover`] with an [`ExchangeTelemetry`] attached to the
+    /// rebuilt exchange. The two recovery phases are timed into the
+    /// `recovery_restore` (journal parse + checkpoint restore) and
+    /// `recovery_replay` (post-checkpoint event replay) stage histograms;
+    /// everything else is identical — recovery itself never reads the
+    /// telemetry (observe-only).
+    pub fn recover_with_telemetry(
+        cfg: ExchangeConfig,
+        journal_bytes: &[u8],
+        mut spec: ReplaySpec,
+        journal: Option<Arc<Journal>>,
+        telemetry: Option<Arc<ExchangeTelemetry>>,
+    ) -> Result<(Exchange, ReplayReport), RecoverError> {
+        let restore_start = telemetry.as_deref().map(|t| t.now_ns());
         let (mut events, dropped_bytes) = read_events(journal_bytes);
-        let exchange = match journal {
-            Some(journal) => Exchange::with_journal(cfg, journal),
-            None => Exchange::new(cfg),
-        };
+        let exchange = Exchange::build(cfg, journal, telemetry);
         let mut report = ReplayReport {
             events: events.len(),
             dropped_bytes,
@@ -1733,6 +1748,10 @@ impl Exchange {
             exchange.restore_checkpoint(*state, &mut spec)?;
             events = suffix;
         }
+        if let (Some(t), Some(start)) = (exchange.telemetry(), restore_start) {
+            t.stages.recovery_restore.record(t.now_ns() - start);
+        }
+        let replay_start = exchange.telemetry().map(|t| t.now_ns());
         for event in events {
             match event {
                 ExchangeEvent::MarketRegistered {
@@ -1948,6 +1967,9 @@ impl Exchange {
                     unreachable!("the seek above consumed every checkpoint up to the last one")
                 }
             }
+        }
+        if let (Some(t), Some(start)) = (exchange.telemetry(), replay_start) {
+            t.stages.recovery_replay.record(t.now_ns() - start);
         }
         Ok((exchange, report))
     }

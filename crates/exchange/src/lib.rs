@@ -29,6 +29,12 @@
 //! * [`MetricsSnapshot`] — sessions opened/closed/failed/cancelled, rounds,
 //!   course requests and waits, demand/match counts, epochs cleared and
 //!   rolls, cache hit rate;
+//! * [`telemetry`] — the optional operational-telemetry attachment
+//!   ([`ExchangeTelemetry`]): per-stage latency histograms, queue-depth
+//!   gauges, and ring-buffered trace spans, exported as a Prometheus text
+//!   scrape via [`Exchange::scrape`]. Strictly observe-only — attaching it
+//!   never changes a negotiation outcome, a journal byte, or a schedule
+//!   decision;
 //! * [`journal`] — the durable append-only event journal (versioned,
 //!   checksummed frames) and [`Exchange::recover`]: a crashed drain is
 //!   rebuilt from the journal's valid prefix and resumes without
@@ -121,6 +127,7 @@ pub mod matching;
 pub mod metrics;
 pub mod session;
 pub mod store;
+pub mod telemetry;
 mod waitlist;
 
 pub use cache::{CourseServe, SharedGainCache};
@@ -142,6 +149,7 @@ pub use matching::{
 pub use metrics::{ExchangeMetrics, MetricsSnapshot};
 pub use session::SessionOrder;
 pub use store::{SessionId, SessionStatus};
+pub use telemetry::{ExchangeTelemetry, QUEUE_DEPTH, STAGES, STAGE_FAMILY, WAITLIST_DEPTH};
 
 #[cfg(test)]
 mod tests {

@@ -4,97 +4,116 @@
 //! The exchange never branches on a counter; invariants that matter for
 //! correctness (settlement once per demand, wake once per waiter) are
 //! enforced by the matching book and course waitlist, not here.
+//!
+//! The counter list is declared exactly once, in the
+//! `declare_exchange_metrics!` invocation below. The macro generates the
+//! live [`ExchangeMetrics`] struct, the [`MetricsSnapshot`] view (with
+//! `Default`, so test fixtures set only the fields they assert on), the
+//! snapshot collection path, and [`MetricsSnapshot::COUNTERS`] — the
+//! exported-name table the telemetry scrape and the export-completeness
+//! test both walk. Adding a counter is one new line here; no fixture,
+//! export, or test list needs editing.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Live counters owned by an [`crate::Exchange`].
-#[derive(Debug, Default)]
-pub struct ExchangeMetrics {
-    /// Sessions accepted by `submit` (or fanned out by `submit_demand`).
-    pub(crate) sessions_opened: AtomicU64,
-    /// Sessions that reached a negotiated outcome (success *or* negotiated
-    /// failure — both are orderly closures of the protocol).
-    pub(crate) sessions_closed: AtomicU64,
-    /// Sessions that died on a hard error (strategy/config/course error).
-    pub(crate) sessions_failed: AtomicU64,
-    /// Sessions terminated by the platform: losing candidates of a settled
-    /// demand (`FailureReason::Cancelled`). Disjoint from `sessions_closed`
-    /// and `sessions_failed`.
-    pub(crate) sessions_cancelled: AtomicU64,
-    /// Negotiations that closed successfully (subset of `sessions_closed`).
-    pub(crate) deals_struck: AtomicU64,
-    /// VFL course evaluations requested by sessions (cache hits + misses;
-    /// a `Busy` wait is not a request — it is retried after the wake).
-    pub(crate) courses_requested: AtomicU64,
-    /// Times a session parked on the course waitlist because another
-    /// worker was already training the same `(evaluation key, bundle)`.
-    pub(crate) course_waits: AtomicU64,
-    /// Bargaining rounds completed across all sessions.
-    pub(crate) rounds_completed: AtomicU64,
-    /// Demands accepted by `submit_demand`.
-    pub(crate) demands_submitted: AtomicU64,
-    /// Demands whose settlement has run (every candidate reported).
-    pub(crate) demands_settled: AtomicU64,
-    /// Settled demands where the policy selected a winner (subset of
-    /// `demands_settled`).
-    pub(crate) demands_matched: AtomicU64,
-    /// ΔG courses refilled into the cache by journal recovery — trainings
-    /// paid for by a previous life of this exchange, never re-run here.
-    pub(crate) courses_preloaded: AtomicU64,
-    /// Clearing epochs the window has run (batch settlements).
-    pub(crate) epochs_cleared: AtomicU64,
-    /// Demand-epochs spent rolling: one count each time a demand lost its
-    /// seller slot to capacity and stayed queued for the next epoch.
-    pub(crate) demands_rolled: AtomicU64,
-    /// Epoch demands that settled unmatched because they were rolled past
-    /// the window's `max_rolls` (contention starvation made visible).
-    pub(crate) demands_expired: AtomicU64,
+/// Declares the full exchange counter set in one place. Each entry is
+/// `field_name: "help text",`; the exported Prometheus name is
+/// `vfl_exchange_<field_name>`. Cache hits/misses are appended by hand
+/// because their live cells are owned by the shared gain cache, not by
+/// [`ExchangeMetrics`] — they join the snapshot and export table all the
+/// same.
+macro_rules! declare_exchange_metrics {
+    ($($field:ident : $help:literal,)+) => {
+        /// Live counters owned by an [`crate::Exchange`].
+        #[derive(Debug, Default)]
+        pub struct ExchangeMetrics {
+            $( #[doc = $help] pub(crate) $field: AtomicU64, )+
+        }
+
+        impl ExchangeMetrics {
+            pub(crate) fn incr(counter: &AtomicU64) {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
+
+            /// Read every counter into a snapshot. Cache statistics live
+            /// on the shared gain cache, so the exchange passes them in.
+            pub(crate) fn snapshot(&self, cache_hits: u64, cache_misses: u64) -> MetricsSnapshot {
+                MetricsSnapshot {
+                    $( $field: self.$field.load(Ordering::Relaxed), )+
+                    cache_hits,
+                    cache_misses,
+                }
+            }
+        }
+
+        /// Point-in-time view of an exchange's counters plus cache
+        /// statistics. `Default` is all-zero, so fixtures write only the
+        /// fields under test.
+        #[derive(Debug, Clone, Copy, PartialEq, Default)]
+        pub struct MetricsSnapshot {
+            $( #[doc = $help] pub $field: u64, )+
+            /// Shared-cache hits.
+            pub cache_hits: u64,
+            /// Shared-cache misses (each one paid a real course).
+            pub cache_misses: u64,
+        }
+
+        impl MetricsSnapshot {
+            /// Exported name and help text of every counter in the
+            /// snapshot, in declaration order — the single source of
+            /// truth for the telemetry scrape and the
+            /// export-completeness test.
+            pub const COUNTERS: &'static [(&'static str, &'static str)] = &[
+                $( (concat!("vfl_exchange_", stringify!($field)), $help), )+
+                ("vfl_exchange_cache_hits", "Shared-cache hits."),
+                (
+                    "vfl_exchange_cache_misses",
+                    "Shared-cache misses (each one paid a real course).",
+                ),
+            ];
+
+            /// Visit `(exported name, value)` for every counter, in
+            /// [`Self::COUNTERS`] order.
+            pub fn for_each_counter(&self, mut visit: impl FnMut(&'static str, u64)) {
+                $( visit(concat!("vfl_exchange_", stringify!($field)), self.$field); )+
+                visit("vfl_exchange_cache_hits", self.cache_hits);
+                visit("vfl_exchange_cache_misses", self.cache_misses);
+            }
+        }
+    };
 }
 
-impl ExchangeMetrics {
-    pub(crate) fn incr(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
-    }
-}
-
-/// Point-in-time view of an exchange's counters plus cache statistics.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct MetricsSnapshot {
-    /// Sessions accepted by `submit`/`submit_demand` so far.
-    pub sessions_opened: u64,
-    /// Sessions that reached a negotiated outcome.
-    pub sessions_closed: u64,
-    /// Sessions that died on a hard error.
-    pub sessions_failed: u64,
-    /// Losing candidates cancelled at settlement.
-    pub sessions_cancelled: u64,
-    /// Successful closures (subset of `sessions_closed`).
-    pub deals_struck: u64,
-    /// Course evaluations requested (hits + misses).
-    pub courses_requested: u64,
-    /// Sessions that waited out another worker's in-flight training.
-    pub course_waits: u64,
-    /// Bargaining rounds completed across all sessions.
-    pub rounds_completed: u64,
-    /// Demands accepted so far.
-    pub demands_submitted: u64,
-    /// Demands settled so far.
-    pub demands_settled: u64,
-    /// Settled demands with a winner.
-    pub demands_matched: u64,
-    /// Courses preloaded from a journal at recovery (each one a training
-    /// the resumed run did not repeat).
-    pub courses_preloaded: u64,
-    /// Clearing epochs run so far (0 without a clearing window).
-    pub epochs_cleared: u64,
-    /// Demand-epochs spent rolling (capacity contention).
-    pub demands_rolled: u64,
-    /// Epoch demands expired unmatched by the `max_rolls` bound.
-    pub demands_expired: u64,
-    /// Shared-cache hits.
-    pub cache_hits: u64,
-    /// Shared-cache misses (each one paid a real course).
-    pub cache_misses: u64,
+declare_exchange_metrics! {
+    sessions_opened:
+        "Sessions accepted by submit (or fanned out by submit_demand).",
+    sessions_closed:
+        "Sessions that reached a negotiated outcome (success or negotiated failure - both are orderly closures of the protocol).",
+    sessions_failed:
+        "Sessions that died on a hard error (strategy/config/course error).",
+    sessions_cancelled:
+        "Sessions terminated by the platform: losing candidates of a settled demand. Disjoint from sessions_closed and sessions_failed.",
+    deals_struck:
+        "Negotiations that closed successfully (subset of sessions_closed).",
+    courses_requested:
+        "VFL course evaluations requested by sessions (cache hits + misses; a Busy wait is not a request - it is retried after the wake).",
+    course_waits:
+        "Times a session parked on the course waitlist because another worker was already training the same (evaluation key, bundle).",
+    rounds_completed:
+        "Bargaining rounds completed across all sessions.",
+    demands_submitted:
+        "Demands accepted by submit_demand.",
+    demands_settled:
+        "Demands whose settlement has run (every candidate reported).",
+    demands_matched:
+        "Settled demands where the policy selected a winner (subset of demands_settled).",
+    courses_preloaded:
+        "Gain courses refilled into the cache by journal recovery - trainings paid for by a previous life of this exchange, never re-run here.",
+    epochs_cleared:
+        "Clearing epochs the window has run (batch settlements).",
+    demands_rolled:
+        "Demand-epochs spent rolling: one count each time a demand lost its seller slot to capacity and stayed queued for the next epoch.",
+    demands_expired:
+        "Epoch demands that settled unmatched because they were rolled past the window's max_rolls (contention starvation made visible).",
 }
 
 impl MetricsSnapshot {
@@ -139,18 +158,11 @@ mod tests {
             sessions_failed: 1,
             sessions_cancelled: 2,
             deals_struck: 5,
-            courses_requested: 40,
-            course_waits: 3,
-            rounds_completed: 40,
-            demands_submitted: 4,
             demands_settled: 4,
             demands_matched: 3,
-            courses_preloaded: 0,
-            epochs_cleared: 2,
-            demands_rolled: 1,
-            demands_expired: 0,
             cache_hits: 30,
             cache_misses: 10,
+            ..MetricsSnapshot::default()
         }
     }
 
@@ -164,27 +176,44 @@ mod tests {
 
     #[test]
     fn empty_snapshot_is_defined() {
-        let snap = MetricsSnapshot {
-            sessions_opened: 0,
-            sessions_closed: 0,
-            sessions_failed: 0,
-            sessions_cancelled: 0,
-            deals_struck: 0,
-            courses_requested: 0,
-            course_waits: 0,
-            rounds_completed: 0,
-            demands_submitted: 0,
-            demands_settled: 0,
-            demands_matched: 0,
-            courses_preloaded: 0,
-            epochs_cleared: 0,
-            demands_rolled: 0,
-            demands_expired: 0,
-            cache_hits: 0,
-            cache_misses: 0,
-        };
+        let snap = MetricsSnapshot::default();
         assert_eq!(snap.cache_hit_rate(), 0.0);
         assert_eq!(snap.sessions_in_flight(), 0);
         assert_eq!(snap.match_rate(), 0.0);
+    }
+
+    #[test]
+    fn live_counters_snapshot_through_the_generated_path() {
+        let live = ExchangeMetrics::default();
+        ExchangeMetrics::incr(&live.sessions_opened);
+        ExchangeMetrics::incr(&live.sessions_opened);
+        ExchangeMetrics::incr(&live.rounds_completed);
+        let snap = live.snapshot(4, 1);
+        assert_eq!(snap.sessions_opened, 2);
+        assert_eq!(snap.rounds_completed, 1);
+        assert_eq!(snap.cache_hits, 4);
+        assert_eq!(snap.cache_misses, 1);
+        assert_eq!(snap.sessions_closed, 0);
+    }
+
+    #[test]
+    fn counter_table_and_visitor_agree_and_cover_every_field() {
+        let snap = MetricsSnapshot {
+            sessions_opened: 7,
+            cache_misses: 9,
+            ..MetricsSnapshot::default()
+        };
+        let mut visited = Vec::new();
+        snap.for_each_counter(|name, value| visited.push((name, value)));
+        assert_eq!(visited.len(), MetricsSnapshot::COUNTERS.len());
+        for ((visited_name, _), (table_name, help)) in visited.iter().zip(MetricsSnapshot::COUNTERS)
+        {
+            assert_eq!(visited_name, table_name);
+            assert!(!help.is_empty(), "{table_name} needs help text");
+        }
+        assert!(visited.contains(&("vfl_exchange_sessions_opened", 7)));
+        assert!(visited.contains(&("vfl_exchange_cache_misses", 9)));
+        // 15 ExchangeMetrics counters + 2 cache counters.
+        assert_eq!(MetricsSnapshot::COUNTERS.len(), 17);
     }
 }

@@ -78,6 +78,11 @@ pub(crate) struct ActiveSession {
     pending: Option<BundleMask>,
     /// Matching-tier bookkeeping (`None` for plain `submit` sessions).
     match_tag: Option<MatchTag>,
+    /// Telemetry stamp: clock reading when the session was (re)queued,
+    /// consumed by the next slice's dispatch-wait histogram. Only set
+    /// while an `ExchangeTelemetry` is attached; never read by any
+    /// scheduling or protocol decision (observe-only).
+    enqueued_ns: Option<u64>,
 }
 
 impl ActiveSession {
@@ -96,7 +101,19 @@ impl ActiveSession {
             started: false,
             pending: None,
             match_tag: None,
+            enqueued_ns: None,
         })
+    }
+
+    /// Stamps the queue-entry time for the dispatch-wait histogram.
+    pub(crate) fn stamp_enqueued(&mut self, ns: u64) {
+        self.enqueued_ns = Some(ns);
+    }
+
+    /// Consumes the queue-entry stamp (the dispatching slice reads it
+    /// exactly once).
+    pub(crate) fn take_enqueued_ns(&mut self) -> Option<u64> {
+        self.enqueued_ns.take()
     }
 
     /// The bundle this session is waiting on, if parked.

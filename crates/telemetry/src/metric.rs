@@ -1,0 +1,114 @@
+//! Counters and gauges: cloneable handles over relaxed atomics.
+//!
+//! Relaxed ordering is deliberate — these are observability, not
+//! synchronization. A reader may see a value a few operations stale;
+//! it will never see a torn one.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotone event counter. Cloning shares the underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A counter starting at 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add 1.
+    pub fn inc(&self) {
+        self.cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrite the value. This exists for *bridge* use — mirroring a
+    /// counter owned elsewhere (e.g. the exchange's own atomics) into a
+    /// registry at scrape time — and must not be mixed with `inc`/`add`
+    /// increments on the same counter.
+    pub fn store(&self, value: u64) {
+        self.cell.store(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous level (queue depth, in-flight count). Signed so that a
+/// racy dec-before-inc interleaving shows as a briefly negative level
+/// instead of wrapping to 2⁶⁴. Cloning shares the underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    cell: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// A gauge starting at 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrite the level.
+    pub fn set(&self, value: i64) {
+        self.cell.store(value, Ordering::Relaxed);
+    }
+
+    /// Add 1.
+    pub fn inc(&self) {
+        self.cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtract 1.
+    pub fn dec(&self) {
+        self.cell.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Add a signed delta.
+    pub fn add(&self, delta: i64) {
+        self.cell.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_the_cell() {
+        let a = Counter::new();
+        let b = a.clone();
+        a.inc();
+        b.add(4);
+        assert_eq!(a.get(), 5);
+        assert_eq!(b.get(), 5);
+        a.store(42);
+        assert_eq!(b.get(), 42);
+    }
+
+    #[test]
+    fn gauge_tracks_levels_and_goes_negative_without_wrapping() {
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.add(-3);
+        assert_eq!(g.get(), -2);
+        g.set(9);
+        assert_eq!(g.get(), 9);
+    }
+}

@@ -1,0 +1,193 @@
+//! Operational telemetry end to end: attach an [`ExchangeTelemetry`] to a
+//! contended marketplace drain, then read where the time went — the
+//! Prometheus text scrape, per-stage latency quantiles, and one demand's
+//! trace timeline.
+//!
+//! The workload is built to light up every pipeline stage: a shared-key
+//! market with a slow (milliseconds-per-training) provider and identical
+//! session seeds forces cache hits, real trainings, *and* course-waitlist
+//! parking; a two-seller demand adds quote reporting and settlement.
+//!
+//! ```sh
+//! cargo run --release --example telemetry
+//! ```
+//!
+//! CI runs this and greps the scrape for the exported metric families —
+//! the output below IS the interface an operator's Prometheus agent sees.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+use vfl_exchange::{
+    BestResponse, Demand, Exchange, ExchangeConfig, ExchangeTelemetry, MarketSpec, SellerSpec,
+    SessionOrder, SettleMode, STAGES,
+};
+use vfl_market::{
+    DataStrategy, GainProvider, Listing, MarketConfig, ReservedPrice, StrategicData, StrategicTask,
+    TableGainProvider,
+};
+use vfl_sim::BundleMask;
+use vfl_telemetry::TraceKey;
+
+/// A provider whose every training takes a wall-clock-visible 2 ms — wide
+/// enough that concurrent workers pile onto the course waitlist.
+struct SlowProvider(TableGainProvider);
+
+impl GainProvider for SlowProvider {
+    fn gain(&self, bundle: BundleMask) -> vfl_market::Result<f64> {
+        std::thread::sleep(Duration::from_millis(2));
+        self.0.gain(bundle)
+    }
+}
+
+fn listings_and_gains(scale: f64) -> (Vec<Listing>, Vec<f64>) {
+    let listings: Vec<Listing> = (0..4)
+        .map(|i| Listing {
+            bundle: BundleMask::singleton(i),
+            reserved: ReservedPrice::new(5.0 + i as f64 * 2.0, 0.8 + i as f64 * 0.2)
+                .expect("valid reserve"),
+        })
+        .collect();
+    let gains = (0..4).map(|i| scale * (0.06 + 0.08 * i as f64)).collect();
+    (listings, gains)
+}
+
+fn order(gains: &[f64], seed: u64) -> SessionOrder {
+    SessionOrder {
+        cfg: MarketConfig {
+            utility_rate: 900.0,
+            budget: 12.0,
+            rate_cap: 20.0,
+            seed,
+            ..MarketConfig::default()
+        },
+        task: Box::new(StrategicTask::new(0.30, 6.0, 0.9).expect("valid opening")),
+        data: Box::new(StrategicData::with_gains(gains.to_vec())),
+    }
+}
+
+fn seller(name: &str, scale: f64) -> SellerSpec {
+    let (listings, gains) = listings_and_gains(scale);
+    let by_bundle: HashMap<u64, f64> = listings
+        .iter()
+        .zip(&gains)
+        .map(|(l, &g)| (l.bundle.0, g))
+        .collect();
+    SellerSpec {
+        market: MarketSpec {
+            provider: Arc::new(TableGainProvider::new(
+                listings.iter().zip(&gains).map(|(l, &g)| (l.bundle, g)),
+            )),
+            listings: Arc::new(listings),
+            evaluation_key: None,
+            name: name.into(),
+        },
+        quoting: Arc::new(move |table: &[Listing]| {
+            Box::new(StrategicData::with_gains(
+                table.iter().map(|l| by_bundle[&l.bundle.0]).collect(),
+            )) as Box<dyn DataStrategy + Send>
+        }),
+    }
+}
+
+fn main() {
+    let telemetry = ExchangeTelemetry::new();
+    let exchange = Exchange::with_telemetry(ExchangeConfig::default(), telemetry.clone());
+
+    // A contended market: slow trainings, identical seeds — every session
+    // wants the same cold courses at once.
+    let (listings, gains) = listings_and_gains(1.0);
+    let market = exchange
+        .register_market(MarketSpec {
+            provider: Arc::new(SlowProvider(TableGainProvider::new(
+                listings.iter().zip(&gains).map(|(l, &g)| (l.bundle, g)),
+            ))),
+            listings: Arc::new(listings),
+            evaluation_key: Some(7),
+            name: "contended".into(),
+        })
+        .expect("register market");
+    for _ in 0..6 {
+        exchange.submit(market, order(&gains, 11)).expect("submit");
+    }
+    // Plus a two-seller demand, so settlement and quote spans appear.
+    exchange.register_seller(seller("acme-data", 0.5)).unwrap();
+    exchange
+        .register_seller(seller("globex-data", 1.0))
+        .unwrap();
+    let did = exchange
+        .submit_demand(Demand {
+            wanted: BundleMask::all(4),
+            scenario: None,
+            cfg: MarketConfig {
+                utility_rate: 900.0,
+                budget: 12.0,
+                rate_cap: 20.0,
+                seed: 3,
+                ..MarketConfig::default()
+            },
+            task: Arc::new(|| Box::new(StrategicTask::new(0.30, 6.0, 0.9).expect("valid opening"))),
+            probe_rounds: 2,
+            settle: SettleMode::Immediate(Arc::new(BestResponse)),
+        })
+        .expect("submit demand");
+
+    let report = exchange.drain(3);
+    let snap = exchange.metrics();
+    println!(
+        "drained {} sessions ({} cancelled) — {} courses requested, {} waitlist parks, hit rate {:.0}%\n",
+        report.closed + report.failed,
+        report.cancelled,
+        snap.courses_requested,
+        snap.course_waits,
+        snap.cache_hit_rate() * 100.0
+    );
+    assert_eq!(report.failed, 0, "contended drain must stay clean");
+    assert!(snap.course_waits >= 1, "the workload must contend");
+
+    // ---- per-stage latency quantiles ---------------------------------------
+    println!("== stage latency (ns) ==");
+    println!(
+        "{:>18} {:>8} {:>10} {:>10} {:>10}",
+        "stage", "count", "p50", "p95", "p99"
+    );
+    let mut live_stages = 0;
+    for stage in STAGES {
+        let snap = telemetry.stage_snapshot(stage).expect("registered stage");
+        if snap.count == 0 {
+            continue;
+        }
+        live_stages += 1;
+        println!(
+            "{:>18} {:>8} {:>10} {:>10} {:>10}",
+            stage,
+            snap.count,
+            snap.p50(),
+            snap.p95(),
+            snap.p99()
+        );
+    }
+    assert!(
+        live_stages >= 4,
+        "the workload must populate at least 4 stages, got {live_stages}"
+    );
+
+    // ---- the demand's trace timeline ---------------------------------------
+    let timeline = telemetry.trace().timeline(TraceKey::Demand(did.0));
+    assert!(!timeline.is_empty(), "the demand must leave trace spans");
+    let origin = timeline[0].start_ns;
+    println!("\n== demand d{} trace timeline ==", did.0);
+    for span in &timeline {
+        println!(
+            "{:>12.1} µs  {:<16} {:>10.1} µs",
+            (span.start_ns - origin) as f64 / 1e3,
+            span.stage,
+            span.duration_ns() as f64 / 1e3
+        );
+    }
+
+    // ---- the Prometheus scrape ---------------------------------------------
+    let scrape = exchange.scrape().expect("telemetry attached");
+    println!("\n== prometheus scrape ==\n{scrape}");
+    println!("== json snapshot ==\n{}", exchange.scrape_json().unwrap());
+}
