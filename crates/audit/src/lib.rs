@@ -36,7 +36,7 @@
 
 #![deny(missing_docs)]
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 
 use vfl_exchange::{
@@ -88,6 +88,10 @@ pub struct JournalAudit {
     pub restored: Option<(usize, usize, usize, usize)>,
     /// Per-seller settlement ledger, seller-id order.
     pub ledger: Vec<LedgerRow>,
+    /// Demands refused at admission (`demand-shed` frames). They carry no
+    /// seller attribution — shedding happens before fan-out — so they get
+    /// a ledger footer line instead of a row.
+    pub sheds: usize,
     /// Every inconsistency found; an empty list is a verified journal.
     pub violations: Vec<String>,
 }
@@ -144,6 +148,14 @@ impl JournalAudit {
         }
         if self.ledger.is_empty() {
             let _ = writeln!(out, "    (no sellers registered)");
+        }
+        if self.sheds > 0 {
+            let _ = writeln!(
+                out,
+                "    shed at admission: {} demand(s) (refused before fan-out; \
+                 no seller attribution)",
+                self.sheds
+            );
         }
         if self.violations.is_empty() {
             let _ = writeln!(out, "  OK");
@@ -269,6 +281,7 @@ fn tag_name(event: &ExchangeEvent) -> &'static str {
         ExchangeEvent::CourseServed { .. } => "course-served",
         ExchangeEvent::QuoteRecorded { .. } => "quote-recorded",
         ExchangeEvent::DemandSettled { .. } => "demand-settled",
+        ExchangeEvent::DemandShed { .. } => "demand-shed",
         ExchangeEvent::SessionConcluded { .. } => "session-concluded",
         ExchangeEvent::ClearingOpened { .. } => "clearing-opened",
         ExchangeEvent::EpochCleared { .. } => "epoch-cleared",
@@ -307,6 +320,10 @@ struct Walk {
     epochs: Vec<vfl_exchange::EpochRecord>,
     /// demand id → checkpoint demand report (payments live here).
     reports: BTreeMap<u64, DemandReport>,
+    /// demand ids refused at admission (terminal from birth: no fan-out,
+    /// no quotes, no settlement). Frames referring to one are flagged;
+    /// cleared once a checkpoint has covered it, like `demands`.
+    shed: BTreeSet<u64>,
     clearing_open: bool,
     next_session: u64,
     next_demand: u64,
@@ -450,7 +467,24 @@ fn absorb_checkpoint(
             .entry(report.demand.0)
             .or_insert(report.winner.map(|w| w as u32));
     }
+    // Shed demands are terminal too: quiescence covers them, as the one
+    // report shape an admitted demand can never produce (winnerless and
+    // quote-free — submission rejects empty fan-outs).
+    for &did in &walk.shed {
+        match state.demands.iter().find(|r| r.demand.0 == did) {
+            None => violations.push(format!(
+                "frame {frame}: checkpoint omits shed demand d{did} \
+                 (quiescence requires shed terminals to be covered)"
+            )),
+            Some(r) if r.winner.is_some() || !r.quotes.is_empty() => violations.push(format!(
+                "frame {frame}: checkpoint records quotes or a winner for shed \
+                 demand d{did}"
+            )),
+            _ => {}
+        }
+    }
     walk.demands.clear();
+    walk.shed.clear();
     // Epoch ledger: every journaled clearing must appear identically.
     for seen in &walk.epochs {
         match state.epochs.iter().find(|e| e.epoch == seen.epoch) {
@@ -572,6 +606,17 @@ pub fn audit_bytes(bytes: &[u8]) -> JournalAudit {
                     .insert(demand.0, candidates.iter().map(|(s, _)| *s).collect());
                 walk.next_demand = walk.next_demand.max(demand.0 + 1);
             }
+            ExchangeEvent::DemandShed { demand, .. } => {
+                if demand.0 < walk.next_demand {
+                    v.push(format!(
+                        "frame {frame}: shed {demand} reuses an id below the issued \
+                         watermark {}",
+                        walk.next_demand
+                    ));
+                }
+                walk.shed.insert(demand.0);
+                walk.next_demand = walk.next_demand.max(demand.0 + 1);
+            }
             ExchangeEvent::ClearingOpened { .. } => {
                 if walk.clearing_open {
                     v.push(format!("frame {frame}: clearing window opened twice"));
@@ -620,6 +665,13 @@ pub fn audit_bytes(bytes: &[u8]) -> JournalAudit {
             }
             ExchangeEvent::CourseServed { .. } => {}
             ExchangeEvent::QuoteRecorded { demand, slot, .. } => {
+                if walk.shed.contains(&demand.0) {
+                    v.push(format!(
+                        "frame {frame}: quote recorded for shed {demand} \
+                         (a shed demand never fans out)"
+                    ));
+                    continue;
+                }
                 match walk.demands.get(&demand.0) {
                     None => v.push(format!("frame {frame}: quote for unknown {demand}")),
                     Some(c) if (*slot as usize) >= c.len() && !c.is_empty() => v.push(format!(
@@ -631,6 +683,13 @@ pub fn audit_bytes(bytes: &[u8]) -> JournalAudit {
                 }
             }
             ExchangeEvent::DemandSettled { demand, winner } => {
+                if walk.shed.contains(&demand.0) {
+                    v.push(format!(
+                        "frame {frame}: settlement of shed {demand} \
+                         (shed is terminal from birth)"
+                    ));
+                    continue;
+                }
                 match walk.demands.get(&demand.0) {
                     None => v.push(format!("frame {frame}: settlement of unknown {demand}")),
                     Some(c) => {
@@ -670,6 +729,10 @@ pub fn audit_bytes(bytes: &[u8]) -> JournalAudit {
         }
     }
     audit.tag_counts = counts.into_iter().collect();
+    audit.sheds = events
+        .iter()
+        .filter(|e| matches!(e, ExchangeEvent::DemandShed { .. }))
+        .count();
     audit.checkpoints = events
         .iter()
         .filter(|e| matches!(e, ExchangeEvent::Checkpoint { .. }))
@@ -776,9 +839,13 @@ pub const EXIT_USAGE: i32 = 2;
 mod tests {
     use super::*;
     use std::sync::Arc;
-    use vfl_exchange::{Exchange, ExchangeConfig, Journal, MarketSpec, SessionOrder};
+    use vfl_exchange::{
+        BestResponse, Demand, Exchange, ExchangeConfig, Journal, MarketSpec, QueueDepthAdmission,
+        SellerSpec, SessionOrder, SettleMode,
+    };
     use vfl_market::{
-        Listing, MarketConfig, ReservedPrice, StrategicData, StrategicTask, TableGainProvider,
+        DataStrategy, Listing, MarketConfig, ReservedPrice, StrategicData, StrategicTask,
+        TableGainProvider,
     };
     use vfl_sim::BundleMask;
 
@@ -828,6 +895,100 @@ mod tests {
         }
         exchange.drain(1);
         sink.bytes()
+    }
+
+    /// A journaled run under a zero-depth admission policy: each drain
+    /// window admits one demand (the queue is empty at its submission) and
+    /// sheds the rest — shed frames land both before and after the
+    /// checkpoint, so the walk and the quiescence check both see them.
+    fn journal_with_sheds() -> Vec<u8> {
+        let gains = vec![0.05, 0.12, 0.20, 0.30];
+        let listings: Vec<Listing> = [(5.0, 0.8), (7.0, 1.0), (9.0, 1.2), (11.0, 1.5)]
+            .iter()
+            .enumerate()
+            .map(|(i, &(rate, base))| Listing {
+                bundle: BundleMask::singleton(i),
+                reserved: ReservedPrice::new(rate, base).unwrap(),
+            })
+            .collect();
+        let provider =
+            TableGainProvider::new(listings.iter().zip(&gains).map(|(l, &g)| (l.bundle, g)));
+        let (journal, sink) = Journal::in_memory();
+        let exchange = Exchange::with_journal(ExchangeConfig::default(), journal);
+        let quote_gains = gains.clone();
+        exchange
+            .register_seller(SellerSpec {
+                market: MarketSpec {
+                    provider: Arc::new(provider),
+                    listings: Arc::new(listings),
+                    evaluation_key: Some(42),
+                    name: "sheddable".into(),
+                },
+                quoting: Arc::new(move |table: &[Listing]| {
+                    Box::new(StrategicData::with_gains(
+                        table
+                            .iter()
+                            .map(|l| quote_gains[l.bundle.0.trailing_zeros() as usize])
+                            .collect(),
+                    )) as Box<dyn DataStrategy + Send>
+                }),
+            })
+            .unwrap();
+        exchange.set_admission(Some(Arc::new(QueueDepthAdmission { max_queue_depth: 0 })));
+        let demand = |seed: u64| Demand {
+            wanted: BundleMask::all(4),
+            scenario: None,
+            cfg: MarketConfig {
+                utility_rate: 900.0,
+                budget: 12.0,
+                rate_cap: 20.0,
+                seed,
+                ..MarketConfig::default()
+            },
+            task: Arc::new(|| Box::new(StrategicTask::new(0.30, 6.0, 0.9).unwrap())),
+            probe_rounds: 2,
+            settle: SettleMode::Immediate(Arc::new(BestResponse)),
+        };
+        for seed in 0..3 {
+            exchange.submit_demand(demand(seed)).unwrap();
+        }
+        exchange.drain(1);
+        exchange.checkpoint().unwrap();
+        for seed in 3..5 {
+            exchange.submit_demand(demand(seed)).unwrap();
+        }
+        exchange.drain(1);
+        sink.bytes()
+    }
+
+    #[test]
+    fn shed_demands_audit_cleanly_and_are_accounted() {
+        let bytes = journal_with_sheds();
+        let audit = audit_bytes(&bytes);
+        assert!(audit.is_consistent(), "{:?}", audit.violations);
+        // 2 shed before the checkpoint (covered by its quiescence check as
+        // winnerless, quote-free reports) + 1 after it (walked live).
+        assert_eq!(audit.sheds, 3);
+        assert!(
+            audit
+                .tag_counts
+                .iter()
+                .any(|&(tag, n)| tag == "demand-shed" && n == 3),
+            "{:?}",
+            audit.tag_counts
+        );
+        let text = audit.render("shed-journal");
+        assert!(text.contains("shed at admission: 3 demand(s)"), "{text}");
+        // The byte accounting sees the new tag as whole frames too.
+        let stats = stats_of(&bytes);
+        assert!(
+            stats
+                .tag_bytes
+                .iter()
+                .any(|&(tag, n, b)| tag == "demand-shed" && n == 3 && b > 0),
+            "{:?}",
+            stats.tag_bytes
+        );
     }
 
     #[test]

@@ -79,6 +79,7 @@ use crate::metrics::{ExchangeMetrics, MetricsSnapshot};
 use crate::session::{ActiveSession, Drive, MatchTag, SessionOrder};
 use crate::store::{SessionId, SessionStatus, SessionStore};
 use crate::telemetry::{ExchangeTelemetry, SliceTimer};
+use crate::traffic::{AdmissionLoad, AdmissionPolicy};
 use crate::waitlist::CourseWaitlist;
 use vfl_telemetry::TraceKey;
 
@@ -235,6 +236,11 @@ pub struct Exchange {
     /// Strictly observe-only: written at the stage boundaries documented
     /// in [`crate::telemetry`], never read back by any exchange path.
     telemetry: Option<Arc<ExchangeTelemetry>>,
+    /// Admission policy consulted by [`Exchange::submit_demand`]
+    /// ([`Exchange::set_admission`]); `None` admits everything. The load
+    /// it sees is read from the exchange's own state (pending backlog,
+    /// store, book) — never from telemetry, which stays observe-only.
+    admission: RwLock<Option<Arc<dyn AdmissionPolicy>>>,
 }
 
 /// What one worker slice did with its session, plus how many *other*
@@ -314,6 +320,7 @@ impl Exchange {
             crash_hook: Mutex::new(None),
             crash_armed: AtomicBool::new(false),
             telemetry,
+            admission: RwLock::new(None),
             cfg,
         }
     }
@@ -367,6 +374,19 @@ impl Exchange {
         let mut slot = self.crash_hook.lock();
         self.crash_armed.store(hook.is_some(), Ordering::Relaxed);
         *slot = hook;
+    }
+
+    /// Installs (or clears) the admission policy consulted by
+    /// [`Exchange::submit_demand`]. With a policy attached, a demand that
+    /// arrives while the policy refuses the current [`AdmissionLoad`] is
+    /// *shed*: it still consumes a demand id and is journaled
+    /// ([`crate::ExchangeEvent::DemandShed`]), but no candidate session is
+    /// fanned out and its status is the terminal
+    /// [`crate::DemandStatus::Shed`]. A never-triggered policy is
+    /// behaviorally invisible (the traffic tier proves journal-multiset
+    /// equality against a detached exchange).
+    pub fn set_admission(&self, policy: Option<Arc<dyn AdmissionPolicy>>) {
+        *self.admission.write() = policy;
     }
 
     fn crash_point(&self, point: CrashPoint) {
@@ -942,6 +962,30 @@ impl Exchange {
                 "no registered seller's catalog overlaps the demand".into(),
             ));
         }
+        // Admission gate: after validation and eligibility (a shed demand
+        // is a *valid* demand the exchange refused for load, not an
+        // error), before any session id or store slot is consumed — the
+        // session-id stream of admitted demands is untouched by shedding.
+        if let Some(policy) = self.admission.read().clone() {
+            let load = AdmissionLoad {
+                queue_depth: self.pending.lock().len(),
+                sessions: self.store.len(),
+                demands: self.match_book.len(),
+                fan_out: eligible.len(),
+            };
+            if !policy.admit(&load) {
+                let did = self.match_book.allocate();
+                self.match_book.open_shed_at(did);
+                self.record_with(|| ExchangeEvent::DemandShed {
+                    demand: did,
+                    wanted: demand.wanted,
+                    cfg_digest: wire::config_digest(&demand.cfg),
+                    queue_depth: load.queue_depth as u32,
+                });
+                ExchangeMetrics::incr(&self.metrics.demands_shed);
+                return Ok(did);
+            }
+        }
         let sessions = self.build_candidates(&demand, &eligible)?;
         let ids: Vec<SessionId> = sessions
             .iter()
@@ -1139,6 +1183,35 @@ impl Exchange {
             self.next_session.fetch_max(id.0 + 1, Ordering::Relaxed);
         }
         self.commit_demand(did, ids, eligible, sessions, &demand);
+        Ok(())
+    }
+
+    /// Recovery path of a [`crate::ExchangeEvent::DemandShed`] frame:
+    /// re-opens the demand terminal-shed under its recorded id and
+    /// re-records the frame into the fresh journal. Nothing is fanned out
+    /// and the spec is never consulted — there is nothing to rebuild; the
+    /// replay exists so the id watermark, the audit ledger, and the
+    /// metrics survive recovery exactly.
+    pub(crate) fn replay_shed(
+        &self,
+        did: DemandId,
+        wanted: BundleMask,
+        cfg_digest: u64,
+        queue_depth: u32,
+    ) -> Result<()> {
+        if self.match_book.status(did).is_some() {
+            return Err(MarketError::InvalidConfig(format!(
+                "journal records demand {did} twice"
+            )));
+        }
+        self.match_book.open_shed_at(did);
+        self.record_with(|| ExchangeEvent::DemandShed {
+            demand: did,
+            wanted,
+            cfg_digest,
+            queue_depth,
+        });
+        ExchangeMetrics::incr(&self.metrics.demands_shed);
         Ok(())
     }
 

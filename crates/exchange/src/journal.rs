@@ -326,6 +326,23 @@ pub enum ExchangeEvent {
         /// Winning slot index, if the policy matched.
         winner: Option<u32>,
     },
+    /// A demand refused at [`Exchange::submit_demand`] by the attached
+    /// [`crate::traffic::AdmissionPolicy`] (load shedding). Load-bearing:
+    /// the demand consumed an id and is terminal from birth
+    /// ([`crate::DemandStatus::Shed`]), so replay re-opens it shed under
+    /// its recorded id — nothing is re-negotiated, but id fencing and the
+    /// audit ledger stay exact.
+    DemandShed {
+        /// The refused demand's id.
+        demand: DemandId,
+        /// The demand's wanted-feature mask (audit trail: what load was
+        /// turned away).
+        wanted: BundleMask,
+        /// [`wire::config_digest`] of the demand config.
+        cfg_digest: u64,
+        /// The dispatcher backlog depth that triggered the refusal.
+        queue_depth: u32,
+    },
     /// A session reached a terminal state (audit trail; replay re-derives
     /// the outcome and can verify it against `digest`).
     SessionConcluded {
@@ -694,6 +711,18 @@ impl ExchangeEvent {
                     None => buf.push(0),
                 }
             }
+            ExchangeEvent::DemandShed {
+                demand,
+                wanted,
+                cfg_digest,
+                queue_depth,
+            } => {
+                buf.push(15);
+                put_u64(&mut buf, demand.0);
+                put_u64(&mut buf, wanted.0);
+                put_u64(&mut buf, *cfg_digest);
+                put_u32(&mut buf, *queue_depth);
+            }
             ExchangeEvent::SessionConcluded {
                 session,
                 status,
@@ -909,6 +938,12 @@ impl ExchangeEvent {
                 status: r.u16()?,
                 rounds: r.u32()?,
                 digest: r.u64()?,
+            },
+            15 => ExchangeEvent::DemandShed {
+                demand: DemandId(r.u64()?),
+                wanted: BundleMask(r.u64()?),
+                cfg_digest: r.u64()?,
+                queue_depth: r.u32()?,
             },
             12 => ExchangeEvent::ClearingOpened {
                 epoch_size: r.u32()?,
@@ -1601,6 +1636,14 @@ pub struct ReplayReport {
     pub sessions_restored: usize,
     /// Settled demands restored directly from the checkpoint.
     pub demands_restored: usize,
+    /// Demands the prefix recorded as refused at admission
+    /// ([`ExchangeEvent::DemandShed`]), re-opened terminal under their
+    /// recorded ids (no fan-out, no spec consultation).
+    pub demands_shed: usize,
+    /// The shed demand ids, for [`Exchange::audit_replay`]: the resumed
+    /// drain must leave every one of them in
+    /// [`crate::DemandStatus::Shed`].
+    pub sheds: Vec<DemandId>,
 }
 
 /// Why a recovery was refused.
@@ -1958,6 +2001,24 @@ impl Exchange {
                 // batch audit — entries, winners, and prices must all
                 // reappear.
                 ExchangeEvent::EpochCleared { record } => report.epochs.push(record),
+                // A shed demand never fanned out, so the spec is not
+                // consulted — the demand is re-opened terminal under its
+                // recorded id (id fencing + ledger exactness) and the
+                // audit re-checks it stays shed after the resumed drain.
+                ExchangeEvent::DemandShed {
+                    demand,
+                    wanted,
+                    cfg_digest,
+                    queue_depth,
+                } => {
+                    exchange
+                        .replay_shed(demand, wanted, cfg_digest, queue_depth)
+                        .map_err(|e| {
+                            RecoverError::InconsistentJournal(format!("demand {demand}: {e}"))
+                        })?;
+                    report.demands_shed += 1;
+                    report.sheds.push(demand);
+                }
                 // Pure audit trail: recomputed by the resuming drain (see
                 // the module doc's replay-safety argument).
                 ExchangeEvent::SessionDispatched { .. }
@@ -2026,6 +2087,13 @@ impl Exchange {
                         )));
                     }
                 }
+                Some(crate::matching::DemandStatus::Shed) => {
+                    return Err(RecoverError::Divergence(format!(
+                        "demand {}: journal records a settlement but replay holds \
+                         it shed at admission",
+                        rs.demand
+                    )));
+                }
                 Some(
                     crate::matching::DemandStatus::Matching { .. }
                     | crate::matching::DemandStatus::Clearing { .. },
@@ -2042,6 +2110,19 @@ impl Exchange {
                          recovered exchange no longer holds it (audit before \
                          taking reports)",
                         rs.demand
+                    )));
+                }
+            }
+        }
+        // Shed demands are terminal from birth: the resumed drain must not
+        // have touched them. Anything but Shed is divergence.
+        for &did in &report.sheds {
+            match self.demand_status(did) {
+                Some(crate::matching::DemandStatus::Shed) => {}
+                other => {
+                    return Err(RecoverError::Divergence(format!(
+                        "demand {did}: journal records an admission refusal but \
+                         replay left it {other:?}"
                     )));
                 }
             }
@@ -2084,7 +2165,10 @@ impl Exchange {
                 }
             }
         }
-        Ok(report.conclusions.len() + report.settlements.len() + report.epochs.len())
+        Ok(report.conclusions.len()
+            + report.settlements.len()
+            + report.epochs.len()
+            + report.sheds.len())
     }
 }
 

@@ -128,6 +128,7 @@ pub mod metrics;
 pub mod session;
 pub mod store;
 pub mod telemetry;
+pub mod traffic;
 mod waitlist;
 
 pub use cache::{CourseServe, SharedGainCache};
@@ -150,6 +151,10 @@ pub use metrics::{ExchangeMetrics, MetricsSnapshot};
 pub use session::SessionOrder;
 pub use store::{SessionId, SessionStatus};
 pub use telemetry::{ExchangeTelemetry, QUEUE_DEPTH, STAGES, STAGE_FAMILY, WAITLIST_DEPTH};
+pub use traffic::{
+    named_scenarios, AdmissionLoad, AdmissionPolicy, Adversary, ArrivalProcess, EpochTraffic,
+    QueueDepthAdmission, ScenarioDriver, ScenarioOutcome, ScenarioSpec,
+};
 
 #[cfg(test)]
 mod tests {

@@ -308,6 +308,12 @@ pub enum DemandStatus {
     /// [`crate::Exchange::drain`] returns, which guarantees every session
     /// is terminal.
     Settled(DemandReport),
+    /// Refused at [`crate::Exchange::submit_demand`] by the attached
+    /// [`crate::traffic::AdmissionPolicy`] (load shedding — the dispatcher
+    /// was backed up). Terminal from birth: no candidate sessions were
+    /// fanned out, no models trained, and the demand's (winnerless, empty)
+    /// report is journaled so recovery and audit stay exact.
+    Shed,
 }
 
 /// The settled quote table of a demand.
@@ -412,6 +418,12 @@ pub(crate) struct DemandState {
     /// Epochs this demand has been rolled past (epoch mode only).
     rolls: u32,
     report: Option<DemandReport>,
+    /// True for a demand refused at admission ([`DemandStatus::Shed`]).
+    /// Shed states carry a winnerless report with an *empty* quote table —
+    /// the one shape an admitted demand can never settle to (submission
+    /// rejects empty fan-outs) — so checkpoint restore re-derives this
+    /// flag without a wire-format change.
+    shed: bool,
 }
 
 impl DemandState {
@@ -436,6 +448,7 @@ impl DemandState {
             reported: 0,
             rolls: 0,
             report: None,
+            shed: false,
         }
     }
 
@@ -443,12 +456,15 @@ impl DemandState {
     /// recovery path. The settle mode is derived from the report (epoch
     /// stamp ⇒ epoch mode) and the config defaults: both are only
     /// consulted *before* settlement, which this state is already past.
+    /// An empty quote table marks the report as shed (see the `shed`
+    /// field) — admitted demands always fan out to at least one seller.
     pub(crate) fn settled(report: DemandReport) -> Self {
         let settle = if report.epoch.is_some() {
             SettleMode::Epoch
         } else {
             SettleMode::Immediate(Arc::new(BestResponse))
         };
+        let shed = report.quotes.is_empty();
         DemandState {
             cfg: MarketConfig::default(),
             settle,
@@ -456,6 +472,29 @@ impl DemandState {
             reported: 0,
             rolls: 0,
             report: Some(report),
+            shed,
+        }
+    }
+
+    /// A state born terminal: the demand was refused at admission. The
+    /// report is winnerless with an empty quote table (no fan-out ever
+    /// happened), which is also how the state round-trips through a
+    /// checkpoint — see [`DemandState::settled`].
+    pub(crate) fn shed(demand: DemandId) -> Self {
+        DemandState {
+            cfg: MarketConfig::default(),
+            settle: SettleMode::Immediate(Arc::new(BestResponse)),
+            slots: Vec::new(),
+            reported: 0,
+            rolls: 0,
+            report: Some(DemandReport {
+                demand,
+                winner: None,
+                quotes: Vec::new(),
+                epoch: None,
+                clearing_price: None,
+            }),
+            shed: true,
         }
     }
 
@@ -554,6 +593,7 @@ impl MatchBook {
         let entry = self.demands.read().get(&id.0)?.clone();
         let st = entry.lock();
         Some(match &st.report {
+            Some(_) if st.shed => DemandStatus::Shed,
             Some(report) => DemandStatus::Settled(report.clone()),
             None if st.settle.is_epoch() && st.reported == st.slots.len() => {
                 DemandStatus::Clearing { rolls: st.rolls }
@@ -609,6 +649,13 @@ impl MatchBook {
     pub(crate) fn restore_settled(&self, report: DemandReport) {
         let id = report.demand;
         self.open_at(id, DemandState::settled(report));
+    }
+
+    /// Registers a demand refused at admission under `id`, born terminal
+    /// ([`DemandState::shed`]). Used by both the live shed path and the
+    /// recovery replay of a `DemandShed` frame.
+    pub(crate) fn open_shed_at(&self, id: DemandId) {
+        self.open_at(id, DemandState::shed(id));
     }
 
     /// Records candidate `slot`'s quote (plus its full round history, for

@@ -114,6 +114,8 @@ declare_exchange_metrics! {
         "Demand-epochs spent rolling: one count each time a demand lost its seller slot to capacity and stayed queued for the next epoch.",
     demands_expired:
         "Epoch demands that settled unmatched because they were rolled past the window's max_rolls (contention starvation made visible).",
+    demands_shed:
+        "Demands refused at submit_demand by the attached admission policy (load shedding under dispatcher backlog; journaled and recovered like any other terminal).",
 }
 
 impl MetricsSnapshot {
@@ -213,7 +215,7 @@ mod tests {
         }
         assert!(visited.contains(&("vfl_exchange_sessions_opened", 7)));
         assert!(visited.contains(&("vfl_exchange_cache_misses", 9)));
-        // 15 ExchangeMetrics counters + 2 cache counters.
-        assert_eq!(MetricsSnapshot::COUNTERS.len(), 17);
+        // 16 ExchangeMetrics counters + 2 cache counters.
+        assert_eq!(MetricsSnapshot::COUNTERS.len(), 18);
     }
 }

@@ -1,0 +1,935 @@
+//! Open-world live-traffic harness: seeded scenario generation and
+//! admission control.
+//!
+//! The rest of the exchange is evaluated on *static books* — a fixed set
+//! of sellers, a fixed batch of demands, one drain. Production traffic is
+//! nothing like that: demands arrive in processes with structure (steady,
+//! bursty, diurnal), sellers churn and relist mid-run, whole markets open
+//! and close, and some participants are adversarial. This module makes
+//! that workload a first-class, *deterministic* object:
+//!
+//! - [`ArrivalProcess`] — per-tick demand arrival counts (Poisson via
+//!   Knuth sampling, bursty on/off, diurnal sinusoid), bit-deterministic
+//!   per seed;
+//! - [`ScenarioSpec`] / [`ScenarioDriver`] — a named, seeded open-world
+//!   scenario driven against any [`Exchange`]: seller pool + churn
+//!   schedule, market shift (a market group "closes" for new demand and a
+//!   fresh one opens mid-run), optional epoch-mode traffic through a
+//!   clearing window, and optional [`Adversary`] shapes;
+//! - [`AdmissionPolicy`] — the load-shedding seam
+//!   [`Exchange::submit_demand`] consults when a policy is attached via
+//!   [`Exchange::set_admission`]. A refused demand becomes the terminal
+//!   [`crate::DemandStatus::Shed`] with its own journal frame
+//!   ([`crate::ExchangeEvent::DemandShed`]), so recovery and audit stay
+//!   exact under overload.
+//!
+//! ## Admission control vs telemetry
+//!
+//! The natural trigger for shedding is the dispatcher backlog PR 7's
+//! `vfl_exchange_queue_depth` gauge mirrors. The policy deliberately does
+//! **not** read the gauge: [`AdmissionLoad::queue_depth`] is read from
+//! the exchange's own pending queue (the same quantity, at the source),
+//! so telemetry stays strictly observe-only. Attaching a policy that
+//! never refuses is behaviorally invisible — the scenario tier proves
+//! journal event-multiset equality against a detached exchange.
+//!
+//! ## Determinism
+//!
+//! A [`ScenarioDriver`] is a single-threaded submission loop over a
+//! [`rand::rngs::StdRng`] seeded from [`ScenarioSpec::seed`]: arrival
+//! counts, demand configs, and churn are all drawn from that one stream,
+//! so the submitted workload is bit-identical across runs. Drains run
+//! with [`ScenarioSpec::workers`] workers; frame *order* and cache
+//! hit/miss splits are schedule-shaped as always, but outcomes,
+//! settlement winners, and every count in a [`ScenarioOutcome`] are
+//! schedule-independent (negotiations are deterministic given config +
+//! realized courses, and the gain tables here are lookups).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use vfl_market::{
+    DataStrategy, Listing, MarketConfig, ReservedPrice, StrategicData, StrategicTask,
+    TableGainProvider,
+};
+use vfl_sim::BundleMask;
+
+use crate::clearing::{ClearingSpec, UniformPriceClearing};
+use crate::exchange::{Exchange, MarketSpec};
+use crate::matching::{BestResponse, Demand, DemandId, DemandStatus, SellerSpec, SettleMode};
+use crate::metrics::MetricsSnapshot;
+
+/// Features in the scenario bundle universe (each seller lists singleton
+/// bundles over this space, demands want subsets of it).
+pub const SCENARIO_FEATURES: usize = 4;
+
+/// Evaluation-key base for scenario market groups: group `g` registers
+/// under key `SCENARIO_KEY_BASE + g`, and demands route to the active
+/// group via [`Demand::scenario`].
+pub const SCENARIO_KEY_BASE: u64 = 7_000;
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+/// The load snapshot [`Exchange::submit_demand`] hands to the attached
+/// [`AdmissionPolicy`], read from the exchange's own state at the
+/// admission point (never from telemetry — see the module doc).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdmissionLoad {
+    /// Submitted-but-undispatched sessions in the dispatcher's pending
+    /// queue — the backlog the `vfl_exchange_queue_depth` gauge mirrors,
+    /// and the natural shed trigger.
+    pub queue_depth: usize,
+    /// Sessions currently in the store (all states).
+    pub sessions: usize,
+    /// Demands currently in the match book (matching or settled-not-taken).
+    pub demands: usize,
+    /// Candidate sessions this demand would fan out to if admitted.
+    pub fan_out: usize,
+}
+
+/// The load-shedding seam: consulted once per [`Exchange::submit_demand`]
+/// call when attached ([`Exchange::set_admission`]). Returning `false`
+/// sheds the demand: it consumes a demand id, lands a
+/// [`crate::ExchangeEvent::DemandShed`] journal frame, and is terminal
+/// ([`crate::DemandStatus::Shed`]) — no sessions, no trainings, no
+/// waitlist entries. Implementations must be cheap (the call runs on the
+/// submission path) and must not call back into the exchange.
+pub trait AdmissionPolicy: Send + Sync {
+    /// True to admit the demand, false to shed it.
+    fn admit(&self, load: &AdmissionLoad) -> bool;
+}
+
+/// The shipped policy: admit while the dispatcher backlog is at most
+/// `max_queue_depth` pending sessions; shed above it. With
+/// `usize::MAX` it never triggers (the equivalence fixture).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueDepthAdmission {
+    /// Largest pending-queue depth at which demands are still admitted.
+    pub max_queue_depth: usize,
+}
+
+impl AdmissionPolicy for QueueDepthAdmission {
+    fn admit(&self, load: &AdmissionLoad) -> bool {
+        load.queue_depth <= self.max_queue_depth
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Arrival processes
+// ---------------------------------------------------------------------------
+
+/// How many demands arrive at each scenario tick. All three processes
+/// sample a Poisson count around a per-tick expected rate (Knuth's
+/// product-of-uniforms method over the driver's seeded RNG), so arrivals
+/// are bit-deterministic per seed and the empirical mean tracks
+/// [`ArrivalProcess::expected_rate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Homogeneous Poisson arrivals: `rate` expected demands per tick.
+    Poisson {
+        /// Expected arrivals per tick.
+        rate: f64,
+    },
+    /// On/off bursts: `burst` expected arrivals per tick for the first
+    /// `burst_len` ticks of every `period`, `base` for the rest.
+    Bursty {
+        /// Expected arrivals per off-burst tick.
+        base: f64,
+        /// Expected arrivals per in-burst tick.
+        burst: f64,
+        /// Burst cycle length in ticks.
+        period: u32,
+        /// In-burst ticks at the start of each cycle (`< period`).
+        burst_len: u32,
+    },
+    /// Diurnal sinusoid: expected rate
+    /// `mean + amplitude * sin(2π * (tick % period) / period)`, clamped
+    /// at zero — exactly periodic in `period` by construction.
+    Diurnal {
+        /// Mean expected arrivals per tick.
+        mean: f64,
+        /// Peak deviation from the mean.
+        amplitude: f64,
+        /// Cycle length in ticks.
+        period: u32,
+    },
+}
+
+impl ArrivalProcess {
+    /// The expected arrival count at `tick` (the Poisson λ the sampler
+    /// uses). Deterministic and RNG-free.
+    pub fn expected_rate(&self, tick: u32) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate } => rate.max(0.0),
+            ArrivalProcess::Bursty {
+                base,
+                burst,
+                period,
+                burst_len,
+            } => {
+                let phase = if period == 0 { 0 } else { tick % period };
+                if phase < burst_len {
+                    burst.max(0.0)
+                } else {
+                    base.max(0.0)
+                }
+            }
+            ArrivalProcess::Diurnal {
+                mean,
+                amplitude,
+                period,
+            } => {
+                let phase = if period == 0 {
+                    0.0
+                } else {
+                    (tick % period) as f64 / period as f64
+                };
+                (mean + amplitude * (std::f64::consts::TAU * phase).sin()).max(0.0)
+            }
+        }
+    }
+
+    /// Samples the arrival count at `tick` from `rng` (Poisson with
+    /// λ = [`Self::expected_rate`], Knuth's method). Same seed + tick
+    /// sequence ⇒ same counts, bit for bit.
+    pub fn arrivals(&self, tick: u32, rng: &mut StdRng) -> u32 {
+        poisson(self.expected_rate(tick), rng)
+    }
+}
+
+/// Knuth Poisson sampling: multiply unit uniforms until the product drops
+/// below e^-λ. Exact for the λ range scenarios use (≲ 30 per tick); the
+/// iteration cap only guards against absurd rates.
+fn poisson(lambda: f64, rng: &mut StdRng) -> u32 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let limit = (-lambda).exp();
+    let mut count = 0u32;
+    let mut product = 1.0f64;
+    loop {
+        product *= rng.random::<f64>();
+        if product <= limit {
+            return count;
+        }
+        count += 1;
+        if count >= 10_000 {
+            return count;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario specification
+// ---------------------------------------------------------------------------
+
+/// Adversarial traffic shapes, run as named scenarios (the open-world
+/// surveys' "benchmark vs production" gap made concrete).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Adversary {
+    /// Buyers who lowball every listed reserve but ride the exploration
+    /// window (Case VII): sellers must keep offering cheapest bundles
+    /// through the probe horizon, so the probers extract quote rounds and
+    /// courses from the pool, then every negotiation dies in an orderly
+    /// seller withdrawal — pure information extraction, zero deals.
+    QuoteProbers,
+    /// Every seller in the pool lists the *same* inflated reserves
+    /// (`reserve_scale` × the honest book): a price ring. Buyers face a
+    /// book with no competitive quote.
+    ColludingSellers {
+        /// Multiplier on every reserve rate and base price.
+        reserve_scale: f64,
+    },
+    /// Sellers quote from stale gain estimates (the scenario's gain
+    /// vector *reversed*) while realized ΔG courses serve the true
+    /// table — a storm of mispriced quotes against fresh measurements.
+    StaleEstimatorStorm,
+}
+
+/// Epoch-mode traffic mixed into a scenario: every `every`-th demand is
+/// submitted [`SettleMode::Epoch`] through a clearing window the driver
+/// opens ([`UniformPriceClearing`], so contention, rolls, and expiry are
+/// exercised under live traffic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochTraffic {
+    /// Every `every`-th submitted demand is epoch-mode (≥ 2; the rest
+    /// stay immediate).
+    pub every: u32,
+    /// Demands per clearing epoch (count trigger).
+    pub epoch_size: usize,
+    /// Per-epoch matched engagements per seller.
+    pub capacity: u32,
+    /// Rolls before a contended epoch demand expires unmatched.
+    pub max_rolls: u32,
+}
+
+/// One named, seeded open-world scenario. Plain data (`Clone` + `Debug`):
+/// the driver derives everything else — seller pool, churn schedule,
+/// demand stream — deterministically from these fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario name (stable: test tiers and E12 key on it).
+    pub name: String,
+    /// Base seed for the driver's single RNG stream.
+    pub seed: u64,
+    /// Scenario length in ticks.
+    pub ticks: u32,
+    /// Demand arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Sellers registered before tick 0 (market group 0).
+    pub initial_sellers: usize,
+    /// Sellers that churn in (relist) mid-run, on an evenly spaced
+    /// schedule, joining the currently active market group.
+    pub churned_sellers: usize,
+    /// When set, the active market *shifts* at this tick: a fresh seller
+    /// group registers under a new evaluation key and all later demands
+    /// route to it — group 0 is closed to new demand (the exchange keeps
+    /// serving its in-flight sessions; there is deliberately no
+    /// deregistration API, so "closing" is a routing fact, which is
+    /// exactly how the matching tier models scenario eligibility).
+    pub market_shift_at: Option<u32>,
+    /// Adversarial shape, if any.
+    pub adversary: Option<Adversary>,
+    /// Probe horizon for every demand.
+    pub probe_rounds: u32,
+    /// Epoch-mode traffic mix, if any.
+    pub epoch: Option<EpochTraffic>,
+    /// Drain (with [`ScenarioSpec::workers`] workers) every this many
+    /// ticks; between drains the pending queue genuinely backs up, which
+    /// is what gives an attached [`AdmissionPolicy`] something to shed.
+    pub drain_every: u32,
+    /// Worker threads per drain.
+    pub workers: usize,
+}
+
+/// The six named scenarios the regression tier, E12, and the
+/// `live_traffic` example all run. Names are stable identifiers.
+pub fn named_scenarios() -> Vec<ScenarioSpec> {
+    vec![
+        ScenarioSpec {
+            name: "steady-poisson".into(),
+            seed: 11,
+            ticks: 12,
+            arrivals: ArrivalProcess::Poisson { rate: 2.0 },
+            initial_sellers: 3,
+            churned_sellers: 0,
+            market_shift_at: None,
+            adversary: None,
+            probe_rounds: 2,
+            epoch: None,
+            drain_every: 3,
+            workers: 2,
+        },
+        ScenarioSpec {
+            name: "bursty-open".into(),
+            seed: 22,
+            ticks: 18,
+            arrivals: ArrivalProcess::Bursty {
+                base: 0.5,
+                burst: 6.0,
+                period: 6,
+                burst_len: 2,
+            },
+            initial_sellers: 3,
+            churned_sellers: 2,
+            market_shift_at: None,
+            adversary: None,
+            probe_rounds: 2,
+            epoch: Some(EpochTraffic {
+                every: 3,
+                epoch_size: 2,
+                capacity: 1,
+                max_rolls: 2,
+            }),
+            drain_every: 6,
+            workers: 2,
+        },
+        ScenarioSpec {
+            name: "diurnal-churn".into(),
+            seed: 33,
+            ticks: 24,
+            arrivals: ArrivalProcess::Diurnal {
+                mean: 2.0,
+                amplitude: 1.5,
+                period: 8,
+            },
+            initial_sellers: 4,
+            churned_sellers: 3,
+            market_shift_at: Some(12),
+            adversary: None,
+            probe_rounds: 2,
+            epoch: None,
+            drain_every: 4,
+            workers: 2,
+        },
+        ScenarioSpec {
+            name: "probe-storm".into(),
+            seed: 44,
+            ticks: 10,
+            arrivals: ArrivalProcess::Bursty {
+                base: 1.0,
+                burst: 8.0,
+                period: 5,
+                burst_len: 1,
+            },
+            initial_sellers: 3,
+            churned_sellers: 0,
+            market_shift_at: None,
+            adversary: Some(Adversary::QuoteProbers),
+            probe_rounds: 3,
+            epoch: None,
+            drain_every: 5,
+            workers: 2,
+        },
+        ScenarioSpec {
+            name: "collusion-ring".into(),
+            seed: 55,
+            ticks: 10,
+            arrivals: ArrivalProcess::Poisson { rate: 2.0 },
+            initial_sellers: 4,
+            churned_sellers: 0,
+            market_shift_at: None,
+            adversary: Some(Adversary::ColludingSellers { reserve_scale: 3.0 }),
+            probe_rounds: 2,
+            epoch: None,
+            drain_every: 5,
+            workers: 2,
+        },
+        ScenarioSpec {
+            name: "stale-estimator-storm".into(),
+            seed: 66,
+            ticks: 12,
+            arrivals: ArrivalProcess::Bursty {
+                base: 1.0,
+                burst: 5.0,
+                period: 4,
+                burst_len: 2,
+            },
+            initial_sellers: 3,
+            churned_sellers: 2,
+            market_shift_at: None,
+            adversary: Some(Adversary::StaleEstimatorStorm),
+            probe_rounds: 2,
+            epoch: None,
+            drain_every: 4,
+            workers: 2,
+        },
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Scenario outcome
+// ---------------------------------------------------------------------------
+
+/// Everything one [`ScenarioDriver::run`] produced, counted as *deltas*
+/// over the exchange's metrics (so a scenario can run on an exchange that
+/// already carries traffic).
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// Scenario name ([`ScenarioSpec::name`]).
+    pub name: String,
+    /// `submit_demand` calls the driver made.
+    pub attempts: usize,
+    /// Demands the exchange admitted (fanned out).
+    pub admitted: u64,
+    /// Demands refused by the attached admission policy
+    /// ([`crate::DemandStatus::Shed`]); 0 without a policy.
+    pub shed: u64,
+    /// Submissions rejected with an error (0 for a well-formed scenario;
+    /// kept so the conservation check is total).
+    pub rejected: usize,
+    /// Admitted demands whose settlement ran (== `admitted` post-drain).
+    pub settled: u64,
+    /// Settled demands with a winner.
+    pub matched: u64,
+    /// Epoch demands that expired unmatched past `max_rolls`.
+    pub expired: u64,
+    /// Negotiations that closed successfully.
+    pub deals: u64,
+    /// Sellers the driver registered (initial + churned + shift group).
+    pub sellers_registered: usize,
+    /// Demand ids the driver submitted, in submission order (admitted
+    /// *and* shed — interrogate with [`Exchange::demand_status`]).
+    pub demand_ids: Vec<DemandId>,
+    /// Total wall-clock seconds spent inside `drain` calls.
+    pub drain_secs: f64,
+    /// Admitted demands per drain-second (the E12 throughput number).
+    pub demands_per_sec: f64,
+    /// Full metrics snapshot *after* the run (not a delta).
+    pub metrics: MetricsSnapshot,
+}
+
+impl ScenarioOutcome {
+    /// The conservation invariant every scenario must satisfy post-drain:
+    /// every attempt is accounted for exactly once
+    /// (`attempts == admitted + shed + rejected`), every admitted demand
+    /// settled (`settled == admitted` — drain termination under churn),
+    /// and the matched/expired breakdowns stay within the settled set.
+    pub fn conservation(&self) -> Result<(), String> {
+        if self.attempts as u64 != self.admitted + self.shed + self.rejected as u64 {
+            return Err(format!(
+                "{}: attempts {} != admitted {} + shed {} + rejected {}",
+                self.name, self.attempts, self.admitted, self.shed, self.rejected
+            ));
+        }
+        if self.settled != self.admitted {
+            return Err(format!(
+                "{}: settled {} != admitted {} (an admitted demand never settled)",
+                self.name, self.settled, self.admitted
+            ));
+        }
+        if self.matched > self.settled {
+            return Err(format!(
+                "{}: matched {} exceeds settled {}",
+                self.name, self.matched, self.settled
+            ));
+        }
+        if self.expired > self.settled {
+            return Err(format!(
+                "{}: expired {} exceeds settled {}",
+                self.name, self.expired, self.settled
+            ));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario driver
+// ---------------------------------------------------------------------------
+
+/// Drives one [`ScenarioSpec`] against an [`Exchange`]: registers the
+/// seller pool, then loops ticks — sample arrivals, submit demands routed
+/// to the active market group, churn sellers in on schedule, drain every
+/// [`ScenarioSpec::drain_every`] ticks — and finishes with a final drain
+/// so every admitted demand is terminal.
+///
+/// The driver owns nothing on the exchange: attach a journal, telemetry,
+/// or an [`AdmissionPolicy`] before calling [`ScenarioDriver::run`] and
+/// the scenario exercises them. The one exchange-level setup it performs
+/// is opening a clearing window when [`ScenarioSpec::epoch`] is set (the
+/// exchange must not already have one).
+pub struct ScenarioDriver {
+    spec: ScenarioSpec,
+}
+
+impl ScenarioDriver {
+    /// A driver for `spec`.
+    pub fn new(spec: ScenarioSpec) -> Self {
+        ScenarioDriver { spec }
+    }
+
+    /// The scenario this driver runs.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// Runs the scenario to completion on `exchange` (terminal state:
+    /// final drain done, every admitted demand settled or shed) and
+    /// returns the counted outcome. Deterministic per
+    /// [`ScenarioSpec::seed`]; see the module doc.
+    pub fn run(&self, exchange: &Exchange) -> ScenarioOutcome {
+        let spec = &self.spec;
+        let before = exchange.metrics();
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+
+        if let Some(epoch) = spec.epoch {
+            exchange
+                .open_clearing(ClearingSpec {
+                    epoch_size: epoch.epoch_size,
+                    capacity: epoch.capacity,
+                    max_rolls: epoch.max_rolls,
+                    policy: Arc::new(UniformPriceClearing::default()),
+                })
+                .expect("scenario driver opens the exchange's clearing window");
+        }
+
+        // Market group 0: the initial pool.
+        let mut sellers_registered = 0usize;
+        let mut active_group = 0u64;
+        for i in 0..spec.initial_sellers {
+            exchange
+                .register_seller(self.seller(active_group, i, false))
+                .expect("scenario seller registration");
+            sellers_registered += 1;
+        }
+        // Evenly spaced churn schedule (relists join the active group).
+        let churn_ticks: Vec<u32> = (0..spec.churned_sellers)
+            .map(|i| (i as u32 + 1) * spec.ticks / (spec.churned_sellers as u32 + 1))
+            .collect();
+
+        let mut attempts = 0usize;
+        let mut rejected = 0usize;
+        let mut demand_ids = Vec::new();
+        let mut drain_secs = 0.0f64;
+        let mut churned = 0usize;
+
+        for tick in 0..spec.ticks {
+            // Market shift: open the new group *before* routing to it.
+            if spec.market_shift_at == Some(tick) {
+                active_group += 1;
+                let fresh = (spec.initial_sellers / 2).max(2);
+                for i in 0..fresh {
+                    exchange
+                        .register_seller(self.seller(active_group, i, true))
+                        .expect("scenario shift-group registration");
+                    sellers_registered += 1;
+                }
+            }
+            while churned < spec.churned_sellers && churn_ticks[churned] == tick {
+                exchange
+                    .register_seller(self.seller(
+                        active_group,
+                        spec.initial_sellers + churned,
+                        true,
+                    ))
+                    .expect("scenario churn registration");
+                sellers_registered += 1;
+                churned += 1;
+            }
+            let n = spec.arrivals.arrivals(tick, &mut rng);
+            for _ in 0..n {
+                attempts += 1;
+                let demand = self.demand(active_group, attempts as u32, &mut rng);
+                match exchange.submit_demand(demand) {
+                    Ok(did) => demand_ids.push(did),
+                    Err(_) => rejected += 1,
+                }
+            }
+            if spec.drain_every > 0 && (tick + 1) % spec.drain_every == 0 {
+                let start = Instant::now();
+                exchange.drain(spec.workers);
+                drain_secs += start.elapsed().as_secs_f64();
+            }
+        }
+        // Final drain: drain-idle flush forces partial epochs to settle,
+        // so post-run every admitted demand is terminal.
+        let start = Instant::now();
+        exchange.drain(spec.workers);
+        drain_secs += start.elapsed().as_secs_f64();
+
+        let after = exchange.metrics();
+        let admitted = after.demands_submitted - before.demands_submitted;
+        ScenarioOutcome {
+            name: spec.name.clone(),
+            attempts,
+            admitted,
+            shed: after.demands_shed - before.demands_shed,
+            rejected,
+            settled: after.demands_settled - before.demands_settled,
+            matched: after.demands_matched - before.demands_matched,
+            expired: after.demands_expired - before.demands_expired,
+            deals: after.deals_struck - before.deals_struck,
+            sellers_registered,
+            demand_ids,
+            drain_secs,
+            demands_per_sec: if drain_secs > 0.0 {
+                admitted as f64 / drain_secs
+            } else {
+                0.0
+            },
+            metrics: after,
+        }
+    }
+
+    /// Counts how many of this run's demands the exchange currently holds
+    /// in each terminal state `(settled, shed)` — a status-level
+    /// cross-check of the metrics deltas.
+    pub fn count_statuses(&self, exchange: &Exchange, ids: &[DemandId]) -> (usize, usize) {
+        let mut settled = 0;
+        let mut shed = 0;
+        for &id in ids {
+            match exchange.demand_status(id) {
+                Some(DemandStatus::Settled(_)) => settled += 1,
+                Some(DemandStatus::Shed) => shed += 1,
+                _ => {}
+            }
+        }
+        (settled, shed)
+    }
+
+    /// The scenario's shared gain vector for market group `group` (one
+    /// table per evaluation key: markets with equal keys share the ΔG
+    /// cache, so their realized gains must agree).
+    fn group_gains(&self, group: u64) -> Vec<f64> {
+        (0..SCENARIO_FEATURES)
+            .map(|i| 0.06 + 0.08 * i as f64 + 0.01 * group as f64)
+            .collect()
+    }
+
+    /// Builds seller `idx` of market group `group`. `relist` marks churn
+    /// arrivals (name-versioned: a seller leaving and relisting is a new
+    /// registration — ids are never reused, exactly like the journal).
+    fn seller(&self, group: u64, idx: usize, relist: bool) -> SellerSpec {
+        let gains = self.group_gains(group);
+        let (reserve_scale, per_seller_offset) = match self.spec.adversary {
+            Some(Adversary::ColludingSellers { reserve_scale }) => (reserve_scale, 0.0),
+            _ => (1.0, 0.3 * idx as f64),
+        };
+        let listings: Vec<Listing> = (0..SCENARIO_FEATURES)
+            .map(|i| Listing {
+                bundle: BundleMask::singleton(i),
+                reserved: ReservedPrice::new(
+                    (5.0 + 2.0 * i as f64 + per_seller_offset) * reserve_scale,
+                    (0.8 + 0.2 * i as f64) * reserve_scale,
+                )
+                .expect("valid scenario reserve"),
+            })
+            .collect();
+        let quote_gains: Vec<f64> = match self.spec.adversary {
+            Some(Adversary::StaleEstimatorStorm) => gains.iter().rev().copied().collect(),
+            _ => gains.clone(),
+        };
+        let by_bundle: HashMap<u64, f64> = listings
+            .iter()
+            .zip(&quote_gains)
+            .map(|(l, &g)| (l.bundle.0, g))
+            .collect();
+        let name = if relist {
+            format!("g{group}-seller{idx}-v2")
+        } else {
+            format!("g{group}-seller{idx}")
+        };
+        SellerSpec {
+            market: MarketSpec {
+                provider: Arc::new(TableGainProvider::new(
+                    listings.iter().zip(&gains).map(|(l, &g)| (l.bundle, g)),
+                )),
+                listings: Arc::new(listings),
+                evaluation_key: Some(SCENARIO_KEY_BASE + group),
+                name,
+            },
+            quoting: Arc::new(move |table: &[Listing]| {
+                Box::new(StrategicData::with_gains(
+                    table.iter().map(|l| by_bundle[&l.bundle.0]).collect(),
+                )) as Box<dyn DataStrategy + Send>
+            }),
+        }
+    }
+
+    /// Builds the `nth` demand, routed to market group `group`. Config
+    /// variation (utility rate, seed, wanted mask) is drawn from the
+    /// driver's RNG stream; [`Adversary::QuoteProbers`] demands carry a
+    /// budget below every listed base price, so they can probe but never
+    /// afford a close.
+    fn demand(&self, group: u64, nth: u32, rng: &mut StdRng) -> Demand {
+        let spec = &self.spec;
+        let budget = 12.0;
+        // Wanted mask: mostly the full universe, sometimes the upper or
+        // lower half — routing still hits every seller (full catalogs),
+        // but candidate tables differ.
+        let wanted = match rng.random_range(0..4u32) {
+            0 => BundleMask(0b0011),
+            1 => BundleMask(0b1100),
+            _ => BundleMask::all(SCENARIO_FEATURES),
+        };
+        let settle = match spec.epoch {
+            Some(e) if e.every >= 1 && nth.is_multiple_of(e.every) => SettleMode::Epoch,
+            _ => SettleMode::Immediate(Arc::new(BestResponse)),
+        };
+        Demand {
+            wanted,
+            scenario: Some(SCENARIO_KEY_BASE + group),
+            // Probers value the data far below every listed reserve rate,
+            // and run the probe horizon as a Case VII exploration window:
+            // sellers must keep offering (cheapest bundle) through it, so
+            // quote rounds and courses are genuinely extracted, and the
+            // first post-window response is a withdrawal — an orderly
+            // zero-deal close, never an error.
+            cfg: MarketConfig {
+                utility_rate: match spec.adversary {
+                    Some(Adversary::QuoteProbers) => 60.0,
+                    _ => 850.0 + 25.0 * rng.random_range(0..5u32) as f64,
+                },
+                explore_rounds: match spec.adversary {
+                    Some(Adversary::QuoteProbers) => spec.probe_rounds,
+                    _ => 0,
+                },
+                budget,
+                rate_cap: 20.0,
+                seed: rng.random::<u64>(),
+                ..MarketConfig::default()
+            },
+            task: match spec.adversary {
+                // A prober's opening bid fits its tiny budget, so rounds
+                // genuinely run instead of dying on budget validation.
+                Some(Adversary::QuoteProbers) => Arc::new(|| {
+                    Box::new(StrategicTask::new(0.30, 1.5, 0.9).expect("valid prober opening"))
+                }),
+                _ => Arc::new(|| {
+                    Box::new(StrategicTask::new(0.30, 6.0, 0.9).expect("valid scenario opening"))
+                }),
+            },
+            probe_rounds: spec.probe_rounds,
+            settle,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exchange::ExchangeConfig;
+    use crate::journal::{read_events, ExchangeEvent, Journal};
+
+    #[test]
+    fn arrival_streams_are_bit_deterministic_per_seed() {
+        for process in [
+            ArrivalProcess::Poisson { rate: 3.0 },
+            ArrivalProcess::Bursty {
+                base: 0.5,
+                burst: 7.0,
+                period: 5,
+                burst_len: 2,
+            },
+            ArrivalProcess::Diurnal {
+                mean: 2.0,
+                amplitude: 1.5,
+                period: 8,
+            },
+        ] {
+            let sample = |seed: u64| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                (0..64)
+                    .map(|t| process.arrivals(t, &mut rng))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(sample(9), sample(9));
+            assert_ne!(
+                sample(9),
+                sample(10),
+                "different seeds should perturb the stream"
+            );
+        }
+    }
+
+    #[test]
+    fn diurnal_expected_rate_is_exactly_periodic_and_nonnegative() {
+        let p = ArrivalProcess::Diurnal {
+            mean: 1.0,
+            amplitude: 2.5, // deliberately clips below zero
+            period: 12,
+        };
+        for t in 0..120 {
+            let rate = p.expected_rate(t);
+            assert!(rate >= 0.0);
+            assert_eq!(rate.to_bits(), p.expected_rate(t + 12).to_bits());
+        }
+    }
+
+    #[test]
+    fn poisson_empirical_mean_tracks_lambda() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for lambda in [0.5, 2.0, 6.0] {
+            let n = 4_000;
+            let total: u64 = (0..n).map(|_| poisson(lambda, &mut rng) as u64).sum();
+            let mean = total as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() < 0.15 * lambda + 0.05,
+                "λ {lambda}: empirical mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn queue_depth_admission_is_a_threshold() {
+        let policy = QueueDepthAdmission { max_queue_depth: 4 };
+        let at = |queue_depth| AdmissionLoad {
+            queue_depth,
+            ..AdmissionLoad::default()
+        };
+        assert!(policy.admit(&at(0)));
+        assert!(policy.admit(&at(4)));
+        assert!(!policy.admit(&at(5)));
+    }
+
+    #[test]
+    fn shed_demands_are_terminal_journaled_and_counted() {
+        let (journal, sink) = Journal::in_memory();
+        let exchange = Exchange::with_journal(ExchangeConfig::default(), journal);
+        let driver = ScenarioDriver::new(named_scenarios()[0].clone());
+        exchange
+            .register_seller(driver.seller(0, 0, false))
+            .unwrap();
+        // Depth 0: the first demand sees an empty queue and is admitted;
+        // its fan-out then backs the queue up, so the next two shed.
+        exchange.set_admission(Some(Arc::new(QueueDepthAdmission { max_queue_depth: 0 })));
+        let mut rng = StdRng::seed_from_u64(1);
+        let ids: Vec<DemandId> = (0..3)
+            .map(|i| {
+                exchange
+                    .submit_demand(driver.demand(0, i + 1, &mut rng))
+                    .unwrap()
+            })
+            .collect();
+        assert!(matches!(
+            exchange.demand_status(ids[0]),
+            Some(DemandStatus::Matching { .. })
+        ));
+        for &shed in &ids[1..] {
+            assert!(matches!(
+                exchange.demand_status(shed),
+                Some(DemandStatus::Shed)
+            ));
+        }
+        exchange.drain(1);
+        let metrics = exchange.metrics();
+        assert_eq!(metrics.demands_submitted, 1);
+        assert_eq!(metrics.demands_shed, 2);
+        assert_eq!(metrics.demands_settled, 1);
+        // Shed demands stay interrogable and takeable: winnerless, empty.
+        let report = exchange.take_demand(ids[1]).expect("shed report");
+        assert_eq!(report.winner, None);
+        assert!(report.quotes.is_empty());
+        // And the journal carries one DemandShed frame per refusal.
+        let (events, dropped) = read_events(&sink.bytes());
+        assert_eq!(dropped, 0);
+        let sheds: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                ExchangeEvent::DemandShed {
+                    demand,
+                    queue_depth,
+                    ..
+                } => Some((*demand, *queue_depth)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sheds.len(), 2);
+        assert!(sheds.iter().all(|&(_, depth)| depth > 0));
+        assert_eq!(sheds[0].0, ids[1]);
+        assert_eq!(sheds[1].0, ids[2]);
+    }
+
+    #[test]
+    fn steady_scenario_conserves_and_never_sheds_without_a_policy() {
+        let exchange = Exchange::new(ExchangeConfig::default());
+        let driver = ScenarioDriver::new(named_scenarios()[0].clone());
+        let outcome = driver.run(&exchange);
+        outcome.conservation().expect("conservation");
+        assert!(outcome.attempts > 0, "the scenario must generate traffic");
+        assert_eq!(outcome.shed, 0);
+        assert_eq!(outcome.rejected, 0);
+        let (settled, shed) = driver.count_statuses(&exchange, &outcome.demand_ids);
+        assert_eq!(settled as u64, outcome.settled);
+        assert_eq!(shed, 0);
+    }
+
+    #[test]
+    fn scenario_outcomes_are_deterministic_per_seed() {
+        let run = || {
+            let exchange = Exchange::new(ExchangeConfig::default());
+            let driver = ScenarioDriver::new(named_scenarios()[0].clone());
+            let o = driver.run(&exchange);
+            (
+                o.attempts, o.admitted, o.settled, o.matched, o.deals, o.expired,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}
