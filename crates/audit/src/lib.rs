@@ -92,6 +92,10 @@ pub struct JournalAudit {
     /// seller attribution — shedding happens before fan-out — so they get
     /// a ledger footer line instead of a row.
     pub sheds: usize,
+    /// Distribution of `retry_after` hints over the shed frames: hint
+    /// value → frame count. Hintless sheds (legacy pre-hint frames, or
+    /// policies with no rate model) are `sheds` minus the counted total.
+    pub shed_hints: BTreeMap<u32, usize>,
     /// Every inconsistency found; an empty list is a verified journal.
     pub violations: Vec<String>,
 }
@@ -156,6 +160,20 @@ impl JournalAudit {
                  no seller attribution)",
                 self.sheds
             );
+            let hinted: usize = self.shed_hints.values().sum();
+            if hinted > 0 {
+                let dist = self
+                    .shed_hints
+                    .iter()
+                    .map(|(wait, n)| format!("wait {wait} ×{n}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let _ = writeln!(
+                    out,
+                    "    retry hints: {dist}; hintless {}",
+                    self.sheds - hinted
+                );
+            }
         }
         if self.violations.is_empty() {
             let _ = writeln!(out, "  OK");
@@ -729,10 +747,14 @@ pub fn audit_bytes(bytes: &[u8]) -> JournalAudit {
         }
     }
     audit.tag_counts = counts.into_iter().collect();
-    audit.sheds = events
-        .iter()
-        .filter(|e| matches!(e, ExchangeEvent::DemandShed { .. }))
-        .count();
+    for event in &events {
+        if let ExchangeEvent::DemandShed { retry_after, .. } = event {
+            audit.sheds += 1;
+            if let Some(wait) = retry_after {
+                *audit.shed_hints.entry(*wait).or_default() += 1;
+            }
+        }
+    }
     audit.checkpoints = events
         .iter()
         .filter(|e| matches!(e, ExchangeEvent::Checkpoint { .. }))
@@ -841,7 +863,7 @@ mod tests {
     use std::sync::Arc;
     use vfl_exchange::{
         BestResponse, Demand, Exchange, ExchangeConfig, Journal, MarketSpec, QueueDepthAdmission,
-        SellerSpec, SessionOrder, SettleMode,
+        SellerSpec, SessionOrder, SettleMode, TokenBucketAdmission,
     };
     use vfl_market::{
         DataStrategy, Listing, MarketConfig, ReservedPrice, StrategicData, StrategicTask,
@@ -959,6 +981,79 @@ mod tests {
         }
         exchange.drain(1);
         sink.bytes()
+    }
+
+    #[test]
+    fn hinted_shed_frames_surface_the_hint_distribution() {
+        // Re-run the shed fixture under a rate policy whose refusals carry
+        // retry hints: the audit must count them per hint value and the
+        // footer must show the distribution.
+        let gains = vec![0.05, 0.12, 0.20, 0.30];
+        let listings: Vec<Listing> = [(5.0, 0.8), (7.0, 1.0), (9.0, 1.2), (11.0, 1.5)]
+            .iter()
+            .enumerate()
+            .map(|(i, &(rate, base))| Listing {
+                bundle: BundleMask::singleton(i),
+                reserved: ReservedPrice::new(rate, base).unwrap(),
+            })
+            .collect();
+        let provider =
+            TableGainProvider::new(listings.iter().zip(&gains).map(|(l, &g)| (l.bundle, g)));
+        let (journal, sink) = Journal::in_memory();
+        let exchange = Exchange::with_journal(ExchangeConfig::default(), journal);
+        let quote_gains = gains.clone();
+        exchange
+            .register_seller(SellerSpec {
+                market: MarketSpec {
+                    provider: Arc::new(provider),
+                    listings: Arc::new(listings),
+                    evaluation_key: Some(42),
+                    name: "rationed".into(),
+                },
+                quoting: Arc::new(move |table: &[Listing]| {
+                    Box::new(StrategicData::with_gains(
+                        table
+                            .iter()
+                            .map(|l| quote_gains[l.bundle.0.trailing_zeros() as usize])
+                            .collect(),
+                    )) as Box<dyn DataStrategy + Send>
+                }),
+            })
+            .unwrap();
+        // One token, glacial refill: the first demand drains the bucket,
+        // the next two shed with distinct logical-time hints.
+        exchange.set_admission(Some(Arc::new(TokenBucketAdmission::new(1, 1_000))));
+        let demand = |seed: u64| Demand {
+            wanted: BundleMask::all(4),
+            scenario: None,
+            cfg: MarketConfig {
+                utility_rate: 900.0,
+                budget: 12.0,
+                rate_cap: 20.0,
+                seed,
+                ..MarketConfig::default()
+            },
+            task: Arc::new(|| Box::new(StrategicTask::new(0.30, 6.0, 0.9).unwrap())),
+            probe_rounds: 2,
+            settle: SettleMode::Immediate(Arc::new(BestResponse)),
+        };
+        for seed in 0..3 {
+            exchange.submit_demand(demand(seed)).unwrap();
+        }
+        exchange.drain(1);
+
+        let audit = audit_bytes(&sink.bytes());
+        assert!(audit.is_consistent(), "{:?}", audit.violations);
+        assert_eq!(audit.sheds, 2);
+        let hinted: usize = audit.shed_hints.values().sum();
+        assert_eq!(hinted, 2, "{:?}", audit.shed_hints);
+        let text = audit.render("hinted-journal");
+        assert!(text.contains("shed at admission: 2 demand(s)"), "{text}");
+        assert!(text.contains("retry hints: "), "{text}");
+        assert!(text.contains("hintless 0"), "{text}");
+        for (&wait, &n) in &audit.shed_hints {
+            assert!(text.contains(&format!("wait {wait} ×{n}")), "{text}");
+        }
     }
 
     #[test]

@@ -31,10 +31,11 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use vfl_exchange::{
-    named_scenarios, read_events, AdmissionLoad, AdmissionPolicy, ArrivalProcess, BestResponse,
-    Demand, DemandId, DemandStatus, Exchange, ExchangeConfig, ExchangeEvent, Journal, MarketSpec,
-    MetricsSnapshot, QueueDepthAdmission, ReplaySpec, ScenarioDriver, ScenarioSpec, SellerSpec,
-    SessionOrder, SettleMode,
+    frame_boundaries, named_scenarios, read_events, AdmissionDecision, AdmissionLoad,
+    AdmissionPolicy, ArrivalProcess, BestResponse, CostWeightedAdmission, Demand, DemandId,
+    DemandStatus, Exchange, ExchangeConfig, ExchangeEvent, Hysteresis, Journal, MarketSpec,
+    MetricsSnapshot, QueueDepthAdmission, QuotaAdmission, ReplaySpec, ScenarioDriver, ScenarioSpec,
+    SellerSpec, SessionOrder, SettleMode, TokenBucketAdmission,
 };
 use vfl_market::{
     DataStrategy, Listing, MarketConfig, ReservedPrice, StrategicData, StrategicTask,
@@ -206,7 +207,7 @@ fn overload_sheds_terminally_and_still_conserves() {
         .demand_ids
         .iter()
         .copied()
-        .find(|&id| matches!(exchange.demand_status(id), Some(DemandStatus::Shed)))
+        .find(|&id| matches!(exchange.demand_status(id), Some(DemandStatus::Shed { .. })))
         .expect("a shed id");
     let report = exchange.take_demand(shed_id).expect("shed report");
     assert_eq!(report.winner, None);
@@ -276,7 +277,7 @@ struct RecordingAdmission {
 }
 
 impl AdmissionPolicy for RecordingAdmission {
-    fn admit(&self, load: &AdmissionLoad) -> bool {
+    fn admit(&self, load: &AdmissionLoad) -> AdmissionDecision {
         self.calls.fetch_add(1, Ordering::Relaxed);
         self.loads.lock().unwrap().push(*load);
         self.inner.admit(load)
@@ -372,25 +373,70 @@ fn never_triggered_admission_is_behaviorally_invisible() {
     let (off_events, off_dropped) = read_events(&detached.journal_bytes);
     let (on_events, on_dropped) = read_events(&attached.journal_bytes);
     assert_eq!((off_dropped, on_dropped), (0, 0));
-    let canonical = |events: &[ExchangeEvent]| {
-        let mut frames = Vec::new();
-        let mut dispatched = BTreeSet::new();
-        for e in events {
-            match e {
-                ExchangeEvent::SessionDispatched { session } => {
-                    dispatched.insert(session.0);
-                }
-                other => frames.push(format!("{other:?}")),
-            }
-        }
-        frames.sort_unstable();
-        (frames, dispatched)
-    };
     assert_eq!(
-        canonical(&off_events),
-        canonical(&on_events),
+        canonical_events(&off_events),
+        canonical_events(&on_events),
         "a never-triggered admission policy leaked into the journal"
     );
+}
+
+/// Frame order is schedule-shaped, so the dispatch audit frames reduce to
+/// the set of sessions that ran and everything else to a sorted multiset —
+/// the telemetry tier's canonicalization.
+fn canonical_events(events: &[ExchangeEvent]) -> (Vec<String>, BTreeSet<u64>) {
+    let mut frames = Vec::new();
+    let mut dispatched = BTreeSet::new();
+    for e in events {
+        match e {
+            ExchangeEvent::SessionDispatched { session } => {
+                dispatched.insert(session.0);
+            }
+            other => frames.push(format!("{other:?}")),
+        }
+    }
+    frames.sort_unstable();
+    (frames, dispatched)
+}
+
+#[test]
+fn never_triggered_invisibility_holds_for_the_whole_policy_family() {
+    // Every policy this PR ships, parameterized so it can never refuse:
+    // each must be behaviorally invisible — same winners, same counters,
+    // same journal event multiset as a detached exchange.
+    let detached = run_fixture(None);
+    let generous: Vec<(&str, Arc<dyn AdmissionPolicy>)> = vec![
+        (
+            "token-bucket",
+            Arc::new(TokenBucketAdmission::new(u64::MAX, 1)),
+        ),
+        (
+            "cost-weighted",
+            Arc::new(CostWeightedAdmission::new(u64::MAX, 1)),
+        ),
+        ("quota", Arc::new(QuotaAdmission::new(u64::MAX, u64::MAX))),
+        (
+            "hysteresis",
+            Arc::new(Hysteresis::new(
+                QueueDepthAdmission {
+                    max_queue_depth: usize::MAX,
+                },
+                0,
+            )),
+        ),
+    ];
+    for (name, policy) in generous {
+        let attached = run_fixture(Some(policy));
+        assert_eq!(detached.winners, attached.winners, "{name}: winners moved");
+        assert_eq!(detached.metrics, attached.metrics, "{name}: counters moved");
+        let (off_events, off_dropped) = read_events(&detached.journal_bytes);
+        let (on_events, on_dropped) = read_events(&attached.journal_bytes);
+        assert_eq!((off_dropped, on_dropped), (0, 0), "{name}");
+        assert_eq!(
+            canonical_events(&off_events),
+            canonical_events(&on_events),
+            "{name}: a never-triggered policy leaked into the journal"
+        );
+    }
 }
 
 #[test]
@@ -472,7 +518,12 @@ fn shed_frames_recover_bit_identically_without_the_demand_spec() {
         .collect();
     for (i, (want, got)) in reference.iter().zip(&replayed).enumerate() {
         match (want, got) {
-            (Some(DemandStatus::Shed), Some(DemandStatus::Shed)) => {}
+            (
+                Some(DemandStatus::Shed { retry_after: w }),
+                Some(DemandStatus::Shed { retry_after: g }),
+            ) => {
+                assert_eq!(w, g, "demand {i}: retry hint diverged across recovery")
+            }
             (Some(DemandStatus::Settled(w)), Some(DemandStatus::Settled(g))) => {
                 assert_eq!(w, g, "demand {i}: settlement diverged")
             }
@@ -480,6 +531,302 @@ fn shed_frames_recover_bit_identically_without_the_demand_spec() {
         }
     }
     assert_eq!(recovered.metrics().demands_shed, 3);
+}
+
+#[test]
+fn hinted_shed_frames_survive_truncation_and_recover_bit_identically() {
+    // One token, glacial refill: demand 0 drains the bucket, 1 and 2 shed
+    // with a computable logical-time hint riding the tag-15 frame.
+    let (journal, sink) = Journal::in_memory();
+    let exchange = Exchange::with_journal(ExchangeConfig::default(), journal);
+    exchange
+        .register_seller(fixture_seller("solo", 1.0))
+        .unwrap();
+    exchange.set_admission(Some(Arc::new(TokenBucketAdmission::new(1, 1_000))));
+    let ids: Vec<DemandId> = (0..3)
+        .map(|seed| {
+            exchange
+                .submit_demand(fixture_demand(
+                    seed,
+                    SettleMode::Immediate(Arc::new(BestResponse)),
+                ))
+                .unwrap()
+        })
+        .collect();
+    exchange.drain(1);
+    let reference: Vec<Option<DemandStatus>> =
+        ids.iter().map(|&id| exchange.demand_status(id)).collect();
+    for &shed in &ids[1..] {
+        match exchange.demand_status(shed) {
+            Some(DemandStatus::Shed {
+                retry_after: Some(wait),
+            }) => assert!(wait >= 1, "degenerate hint"),
+            other => panic!("demand {shed} should be shed with a hint, got {other:?}"),
+        }
+    }
+    let bytes = sink.bytes();
+
+    // Truncating at every frame boundary keeps the surviving tag-15
+    // frames bit-identical: each prefix decodes cleanly and its shed
+    // events are exactly a prefix of the full journal's shed events,
+    // hints included.
+    let (full_events, _) = read_events(&bytes);
+    let full_sheds: Vec<&ExchangeEvent> = full_events
+        .iter()
+        .filter(|e| matches!(e, ExchangeEvent::DemandShed { .. }))
+        .collect();
+    assert_eq!(full_sheds.len(), 2);
+    for &end in &frame_boundaries(&bytes) {
+        let (events, dropped) = read_events(&bytes[..end]);
+        assert_eq!(dropped, 0, "boundary-aligned prefix dropped bytes");
+        let sheds: Vec<&ExchangeEvent> = events
+            .iter()
+            .filter(|e| matches!(e, ExchangeEvent::DemandShed { .. }))
+            .collect();
+        assert_eq!(
+            sheds,
+            full_sheds[..sheds.len()].to_vec(),
+            "a truncated journal re-decoded a shed frame differently"
+        );
+    }
+
+    // Full recovery rebuilds the shed terminals — hints included — from
+    // the frames alone, never consulting the demand spec for a shed id.
+    let shed_ids: Vec<u64> = vec![ids[1].0, ids[2].0];
+    let spec = ReplaySpec {
+        markets: vec![],
+        sellers: vec![fixture_seller("solo", 1.0)],
+        orders: Box::new(|_sid| SessionOrder {
+            cfg: MarketConfig::default(),
+            task: Box::new(StrategicTask::new(0.30, 6.0, 0.9).unwrap()),
+            data: Box::new(StrategicData::with_gains(vec![0.0; 4])),
+        }),
+        demands: Box::new(move |did| {
+            assert!(
+                !shed_ids.contains(&did.0),
+                "recovery consulted shed demand {did}'s spec"
+            );
+            fixture_demand(did.0, SettleMode::Immediate(Arc::new(BestResponse)))
+        }),
+        clearing: None,
+    };
+    let (recovered, report) =
+        Exchange::recover(ExchangeConfig::default(), &bytes, spec, None).expect("recovery");
+    assert_eq!(report.sheds, vec![ids[1], ids[2]]);
+    recovered.drain(1);
+    let replayed: Vec<Option<DemandStatus>> =
+        ids.iter().map(|&id| recovered.demand_status(id)).collect();
+    assert_eq!(
+        reference, replayed,
+        "recovery must preserve the retry hint bit-identically"
+    );
+}
+
+#[test]
+fn legacy_tag15_frames_without_hints_still_recover() {
+    // Build a journal whose sheds are hintless (the bare threshold has no
+    // rate model), then rewrite every tag-15 frame to the pre-hint wire
+    // format — payload ends at queue_depth, no marker byte — with a
+    // refreshed length and checksum. That is byte-for-byte what a PR 8
+    // journal looks like, and it must decode and recover unchanged.
+    let (journal, sink) = Journal::in_memory();
+    let exchange = Exchange::with_journal(ExchangeConfig::default(), journal);
+    exchange
+        .register_seller(fixture_seller("solo", 1.0))
+        .unwrap();
+    exchange.set_admission(Some(Arc::new(QueueDepthAdmission { max_queue_depth: 0 })));
+    let ids: Vec<DemandId> = (0..2)
+        .map(|seed| {
+            exchange
+                .submit_demand(fixture_demand(
+                    seed,
+                    SettleMode::Immediate(Arc::new(BestResponse)),
+                ))
+                .unwrap()
+        })
+        .collect();
+    exchange.drain(1);
+    assert!(matches!(
+        exchange.demand_status(ids[1]),
+        Some(DemandStatus::Shed { retry_after: None })
+    ));
+    let bytes = sink.bytes();
+
+    // Rewrite: header is MAGIC, VERSION, u32 payload length; trailer is
+    // fnv64 over header+payload. A modern hintless tag-15 payload is
+    // tag(1) + demand(8) + wanted(8) + cfg_digest(8) + queue_depth(4) +
+    // marker(1) = 30 bytes; the legacy payload stops before the marker.
+    const HEADER: usize = 6;
+    const TRAILER: usize = 8;
+    let mut legacy = Vec::with_capacity(bytes.len());
+    let mut pos = 0usize;
+    for &end in &frame_boundaries(&bytes) {
+        let frame = &bytes[pos..end];
+        pos = end;
+        let len = u32::from_le_bytes(frame[2..6].try_into().unwrap()) as usize;
+        let payload = &frame[HEADER..HEADER + len];
+        if payload[0] == 15 {
+            assert_eq!(payload.len(), 30, "unexpected tag-15 layout");
+            assert_eq!(payload[29], 0, "fixture shed should be hintless");
+            let mut rewritten = Vec::with_capacity(HEADER + 29 + TRAILER);
+            rewritten.extend_from_slice(&frame[..2]);
+            rewritten.extend_from_slice(&(29u32).to_le_bytes());
+            rewritten.extend_from_slice(&payload[..29]);
+            let sum = vfl_market::session::wire::fnv64(&rewritten);
+            rewritten.extend_from_slice(&sum.to_le_bytes());
+            legacy.extend_from_slice(&rewritten);
+        } else {
+            legacy.extend_from_slice(frame);
+        }
+    }
+    assert!(legacy.len() < bytes.len(), "no tag-15 frame was rewritten");
+
+    // The legacy journal decodes cleanly to the same events (hint None)…
+    let (modern_events, _) = read_events(&bytes);
+    let (legacy_events, dropped) = read_events(&legacy);
+    assert_eq!(dropped, 0, "legacy journal failed to decode");
+    assert_eq!(modern_events, legacy_events);
+
+    // …and recovers to the same terminal statuses.
+    let spec = ReplaySpec {
+        markets: vec![],
+        sellers: vec![fixture_seller("solo", 1.0)],
+        orders: Box::new(|_sid| SessionOrder {
+            cfg: MarketConfig::default(),
+            task: Box::new(StrategicTask::new(0.30, 6.0, 0.9).unwrap()),
+            data: Box::new(StrategicData::with_gains(vec![0.0; 4])),
+        }),
+        demands: Box::new(move |did| {
+            fixture_demand(did.0, SettleMode::Immediate(Arc::new(BestResponse)))
+        }),
+        clearing: None,
+    };
+    let (recovered, report) =
+        Exchange::recover(ExchangeConfig::default(), &legacy, spec, None).expect("legacy recovery");
+    assert_eq!(report.sheds, vec![ids[1]]);
+    recovered.drain(1);
+    assert!(matches!(
+        recovered.demand_status(ids[1]),
+        Some(DemandStatus::Shed { retry_after: None })
+    ));
+    assert!(matches!(
+        recovered.demand_status(ids[0]),
+        Some(DemandStatus::Settled(_))
+    ));
+}
+
+// ---------------------------------------------------------------------------
+// Policy laws
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Token-bucket conservation: over any submission schedule, the number
+    /// of admissions never exceeds the tokens ever issued — the initial
+    /// burst capacity plus one per elapsed refill interval.
+    #[test]
+    fn token_bucket_never_admits_more_than_it_issued(
+        capacity in 1u64..16,
+        refill in 1u64..8,
+        gaps in prop::collection::vec(0u64..5, 1..64),
+    ) {
+        let policy = TokenBucketAdmission::new(capacity, refill);
+        let mut clock = 0u64;
+        let mut admitted = 0u64;
+        for gap in gaps {
+            clock += gap;
+            let load = AdmissionLoad { submission: clock, ..Default::default() };
+            if policy.admit(&load).is_admit() {
+                admitted += 1;
+            }
+        }
+        let issued = capacity + clock / refill;
+        prop_assert!(
+            admitted <= issued,
+            "admitted {} > issued {} (capacity {}, refill {}, clock {})",
+            admitted, issued, capacity, refill, clock
+        );
+    }
+
+    /// Hysteresis never flaps inside the band: for consecutive loads whose
+    /// depths both lie strictly inside (exit, enter], the verdict cannot
+    /// change — it is pinned to whichever side last crossed a boundary.
+    #[test]
+    fn hysteresis_never_flaps_within_the_band(
+        exit in 0usize..8,
+        width in 1usize..8,
+        depths in prop::collection::vec(0usize..24, 2..64),
+    ) {
+        let enter = exit + width;
+        let policy = Hysteresis::new(
+            QueueDepthAdmission { max_queue_depth: enter },
+            exit,
+        );
+        let in_band = |d: usize| d > exit && d <= enter;
+        let mut last: Option<(usize, bool)> = None;
+        for depth in depths {
+            let verdict = policy
+                .admit(&AdmissionLoad { queue_depth: depth, ..Default::default() })
+                .is_admit();
+            if let Some((prev_depth, prev_verdict)) = last {
+                if in_band(prev_depth) && in_band(depth) {
+                    prop_assert_eq!(
+                        verdict, prev_verdict,
+                        "flapped inside the band ({}, {}] at depth {}",
+                        exit, enter, depth
+                    );
+                }
+            }
+            last = Some((depth, verdict));
+        }
+    }
+
+    /// Cost-weighted admission is monotone in fan-out: if a fresh bucket
+    /// admits a demand of fan-out f, it admits every narrower demand too —
+    /// wide demands always shed first.
+    #[test]
+    fn cost_weighted_sheds_wide_demands_first(
+        capacity in 1u64..32,
+        refill in 1u64..8,
+        fan in 1usize..64,
+    ) {
+        let verdict = |fan_out: usize| {
+            CostWeightedAdmission::new(capacity, refill)
+                .admit(&AdmissionLoad { fan_out, ..Default::default() })
+                .is_admit()
+        };
+        if verdict(fan) {
+            for narrower in 1..fan {
+                prop_assert!(verdict(narrower), "admitted {fan} but shed {narrower}");
+            }
+        } else {
+            for wider in fan..fan + 4 {
+                prop_assert!(!verdict(wider), "shed {fan} but admitted {wider}");
+            }
+        }
+    }
+
+    /// The chunk-split sampler's empirical mean tracks λ far above the old
+    /// `(-λ).exp()` underflow cliff (λ ≳ 745), at every target rate the
+    /// issue names.
+    #[test]
+    fn high_rate_poisson_mean_tracks_lambda(seed in 0u64..10_000, pick in 0usize..3) {
+        let lambda = [500.0, 1_000.0, 5_000.0][pick];
+        let process = ArrivalProcess::Poisson { rate: lambda };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 200u32;
+        let total: u64 = (0..n).map(|t| process.arrivals(t, &mut rng) as u64).sum();
+        let mean = total as f64 / n as f64;
+        // 6 standard errors of the mean: tight enough to catch the old
+        // corrupted counts (which undershot by orders of magnitude), loose
+        // enough to never flake.
+        let tolerance = 6.0 * (lambda / n as f64).sqrt();
+        prop_assert!(
+            (mean - lambda).abs() < tolerance,
+            "λ {}: empirical mean {} (tolerance {})", lambda, mean, tolerance
+        );
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -79,7 +79,7 @@ use crate::metrics::{ExchangeMetrics, MetricsSnapshot};
 use crate::session::{ActiveSession, Drive, MatchTag, SessionOrder};
 use crate::store::{SessionId, SessionStatus, SessionStore};
 use crate::telemetry::{ExchangeTelemetry, SliceTimer};
-use crate::traffic::{AdmissionLoad, AdmissionPolicy};
+use crate::traffic::{AdmissionDecision, AdmissionLoad, AdmissionPolicy};
 use crate::waitlist::CourseWaitlist;
 use vfl_telemetry::TraceKey;
 
@@ -241,6 +241,12 @@ pub struct Exchange {
     /// it sees is read from the exchange's own state (pending backlog,
     /// store, book) — never from telemetry, which stays observe-only.
     admission: RwLock<Option<Arc<dyn AdmissionPolicy>>>,
+    /// Logical admission clock: counts policy consultations (one per
+    /// gated [`Exchange::submit_demand`] call). Rate-based policies
+    /// refill on this — never on wall time — so admission verdicts are a
+    /// pure function of the submission sequence and replay stays
+    /// bit-identical.
+    admission_clock: AtomicU64,
 }
 
 /// What one worker slice did with its session, plus how many *other*
@@ -321,6 +327,7 @@ impl Exchange {
             crash_armed: AtomicBool::new(false),
             telemetry,
             admission: RwLock::new(None),
+            admission_clock: AtomicU64::new(0),
             cfg,
         }
     }
@@ -972,15 +979,18 @@ impl Exchange {
                 sessions: self.store.len(),
                 demands: self.match_book.len(),
                 fan_out: eligible.len(),
+                submission: self.admission_clock.fetch_add(1, Ordering::Relaxed),
+                scenario: demand.scenario,
             };
-            if !policy.admit(&load) {
+            if let AdmissionDecision::Shed { retry_after } = policy.admit(&load) {
                 let did = self.match_book.allocate();
-                self.match_book.open_shed_at(did);
+                self.match_book.open_shed_at(did, retry_after);
                 self.record_with(|| ExchangeEvent::DemandShed {
                     demand: did,
                     wanted: demand.wanted,
                     cfg_digest: wire::config_digest(&demand.cfg),
                     queue_depth: load.queue_depth as u32,
+                    retry_after,
                 });
                 ExchangeMetrics::incr(&self.metrics.demands_shed);
                 return Ok(did);
@@ -1198,18 +1208,20 @@ impl Exchange {
         wanted: BundleMask,
         cfg_digest: u64,
         queue_depth: u32,
+        retry_after: Option<u32>,
     ) -> Result<()> {
         if self.match_book.status(did).is_some() {
             return Err(MarketError::InvalidConfig(format!(
                 "journal records demand {did} twice"
             )));
         }
-        self.match_book.open_shed_at(did);
+        self.match_book.open_shed_at(did, retry_after);
         self.record_with(|| ExchangeEvent::DemandShed {
             demand: did,
             wanted,
             cfg_digest,
             queue_depth,
+            retry_after,
         });
         ExchangeMetrics::incr(&self.metrics.demands_shed);
         Ok(())

@@ -342,6 +342,12 @@ pub enum ExchangeEvent {
         cfg_digest: u64,
         /// The dispatcher backlog depth that triggered the refusal.
         queue_depth: u32,
+        /// The refusal's `Retry-After` hint, in logical time units
+        /// ([`crate::traffic::AdmissionDecision::Shed`]). Appended to the
+        /// tag-15 payload as an optional trailing field — the tag-4→tag-11
+        /// evolution precedent — so frames written before the hint existed
+        /// (no trailing bytes) still decode, as `None`.
+        retry_after: Option<u32>,
     },
     /// A session reached a terminal state (audit trail; replay re-derives
     /// the outcome and can verify it against `digest`).
@@ -716,12 +722,22 @@ impl ExchangeEvent {
                 wanted,
                 cfg_digest,
                 queue_depth,
+                retry_after,
             } => {
                 buf.push(15);
                 put_u64(&mut buf, demand.0);
                 put_u64(&mut buf, wanted.0);
                 put_u64(&mut buf, *cfg_digest);
                 put_u32(&mut buf, *queue_depth);
+                // Optional trailing hint (append-only wire evolution):
+                // legacy frames end at queue_depth and decode hint-less.
+                match retry_after {
+                    None => buf.push(0),
+                    Some(wait) => {
+                        buf.push(1);
+                        put_u32(&mut buf, *wait);
+                    }
+                }
             }
             ExchangeEvent::SessionConcluded {
                 session,
@@ -944,6 +960,18 @@ impl ExchangeEvent {
                 wanted: BundleMask(r.u64()?),
                 cfg_digest: r.u64()?,
                 queue_depth: r.u32()?,
+                // Pre-hint frames end here; the marker byte is optional
+                // trailing payload (append-only evolution, tag-4→tag-11
+                // precedent).
+                retry_after: if r.done() {
+                    None
+                } else {
+                    match r.u8()? {
+                        0 => None,
+                        1 => Some(r.u32()?),
+                        _ => return None,
+                    }
+                },
             },
             12 => ExchangeEvent::ClearingOpened {
                 epoch_size: r.u32()?,
@@ -2010,9 +2038,10 @@ impl Exchange {
                     wanted,
                     cfg_digest,
                     queue_depth,
+                    retry_after,
                 } => {
                     exchange
-                        .replay_shed(demand, wanted, cfg_digest, queue_depth)
+                        .replay_shed(demand, wanted, cfg_digest, queue_depth, retry_after)
                         .map_err(|e| {
                             RecoverError::InconsistentJournal(format!("demand {demand}: {e}"))
                         })?;
@@ -2087,7 +2116,7 @@ impl Exchange {
                         )));
                     }
                 }
-                Some(crate::matching::DemandStatus::Shed) => {
+                Some(crate::matching::DemandStatus::Shed { .. }) => {
                     return Err(RecoverError::Divergence(format!(
                         "demand {}: journal records a settlement but replay holds \
                          it shed at admission",
@@ -2118,7 +2147,7 @@ impl Exchange {
         // have touched them. Anything but Shed is divergence.
         for &did in &report.sheds {
             match self.demand_status(did) {
-                Some(crate::matching::DemandStatus::Shed) => {}
+                Some(crate::matching::DemandStatus::Shed { .. }) => {}
                 other => {
                     return Err(RecoverError::Divergence(format!(
                         "demand {did}: journal records an admission refusal but \

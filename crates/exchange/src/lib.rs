@@ -152,8 +152,9 @@ pub use session::SessionOrder;
 pub use store::{SessionId, SessionStatus};
 pub use telemetry::{ExchangeTelemetry, QUEUE_DEPTH, STAGES, STAGE_FAMILY, WAITLIST_DEPTH};
 pub use traffic::{
-    named_scenarios, AdmissionLoad, AdmissionPolicy, Adversary, ArrivalProcess, EpochTraffic,
-    QueueDepthAdmission, ScenarioDriver, ScenarioOutcome, ScenarioSpec,
+    named_scenarios, AdmissionDecision, AdmissionLoad, AdmissionPolicy, Adversary, ArrivalProcess,
+    CostWeightedAdmission, EpochTraffic, Hysteresis, QueueDepthAdmission, QuotaAdmission,
+    RetryPolicy, ScenarioDriver, ScenarioOutcome, ScenarioSpec, TokenBucketAdmission,
 };
 
 #[cfg(test)]

@@ -134,6 +134,10 @@ pub struct SellerSpec {
 
 /// A task party's posted demand: what it wants, on which scenario, under
 /// which bargaining configuration, and how the match is settled.
+/// `Clone` is cheap (masks, config, and `Arc` factories) so a client that
+/// was shed with a retry hint can re-submit the identical demand — the
+/// scenario driver's backoff model does exactly that.
+#[derive(Clone)]
 pub struct Demand {
     /// Features of interest. A seller is eligible when the union of its
     /// listed bundles intersects this mask, and each candidate session
@@ -286,7 +290,7 @@ impl MatchPolicy for BestResponse {
 
 /// Point-in-time state of a demand (what
 /// [`crate::Exchange::demand_status`] returns).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum DemandStatus {
     /// Candidates are still probing.
     Matching {
@@ -313,7 +317,15 @@ pub enum DemandStatus {
     /// was backed up). Terminal from birth: no candidate sessions were
     /// fanned out, no models trained, and the demand's (winnerless, empty)
     /// report is journaled so recovery and audit stay exact.
-    Shed,
+    Shed {
+        /// The refusal's `Retry-After`-style hint, in logical time units
+        /// (see [`crate::traffic::AdmissionDecision::Shed`]); `None` when
+        /// the policy offered no estimate. Recovery from tag-15 frames
+        /// preserves the hint; a checkpoint restore drops it (the hint is
+        /// transient client advice, not settlement state — checkpoints
+        /// re-derive shed terminals from their empty quote tables).
+        retry_after: Option<u32>,
+    },
 }
 
 /// The settled quote table of a demand.
@@ -424,6 +436,10 @@ pub(crate) struct DemandState {
     /// rejects empty fan-outs) — so checkpoint restore re-derives this
     /// flag without a wire-format change.
     shed: bool,
+    /// The refusal's retry hint, surfaced through
+    /// [`DemandStatus::Shed`]. Only ever `Some` on shed states; dropped
+    /// (not persisted) across checkpoints — see the status docs.
+    retry_after: Option<u32>,
 }
 
 impl DemandState {
@@ -449,6 +465,7 @@ impl DemandState {
             rolls: 0,
             report: None,
             shed: false,
+            retry_after: None,
         }
     }
 
@@ -473,6 +490,7 @@ impl DemandState {
             rolls: 0,
             report: Some(report),
             shed,
+            retry_after: None,
         }
     }
 
@@ -480,7 +498,7 @@ impl DemandState {
     /// report is winnerless with an empty quote table (no fan-out ever
     /// happened), which is also how the state round-trips through a
     /// checkpoint — see [`DemandState::settled`].
-    pub(crate) fn shed(demand: DemandId) -> Self {
+    pub(crate) fn shed(demand: DemandId, retry_after: Option<u32>) -> Self {
         DemandState {
             cfg: MarketConfig::default(),
             settle: SettleMode::Immediate(Arc::new(BestResponse)),
@@ -495,6 +513,7 @@ impl DemandState {
                 clearing_price: None,
             }),
             shed: true,
+            retry_after,
         }
     }
 
@@ -593,7 +612,9 @@ impl MatchBook {
         let entry = self.demands.read().get(&id.0)?.clone();
         let st = entry.lock();
         Some(match &st.report {
-            Some(_) if st.shed => DemandStatus::Shed,
+            Some(_) if st.shed => DemandStatus::Shed {
+                retry_after: st.retry_after,
+            },
             Some(report) => DemandStatus::Settled(report.clone()),
             None if st.settle.is_epoch() && st.reported == st.slots.len() => {
                 DemandStatus::Clearing { rolls: st.rolls }
@@ -654,8 +675,8 @@ impl MatchBook {
     /// Registers a demand refused at admission under `id`, born terminal
     /// ([`DemandState::shed`]). Used by both the live shed path and the
     /// recovery replay of a `DemandShed` frame.
-    pub(crate) fn open_shed_at(&self, id: DemandId) {
-        self.open_at(id, DemandState::shed(id));
+    pub(crate) fn open_shed_at(&self, id: DemandId, retry_after: Option<u32>) {
+        self.open_at(id, DemandState::shed(id, retry_after));
     }
 
     /// Records candidate `slot`'s quote (plus its full round history, for

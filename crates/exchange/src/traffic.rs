@@ -46,9 +46,11 @@
 //! realized courses, and the gain tables here are lookups).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use vfl_market::{
@@ -90,23 +92,73 @@ pub struct AdmissionLoad {
     pub demands: usize,
     /// Candidate sessions this demand would fan out to if admitted.
     pub fan_out: usize,
+    /// The exchange's logical admission clock: the 0-based index of this
+    /// consultation among every consultation the exchange has made since
+    /// construction. This — never a wall clock — is what rate-based
+    /// policies ([`TokenBucketAdmission`], [`CostWeightedAdmission`],
+    /// [`QuotaAdmission`]) refill on, so admission verdicts are a pure
+    /// function of the submission sequence and recovery stays
+    /// bit-identical.
+    pub submission: u64,
+    /// The demand's scenario routing key ([`crate::Demand::scenario`]),
+    /// the buyer-class handle [`QuotaAdmission`] keys quotas on.
+    pub scenario: Option<u64>,
+}
+
+/// An [`AdmissionPolicy`] verdict. Replaces the bare bool of PR 8 so a
+/// refusal can carry a `Retry-After`-style hint that rides the terminal
+/// [`crate::DemandStatus::Shed`] and the journal's tag-15 frame, letting
+/// clients (and [`ScenarioDriver`]'s backoff model) re-submit instead of
+/// treating every shed as pure loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionDecision {
+    /// Take the demand: fan it out as if no policy were attached.
+    Admit,
+    /// Refuse the demand ([`crate::DemandStatus::Shed`]).
+    Shed {
+        /// Suggested backoff, in logical time units (scenario ticks /
+        /// admission-clock steps), before a re-submission has a chance;
+        /// `None` when the policy has no estimate. A hint, not a
+        /// promise — the load may have moved by the retry.
+        retry_after: Option<u32>,
+    },
+}
+
+impl AdmissionDecision {
+    /// True for [`AdmissionDecision::Admit`].
+    pub fn is_admit(&self) -> bool {
+        matches!(self, AdmissionDecision::Admit)
+    }
+
+    /// The shed hint (`None` for admissions and hintless sheds).
+    pub fn retry_after(&self) -> Option<u32> {
+        match self {
+            AdmissionDecision::Admit => None,
+            AdmissionDecision::Shed { retry_after } => *retry_after,
+        }
+    }
 }
 
 /// The load-shedding seam: consulted once per [`Exchange::submit_demand`]
-/// call when attached ([`Exchange::set_admission`]). Returning `false`
-/// sheds the demand: it consumes a demand id, lands a
-/// [`crate::ExchangeEvent::DemandShed`] journal frame, and is terminal
+/// call when attached ([`Exchange::set_admission`]). A
+/// [`AdmissionDecision::Shed`] verdict sheds the demand: it consumes a
+/// demand id, lands a [`crate::ExchangeEvent::DemandShed`] journal frame
+/// (carrying the verdict's `retry_after` hint), and is terminal
 /// ([`crate::DemandStatus::Shed`]) — no sessions, no trainings, no
 /// waitlist entries. Implementations must be cheap (the call runs on the
-/// submission path) and must not call back into the exchange.
+/// submission path), must not call back into the exchange, and must not
+/// consult wall clocks — stateful policies refill on
+/// [`AdmissionLoad::submission`] so replay stays bit-identical.
 pub trait AdmissionPolicy: Send + Sync {
-    /// True to admit the demand, false to shed it.
-    fn admit(&self, load: &AdmissionLoad) -> bool;
+    /// The verdict for one demand under the current load.
+    fn admit(&self, load: &AdmissionLoad) -> AdmissionDecision;
 }
 
-/// The shipped policy: admit while the dispatcher backlog is at most
-/// `max_queue_depth` pending sessions; shed above it. With
-/// `usize::MAX` it never triggers (the equivalence fixture).
+/// The PR 8 baseline policy: admit while the dispatcher backlog is at
+/// most `max_queue_depth` pending sessions; shed above it, hintless (a
+/// bare threshold has no rate model to estimate a retry from). With
+/// `usize::MAX` it never triggers (the equivalence fixture). Wrap it in
+/// [`Hysteresis`] to stop it flapping at the boundary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueueDepthAdmission {
     /// Largest pending-queue depth at which demands are still admitted.
@@ -114,8 +166,242 @@ pub struct QueueDepthAdmission {
 }
 
 impl AdmissionPolicy for QueueDepthAdmission {
-    fn admit(&self, load: &AdmissionLoad) -> bool {
-        load.queue_depth <= self.max_queue_depth
+    fn admit(&self, load: &AdmissionLoad) -> AdmissionDecision {
+        if load.queue_depth <= self.max_queue_depth {
+            AdmissionDecision::Admit
+        } else {
+            AdmissionDecision::Shed { retry_after: None }
+        }
+    }
+}
+
+/// Shared refill ledger for the bucket-shaped policies: `tokens` grow by
+/// one per `refill_every` admission-clock steps since `credited_at`, and
+/// `credited_at` always advances by whole refill periods — tokens earned
+/// beyond `capacity` are discarded (a bucket, not a counter), but the
+/// clock never drifts.
+#[derive(Debug, Clone, Copy)]
+struct BucketState {
+    tokens: u64,
+    credited_at: u64,
+}
+
+impl BucketState {
+    fn refill(&mut self, now: u64, capacity: u64, refill_every: u64) {
+        let earned = now.saturating_sub(self.credited_at) / refill_every;
+        if earned > 0 {
+            self.tokens = self.tokens.saturating_add(earned).min(capacity);
+            self.credited_at += earned * refill_every;
+        }
+    }
+}
+
+/// Token-bucket admission on the logical clock: the bucket starts full at
+/// `capacity` tokens (the burst allowance), refills one token every
+/// `refill_every` admission-clock steps, and each admitted demand spends
+/// exactly one token. An empty bucket sheds with a `retry_after` hint of
+/// the clock steps until the next token. Deterministic and replay-safe:
+/// the verdict sequence is a pure function of the consultation sequence.
+#[derive(Debug)]
+pub struct TokenBucketAdmission {
+    capacity: u64,
+    refill_every: u64,
+    state: Mutex<BucketState>,
+}
+
+impl TokenBucketAdmission {
+    /// A bucket holding at most `capacity` tokens (≥ 1, the burst
+    /// allowance; the bucket starts full) refilling one token every
+    /// `refill_every` admission-clock steps (≥ 1).
+    pub fn new(capacity: u64, refill_every: u64) -> Self {
+        let capacity = capacity.max(1);
+        TokenBucketAdmission {
+            capacity,
+            refill_every: refill_every.max(1),
+            state: Mutex::new(BucketState {
+                tokens: capacity,
+                credited_at: 0,
+            }),
+        }
+    }
+}
+
+impl AdmissionPolicy for TokenBucketAdmission {
+    fn admit(&self, load: &AdmissionLoad) -> AdmissionDecision {
+        let mut st = self.state.lock();
+        st.refill(load.submission, self.capacity, self.refill_every);
+        if st.tokens > 0 {
+            st.tokens -= 1;
+            AdmissionDecision::Admit
+        } else {
+            // The next token lands one whole period past the last credit.
+            let next = st.credited_at + self.refill_every;
+            let wait = next.saturating_sub(load.submission).max(1);
+            AdmissionDecision::Shed {
+                retry_after: Some(wait.min(u32::MAX as u64) as u32),
+            }
+        }
+    }
+}
+
+/// Cost-weighted admission: like [`TokenBucketAdmission`], but each
+/// demand is charged its would-be fan-out ([`AdmissionLoad::fan_out`],
+/// floored at 1) in cost units instead of a flat token — a 20-seller
+/// demand spends 20× the budget of a 1-seller demand, so under pressure
+/// wide demands shed first while narrow ones still clear. The `capacity`
+/// bucket refills one cost unit every `refill_every` admission-clock
+/// steps; a shed's `retry_after` hint covers the deficit.
+#[derive(Debug)]
+pub struct CostWeightedAdmission {
+    capacity: u64,
+    refill_every: u64,
+    state: Mutex<BucketState>,
+}
+
+impl CostWeightedAdmission {
+    /// A cost bucket holding at most `capacity` units (≥ 1; starts full)
+    /// refilling one unit every `refill_every` admission-clock steps
+    /// (≥ 1).
+    pub fn new(capacity: u64, refill_every: u64) -> Self {
+        let capacity = capacity.max(1);
+        CostWeightedAdmission {
+            capacity,
+            refill_every: refill_every.max(1),
+            state: Mutex::new(BucketState {
+                tokens: capacity,
+                credited_at: 0,
+            }),
+        }
+    }
+}
+
+impl AdmissionPolicy for CostWeightedAdmission {
+    fn admit(&self, load: &AdmissionLoad) -> AdmissionDecision {
+        let cost = (load.fan_out as u64).max(1);
+        let mut st = self.state.lock();
+        st.refill(load.submission, self.capacity, self.refill_every);
+        if st.tokens >= cost {
+            st.tokens -= cost;
+            AdmissionDecision::Admit
+        } else {
+            let deficit = cost - st.tokens; // tokens < cost in this branch
+            let wait = deficit.saturating_mul(self.refill_every).max(1);
+            AdmissionDecision::Shed {
+                retry_after: Some(wait.min(u32::MAX as u64) as u32),
+            }
+        }
+    }
+}
+
+/// Windowed per-buyer-class quotas: the admission clock is cut into
+/// windows of `window` steps, and each class — keyed by the demand's
+/// scenario routing key ([`AdmissionLoad::scenario`]) — may admit at most
+/// its quota per window ([`QuotaAdmission::with_quota`], falling back to
+/// `default_quota` for unlisted classes and keyless demands). An
+/// exhausted class sheds with a `retry_after` hint of the steps until its
+/// window resets, so one scenario's storm cannot starve the rest.
+#[derive(Debug)]
+pub struct QuotaAdmission {
+    window: u64,
+    default_quota: u64,
+    quotas: HashMap<u64, u64>,
+    state: Mutex<QuotaWindow>,
+}
+
+#[derive(Debug, Default)]
+struct QuotaWindow {
+    index: u64,
+    admitted: HashMap<Option<u64>, u64>,
+}
+
+impl QuotaAdmission {
+    /// Quotas of `default_quota` admissions per class per `window`
+    /// admission-clock steps (window ≥ 1).
+    pub fn new(window: u64, default_quota: u64) -> Self {
+        QuotaAdmission {
+            window: window.max(1),
+            default_quota,
+            quotas: HashMap::new(),
+            state: Mutex::new(QuotaWindow::default()),
+        }
+    }
+
+    /// Overrides the per-window quota for one scenario key.
+    pub fn with_quota(mut self, scenario: u64, quota: u64) -> Self {
+        self.quotas.insert(scenario, quota);
+        self
+    }
+}
+
+impl AdmissionPolicy for QuotaAdmission {
+    fn admit(&self, load: &AdmissionLoad) -> AdmissionDecision {
+        let index = load.submission / self.window;
+        let mut st = self.state.lock();
+        if st.index != index {
+            st.index = index;
+            st.admitted.clear();
+        }
+        let quota = load
+            .scenario
+            .and_then(|key| self.quotas.get(&key).copied())
+            .unwrap_or(self.default_quota);
+        let used = st.admitted.entry(load.scenario).or_insert(0);
+        if *used < quota {
+            *used += 1;
+            AdmissionDecision::Admit
+        } else {
+            let reset = (index + 1) * self.window;
+            let wait = reset.saturating_sub(load.submission).max(1);
+            AdmissionDecision::Shed {
+                retry_after: Some(wait.min(u32::MAX as u64) as u32),
+            }
+        }
+    }
+}
+
+/// Hysteresis wrapper: once the inner policy sheds, keep shedding until
+/// the dispatcher backlog falls to `exit_below` or fewer pending
+/// sessions, then hand verdicts back to the inner policy. For an inner
+/// [`QueueDepthAdmission`] with bound `enter`, the band is
+/// `(exit_below, enter]`: a backlog oscillating inside it can no longer
+/// flap the verdict sample-by-sample — admission flips only on a genuine
+/// band crossing. In-band sheds hint `retry_after` with the backlog
+/// excess over the exit band (the dispatches needed before re-entry).
+#[derive(Debug)]
+pub struct Hysteresis<P> {
+    inner: P,
+    exit_below: usize,
+    shedding: AtomicBool,
+}
+
+impl<P: AdmissionPolicy> Hysteresis<P> {
+    /// Wraps `inner`; shed mode persists until the queue depth is at most
+    /// `exit_below`.
+    pub fn new(inner: P, exit_below: usize) -> Self {
+        Hysteresis {
+            inner,
+            exit_below,
+            shedding: AtomicBool::new(false),
+        }
+    }
+}
+
+impl<P: AdmissionPolicy> AdmissionPolicy for Hysteresis<P> {
+    fn admit(&self, load: &AdmissionLoad) -> AdmissionDecision {
+        if self.shedding.load(Ordering::Relaxed) {
+            if load.queue_depth > self.exit_below {
+                let excess = load.queue_depth - self.exit_below;
+                return AdmissionDecision::Shed {
+                    retry_after: Some(excess.min(u32::MAX as usize) as u32),
+                };
+            }
+            self.shedding.store(false, Ordering::Relaxed);
+        }
+        let decision = self.inner.admit(load);
+        if !decision.is_admit() {
+            self.shedding.store(true, Ordering::Relaxed);
+        }
+        decision
     }
 }
 
@@ -202,10 +488,42 @@ impl ArrivalProcess {
     }
 }
 
-/// Knuth Poisson sampling: multiply unit uniforms until the product drops
-/// below e^-λ. Exact for the λ range scenarios use (≲ 30 per tick); the
-/// iteration cap only guards against absurd rates.
+/// Largest per-chunk rate [`poisson`] hands to the Knuth loop. At λ = 30,
+/// e^-λ ≈ 9.4e-14 — far above the subnormal floor, so the
+/// product-of-uniforms comparison is exact; the single-chunk limit e^-λ
+/// underflows to `0.0` for λ ≳ 745, where the loop would exit only via
+/// product underflow or the iteration cap and silently corrupt counts.
+const POISSON_CHUNK_MAX: f64 = 30.0;
+
+/// Poisson sampling via Knuth's product-of-uniforms method, chunk-split
+/// for large rates: a Poisson(λ) draw is the sum of independent
+/// Poisson(λ/n) draws, so λ > [`POISSON_CHUNK_MAX`] is sampled as
+/// ⌈λ/30⌉ equal chunks, each inside the range where the method is exact.
+/// For λ ≤ 30 — every named scenario's per-tick rate — the sampling path
+/// is byte-identical to the historical single-chunk loop, so pinned-seed
+/// arrival streams do not move.
 fn poisson(lambda: f64, rng: &mut StdRng) -> u32 {
+    if lambda <= 0.0 || !lambda.is_finite() {
+        return 0;
+    }
+    if lambda <= POISSON_CHUNK_MAX {
+        return poisson_chunk(lambda, rng);
+    }
+    // ceil guarantees λ/chunks ≤ 30 up to half an ulp of division
+    // rounding, which the exp() below absorbs harmlessly.
+    let chunks = (lambda / POISSON_CHUNK_MAX).ceil() as u64;
+    let per_chunk = lambda / chunks as f64;
+    let mut total = 0u64;
+    for _ in 0..chunks {
+        total += poisson_chunk(per_chunk, rng) as u64;
+    }
+    total.min(u32::MAX as u64) as u32
+}
+
+/// One Knuth chunk: multiply unit uniforms until the product drops below
+/// e^-λ. Exact for λ ≤ [`POISSON_CHUNK_MAX`]; the iteration cap only
+/// guards against absurd single-chunk rates.
+fn poisson_chunk(lambda: f64, rng: &mut StdRng) -> u32 {
     if lambda <= 0.0 {
         return 0;
     }
@@ -268,6 +586,22 @@ pub struct EpochTraffic {
     pub max_rolls: u32,
 }
 
+/// Client backoff modeled by [`ScenarioDriver`]: instead of treating a
+/// shed as pure loss, the driver re-submits the identical demand after
+/// the refusal's `retry_after` hint (or `default_backoff` ticks when the
+/// policy offered none), up to `max_retries` times per original demand.
+/// Every re-submission is a fresh attempt against the then-current load —
+/// conservation still counts it exactly once as admitted, shed, or
+/// rejected. Retries still pending when the scenario's tick budget runs
+/// out are abandoned (their sheds are already on the ledger).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Re-submissions allowed per original demand (0 = pure loss).
+    pub max_retries: u32,
+    /// Ticks to back off when the refusal carried no hint (floored at 1).
+    pub default_backoff: u32,
+}
+
 /// One named, seeded open-world scenario. Plain data (`Clone` + `Debug`):
 /// the driver derives everything else — seller pool, churn schedule,
 /// demand stream — deterministically from these fields.
@@ -305,6 +639,10 @@ pub struct ScenarioSpec {
     pub drain_every: u32,
     /// Worker threads per drain.
     pub workers: usize,
+    /// Client backoff model for shed demands; `None` (every named
+    /// scenario) keeps PR 8's pure-loss behavior, so pinned outcomes do
+    /// not move.
+    pub retry: Option<RetryPolicy>,
 }
 
 /// The six named scenarios the regression tier, E12, and the
@@ -324,6 +662,7 @@ pub fn named_scenarios() -> Vec<ScenarioSpec> {
             epoch: None,
             drain_every: 3,
             workers: 2,
+            retry: None,
         },
         ScenarioSpec {
             name: "bursty-open".into(),
@@ -348,6 +687,7 @@ pub fn named_scenarios() -> Vec<ScenarioSpec> {
             }),
             drain_every: 6,
             workers: 2,
+            retry: None,
         },
         ScenarioSpec {
             name: "diurnal-churn".into(),
@@ -366,6 +706,7 @@ pub fn named_scenarios() -> Vec<ScenarioSpec> {
             epoch: None,
             drain_every: 4,
             workers: 2,
+            retry: None,
         },
         ScenarioSpec {
             name: "probe-storm".into(),
@@ -385,6 +726,7 @@ pub fn named_scenarios() -> Vec<ScenarioSpec> {
             epoch: None,
             drain_every: 5,
             workers: 2,
+            retry: None,
         },
         ScenarioSpec {
             name: "collusion-ring".into(),
@@ -399,6 +741,7 @@ pub fn named_scenarios() -> Vec<ScenarioSpec> {
             epoch: None,
             drain_every: 5,
             workers: 2,
+            retry: None,
         },
         ScenarioSpec {
             name: "stale-estimator-storm".into(),
@@ -418,6 +761,7 @@ pub fn named_scenarios() -> Vec<ScenarioSpec> {
             epoch: None,
             drain_every: 4,
             workers: 2,
+            retry: None,
         },
     ]
 }
@@ -451,6 +795,11 @@ pub struct ScenarioOutcome {
     pub expired: u64,
     /// Negotiations that closed successfully.
     pub deals: u64,
+    /// Re-submissions of shed demands the [`RetryPolicy`] backoff model
+    /// performed (each also counts in `attempts`); 0 without a policy.
+    pub retries: usize,
+    /// Originally-shed demands that a retry eventually got admitted.
+    pub recovered: usize,
     /// Sellers the driver registered (initial + churned + shift group).
     pub sellers_registered: usize,
     /// Demand ids the driver submitted, in submission order (admitted
@@ -568,6 +917,49 @@ impl ScenarioDriver {
         let mut demand_ids = Vec::new();
         let mut drain_secs = 0.0f64;
         let mut churned = 0usize;
+        let mut retries = 0usize;
+        let mut recovered = 0usize;
+        // Shed demands awaiting their backoff: (due tick, demand,
+        // re-submissions left). FIFO within a tick; entries due past the
+        // tick budget are abandoned (their sheds are already counted).
+        let mut backlog: Vec<(u32, Demand, u32)> = Vec::new();
+        // Submits `demand`, records the id, and — when a retry policy is
+        // armed and the submission shed with retries remaining — schedules
+        // the re-submission after the refusal's hint (or the default
+        // backoff). Returns true when the demand was admitted.
+        let submit = |demand: Demand,
+                      tick: u32,
+                      retries_left: u32,
+                      attempts: &mut usize,
+                      rejected: &mut usize,
+                      demand_ids: &mut Vec<DemandId>,
+                      backlog: &mut Vec<(u32, Demand, u32)>|
+         -> bool {
+            *attempts += 1;
+            let keep = spec
+                .retry
+                .filter(|_| retries_left > 0)
+                .map(|_| demand.clone());
+            match exchange.submit_demand(demand) {
+                Ok(did) => {
+                    demand_ids.push(did);
+                    match exchange.demand_status(did) {
+                        Some(DemandStatus::Shed { retry_after }) => {
+                            if let (Some(policy), Some(demand)) = (spec.retry, keep) {
+                                let wait = retry_after.unwrap_or(policy.default_backoff).max(1);
+                                backlog.push((tick.saturating_add(wait), demand, retries_left - 1));
+                            }
+                            false
+                        }
+                        _ => true,
+                    }
+                }
+                Err(_) => {
+                    *rejected += 1;
+                    false
+                }
+            }
+        };
 
         for tick in 0..spec.ticks {
             // Market shift: open the new group *before* routing to it.
@@ -592,14 +984,40 @@ impl ScenarioDriver {
                 sellers_registered += 1;
                 churned += 1;
             }
+            // Backed-off clients re-submit before this tick's fresh
+            // arrivals (they are older traffic), in scheduling order.
+            if spec.retry.is_some() {
+                let due: Vec<(u32, Demand, u32)>;
+                (due, backlog) = backlog.into_iter().partition(|(at, _, _)| *at <= tick);
+                for (_, demand, left) in due {
+                    retries += 1;
+                    if submit(
+                        demand,
+                        tick,
+                        left,
+                        &mut attempts,
+                        &mut rejected,
+                        &mut demand_ids,
+                        &mut backlog,
+                    ) {
+                        recovered += 1;
+                    }
+                }
+            }
             let n = spec.arrivals.arrivals(tick, &mut rng);
             for _ in 0..n {
-                attempts += 1;
-                let demand = self.demand(active_group, attempts as u32, &mut rng);
-                match exchange.submit_demand(demand) {
-                    Ok(did) => demand_ids.push(did),
-                    Err(_) => rejected += 1,
-                }
+                let nth = attempts as u32 + 1;
+                let demand = self.demand(active_group, nth, &mut rng);
+                let max_retries = spec.retry.map_or(0, |r| r.max_retries);
+                submit(
+                    demand,
+                    tick,
+                    max_retries,
+                    &mut attempts,
+                    &mut rejected,
+                    &mut demand_ids,
+                    &mut backlog,
+                );
             }
             if spec.drain_every > 0 && (tick + 1) % spec.drain_every == 0 {
                 let start = Instant::now();
@@ -625,6 +1043,8 @@ impl ScenarioDriver {
             matched: after.demands_matched - before.demands_matched,
             expired: after.demands_expired - before.demands_expired,
             deals: after.deals_struck - before.deals_struck,
+            retries,
+            recovered,
             sellers_registered,
             demand_ids,
             drain_secs,
@@ -646,7 +1066,7 @@ impl ScenarioDriver {
         for &id in ids {
             match exchange.demand_status(id) {
                 Some(DemandStatus::Settled(_)) => settled += 1,
-                Some(DemandStatus::Shed) => shed += 1,
+                Some(DemandStatus::Shed { .. }) => shed += 1,
                 _ => {}
             }
         }
@@ -843,9 +1263,13 @@ mod tests {
             queue_depth,
             ..AdmissionLoad::default()
         };
-        assert!(policy.admit(&at(0)));
-        assert!(policy.admit(&at(4)));
-        assert!(!policy.admit(&at(5)));
+        assert!(policy.admit(&at(0)).is_admit());
+        assert!(policy.admit(&at(4)).is_admit());
+        // The bare threshold sheds hintless — it has no rate model.
+        assert_eq!(
+            policy.admit(&at(5)),
+            AdmissionDecision::Shed { retry_after: None }
+        );
     }
 
     #[test]
@@ -874,7 +1298,7 @@ mod tests {
         for &shed in &ids[1..] {
             assert!(matches!(
                 exchange.demand_status(shed),
-                Some(DemandStatus::Shed)
+                Some(DemandStatus::Shed { .. })
             ));
         }
         exchange.drain(1);
@@ -931,5 +1355,264 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    /// The underflow regression: λ = 1e4 makes the single-chunk limit
+    /// e^-λ exactly 0.0, where the historical loop exited only via
+    /// product underflow or the 10k-iteration cap. Chunk splitting must
+    /// return in bounded time with the empirical mean within 2% of λ.
+    #[test]
+    fn poisson_large_lambda_mean_within_two_percent() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let lambda = 1e4;
+        let n = 10_000u32;
+        let total: u64 = (0..n).map(|_| poisson(lambda, &mut rng) as u64).sum();
+        let mean = total as f64 / n as f64;
+        assert!(
+            (mean - lambda).abs() < 0.02 * lambda,
+            "λ {lambda}: empirical mean {mean} off by more than 2%"
+        );
+        // And right at the underflow edge (λ ≳ 745) the sampler must not
+        // collapse to the iteration cap.
+        let at_edge = poisson(800.0, &mut rng);
+        assert!(
+            (400..1200).contains(&at_edge),
+            "λ 800 drew {at_edge} — sampler off the rails"
+        );
+    }
+
+    /// λ ≤ 30 takes the single-chunk path bit-for-bit: the chunked
+    /// sampler at λ = 30 must consume the RNG exactly like one chunk.
+    #[test]
+    fn poisson_small_lambda_path_is_single_chunk() {
+        for lambda in [0.5, 7.0, 30.0] {
+            let direct = {
+                let mut rng = StdRng::seed_from_u64(4242);
+                (0..256)
+                    .map(|_| poisson_chunk(lambda, &mut rng))
+                    .collect::<Vec<_>>()
+            };
+            let through = {
+                let mut rng = StdRng::seed_from_u64(4242);
+                (0..256)
+                    .map(|_| poisson(lambda, &mut rng))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(direct, through, "λ {lambda} left the single-chunk path");
+        }
+    }
+
+    #[test]
+    fn token_bucket_spends_refills_and_hints() {
+        let policy = TokenBucketAdmission::new(2, 5);
+        let at = |submission| AdmissionLoad {
+            submission,
+            ..AdmissionLoad::default()
+        };
+        // Burst capacity: the first two consultations spend the full
+        // bucket, the third sheds with the steps until the next refill.
+        assert!(policy.admit(&at(0)).is_admit());
+        assert!(policy.admit(&at(1)).is_admit());
+        assert_eq!(
+            policy.admit(&at(2)),
+            AdmissionDecision::Shed {
+                retry_after: Some(3)
+            }
+        );
+        // Clock step 5 credits one token — spent — and step 6 is dry
+        // again until the step-10 refill.
+        assert!(policy.admit(&at(5)).is_admit());
+        assert_eq!(
+            policy.admit(&at(6)),
+            AdmissionDecision::Shed {
+                retry_after: Some(4)
+            }
+        );
+        // A long idle stretch refills to capacity, never beyond.
+        assert!(policy.admit(&at(1_000)).is_admit());
+        assert!(policy.admit(&at(1_001)).is_admit());
+        assert!(!policy.admit(&at(1_002)).is_admit());
+    }
+
+    #[test]
+    fn cost_weighted_sheds_wide_demands_first() {
+        let policy = CostWeightedAdmission::new(4, 10);
+        let at = |fan_out, submission| AdmissionLoad {
+            fan_out,
+            submission,
+            ..AdmissionLoad::default()
+        };
+        // 4 cost units available: a 6-seller fan-out is refused (with the
+        // deficit-covering hint) while a 3-seller fan-out still clears —
+        // wide demands shed first at identical load.
+        assert_eq!(
+            policy.admit(&at(6, 0)),
+            AdmissionDecision::Shed {
+                retry_after: Some(20)
+            }
+        );
+        assert!(policy.admit(&at(3, 1)).is_admit());
+        // One unit left: even a 2-seller fan-out now sheds, a singleton
+        // clears.
+        assert!(!policy.admit(&at(2, 2)).is_admit());
+        assert!(policy.admit(&at(1, 3)).is_admit());
+    }
+
+    #[test]
+    fn quota_admission_is_per_class_and_windowed() {
+        let policy = QuotaAdmission::new(10, 1).with_quota(7, 2);
+        let at = |scenario, submission| AdmissionLoad {
+            scenario,
+            submission,
+            ..AdmissionLoad::default()
+        };
+        // Class 7 holds a 2-per-window quota; the keyless class gets the
+        // default 1 — and neither eats into the other.
+        assert!(policy.admit(&at(Some(7), 0)).is_admit());
+        assert!(policy.admit(&at(Some(7), 1)).is_admit());
+        assert_eq!(
+            policy.admit(&at(Some(7), 2)),
+            AdmissionDecision::Shed {
+                retry_after: Some(8)
+            }
+        );
+        assert!(policy.admit(&at(None, 3)).is_admit());
+        assert!(!policy.admit(&at(None, 4)).is_admit());
+        // The next window resets every class.
+        assert!(policy.admit(&at(Some(7), 10)).is_admit());
+        assert!(policy.admit(&at(None, 11)).is_admit());
+    }
+
+    #[test]
+    fn hysteresis_holds_shed_until_the_exit_band() {
+        let policy = Hysteresis::new(QueueDepthAdmission { max_queue_depth: 8 }, 3);
+        let at = |queue_depth| AdmissionLoad {
+            queue_depth,
+            ..AdmissionLoad::default()
+        };
+        // Below the enter bound: plain delegation.
+        assert!(policy.admit(&at(8)).is_admit());
+        // Crossing it enters shed mode…
+        assert!(!policy.admit(&at(9)).is_admit());
+        // …and depths inside the band (3, 8] keep shedding where the bare
+        // threshold would flap back to admit, hinting the excess backlog.
+        assert_eq!(
+            policy.admit(&at(6)),
+            AdmissionDecision::Shed {
+                retry_after: Some(3)
+            }
+        );
+        assert!(!policy.admit(&at(4)).is_admit());
+        // Only the exit band re-arms admission.
+        assert!(policy.admit(&at(3)).is_admit());
+        assert!(policy.admit(&at(8)).is_admit());
+    }
+
+    /// The counter contract pinned: `demands_submitted` counts demands
+    /// *accepted* by `submit_demand` (its help text), so a shed demand
+    /// moves `demands_shed` and nothing else — no submission count, no
+    /// sessions, no settlement.
+    #[test]
+    fn a_shed_demand_increments_only_the_shed_counter() {
+        let exchange = Exchange::new(ExchangeConfig::default());
+        let driver = ScenarioDriver::new(named_scenarios()[0].clone());
+        exchange
+            .register_seller(driver.seller(0, 0, false))
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        // Warm-up admission so the baseline is a live book.
+        exchange.set_admission(Some(Arc::new(QueueDepthAdmission {
+            max_queue_depth: usize::MAX,
+        })));
+        exchange
+            .submit_demand(driver.demand(0, 1, &mut rng))
+            .unwrap();
+        let before = exchange.metrics();
+        exchange.set_admission(Some(Arc::new(QueueDepthAdmission { max_queue_depth: 0 })));
+        let did = exchange
+            .submit_demand(driver.demand(0, 2, &mut rng))
+            .unwrap();
+        assert!(matches!(
+            exchange.demand_status(did),
+            Some(DemandStatus::Shed { .. })
+        ));
+        let after = exchange.metrics();
+        assert_eq!(after.demands_shed, before.demands_shed + 1);
+        assert_eq!(
+            after.demands_submitted, before.demands_submitted,
+            "a shed demand was counted as accepted"
+        );
+        assert_eq!(
+            after.sessions_opened, before.sessions_opened,
+            "a shed demand opened sessions"
+        );
+        assert_eq!(after.demands_settled, before.demands_settled);
+    }
+
+    /// Shed verdicts ride the demand status with their hint intact.
+    #[test]
+    fn shed_status_carries_the_retry_hint() {
+        let exchange = Exchange::new(ExchangeConfig::default());
+        let driver = ScenarioDriver::new(named_scenarios()[0].clone());
+        exchange
+            .register_seller(driver.seller(0, 0, false))
+            .unwrap();
+        // A drained token bucket: every consultation sheds with a hint.
+        exchange.set_admission(Some(Arc::new(TokenBucketAdmission::new(1, 4))));
+        let mut rng = StdRng::seed_from_u64(5);
+        let first = exchange
+            .submit_demand(driver.demand(0, 1, &mut rng))
+            .unwrap();
+        let second = exchange
+            .submit_demand(driver.demand(0, 2, &mut rng))
+            .unwrap();
+        assert!(matches!(
+            exchange.demand_status(first),
+            Some(DemandStatus::Shed { retry_after: None })
+                | Some(DemandStatus::Settled(_))
+                | Some(DemandStatus::Matching { .. })
+        ));
+        match exchange.demand_status(second) {
+            Some(DemandStatus::Shed {
+                retry_after: Some(wait),
+            }) => assert!(wait >= 1),
+            other => panic!("expected a hinted shed, got {other:?}"),
+        }
+        exchange.drain(1);
+    }
+
+    /// The backoff model: under a refilling bucket, shed demands re-enter
+    /// and some are eventually admitted — and the ledger still conserves
+    /// with retries counted as fresh attempts.
+    #[test]
+    fn retry_model_recovers_shed_demands_and_conserves() {
+        let mut spec = named_scenarios()[0].clone();
+        spec.retry = Some(RetryPolicy {
+            max_retries: 3,
+            default_backoff: 1,
+        });
+        let exchange = Exchange::new(ExchangeConfig::default());
+        exchange.set_admission(Some(Arc::new(TokenBucketAdmission::new(2, 2))));
+        let driver = ScenarioDriver::new(spec);
+        let outcome = driver.run(&exchange);
+        outcome.conservation().expect("conservation under retries");
+        assert!(outcome.shed > 0, "the bucket never shed");
+        assert!(outcome.retries > 0, "no shed demand was ever retried");
+        assert!(outcome.recovered > 0, "no retried demand was ever admitted");
+        assert!(
+            outcome.attempts >= outcome.retries,
+            "retries are attempts too"
+        );
+        // Pure loss for comparison: same seed, no retry model — strictly
+        // fewer attempts, and nothing recovered.
+        let mut pure = named_scenarios()[0].clone();
+        pure.retry = None;
+        let exchange2 = Exchange::new(ExchangeConfig::default());
+        exchange2.set_admission(Some(Arc::new(TokenBucketAdmission::new(2, 2))));
+        let base = ScenarioDriver::new(pure).run(&exchange2);
+        base.conservation().expect("baseline conservation");
+        assert_eq!(base.retries, 0);
+        assert_eq!(base.recovered, 0);
+        assert!(outcome.attempts > base.attempts);
     }
 }
