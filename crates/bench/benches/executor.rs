@@ -1,0 +1,231 @@
+//! E14 — executor latency tolerance: the same session book drained by the
+//! thread-pool backend (a worker *blocks* for the whole course — the
+//! inline-training model of a blocking remote call) and by the async
+//! backend (courses resolve off-slot through a
+//! [`vfl_exchange::SimulatedRemoteResolver`]; the router and its few
+//! course tasks never block on latency), swept across simulated course
+//! latencies from µs to 100 ms.
+//!
+//! The shape this measures: with `S` sessions on private-key markets
+//! (every course is paid, nothing collapses into cache hits), `C` courses
+//! per session, `W` workers, and course latency `L`, the thread pool's
+//! drain wall is ≈ `S·C·L / W` — it *collapses linearly in L* once `L`
+//! dominates, because every in-flight course holds a worker hostage. The
+//! async backend keeps all `S` sessions' courses in flight at once
+//! (in-flight courses are timer entries, not threads), so its wall is
+//! ≈ `C·L` — the pipeline depth of ONE session. Two gates, asserted here:
+//! at 10 ms the async backend must be ≥ 3× the thread pool's throughput,
+//! and the async wall must degrade sub-linearly where the thread pool's
+//! is linear (collapse factor across the sweep at most half the thread
+//! pool's). Outcomes are asserted bit-identical per latency — the speedup
+//! is only meaningful because the backends agree on every result.
+//!
+//! Custom harness (no criterion): the unit is a whole drain. Results land
+//! in `results/BENCH_executor.json`. `EXECUTOR_BENCH_SESSIONS` overrides
+//! the book size (default 48).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use vfl_bench::exchange_setup::SpinGainProvider;
+use vfl_bench::report::results_dir;
+use vfl_exchange::{
+    Exchange, ExchangeConfig, ExecutorBackend, MarketSpec, SessionOrder, SimulatedRemoteResolver,
+};
+use vfl_market::{
+    GainProvider, Listing, MarketConfig, Outcome, ReservedPrice, StrategicData, StrategicTask,
+    TableGainProvider,
+};
+use vfl_sim::BundleMask;
+
+const WORKERS: usize = 4;
+const LATENCIES: &[Duration] = &[
+    Duration::from_micros(10),
+    Duration::from_micros(100),
+    Duration::from_millis(1),
+    Duration::from_millis(10),
+    Duration::from_millis(100),
+];
+
+fn sessions() -> usize {
+    std::env::var("EXECUTOR_BENCH_SESSIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(48)
+}
+
+fn listings_and_gains(m: usize) -> (Vec<Listing>, Vec<f64>) {
+    let listings: Vec<Listing> = (0..4)
+        .map(|i| Listing {
+            bundle: BundleMask::singleton(i),
+            reserved: ReservedPrice::new(4.0 + i as f64 * 1.5, 0.6 + i as f64 * 0.15)
+                .expect("valid reserve"),
+        })
+        .collect();
+    let gains = (0..4)
+        .map(|i| 0.05 + 0.30 * ((m * 5 + i * 7) % 11) as f64 / 10.0)
+        .collect();
+    (listings, gains)
+}
+
+fn order(gains: &[f64], seed: u64) -> SessionOrder {
+    SessionOrder {
+        cfg: MarketConfig {
+            utility_rate: 700.0 + 150.0 * (seed % 4) as f64,
+            budget: 11.0,
+            rate_cap: 20.0,
+            seed,
+            ..MarketConfig::default()
+        },
+        task: Box::new(StrategicTask::new(0.30, 6.0, 0.9).expect("valid opening")),
+        data: Box::new(StrategicData::with_gains(gains.to_vec())),
+    }
+}
+
+/// One full drain of `n` sessions over private-key markets, every course
+/// costing `latency`. `backend: None` is the thread pool, whose provider
+/// *blocks* (sleeps) `latency` per training; `Some(tasks)` is the async
+/// backend with plain table providers behind a [`SimulatedRemoteResolver`]
+/// carrying the same latency off-thread. Returns wall time and outcomes.
+fn run_once(n: usize, latency: Duration, backend: Option<usize>) -> (Duration, Vec<Outcome>) {
+    let exchange = Exchange::new(ExchangeConfig::default());
+    let sids: Vec<_> = (0..n)
+        .map(|m| {
+            let (listings, gains) = listings_and_gains(m);
+            let table =
+                TableGainProvider::new(listings.iter().zip(&gains).map(|(l, &g)| (l.bundle, g)));
+            let provider: Arc<dyn GainProvider + Send + Sync> = if backend.is_some() {
+                Arc::new(table)
+            } else {
+                Arc::new(SpinGainProvider::sleeping(table, latency))
+            };
+            let market = exchange
+                .register_market(MarketSpec {
+                    provider,
+                    listings: Arc::new(listings.clone()),
+                    evaluation_key: None, // private cache: every course is paid
+                    name: format!("m{m}"),
+                })
+                .expect("register market");
+            exchange
+                .submit(market, order(&gains, m as u64))
+                .expect("submit session")
+        })
+        .collect();
+    if let Some(course_tasks) = backend {
+        exchange.set_executor(ExecutorBackend::Async {
+            course_tasks,
+            resolver: Arc::new(SimulatedRemoteResolver::new(latency)),
+        });
+    }
+    let start = Instant::now();
+    let report = exchange.drain(WORKERS);
+    let wall = start.elapsed();
+    assert_eq!(report.failed, 0, "benchmark sessions must not fail");
+    assert_eq!(report.closed, n, "every session closes");
+    let outcomes = sids
+        .iter()
+        .map(|&sid| {
+            *exchange
+                .take(sid)
+                .expect("terminal")
+                .expect("closed outcome")
+        })
+        .collect();
+    (wall, outcomes)
+}
+
+fn main() {
+    let n = sessions();
+    println!("E14 executor latency tolerance: {n} sessions, {WORKERS} workers / course tasks");
+    println!();
+    println!("latency      thread_ms     async_ms      thread_sess_s  async_sess_s  speedup");
+
+    let mut rows = Vec::new();
+    let mut speedup_at_10ms = 0.0f64;
+    let mut thread_walls = Vec::new();
+    let mut async_walls = Vec::new();
+    for &latency in LATENCIES {
+        let (thread_wall, thread_outcomes) = run_once(n, latency, None);
+        let (async_wall, async_outcomes) = run_once(n, latency, Some(WORKERS));
+        assert_eq!(
+            thread_outcomes, async_outcomes,
+            "{latency:?}: backends must agree bit for bit"
+        );
+        let speedup = thread_wall.as_secs_f64() / async_wall.as_secs_f64();
+        let thread_tp = n as f64 / thread_wall.as_secs_f64();
+        let async_tp = n as f64 / async_wall.as_secs_f64();
+        println!(
+            "latency {:>8} {:>12.2} {:>12.2} {:>14.0} {:>13.0}  speedup {:.2}x",
+            format!("{latency:?}"),
+            thread_wall.as_secs_f64() * 1e3,
+            async_wall.as_secs_f64() * 1e3,
+            thread_tp,
+            async_tp,
+            speedup
+        );
+        if latency == Duration::from_millis(10) {
+            speedup_at_10ms = speedup;
+        }
+        thread_walls.push(thread_wall.as_secs_f64());
+        async_walls.push(async_wall.as_secs_f64());
+        rows.push(format!(
+            "    {{ \"latency_us\": {}, \"thread_ms\": {:.3}, \"async_ms\": {:.3}, \
+             \"thread_sessions_per_sec\": {:.1}, \"async_sessions_per_sec\": {:.1}, \
+             \"speedup\": {:.3} }}",
+            latency.as_micros(),
+            thread_wall.as_secs_f64() * 1e3,
+            async_wall.as_secs_f64() * 1e3,
+            thread_tp,
+            async_tp,
+            speedup
+        ));
+    }
+
+    // Collapse factor: how much the wall grew from the cheapest to the
+    // most expensive course. The thread pool is ≈ linear in latency; the
+    // async backend must degrade sub-linearly (its in-flight window, not
+    // its thread count, absorbs the latency).
+    let thread_collapse = thread_walls.last().unwrap() / thread_walls.first().unwrap();
+    let async_collapse = async_walls.last().unwrap() / async_walls.first().unwrap();
+    println!();
+    println!("collapse across the sweep: thread {thread_collapse:.0}x, async {async_collapse:.0}x");
+    assert!(
+        speedup_at_10ms >= 3.0,
+        "async must be >= 3x thread-pool throughput at 10ms course latency, got {speedup_at_10ms:.2}x"
+    );
+    assert!(
+        async_collapse <= thread_collapse / 2.0,
+        "async wall must degrade sub-linearly where the thread pool collapses \
+         (async {async_collapse:.0}x vs thread {thread_collapse:.0}x)"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"executor\",\n  \"experiment\": \"E14\",\n  \
+         \"sessions\": {n},\n  \"workers\": {WORKERS},\n  \
+         \"speedup_at_10ms\": {speedup_at_10ms:.3},\n  \
+         \"thread_collapse\": {thread_collapse:.1},\n  \
+         \"async_collapse\": {async_collapse:.1},\n  \
+         \"sweep\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = results_dir().join("BENCH_executor.json");
+    std::fs::write(&path, &json).expect("write BENCH_executor.json");
+    println!("\nwrote {}", path.display());
+    // Mirror into the repo-root results/ when it is a distinct directory
+    // (cargo bench runs with the package as cwd, so results_dir() resolves
+    // to crates/bench/results there).
+    let root = PathBuf::from("../../results");
+    let distinct = match (
+        path.parent().and_then(|p| p.canonicalize().ok()),
+        root.canonicalize().ok(),
+    ) {
+        (Some(a), Some(b)) => a != b,
+        _ => false,
+    };
+    if distinct {
+        let mirror = root.join("BENCH_executor.json");
+        std::fs::write(&mirror, &json).expect("write root BENCH_executor.json");
+        println!("wrote {}", mirror.display());
+    }
+}

@@ -22,6 +22,7 @@
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use vfl_bench::exchange_setup::SpinGainProvider;
 use vfl_bench::report::results_dir;
 use vfl_exchange::{Exchange, ExchangeConfig, ExchangeTelemetry, MarketSpec, SessionOrder, STAGES};
 use vfl_market::{
@@ -33,20 +34,6 @@ use vfl_sim::BundleMask;
 const REPS: usize = 5;
 const WORKERS: usize = 4;
 const SPIN: Duration = Duration::from_micros(200);
-
-/// A training that busy-spins for a fixed wall-clock slice before the
-/// table lookup — the µs-scale stand-in for a real model fit.
-struct SpinProvider(TableGainProvider);
-
-impl GainProvider for SpinProvider {
-    fn gain(&self, bundle: BundleMask) -> vfl_market::Result<f64> {
-        let start = Instant::now();
-        while start.elapsed() < SPIN {
-            std::hint::spin_loop();
-        }
-        self.0.gain(bundle)
-    }
-}
 
 fn listings_and_gains(m: usize) -> (Vec<Listing>, Vec<f64>) {
     let listings: Vec<Listing> = (0..4)
@@ -97,7 +84,7 @@ fn run_once(
             let table =
                 TableGainProvider::new(listings.iter().zip(&gains).map(|(l, &g)| (l.bundle, g)));
             let provider: Arc<dyn GainProvider + Send + Sync> = if spin {
-                Arc::new(SpinProvider(table))
+                Arc::new(SpinGainProvider::new(table, SPIN))
             } else {
                 Arc::new(table)
             };

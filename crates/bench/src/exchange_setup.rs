@@ -107,6 +107,12 @@ impl TrainingRecorder {
     pub fn set(&self) -> std::collections::HashSet<(u64, u64)> {
         self.trained.lock().unwrap().iter().copied().collect()
     }
+
+    /// Total trainings recorded, repeats included — the probe for "this
+    /// course was paid exactly N times" assertions.
+    pub fn count(&self) -> usize {
+        self.trained.lock().unwrap().len()
+    }
 }
 
 /// A [`vfl_market::TableGainProvider`] wrapper that records each training
@@ -141,6 +147,54 @@ impl vfl_market::GainProvider for CountingGainProvider {
             .lock()
             .unwrap()
             .push((self.eval_key, bundle.0));
+        self.inner.gain(bundle)
+    }
+}
+
+/// A training that costs a fixed wall-clock slice before the table lookup —
+/// the stand-in for a real model fit, shared by the telemetry bench (E11),
+/// the executor bench (E14), and the executor examples so their "course
+/// cost" means the same thing. Two cost models: [`SpinGainProvider::new`]
+/// busy-spins (µs-scale precision, burns the core — right for measuring
+/// overhead against real CPU work), [`SpinGainProvider::sleeping`] blocks in
+/// `thread::sleep` (the worker yields, modeling a blocking remote call —
+/// right for latency-tolerance comparisons where workers must overlap).
+pub struct SpinGainProvider {
+    inner: vfl_market::TableGainProvider,
+    latency: std::time::Duration,
+    sleep: bool,
+}
+
+impl SpinGainProvider {
+    /// Wraps `inner`, busy-spinning `latency` of wall clock per training.
+    pub fn new(inner: vfl_market::TableGainProvider, latency: std::time::Duration) -> Self {
+        SpinGainProvider {
+            inner,
+            latency,
+            sleep: false,
+        }
+    }
+
+    /// Wraps `inner`, blocking in `thread::sleep(latency)` per training.
+    pub fn sleeping(inner: vfl_market::TableGainProvider, latency: std::time::Duration) -> Self {
+        SpinGainProvider {
+            inner,
+            latency,
+            sleep: true,
+        }
+    }
+}
+
+impl vfl_market::GainProvider for SpinGainProvider {
+    fn gain(&self, bundle: BundleMask) -> Result<f64> {
+        if self.sleep {
+            std::thread::sleep(self.latency);
+        } else {
+            let start = std::time::Instant::now();
+            while start.elapsed() < self.latency {
+                std::hint::spin_loop();
+            }
+        }
         self.inner.gain(bundle)
     }
 }

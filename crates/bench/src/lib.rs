@@ -12,6 +12,7 @@ pub mod plot;
 pub mod report;
 pub mod runner;
 pub mod setup;
+pub mod worlds;
 
 pub use params::{BaseModelKind, DatasetParams, RunProfile};
 pub use runner::{run_arm, run_arm_many, run_imperfect, Arm, ImperfectRun};

@@ -1,0 +1,590 @@
+//! Backend-equivalence tier — the proof burden of the executor seam.
+//!
+//! `Exchange::drain` runs on one of two backends (see
+//! `vfl_exchange::executor`): the default thread pool, where the worker
+//! that dispatches a session also trains its course inline, and the async
+//! backend, where a single router task owns every dispatch decision and N
+//! course tasks resolve trainings concurrently through a
+//! [`CourseResolver`]. The seam's contract is that the backend is *pure
+//! mechanism*: no outcome, settlement, epoch record, counter (besides the
+//! schedule-shaped `course_waits`), or journal event may depend on which
+//! backend ran, on the course-task count, or on simulated course latency.
+//! This tier proves that contract:
+//!
+//! - **world sweep** — every replay-equivalence world drained under both
+//!   backends must agree bit for bit: outcomes, demand reports (winners,
+//!   epochs, clearing prices, quote tables with histories), the epoch
+//!   ledger, the trained-course set, counters, and the canonical journal
+//!   event multisets;
+//! - **scenario sweep** — all six named open-world scenarios
+//!   ([`vfl_exchange::named_scenarios`]) produce identical
+//!   `ScenarioOutcome` counts, winners, and epoch histories on both
+//!   backends;
+//! - **async determinism** — the async backend's journal is *byte*
+//!   identical across course-task counts and simulated latencies (the
+//!   router journals everything itself, applying completions in strict
+//!   request order);
+//! - **fault injection** — a resolver that fails mid-drain fails exactly
+//!   the paying session (waitlisted rivals are woken once, retry, and
+//!   close normally; nothing is stranded, nothing re-trains); crashes
+//!   sealed *inside* the async course path and truncations of
+//!   async-produced journals recover bit-identically on the thread
+//!   backend (cross-backend recovery);
+//! - **observe-only telemetry** — under the async backend an attached
+//!   telemetry changes nothing (byte-identical journals — stronger than
+//!   the thread tier's multiset compare, because the router is
+//!   single-threaded), while the `course_train` histogram spans
+//!   dispatch → applied (≥ the simulated latency) and `dispatch_wait`
+//!   still populates off-slot.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use vfl_bench::exchange_setup::TrainingRecorder;
+use vfl_bench::worlds::{
+    build_world, check_equivalence, clearing_for, demand_for, n_sellers, n_worlds,
+    plain_market_spec, plain_order, seller_spec, snapshot, snapshot_with, Reference, World,
+    N_DEMANDS, N_EPOCH_DEMANDS, N_PLAIN,
+};
+use vfl_exchange::{
+    frame_boundaries, named_scenarios, read_events, CourseFuture, CourseOrder, CourseResolver,
+    CrashPoint, Exchange, ExchangeConfig, ExchangeEvent, ExchangeTelemetry, ExecutorBackend,
+    Journal, LocalResolver, MetricsSnapshot, ScenarioDriver, SimulatedRemoteResolver,
+};
+use vfl_market::MarketError;
+
+/// The canonical async backend the sweeps run: a few course tasks over
+/// the zero-latency local resolver.
+fn local_async(course_tasks: usize) -> ExecutorBackend {
+    ExecutorBackend::Async {
+        course_tasks,
+        resolver: Arc::new(LocalResolver),
+    }
+}
+
+/// Drains a world on the async backend and snapshots it (the async twin
+/// of [`snapshot`]).
+fn snapshot_async(world: &World, backend: ExecutorBackend) -> Reference {
+    snapshot_with(world, |exchange| {
+        exchange.set_executor(backend);
+        exchange.drain(2);
+    })
+}
+
+/// `course_waits` is the one schedule-shaped counter (how often a session
+/// parked behind an in-flight twin training depends on interleaving);
+/// everything else must be backend-independent.
+fn scheduling_free(metrics: &MetricsSnapshot) -> MetricsSnapshot {
+    let mut m = *metrics;
+    m.course_waits = 0;
+    m
+}
+
+/// Canonical journal view for cross-backend comparison: the event
+/// multiset, with the two schedule-shaped records normalized —
+/// `SessionDispatched` (the journal's record *of* the schedule) reduces
+/// to the set of sessions that ran, and `CourseRequested` drops the
+/// requesting session (which rival pays the training vs hits the cache is
+/// a race the thread backend does not pin; the *set* of answered
+/// `(eval_key, bundle)` requests and the trained `CourseServed` records
+/// are still compared exactly).
+fn canonical_journal(bytes: &[u8]) -> (Vec<String>, BTreeSet<u64>) {
+    let (events, dropped) = read_events(bytes);
+    assert_eq!(dropped, 0, "no torn tail in a completed run's journal");
+    let mut frames = Vec::new();
+    let mut dispatched = BTreeSet::new();
+    for event in &events {
+        match event {
+            ExchangeEvent::SessionDispatched { session } => {
+                dispatched.insert(session.0);
+            }
+            ExchangeEvent::CourseRequested {
+                eval_key, bundle, ..
+            } => frames.push(format!("CourseRequested({eval_key}, {})", bundle.0)),
+            other => frames.push(format!("{other:?}")),
+        }
+    }
+    frames.sort_unstable();
+    (frames, dispatched)
+}
+
+/// Field-by-field equality of two references built from independent
+/// builds of the same world index (ids are deterministic, so the maps key
+/// identically).
+fn assert_references_equal(a: &Reference, b: &Reference, ctx: &str) {
+    assert_eq!(
+        a.outcomes.len(),
+        b.outcomes.len(),
+        "{ctx}: session sets differ"
+    );
+    for (sid, outcome) in &a.outcomes {
+        assert_eq!(
+            outcome,
+            b.outcomes
+                .get(sid)
+                .unwrap_or_else(|| panic!("{ctx}: session {sid} missing")),
+            "{ctx}: session {sid} diverged"
+        );
+    }
+    assert_eq!(a.epochs, b.epochs, "{ctx}: epoch ledger diverged");
+    assert_eq!(a.trained, b.trained, "{ctx}: trained-course sets diverged");
+    assert_eq!(a.reports.len(), b.reports.len(), "{ctx}");
+    for (did, ra) in &a.reports {
+        let rb = &b.reports[did];
+        assert_eq!(ra.winner, rb.winner, "{ctx}: demand {did} winner");
+        assert_eq!(ra.epoch, rb.epoch, "{ctx}: demand {did} epoch");
+        assert_eq!(
+            ra.clearing_price, rb.clearing_price,
+            "{ctx}: demand {did} clearing price"
+        );
+        assert_eq!(ra.quotes.len(), rb.quotes.len(), "{ctx}: demand {did}");
+        for (qa, qb) in ra.quotes.iter().zip(&rb.quotes) {
+            assert_eq!(qa.seller, qb.seller, "{ctx}");
+            assert_eq!(qa.seller_name, qb.seller_name, "{ctx}");
+            assert_eq!(qa.session, qb.session, "{ctx}");
+            assert_eq!(qa.state, qb.state, "{ctx}: demand {did} quote state");
+            assert_eq!(qa.history, qb.history, "{ctx}: demand {did} history");
+        }
+        assert_eq!(
+            ra.loser_probe_spend(),
+            rb.loser_probe_spend(),
+            "{ctx}: demand {did} probe spend"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// World and scenario sweeps
+// ---------------------------------------------------------------------------
+
+/// The headline property: every replay world drained on the thread pool
+/// and on the async backend agrees bit for bit — outcomes, settlements,
+/// epochs, trainings, counters, and journal content.
+#[test]
+fn thread_and_async_backends_agree_over_every_replay_world() {
+    for world in 0..n_worlds() {
+        let threaded = build_world(world);
+        let reference = snapshot(&threaded);
+        let asynced = build_world(world);
+        let async_ref = snapshot_async(&asynced, local_async(4));
+        assert_references_equal(&reference, &async_ref, &format!("world {world}"));
+        assert_eq!(
+            scheduling_free(&threaded.exchange.metrics()),
+            scheduling_free(&asynced.exchange.metrics()),
+            "world {world}: counters diverged"
+        );
+        assert_eq!(
+            canonical_journal(&threaded.sink.bytes()),
+            canonical_journal(&asynced.sink.bytes()),
+            "world {world}: journal content diverged"
+        );
+    }
+}
+
+/// All six named open-world scenarios (churn, adversaries, epochs,
+/// bursts) are backend-equivalent: same conservation counts, same
+/// winners, same epoch history, same counters.
+#[test]
+fn named_scenarios_are_backend_equivalent() {
+    for spec in named_scenarios() {
+        let name = spec.name.clone();
+        let run = |backend: Option<ExecutorBackend>| {
+            let exchange = Exchange::new(ExchangeConfig::default());
+            if let Some(backend) = backend {
+                exchange.set_executor(backend);
+            }
+            let outcome = ScenarioDriver::new(spec.clone()).run(&exchange);
+            outcome.conservation().expect("scenario conserves demands");
+            let winners: Vec<_> = outcome
+                .demand_ids
+                .iter()
+                .map(|&did| {
+                    exchange
+                        .take_demand(did)
+                        .map(|r| (r.winner, r.epoch, r.quotes.len()))
+                })
+                .collect();
+            (outcome, winners, exchange.epoch_history())
+        };
+        let (threaded, thread_winners, thread_epochs) = run(None);
+        let (asynced, async_winners, async_epochs) = run(Some(local_async(3)));
+        assert_eq!(threaded.attempts, asynced.attempts, "{name}");
+        assert_eq!(threaded.admitted, asynced.admitted, "{name}");
+        assert_eq!(threaded.shed, asynced.shed, "{name}");
+        assert_eq!(threaded.rejected, asynced.rejected, "{name}");
+        assert_eq!(threaded.settled, asynced.settled, "{name}");
+        assert_eq!(threaded.matched, asynced.matched, "{name}");
+        assert_eq!(threaded.expired, asynced.expired, "{name}");
+        assert_eq!(threaded.deals, asynced.deals, "{name}");
+        assert_eq!(threaded.retries, asynced.retries, "{name}");
+        assert_eq!(threaded.recovered, asynced.recovered, "{name}");
+        assert_eq!(
+            threaded.sellers_registered, asynced.sellers_registered,
+            "{name}"
+        );
+        assert_eq!(threaded.demand_ids, asynced.demand_ids, "{name}");
+        assert_eq!(
+            scheduling_free(&threaded.metrics),
+            scheduling_free(&asynced.metrics),
+            "{name}: counters diverged"
+        );
+        assert_eq!(thread_winners, async_winners, "{name}: winners diverged");
+        assert_eq!(thread_epochs, async_epochs, "{name}: epochs diverged");
+    }
+}
+
+/// The async backend is deterministic *per seed* in the strongest sense:
+/// the journal it produces is byte-identical for any course-task count
+/// and any simulated course latency, because the single router journals
+/// every frame itself and applies completions in strict request order.
+#[test]
+fn async_journals_are_byte_identical_across_task_counts_and_latencies() {
+    let world = 5usize;
+    let run = |backend: ExecutorBackend| {
+        let w = build_world(world);
+        let reference = snapshot_async(&w, backend);
+        (w.sink.bytes(), w.exchange.metrics(), reference)
+    };
+    let (base_bytes, base_metrics, base_ref) = run(local_async(1));
+    let arms: Vec<(String, ExecutorBackend)> = vec![
+        ("local/4-tasks".into(), local_async(4)),
+        (
+            "remote-300us/2-tasks".into(),
+            ExecutorBackend::Async {
+                course_tasks: 2,
+                resolver: Arc::new(SimulatedRemoteResolver::new(Duration::from_micros(300))),
+            },
+        ),
+        (
+            "remote-1ms/8-tasks".into(),
+            ExecutorBackend::Async {
+                course_tasks: 8,
+                resolver: Arc::new(SimulatedRemoteResolver::new(Duration::from_millis(1))),
+            },
+        ),
+    ];
+    for (name, backend) in arms {
+        let (bytes, metrics, reference) = run(backend);
+        assert_eq!(bytes, base_bytes, "{name}: journal bytes diverged");
+        assert_eq!(metrics, base_metrics, "{name}: counters diverged");
+        assert_references_equal(&base_ref, &reference, &name);
+    }
+    // And the whole family agrees with the thread-pool reference.
+    let threaded = build_world(world);
+    assert_references_equal(&snapshot(&threaded), &base_ref, "thread vs async");
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection in the async course path
+// ---------------------------------------------------------------------------
+
+/// A resolver that fails the first `fail_first` course resolutions with a
+/// gain error and then behaves like [`LocalResolver`] — the remote-course
+/// failure model.
+#[derive(Debug)]
+struct FlakyResolver {
+    fail_first: usize,
+    seen: AtomicUsize,
+}
+
+impl CourseResolver for FlakyResolver {
+    fn resolve(&self, order: &CourseOrder) -> CourseFuture {
+        if self.seen.fetch_add(1, Ordering::SeqCst) < self.fail_first {
+            Box::pin(std::future::ready(Err(MarketError::Gain(
+                "injected remote course failure".into(),
+            ))))
+        } else {
+            LocalResolver.resolve(order)
+        }
+    }
+}
+
+/// A failed course resolution fails exactly the paying session; every
+/// rival parked on the course waitlist is woken exactly once, retries the
+/// claim, and closes normally (one of them becoming the new payer). No
+/// session is stranded — the drain terminates with all sessions terminal
+/// — and no course is trained twice.
+#[test]
+fn a_failed_course_resolution_fails_only_the_paying_session() {
+    const SESSIONS: usize = 4;
+    let run = |backend: Option<ExecutorBackend>| {
+        let recorder = TrainingRecorder::default();
+        let exchange = Exchange::new(ExchangeConfig::default());
+        let market = exchange
+            .register_market(plain_market_spec(0, &recorder))
+            .expect("register market");
+        // Identical orders (same seed): every clean outcome is identical,
+        // so the failed payer's rivals can be checked against any of them.
+        let sids: Vec<_> = (0..SESSIONS)
+            .map(|_| exchange.submit(market, plain_order(0, 0)).expect("submit"))
+            .collect();
+        if let Some(backend) = backend {
+            exchange.set_executor(backend);
+        }
+        let report = exchange.drain(2);
+        let outcomes: Vec<_> = sids
+            .iter()
+            .map(|&sid| {
+                exchange
+                    .take(sid)
+                    .expect("terminal after drain")
+                    .map(|b| *b)
+                    .map_err(|e| e.to_string())
+            })
+            .collect();
+        (report, outcomes, recorder)
+    };
+
+    let (clean_report, clean_outcomes, clean_recorder) = run(None);
+    assert_eq!(clean_report.failed, 0);
+    let clean_outcome = clean_outcomes[0].clone();
+    for outcome in &clean_outcomes {
+        assert_eq!(
+            outcome, &clean_outcome,
+            "identical orders close identically"
+        );
+    }
+
+    let (report, outcomes, recorder) = run(Some(ExecutorBackend::Async {
+        course_tasks: 2,
+        resolver: Arc::new(FlakyResolver {
+            fail_first: 1,
+            seen: AtomicUsize::new(0),
+        }),
+    }));
+    assert_eq!(report.failed, 1, "exactly the paying session fails");
+    assert_eq!(
+        report.closed + report.failed,
+        SESSIONS,
+        "no session stranded"
+    );
+    let (failed, closed): (Vec<_>, Vec<_>) = outcomes.iter().partition(|o| o.is_err());
+    assert_eq!(failed.len(), 1);
+    assert!(
+        failed[0]
+            .as_ref()
+            .unwrap_err()
+            .contains("injected remote course failure"),
+        "the payer carries the resolver's error: {failed:?}"
+    );
+    for outcome in closed {
+        assert_eq!(
+            outcome, &clean_outcome,
+            "woken rivals close exactly like a clean run"
+        );
+    }
+    // The aborted claim released the key: a rival re-claimed and trained
+    // each course exactly once (no double-training, no retrain).
+    assert_eq!(
+        recorder.count(),
+        recorder.set().len(),
+        "every course trained at most once"
+    );
+    assert_eq!(
+        recorder.set(),
+        clean_recorder.set(),
+        "the retry pays exactly the clean run's courses"
+    );
+}
+
+/// Seals the journal at the `nth` crash point matching `pred` while the
+/// ASYNC backend drains, then proves the sealed journal recovers
+/// bit-identically on the thread backend — cross-backend crash recovery
+/// inside the async course path.
+fn async_crash_and_check(
+    world: usize,
+    nth: usize,
+    pred: impl Fn(&CrashPoint) -> bool + Send + Sync + 'static,
+    ctx: &str,
+) -> bool {
+    let w = build_world(world);
+    let fired = Arc::new(AtomicUsize::new(0));
+    {
+        let journal = w.journal.clone();
+        let fired = fired.clone();
+        w.exchange
+            .set_crash_hook(Some(Arc::new(move |point: &CrashPoint| {
+                if pred(point) && fired.fetch_add(1, Ordering::SeqCst) == nth {
+                    journal.seal();
+                }
+            })));
+    }
+    let reference = snapshot_async(&w, local_async(3));
+    let hit = fired.load(Ordering::SeqCst) > nth;
+    if hit {
+        assert!(w.journal.is_sealed(), "{ctx}: the crash must have sealed");
+    }
+    check_equivalence(
+        world,
+        &reference,
+        &w.sink.bytes(),
+        &w.plain_map,
+        &w.demand_map,
+        ctx,
+    );
+    hit
+}
+
+/// Crashes landing inside the async course path — after the router
+/// applied a training but before/after its journal record — recover
+/// bit-identically (the never-acknowledged course is legitimately
+/// re-trained; an acknowledged one never is).
+#[test]
+fn async_crashes_inside_the_course_path_recover_bit_identically() {
+    for world in 2..6 {
+        assert!(
+            async_crash_and_check(
+                world,
+                0,
+                |p| matches!(p, CrashPoint::CourseTrained { .. }),
+                &format!("world {world}: async crash after training, before its record"),
+            ),
+            "course crash point must fire under the async backend"
+        );
+        assert!(
+            async_crash_and_check(
+                world,
+                0,
+                |p| matches!(p, CrashPoint::CourseRecorded { .. }),
+                &format!("world {world}: async crash after the course record"),
+            ),
+            "course-recorded crash point must fire under the async backend"
+        );
+        assert!(
+            async_crash_and_check(
+                world,
+                1,
+                |p| matches!(p, CrashPoint::Dispatched(_)),
+                &format!("world {world}: async crash at dispatch"),
+            ),
+            "dispatch crash point must fire under the async backend"
+        );
+    }
+}
+
+/// A journal produced by the async backend, truncated at every event
+/// boundary, recovers and resumes (on the thread backend) to the async
+/// run's exact reference — the journal is backend-portable.
+#[test]
+fn truncated_async_journals_replay_bit_identically() {
+    let world = 4usize;
+    let w = build_world(world);
+    let reference = snapshot_async(&w, local_async(4));
+    let bytes = w.sink.bytes();
+    let boundaries = frame_boundaries(&bytes);
+    assert!(boundaries.len() > 8, "a real event stream");
+    for &cut in std::iter::once(&0usize).chain(boundaries.iter()) {
+        check_equivalence(
+            world,
+            &reference,
+            &bytes[..cut],
+            &w.plain_map,
+            &w.demand_map,
+            &format!("async world {world} cut {cut}/{}", bytes.len()),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry under the async backend
+// ---------------------------------------------------------------------------
+
+/// A journaled world-shaped fixture assembled from the shared generators,
+/// with an optional telemetry attachment (the one piece [`build_world`]
+/// does not parameterize).
+fn drained_async_fixture(
+    world: usize,
+    telemetry: Option<Arc<ExchangeTelemetry>>,
+    backend: ExecutorBackend,
+) -> (Vec<u8>, MetricsSnapshot, TrainingRecorder) {
+    let recorder = TrainingRecorder::default();
+    let (journal, sink) = Journal::in_memory();
+    let exchange = match telemetry {
+        Some(t) => Exchange::with_journal_and_telemetry(ExchangeConfig::default(), journal, t),
+        None => Exchange::with_journal(ExchangeConfig::default(), journal),
+    };
+    let market = exchange
+        .register_market(plain_market_spec(world, &recorder))
+        .expect("register market");
+    for s in 0..n_sellers(world) {
+        exchange
+            .register_seller(seller_spec(world, s, &recorder))
+            .expect("register seller");
+    }
+    exchange
+        .open_clearing(clearing_for(world))
+        .expect("open clearing");
+    for k in 0..N_PLAIN {
+        exchange
+            .submit(market, plain_order(world, k))
+            .expect("submit");
+    }
+    for d in 0..N_DEMANDS + N_EPOCH_DEMANDS {
+        exchange
+            .submit_demand(demand_for(world, d))
+            .expect("demand");
+    }
+    exchange.set_executor(backend);
+    exchange.drain(2);
+    (sink.bytes(), exchange.metrics(), recorder)
+}
+
+/// The observe-only invariant, re-proven under the async executor — and
+/// *stronger* than the thread tier's multiset compare: the router is the
+/// only journaling thread, so telemetry-on and telemetry-off drains must
+/// produce BYTE-identical journals.
+#[test]
+fn telemetry_is_observe_only_under_the_async_backend() {
+    let world = 6usize;
+    let (off_bytes, off_metrics, _) = drained_async_fixture(world, None, local_async(3));
+    let telemetry = ExchangeTelemetry::new();
+    let (on_bytes, on_metrics, _) =
+        drained_async_fixture(world, Some(telemetry.clone()), local_async(3));
+    assert_eq!(off_metrics, on_metrics, "telemetry moved a counter");
+    assert_eq!(
+        off_bytes, on_bytes,
+        "telemetry leaked into the async journal"
+    );
+}
+
+/// The stage histograms stay sane when courses resolve off-slot: every
+/// paid course lands one `course_train` sample spanning dispatch →
+/// applied (so its p50 is at least the simulated remote latency), the
+/// quantiles are ordered, and `dispatch_wait` still populates.
+#[test]
+fn async_stage_histograms_span_the_off_slot_course() {
+    let world = 6usize;
+    let latency = Duration::from_micros(500);
+    let telemetry = ExchangeTelemetry::new();
+    let (_, metrics, recorder) = drained_async_fixture(
+        world,
+        Some(telemetry.clone()),
+        ExecutorBackend::Async {
+            course_tasks: 3,
+            resolver: Arc::new(SimulatedRemoteResolver::new(latency)),
+        },
+    );
+    let train = telemetry
+        .stage_snapshot("course_train")
+        .expect("registered stage");
+    assert_eq!(
+        train.count, metrics.cache_misses,
+        "one course_train sample per paid course"
+    );
+    assert!(train.count >= recorder.set().len() as u64);
+    let (p50, p95, p99) = (train.p50(), train.p95(), train.p99());
+    assert!(
+        p50 >= latency.as_nanos() as u64,
+        "a dispatch→applied span covers the remote latency: p50 {p50}ns < {latency:?}"
+    );
+    assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+    assert!(p99 <= train.max);
+    let wait = telemetry
+        .stage_snapshot("dispatch_wait")
+        .expect("registered stage");
+    assert!(
+        wait.count > 0,
+        "queued sessions still settle dispatch_wait samples off-slot"
+    );
+}

@@ -12,17 +12,19 @@
 //! happen).
 
 use proptest::prelude::*;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use vfl_bench::exchange_setup::{register_cell, seller_cell, strategic_demand, strategic_order};
+use vfl_bench::exchange_setup::{
+    register_cell, seller_cell, strategic_demand, strategic_order, CountingGainProvider,
+    TrainingRecorder,
+};
 use vfl_bench::{BaseModelKind, PreparedMarket, RunProfile};
 use vfl_exchange::{
     BestResponse, Demand, DemandStatus, Exchange, ExchangeConfig, MarketSpec, QuoteState,
     SellerSpec, SessionStatus, SettleMode,
 };
 use vfl_market::{
-    run_bargaining, FailureReason, GainProvider, Listing, MarketConfig, OutcomeStatus,
-    RandomBundleData, ReservedPrice, StrategicData, StrategicTask, TableGainProvider,
+    run_bargaining, FailureReason, Listing, MarketConfig, OutcomeStatus, RandomBundleData,
+    ReservedPrice, StrategicData, StrategicTask, TableGainProvider,
 };
 use vfl_sim::BundleMask;
 use vfl_tabular::DatasetId;
@@ -199,21 +201,6 @@ fn matching_over_competing_prepared_sellers_settles_and_matches_direct_runs() {
     }
 }
 
-/// A gain provider that counts every training it performs — the probe for
-/// "a losing session never trains a model after settlement".
-#[derive(Clone)]
-struct CountingProvider {
-    inner: TableGainProvider,
-    calls: Arc<AtomicU64>,
-}
-
-impl GainProvider for CountingProvider {
-    fn gain(&self, bundle: BundleMask) -> vfl_market::Result<f64> {
-        self.calls.fetch_add(1, Ordering::Relaxed);
-        self.inner.gain(bundle)
-    }
-}
-
 /// A ladder market over singleton bundles: affordable opening reserves,
 /// rising with the index.
 fn ladder(gains: &[f64]) -> (TableGainProvider, Vec<Listing>) {
@@ -232,12 +219,14 @@ fn ladder(gains: &[f64]) -> (TableGainProvider, Vec<Listing>) {
 fn counting_seller(
     name: &str,
     gains: Vec<f64>,
-    calls: Arc<AtomicU64>,
+    recorder: &TrainingRecorder,
 ) -> (SellerSpec, Vec<Listing>) {
     let (inner, listings) = ladder(&gains);
     let spec = SellerSpec {
         market: MarketSpec {
-            provider: Arc::new(CountingProvider { inner, calls }),
+            // The recorder's eval-key tag is unused here (private caches);
+            // only the training count matters.
+            provider: Arc::new(CountingGainProvider::new(inner, 0, recorder)),
             listings: Arc::new(listings.clone()),
             evaluation_key: None, // private cache: every training is counted
             name: name.into(),
@@ -293,11 +282,11 @@ fn losing_session_never_trains_a_model_after_settlement() {
         })
         .expect("some seed negotiates >= 2 rounds on both landscapes");
 
-    let strong_calls = Arc::new(AtomicU64::new(0));
-    let weak_calls = Arc::new(AtomicU64::new(0));
+    let strong_calls = TrainingRecorder::default();
+    let weak_calls = TrainingRecorder::default();
     let exchange = Exchange::new(ExchangeConfig::default());
-    let (strong_spec, _) = counting_seller("strong", strong_gains, strong_calls.clone());
-    let (weak_spec, _) = counting_seller("weak", weak_gains, weak_calls.clone());
+    let (strong_spec, _) = counting_seller("strong", strong_gains, &strong_calls);
+    let (weak_spec, _) = counting_seller("weak", weak_gains, &weak_calls);
     let strong = exchange.register_seller(strong_spec).unwrap();
     exchange.register_seller(weak_spec).unwrap();
 
@@ -330,14 +319,11 @@ fn losing_session_never_trains_a_model_after_settlement() {
     // nothing after the cancellation (the drain ran the winner to its
     // conclusion afterwards, so any post-settlement training would show).
     assert_eq!(
-        weak_calls.load(Ordering::Relaxed),
+        weak_calls.count() as u64,
         1,
         "the losing candidate trained exactly its probe course"
     );
-    assert!(
-        strong_calls.load(Ordering::Relaxed) >= 2,
-        "the winner kept going"
-    );
+    assert!(strong_calls.count() >= 2, "the winner kept going");
     let outcome = exchange.take(loser.session).unwrap().unwrap();
     assert_eq!(
         outcome.status,

@@ -55,6 +55,24 @@ pub enum CourseServe {
     Busy,
 }
 
+/// Outcome of [`SharedGainCache::serve_softly`] — the split-phase serve
+/// protocol both executor backends are built on. `Claimed` hands the
+/// caller the training claim *without* running the course: the thread
+/// backend trains inline and settles the claim immediately, the async
+/// backend suspends the session and settles the claim when the course
+/// future resolves. Every claim must be settled with exactly one
+/// [`SharedGainCache::complete`] (success) or [`SharedGainCache::abort`]
+/// (failure) — a leaked claim parks that key's waiters forever.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum SoftServe {
+    /// Served from cache (hit counted, exactly like [`CourseServe::Hit`]).
+    Hit(f64),
+    /// The caller now owns the in-flight training claim for this key.
+    Claimed,
+    /// Another caller holds the claim — park on the waitlist.
+    Busy,
+}
+
 impl SharedGainCache {
     /// A cache with `n_shards` independent locks (clamped to >= 1).
     pub fn new(n_shards: usize) -> Self {
@@ -129,12 +147,36 @@ impl SharedGainCache {
         bundle: BundleMask,
         provider: &dyn GainProvider,
     ) -> Result<CourseServe> {
+        match self.serve_softly(eval_key, bundle) {
+            SoftServe::Hit(g) => Ok(CourseServe::Hit(g)),
+            SoftServe::Busy => Ok(CourseServe::Busy),
+            SoftServe::Claimed => match provider.gain(bundle) {
+                Ok(g) => {
+                    self.complete(eval_key, bundle, g);
+                    Ok(CourseServe::Computed(g))
+                }
+                Err(e) => {
+                    self.abort(eval_key, bundle);
+                    Err(e)
+                }
+            },
+        }
+    }
+
+    /// The claim phase of [`Self::serve`], without the course: a hit
+    /// returns immediately, a cold key hands the caller the in-flight
+    /// claim ([`SoftServe::Claimed`]), a contended key returns
+    /// [`SoftServe::Busy`]. The claim holder trains however it likes —
+    /// inline on the calling thread (thread-pool backend) or on a course
+    /// task while the session is suspended (async backend) — and MUST
+    /// settle the claim with [`Self::complete`] or [`Self::abort`].
+    pub(crate) fn serve_softly(&self, eval_key: u64, bundle: BundleMask) -> SoftServe {
         if let Some(g) = self.lookup(eval_key, bundle) {
-            return Ok(CourseServe::Hit(g));
+            return SoftServe::Hit(g);
         }
         let key = (eval_key, bundle.0);
         if !self.in_flight.lock().insert(key) {
-            return Ok(CourseServe::Busy);
+            return SoftServe::Busy;
         }
         // The miss above and the claim are not atomic: a trainer that ran
         // entirely in between (inserted its result, released its claim)
@@ -143,11 +185,28 @@ impl SharedGainCache {
         // — and journaled — twice.
         if let Some(g) = self.lookup(eval_key, bundle) {
             self.in_flight.lock().remove(&key);
-            return Ok(CourseServe::Hit(g));
+            return SoftServe::Hit(g);
         }
-        let result = self.compute(eval_key, bundle, provider);
+        SoftServe::Claimed
+    }
+
+    /// Lands a successful training under a [`SoftServe::Claimed`] claim:
+    /// counts the miss, inserts the result, and releases the claim — in
+    /// that order, so a woken waiter that re-probes after the release
+    /// always finds the value.
+    pub(crate) fn complete(&self, eval_key: u64, bundle: BundleMask, gain: f64) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let key = (eval_key, bundle.0);
+        self.shard(key).lock().insert(key, gain);
         self.in_flight.lock().remove(&key);
-        result.map(CourseServe::Computed)
+    }
+
+    /// Releases a [`SoftServe::Claimed`] claim after a failed training.
+    /// Nothing is inserted and no miss is counted (mirroring
+    /// [`Self::compute`], which counts only successful trainings); the
+    /// next caller inherits a fresh claim and retries.
+    pub(crate) fn abort(&self, eval_key: u64, bundle: BundleMask) {
+        self.in_flight.lock().remove(&(eval_key, bundle.0));
     }
 
     /// ΔG for `bundle` under `eval_key`: [`Self::lookup`] or, on a miss,
@@ -281,6 +340,37 @@ mod tests {
             cache.serve(3, unknown, &fixed).unwrap(),
             CourseServe::Computed(0.5)
         );
+    }
+
+    #[test]
+    fn serve_softly_claim_protocol_round_trips() {
+        let cache = SharedGainCache::new(4);
+        let b = BundleMask::singleton(0);
+        // Cold key: the first caller claims, contenders see Busy.
+        assert_eq!(cache.serve_softly(5, b), SoftServe::Claimed);
+        assert!(cache.is_training(5, b));
+        assert_eq!(cache.serve_softly(5, b), SoftServe::Busy);
+        // Completion lands the value, releases the claim, counts the miss.
+        cache.complete(5, b, 0.7);
+        assert!(!cache.is_training(5, b));
+        assert_eq!(cache.serve_softly(5, b), SoftServe::Hit(0.7));
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn abort_releases_the_claim_without_counting_a_miss() {
+        let cache = SharedGainCache::new(4);
+        let b = BundleMask::singleton(2);
+        assert_eq!(cache.serve_softly(6, b), SoftServe::Claimed);
+        cache.abort(6, b);
+        assert!(!cache.is_training(6, b));
+        assert!(cache.peek(6, b).is_none());
+        assert_eq!(cache.misses(), 0);
+        // The next caller inherits a fresh claim — nothing leaked.
+        assert_eq!(cache.serve_softly(6, b), SoftServe::Claimed);
+        cache.complete(6, b, 0.3);
+        assert_eq!(cache.peek(6, b), Some(0.3));
     }
 
     #[test]

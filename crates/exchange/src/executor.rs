@@ -1,0 +1,725 @@
+//! The async executor backend: VFL courses as futures that resolve
+//! off-slot.
+//!
+//! ## Router / course-task split
+//!
+//! [`Exchange::drain`] under [`ExecutorBackend::Async`] runs a single
+//! **router** on the calling thread. The router owns every dispatch
+//! decision: it is the only thread that runs session slices, appends
+//! journal frames, mutates the gain cache, or touches the store — the
+//! same linearization points as the thread backend, now serialized on
+//! one task. When a slice hits an uncached course it suspends
+//! (`SliceEnd::NeedCourse`, holding the cache's training claim) and the
+//! router ships a [`CourseOrder`] to a [`CourseResolver`], which returns
+//! a [`CourseFuture`]. N **course tasks** (plain threads driving a
+//! hand-rolled waker/ready-queue executor — no runtime dependency) poll
+//! those futures to completion and post results on a completion board.
+//!
+//! ## Why journal order is preserved
+//!
+//! The router applies completions **strictly in request order**, one at
+//! a time, between slice runs: completion `k+1` is buffered until `k`
+//! has been applied, however quickly it resolved. Applying a completion
+//! replays the thread backend's course critical section verbatim —
+//! cache insert, `CourseTrained` crash point, `CourseServed` frame,
+//! `CourseRecorded` crash point, waitlist wake, then the payer resumes
+//! *in-slice* (no second `SessionDispatched` frame). Since every
+//! journal append and cache mutation happens on the router in an order
+//! that is a pure function of the FIFO session queue and the request
+//! sequence, the journal is **byte-identical for any task count and any
+//! resolver latency** — that is the determinism the backend-equivalence
+//! tier pins, and it is also why a crash inside an async course recovers
+//! exactly like a thread-backend crash.
+//!
+//! ## Deadlock freedom
+//!
+//! The router blocks in exactly one place — waiting for the oldest
+//! outstanding completion — and it holds no lock and no session while
+//! doing so. Course futures never depend on each other or on router
+//! progress (a resolver sees only its own order), so the oldest
+//! completion always arrives; timer-based resolvers get their wakes
+//! from the [`SimulatedRemoteResolver`] timer thread, which depends on
+//! nothing. Course tasks block only on the ready queue, which the
+//! router closes at drain end. There is no cycle to deadlock on.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Waker};
+use std::time::{Duration, Instant};
+
+use vfl_market::{GainProvider, Result};
+use vfl_sim::BundleMask;
+
+use crate::exchange::{DrainReport, Exchange, NoticeKind, SliceCourse, SliceEnd};
+use crate::journal::{CrashPoint, ExchangeEvent};
+use crate::store::SessionId;
+use vfl_telemetry::TraceKey;
+
+/// The boxed future one course resolution runs as. Resolves to the ΔG of
+/// the ordered bundle (or the training error, which fails the paying
+/// session exactly like an inline provider error).
+pub type CourseFuture = Pin<Box<dyn Future<Output = Result<f64>> + Send>>;
+
+/// One suspended course request: everything a resolver needs to train
+/// `bundle` under `eval_key` on behalf of `session` (which is checked
+/// in, off every queue, and holds the gain cache's training claim until
+/// the router settles it).
+pub struct CourseOrder {
+    /// The paying session, suspended until the result is applied.
+    pub session: SessionId,
+    /// Cache identity of the market the course belongs to.
+    pub eval_key: u64,
+    /// The bundle to train.
+    pub bundle: BundleMask,
+    /// The market's gain provider (the actual course).
+    pub provider: Arc<dyn GainProvider + Send + Sync>,
+}
+
+impl std::fmt::Debug for CourseOrder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CourseOrder")
+            .field("session", &self.session)
+            .field("eval_key", &self.eval_key)
+            .field("bundle", &self.bundle)
+            .finish()
+    }
+}
+
+/// Turns a [`CourseOrder`] into a [`CourseFuture`]. This is the remote
+/// seam: [`LocalResolver`] trains on the course task itself, while a
+/// networked implementation would ship the order out and resolve on the
+/// reply — [`SimulatedRemoteResolver`] models exactly that with a
+/// configurable latency, for testing and benching.
+pub trait CourseResolver: Send + Sync {
+    /// Builds the future that will produce the order's ΔG. Must not
+    /// train synchronously inside this call (the router calls it):
+    /// defer the work into the returned future.
+    fn resolve(&self, order: &CourseOrder) -> CourseFuture;
+}
+
+/// Which executor [`Exchange::drain`] runs (see
+/// [`Exchange::set_executor`]).
+#[derive(Clone)]
+pub enum ExecutorBackend {
+    /// The default worker pool: each uncached course blocks one of the
+    /// `drain(n_workers)` threads for the duration of the training.
+    ThreadPool,
+    /// The async router: `course_tasks` tasks (0 = use the drain call's
+    /// `n_workers` argument) resolve course futures off-slot through
+    /// `resolver`, while one router thread owns every dispatch, journal,
+    /// cache, and store decision.
+    Async {
+        /// Concurrent course tasks (0 defers to `drain(n_workers)`).
+        course_tasks: usize,
+        /// Builds the course futures.
+        resolver: Arc<dyn CourseResolver>,
+    },
+}
+
+impl std::fmt::Debug for ExecutorBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecutorBackend::ThreadPool => f.write_str("ThreadPool"),
+            ExecutorBackend::Async { course_tasks, .. } => f
+                .debug_struct("Async")
+                .field("course_tasks", course_tasks)
+                .finish_non_exhaustive(),
+        }
+    }
+}
+
+/// Resolves courses by running the provider inside the future's first
+/// poll — the training happens on a course task, concurrent with other
+/// courses but off the router. The zero-latency baseline.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LocalResolver;
+
+impl CourseResolver for LocalResolver {
+    fn resolve(&self, order: &CourseOrder) -> CourseFuture {
+        let provider = order.provider.clone();
+        let bundle = order.bundle;
+        Box::pin(LazyGain { provider, bundle })
+    }
+}
+
+struct LazyGain {
+    provider: Arc<dyn GainProvider + Send + Sync>,
+    bundle: BundleMask,
+}
+
+impl Future for LazyGain {
+    type Output = Result<f64>;
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Result<f64>> {
+        Poll::Ready(self.provider.gain(self.bundle))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Simulated-latency "remote" resolution: a timer wheel thread fires
+// registered wakers at their deadlines; the future trains on the poll
+// that observes its deadline passed.
+// ---------------------------------------------------------------------
+
+struct TimerEntry {
+    deadline: Instant,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.deadline, self.seq) == (other.deadline, other.seq)
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+struct TimerState {
+    heap: BinaryHeap<Reverse<TimerEntry>>,
+    next_seq: u64,
+    shutdown: bool,
+}
+
+struct TimerShared {
+    state: Mutex<TimerState>,
+    cv: Condvar,
+}
+
+impl TimerShared {
+    fn register(self: &Arc<Self>, deadline: Instant, waker: Waker) {
+        let mut state = self.state.lock().expect("timer lock poisoned");
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        state.heap.push(Reverse(TimerEntry {
+            deadline,
+            seq,
+            waker,
+        }));
+        self.cv.notify_all();
+    }
+
+    fn run(self: Arc<Self>) {
+        let mut state = self.state.lock().expect("timer lock poisoned");
+        loop {
+            if state.shutdown {
+                return;
+            }
+            let now = Instant::now();
+            while state
+                .heap
+                .peek()
+                .is_some_and(|Reverse(e)| e.deadline <= now)
+            {
+                let Reverse(entry) = state.heap.pop().expect("peeked entry vanished");
+                // Waking under the lock is safe: the waker only pushes
+                // onto the course-task ready queue (a different lock).
+                entry.waker.wake();
+            }
+            state = match state.heap.peek() {
+                Some(Reverse(e)) => {
+                    let wait = e.deadline.saturating_duration_since(now);
+                    self.cv
+                        .wait_timeout(state, wait)
+                        .expect("timer lock poisoned")
+                        .0
+                }
+                None => self.cv.wait(state).expect("timer lock poisoned"),
+            };
+        }
+    }
+}
+
+/// A [`CourseResolver`] that models remote training: each course future
+/// stays pending for a fixed simulated network+training `latency`
+/// (enforced by a dedicated timer thread), then trains through the
+/// order's own provider. Because every course spends its latency parked
+/// in the timer wheel rather than on a thread, any number of courses
+/// overlap — the regime where the thread pool collapses and the async
+/// backend does not (bench E14).
+pub struct SimulatedRemoteResolver {
+    latency: Duration,
+    shared: Arc<TimerShared>,
+    thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl SimulatedRemoteResolver {
+    /// A resolver whose every course resolves after `latency`.
+    pub fn new(latency: Duration) -> Self {
+        let shared = Arc::new(TimerShared {
+            state: Mutex::new(TimerState {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let runner = shared.clone();
+        let thread = std::thread::spawn(move || runner.run());
+        SimulatedRemoteResolver {
+            latency,
+            shared,
+            thread: Mutex::new(Some(thread)),
+        }
+    }
+
+    /// The configured simulated latency.
+    pub fn latency(&self) -> Duration {
+        self.latency
+    }
+}
+
+impl Drop for SimulatedRemoteResolver {
+    fn drop(&mut self) {
+        if let Ok(mut state) = self.shared.state.lock() {
+            state.shutdown = true;
+        }
+        self.shared.cv.notify_all();
+        if let Some(thread) = self.thread.lock().expect("timer handle poisoned").take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for SimulatedRemoteResolver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimulatedRemoteResolver")
+            .field("latency", &self.latency)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CourseResolver for SimulatedRemoteResolver {
+    fn resolve(&self, order: &CourseOrder) -> CourseFuture {
+        Box::pin(RemoteGain {
+            provider: order.provider.clone(),
+            bundle: order.bundle,
+            latency: self.latency,
+            deadline: None,
+            wheel: self.shared.clone(),
+        })
+    }
+}
+
+struct RemoteGain {
+    provider: Arc<dyn GainProvider + Send + Sync>,
+    bundle: BundleMask,
+    latency: Duration,
+    deadline: Option<Instant>,
+    wheel: Arc<TimerShared>,
+}
+
+impl Future for RemoteGain {
+    type Output = Result<f64>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Result<f64>> {
+        let this = self.get_mut();
+        let now = Instant::now();
+        match this.deadline {
+            None => {
+                let deadline = now + this.latency;
+                this.deadline = Some(deadline);
+                this.wheel.register(deadline, cx.waker().clone());
+                Poll::Pending
+            }
+            // A spurious poll before the deadline re-registers (wakers
+            // are consumed when fired).
+            Some(deadline) if now < deadline => {
+                this.wheel.register(deadline, cx.waker().clone());
+                Poll::Pending
+            }
+            Some(_) => Poll::Ready(this.provider.gain(this.bundle)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The mini executor: course tasks poll futures off a shared ready
+// queue; a task's waker re-enqueues the task itself.
+// ---------------------------------------------------------------------
+
+struct TaskQueue {
+    ready: Mutex<VecDeque<Arc<CourseTask>>>,
+    cv: Condvar,
+    closed: AtomicBool,
+}
+
+impl TaskQueue {
+    fn new() -> Self {
+        TaskQueue {
+            ready: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    fn push(&self, task: Arc<CourseTask>) {
+        self.ready
+            .lock()
+            .expect("ready lock poisoned")
+            .push_back(task);
+        self.cv.notify_one();
+    }
+
+    /// Blocks for the next ready task; `None` once the queue is closed
+    /// and empty (course tasks exit).
+    fn pop(&self) -> Option<Arc<CourseTask>> {
+        let mut ready = self.ready.lock().expect("ready lock poisoned");
+        loop {
+            if let Some(task) = ready.pop_front() {
+                return Some(task);
+            }
+            if self.closed.load(Ordering::Acquire) {
+                return None;
+            }
+            ready = self.cv.wait(ready).expect("ready lock poisoned");
+        }
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        self.cv.notify_all();
+    }
+}
+
+/// A spawned course: the future slot is `None` after completion, so
+/// late (spurious) wakes re-poll nothing.
+struct CourseTask {
+    seq: u64,
+    future: Mutex<Option<CourseFuture>>,
+    queue: Arc<TaskQueue>,
+    board: Arc<CompletionBoard>,
+}
+
+impl std::task::Wake for CourseTask {
+    fn wake(self: Arc<Self>) {
+        let queue = self.queue.clone();
+        queue.push(self);
+    }
+}
+
+fn course_worker(queue: Arc<TaskQueue>) {
+    while let Some(task) = queue.pop() {
+        let waker = Waker::from(task.clone());
+        let mut cx = Context::from_waker(&waker);
+        // Holding the slot across the poll serializes concurrent polls of
+        // one task (a wake racing the poll just re-enqueues; the re-poll
+        // finds either Pending again or an empty slot).
+        let mut slot = task.future.lock().expect("future slot poisoned");
+        if let Some(future) = slot.as_mut() {
+            if let Poll::Ready(result) = future.as_mut().poll(&mut cx) {
+                *slot = None;
+                task.board.post(task.seq, result);
+            }
+        }
+    }
+}
+
+/// Resolved course results, keyed by request sequence. The router only
+/// ever waits for the *oldest* outstanding sequence; later completions
+/// buffer here until their turn, which is what makes the applied order
+/// — and therefore the journal — independent of resolution order.
+struct CompletionBoard {
+    slots: Mutex<BTreeMap<u64, Result<f64>>>,
+    cv: Condvar,
+}
+
+impl CompletionBoard {
+    fn new() -> Self {
+        CompletionBoard {
+            slots: Mutex::new(BTreeMap::new()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn post(&self, seq: u64, result: Result<f64>) {
+        self.slots
+            .lock()
+            .expect("board lock poisoned")
+            .insert(seq, result);
+        self.cv.notify_all();
+    }
+
+    fn take(&self, seq: u64) -> Result<f64> {
+        let mut slots = self.slots.lock().expect("board lock poisoned");
+        loop {
+            if let Some(result) = slots.remove(&seq) {
+                return result;
+            }
+            slots = self.cv.wait(slots).expect("board lock poisoned");
+        }
+    }
+}
+
+/// One outstanding course: its sequence number, the suspended order,
+/// and the telemetry timestamp of its dispatch (for the `course_train`
+/// stage, which under this backend spans dispatch → applied).
+struct OutstandingCourse {
+    seq: u64,
+    order: CourseOrder,
+    started_ns: Option<u64>,
+}
+
+impl Exchange {
+    /// The async backend's drain: the router loop described in the
+    /// module doc. Same contract as [`Exchange::drain`].
+    pub(crate) fn drain_async(
+        &self,
+        course_tasks: usize,
+        resolver: &dyn CourseResolver,
+    ) -> DrainReport {
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let tasks = if course_tasks == 0 { hw } else { course_tasks }.max(1);
+        let start = Instant::now();
+
+        let queue = Arc::new(TaskQueue::new());
+        let board = Arc::new(CompletionBoard::new());
+        let workers: Vec<_> = (0..tasks)
+            .map(|_| {
+                let queue = queue.clone();
+                std::thread::spawn(move || course_worker(queue))
+            })
+            .collect();
+
+        let mut overflow: VecDeque<SessionId> = VecDeque::new();
+        let mut outstanding: VecDeque<OutstandingCourse> = VecDeque::new();
+        let mut next_seq = 0u64;
+        let mut closed = 0usize;
+        let mut failed = 0usize;
+        let mut cancelled = 0usize;
+
+        // Dispatches one suspended course to the resolver/course tasks.
+        macro_rules! dispatch {
+            ($order:expr) => {{
+                let order = $order;
+                let started_ns = self.telemetry.as_deref().map(|t| t.now_ns());
+                let future = resolver.resolve(&order);
+                let task = Arc::new(CourseTask {
+                    seq: next_seq,
+                    future: Mutex::new(Some(future)),
+                    queue: queue.clone(),
+                    board: board.clone(),
+                });
+                outstanding.push_back(OutstandingCourse {
+                    seq: next_seq,
+                    order,
+                    started_ns,
+                });
+                next_seq += 1;
+                queue.push(task);
+            }};
+        }
+
+        // Absorbs a finished slice's notice into the drain counters.
+        macro_rules! absorb {
+            ($notice:expr) => {{
+                let notice = $notice;
+                cancelled += notice.cancelled;
+                match notice.kind {
+                    NoticeKind::Yielded(id) => overflow.push_back(id),
+                    NoticeKind::Parked => {}
+                    NoticeKind::Finished { closed: ok } => {
+                        if ok {
+                            closed += 1;
+                        } else {
+                            failed += 1;
+                        }
+                    }
+                }
+            }};
+        }
+
+        loop {
+            // Phase 1: run every ready session, FIFO, on the router.
+            loop {
+                overflow.append(&mut self.pending.lock());
+                if let Some(t) = self.telemetry.as_deref() {
+                    t.queue_depth.set(overflow.len() as i64);
+                }
+                let Some(id) = overflow.pop_front() else {
+                    break;
+                };
+                match self.run_slice_generic(id, SliceCourse::Defer) {
+                    SliceEnd::Notice(notice) => absorb!(notice),
+                    SliceEnd::NeedCourse(order) => dispatch!(order),
+                }
+            }
+            // Phase 2: apply the OLDEST outstanding completion — exactly
+            // one, then give freshly woken work phase-1 priority again.
+            if let Some(course) = outstanding.pop_front() {
+                let result = board.take(course.seq);
+                match self.apply_course(course, result) {
+                    SliceEnd::Notice(notice) => absorb!(notice),
+                    SliceEnd::NeedCourse(order) => dispatch!(order),
+                }
+                continue;
+            }
+            // Phase 3: fully idle — flush the clearing window (same as
+            // the thread dispatcher's idle hook) and re-check for work
+            // it woke or a concurrent external submit raced in.
+            cancelled += self.flush_clearing();
+            if self.pending.lock().is_empty() {
+                break;
+            }
+        }
+
+        queue.close();
+        for worker in workers {
+            let _ = worker.join();
+        }
+
+        DrainReport {
+            closed,
+            failed,
+            cancelled,
+            workers: tasks,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Applies one resolved course on the router: replays the thread
+    /// backend's course critical section (cache insert → `CourseTrained`
+    /// → `CourseServed` frame → `CourseRecorded` → waitlist wake), then
+    /// resumes the paying session in-slice with the result.
+    fn apply_course(&self, course: OutstandingCourse, result: Result<f64>) -> SliceEnd {
+        let OutstandingCourse {
+            order, started_ns, ..
+        } = course;
+        let CourseOrder {
+            session,
+            eval_key,
+            bundle,
+            ..
+        } = order;
+        match result {
+            Ok(g) => {
+                self.cache.complete(eval_key, bundle, g);
+                if let (Some(t), Some(start)) = (self.telemetry.as_deref(), started_ns) {
+                    let now = t.now_ns();
+                    t.stages.course_train.record(now - start);
+                    t.span(TraceKey::Session(session.0), "course_train", start, now);
+                }
+                self.crash_point(CrashPoint::CourseTrained {
+                    session,
+                    eval_key,
+                    bundle,
+                });
+                self.record_with(|| ExchangeEvent::CourseServed {
+                    eval_key,
+                    bundle,
+                    gain: g,
+                });
+                self.crash_point(CrashPoint::CourseRecorded {
+                    session,
+                    eval_key,
+                    bundle,
+                });
+                // Wake-on-insert, before the payer resumes — the same
+                // order the inline trainer wakes in.
+                self.wake_course_waiters(eval_key, bundle);
+                self.run_slice_generic(session, SliceCourse::Resume(Ok(g)))
+            }
+            Err(e) => {
+                // Failed training: release the claim, wake the waiters
+                // (they retry and inherit the claim), fail the payer.
+                self.cache.abort(eval_key, bundle);
+                self.wake_course_waiters(eval_key, bundle);
+                self.run_slice_generic(session, SliceCourse::Resume(Err(e)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn timer_wheel_fires_in_deadline_order_and_shuts_down() {
+        struct CountWake(AtomicUsize);
+        impl std::task::Wake for CountWake {
+            fn wake(self: Arc<Self>) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let resolver = SimulatedRemoteResolver::new(Duration::from_millis(1));
+        let hits = Arc::new(CountWake(AtomicUsize::new(0)));
+        let now = Instant::now();
+        for i in 0..4 {
+            resolver.shared.register(
+                now + Duration::from_micros(200 * i),
+                Waker::from(hits.clone()),
+            );
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while hits.0.load(Ordering::SeqCst) < 4 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(hits.0.load(Ordering::SeqCst), 4, "all timers fired");
+        drop(resolver); // joins the timer thread — must not hang
+    }
+
+    #[test]
+    fn completion_board_buffers_out_of_order_results() {
+        let board = Arc::new(CompletionBoard::new());
+        let poster = board.clone();
+        let handle = std::thread::spawn(move || {
+            // Post in reverse: the taker must still see 0 first.
+            poster.post(2, Ok(2.0));
+            poster.post(1, Ok(1.0));
+            poster.post(0, Ok(0.0));
+        });
+        for seq in 0..3u64 {
+            assert_eq!(board.take(seq).unwrap(), seq as f64);
+        }
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn course_tasks_drive_a_pending_future_to_completion() {
+        use vfl_market::TableGainProvider;
+        let queue = Arc::new(TaskQueue::new());
+        let board = Arc::new(CompletionBoard::new());
+        let worker = {
+            let queue = queue.clone();
+            std::thread::spawn(move || course_worker(queue))
+        };
+        let resolver = SimulatedRemoteResolver::new(Duration::from_millis(2));
+        let provider = TableGainProvider::new([(BundleMask::singleton(0), 0.25)]);
+        let order = CourseOrder {
+            session: SessionId(0),
+            eval_key: 1,
+            bundle: BundleMask::singleton(0),
+            provider: Arc::new(provider),
+        };
+        let started = Instant::now();
+        let task = Arc::new(CourseTask {
+            seq: 0,
+            future: Mutex::new(Some(resolver.resolve(&order))),
+            queue: queue.clone(),
+            board: board.clone(),
+        });
+        queue.push(task);
+        assert_eq!(board.take(0).unwrap(), 0.25);
+        assert!(
+            started.elapsed() >= Duration::from_millis(2),
+            "simulated latency was actually waited out"
+        );
+        queue.close();
+        worker.join().unwrap();
+    }
+}

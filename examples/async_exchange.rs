@@ -1,0 +1,131 @@
+//! Async executor backend: the same session book drained by the default
+//! thread pool (a worker blocks for every course — here a training that
+//! sleeps, modeling a blocking remote call) and by the async backend
+//! (`Exchange::set_executor`), where courses resolve off-slot through a
+//! `SimulatedRemoteResolver` and a handful of course tasks keep every
+//! session's training in flight at once.
+//!
+//! The printed table is the whole story: the thread pool's wall time
+//! grows linearly with course latency (each in-flight course holds a
+//! worker hostage), the async backend's barely moves (an in-flight course
+//! is a timer entry, not a thread) — while the outcomes stay bit for bit
+//! identical. Run with `cargo run --example async_exchange --release`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use vfl_bench::exchange_setup::SpinGainProvider;
+use vfl_exchange::{
+    Exchange, ExchangeConfig, ExecutorBackend, MarketSpec, SessionOrder, SimulatedRemoteResolver,
+};
+use vfl_market::{
+    GainProvider, Listing, MarketConfig, Outcome, ReservedPrice, StrategicData, StrategicTask,
+    TableGainProvider,
+};
+use vfl_sim::BundleMask;
+
+const SESSIONS: usize = 12;
+const WORKERS: usize = 4;
+
+fn market(m: usize) -> (Vec<Listing>, Vec<f64>) {
+    let listings: Vec<Listing> = (0..4)
+        .map(|i| Listing {
+            bundle: BundleMask::singleton(i),
+            reserved: ReservedPrice::new(4.0 + i as f64 * 1.5, 0.6 + i as f64 * 0.15)
+                .expect("valid reserve"),
+        })
+        .collect();
+    let gains = (0..4)
+        .map(|i| 0.05 + 0.30 * ((m * 5 + i * 7) % 11) as f64 / 10.0)
+        .collect();
+    (listings, gains)
+}
+
+/// Drains the book once; `async_tasks: None` = thread pool with blocking
+/// (sleeping) trainings, `Some(n)` = async backend with the same latency
+/// simulated remotely. Returns wall time and every outcome.
+fn drain(latency: Duration, async_tasks: Option<usize>) -> (Duration, Vec<Outcome>) {
+    let exchange = Exchange::new(ExchangeConfig::default());
+    let sids: Vec<_> = (0..SESSIONS)
+        .map(|m| {
+            let (listings, gains) = market(m);
+            let table =
+                TableGainProvider::new(listings.iter().zip(&gains).map(|(l, &g)| (l.bundle, g)));
+            let provider: Arc<dyn GainProvider + Send + Sync> = if async_tasks.is_some() {
+                Arc::new(table)
+            } else {
+                Arc::new(SpinGainProvider::sleeping(table, latency))
+            };
+            let id = exchange
+                .register_market(MarketSpec {
+                    provider,
+                    listings: Arc::new(listings),
+                    evaluation_key: None,
+                    name: format!("m{m}"),
+                })
+                .expect("register market");
+            exchange
+                .submit(
+                    id,
+                    SessionOrder {
+                        cfg: MarketConfig {
+                            utility_rate: 700.0 + 150.0 * (m % 4) as f64,
+                            budget: 11.0,
+                            rate_cap: 20.0,
+                            seed: m as u64,
+                            ..MarketConfig::default()
+                        },
+                        task: Box::new(StrategicTask::new(0.30, 6.0, 0.9).expect("valid opening")),
+                        data: Box::new(StrategicData::with_gains(gains)),
+                    },
+                )
+                .expect("submit")
+        })
+        .collect();
+    if let Some(course_tasks) = async_tasks {
+        exchange.set_executor(ExecutorBackend::Async {
+            course_tasks,
+            resolver: Arc::new(SimulatedRemoteResolver::new(latency)),
+        });
+    }
+    let start = Instant::now();
+    let report = exchange.drain(WORKERS);
+    let wall = start.elapsed();
+    assert_eq!(report.failed, 0);
+    let outcomes = sids
+        .iter()
+        .map(|&sid| *exchange.take(sid).expect("terminal").expect("closed"))
+        .collect();
+    (wall, outcomes)
+}
+
+fn main() {
+    println!(
+        "async exchange: {SESSIONS} sessions on private markets, \
+         {WORKERS} workers vs {WORKERS} course tasks"
+    );
+    println!();
+    for latency in [
+        Duration::from_millis(1),
+        Duration::from_millis(5),
+        Duration::from_millis(20),
+    ] {
+        let (thread_wall, thread_outcomes) = drain(latency, None);
+        let (async_wall, async_outcomes) = drain(latency, Some(WORKERS));
+        assert_eq!(
+            thread_outcomes, async_outcomes,
+            "backends must agree bit for bit"
+        );
+        println!(
+            "latency {:>6} | thread {:>8.1} ms | async {:>8.1} ms | speedup {:.1}x (outcomes identical)",
+            format!("{latency:?}"),
+            thread_wall.as_secs_f64() * 1e3,
+            async_wall.as_secs_f64() * 1e3,
+            thread_wall.as_secs_f64() / async_wall.as_secs_f64()
+        );
+    }
+    println!();
+    println!(
+        "the thread pool blocks a worker per in-flight course; the async router \
+         keeps all {SESSIONS} sessions' courses in flight with {WORKERS} tasks"
+    );
+}
